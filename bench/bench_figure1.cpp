@@ -1,0 +1,173 @@
+// E2 — Figure 1: the data-complexity taxonomy for conjunctive queries.
+//
+// For each named query of Section 3.2 we print its acyclicity class (the
+// position in Figure 1) and demonstrate the complexity split: γ-acyclic
+// queries run through the Theorem 3.6 PTIME evaluator to large n, while
+// the typed cycles C_3, C_4 (conjectured hard) only admit the grounded
+// exponential engine.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cq/acyclicity.h"
+#include "cq/gamma_evaluator.h"
+#include "cq/hypergraph.h"
+#include "cq/typed_cycle.h"
+#include "grounding/grounded_wfomc.h"
+
+namespace {
+
+using swfomc::cq::ConjunctiveQuery;
+using swfomc::numeric::BigRational;
+
+struct NamedQuery {
+  const char* name;
+  const char* text;
+  const char* paper_position;
+};
+
+const NamedQuery kQueries[] = {
+    {"chain-2", "R1(x0,x1), R2(x1,x2)", "gamma-acyclic => PTIME (Thm 3.6)"},
+    {"chain-4", "R1(x0,x1), R2(x1,x2), R3(x2,x3), R4(x3,x4)",
+     "gamma-acyclic => PTIME (Example 3.10)"},
+    {"star", "R(x,y), S(x,z), T(x,u)", "gamma-acyclic => PTIME"},
+    {"c_gamma", "R(x,z), S(x,y,z), T(y,z)",
+     "gamma-CYCLIC yet PTIME via separator z (paper, Fig. 1)"},
+    {"c_jtdb", "R(x,y,z,u), S(x,y), T(x,z), V(x,u)",
+     "PTIME, outside jtdb (paper, Fig. 1)"},
+    {"C3", "R1(x1,x2), R2(x2,x3), R3(x3,x1)",
+     "typed cycle: conjectured hard (Ck-hard region)"},
+    {"C4", "R1(x1,x2), R2(x2,x3), R3(x3,x4), R4(x4,x1)",
+     "typed cycle: conjectured hard"},
+    {"alpha-covered-triangle", "A(x,y,z), R1(x,y), R2(y,z), R3(z,x)",
+     "alpha-acyclic: as hard as all CQs w/o self-joins"},
+};
+
+void PrintTaxonomy() {
+  std::printf("== Figure 1: CQ data-complexity taxonomy ==\n\n");
+  std::printf("%-24s %-14s %-10s %s\n", "query", "class", "weak-beta",
+              "paper position");
+  for (const NamedQuery& entry : kQueries) {
+    ConjunctiveQuery query = ConjunctiveQuery::FromString(entry.text);
+    swfomc::cq::Hypergraph graph = swfomc::cq::BuildHypergraph(query);
+    auto cycle = swfomc::cq::FindWeakBetaCycle(graph);
+    std::string beta = cycle.has_value()
+                           ? "len-" + std::to_string(cycle->edges.size())
+                           : std::string("none");
+    std::printf("%-24s %-14s %-10s %s\n", entry.name,
+                swfomc::cq::ToString(swfomc::cq::Classify(graph)),
+                beta.c_str(), entry.paper_position);
+  }
+
+  std::printf("\n-- gamma-acyclic queries at scale (Theorem 3.6) --\n");
+  std::printf("%-24s", "n:");
+  for (std::uint64_t n : {4, 8, 16, 32}) std::printf(" %14llu",
+      static_cast<unsigned long long>(n));
+  std::printf("\n");
+  for (const NamedQuery& entry : kQueries) {
+    ConjunctiveQuery query = ConjunctiveQuery::FromString(entry.text);
+    if (!swfomc::cq::IsGammaAcyclic(swfomc::cq::BuildHypergraph(query))) {
+      continue;
+    }
+    std::printf("%-24s", entry.name);
+    for (std::uint64_t n : {4, 8, 16, 32}) {
+      BigRational p = swfomc::cq::GammaAcyclicProbability(query, n);
+      std::printf(" %14.6g", p.ToDouble());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- typed cycles: exact counts via grounding only --\n");
+  std::printf("%-6s %-4s %s\n", "query", "n", "Pr(C_k) (p = 1/2)");
+  for (const char* text :
+       {"R1(x1,x2), R2(x2,x3), R3(x3,x1)",
+        "R1(x1,x2), R2(x2,x3), R3(x3,x4), R4(x4,x1)"}) {
+    ConjunctiveQuery query = ConjunctiveQuery::FromString(text);
+    auto [sentence, vocab] = query.ToSentence();
+    std::size_t k = query.atoms().size();
+    for (std::uint64_t n = 1; n <= 2; ++n) {
+      BigRational p =
+          swfomc::grounding::GroundedProbability(sentence, vocab, n);
+      std::printf("C%zu     %-4llu %s\n", k,
+                  static_cast<unsigned long long>(n),
+                  p.ToString().c_str());
+    }
+  }
+  std::printf("\n-- \"Ck-hard\": the Section 3.2 embedding of C_k into "
+              "beta-cyclic queries --\n");
+  std::printf("%-28s %-4s %-18s %-18s %s\n", "beta-cyclic query", "k",
+              "Pr(C_k)", "Pr(Q embedded)", "check");
+  {
+    // A 3-cycle with baggage: extra variable w in a cycle relation and a
+    // satellite atom A(w). The reduction pins w's domain to 1 and A's
+    // probability to 1, so Q inherits C_3's count exactly.
+    ConjunctiveQuery baggage;
+    baggage.AddAtom("R1", {"x1", "x2", "w"});
+    baggage.AddAtom("R2", {"x2", "x3"});
+    baggage.AddAtom("R3", {"x3", "x1"});
+    baggage.AddAtom("A", {"w"});
+    std::vector<std::uint64_t> domains = {2, 2, 2};
+    std::vector<BigRational> p(3, BigRational::Fraction(1, 2));
+    swfomc::cq::CkEmbedding embedding =
+        swfomc::cq::EmbedCkInBetaCyclicQuery(baggage, domains, p);
+    BigRational lhs = swfomc::cq::TypedCycleProbability(3, domains, p);
+    BigRational rhs = swfomc::cq::TypedGroundedProbability(
+        embedding.query, embedding.domain_sizes);
+    std::printf("%-28s %-4zu %-18s %-18s %s\n",
+                "R1(x1,x2,w),R2,R3,A(w)", embedding.k,
+                lhs.ToString().c_str(), rhs.ToString().c_str(),
+                lhs == rhs ? "OK" : "MISMATCH");
+  }
+  std::printf(
+      "\nA PTIME algorithm for any beta-cyclic query would therefore give\n"
+      "PTIME for some C_k (Figure 1's \"Ck-hard\" region).\n");
+
+  std::printf("\nShape check: the PTIME region reaches n = 32 instantly; "
+              "the cyclic region is exponential (timings below).\n\n");
+}
+
+void BM_Figure1_GammaChain(benchmark::State& state) {
+  std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ConjunctiveQuery query = ConjunctiveQuery::FromString(
+      "R1(x0,x1), R2(x1,x2), R3(x2,x3), R4(x3,x4)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swfomc::cq::GammaAcyclicProbability(query, n));
+  }
+}
+BENCHMARK(BM_Figure1_GammaChain)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Figure1_CGamma_Grounded(benchmark::State& state) {
+  // cγ is PTIME per the paper but our library evaluates non-γ-acyclic
+  // queries by grounding — this is the honest baseline cost.
+  std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ConjunctiveQuery query =
+      ConjunctiveQuery::FromString("R(x,z), S(x,y,z), T(y,z)");
+  auto [sentence, vocab] = query.ToSentence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        swfomc::grounding::GroundedProbability(sentence, vocab, n));
+  }
+}
+BENCHMARK(BM_Figure1_CGamma_Grounded)->Arg(1)->Arg(2);
+
+void BM_Figure1_TypedCycle_Grounded(benchmark::State& state) {
+  std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  ConjunctiveQuery query =
+      ConjunctiveQuery::FromString("R1(x1,x2), R2(x2,x3), R3(x3,x1)");
+  auto [sentence, vocab] = query.ToSentence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        swfomc::grounding::GroundedProbability(sentence, vocab, n));
+  }
+}
+BENCHMARK(BM_Figure1_TypedCycle_Grounded)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTaxonomy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

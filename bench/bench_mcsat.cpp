@@ -1,0 +1,115 @@
+// Baseline — Section 1: MC-SAT / SampleSAT (what today's MLN systems run)
+// versus exact inference through the WFOMC reduction.
+//
+// The paper's motivation for studying symmetric WFOMC is that MC-SAT's
+// convergence guarantee needs a uniform SAT sampler, but implementations
+// use SampleSAT, which has no uniformity guarantee and is known to
+// produce inaccurate estimates. This bench quantifies that on networks
+// where the exact answer is computable: estimate error vs sample budget,
+// and the cost split between the sampler and the exact path.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "logic/parser.h"
+#include "mcsat/mcsat.h"
+#include "mln/mln.h"
+#include "mln/reduction.h"
+
+namespace {
+
+using swfomc::numeric::BigRational;
+
+swfomc::mln::MarkovLogicNetwork SpouseNetwork() {
+  swfomc::logic::Vocabulary vocab;
+  vocab.AddRelation("Spouse", 2);
+  vocab.AddRelation("Female", 1);
+  vocab.AddRelation("Male", 1);
+  swfomc::mln::MarkovLogicNetwork network(std::move(vocab));
+  network.AddSoft(BigRational(3), "(Spouse(x,y) & Female(x)) -> Male(y)");
+  return network;
+}
+
+swfomc::mcsat::McSatOptions SamplerOptions(std::uint64_t seed,
+                                           std::uint64_t samples) {
+  swfomc::mcsat::McSatOptions options;
+  options.seed = seed;
+  options.burn_in = 100;
+  options.samples = samples;
+  options.walksat.max_flips = 2000;
+  options.walksat.max_tries = 5;
+  return options;
+}
+
+void PrintTable() {
+  std::printf("== Section 1: MC-SAT (approximate) vs WFOMC (exact) ==\n\n");
+  swfomc::mln::MarkovLogicNetwork network = SpouseNetwork();
+  const char* queries[] = {"exists x Female(x)",
+                           "forall y Male(y)",
+                           "exists x exists y Spouse(x,y)"};
+  std::uint64_t n = 2;
+  std::printf("domain size n = %llu, network: (3, Spouse(x,y) & Female(x) "
+              "-> Male(y))\n\n", static_cast<unsigned long long>(n));
+  std::printf("%-30s %-10s %-26s %s\n", "query", "exact",
+              "MC-SAT estimate (by #samples)", "abs error");
+  for (const char* text : queries) {
+    swfomc::logic::Formula query =
+        swfomc::logic::ParseStrict(text, network.vocabulary());
+    double exact =
+        swfomc::mln::ProbabilityViaWFOMC(network, query, n).ToDouble();
+    std::printf("%-30s %-10.6f", text, exact);
+    for (std::uint64_t samples : {100ULL, 1000ULL, 5000ULL}) {
+      swfomc::mcsat::McSatSampler sampler(network, n,
+                                          SamplerOptions(42, samples));
+      double estimate = sampler.EstimateProbability(query);
+      std::printf(" %8.4f", estimate);
+    }
+    {
+      swfomc::mcsat::McSatSampler sampler(network, n,
+                                          SamplerOptions(42, 5000));
+      double estimate = sampler.EstimateProbability(query);
+      std::printf("   %.4f\n", std::fabs(estimate - exact));
+    }
+  }
+  std::printf(
+      "\nThe estimate drifts toward the exact value with more samples but\n"
+      "carries SampleSAT's non-uniformity bias; the exact WFOMC path is\n"
+      "deterministic and exact for every query (the paper's argument for\n"
+      "reducing MLN inference to symmetric WFOMC). Timings below.\n\n");
+}
+
+void BM_McSat_Estimate(benchmark::State& state) {
+  std::uint64_t samples = static_cast<std::uint64_t>(state.range(0));
+  swfomc::mln::MarkovLogicNetwork network = SpouseNetwork();
+  swfomc::logic::Formula query = swfomc::logic::ParseStrict(
+      "exists x Female(x)", network.vocabulary());
+  for (auto _ : state) {
+    swfomc::mcsat::McSatSampler sampler(network, 2,
+                                        SamplerOptions(7, samples));
+    benchmark::DoNotOptimize(sampler.EstimateProbability(query));
+  }
+}
+BENCHMARK(BM_McSat_Estimate)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_McSat_ExactViaWFOMC(benchmark::State& state) {
+  std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  swfomc::mln::MarkovLogicNetwork network = SpouseNetwork();
+  swfomc::logic::Formula query = swfomc::logic::ParseStrict(
+      "exists x Female(x)", network.vocabulary());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        swfomc::mln::ProbabilityViaWFOMC(network, query, n));
+  }
+}
+BENCHMARK(BM_McSat_ExactViaWFOMC)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// E8 — Lemmas 3.3–3.5: WFOMC-preserving elimination of ∃, ¬ and =.
+//
+// Each transform extends the vocabulary with auxiliary relations whose
+// negative weights make the spurious worlds cancel. The bench applies the
+// transforms to a family of sentences and checks
+//   WFOMC(Φ, n, w, w̄) == WFOMC(Φ', n, w', w̄')
+// exactly through the grounded engine, including the Lemma 3.5 recovery
+// that extracts a polynomial coefficient with repeated oracle calls.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+#include "transforms/equality_removal.h"
+#include "transforms/negation_removal.h"
+#include "transforms/skolemization.h"
+
+namespace {
+
+using swfomc::numeric::BigRational;
+
+struct Sentence {
+  const char* name;
+  const char* text;
+  std::uint64_t max_n;
+};
+
+swfomc::logic::Vocabulary BaseVocabulary() {
+  swfomc::logic::Vocabulary vocab;
+  vocab.AddRelation("R", 2, BigRational(2), BigRational(1));
+  vocab.AddRelation("U", 1, BigRational::Fraction(1, 2), BigRational(1));
+  return vocab;
+}
+
+void PrintSkolemizationTable() {
+  std::printf("-- Lemma 3.3 (Skolemization, w(A) = 1, wbar(A) = -1) --\n");
+  std::printf("%-28s %2s  %-24s %-24s %s\n", "sentence", "n",
+              "WFOMC before", "WFOMC after", "check");
+  std::vector<Sentence> sentences = {
+      {"forall x exists y R(x,y)", "forall x exists y R(x,y)", 3},
+      {"exists y U(y)", "exists y U(y)", 4},
+      {"exists x forall y R(x,y)", "exists x forall y R(x,y)", 3},
+      {"forall x (U(x) -> exists y R(x,y))",
+       "forall x (U(x) -> exists y R(x,y))", 3},
+  };
+  for (const Sentence& s : sentences) {
+    swfomc::logic::Vocabulary vocab = BaseVocabulary();
+    swfomc::logic::Formula phi = swfomc::logic::ParseStrict(s.text, vocab);
+    swfomc::transforms::RewriteResult rewritten =
+        swfomc::transforms::Skolemize(phi, vocab);
+    for (std::uint64_t n = 1; n <= s.max_n; ++n) {
+      BigRational before = swfomc::grounding::GroundedWFOMC(phi, vocab, n);
+      BigRational after = swfomc::grounding::GroundedWFOMC(
+          rewritten.sentence, rewritten.vocabulary, n);
+      std::printf("%-28s %2llu  %-24s %-24s %s\n", s.name,
+                  static_cast<unsigned long long>(n),
+                  before.ToString().c_str(), after.ToString().c_str(),
+                  before == after ? "OK" : "MISMATCH");
+    }
+  }
+}
+
+void PrintNegationTable() {
+  std::printf("\n-- Lemma 3.4 (negation removal; positive ∀* output) --\n");
+  std::printf("%-36s %2s  %-20s %s\n", "sentence", "n", "WFOMC", "check");
+  std::vector<Sentence> sentences = {
+      {"forall x forall y (R(x,y) | !R(y,x))",
+       "forall x forall y (R(x,y) | !R(y,x))", 3},
+      {"forall x (!U(x) | R(x,x))", "forall x (!U(x) | R(x,x))", 3},
+  };
+  for (const Sentence& s : sentences) {
+    swfomc::logic::Vocabulary vocab = BaseVocabulary();
+    swfomc::logic::Formula phi = swfomc::logic::ParseStrict(s.text, vocab);
+    swfomc::transforms::RewriteResult rewritten =
+        swfomc::transforms::RemoveNegations(phi, vocab);
+    for (std::uint64_t n = 1; n <= s.max_n; ++n) {
+      BigRational before = swfomc::grounding::GroundedWFOMC(phi, vocab, n);
+      BigRational after = swfomc::grounding::GroundedWFOMC(
+          rewritten.sentence, rewritten.vocabulary, n);
+      std::printf("%-36s %2llu  %-20s %s\n", s.name,
+                  static_cast<unsigned long long>(n),
+                  before.ToString().c_str(),
+                  before == after ? "OK" : "MISMATCH");
+    }
+  }
+}
+
+void PrintEqualityTable() {
+  std::printf("\n-- Lemma 3.5 (equality removal + coefficient recovery) "
+              "--\n");
+  std::printf("%-40s %2s  %-20s %s\n", "sentence", "n", "WFOMC", "check");
+  std::vector<Sentence> sentences = {
+      {"forall x forall y (R(x,y) | x = y)",
+       "forall x forall y (R(x,y) | x = y)", 3},
+      {"forall x forall y (x = y | !R(x,y) | U(x))",
+       "forall x forall y (x = y | !R(x,y) | U(x))", 2},
+  };
+  for (const Sentence& s : sentences) {
+    swfomc::logic::Vocabulary vocab = BaseVocabulary();
+    swfomc::logic::Formula phi = swfomc::logic::ParseStrict(s.text, vocab);
+    for (std::uint64_t n = 1; n <= s.max_n; ++n) {
+      BigRational direct = swfomc::grounding::GroundedWFOMC(phi, vocab, n);
+      BigRational recovered = swfomc::transforms::WFOMCViaEqualityRemoval(
+          phi, vocab, n,
+          [](const swfomc::logic::Formula& f,
+             const swfomc::logic::Vocabulary& v, std::uint64_t m) {
+            return swfomc::grounding::GroundedWFOMC(f, v, m);
+          });
+      std::printf("%-40s %2llu  %-20s %s\n", s.name,
+                  static_cast<unsigned long long>(n),
+                  direct.ToString().c_str(),
+                  direct == recovered ? "OK" : "MISMATCH");
+    }
+  }
+  std::printf("\nTimings: transform cost is sentence-level (tiny); the\n"
+              "grounded verification dominates and the Lemma 3.5 recovery\n"
+              "multiplies it by the number of interpolation points.\n\n");
+}
+
+void BM_Transforms_Skolemize(benchmark::State& state) {
+  swfomc::logic::Vocabulary vocab = BaseVocabulary();
+  swfomc::logic::Formula phi = swfomc::logic::ParseStrict(
+      "forall x (U(x) -> exists y R(x,y))", vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swfomc::transforms::Skolemize(phi, vocab));
+  }
+}
+BENCHMARK(BM_Transforms_Skolemize);
+
+void BM_Transforms_EqualityRecovery(benchmark::State& state) {
+  std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  swfomc::logic::Vocabulary vocab = BaseVocabulary();
+  swfomc::logic::Formula phi = swfomc::logic::ParseStrict(
+      "forall x forall y (R(x,y) | x = y)", vocab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swfomc::transforms::WFOMCViaEqualityRemoval(
+        phi, vocab, n,
+        [](const swfomc::logic::Formula& f,
+           const swfomc::logic::Vocabulary& v, std::uint64_t m) {
+          return swfomc::grounding::GroundedWFOMC(f, v, m);
+        }));
+  }
+}
+BENCHMARK(BM_Transforms_EqualityRecovery)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Lemmas 3.3-3.5: WFOMC-preserving transforms ==\n\n");
+  PrintSkolemizationTable();
+  PrintNegationTable();
+  PrintEqualityTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

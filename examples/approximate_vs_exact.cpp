@@ -1,0 +1,68 @@
+// Approximate vs exact MLN inference — the paper's Section 1 motivation.
+//
+// Today's MLN systems run MC-SAT on top of SampleSAT, which has no
+// uniformity guarantee; the paper's program is to replace sampling with
+// exact symmetric WFOMC (Example 1.2). This example runs both paths on a
+// small social-network MLN and prints the estimates side by side.
+//
+// Build & run: cmake --build build && ./build/examples/approximate_vs_exact
+
+#include <cstdio>
+
+#include "logic/parser.h"
+#include "mcsat/mcsat.h"
+#include "mln/mln.h"
+#include "mln/reduction.h"
+
+int main() {
+  using swfomc::numeric::BigRational;
+
+  // The classic "smokers" MLN: friendship makes smoking contagious, and
+  // friendship is irreflexive (a hard constraint).
+  swfomc::logic::Vocabulary vocab;
+  vocab.AddRelation("Friends", 2);
+  vocab.AddRelation("Smokes", 1);
+  swfomc::mln::MarkovLogicNetwork network(std::move(vocab));
+  network.AddHard("forall x !Friends(x,x)");
+  network.AddSoft(BigRational(2), "(Friends(x,y) & Smokes(x)) -> Smokes(y)");
+
+  const std::uint64_t n = 2;  // people
+  const char* queries[] = {
+      "exists x Smokes(x)",
+      "forall x Smokes(x)",
+      "exists x exists y (Friends(x,y) & Smokes(x) & Smokes(y))",
+  };
+
+  std::printf("Smokers MLN over %llu people\n",
+              static_cast<unsigned long long>(n));
+  std::printf("  hard: forall x !Friends(x,x)\n");
+  std::printf("  soft: (2, Friends(x,y) & Smokes(x) -> Smokes(y))\n\n");
+  std::printf("%-52s %-12s %-12s %s\n", "query", "exact WFOMC",
+              "MC-SAT est.", "brute force");
+  for (const char* text : queries) {
+    swfomc::logic::Formula query =
+        swfomc::logic::ParseStrict(text, network.vocabulary());
+
+    // Exact path: Example 1.2 reduction to symmetric WFOMC.
+    BigRational exact = swfomc::mln::ProbabilityViaWFOMC(network, query, n);
+
+    // Approximate path: MC-SAT with SampleSAT (what Alchemy/Tuffy do).
+    swfomc::mcsat::McSatOptions options;
+    options.seed = 7;
+    options.burn_in = 200;
+    options.samples = 3000;
+    swfomc::mcsat::McSatSampler sampler(network, n, options);
+    double estimate = sampler.EstimateProbability(query);
+
+    // Ground truth by exhaustive enumeration of all worlds.
+    BigRational brute = network.BruteForceProbability(query, n);
+
+    std::printf("%-52s %-12.6f %-12.4f %.6f\n", text, exact.ToDouble(),
+                estimate, brute.ToDouble());
+  }
+  std::printf(
+      "\nThe exact column equals brute force by construction (and stays\n"
+      "feasible long after brute force dies); the MC-SAT column is a\n"
+      "stochastic estimate carrying SampleSAT's bias.\n");
+  return 0;
+}

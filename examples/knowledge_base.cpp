@@ -1,0 +1,73 @@
+// A miniature probabilistic knowledge base in the style of the paper's
+// introduction (NELL / Knowledge Vault): extracted facts are uncertain
+// tuples; queries are conjunctive; γ-acyclic queries run through the
+// Theorem 3.6 PTIME evaluator.
+//
+// Schema (all tuples symmetric within a relation, probabilities from the
+// "extractor confidence"):
+//   BornIn(person, city)      p = 1/3
+//   LocatedIn(city, country)  p = 2/3
+//   Capital(city)             p = 1/5
+//   Landmark(city, site)      p = 1/2
+
+#include <iostream>
+
+#include "cq/acyclicity.h"
+#include "cq/gamma_evaluator.h"
+#include "cq/hypergraph.h"
+
+int main() {
+  using swfomc::cq::ConjunctiveQuery;
+  using swfomc::numeric::BigRational;
+
+  auto with_probabilities = [](ConjunctiveQuery query) {
+    query.SetProbability("BornIn", BigRational::Fraction(1, 3));
+    query.SetProbability("LocatedIn", BigRational::Fraction(2, 3));
+    query.SetProbability("Capital", BigRational::Fraction(1, 5));
+    query.SetProbability("Landmark", BigRational::Fraction(1, 2));
+    return query;
+  };
+
+  struct NamedQuery {
+    const char* description;
+    const char* text;
+  };
+  NamedQuery queries[] = {
+      {"someone was born in some city of some country",
+       "BornIn(p,c), LocatedIn(c,k)"},
+      {"someone was born in a capital with a landmark",
+       "BornIn(p,c), Capital(c), Landmark(c,s)"},
+      {"a chain person->city->country plus a landmark in that city",
+       "BornIn(p,c), LocatedIn(c,k), Landmark(c,s)"},
+  };
+
+  std::cout << "Probabilistic KB — γ-acyclic CQ evaluation (Theorem 3.6)\n";
+  for (const NamedQuery& q : queries) {
+    ConjunctiveQuery query =
+        with_probabilities(ConjunctiveQuery::FromString(q.text));
+    swfomc::cq::Hypergraph graph = swfomc::cq::BuildHypergraph(query);
+    std::cout << "\nQ: " << q.description << "\n   " << query.ToString()
+              << "\n   class: "
+              << swfomc::cq::ToString(swfomc::cq::Classify(graph)) << "\n";
+    if (!swfomc::cq::IsGammaAcyclic(graph)) {
+      std::cout << "   (not gamma-acyclic; would route to grounding)\n";
+      continue;
+    }
+    std::cout << "    n | Pr(Q)\n";
+    for (std::uint64_t n : {2, 4, 8, 16, 32}) {
+      BigRational p = swfomc::cq::GammaAcyclicProbability(query, n);
+      std::cout << "   " << n << (n < 10 ? " " : "") << " | "
+                << p.ToDouble() << "\n";
+    }
+  }
+
+  // The typed triangle from Table 2 (conjectured hard) classifies as
+  // cyclic — the evaluator refuses it, exactly as the theory predicts.
+  ConjunctiveQuery triangle =
+      ConjunctiveQuery::FromString("R(x,y), S(y,z), T(z,x)");
+  std::cout << "\nTyped triangle R(x,y),S(y,z),T(z,x): class "
+            << swfomc::cq::ToString(
+                   swfomc::cq::Classify(swfomc::cq::BuildHypergraph(triangle)))
+            << " (Table 2 open problem — no PTIME algorithm known)\n";
+  return 0;
+}

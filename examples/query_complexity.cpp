@@ -1,0 +1,78 @@
+// Query-complexity explorer: where does a conjunctive query sit in the
+// paper's Figure 1 taxonomy, and what does that mean for evaluation?
+//
+// For each query the example classifies its hypergraph (γ-/β-/α-acyclic
+// or cyclic), reports any weak β-cycle, evaluates the query with the
+// appropriate engine, and — for β-cyclic queries — demonstrates the
+// Section 3.2 embedding of a typed cycle C_k, the paper's evidence that
+// such queries are "C_k-hard".
+//
+// Build & run: cmake --build build && ./build/examples/query_complexity
+
+#include <cstdio>
+
+#include "cq/acyclicity.h"
+#include "cq/gamma_evaluator.h"
+#include "cq/hypergraph.h"
+#include "cq/typed_cycle.h"
+
+int main() {
+  using swfomc::cq::ConjunctiveQuery;
+  using swfomc::numeric::BigRational;
+
+  const char* queries[] = {
+      "R(x,y), S(y,z), T(z)",                        // chain: γ-acyclic
+      "R(x,z), S(x,y,z), T(y,z)",                    // cγ: γ-cyclic, PTIME
+      "R1(x1,x2), R2(x2,x3), R3(x3,x1)",             // C3: conjectured hard
+      "A(x,y,z), R1(x,y), R2(y,z), R3(z,x)",         // α-acyclic cover
+  };
+
+  std::printf("%-38s %-14s %-11s %s\n", "query", "class", "weak-beta",
+              "evaluation at n = 4 (p = 1/2)");
+  for (const char* text : queries) {
+    ConjunctiveQuery query = ConjunctiveQuery::FromString(text);
+    swfomc::cq::Hypergraph graph = swfomc::cq::BuildHypergraph(query);
+    swfomc::cq::AcyclicityClass klass = swfomc::cq::Classify(graph);
+    auto cycle = swfomc::cq::FindWeakBetaCycle(graph);
+    std::string beta = cycle.has_value()
+                           ? "len-" + std::to_string(cycle->edges.size())
+                           : std::string("none");
+
+    std::string evaluation;
+    if (klass == swfomc::cq::AcyclicityClass::kGammaAcyclic) {
+      BigRational p = swfomc::cq::GammaAcyclicProbability(query, 4);
+      evaluation = "Pr = " + p.ToString() + "  (Theorem 3.6, PTIME)";
+    } else {
+      // No lifted algorithm: typed grounding (exponential) at a small n.
+      BigRational p = swfomc::cq::TypedGroundedProbability(query, 2);
+      evaluation = "Pr(n=2) = " + p.ToString() + "  (grounded only)";
+    }
+    std::printf("%-38s %-14s %-11s %s\n", text,
+                swfomc::cq::ToString(klass), beta.c_str(),
+                evaluation.c_str());
+  }
+
+  // The Ck-hardness evidence, run live: embed a C_3 instance into a
+  // β-cyclic query with baggage and check the counts coincide.
+  std::printf("\nSection 3.2 embedding: C_3 into R1(x1,x2,w),R2,R3,A(w)\n");
+  ConjunctiveQuery baggage;
+  baggage.AddAtom("R1", {"x1", "x2", "w"});
+  baggage.AddAtom("R2", {"x2", "x3"});
+  baggage.AddAtom("R3", {"x3", "x1"});
+  baggage.AddAtom("A", {"w"});
+  std::vector<std::uint64_t> domains = {2, 2, 2};
+  std::vector<BigRational> probabilities(3, BigRational::Fraction(1, 2));
+  swfomc::cq::CkEmbedding embedding =
+      swfomc::cq::EmbedCkInBetaCyclicQuery(baggage, domains, probabilities);
+  BigRational lhs =
+      swfomc::cq::TypedCycleProbability(3, domains, probabilities);
+  BigRational rhs = swfomc::cq::TypedGroundedProbability(
+      embedding.query, embedding.domain_sizes);
+  std::printf("  Pr(C_3)        = %s\n", lhs.ToString().c_str());
+  std::printf("  Pr(Q embedded) = %s   %s\n", rhs.ToString().c_str(),
+              lhs == rhs ? "(equal, as Section 3.2 proves)" : "(MISMATCH)");
+  std::printf(
+      "\nHence a PTIME algorithm for the baggage query would yield PTIME\n"
+      "for C_3 — the paper's \"Ck-hard\" region of Figure 1.\n");
+  return 0;
+}

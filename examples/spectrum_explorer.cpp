@@ -1,0 +1,66 @@
+// Spectra and 0-1 laws (Sections 1 and 4): compute initial segments of
+// Spec(Φ) with the decision procedure, and watch µ_n(Φ) converge to 0 or
+// 1 exactly as Fagin's 0-1 law predicts — with exact rationals, no
+// floating point in the counting path.
+
+#include <iostream>
+
+#include "api/engine.h"
+#include "logic/printer.h"
+
+int main() {
+  using swfomc::api::Engine;
+
+  struct Entry {
+    const char* comment;
+    const char* text;
+  };
+
+  std::cout << "=== Spectra (initial segments, n = 1..8) ===\n";
+  Entry spectra[] = {
+      {"even sizes only (perfect matching)",
+       "(forall x exists y (M(x,y) & x != y))"
+       " & (forall x forall y (M(x,y) => M(y,x)))"
+       " & (forall x forall y forall z ((M(x,y) & M(x,z)) => y = z))"},
+      {"at least 3 elements",
+       "exists x exists y exists z (x != y & y != z & x != z)"},
+      {"every conjunctive query: all sizes", "exists x exists y R(x,y)"},
+  };
+  for (const Entry& entry : spectra) {
+    Engine engine{swfomc::logic::Vocabulary{}};
+    swfomc::logic::Formula f = engine.Parse(entry.text);
+    std::cout << entry.comment << ":\n  {";
+    bool first = true;
+    for (std::uint64_t n = 1; n <= 8; ++n) {
+      if (engine.HasModelOfSize(f, n)) {
+        std::cout << (first ? "" : ", ") << n;
+        first = false;
+      }
+    }
+    std::cout << ", ...}\n";
+  }
+
+  std::cout << "\n=== 0-1 laws: mu_n(Phi) ===\n";
+  Entry laws[] = {
+      {"forall x exists y R(x,y)   (mu -> 1)",
+       "forall x exists y R(x,y)"},
+      {"exists x forall y R(x,y)   (mu -> 0)",
+       "exists x forall y R(x,y)"},
+      {"exists x exists y (R(x,y) & !R(y,x))   (mu -> 1)",
+       "exists x exists y (R(x,y) & !R(y,x))"},
+  };
+  for (const Entry& entry : laws) {
+    Engine engine{swfomc::logic::Vocabulary{}};
+    swfomc::logic::Formula f = engine.Parse(entry.text);
+    std::cout << entry.comment << "\n   n:  mu_n\n";
+    for (std::uint64_t n : {1, 2, 4, 8, 16, 24}) {
+      std::cout << "  " << n << (n < 10 ? " " : "") << ":  "
+                << engine.Mu(f, n).ToDouble() << "\n";
+    }
+  }
+
+  std::cout << "\nNote: the paper proves (Theorem 3.1) that no closed form\n"
+               "for FOMC(Phi, n) exists in general (unless #P1 = PTIME) —\n"
+               "these curves are computed by lifted counting, not formulas.\n";
+  return 0;
+}

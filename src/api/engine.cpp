@@ -1,0 +1,207 @@
+#include "api/engine.h"
+
+#include <stdexcept>
+
+#include "cq/acyclicity.h"
+#include "cq/gamma_evaluator.h"
+#include "fo2/cell_algorithm.h"
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+#include "reductions/spectrum.h"
+
+namespace swfomc::api {
+
+namespace {
+
+using logic::Formula;
+using logic::FormulaKind;
+using numeric::BigRational;
+
+// Recognizes ∃x⃗ (R_1(..) & .. & R_k(..)) with distinct positive atoms over
+// variables only; returns the CQ or nullopt.
+std::optional<cq::ConjunctiveQuery> AsConjunctiveQuery(
+    const Formula& sentence, const logic::Vocabulary& vocabulary) {
+  Formula body = sentence;
+  while (body->kind() == FormulaKind::kExists) body = body->child();
+  std::vector<Formula> atoms;
+  if (body->kind() == FormulaKind::kAtom) {
+    atoms.push_back(body);
+  } else if (body->kind() == FormulaKind::kAnd) {
+    for (const Formula& child : body->children()) {
+      if (child->kind() != FormulaKind::kAtom) return std::nullopt;
+      atoms.push_back(child);
+    }
+  } else {
+    return std::nullopt;
+  }
+  cq::ConjunctiveQuery query;
+  for (const Formula& atom : atoms) {
+    std::vector<std::string> variables;
+    for (const logic::Term& term : atom->arguments()) {
+      if (!term.IsVariable()) return std::nullopt;
+      variables.push_back(term.name);
+    }
+    try {
+      query.AddAtom(vocabulary.name(atom->relation()), std::move(variables));
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;  // self-join
+    }
+  }
+  // All quantified variables must appear in atoms (and the sentence must
+  // be closed).
+  if (!logic::IsSentence(sentence)) return std::nullopt;
+  return query;
+}
+
+}  // namespace
+
+const char* ToString(Method method) {
+  switch (method) {
+    case Method::kAuto: return "auto";
+    case Method::kLiftedFO2: return "lifted-fo2";
+    case Method::kGammaAcyclic: return "gamma-acyclic";
+    case Method::kGrounded: return "grounded";
+  }
+  return "?";
+}
+
+Engine::Engine(logic::Vocabulary vocabulary)
+    : vocabulary_(std::move(vocabulary)) {}
+
+logic::Formula Engine::Parse(const std::string& text) {
+  return logic::Parse(text, &vocabulary_);
+}
+
+Method Engine::Route(const logic::Formula& sentence) const {
+  // γ-acyclic CQ path: needs probability conversion, so w + w̄ != 0.
+  if (auto query = AsConjunctiveQuery(sentence, vocabulary_)) {
+    bool weights_ok = true;
+    for (const auto& atom : query->atoms()) {
+      logic::RelationId id = vocabulary_.Require(atom.relation);
+      if ((vocabulary_.positive_weight(id) + vocabulary_.negative_weight(id))
+              .IsZero()) {
+        weights_ok = false;
+        break;
+      }
+    }
+    if (weights_ok && cq::IsGammaAcyclic(cq::BuildHypergraph(*query))) {
+      return Method::kGammaAcyclic;
+    }
+  }
+  if (logic::IsSentence(sentence) && logic::InFragmentFOk(sentence, 2) &&
+      vocabulary_.MaxArity() <= 2) {
+    // Constants also exclude the lifted path.
+    try {
+      // Routing must be cheap; rely on the same checks ToUniversalForm
+      // performs by scanning for constants here.
+      std::function<bool(const Formula&)> has_constant =
+          [&](const Formula& f) {
+            for (const logic::Term& t : f->arguments()) {
+              if (t.IsConstant()) return true;
+            }
+            for (const Formula& child : f->children()) {
+              if (has_constant(child)) return true;
+            }
+            return false;
+          };
+      if (!has_constant(sentence)) return Method::kLiftedFO2;
+    } catch (...) {
+    }
+  }
+  return Method::kGrounded;
+}
+
+Engine::Result Engine::WFOMC(const logic::Formula& sentence,
+                             std::uint64_t domain_size, Method method) {
+  if (method == Method::kAuto) method = Route(sentence);
+  Result result;
+  result.method = method;
+  switch (method) {
+    case Method::kLiftedFO2:
+      result.value = fo2::LiftedWFOMC(sentence, vocabulary_, domain_size);
+      return result;
+    case Method::kGammaAcyclic: {
+      auto query = AsConjunctiveQuery(sentence, vocabulary_);
+      if (!query.has_value()) {
+        throw std::invalid_argument(
+            "Engine::WFOMC: sentence is not a conjunctive query");
+      }
+      std::map<std::string, std::pair<BigRational, BigRational>> weights;
+      for (const auto& atom : query->atoms()) {
+        logic::RelationId id = vocabulary_.Require(atom.relation);
+        weights[atom.relation] = {vocabulary_.positive_weight(id),
+                                  vocabulary_.negative_weight(id)};
+      }
+      result.value = cq::GammaAcyclicWFOMC(*query, domain_size, weights);
+      return result;
+    }
+    case Method::kGrounded:
+      result.value =
+          grounding::GroundedWFOMC(sentence, vocabulary_, domain_size);
+      return result;
+    case Method::kAuto:
+      break;
+  }
+  throw std::logic_error("Engine::WFOMC: unreachable");
+}
+
+numeric::BigInt Engine::FOMC(const logic::Formula& sentence,
+                             std::uint64_t domain_size, Method method) {
+  logic::Vocabulary saved = vocabulary_;
+  for (logic::RelationId id = 0; id < vocabulary_.size(); ++id) {
+    vocabulary_.SetWeights(id, 1, 1);
+  }
+  numeric::BigInt count;
+  try {
+    count = WFOMC(sentence, domain_size, method).value.ToInteger();
+  } catch (...) {
+    vocabulary_ = std::move(saved);
+    throw;
+  }
+  vocabulary_ = std::move(saved);
+  return count;
+}
+
+numeric::BigRational Engine::Probability(const logic::Formula& sentence,
+                                         std::uint64_t domain_size,
+                                         Method method) {
+  BigRational numerator = WFOMC(sentence, domain_size, method).value;
+  BigRational normalizer(1);
+  for (logic::RelationId id = 0; id < vocabulary_.size(); ++id) {
+    std::uint64_t tuples = 1;
+    for (std::size_t i = 0; i < vocabulary_.arity(id); ++i) {
+      tuples *= domain_size;
+    }
+    BigRational total =
+        vocabulary_.positive_weight(id) + vocabulary_.negative_weight(id);
+    normalizer *= BigRational::Pow(total, static_cast<std::int64_t>(tuples));
+  }
+  if (normalizer.IsZero()) {
+    throw std::domain_error("Engine::Probability: zero normalizer");
+  }
+  return numerator / normalizer;
+}
+
+numeric::BigRational Engine::Mu(const logic::Formula& sentence,
+                                std::uint64_t domain_size) {
+  logic::Vocabulary saved = vocabulary_;
+  for (logic::RelationId id = 0; id < vocabulary_.size(); ++id) {
+    vocabulary_.SetWeights(id, 1, 1);
+  }
+  numeric::BigRational mu;
+  try {
+    mu = Probability(sentence, domain_size);
+  } catch (...) {
+    vocabulary_ = std::move(saved);
+    throw;
+  }
+  vocabulary_ = std::move(saved);
+  return mu;
+}
+
+bool Engine::HasModelOfSize(const logic::Formula& sentence,
+                            std::uint64_t domain_size) {
+  return reductions::HasModelOfSize(sentence, vocabulary_, domain_size);
+}
+
+}  // namespace swfomc::api

@@ -1,0 +1,79 @@
+#ifndef SWFOMC_API_ENGINE_H_
+#define SWFOMC_API_ENGINE_H_
+
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "numeric/bigint.h"
+#include "numeric/rational.h"
+
+namespace swfomc::api {
+
+/// Which algorithm answered a query.
+enum class Method {
+  kAuto,          // request: let the engine route
+  kLiftedFO2,     // Appendix C cell algorithm (PTIME data complexity)
+  kGammaAcyclic,  // Theorem 3.6 evaluator
+  kGrounded,      // lineage + Tseitin + DPLL counter (exponential)
+};
+
+const char* ToString(Method method);
+
+/// The library facade: one entry point for symmetric WFOMC over a weighted
+/// vocabulary. `Auto` routing sends
+///   * FO² sentences (arity <= 2, no constants) to the lifted cell
+///     algorithm,
+///   * existentially-quantified conjunctions of distinct positive atoms
+///     whose hypergraph is γ-acyclic to the Theorem 3.6 evaluator,
+///   * everything else to the grounded DPLL engine.
+/// Routing never changes the answer, only the complexity.
+class Engine {
+ public:
+  explicit Engine(logic::Vocabulary vocabulary);
+
+  const logic::Vocabulary& vocabulary() const { return vocabulary_; }
+  logic::Vocabulary* mutable_vocabulary() { return &vocabulary_; }
+
+  /// Parses a sentence against (and possibly extending) the vocabulary.
+  logic::Formula Parse(const std::string& text);
+
+  struct Result {
+    numeric::BigRational value;
+    Method method = Method::kGrounded;
+  };
+
+  /// Symmetric WFOMC(Φ, n, w, w̄).
+  Result WFOMC(const logic::Formula& sentence, std::uint64_t domain_size,
+               Method method = Method::kAuto);
+
+  /// FOMC(Φ, n): WFOMC with all weights forced to (1, 1).
+  numeric::BigInt FOMC(const logic::Formula& sentence,
+                       std::uint64_t domain_size,
+                       Method method = Method::kAuto);
+
+  /// Pr(Φ) under the symmetric tuple-independent distribution, i.e.
+  /// WFOMC(Φ) / WFOMC(true). Requires w + w̄ != 0 for every relation.
+  numeric::BigRational Probability(const logic::Formula& sentence,
+                                   std::uint64_t domain_size,
+                                   Method method = Method::kAuto);
+
+  /// The asymptotic fraction µ_n(Φ) of labeled structures satisfying Φ
+  /// (Section 1, "0-1 Laws"): Probability with weights (1, 1).
+  numeric::BigRational Mu(const logic::Formula& sentence,
+                          std::uint64_t domain_size);
+
+  /// Spectrum membership: does Φ have a model of size n?
+  bool HasModelOfSize(const logic::Formula& sentence,
+                      std::uint64_t domain_size);
+
+  /// The routing decision Auto would take (for inspection/testing).
+  Method Route(const logic::Formula& sentence) const;
+
+ private:
+  logic::Vocabulary vocabulary_;
+};
+
+}  // namespace swfomc::api
+
+#endif  // SWFOMC_API_ENGINE_H_

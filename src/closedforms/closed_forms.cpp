@@ -1,0 +1,77 @@
+#include "closedforms/closed_forms.h"
+
+#include "numeric/combinatorics.h"
+
+namespace swfomc::closedforms {
+
+using numeric::BigInt;
+using numeric::BigRational;
+
+numeric::BigInt ForallExistsFOMC(std::uint64_t n) {
+  return BigInt::Pow(BigInt::Pow(BigInt(2), n) - BigInt(1), n);
+}
+
+numeric::BigRational ForallExistsWFOMC(std::uint64_t n,
+                                       const numeric::BigRational& w,
+                                       const numeric::BigRational& w_bar) {
+  BigRational inner =
+      BigRational::Pow(w + w_bar, static_cast<std::int64_t>(n)) -
+      BigRational::Pow(w_bar, static_cast<std::int64_t>(n));
+  return BigRational::Pow(inner, static_cast<std::int64_t>(n));
+}
+
+numeric::BigInt ExistsFOMC(std::uint64_t n) {
+  return BigInt::Pow(BigInt(2), n) - BigInt(1);
+}
+
+numeric::BigRational ExistsWFOMC(std::uint64_t n,
+                                 const numeric::BigRational& w,
+                                 const numeric::BigRational& w_bar) {
+  return BigRational::Pow(w + w_bar, static_cast<std::int64_t>(n)) -
+         BigRational::Pow(w_bar, static_cast<std::int64_t>(n));
+}
+
+numeric::BigInt Table1FOMC(std::uint64_t n) {
+  BigInt total(0);
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    for (std::uint64_t m = 0; m <= n; ++m) {
+      total += numeric::Binomial(n, k) * numeric::Binomial(n, m) *
+               BigInt::Pow(BigInt(2), n * n - k * m);
+    }
+  }
+  return total;
+}
+
+numeric::BigRational Table1WFOMC(std::uint64_t n,
+                                 const numeric::BigRational& w_r,
+                                 const numeric::BigRational& wbar_r,
+                                 const numeric::BigRational& w_s,
+                                 const numeric::BigRational& wbar_s,
+                                 const numeric::BigRational& w_t,
+                                 const numeric::BigRational& wbar_t) {
+  BigRational total;
+  for (std::uint64_t k = 0; k <= n; ++k) {
+    for (std::uint64_t m = 0; m <= n; ++m) {
+      BigRational term(numeric::Binomial(n, k) * numeric::Binomial(n, m));
+      term *= BigRational::Pow(w_r, static_cast<std::int64_t>(n - k));
+      term *= BigRational::Pow(wbar_r, static_cast<std::int64_t>(k));
+      term *= BigRational::Pow(w_s, static_cast<std::int64_t>(k * m));
+      term *= BigRational::Pow(w_s + wbar_s,
+                               static_cast<std::int64_t>(n * n - k * m));
+      term *= BigRational::Pow(w_t, static_cast<std::int64_t>(n - m));
+      term *= BigRational::Pow(wbar_t, static_cast<std::int64_t>(m));
+      total += term;
+    }
+  }
+  return total;
+}
+
+numeric::BigInt ExistsConjFOMC(std::uint64_t n) {
+  return BigInt::Pow(BigInt(2), 2 * n + n * n) - Table1FOMC(n);
+}
+
+numeric::BigInt WorldCount(std::uint64_t tuple_count) {
+  return BigInt::Pow(BigInt(2), tuple_count);
+}
+
+}  // namespace swfomc::closedforms

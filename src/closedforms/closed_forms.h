@@ -1,0 +1,59 @@
+#ifndef SWFOMC_CLOSEDFORMS_CLOSED_FORMS_H_
+#define SWFOMC_CLOSEDFORMS_CLOSED_FORMS_H_
+
+#include <cstdint>
+
+#include "numeric/bigint.h"
+#include "numeric/rational.h"
+
+namespace swfomc::closedforms {
+
+/// Exact closed-form counting identities quoted in the paper, used as
+/// independent cross-checks of the lifted and grounded engines.
+
+/// FOMC(∀x∃y R(x,y), n) = (2^n - 1)^n  (Section 1).
+numeric::BigInt ForallExistsFOMC(std::uint64_t n);
+
+/// WFOMC(∀x∃y R(x,y), n, w, w̄) = ((w + w̄)^n - w̄^n)^n  (Section 2).
+numeric::BigRational ForallExistsWFOMC(std::uint64_t n,
+                                       const numeric::BigRational& w,
+                                       const numeric::BigRational& w_bar);
+
+/// FOMC(∃y S(y), n) = 2^n - 1.
+numeric::BigInt ExistsFOMC(std::uint64_t n);
+
+/// WFOMC(∃y S(y), n, w, w̄) = (w + w̄)^n - w̄^n  (Section 2).
+numeric::BigRational ExistsWFOMC(std::uint64_t n,
+                                 const numeric::BigRational& w,
+                                 const numeric::BigRational& w_bar);
+
+/// Table 1, row "Symmetric FOMC":
+/// FOMC(∀x∀y (R(x) ∨ S(x,y) ∨ T(y)), n) = Σ_{k,m} C(n,k) C(n,m) 2^{n²-km}.
+numeric::BigInt Table1FOMC(std::uint64_t n);
+
+/// Table 1, row "Symmetric WFOMC": Σ_{k,m} C(n,k) C(n,m) W_{k,m} with
+/// W_{k,m} = w_R^{n-k} w̄_R^k w_S^{km} (w_S+w̄_S)^{n²-km} w_T^{n-m} w̄_T^m.
+///
+/// NOTE on conventions: the paper's table counts k = |{x : ¬R(x)}| and
+/// m = |{y : ¬T(y)}| (the clause is only constrained where R(x) and T(y)
+/// are both false, and exactly the km tuples S(x,y) in that rectangle are
+/// forced true — contributing w_S^{km}).
+numeric::BigRational Table1WFOMC(std::uint64_t n,
+                                 const numeric::BigRational& w_r,
+                                 const numeric::BigRational& wbar_r,
+                                 const numeric::BigRational& w_s,
+                                 const numeric::BigRational& wbar_s,
+                                 const numeric::BigRational& w_t,
+                                 const numeric::BigRational& wbar_t);
+
+/// Section 1's #P-hard-asymmetric example Φ = ∃x∃y (R(x) ∧ S(x,y) ∧ T(y)):
+/// FOMC(Φ, n) = 2^{2n+n²} - Σ_{k,m} C(n,k) C(n,m) 2^{n²-km}
+/// (complement of Table 1's dual).
+numeric::BigInt ExistsConjFOMC(std::uint64_t n);
+
+/// µ_n(Φ) denominator: the number of labeled structures 2^{|Tup(n)|}.
+numeric::BigInt WorldCount(std::uint64_t tuple_count);
+
+}  // namespace swfomc::closedforms
+
+#endif  // SWFOMC_CLOSEDFORMS_CLOSED_FORMS_H_

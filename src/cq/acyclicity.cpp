@@ -1,0 +1,249 @@
+#include "cq/acyclicity.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace swfomc::cq {
+
+namespace {
+
+// Internal mutable representation: edges as sets of node ids.
+struct Reduced {
+  std::vector<std::set<int>> edges;
+
+  std::set<int> Nodes() const {
+    std::set<int> nodes;
+    for (const auto& e : edges) nodes.insert(e.begin(), e.end());
+    return nodes;
+  }
+
+  int EdgeCountOf(int node) const {
+    int count = 0;
+    for (const auto& e : edges) count += e.contains(node) ? 1 : 0;
+    return count;
+  }
+};
+
+Reduced ToReduced(const Hypergraph& graph) {
+  Reduced r;
+  std::map<std::string, int> ids;
+  for (const Hypergraph::Edge& edge : graph.edges()) {
+    std::set<int> e;
+    for (const std::string& node : edge.nodes) {
+      auto [it, inserted] = ids.emplace(node, static_cast<int>(ids.size()));
+      e.insert(it->second);
+    }
+    r.edges.push_back(std::move(e));
+  }
+  return r;
+}
+
+}  // namespace
+
+bool IsGammaAcyclic(const Hypergraph& graph) {
+  Reduced r = ToReduced(graph);
+  bool progress = true;
+  while (progress && !r.edges.empty()) {
+    progress = false;
+    // (c) empty edge.
+    for (std::size_t i = 0; i < r.edges.size(); ++i) {
+      if (r.edges[i].empty()) {
+        r.edges.erase(r.edges.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    // (b) singleton edge.
+    for (std::size_t i = 0; i < r.edges.size(); ++i) {
+      if (r.edges[i].size() == 1) {
+        r.edges.erase(r.edges.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    // (d) duplicate edges.
+    for (std::size_t i = 0; i < r.edges.size() && !progress; ++i) {
+      for (std::size_t j = i + 1; j < r.edges.size(); ++j) {
+        if (r.edges[i] == r.edges[j]) {
+          r.edges.erase(r.edges.begin() + static_cast<std::ptrdiff_t>(j));
+          progress = true;
+          break;
+        }
+      }
+    }
+    if (progress) continue;
+    // (a) isolated node (in exactly one edge).
+    for (int node : r.Nodes()) {
+      if (r.EdgeCountOf(node) == 1) {
+        for (auto& e : r.edges) e.erase(node);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    // (e) edge-equivalent nodes.
+    std::set<int> nodes = r.Nodes();
+    for (auto it = nodes.begin(); it != nodes.end() && !progress; ++it) {
+      for (auto jt = std::next(it); jt != nodes.end(); ++jt) {
+        bool equivalent = true;
+        for (const auto& e : r.edges) {
+          if (e.contains(*it) != e.contains(*jt)) {
+            equivalent = false;
+            break;
+          }
+        }
+        if (equivalent) {
+          for (auto& e : r.edges) e.erase(*jt);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return r.edges.empty();
+}
+
+bool IsAlphaAcyclic(const Hypergraph& graph) {
+  Reduced r = ToReduced(graph);
+  bool progress = true;
+  while (progress && !r.edges.empty()) {
+    progress = false;
+    // Remove nodes occurring in exactly one edge.
+    for (int node : r.Nodes()) {
+      if (r.EdgeCountOf(node) == 1) {
+        for (auto& e : r.edges) e.erase(node);
+        progress = true;
+      }
+    }
+    // Remove edges contained in another edge (including duplicates and
+    // empty edges).
+    for (std::size_t i = 0; i < r.edges.size(); ++i) {
+      bool contained = r.edges[i].empty() && r.edges.size() > 1;
+      for (std::size_t j = 0; j < r.edges.size() && !contained; ++j) {
+        if (i == j) continue;
+        contained = std::includes(r.edges[j].begin(), r.edges[j].end(),
+                                  r.edges[i].begin(), r.edges[i].end()) &&
+                    !(r.edges[i] == r.edges[j] && i > j);
+      }
+      if (contained) {
+        r.edges.erase(r.edges.begin() + static_cast<std::ptrdiff_t>(i));
+        progress = true;
+        break;
+      }
+    }
+    if (r.edges.size() == 1) return true;
+  }
+  return r.edges.size() <= 1;
+}
+
+std::optional<WeakBetaCycle> FindWeakBetaCycle(const Hypergraph& graph) {
+  const auto& edges = graph.edges();
+  std::size_t m = edges.size();
+  const std::set<std::string> node_set = graph.Nodes();
+  std::vector<std::string> nodes(node_set.begin(), node_set.end());
+
+  // Backtracking over edge sequences R_1..R_k and nodes x_1..x_k. Sizes
+  // are tiny (queries have a handful of atoms), so exhaustive search is
+  // appropriate.
+  std::vector<std::size_t> edge_seq;
+  std::vector<std::string> node_seq;
+  std::vector<bool> edge_used(m, false);
+
+  // Checks x is in edges a and b of the current cycle candidate and in no
+  // other already-chosen edge.
+  auto node_ok = [&](const std::string& x, std::size_t a, std::size_t b,
+                     const std::vector<std::size_t>& chosen) {
+    if (!edges[a].nodes.contains(x) || !edges[b].nodes.contains(x)) {
+      return false;
+    }
+    for (std::size_t e : chosen) {
+      if (e != a && e != b && edges[e].nodes.contains(x)) return false;
+    }
+    return true;
+  };
+
+  std::optional<WeakBetaCycle> found;
+  // Recursive extension: we have edges R_1..R_t and nodes x_1..x_{t-1}.
+  std::function<bool(std::size_t)> extend = [&](std::size_t k) -> bool {
+    std::size_t t = edge_seq.size();
+    if (t == k) {
+      // Close the cycle: need x_k in R_k and R_1, not elsewhere; and all
+      // intermediate node constraints must be re-checked against the full
+      // edge set (they were checked incrementally against chosen edges).
+      for (const std::string& x : nodes) {
+        if (std::find(node_seq.begin(), node_seq.end(), x) != node_seq.end()) {
+          continue;
+        }
+        if (!node_ok(x, edge_seq[k - 1], edge_seq[0], edge_seq)) continue;
+        node_seq.push_back(x);
+        // Full validation of every node against every cycle edge.
+        bool valid = true;
+        for (std::size_t i = 0; i < k && valid; ++i) {
+          std::size_t a = edge_seq[i];
+          std::size_t b = edge_seq[(i + 1) % k];
+          valid = node_ok(node_seq[i], a, b, edge_seq);
+        }
+        if (valid) {
+          found = WeakBetaCycle{edge_seq, node_seq};
+          return true;
+        }
+        node_seq.pop_back();
+      }
+      return false;
+    }
+    for (std::size_t e = 0; e < m; ++e) {
+      if (edge_used[e]) continue;
+      // Need a connecting node x_{t} between edge_seq[t-1] and e... choose
+      // edge first, node after.
+      edge_used[e] = true;
+      edge_seq.push_back(e);
+      if (t == 0) {
+        if (extend(k)) return true;
+      } else {
+        for (const std::string& x : nodes) {
+          if (std::find(node_seq.begin(), node_seq.end(), x) !=
+              node_seq.end()) {
+            continue;
+          }
+          if (!node_ok(x, edge_seq[t - 1], e, edge_seq)) continue;
+          node_seq.push_back(x);
+          if (extend(k)) return true;
+          node_seq.pop_back();
+        }
+      }
+      edge_seq.pop_back();
+      edge_used[e] = false;
+    }
+    return false;
+  };
+
+  for (std::size_t k = 3; k <= m; ++k) {
+    edge_seq.clear();
+    node_seq.clear();
+    std::fill(edge_used.begin(), edge_used.end(), false);
+    if (extend(k)) return found;
+  }
+  return std::nullopt;
+}
+
+AcyclicityClass Classify(const Hypergraph& graph) {
+  if (IsGammaAcyclic(graph)) return AcyclicityClass::kGammaAcyclic;
+  if (IsBetaAcyclic(graph)) return AcyclicityClass::kBetaAcyclic;
+  if (IsAlphaAcyclic(graph)) return AcyclicityClass::kAlphaAcyclic;
+  return AcyclicityClass::kCyclic;
+}
+
+const char* ToString(AcyclicityClass value) {
+  switch (value) {
+    case AcyclicityClass::kGammaAcyclic: return "gamma-acyclic";
+    case AcyclicityClass::kBetaAcyclic: return "beta-acyclic";
+    case AcyclicityClass::kAlphaAcyclic: return "alpha-acyclic";
+    case AcyclicityClass::kCyclic: return "cyclic";
+  }
+  return "?";
+}
+
+}  // namespace swfomc::cq

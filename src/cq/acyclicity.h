@@ -1,0 +1,54 @@
+#ifndef SWFOMC_CQ_ACYCLICITY_H_
+#define SWFOMC_CQ_ACYCLICITY_H_
+
+#include <optional>
+
+#include "cq/hypergraph.h"
+
+namespace swfomc::cq {
+
+/// γ-acyclicity per Fagin's reduction characterization (used verbatim in
+/// the proof of Theorem 3.6): the hypergraph is γ-acyclic iff it reduces
+/// to the empty hypergraph under, in any order,
+///   (a) deleting a node that belongs to exactly one edge,
+///   (b) deleting an edge with exactly one node,
+///   (c) deleting an empty edge,
+///   (d) deleting one of two edges with identical node sets,
+///   (e) merging two edge-equivalent nodes (nodes in exactly the same
+///       edges).
+bool IsGammaAcyclic(const Hypergraph& graph);
+
+/// α-acyclicity via GYO reduction: repeatedly delete nodes occurring in a
+/// single edge and edges contained in other edges; α-acyclic iff the
+/// hypergraph empties. Every γ-acyclic hypergraph is α-acyclic, not
+/// conversely (Figure 1's containments).
+bool IsAlphaAcyclic(const Hypergraph& graph);
+
+/// A weak β-cycle (Fagin): a sequence R_1 x_1 R_2 x_2 ... x_{k-1} R_k x_k
+/// R_{k+1} = R_1 with k >= 3, all x_i and R_i distinct, where each x_i
+/// occurs in R_i and R_{i+1} and in no other edge of the cycle. β-acyclic
+/// = no weak β-cycle. Section 3.2 reduces WFOMC of the typed cycle C_k to
+/// any query containing a weak β-cycle of length k.
+struct WeakBetaCycle {
+  std::vector<std::size_t> edges;      // R_1 .. R_k (indices)
+  std::vector<std::string> nodes;      // x_1 .. x_k
+};
+std::optional<WeakBetaCycle> FindWeakBetaCycle(const Hypergraph& graph);
+
+inline bool IsBetaAcyclic(const Hypergraph& graph) {
+  return !FindWeakBetaCycle(graph).has_value();
+}
+
+/// The Figure 1 taxonomy label of a query's hypergraph.
+enum class AcyclicityClass {
+  kGammaAcyclic,   // PTIME by Theorem 3.6
+  kBetaAcyclic,    // open (paper: possibly the tractability frontier)
+  kAlphaAcyclic,   // as hard as general CQs w/o self-joins
+  kCyclic,         // contains C_k-style structure
+};
+AcyclicityClass Classify(const Hypergraph& graph);
+const char* ToString(AcyclicityClass value);
+
+}  // namespace swfomc::cq
+
+#endif  // SWFOMC_CQ_ACYCLICITY_H_

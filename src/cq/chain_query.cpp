@@ -1,0 +1,87 @@
+#include "cq/chain_query.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "numeric/combinatorics.h"
+
+namespace swfomc::cq {
+
+namespace {
+
+using numeric::BigRational;
+
+BigRational Pow(const BigRational& base, std::uint64_t exponent) {
+  return BigRational::Pow(base, static_cast<std::int64_t>(exponent));
+}
+
+}  // namespace
+
+ChainQuery::ChainQuery(std::vector<BigRational> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  if (probabilities_.empty()) {
+    throw std::invalid_argument("ChainQuery: need at least one relation");
+  }
+}
+
+BigRational ChainQuery::Recurse(std::size_t m,
+                                const std::vector<std::uint64_t>& domains,
+                                std::uint64_t last_domain) {
+  // Pr of the length-m prefix chain where x_m's domain is [last_domain]
+  // and x_0..x_{m-1} keep domains[0..m-1].
+  if (m == 0) {
+    return domains[0] >= 1 ? BigRational(1) : BigRational(0);
+  }
+  auto key = std::make_pair(m, last_domain);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  const BigRational& p = probabilities_[m - 1];
+  // Rule (a): x_m is isolated; R_m becomes unary with probability
+  // q = 1 - (1-p)^{n_m}.
+  BigRational q = BigRational(1) - Pow(BigRational(1) - p, last_domain);
+  // Rule (b): condition on k = |R_m| among x_{m-1}'s n domain elements.
+  std::uint64_t n = domains[m - 1];
+  BigRational result(0);
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    BigRational term(numeric::Binomial(n, k));
+    term *= Pow(q, k);
+    term *= Pow(BigRational(1) - q, n - k);
+    term *= Recurse(m - 1, domains, k);
+    result += term;
+  }
+  memo_.emplace(key, result);
+  return result;
+}
+
+BigRational ChainQuery::Probability(
+    const std::vector<std::uint64_t>& domain_sizes) {
+  if (domain_sizes.size() != length() + 1) {
+    throw std::invalid_argument(
+        "ChainQuery: need " + std::to_string(length() + 1) +
+        " domain sizes (one per variable)");
+  }
+  for (std::uint64_t n : domain_sizes) {
+    if (n == 0) return BigRational(0);
+  }
+  memo_.clear();
+  return Recurse(length(), domain_sizes, domain_sizes.back());
+}
+
+BigRational ChainQuery::Probability(std::uint64_t domain_size) {
+  return Probability(
+      std::vector<std::uint64_t>(length() + 1, domain_size));
+}
+
+ConjunctiveQuery ChainQuery::ToConjunctiveQuery() const {
+  ConjunctiveQuery query;
+  for (std::size_t i = 1; i <= length(); ++i) {
+    std::string relation = "R" + std::to_string(i);
+    query.AddAtom(relation, {"x" + std::to_string(i - 1),
+                             "x" + std::to_string(i)});
+    query.SetProbability(relation, probabilities_[i - 1]);
+  }
+  return query;
+}
+
+}  // namespace swfomc::cq

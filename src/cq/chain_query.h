@@ -1,0 +1,59 @@
+#ifndef SWFOMC_CQ_CHAIN_QUERY_H_
+#define SWFOMC_CQ_CHAIN_QUERY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+#include "numeric/rational.h"
+
+namespace swfomc::cq {
+
+/// Example 3.10: the linear chain query
+///
+///   Q = ∃x0 ∃x1 ... ∃xm  R1(x0,x1) ∧ R2(x1,x2) ∧ ... ∧ Rm(x(m-1),xm)
+///
+/// evaluated by the paper's explicit recurrence (the specialization of
+/// the Theorem 3.6 rules (a) and (b) to chains): eliminate the isolated
+/// tail variable x_m, turning R_m into a unary relation of probability
+/// q_m = 1 - (1 - p_m)^{n_m}, then condition on the number k of elements
+/// in x_{m-1}'s domain carrying that unary relation:
+///
+///   P(n_0..n_m) = Σ_{k=1..n_{m-1}} C(n_{m-1}, k) q_m^k (1-q_m)^{n_{m-1}-k}
+///                 · P(n_0..n_{m-2}, k)
+///
+/// with P(n_0) = 1 for n_0 >= 1. Memoized on (chain position, restricted
+/// domain size); polynomial in max n_i for fixed m, exactly as the paper
+/// observes ("not ... polynomial in both n and m").
+class ChainQuery {
+ public:
+  /// A chain of m relations with the given tuple probabilities.
+  explicit ChainQuery(std::vector<numeric::BigRational> probabilities);
+
+  std::size_t length() const { return probabilities_.size(); }
+
+  /// Pr(Q) with per-variable domain sizes n_0..n_m (m+1 values).
+  numeric::BigRational Probability(
+      const std::vector<std::uint64_t>& domain_sizes);
+
+  /// Standard semantics: all variables range over [n].
+  numeric::BigRational Probability(std::uint64_t domain_size);
+
+  /// The same chain as a generic ConjunctiveQuery (for cross-checking
+  /// against the Theorem 3.6 evaluator and typed grounding).
+  ConjunctiveQuery ToConjunctiveQuery() const;
+
+ private:
+  numeric::BigRational Recurse(std::size_t m,
+                               const std::vector<std::uint64_t>& domains,
+                               std::uint64_t last_domain);
+
+  std::vector<numeric::BigRational> probabilities_;
+  std::map<std::pair<std::size_t, std::uint64_t>, numeric::BigRational>
+      memo_;
+};
+
+}  // namespace swfomc::cq
+
+#endif  // SWFOMC_CQ_CHAIN_QUERY_H_

@@ -1,0 +1,148 @@
+#include "cq/conjunctive_query.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace swfomc::cq {
+
+namespace {
+const numeric::BigRational kHalf = numeric::BigRational::Fraction(1, 2);
+}  // namespace
+
+void ConjunctiveQuery::AddAtom(const std::string& relation,
+                               std::vector<std::string> variables) {
+  for (const QueryAtom& atom : atoms_) {
+    if (atom.relation == relation) {
+      throw std::invalid_argument(
+          "ConjunctiveQuery: self-join on relation " + relation);
+    }
+  }
+  atoms_.push_back(QueryAtom{relation, std::move(variables)});
+}
+
+void ConjunctiveQuery::SetProbability(const std::string& relation,
+                                      numeric::BigRational probability) {
+  probabilities_[relation] = std::move(probability);
+}
+
+const numeric::BigRational& ConjunctiveQuery::probability(
+    const std::string& relation) const {
+  auto it = probabilities_.find(relation);
+  if (it != probabilities_.end()) return it->second;
+  return kHalf;
+}
+
+std::vector<std::string> ConjunctiveQuery::Variables() const {
+  std::vector<std::string> result;
+  for (const QueryAtom& atom : atoms_) {
+    for (const std::string& v : atom.variables) {
+      bool seen = false;
+      for (const std::string& existing : result) {
+        if (existing == v) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) result.push_back(v);
+    }
+  }
+  return result;
+}
+
+ConjunctiveQuery ConjunctiveQuery::FromString(const std::string& text) {
+  ConjunctiveQuery query;
+  std::size_t i = 0;
+  auto skip_space = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  auto read_name = [&]() -> std::string {
+    skip_space();
+    std::size_t start = i;
+    while (i < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[i])) ||
+            text[i] == '_' || text[i] == '\'')) {
+      ++i;
+    }
+    if (start == i) {
+      throw std::invalid_argument("ConjunctiveQuery: expected a name at " +
+                                  std::to_string(i) + " in " + text);
+    }
+    return text.substr(start, i - start);
+  };
+  for (;;) {
+    std::string relation = read_name();
+    std::vector<std::string> variables;
+    skip_space();
+    if (i < text.size() && text[i] == '(') {
+      ++i;
+      skip_space();
+      if (i < text.size() && text[i] == ')') {
+        ++i;  // 0-ary atom R()
+      } else {
+        for (;;) {
+          variables.push_back(read_name());
+          skip_space();
+          if (i < text.size() && text[i] == ',') {
+            ++i;
+            continue;
+          }
+          if (i < text.size() && text[i] == ')') {
+            ++i;
+            break;
+          }
+          throw std::invalid_argument(
+              "ConjunctiveQuery: expected ',' or ')' in " + text);
+        }
+      }
+    }
+    query.AddAtom(relation, std::move(variables));
+    skip_space();
+    if (i >= text.size()) break;
+    if (text[i] != ',') {
+      throw std::invalid_argument("ConjunctiveQuery: expected ',' in " +
+                                  text);
+    }
+    ++i;
+  }
+  return query;
+}
+
+ConjunctiveQuery::AsSentence ConjunctiveQuery::ToSentence() const {
+  AsSentence result;
+  std::vector<logic::Formula> conjuncts;
+  for (const QueryAtom& atom : atoms_) {
+    const numeric::BigRational& p = probability(atom.relation);
+    logic::RelationId id = result.vocabulary.AddRelation(
+        atom.relation, atom.variables.size(), p,
+        numeric::BigRational(1) - p);
+    std::vector<logic::Term> args;
+    args.reserve(atom.variables.size());
+    for (const std::string& v : atom.variables) {
+      args.push_back(logic::Term::Var(v));
+    }
+    conjuncts.push_back(logic::Atom(id, std::move(args)));
+  }
+  logic::Formula body = logic::And(std::move(conjuncts));
+  result.sentence = logic::Exists(Variables(), std::move(body));
+  return result;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atoms_[i].relation;
+    out += "(";
+    for (std::size_t j = 0; j < atoms_[i].variables.size(); ++j) {
+      if (j > 0) out += ",";
+      out += atoms_[i].variables[j];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace swfomc::cq

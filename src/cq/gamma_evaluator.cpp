@@ -1,0 +1,296 @@
+#include "cq/gamma_evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "numeric/combinatorics.h"
+
+namespace swfomc::cq {
+
+namespace {
+
+using numeric::BigInt;
+using numeric::BigRational;
+
+constexpr std::uint64_t kMaxConditioningDomain = 1u << 20;
+
+// Raised-to-BigInt power with a sanity bound (exponents are domain sizes,
+// polynomial in n).
+BigRational PowBig(const BigRational& base, const BigInt& exponent) {
+  if (exponent.IsNegative()) {
+    throw std::domain_error("GammaEvaluator: negative exponent");
+  }
+  if (!exponent.FitsInt64()) {
+    throw std::invalid_argument("GammaEvaluator: exponent too large");
+  }
+  return BigRational::Pow(base, exponent.ToInt64());
+}
+
+struct StateAtom {
+  std::set<int> vars;
+  BigRational probability;
+};
+
+struct State {
+  std::vector<StateAtom> atoms;
+  std::map<int, BigInt> domains;  // every var occurring in atoms
+
+  std::string Key() const {
+    // Canonical form: atoms sorted by (vars, probability).
+    std::vector<std::string> parts;
+    parts.reserve(atoms.size());
+    for (const StateAtom& atom : atoms) {
+      std::string s = "[";
+      for (int v : atom.vars) s += std::to_string(v) + ",";
+      s += "]" + atom.probability.ToString();
+      parts.push_back(std::move(s));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string key;
+    for (const std::string& p : parts) key += p + ";";
+    key += "|";
+    for (const auto& [v, n] : domains) {
+      key += std::to_string(v) + "=" + n.ToString() + ",";
+    }
+    return key;
+  }
+
+  // Keeps `domains` restricted to variables that still occur.
+  void PruneDomains() {
+    std::set<int> active;
+    for (const StateAtom& atom : atoms) {
+      active.insert(atom.vars.begin(), atom.vars.end());
+    }
+    for (auto it = domains.begin(); it != domains.end();) {
+      if (!active.contains(it->first)) {
+        it = domains.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+class Solver {
+ public:
+  explicit Solver(GammaEvaluator::Stats* stats,
+                  std::map<std::string, BigRational>* memo)
+      : stats_(stats), memo_(memo) {}
+
+  BigRational Solve(State state) {
+    // ∃x over an empty range is false.
+    for (const auto& [v, n] : state.domains) {
+      if (n.IsZero()) return BigRational(0);
+    }
+    if (state.atoms.empty()) return BigRational(1);
+    std::string key = state.Key();
+    auto it = memo_->find(key);
+    if (it != memo_->end()) {
+      ++stats_->memo_hits;
+      return it->second;
+    }
+    BigRational result = SolveUncached(std::move(state));
+    memo_->emplace(std::move(key), result);
+    stats_->memo_entries = memo_->size();
+    return result;
+  }
+
+ private:
+  BigRational SolveUncached(State state) {
+    BigRational factor(1);
+    // Apply the non-branching rules (a), (c), (d), (e) to a fixed point.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      // (c) empty atom R(): the conjunct requires the 0-ary tuple present.
+      for (std::size_t i = 0; i < state.atoms.size(); ++i) {
+        if (state.atoms[i].vars.empty()) {
+          factor *= state.atoms[i].probability;
+          state.atoms.erase(state.atoms.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+          ++stats_->rule_applications;
+          progress = true;
+          break;
+        }
+      }
+      if (progress) continue;
+      // (d) identical variable sets: independent conjuncts over the same
+      // groundings merge multiplicatively.
+      for (std::size_t i = 0; i < state.atoms.size() && !progress; ++i) {
+        for (std::size_t j = i + 1; j < state.atoms.size(); ++j) {
+          if (state.atoms[i].vars == state.atoms[j].vars) {
+            state.atoms[i].probability *= state.atoms[j].probability;
+            state.atoms.erase(state.atoms.begin() +
+                              static_cast<std::ptrdiff_t>(j));
+            ++stats_->rule_applications;
+            progress = true;
+            break;
+          }
+        }
+      }
+      if (progress) continue;
+      // (a) isolated variable: occurs in exactly one atom.
+      for (const auto& [v, n] : state.domains) {
+        int occurrences = 0;
+        std::size_t home = 0;
+        for (std::size_t i = 0; i < state.atoms.size(); ++i) {
+          if (state.atoms[i].vars.contains(v)) {
+            ++occurrences;
+            home = i;
+          }
+        }
+        if (occurrences == 1) {
+          // ∃x∈[n_x]: at least one of the n_x independent tuples present.
+          StateAtom& atom = state.atoms[home];
+          atom.probability =
+              BigRational(1) -
+              PowBig(BigRational(1) - atom.probability, n);
+          atom.vars.erase(v);
+          ++stats_->rule_applications;
+          progress = true;
+          break;
+        }
+      }
+      if (progress) {
+        state.PruneDomains();
+        continue;
+      }
+      // (e) edge-equivalent variables.
+      std::vector<int> vars;
+      for (const auto& [v, n] : state.domains) vars.push_back(v);
+      for (std::size_t i = 0; i < vars.size() && !progress; ++i) {
+        for (std::size_t j = i + 1; j < vars.size(); ++j) {
+          bool equivalent = true;
+          for (const StateAtom& atom : state.atoms) {
+            if (atom.vars.contains(vars[i]) != atom.vars.contains(vars[j])) {
+              equivalent = false;
+              break;
+            }
+          }
+          if (equivalent) {
+            for (StateAtom& atom : state.atoms) atom.vars.erase(vars[j]);
+            state.domains[vars[i]] *= state.domains[vars[j]];
+            state.domains.erase(vars[j]);
+            ++stats_->rule_applications;
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+
+    if (state.atoms.empty()) return factor;
+
+    // (b) singleton atom R(x): condition on k = |R| (recursion + memo).
+    for (std::size_t i = 0; i < state.atoms.size(); ++i) {
+      if (state.atoms[i].vars.size() != 1) continue;
+      int x = *state.atoms[i].vars.begin();
+      BigRational p = state.atoms[i].probability;
+      const BigInt& nx_big = state.domains.at(x);
+      if (!nx_big.FitsInt64() ||
+          nx_big.ToInt64() > static_cast<std::int64_t>(
+                                 kMaxConditioningDomain)) {
+        throw std::invalid_argument(
+            "GammaEvaluator: conditioning domain too large");
+      }
+      std::uint64_t nx = static_cast<std::uint64_t>(nx_big.ToInt64());
+      State residual = state;
+      residual.atoms.erase(residual.atoms.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      ++stats_->rule_applications;
+      BigRational sum;
+      for (std::uint64_t k = 0; k <= nx; ++k) {
+        BigRational coefficient(numeric::Binomial(nx, k));
+        coefficient *= BigRational::Pow(p, static_cast<std::int64_t>(k));
+        coefficient *= BigRational::Pow(
+            BigRational(1) - p, static_cast<std::int64_t>(nx - k));
+        if (coefficient.IsZero()) continue;
+        State sub = residual;
+        sub.domains[x] = BigInt::FromUnsigned(k);
+        sum += coefficient * Solve(std::move(sub));
+      }
+      return factor * sum;
+    }
+
+    throw std::invalid_argument(
+        "GammaEvaluator: reduction got stuck — the query is not "
+        "gamma-acyclic");
+  }
+
+  GammaEvaluator::Stats* stats_;
+  std::map<std::string, BigRational>* memo_;
+};
+
+}  // namespace
+
+numeric::BigRational GammaEvaluator::Probability(
+    const ConjunctiveQuery& query,
+    const std::map<std::string, numeric::BigInt>& domain_sizes) {
+  State state;
+  std::map<std::string, int> ids;
+  for (const ConjunctiveQuery::QueryAtom& atom : query.atoms()) {
+    StateAtom sa;
+    sa.probability = query.probability(atom.relation);
+    for (const std::string& v : atom.variables) {
+      auto [it, inserted] = ids.emplace(v, static_cast<int>(ids.size()));
+      sa.vars.insert(it->second);
+      auto domain = domain_sizes.find(v);
+      if (domain == domain_sizes.end()) {
+        throw std::invalid_argument(
+            "GammaEvaluator: missing domain size for variable " + v);
+      }
+      state.domains[it->second] = domain->second;
+    }
+    state.atoms.push_back(std::move(sa));
+  }
+  Solver solver(&stats_, &memo_);
+  return solver.Solve(std::move(state));
+}
+
+numeric::BigRational GammaEvaluator::Probability(
+    const ConjunctiveQuery& query, std::uint64_t domain_size) {
+  std::map<std::string, numeric::BigInt> domains;
+  for (const std::string& v : query.Variables()) {
+    domains[v] = numeric::BigInt::FromUnsigned(domain_size);
+  }
+  return Probability(query, domains);
+}
+
+numeric::BigRational GammaAcyclicProbability(const ConjunctiveQuery& query,
+                                             std::uint64_t domain_size) {
+  GammaEvaluator evaluator;
+  return evaluator.Probability(query, domain_size);
+}
+
+numeric::BigRational GammaAcyclicWFOMC(
+    const ConjunctiveQuery& query, std::uint64_t domain_size,
+    const std::map<std::string,
+                   std::pair<numeric::BigRational, numeric::BigRational>>&
+        weights) {
+  ConjunctiveQuery probabilistic = query;
+  BigRational normalizer(1);
+  for (const ConjunctiveQuery::QueryAtom& atom : query.atoms()) {
+    auto it = weights.find(atom.relation);
+    if (it == weights.end()) {
+      throw std::invalid_argument("GammaAcyclicWFOMC: missing weights for " +
+                                  atom.relation);
+    }
+    const auto& [w, w_bar] = it->second;
+    BigRational total = w + w_bar;
+    if (total.IsZero()) {
+      throw std::domain_error(
+          "GammaAcyclicWFOMC: w + w̄ = 0 for " + atom.relation +
+          " (probability conversion undefined)");
+    }
+    probabilistic.SetProbability(atom.relation, w / total);
+    std::uint64_t tuples = 1;
+    for (std::size_t i = 0; i < atom.variables.size(); ++i) {
+      tuples *= domain_size;
+    }
+    normalizer *= BigRational::Pow(total, static_cast<std::int64_t>(tuples));
+  }
+  return GammaAcyclicProbability(probabilistic, domain_size) * normalizer;
+}
+
+}  // namespace swfomc::cq

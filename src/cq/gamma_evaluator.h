@@ -1,0 +1,68 @@
+#ifndef SWFOMC_CQ_GAMMA_EVALUATOR_H_
+#define SWFOMC_CQ_GAMMA_EVALUATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cq/conjunctive_query.h"
+#include "numeric/bigint.h"
+#include "numeric/rational.h"
+
+namespace swfomc::cq {
+
+/// Theorem 3.6: Pr(Q) for a γ-acyclic conjunctive query without
+/// self-joins, in time polynomial in the domain sizes. Implements the
+/// paper's five reduction rules literally, in the generalized semantics
+/// where each variable x_i ranges over its own domain [n_i]:
+///
+///   (a) isolated node x in atom R: delete x; p_R' = 1 - (1-p_R)^{n_x};
+///   (b) singleton atom R(x): Pr = Σ_k C(n_x,k) p^k (1-p)^{n_x-k} p_k,
+///       where p_k is the residual query with x restricted to [k]
+///       (memoized — the recursion is what makes rule (b) polynomial);
+///   (c) empty atom R(): multiply the residual by p_R;
+///   (d) two atoms over the same variable set: merge, p' = p_R p_S;
+///   (e) edge-equivalent variables x, y: merge into z, n_z = n_x * n_y.
+///
+/// Throws std::invalid_argument when the query is not γ-acyclic (the rules
+/// get stuck) — check IsGammaAcyclic first.
+class GammaEvaluator {
+ public:
+  struct Stats {
+    std::uint64_t rule_applications = 0;
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_entries = 0;
+  };
+
+  /// Pr(Q) with per-variable domain sizes.
+  numeric::BigRational Probability(
+      const ConjunctiveQuery& query,
+      const std::map<std::string, numeric::BigInt>& domain_sizes);
+
+  /// Standard semantics: every variable ranges over [n].
+  numeric::BigRational Probability(const ConjunctiveQuery& query,
+                                   std::uint64_t domain_size);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Stats stats_;
+  std::map<std::string, numeric::BigRational> memo_;
+};
+
+/// One-shot convenience (standard semantics).
+numeric::BigRational GammaAcyclicProbability(const ConjunctiveQuery& query,
+                                             std::uint64_t domain_size);
+
+/// Symmetric WFOMC of a γ-acyclic CQ from per-relation weights: converts
+/// weights to probabilities p = w/(w+w̄), evaluates Pr(Q), and multiplies
+/// by WFOMC(true) = Π (w+w̄)^{#tuples}. Requires w + w̄ != 0 per relation.
+numeric::BigRational GammaAcyclicWFOMC(
+    const ConjunctiveQuery& query, std::uint64_t domain_size,
+    const std::map<std::string,
+                   std::pair<numeric::BigRational, numeric::BigRational>>&
+        weights);
+
+}  // namespace swfomc::cq
+
+#endif  // SWFOMC_CQ_GAMMA_EVALUATOR_H_

@@ -1,0 +1,52 @@
+#include "cq/hypergraph.h"
+
+namespace swfomc::cq {
+
+void Hypergraph::AddEdge(std::string name, std::set<std::string> nodes) {
+  edges_.push_back(Edge{std::move(name), std::move(nodes)});
+}
+
+std::set<std::string> Hypergraph::Nodes() const {
+  std::set<std::string> nodes;
+  for (const Edge& edge : edges_) {
+    nodes.insert(edge.nodes.begin(), edge.nodes.end());
+  }
+  return nodes;
+}
+
+std::vector<std::size_t> Hypergraph::EdgesContaining(
+    const std::string& node) const {
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].nodes.contains(node)) result.push_back(i);
+  }
+  return result;
+}
+
+std::string Hypergraph::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += edges_[i].name + ":{";
+    bool first = true;
+    for (const std::string& node : edges_[i].nodes) {
+      if (!first) out += ",";
+      out += node;
+      first = false;
+    }
+    out += "}";
+  }
+  return out + "}";
+}
+
+Hypergraph BuildHypergraph(const ConjunctiveQuery& query) {
+  Hypergraph graph;
+  for (const ConjunctiveQuery::QueryAtom& atom : query.atoms()) {
+    graph.AddEdge(atom.relation, std::set<std::string>(
+                                     atom.variables.begin(),
+                                     atom.variables.end()));
+  }
+  return graph;
+}
+
+}  // namespace swfomc::cq

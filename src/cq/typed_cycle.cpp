@@ -1,0 +1,222 @@
+#include "cq/typed_cycle.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "prop/prop_formula.h"
+#include "prop/tseitin.h"
+#include "wmc/dpll_counter.h"
+#include "wmc/weights.h"
+
+namespace swfomc::cq {
+
+namespace {
+
+using numeric::BigRational;
+
+// Typed tuple-variable index: lazily assigns a propositional variable to
+// each accessed ground tuple R(a_1..a_m). Tuples never accessed by any
+// assignment are unconstrained and marginalize to a factor of 1 in
+// probability semantics, so they need no variable at all.
+class TypedTupleIndex {
+ public:
+  prop::VarId VariableFor(const std::string& relation,
+                          const std::vector<std::uint64_t>& constants) {
+    std::string key = relation;
+    for (std::uint64_t c : constants) {
+      key += ',';
+      key += std::to_string(c);
+    }
+    auto [it, inserted] = ids_.emplace(std::move(key), next_id_);
+    if (inserted) {
+      relation_of_.push_back(relation);
+      ++next_id_;
+    }
+    return it->second;
+  }
+
+  std::uint32_t Count() const { return next_id_; }
+  const std::string& RelationOf(prop::VarId id) const {
+    return relation_of_.at(id);
+  }
+
+ private:
+  std::map<std::string, prop::VarId> ids_;
+  std::vector<std::string> relation_of_;
+  prop::VarId next_id_ = 0;
+};
+
+// Enumerates assignments of `variables` to their domains, building the
+// query lineage ⋁_assignment ⋀_atom tuple-var.
+prop::PropFormula BuildTypedLineage(
+    const ConjunctiveQuery& query, const std::vector<std::string>& variables,
+    const std::map<std::string, std::uint64_t>& domain_sizes,
+    TypedTupleIndex* index) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(variables.size());
+  for (const std::string& v : variables) {
+    auto it = domain_sizes.find(v);
+    if (it == domain_sizes.end()) {
+      throw std::invalid_argument("typed grounding: no domain size for " + v);
+    }
+    if (it->second == 0) return prop::PropFalse();
+    sizes.push_back(it->second);
+  }
+
+  std::vector<std::uint64_t> assignment(variables.size(), 0);
+  std::vector<prop::PropFormula> disjuncts;
+  for (;;) {
+    std::vector<prop::PropFormula> conjuncts;
+    conjuncts.reserve(query.atoms().size());
+    for (const ConjunctiveQuery::QueryAtom& atom : query.atoms()) {
+      std::vector<std::uint64_t> constants;
+      constants.reserve(atom.variables.size());
+      for (const std::string& v : atom.variables) {
+        std::size_t position = static_cast<std::size_t>(
+            std::find(variables.begin(), variables.end(), v) -
+            variables.begin());
+        constants.push_back(assignment[position]);
+      }
+      conjuncts.push_back(
+          prop::PropVar(index->VariableFor(atom.relation, constants)));
+    }
+    disjuncts.push_back(prop::PropAnd(std::move(conjuncts)));
+
+    // Odometer increment.
+    std::size_t position = 0;
+    while (position < assignment.size() &&
+           ++assignment[position] == sizes[position]) {
+      assignment[position] = 0;
+      ++position;
+    }
+    if (position == assignment.size()) break;
+  }
+  return prop::PropOr(std::move(disjuncts));
+}
+
+}  // namespace
+
+ConjunctiveQuery TypedCycle(std::size_t k) {
+  if (k < 3) throw std::invalid_argument("typed cycle requires k >= 3");
+  ConjunctiveQuery query;
+  for (std::size_t i = 1; i <= k; ++i) {
+    std::string x_i = "x" + std::to_string(i);
+    std::string x_next = "x" + std::to_string(i == k ? 1 : i + 1);
+    query.AddAtom("R" + std::to_string(i), {x_i, x_next});
+  }
+  return query;
+}
+
+numeric::BigRational TypedGroundedProbability(
+    const ConjunctiveQuery& query,
+    const std::map<std::string, std::uint64_t>& domain_sizes) {
+  std::vector<std::string> variables = query.Variables();
+  TypedTupleIndex index;
+  prop::PropFormula lineage =
+      BuildTypedLineage(query, variables, domain_sizes, &index);
+
+  prop::TseitinResult encoded =
+      prop::TseitinTransform(lineage, index.Count());
+  wmc::WeightMap weights(encoded.cnf.variable_count);
+  for (prop::VarId v = 0; v < index.Count(); ++v) {
+    const BigRational& p = query.probability(index.RelationOf(v));
+    weights.Set(v, p, BigRational(1) - p);
+  }
+  return wmc::CountWeightedModels(std::move(encoded.cnf),
+                                  std::move(weights));
+}
+
+numeric::BigRational TypedGroundedProbability(const ConjunctiveQuery& query,
+                                              std::uint64_t domain_size) {
+  std::map<std::string, std::uint64_t> domains;
+  for (const std::string& v : query.Variables()) domains[v] = domain_size;
+  return TypedGroundedProbability(query, domains);
+}
+
+CkEmbedding EmbedCkInBetaCyclicQuery(
+    const ConjunctiveQuery& beta_cyclic_query,
+    const std::vector<std::uint64_t>& cycle_domain_sizes,
+    const std::vector<BigRational>& cycle_probabilities) {
+  Hypergraph graph = BuildHypergraph(beta_cyclic_query);
+  std::optional<WeakBetaCycle> cycle = FindWeakBetaCycle(graph);
+  if (!cycle.has_value()) {
+    throw std::invalid_argument(
+        "EmbedCkInBetaCyclicQuery: query has no weak beta-cycle");
+  }
+  std::size_t k = cycle->edges.size();
+  if (cycle_domain_sizes.size() != k || cycle_probabilities.size() != k) {
+    throw std::invalid_argument(
+        "EmbedCkInBetaCyclicQuery: expected " + std::to_string(k) +
+        " domain sizes and probabilities (cycle length)");
+  }
+
+  CkEmbedding embedding;
+  embedding.cycle = *cycle;
+  embedding.k = k;
+
+  // C_k relation i joins x_i (cycle node i-1, 0-based nodes[i-1]) to
+  // x_{i+1} (nodes[i mod k]). In the weak β-cycle R_1 x_1 R_2 ... x_k R_1,
+  // node x_i lies in edges R_i and R_{i+1}, so the edge containing both
+  // nodes[i-1] and nodes[i] is edges[i mod k]. We rebind probabilities by
+  // looking the common edge up rather than trusting index arithmetic.
+  const auto& edges = graph.edges();
+  std::map<std::string, BigRational> cycle_probability_of;
+  std::map<std::string, std::uint64_t> cycle_domain_of;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::string& node_a = cycle->nodes[i];
+    const std::string& node_b = cycle->nodes[(i + 1) % k];
+    // The unique cycle edge containing both endpoints of C_k's relation
+    // R_{i+1} (joining x_{i+1} = node_a's successor ordering is rotational,
+    // so any consistent orientation yields the same set of instances).
+    const std::size_t* common = nullptr;
+    for (const std::size_t& e : cycle->edges) {
+      if (edges[e].nodes.contains(node_a) &&
+          edges[e].nodes.contains(node_b)) {
+        common = &e;
+        break;
+      }
+    }
+    if (common == nullptr) {
+      throw std::logic_error("weak beta-cycle misses a connecting edge");
+    }
+    cycle_probability_of[edges[*common].name] = cycle_probabilities[i];
+    cycle_domain_of[node_a] = cycle_domain_sizes[i];
+  }
+
+  // Rebuild Q with rebound probabilities.
+  ConjunctiveQuery bound;
+  for (const ConjunctiveQuery::QueryAtom& atom :
+       beta_cyclic_query.atoms()) {
+    bound.AddAtom(atom.relation, atom.variables);
+    auto it = cycle_probability_of.find(atom.relation);
+    bound.SetProbability(atom.relation, it != cycle_probability_of.end()
+                                            ? it->second
+                                            : BigRational(1));
+  }
+  embedding.query = std::move(bound);
+
+  for (const std::string& v : beta_cyclic_query.Variables()) {
+    auto it = cycle_domain_of.find(v);
+    embedding.domain_sizes[v] = it != cycle_domain_of.end() ? it->second : 1;
+  }
+  return embedding;
+}
+
+numeric::BigRational TypedCycleProbability(
+    std::size_t k, const std::vector<std::uint64_t>& domain_sizes,
+    const std::vector<BigRational>& probabilities) {
+  if (domain_sizes.size() != k || probabilities.size() != k) {
+    throw std::invalid_argument(
+        "TypedCycleProbability: need k domain sizes and probabilities");
+  }
+  ConjunctiveQuery cycle = TypedCycle(k);
+  std::map<std::string, std::uint64_t> domains;
+  for (std::size_t i = 0; i < k; ++i) {
+    domains["x" + std::to_string(i + 1)] = domain_sizes[i];
+    cycle.SetProbability("R" + std::to_string(i + 1), probabilities[i]);
+  }
+  return TypedGroundedProbability(cycle, domains);
+}
+
+}  // namespace swfomc::cq

@@ -1,0 +1,72 @@
+#ifndef SWFOMC_CQ_TYPED_CYCLE_H_
+#define SWFOMC_CQ_TYPED_CYCLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cq/acyclicity.h"
+#include "cq/conjunctive_query.h"
+#include "numeric/rational.h"
+
+namespace swfomc::cq {
+
+/// The typed k-cycle of Section 3.2 / Table 2:
+///
+///   C_k = ∃x1 ... ∃xk (R1(x1,x2), R2(x2,x3), ..., Rk(xk,x1)),  k >= 3,
+///
+/// conjectured hard for symmetric WFOMC. Relations are named "R1".."Rk",
+/// variables "x1".."xk".
+ConjunctiveQuery TypedCycle(std::size_t k);
+
+/// Pr(Q) under the paper's *generalized* semantics where each variable
+/// x_i ranges over its own domain [n_i] (Section 3.2 introduces this to
+/// state the C_k reduction; the standard semantics is all n_i equal).
+/// Computed by typed grounding: the lineage ⋁_assignments ⋀_atoms tuple
+/// is built over per-relation typed tuple spaces and counted with DPLL.
+/// Exponential in the grounding size — this is the ground-truth baseline
+/// (no PTIME algorithm is expected to exist for cyclic queries).
+numeric::BigRational TypedGroundedProbability(
+    const ConjunctiveQuery& query,
+    const std::map<std::string, std::uint64_t>& domain_sizes);
+
+/// Standard-semantics convenience: every variable ranges over [n].
+numeric::BigRational TypedGroundedProbability(const ConjunctiveQuery& query,
+                                              std::uint64_t domain_size);
+
+/// Section 3.2's reduction, made executable: given a β-cyclic query Q
+/// (one containing a weak β-cycle R_1 x_1 R_2 x_2 ... x_k R_{k+1} = R_1),
+/// any C_k instance embeds into a Q instance with the same WFOMC:
+///   * cycle relations inherit the C_k relation probabilities,
+///   * all other relations of Q get probability 1 (tuples always present,
+///     so their atoms are vacuously satisfied),
+///   * cycle variables inherit the C_k domain sizes,
+///   * all other variables get domain size 1.
+/// Hence PTIME data complexity for Q would give PTIME for C_k — the
+/// paper's evidence that every β-cyclic query is "C_k-hard" (Figure 1).
+struct CkEmbedding {
+  ConjunctiveQuery query;  // Q with probabilities rebound per the reduction
+  std::map<std::string, std::uint64_t> domain_sizes;
+  WeakBetaCycle cycle;     // the weak β-cycle that was used
+  std::size_t k = 0;       // its length
+};
+
+/// Builds the embedding of C_k (with the given per-variable domain sizes
+/// n_1..n_k and per-relation probabilities p_1..p_k, where relation i
+/// joins x_i to x_{i+1}) into `beta_cyclic_query`. Throws
+/// std::invalid_argument when the query has no weak β-cycle, or when the
+/// supplied vectors do not match the cycle length k found in the query.
+CkEmbedding EmbedCkInBetaCyclicQuery(
+    const ConjunctiveQuery& beta_cyclic_query,
+    const std::vector<std::uint64_t>& cycle_domain_sizes,
+    const std::vector<numeric::BigRational>& cycle_probabilities);
+
+/// Pr(C_k) for the instance described by the same vectors — the left-hand
+/// side of the reduction identity (typed grounding).
+numeric::BigRational TypedCycleProbability(
+    std::size_t k, const std::vector<std::uint64_t>& domain_sizes,
+    const std::vector<numeric::BigRational>& probabilities);
+
+}  // namespace swfomc::cq
+
+#endif  // SWFOMC_CQ_TYPED_CYCLE_H_

@@ -1,0 +1,371 @@
+#include "fo2/cell_algorithm.h"
+
+#include "logic/evaluate.h"
+#include "logic/structure.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "numeric/combinatorics.h"
+
+namespace swfomc::fo2 {
+
+namespace {
+
+using logic::Formula;
+using logic::FormulaKind;
+using logic::RelationId;
+using numeric::BigRational;
+
+// Replaces a 0-ary atom by a constant truth value.
+Formula SubstituteZeroAry(const Formula& formula, RelationId relation,
+                          bool value) {
+  switch (formula->kind()) {
+    case FormulaKind::kAtom:
+      if (formula->relation() == relation && formula->arguments().empty()) {
+        return value ? logic::True() : logic::False();
+      }
+      return formula;
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEquality:
+      return formula;
+    default: {
+      std::vector<Formula> children;
+      children.reserve(formula->children().size());
+      for (const Formula& child : formula->children()) {
+        children.push_back(SubstituteZeroAry(child, relation, value));
+      }
+      switch (formula->kind()) {
+        case FormulaKind::kNot:
+          return Not(children[0]);
+        case FormulaKind::kAnd:
+          return And(std::move(children));
+        case FormulaKind::kOr:
+          return Or(std::move(children));
+        case FormulaKind::kImplies:
+          return Implies(children[0], children[1]);
+        case FormulaKind::kIff:
+          return Iff(children[0], children[1]);
+        default:
+          throw std::logic_error("SubstituteZeroAry: quantifier in matrix");
+      }
+    }
+  }
+}
+
+// A 1-type: truth values for the unary atoms U(x) and diagonal binary
+// atoms R(x,x) of one element.
+struct Cell {
+  std::vector<bool> unary;  // indexed like `unary_relations`
+  std::vector<bool> diagonal;
+  BigRational weight;  // product of the corresponding tuple weights
+};
+
+// Evaluation environment for the quantifier-free matrix over a pair (a,b):
+// the cells of a and b plus the off-diagonal bits for each binary R.
+struct PairEnv {
+  const Cell* cell_x;  // 1-type of the element bound to variable x
+  const Cell* cell_y;
+  // Indexed like `binary_relations`: truth of R(x,y) and R(y,x).
+  const std::vector<bool>* xy;
+  const std::vector<bool>* yx;
+  bool same_element;  // true when evaluating ψ(c,c)
+};
+
+class MatrixEvaluator {
+ public:
+  MatrixEvaluator(const logic::Vocabulary& vocabulary,
+                  std::vector<RelationId> unary_relations,
+                  std::vector<RelationId> binary_relations)
+      : unary_relations_(std::move(unary_relations)),
+        binary_relations_(std::move(binary_relations)) {
+    unary_slot_.assign(vocabulary.size(), SIZE_MAX);
+    binary_slot_.assign(vocabulary.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < unary_relations_.size(); ++i) {
+      unary_slot_[unary_relations_[i]] = i;
+    }
+    for (std::size_t i = 0; i < binary_relations_.size(); ++i) {
+      binary_slot_[binary_relations_[i]] = i;
+    }
+  }
+
+  bool Eval(const Formula& formula, const PairEnv& env) const {
+    switch (formula->kind()) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kEquality: {
+        bool left_is_x = IsX(formula->arguments()[0]);
+        bool right_is_x = IsX(formula->arguments()[1]);
+        if (left_is_x == right_is_x) return true;  // x=x or y=y
+        return env.same_element;                   // x=y
+      }
+      case FormulaKind::kAtom: {
+        RelationId r = formula->relation();
+        const auto& args = formula->arguments();
+        if (args.size() == 1) {
+          bool is_x = IsX(args[0]) || env.same_element;
+          const Cell* cell = is_x ? env.cell_x : env.cell_y;
+          return cell->unary[unary_slot_[r]];
+        }
+        if (args.size() == 2) {
+          bool first_x = IsX(args[0]) || env.same_element;
+          bool second_x = IsX(args[1]) || env.same_element;
+          std::size_t slot = binary_slot_[r];
+          if (first_x && second_x) return env.cell_x->diagonal[slot];
+          if (!first_x && !second_x) return env.cell_y->diagonal[slot];
+          if (first_x) return (*env.xy)[slot];
+          return (*env.yx)[slot];
+        }
+        throw std::logic_error("MatrixEvaluator: unexpected arity");
+      }
+      case FormulaKind::kNot:
+        return !Eval(formula->child(), env);
+      case FormulaKind::kAnd:
+        for (const Formula& child : formula->children()) {
+          if (!Eval(child, env)) return false;
+        }
+        return true;
+      case FormulaKind::kOr:
+        for (const Formula& child : formula->children()) {
+          if (Eval(child, env)) return true;
+        }
+        return false;
+      case FormulaKind::kImplies:
+        return !Eval(formula->child(0), env) || Eval(formula->child(1), env);
+      case FormulaKind::kIff:
+        return Eval(formula->child(0), env) == Eval(formula->child(1), env);
+      default:
+        throw std::logic_error("MatrixEvaluator: quantifier in matrix");
+    }
+  }
+
+ private:
+  static bool IsX(const logic::Term& term) {
+    return term.name == UniversalForm::x();
+  }
+
+  std::vector<RelationId> unary_relations_;
+  std::vector<RelationId> binary_relations_;
+  std::vector<std::size_t> unary_slot_;
+  std::vector<std::size_t> binary_slot_;
+};
+
+// Core: Shannon-expanded, zero-ary-free matrix.
+BigRational SolveMatrix(const Formula& matrix,
+                        const logic::Vocabulary& vocabulary,
+                        std::uint64_t n, CellStats* stats) {
+  std::vector<RelationId> unary_relations, binary_relations;
+  for (RelationId id = 0; id < vocabulary.size(); ++id) {
+    if (vocabulary.arity(id) == 1) unary_relations.push_back(id);
+    if (vocabulary.arity(id) == 2) binary_relations.push_back(id);
+  }
+  std::size_t m = unary_relations.size();
+  std::size_t b = binary_relations.size();
+  if (m + b > 20) {
+    throw std::invalid_argument("CellAlgorithmWFOMC: too many predicates");
+  }
+  MatrixEvaluator evaluator(vocabulary, unary_relations, binary_relations);
+
+  // Enumerate 1-types, keeping only those whose diagonal satisfies ψ(x,x).
+  std::vector<Cell> cells;
+  std::size_t total_cells = std::size_t{1} << (m + b);
+  for (std::size_t code = 0; code < total_cells; ++code) {
+    Cell cell;
+    cell.unary.resize(m);
+    cell.diagonal.resize(b);
+    cell.weight = BigRational(1);
+    for (std::size_t i = 0; i < m; ++i) {
+      cell.unary[i] = (code >> i) & 1;
+      cell.weight *= cell.unary[i]
+                         ? vocabulary.positive_weight(unary_relations[i])
+                         : vocabulary.negative_weight(unary_relations[i]);
+    }
+    for (std::size_t i = 0; i < b; ++i) {
+      cell.diagonal[i] = (code >> (m + i)) & 1;
+      cell.weight *= cell.diagonal[i]
+                         ? vocabulary.positive_weight(binary_relations[i])
+                         : vocabulary.negative_weight(binary_relations[i]);
+    }
+    PairEnv env{&cell, &cell, nullptr, nullptr, /*same_element=*/true};
+    if (evaluator.Eval(matrix, env)) {
+      cells.push_back(std::move(cell));
+    }
+  }
+  if (stats != nullptr) {
+    stats->unary_predicates = m;
+    stats->binary_predicates = b;
+    // Accumulated across Shannon-expansion branches (one SolveMatrix call
+    // per assignment of the zero-ary predicates), like composition_terms.
+    stats->cells += total_cells;
+    stats->valid_cells += cells.size();
+  }
+  std::size_t num_cells = cells.size();
+  if (num_cells == 0) return BigRational(0);
+
+  // Pairwise tables r_kl: weighted count of off-diagonal assignments with
+  // ψ(a,b) ∧ ψ(b,a), a in cell k, b in cell l.
+  std::vector<std::vector<BigRational>> r(num_cells,
+                                          std::vector<BigRational>(num_cells));
+  std::size_t off_diag_bits = 2 * b;
+  std::vector<bool> xy(b), yx(b);
+  for (std::size_t k = 0; k < num_cells; ++k) {
+    for (std::size_t l = k; l < num_cells; ++l) {
+      BigRational sum;
+      for (std::size_t code = 0; code < (std::size_t{1} << off_diag_bits);
+           ++code) {
+        BigRational weight(1);
+        for (std::size_t i = 0; i < b; ++i) {
+          xy[i] = (code >> (2 * i)) & 1;
+          yx[i] = (code >> (2 * i + 1)) & 1;
+          weight *= xy[i] ? vocabulary.positive_weight(binary_relations[i])
+                          : vocabulary.negative_weight(binary_relations[i]);
+          weight *= yx[i] ? vocabulary.positive_weight(binary_relations[i])
+                          : vocabulary.negative_weight(binary_relations[i]);
+        }
+        PairEnv forward{&cells[k], &cells[l], &xy, &yx, false};
+        if (!evaluator.Eval(matrix, forward)) continue;
+        // ψ(b,a): swap the roles of the two elements.
+        PairEnv backward{&cells[l], &cells[k], &yx, &xy, false};
+        if (!evaluator.Eval(matrix, backward)) continue;
+        sum += weight;
+      }
+      r[k][l] = sum;
+      r[l][k] = std::move(sum);
+    }
+  }
+
+  // Sum over compositions n_1 + ... + n_C = n.
+  BigRational total;
+  std::uint64_t terms = 0;
+  numeric::ForEachComposition(
+      n, num_cells, [&](const std::vector<std::uint64_t>& counts) -> bool {
+        ++terms;
+        BigRational term(numeric::Multinomial(n, counts));
+        for (std::size_t l = 0; l < num_cells && !term.IsZero(); ++l) {
+          if (counts[l] == 0) continue;
+          term *= BigRational::Pow(cells[l].weight,
+                                   static_cast<std::int64_t>(counts[l]));
+          if (counts[l] >= 2) {
+            term *= BigRational::Pow(
+                r[l][l],
+                static_cast<std::int64_t>(counts[l] * (counts[l] - 1) / 2));
+          }
+          for (std::size_t k = 0; k < l; ++k) {
+            if (counts[k] == 0) continue;
+            term *= BigRational::Pow(
+                r[k][l], static_cast<std::int64_t>(counts[k] * counts[l]));
+          }
+        }
+        total += term;
+        return true;
+      });
+  if (stats != nullptr) stats->composition_terms += terms;
+  return total;
+}
+
+BigRational SolveWithShannon(Formula matrix,
+                             const logic::Vocabulary& vocabulary,
+                             const std::vector<RelationId>& zeroary,
+                             std::size_t index, std::uint64_t n,
+                             CellStats* stats) {
+  if (index == zeroary.size()) {
+    return SolveMatrix(matrix, vocabulary, n, stats);
+  }
+  RelationId relation = zeroary[index];
+  BigRational result;
+  for (bool value : {true, false}) {
+    const BigRational& weight = value ? vocabulary.positive_weight(relation)
+                                      : vocabulary.negative_weight(relation);
+    if (weight.IsZero()) continue;
+    Formula substituted = SubstituteZeroAry(matrix, relation, value);
+    result += weight * SolveWithShannon(std::move(substituted), vocabulary,
+                                        zeroary, index + 1, n, stats);
+  }
+  return result;
+}
+
+}  // namespace
+
+numeric::BigRational CellAlgorithmWFOMC(const UniversalForm& form,
+                                        std::uint64_t domain_size,
+                                        CellStats* stats) {
+  if (domain_size == 0) {
+    // Over the empty domain the lineage of ∀x∀y ψ is `true`, so the count
+    // is the sum over the 0-ary predicates' assignments = Π_0-ary (w + w̄).
+    // NOTE: this is the WFOMC of the universal form itself; the normal-form
+    // construction only preserves the original sentence's WFOMC for n >= 1
+    // (quantifier pulling assumes a non-empty domain), which is why
+    // LiftedWFOMC routes n = 0 elsewhere.
+    BigRational result(1);
+    for (RelationId id = 0; id < form.vocabulary.size(); ++id) {
+      if (form.vocabulary.arity(id) == 0) {
+        result *= form.vocabulary.positive_weight(id) +
+                  form.vocabulary.negative_weight(id);
+      }
+    }
+    return result;
+  }
+  std::vector<RelationId> zeroary;
+  for (RelationId id = 0; id < form.vocabulary.size(); ++id) {
+    if (form.vocabulary.arity(id) == 0) zeroary.push_back(id);
+  }
+  if (stats != nullptr) stats->zeroary_predicates = zeroary.size();
+  return SolveWithShannon(form.matrix, form.vocabulary, zeroary, 0,
+                          domain_size, stats);
+}
+
+numeric::BigRational LiftedWFOMC(const logic::Formula& sentence,
+                                 const logic::Vocabulary& vocabulary,
+                                 std::uint64_t domain_size,
+                                 CellStats* stats) {
+  if (domain_size == 0) {
+    // The normal form preserves WFOMC only for non-empty domains; n = 0
+    // has a single world (assignments to 0-ary predicates only) and is
+    // evaluated directly.
+    logic::Structure empty(vocabulary, 0);
+    BigRational result;
+    std::uint64_t zeroary = empty.TupleCount();
+    for (std::uint64_t mask = 0; mask < (1ULL << zeroary); ++mask) {
+      empty.AssignFromMask(mask);
+      if (logic::Evaluate(empty, sentence)) result += empty.Weight();
+    }
+    return result;
+  }
+  UniversalForm form = ToUniversalForm(sentence, vocabulary);
+  return CellAlgorithmWFOMC(form, domain_size, stats);
+}
+
+numeric::BigInt LiftedFOMC(const logic::Formula& sentence,
+                           const logic::Vocabulary& vocabulary,
+                           std::uint64_t domain_size) {
+  logic::Vocabulary unweighted = vocabulary;
+  for (RelationId id = 0; id < unweighted.size(); ++id) {
+    unweighted.SetWeights(id, 1, 1);
+  }
+  return LiftedWFOMC(sentence, unweighted, domain_size).ToInteger();
+}
+
+numeric::BigRational LiftedProbability(const logic::Formula& sentence,
+                                       const logic::Vocabulary& vocabulary,
+                                       std::uint64_t domain_size) {
+  BigRational numerator = LiftedWFOMC(sentence, vocabulary, domain_size);
+  BigRational normalizer(1);
+  for (RelationId id = 0; id < vocabulary.size(); ++id) {
+    std::uint64_t tuples = 1;
+    for (std::size_t i = 0; i < vocabulary.arity(id); ++i) {
+      tuples *= domain_size;
+    }
+    normalizer *= BigRational::Pow(
+        vocabulary.positive_weight(id) + vocabulary.negative_weight(id),
+        static_cast<std::int64_t>(tuples));
+  }
+  if (normalizer.IsZero()) {
+    throw std::domain_error("LiftedProbability: zero normalizer");
+  }
+  return numerator / normalizer;
+}
+
+}  // namespace swfomc::fo2

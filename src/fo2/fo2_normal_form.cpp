@@ -1,0 +1,203 @@
+#include "fo2/fo2_normal_form.h"
+
+#include <stdexcept>
+
+#include "logic/transform.h"
+
+namespace swfomc::fo2 {
+
+namespace {
+
+using logic::Formula;
+using logic::FormulaKind;
+
+// A Scott definition: D(params) <=> Q v. body, with body quantifier-free.
+struct Definition {
+  logic::RelationId relation;
+  std::vector<std::string> params;  // 0 or 1 variable
+  bool is_forall;                   // quantifier Q
+  std::string bound_variable;       // v
+  Formula body;
+};
+
+Formula FindInnermostQuantifier(const Formula& formula) {
+  for (const Formula& child : formula->children()) {
+    Formula found = FindInnermostQuantifier(child);
+    if (found != nullptr) return found;
+  }
+  if (formula->kind() == FormulaKind::kForall ||
+      formula->kind() == FormulaKind::kExists) {
+    return formula;
+  }
+  return nullptr;
+}
+
+Formula ReplaceNode(const Formula& formula, const Formula& target,
+                    const Formula& replacement) {
+  if (formula.get() == target.get()) return replacement;
+  if (formula->children().empty()) return formula;
+  std::vector<Formula> children;
+  children.reserve(formula->children().size());
+  bool changed = false;
+  for (const Formula& child : formula->children()) {
+    Formula mapped = ReplaceNode(child, target, replacement);
+    changed |= mapped.get() != child.get();
+    children.push_back(std::move(mapped));
+  }
+  if (!changed) return formula;
+  switch (formula->kind()) {
+    case FormulaKind::kNot:
+      return Not(children[0]);
+    case FormulaKind::kAnd:
+      return And(std::move(children));
+    case FormulaKind::kOr:
+      return Or(std::move(children));
+    case FormulaKind::kForall:
+      return Forall(formula->variable(), children[0]);
+    case FormulaKind::kExists:
+      return Exists(formula->variable(), children[0]);
+    default:
+      throw std::logic_error("fo2::ReplaceNode: unexpected node in NNF");
+  }
+}
+
+void CheckConstantsAbsent(const Formula& formula) {
+  if (formula->kind() == FormulaKind::kAtom ||
+      formula->kind() == FormulaKind::kEquality) {
+    for (const logic::Term& t : formula->arguments()) {
+      if (t.IsConstant()) {
+        throw std::invalid_argument(
+            "ToUniversalForm: domain constants are not supported on the "
+            "lifted FO2 path");
+      }
+    }
+  }
+  for (const Formula& child : formula->children()) {
+    CheckConstantsAbsent(child);
+  }
+}
+
+// Renames the free variables of a quantifier-free matrix to {x, y}.
+Formula CanonicalizeVariables(const Formula& matrix) {
+  std::set<std::string> free_vars = logic::FreeVariables(matrix);
+  if (free_vars.size() > 2) {
+    throw std::logic_error("fo2: matrix with more than 2 free variables");
+  }
+  std::vector<std::string> ordered(free_vars.begin(), free_vars.end());
+  Formula result = matrix;
+  // Two-phase rename to avoid collisions with the canonical names.
+  const std::string tmp0 = "fo2_tmp0", tmp1 = "fo2_tmp1";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    result = logic::RenameFreeVariable(result, ordered[i],
+                                       i == 0 ? tmp0 : tmp1);
+  }
+  result = logic::RenameFreeVariable(result, tmp0, UniversalForm::x());
+  result = logic::RenameFreeVariable(result, tmp1, UniversalForm::y());
+  return result;
+}
+
+}  // namespace
+
+const std::string& UniversalForm::x() {
+  static const std::string name = "x";
+  return name;
+}
+
+const std::string& UniversalForm::y() {
+  static const std::string name = "y";
+  return name;
+}
+
+UniversalForm ToUniversalForm(const logic::Formula& sentence,
+                              const logic::Vocabulary& vocabulary) {
+  if (!logic::IsSentence(sentence)) {
+    throw std::invalid_argument("ToUniversalForm: input has free variables");
+  }
+  if (!logic::InFragmentFOk(sentence, 2)) {
+    throw std::invalid_argument(
+        "ToUniversalForm: sentence uses more than 2 distinct variables");
+  }
+  if (vocabulary.MaxArity() > 2) {
+    throw std::invalid_argument(
+        "ToUniversalForm: relation arity > 2 is not supported on the "
+        "lifted FO2 path (ground instead)");
+  }
+  CheckConstantsAbsent(sentence);
+
+  UniversalForm result;
+  result.vocabulary = vocabulary;
+
+  Formula main = logic::ToNNF(sentence);
+
+  // Phase 2: Scott-style extraction of every quantified subformula.
+  std::vector<Definition> definitions;
+  while (logic::ContainsQuantifier(main)) {
+    Formula target = FindInnermostQuantifier(main);
+    std::set<std::string> free_vars = logic::FreeVariables(target);
+    if (free_vars.size() > 1) {
+      throw std::logic_error(
+          "fo2: innermost quantified subformula with 2 free variables "
+          "cannot occur in FO2");
+    }
+    Definition def;
+    def.params.assign(free_vars.begin(), free_vars.end());
+    def.is_forall = target->kind() == FormulaKind::kForall;
+    def.bound_variable = target->variable();
+    def.body = target->child();
+    def.relation = result.vocabulary.AddRelation(
+        result.vocabulary.FreshName("Def"), def.params.size());
+    definitions.push_back(def);
+
+    std::vector<logic::Term> args;
+    for (const std::string& p : def.params) {
+      args.push_back(logic::Term::Var(p));
+    }
+    main = ReplaceNode(main, target, logic::Atom(def.relation, args));
+  }
+  // `main` is now variable-free (a combination of 0-ary atoms).
+
+  // Phase 2b: expand definitions into prenex ∀∀ / ∀∃ conjuncts, then
+  // Phase 3: Skolemize the ∀∃ ones (Lemma 3.3, weights (1, -1)).
+  std::vector<Formula> universal_matrices;  // quantifier-free conjuncts
+  universal_matrices.push_back(main);
+
+  for (const Definition& def : definitions) {
+    std::vector<logic::Term> args;
+    for (const std::string& p : def.params) {
+      args.push_back(logic::Term::Var(p));
+    }
+    Formula d_atom = logic::Atom(def.relation, args);
+    if (def.is_forall) {
+      // D(u) => ∀v body  ~~>  ∀u∀v (¬D(u) ∨ body).
+      universal_matrices.push_back(
+          CanonicalizeVariables(logic::ToNNF(Or(Not(d_atom), def.body))));
+      // ∀v body => D(u)  ~~>  ∀u∃v (¬body ∨ D(u))  ~~> Skolemize:
+      // ∀u∀v (¬(¬body ∨ D(u)) ∨ A(u)) = ∀u∀v ((body ∧ ¬D(u)) ∨ A(u)).
+      logic::RelationId skolem = result.vocabulary.AddRelation(
+          result.vocabulary.FreshName("Sk"), def.params.size(),
+          numeric::BigRational(1), numeric::BigRational(-1));
+      Formula a_atom = logic::Atom(skolem, args);
+      universal_matrices.push_back(CanonicalizeVariables(
+          logic::ToNNF(Or(And(def.body, Not(d_atom)), a_atom))));
+    } else {
+      // ∃v body => D(u)  ~~>  ∀u∀v (¬body ∨ D(u)).
+      universal_matrices.push_back(
+          CanonicalizeVariables(logic::ToNNF(Or(Not(def.body), d_atom))));
+      // D(u) => ∃v body  ~~>  ∀u∃v (¬D(u) ∨ body)  ~~> Skolemize:
+      // ∀u∀v ((D(u) ∧ ¬body) ∨ A(u)).
+      logic::RelationId skolem = result.vocabulary.AddRelation(
+          result.vocabulary.FreshName("Sk"), def.params.size(),
+          numeric::BigRational(1), numeric::BigRational(-1));
+      Formula a_atom = logic::Atom(skolem, args);
+      universal_matrices.push_back(CanonicalizeVariables(
+          logic::ToNNF(Or(And(d_atom, Not(def.body)), a_atom))));
+    }
+  }
+
+  // Phase 4: one matrix. ∀x (∧_i φ_i(x)) ∧ ∀x∀y (∧_j ψ_j(x,y)) merges into
+  // ∀x∀y of the conjunction (domains are non-empty).
+  result.matrix = And(std::move(universal_matrices));
+  return result;
+}
+
+}  // namespace swfomc::fo2

@@ -1,0 +1,60 @@
+#ifndef SWFOMC_GROUNDING_GROUNDED_WFOMC_H_
+#define SWFOMC_GROUNDING_GROUNDED_WFOMC_H_
+
+#include <functional>
+
+#include "grounding/tuple_index.h"
+#include "logic/formula.h"
+#include "numeric/rational.h"
+#include "wmc/dpll_counter.h"
+
+namespace swfomc::grounding {
+
+/// Symmetric WFOMC by grounding: builds the lineage F_{Φ,n}, Tseitin-
+/// encodes it, assigns every ground tuple of relation R_i the weights
+/// (w_i, w̄_i) from the vocabulary, and runs the DPLL counter. Works for
+/// every FO sentence; worst-case exponential in n (this is the baseline
+/// the lifted algorithms are measured against).
+numeric::BigRational GroundedWFOMC(const logic::Formula& sentence,
+                                   const logic::Vocabulary& vocabulary,
+                                   std::uint64_t domain_size,
+                                   wmc::DpllCounter::Options options = {},
+                                   wmc::DpllCounter::Stats* stats = nullptr);
+
+/// Unweighted model count FOMC(Φ, n): GroundedWFOMC with weights (1, 1);
+/// the result is always a non-negative integer.
+numeric::BigInt GroundedFOMC(const logic::Formula& sentence,
+                             const logic::Vocabulary& vocabulary,
+                             std::uint64_t domain_size);
+
+/// *Asymmetric* WFOMC: per-ground-tuple weights supplied by a callback
+/// (variable id -> weights). This is the "Asymmetric WFOMC" row of
+/// Table 1, which is #P-hard in general.
+numeric::BigRational GroundedWFOMCAsymmetric(
+    const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+    std::uint64_t domain_size,
+    const std::function<wmc::VariableWeights(const TupleIndex&, prop::VarId)>&
+        tuple_weights);
+
+/// Reference implementation by exhaustive world enumeration (2^|Tup(n)|
+/// structures, evaluated with the FO model checker). Requires
+/// |Tup(n)| <= 26. Ground truth for everything else.
+numeric::BigRational ExhaustiveWFOMC(const logic::Formula& sentence,
+                                     const logic::Vocabulary& vocabulary,
+                                     std::uint64_t domain_size);
+
+/// Exhaustive unweighted count.
+numeric::BigInt ExhaustiveFOMC(const logic::Formula& sentence,
+                               const logic::Vocabulary& vocabulary,
+                               std::uint64_t domain_size);
+
+/// Pr(Φ) over the symmetric tuple-independent distribution induced by the
+/// vocabulary weights: WFOMC(Φ,n,w,w̄) / WFOMC(true,n,w,w̄). Throws
+/// std::domain_error when the normalizer is zero.
+numeric::BigRational GroundedProbability(const logic::Formula& sentence,
+                                         const logic::Vocabulary& vocabulary,
+                                         std::uint64_t domain_size);
+
+}  // namespace swfomc::grounding
+
+#endif  // SWFOMC_GROUNDING_GROUNDED_WFOMC_H_

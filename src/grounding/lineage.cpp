@@ -1,0 +1,109 @@
+#include "grounding/lineage.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace swfomc::grounding {
+
+namespace {
+
+using Env = std::unordered_map<std::string, std::uint64_t>;
+
+std::uint64_t Resolve(const logic::Term& term, const Env& env) {
+  if (term.IsConstant()) return term.value;
+  auto it = env.find(term.name);
+  if (it == env.end()) {
+    throw std::invalid_argument("GroundLineage: unbound variable " +
+                                term.name);
+  }
+  return it->second;
+}
+
+prop::PropFormula Ground(const logic::Formula& formula,
+                         const TupleIndex& index, Env* env, bool negated) {
+  using logic::FormulaKind;
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return negated ? prop::PropFalse() : prop::PropTrue();
+    case FormulaKind::kFalse:
+      return negated ? prop::PropTrue() : prop::PropFalse();
+    case FormulaKind::kAtom: {
+      std::vector<std::uint64_t> args;
+      args.reserve(formula->arguments().size());
+      for (const logic::Term& t : formula->arguments()) {
+        args.push_back(Resolve(t, *env));
+      }
+      prop::PropFormula var =
+          prop::PropVar(index.VariableOf(formula->relation(), args));
+      return negated ? prop::PropNot(std::move(var)) : var;
+    }
+    case FormulaKind::kEquality: {
+      bool equal = Resolve(formula->arguments()[0], *env) ==
+                   Resolve(formula->arguments()[1], *env);
+      return equal != negated ? prop::PropTrue() : prop::PropFalse();
+    }
+    case FormulaKind::kNot:
+      return Ground(formula->child(), index, env, !negated);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      bool is_and = (formula->kind() == FormulaKind::kAnd) != negated;
+      std::vector<prop::PropFormula> children;
+      children.reserve(formula->children().size());
+      for (const logic::Formula& child : formula->children()) {
+        children.push_back(Ground(child, index, env, negated));
+      }
+      return is_and ? prop::PropAnd(std::move(children))
+                    : prop::PropOr(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      prop::PropFormula a = Ground(formula->child(0), index, env, !negated);
+      prop::PropFormula b = Ground(formula->child(1), index, env, negated);
+      return negated ? prop::PropAnd(std::move(a), std::move(b))
+                     : prop::PropOr(std::move(a), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      prop::PropFormula a_pos = Ground(formula->child(0), index, env, false);
+      prop::PropFormula a_neg = Ground(formula->child(0), index, env, true);
+      prop::PropFormula b_pos = Ground(formula->child(1), index, env, false);
+      prop::PropFormula b_neg = Ground(formula->child(1), index, env, true);
+      if (negated) {
+        return prop::PropOr(prop::PropAnd(a_pos, b_neg),
+                            prop::PropAnd(a_neg, b_pos));
+      }
+      return prop::PropOr(prop::PropAnd(a_pos, b_pos),
+                          prop::PropAnd(a_neg, b_neg));
+    }
+    case FormulaKind::kForall:
+    case FormulaKind::kExists: {
+      bool is_and = (formula->kind() == FormulaKind::kForall) != negated;
+      const std::string& variable = formula->variable();
+      auto saved = env->find(variable);
+      bool had_binding = saved != env->end();
+      std::uint64_t saved_value = had_binding ? saved->second : 0;
+      std::vector<prop::PropFormula> children;
+      children.reserve(index.domain_size());
+      for (std::uint64_t a = 0; a < index.domain_size(); ++a) {
+        (*env)[variable] = a;
+        children.push_back(Ground(formula->child(), index, env, negated));
+      }
+      if (had_binding) {
+        (*env)[variable] = saved_value;
+      } else {
+        env->erase(variable);
+      }
+      return is_and ? prop::PropAnd(std::move(children))
+                    : prop::PropOr(std::move(children));
+    }
+  }
+  throw std::logic_error("GroundLineage: unreachable");
+}
+
+}  // namespace
+
+prop::PropFormula GroundLineage(const logic::Formula& formula,
+                                const TupleIndex& index) {
+  Env env;
+  return Ground(formula, index, &env, false);
+}
+
+}  // namespace swfomc::grounding

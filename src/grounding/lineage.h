@@ -1,0 +1,27 @@
+#ifndef SWFOMC_GROUNDING_LINEAGE_H_
+#define SWFOMC_GROUNDING_LINEAGE_H_
+
+#include "grounding/tuple_index.h"
+#include "logic/formula.h"
+#include "prop/prop_formula.h"
+
+namespace swfomc::grounding {
+
+/// Builds the lineage F_{Φ,n} of Section 2: the propositional formula over
+/// ground-tuple variables obtained by expanding quantifiers over [n]:
+///
+///   F_t         = variable of t            (ground atoms)
+///   F_{a=b}     = true iff a == b          (ground equality)
+///   F_{∃x Φ}    = ∨_{a∈[n]} F_{Φ[a/x]}
+///   F_{∀x Φ}    = ∧_{a∈[n]} F_{Φ[a/x]}
+///
+/// For a fixed sentence, the lineage size is polynomial in n (O(n^d) for
+/// quantifier depth d). The formula need not be a sentence: free variables
+/// must be bound by `assignment` before grounding. Implications are
+/// expanded; the result uses only {var, !, &, |} plus constants.
+prop::PropFormula GroundLineage(const logic::Formula& formula,
+                                const TupleIndex& index);
+
+}  // namespace swfomc::grounding
+
+#endif  // SWFOMC_GROUNDING_LINEAGE_H_

@@ -1,0 +1,100 @@
+#include "grounding/unlabeled.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "grounding/tuple_index.h"
+#include "logic/evaluate.h"
+#include "logic/structure.h"
+#include "numeric/combinatorics.h"
+
+namespace swfomc::grounding {
+
+namespace {
+
+// Orbits of ground tuples under the permutation π acting coordinatewise:
+// π · R(a₁..a_k) = R(π(a₁)..π(a_k)). Returns, for each flat tuple index,
+// its orbit id, plus the orbit count.
+struct TupleOrbits {
+  std::vector<std::size_t> orbit_of;
+  std::size_t count = 0;
+};
+
+TupleOrbits ComputeOrbits(const TupleIndex& index,
+                          const std::vector<std::uint64_t>& pi) {
+  std::uint64_t total = index.TupleCount();
+  TupleOrbits orbits;
+  orbits.orbit_of.assign(total, SIZE_MAX);
+  for (std::uint64_t start = 0; start < total; ++start) {
+    if (orbits.orbit_of[start] != SIZE_MAX) continue;
+    std::size_t id = orbits.count++;
+    std::uint64_t current = start;
+    // Follow the cycle of π's action on this tuple.
+    while (orbits.orbit_of[current] == SIZE_MAX) {
+      orbits.orbit_of[current] = id;
+      TupleIndex::GroundAtom atom =
+          index.AtomOf(static_cast<prop::VarId>(current));
+      for (std::uint64_t& argument : atom.args) {
+        argument = pi[argument];
+      }
+      current = index.VariableOf(atom.relation, atom.args);
+    }
+  }
+  return orbits;
+}
+
+}  // namespace
+
+numeric::BigInt CountFixedModels(const logic::Formula& sentence,
+                                 const logic::Vocabulary& vocabulary,
+                                 const std::vector<std::uint64_t>& pi) {
+  std::uint64_t n = pi.size();
+  TupleIndex index(vocabulary, n);
+  TupleOrbits orbits = ComputeOrbits(index, pi);
+  if (orbits.count > 26) {
+    throw std::invalid_argument(
+        "CountFixedModels: refusing to enumerate 2^" +
+        std::to_string(orbits.count) + " orbit assignments");
+  }
+  numeric::BigInt fixed_models(0);
+  logic::Structure structure(vocabulary, n);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << orbits.count);
+       ++mask) {
+    for (std::uint64_t bit = 0; bit < index.TupleCount(); ++bit) {
+      structure.SetBit(bit, (mask >> orbits.orbit_of[bit]) & 1);
+    }
+    if (logic::Evaluate(structure, sentence)) {
+      fixed_models += numeric::BigInt(1);
+    }
+  }
+  return fixed_models;
+}
+
+numeric::BigInt UnlabeledFOMC(const logic::Formula& sentence,
+                              const logic::Vocabulary& vocabulary,
+                              std::uint64_t domain_size) {
+  if (domain_size > 8) {
+    throw std::invalid_argument(
+        "UnlabeledFOMC: reference implementation caps n at 8 (n! "
+        "permutations)");
+  }
+  std::vector<std::uint64_t> pi(domain_size);
+  std::iota(pi.begin(), pi.end(), 0);
+  numeric::BigInt total(0);
+  do {
+    total += CountFixedModels(sentence, vocabulary, pi);
+  } while (std::next_permutation(pi.begin(), pi.end()));
+
+  numeric::BigInt quotient, remainder;
+  numeric::BigInt::DivMod(total, numeric::Factorial(domain_size), &quotient,
+                          &remainder);
+  if (!remainder.IsZero()) {
+    throw std::logic_error(
+        "UnlabeledFOMC: Burnside sum not divisible by n!");
+  }
+  return quotient;
+}
+
+}  // namespace swfomc::grounding

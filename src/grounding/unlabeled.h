@@ -1,0 +1,38 @@
+#ifndef SWFOMC_GROUNDING_UNLABELED_H_
+#define SWFOMC_GROUNDING_UNLABELED_H_
+
+#include <cstdint>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "numeric/bigint.h"
+
+namespace swfomc::grounding {
+
+/// Unlabeled FO model counting, UFOMC(Φ, n): models counted up to
+/// isomorphism (Section 3.3 remarks that #P₁ = {UFOMC(Φ, n) | Φ ∈ FO},
+/// tightening the labeled correspondence FOMC(Θ₁, n) = n!·#accepting).
+///
+/// Computed by Burnside's lemma over the symmetric group S_n:
+///
+///   UFOMC(Φ, n) = (1/n!) · Σ_{π ∈ S_n} #{D |= Φ : π(D) = D}
+///
+/// with the fixed structures of each permutation counted by exhaustive
+/// enumeration over the π-orbits of ground tuples (a structure is fixed
+/// by π iff it is constant on every orbit, so there are 2^#orbits
+/// candidates per permutation). Exponential by nature — a reference
+/// implementation for small n, like ExhaustiveWFOMC. Requires the orbit
+/// count to stay ≤ 26 and n ≤ 8.
+numeric::BigInt UnlabeledFOMC(const logic::Formula& sentence,
+                              const logic::Vocabulary& vocabulary,
+                              std::uint64_t domain_size);
+
+/// Number of π-fixed models of Φ for one permutation π of [n] (exposed
+/// for tests; π is given as the image table π[i]).
+numeric::BigInt CountFixedModels(const logic::Formula& sentence,
+                                 const logic::Vocabulary& vocabulary,
+                                 const std::vector<std::uint64_t>& pi);
+
+}  // namespace swfomc::grounding
+
+#endif  // SWFOMC_GROUNDING_UNLABELED_H_

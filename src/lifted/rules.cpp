@@ -1,0 +1,342 @@
+#include "lifted/rules.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "logic/printer.h"
+#include "logic/transform.h"
+
+namespace swfomc::lifted {
+
+namespace {
+
+using logic::Formula;
+using logic::FormulaKind;
+using numeric::BigRational;
+
+void CollectRelations(const Formula& formula, std::set<logic::RelationId>* out) {
+  if (formula->kind() == FormulaKind::kAtom) {
+    out->insert(formula->relation());
+  }
+  for (const Formula& child : formula->children()) {
+    CollectRelations(child, out);
+  }
+}
+
+// Separator-variable test (Dalvi-Suciu): the variable must occur in
+// every relational atom, *and* for each relation symbol there must be one
+// argument position carrying it in all of that relation's atoms — only
+// then are the ground-tuple sets of distinct groundings disjoint.
+// ("occurs in every atom" alone is not enough: in ∃y (R(x,y) ∧ R(y,x))
+// the groundings x=a and x=b share the tuples R(a,b), R(b,a).) Equality
+// atoms are exempt: they involve no ground tuples.
+struct SeparatorScan {
+  bool every_atom = true;
+  // Per relation: argument positions holding the variable in *all* atoms
+  // seen so far (intersection); missing entry = relation not seen.
+  std::map<logic::RelationId, std::set<std::size_t>> common_positions;
+};
+
+void ScanSeparator(const Formula& formula, const std::string& name,
+                   SeparatorScan* scan) {
+  if (formula->kind() == FormulaKind::kAtom) {
+    std::set<std::size_t> positions;
+    for (std::size_t i = 0; i < formula->arguments().size(); ++i) {
+      const logic::Term& term = formula->arguments()[i];
+      if (term.IsVariable() && term.name == name) positions.insert(i);
+    }
+    if (positions.empty()) {
+      scan->every_atom = false;
+      return;
+    }
+    auto [it, inserted] =
+        scan->common_positions.emplace(formula->relation(), positions);
+    if (!inserted) {
+      std::set<std::size_t> intersection;
+      std::set_intersection(
+          it->second.begin(), it->second.end(), positions.begin(),
+          positions.end(),
+          std::inserter(intersection, intersection.begin()));
+      it->second = std::move(intersection);
+    }
+    return;
+  }
+  // A quantifier shadowing the name makes deeper occurrences a different
+  // variable — any relational atom below then lacks the separator.
+  if ((formula->kind() == FormulaKind::kForall ||
+       formula->kind() == FormulaKind::kExists) &&
+      formula->variable() == name) {
+    std::set<logic::RelationId> relations;
+    CollectRelations(formula, &relations);
+    if (!relations.empty()) scan->every_atom = false;
+    return;
+  }
+  for (const Formula& child : formula->children()) {
+    ScanSeparator(child, name, scan);
+  }
+}
+
+bool IsSeparatorVariable(const Formula& formula, const std::string& name) {
+  SeparatorScan scan;
+  ScanSeparator(formula, name, &scan);
+  if (!scan.every_atom) return false;
+  for (const auto& [relation, positions] : scan.common_positions) {
+    if (positions.empty()) return false;
+  }
+  return true;
+}
+
+// A fully ground formula's distinct ground atoms (relation + constants).
+using GroundAtom = std::pair<logic::RelationId, std::vector<std::uint64_t>>;
+
+bool CollectGroundAtoms(const Formula& formula, std::set<GroundAtom>* out) {
+  switch (formula->kind()) {
+    case FormulaKind::kForall:
+    case FormulaKind::kExists:
+      return false;
+    case FormulaKind::kAtom: {
+      GroundAtom atom{formula->relation(), {}};
+      for (const logic::Term& term : formula->arguments()) {
+        if (!term.IsConstant()) return false;
+        atom.second.push_back(term.value);
+      }
+      out->insert(std::move(atom));
+      return true;
+    }
+    case FormulaKind::kEquality:
+      for (const logic::Term& term : formula->arguments()) {
+        if (!term.IsConstant()) return false;
+      }
+      return true;
+    default:
+      for (const Formula& child : formula->children()) {
+        if (!CollectGroundAtoms(child, out)) return false;
+      }
+      return true;
+  }
+}
+
+bool EvaluateGround(const Formula& formula,
+                    const std::map<GroundAtom, bool>& assignment) {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      GroundAtom atom{formula->relation(), {}};
+      for (const logic::Term& term : formula->arguments()) {
+        atom.second.push_back(term.value);
+      }
+      return assignment.at(atom);
+    }
+    case FormulaKind::kEquality:
+      return formula->arguments()[0].value == formula->arguments()[1].value;
+    case FormulaKind::kNot:
+      return !EvaluateGround(formula->child(), assignment);
+    case FormulaKind::kAnd:
+      for (const Formula& child : formula->children()) {
+        if (!EvaluateGround(child, assignment)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const Formula& child : formula->children()) {
+        if (EvaluateGround(child, assignment)) return true;
+      }
+      return false;
+    case FormulaKind::kImplies:
+      return !EvaluateGround(formula->child(0), assignment) ||
+             EvaluateGround(formula->child(1), assignment);
+    case FormulaKind::kIff:
+      return EvaluateGround(formula->child(0), assignment) ==
+             EvaluateGround(formula->child(1), assignment);
+    default:
+      throw std::logic_error("EvaluateGround: unexpected quantifier");
+  }
+}
+
+}  // namespace
+
+RuleEngine::RuleEngine(const logic::Vocabulary& vocabulary)
+    : vocabulary_(&vocabulary) {}
+
+std::optional<BigRational> RuleEngine::Probability(
+    const logic::Formula& sentence, std::uint64_t domain_size) {
+  trace_ = Trace{};
+  return Solve(sentence, domain_size);
+}
+
+std::optional<BigRational> RuleEngine::Solve(const Formula& formula,
+                                             std::uint64_t domain_size) {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return BigRational(1);
+    case FormulaKind::kFalse:
+      return BigRational(0);
+    case FormulaKind::kNot: {
+      auto inner = Solve(formula->child(), domain_size);
+      if (!inner.has_value()) return std::nullopt;
+      return BigRational(1) - *inner;
+    }
+    case FormulaKind::kImplies:
+      return Solve(logic::Or(logic::Not(formula->child(0)), formula->child(1)),
+                   domain_size);
+    case FormulaKind::kForall:
+    case FormulaKind::kExists: {
+      bool is_forall = formula->kind() == FormulaKind::kForall;
+      if (domain_size == 0) {
+        return BigRational(is_forall ? 1 : 0);
+      }
+      // Scope minimization: children of a connective directly under the
+      // quantifier that do not mention the quantified variable hoist out
+      // (Qx (A ∘ B(x)) = A ∘ Qx B(x) for ∘ ∈ {∧, ∨} over a non-empty
+      // domain). This exposes decompositions the separator rule would
+      // otherwise mask.
+      {
+        const Formula& direct_body = formula->child();
+        if (direct_body->kind() == FormulaKind::kAnd ||
+            direct_body->kind() == FormulaKind::kOr) {
+          std::vector<Formula> free_of_x;
+          std::vector<Formula> dependent;
+          for (const Formula& child : direct_body->children()) {
+            if (logic::FreeVariables(child).contains(formula->variable())) {
+              dependent.push_back(child);
+            } else {
+              free_of_x.push_back(child);
+            }
+          }
+          if (!free_of_x.empty() && !dependent.empty()) {
+            bool conjunction = direct_body->kind() == FormulaKind::kAnd;
+            Formula inner = dependent.size() == 1
+                                ? dependent[0]
+                                : (conjunction ? logic::And(dependent)
+                                               : logic::Or(dependent));
+            inner = is_forall ? logic::Forall(formula->variable(), inner)
+                              : logic::Exists(formula->variable(), inner);
+            free_of_x.push_back(std::move(inner));
+            return Solve(conjunction ? logic::And(std::move(free_of_x))
+                                     : logic::Or(std::move(free_of_x)),
+                         domain_size);
+          }
+        }
+      }
+      // Gather the maximal same-quantifier block and look for a separator
+      // variable (one occurring in every relational atom): independent
+      // partial grounding.
+      std::vector<std::string> block;
+      Formula body = formula;
+      while (body->kind() == formula->kind()) {
+        block.push_back(body->variable());
+        body = body->child();
+      }
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        if (!IsSeparatorVariable(body, block[i])) continue;
+        // Rebuild the quantifier block without block[i], substitute a
+        // fixed constant (symmetry: any element gives the same value).
+        Formula reduced =
+            logic::SubstituteConstant(body, block[i], 0);
+        for (std::size_t j = block.size(); j-- > 0;) {
+          if (j == i) continue;
+          reduced = is_forall ? logic::Forall(block[j], reduced)
+                              : logic::Exists(block[j], reduced);
+        }
+        auto once = Solve(reduced, domain_size);
+        if (!once.has_value()) return std::nullopt;
+        ++trace_.partial_groundings;
+        if (is_forall) {
+          return BigRational::Pow(*once,
+                                  static_cast<std::int64_t>(domain_size));
+        }
+        return BigRational(1) -
+               BigRational::Pow(BigRational(1) - *once,
+                                static_cast<std::int64_t>(domain_size));
+      }
+      break;  // no separator: fall through to the base case / failure
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      // Partition children into relation-disjoint groups.
+      std::size_t count = formula->children().size();
+      std::vector<std::set<logic::RelationId>> relations(count);
+      std::vector<std::size_t> parent(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        parent[i] = i;
+        CollectRelations(formula->child(i), &relations[i]);
+      }
+      std::function<std::size_t(std::size_t)> find =
+          [&](std::size_t x) -> std::size_t {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+      };
+      std::map<logic::RelationId, std::size_t> owner;
+      for (std::size_t i = 0; i < count; ++i) {
+        for (logic::RelationId r : relations[i]) {
+          auto [it, inserted] = owner.emplace(r, i);
+          if (!inserted) parent[find(i)] = find(it->second);
+        }
+      }
+      std::map<std::size_t, std::vector<Formula>> groups;
+      for (std::size_t i = 0; i < count; ++i) {
+        groups[find(i)].push_back(formula->child(i));
+      }
+      if (groups.size() > 1) {
+        bool conjunction = formula->kind() == FormulaKind::kAnd;
+        BigRational result(1);
+        for (auto& [root, members] : groups) {
+          Formula piece = members.size() == 1
+                              ? members[0]
+                              : (conjunction ? logic::And(members)
+                                             : logic::Or(members));
+          auto part = Solve(piece, domain_size);
+          if (!part.has_value()) return std::nullopt;
+          result *= conjunction ? *part : BigRational(1) - *part;
+        }
+        if (conjunction) {
+          ++trace_.decomposable_conjunctions;
+          return result;
+        }
+        ++trace_.decomposable_disjunctions;
+        return BigRational(1) - result;
+      }
+      break;  // one entangled group: base case / failure
+    }
+    default:
+      break;
+  }
+
+  // Ground base case: finitely many ground atoms, solved by enumeration.
+  std::set<GroundAtom> atoms;
+  if (CollectGroundAtoms(formula, &atoms) && atoms.size() <= 20) {
+    std::vector<GroundAtom> ordered(atoms.begin(), atoms.end());
+    BigRational total(0);
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << ordered.size());
+         ++mask) {
+      std::map<GroundAtom, bool> assignment;
+      BigRational weight(1);
+      for (std::size_t i = 0; i < ordered.size(); ++i) {
+        bool value = (mask >> i) & 1;
+        assignment.emplace(ordered[i], value);
+        const BigRational& w =
+            vocabulary_->positive_weight(ordered[i].first);
+        const BigRational& wbar =
+            vocabulary_->negative_weight(ordered[i].first);
+        BigRational normalizer = w + wbar;
+        if (normalizer.IsZero()) return std::nullopt;
+        weight *= (value ? w : wbar) / normalizer;
+      }
+      if (EvaluateGround(formula, assignment)) total += weight;
+    }
+    ++trace_.ground_base_cases;
+    return total;
+  }
+
+  if (trace_.failure.empty()) {
+    trace_.failure = logic::ToString(formula, *vocabulary_);
+  }
+  return std::nullopt;
+}
+
+}  // namespace swfomc::lifted

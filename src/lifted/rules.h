@@ -1,0 +1,68 @@
+#ifndef SWFOMC_LIFTED_RULES_H_
+#define SWFOMC_LIFTED_RULES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "numeric/rational.h"
+
+namespace swfomc::lifted {
+
+/// A rule-based lifted inference engine in the style the literature calls
+/// "lifted inference rules" (WFOMC by first-order knowledge compilation).
+/// Theorem 3.7's closing remark — that *no existing set of lifted rules*
+/// computes QS4, so "we do not yet have a candidate for a complete set of
+/// lifted inference rules" — is only meaningful against an actual rule
+/// set; this module is that baseline. It applies, recursively:
+///
+///   * decomposable conjunction  Pr(Φ₁ ∧ Φ₂) = Pr(Φ₁)·Pr(Φ₂) and
+///   * decomposable disjunction  Pr(Φ₁ ∨ Φ₂) = 1 − (1−Pr(Φ₁))(1−Pr(Φ₂))
+///     when the conjuncts/disjuncts share no relation symbol;
+///   * independent partial grounding (the "separator variable" rule the
+///     paper uses for cγ in Section 3.2): if a leading quantified
+///     variable occurs in every atom, the groundings are independent:
+///       Pr(∀x ψ) = Pr(ψ[c/x])^n,   Pr(∃x ψ) = 1 − (1 − Pr(ψ[c/x]))^n;
+///   * negation / implication rewriting and ground-sentence base cases
+///     (a sentence over finitely many ground atoms is solved directly).
+///
+/// Deliberately *absent*: unary atom counting (the Σ_k C(n,k)... rule)
+/// and anything stronger — matching the minimal rule sets whose
+/// incompleteness the paper demonstrates. The engine returns nullopt when
+/// stuck, and that failure is itself the reproduced result: it computes
+/// ∀x∃y R(x,y) and decomposable families, and fails on QS4 (needs the
+/// Theorem 3.7 DP), on Table 1's sentence (needs atom counting), and on
+/// transitivity (conjectured hard).
+class RuleEngine {
+ public:
+  struct Trace {
+    std::size_t decomposable_conjunctions = 0;
+    std::size_t decomposable_disjunctions = 0;
+    std::size_t partial_groundings = 0;
+    std::size_t ground_base_cases = 0;
+    std::string failure;  // first unhandled subformula, when stuck
+  };
+
+  explicit RuleEngine(const logic::Vocabulary& vocabulary);
+
+  /// Pr(Φ) over the symmetric tuple-independent distribution induced by
+  /// the vocabulary weights (w, w̄) -> p = w/(w+w̄); nullopt when no rule
+  /// applies to some subproblem. Requires w + w̄ != 0 per relation.
+  std::optional<numeric::BigRational> Probability(
+      const logic::Formula& sentence, std::uint64_t domain_size);
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  std::optional<numeric::BigRational> Solve(const logic::Formula& formula,
+                                            std::uint64_t domain_size);
+
+  const logic::Vocabulary* vocabulary_;
+  Trace trace_;
+};
+
+}  // namespace swfomc::lifted
+
+#endif  // SWFOMC_LIFTED_RULES_H_

@@ -1,0 +1,123 @@
+#include "logic/evaluate.h"
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace swfomc::logic {
+
+namespace {
+
+std::uint64_t ResolveTerm(const Term& term, const Assignment& assignment) {
+  if (term.IsConstant()) return term.value;
+  auto it = assignment.find(term.name);
+  if (it == assignment.end()) {
+    throw std::invalid_argument("Evaluate: unbound variable " + term.name);
+  }
+  return it->second;
+}
+
+bool EvaluateImpl(const Structure& structure, const Formula& formula,
+                  Assignment* assignment) {
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      std::vector<std::uint64_t> args;
+      args.reserve(formula->arguments().size());
+      for (const Term& t : formula->arguments()) {
+        args.push_back(ResolveTerm(t, *assignment));
+      }
+      return structure.Get(formula->relation(), args);
+    }
+    case FormulaKind::kEquality:
+      return ResolveTerm(formula->arguments()[0], *assignment) ==
+             ResolveTerm(formula->arguments()[1], *assignment);
+    case FormulaKind::kNot:
+      return !EvaluateImpl(structure, formula->child(), assignment);
+    case FormulaKind::kAnd:
+      for (const Formula& child : formula->children()) {
+        if (!EvaluateImpl(structure, child, assignment)) return false;
+      }
+      return true;
+    case FormulaKind::kOr:
+      for (const Formula& child : formula->children()) {
+        if (EvaluateImpl(structure, child, assignment)) return true;
+      }
+      return false;
+    case FormulaKind::kImplies:
+      return !EvaluateImpl(structure, formula->child(0), assignment) ||
+             EvaluateImpl(structure, formula->child(1), assignment);
+    case FormulaKind::kIff:
+      return EvaluateImpl(structure, formula->child(0), assignment) ==
+             EvaluateImpl(structure, formula->child(1), assignment);
+    case FormulaKind::kForall:
+    case FormulaKind::kExists: {
+      bool is_forall = formula->kind() == FormulaKind::kForall;
+      const std::string& variable = formula->variable();
+      auto saved = assignment->find(variable);
+      bool had_binding = saved != assignment->end();
+      std::uint64_t saved_value = had_binding ? saved->second : 0;
+      bool result = is_forall;
+      for (std::uint64_t a = 0; a < structure.domain_size(); ++a) {
+        (*assignment)[variable] = a;
+        bool holds = EvaluateImpl(structure, formula->child(), assignment);
+        if (is_forall && !holds) {
+          result = false;
+          break;
+        }
+        if (!is_forall && holds) {
+          result = true;
+          break;
+        }
+      }
+      if (had_binding) {
+        (*assignment)[variable] = saved_value;
+      } else {
+        assignment->erase(variable);
+      }
+      return result;
+    }
+  }
+  throw std::logic_error("EvaluateImpl: unreachable");
+}
+
+}  // namespace
+
+bool Evaluate(const Structure& structure, const Formula& formula,
+              const Assignment& assignment) {
+  Assignment mutable_assignment = assignment;
+  return EvaluateImpl(structure, formula, &mutable_assignment);
+}
+
+std::uint64_t CountSatisfiedGroundings(const Structure& structure,
+                                       const Formula& formula) {
+  std::set<std::string> free_var_set = FreeVariables(formula);
+  std::vector<std::string> free_vars(free_var_set.begin(),
+                                     free_var_set.end());
+  Assignment assignment;
+  std::uint64_t count = 0;
+  std::uint64_t n = structure.domain_size();
+  // Odometer over [n]^|free_vars|.
+  std::vector<std::uint64_t> values(free_vars.size(), 0);
+  while (true) {
+    for (std::size_t i = 0; i < free_vars.size(); ++i) {
+      assignment[free_vars[i]] = values[i];
+    }
+    if (EvaluateImpl(structure, formula, &assignment)) ++count;
+    // Increment odometer.
+    std::size_t pos = 0;
+    while (pos < values.size()) {
+      if (++values[pos] < n) break;
+      values[pos] = 0;
+      ++pos;
+    }
+    if (pos == values.size()) break;
+    if (values.empty()) break;
+  }
+  return count;
+}
+
+}  // namespace swfomc::logic

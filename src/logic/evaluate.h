@@ -1,0 +1,30 @@
+#ifndef SWFOMC_LOGIC_EVALUATE_H_
+#define SWFOMC_LOGIC_EVALUATE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "logic/formula.h"
+#include "logic/structure.h"
+
+namespace swfomc::logic {
+
+/// A partial assignment of logical variables to domain elements.
+using Assignment = std::unordered_map<std::string, std::uint64_t>;
+
+/// Model checking: D |= Φ[assignment]. Quantifiers range over the
+/// structure's domain. Throws std::invalid_argument when an unbound
+/// variable is encountered.
+bool Evaluate(const Structure& structure, const Formula& formula,
+              const Assignment& assignment = {});
+
+/// Counts the assignments a ∈ [n]^|x| of the formula's free variables x
+/// under which Φ[a/x] holds in D — the MLN semantics needs this (number of
+/// satisfied groundings of a soft constraint).
+std::uint64_t CountSatisfiedGroundings(const Structure& structure,
+                                       const Formula& formula);
+
+}  // namespace swfomc::logic
+
+#endif  // SWFOMC_LOGIC_EVALUATE_H_

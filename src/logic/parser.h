@@ -1,0 +1,44 @@
+#ifndef SWFOMC_LOGIC_PARSER_H_
+#define SWFOMC_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace swfomc::logic {
+
+/// Parses the textual FO syntax used throughout the library.
+///
+/// Grammar (precedence from loosest to tightest):
+///
+///   formula  := iff
+///   iff      := implies ('<=>' implies)*
+///   implies  := or ('=>' implies)?                      -- right associative
+///   or       := and ('|' and)*
+///   and      := quant ('&' quant)*
+///   quant    := ('forall' | 'exists') var+ ('.' | ':')? quant | unary
+///   unary    := '!' unary | primary
+///   primary  := '(' formula ')' | 'true' | 'false' | atom | equality
+///   atom     := RelName '(' term (',' term)* ')' | RelName  -- 0-ary
+///   equality := term '=' term | term '!=' term
+///   term     := variable | natural-number constant
+///
+/// Identifiers starting with an uppercase letter are relation names;
+/// identifiers starting with a lowercase letter are variables. Examples:
+///
+///   forall x exists y. R(x,y)
+///   forall x forall y (R(x) | S(x,y) | T(y))
+///   exists x exists y (Spouse(x,y) & Female(x) & !Male(y))
+///
+/// Unknown relation symbols are added to `vocabulary` with the observed
+/// arity and default weights (1, 1). A symbol used with two different
+/// arities raises std::invalid_argument, as does any syntax error.
+Formula Parse(std::string_view text, Vocabulary* vocabulary);
+
+/// Parse against a read-only vocabulary; unknown relations raise.
+Formula ParseStrict(std::string_view text, const Vocabulary& vocabulary);
+
+}  // namespace swfomc::logic
+
+#endif  // SWFOMC_LOGIC_PARSER_H_

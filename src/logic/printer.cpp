@@ -1,0 +1,98 @@
+#include "logic/printer.h"
+
+namespace swfomc::logic {
+
+namespace {
+
+// Precedence levels for parenthesization, loosest binds lowest.
+int Precedence(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kIff: return 1;
+    case FormulaKind::kImplies: return 2;
+    case FormulaKind::kOr: return 3;
+    case FormulaKind::kAnd: return 4;
+    case FormulaKind::kForall:
+    case FormulaKind::kExists: return 5;
+    case FormulaKind::kNot: return 6;
+    default: return 7;
+  }
+}
+
+std::string Render(const Formula& formula, const Vocabulary& vocabulary,
+                   int parent_precedence) {
+  int precedence = Precedence(formula->kind());
+  std::string out;
+  switch (formula->kind()) {
+    case FormulaKind::kTrue:
+      out = "true";
+      break;
+    case FormulaKind::kFalse:
+      out = "false";
+      break;
+    case FormulaKind::kAtom: {
+      out = vocabulary.name(formula->relation());
+      if (!formula->arguments().empty()) {
+        out += "(";
+        for (std::size_t i = 0; i < formula->arguments().size(); ++i) {
+          if (i > 0) out += ",";
+          out += ToString(formula->arguments()[i]);
+        }
+        out += ")";
+      }
+      break;
+    }
+    case FormulaKind::kEquality:
+      out = ToString(formula->arguments()[0]) + " = " +
+            ToString(formula->arguments()[1]);
+      break;
+    case FormulaKind::kNot:
+      out = "!" + Render(formula->child(), vocabulary, precedence);
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const char* op = formula->kind() == FormulaKind::kAnd ? " & " : " | ";
+      for (std::size_t i = 0; i < formula->children().size(); ++i) {
+        if (i > 0) out += op;
+        out += Render(formula->children()[i], vocabulary, precedence + 1);
+      }
+      break;
+    }
+    case FormulaKind::kImplies:
+      out = Render(formula->child(0), vocabulary, precedence + 1) + " => " +
+            Render(formula->child(1), vocabulary, precedence);
+      break;
+    case FormulaKind::kIff:
+      out = Render(formula->child(0), vocabulary, precedence + 1) + " <=> " +
+            Render(formula->child(1), vocabulary, precedence + 1);
+      break;
+    case FormulaKind::kForall:
+    case FormulaKind::kExists: {
+      const char* quantifier =
+          formula->kind() == FormulaKind::kForall ? "forall " : "exists ";
+      // Collapse runs of the same quantifier for readability.
+      out = quantifier + formula->variable();
+      Formula body = formula->child();
+      while (body->kind() == formula->kind()) {
+        out += " " + body->variable();
+        body = body->child();
+      }
+      out += ". " + Render(body, vocabulary, precedence);
+      break;
+    }
+  }
+  if (precedence < parent_precedence) return "(" + out + ")";
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const Formula& formula, const Vocabulary& vocabulary) {
+  return Render(formula, vocabulary, 0);
+}
+
+std::string ToString(const Term& term) {
+  if (term.IsVariable()) return term.name;
+  return std::to_string(term.value);
+}
+
+}  // namespace swfomc::logic

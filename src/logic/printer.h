@@ -1,0 +1,20 @@
+#ifndef SWFOMC_LOGIC_PRINTER_H_
+#define SWFOMC_LOGIC_PRINTER_H_
+
+#include <string>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace swfomc::logic {
+
+/// Renders the formula in the same syntax accepted by Parse, so that
+/// Parse(ToString(f)) is structurally equal to f (modulo flattening).
+std::string ToString(const Formula& formula, const Vocabulary& vocabulary);
+
+/// Renders a term.
+std::string ToString(const Term& term);
+
+}  // namespace swfomc::logic
+
+#endif  // SWFOMC_LOGIC_PRINTER_H_

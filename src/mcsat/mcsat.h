@@ -1,0 +1,84 @@
+#ifndef SWFOMC_MCSAT_MCSAT_H_
+#define SWFOMC_MCSAT_MCSAT_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/structure.h"
+#include "mcsat/walksat.h"
+#include "mln/mln.h"
+#include "prop/cnf.h"
+#include "prop/prop_formula.h"
+
+namespace swfomc::mcsat {
+
+/// Options for the MC-SAT chain.
+struct McSatOptions {
+  std::uint64_t burn_in = 100;   // discarded leading samples
+  std::uint64_t samples = 1000;  // kept samples
+  std::uint64_t seed = 1;
+  /// Slice-sampling step: probability of an annealing move inside
+  /// SampleSAT, and its fixed temperature.
+  double sa_probability = 0.5;
+  double temperature = 0.1;
+  WalkSat::Options walksat;
+};
+
+/// MC-SAT (Poon-Domingos), the approximate MLN inference algorithm the
+/// paper's introduction contrasts with exact WFOMC: today's MLN systems
+/// (Alchemy, Tuffy) use this MCMC procedure, whose convergence guarantee
+/// requires a *uniform* sampler over the satisfying assignments of the
+/// current constraint set — but practical implementations substitute
+/// SampleSAT, which has no uniformity guarantee. This implementation is
+/// the honest baseline: the benches compare its estimates and failure
+/// modes against the exact WFOMC reduction of Example 1.2.
+///
+/// Supported networks: every constraint's quantifier-free matrix must
+/// ground to CNF by distribution (no auxiliary variables — the usual
+/// clausal-MLN setting). Soft weights w > 0, w != 1; a weight w < 1 is
+/// normalized to (1/w, ¬ϕ), which defines the same distribution.
+class McSatSampler {
+ public:
+  McSatSampler(const mln::MarkovLogicNetwork& network,
+               std::uint64_t domain_size, McSatOptions options = {});
+
+  /// Estimated Pr_MLN(query) as the fraction of post-burn-in samples
+  /// satisfying the query. Approximate by design (the paper's point);
+  /// rerunning with another seed gives another estimate.
+  double EstimateProbability(const logic::Formula& query);
+
+  /// One full MC-SAT chain; returns the kept samples as structures (for
+  /// multi-query estimation and diagnostics).
+  std::vector<logic::Structure> DrawSamples();
+
+  /// Number of ground soft constraint instances.
+  std::size_t ground_soft_count() const { return soft_.size(); }
+  /// Number of hard ground clauses.
+  std::size_t hard_clause_count() const { return hard_clauses_.size(); }
+
+ private:
+  struct GroundSoft {
+    double keep_probability;         // 1 - 1/w
+    prop::PropFormula formula;       // ground formula (for the sat test)
+    std::vector<prop::Clause> cnf;   // its clausal form
+  };
+
+  // One MC-SAT step: slice-select constraints satisfied by `current`,
+  // then SampleSAT a world of the selection. Returns false if the
+  // sampler failed to find a satisfying world (chain stays put).
+  bool Step(std::vector<bool>* current);
+
+  std::uint64_t domain_size_;
+  std::uint64_t tuple_count_;
+  McSatOptions options_;
+  std::mt19937_64 rng_;
+  const logic::Vocabulary* vocabulary_;
+  std::vector<prop::Clause> hard_clauses_;
+  std::vector<GroundSoft> soft_;
+};
+
+}  // namespace swfomc::mcsat
+
+#endif  // SWFOMC_MCSAT_MCSAT_H_

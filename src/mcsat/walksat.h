@@ -1,0 +1,64 @@
+#ifndef SWFOMC_MCSAT_WALKSAT_H_
+#define SWFOMC_MCSAT_WALKSAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "prop/cnf.h"
+
+namespace swfomc::mcsat {
+
+/// WalkSAT-style stochastic local search (Selman-Kautz-Cohen), the solver
+/// underneath SampleSAT. Section 1 of the paper: today's MLN systems rely
+/// on MC-SAT, whose theoretical guarantees require a *uniform* sampler of
+/// satisfying assignments, while the implementations use SampleSAT, which
+/// provides no uniformity guarantee — this module is that baseline, built
+/// so the benches can compare it against exact WFOMC inference.
+class WalkSat {
+ public:
+  struct Options {
+    /// Probability of a random-walk move (vs a greedy min-break move).
+    double noise = 0.5;
+    /// Flips before giving up on one try.
+    std::uint64_t max_flips = 100000;
+    /// Independent restarts.
+    std::uint64_t max_tries = 10;
+  };
+
+  WalkSat(prop::CnfFormula cnf, Options options, std::uint64_t seed);
+
+  /// A satisfying assignment (indexed by VarId), or nullopt when the
+  /// search budget is exhausted. Incomplete by design: failure does not
+  /// prove unsatisfiability.
+  std::optional<std::vector<bool>> Solve();
+
+  /// SampleSAT (Wei-Erenrich-Selman): interleaves WalkSAT repair moves
+  /// with simulated-annealing moves (accepted with the Metropolis rule at
+  /// fixed temperature) to make the exit distribution over solutions
+  /// *closer* to uniform — but not actually uniform, which is the paper's
+  /// point. `sa_probability` is the chance of an annealing move per step.
+  std::optional<std::vector<bool>> Sample(double sa_probability = 0.5,
+                                          double temperature = 0.1);
+
+ private:
+  // One local-search run from a random assignment; flips until satisfied
+  // or out of budget. `sa_probability` = 0 gives plain WalkSAT.
+  std::optional<std::vector<bool>> Run(double sa_probability,
+                                       double temperature);
+
+  // Number of clauses a flip of `variable` would newly break.
+  std::uint64_t BreakCount(const std::vector<bool>& assignment,
+                           prop::VarId variable) const;
+
+  prop::CnfFormula cnf_;
+  Options options_;
+  std::mt19937_64 rng_;
+  // occurrences_[v]: indices of clauses containing variable v.
+  std::vector<std::vector<std::size_t>> occurrences_;
+};
+
+}  // namespace swfomc::mcsat
+
+#endif  // SWFOMC_MCSAT_WALKSAT_H_

@@ -1,0 +1,61 @@
+#ifndef SWFOMC_MLN_MLN_H_
+#define SWFOMC_MLN_MLN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "numeric/rational.h"
+
+namespace swfomc::mln {
+
+/// A Markov Logic Network (Example 1.1): a finite set of constraints
+/// (w, ϕ(x⃗)) over a relational vocabulary. A soft constraint multiplies a
+/// world's weight by w for every tuple of constants a⃗ with D |= ϕ[a⃗];
+/// a hard constraint (w = ∞) must hold for all groundings.
+///
+/// Weights here are exact rationals (the paper dispenses with log-space
+/// weights); hard constraints are represented by an unset weight.
+class MarkovLogicNetwork {
+ public:
+  struct Constraint {
+    /// Weight; std::nullopt means hard (w = ∞).
+    std::optional<numeric::BigRational> weight;
+    logic::Formula formula;  // free variables are the constraint's x⃗
+  };
+
+  explicit MarkovLogicNetwork(logic::Vocabulary vocabulary)
+      : vocabulary_(std::move(vocabulary)) {}
+
+  /// Adds a soft constraint (w, ϕ). Requires w > 0.
+  void AddSoft(numeric::BigRational weight, logic::Formula formula);
+  /// Adds a hard constraint (∞, ϕ).
+  void AddHard(logic::Formula formula);
+
+  /// Parses the formula against this MLN's vocabulary (auto-declaring new
+  /// relations) and adds it.
+  void AddSoft(numeric::BigRational weight, const std::string& formula_text);
+  void AddHard(const std::string& formula_text);
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  const logic::Vocabulary& vocabulary() const { return vocabulary_; }
+  logic::Vocabulary* mutable_vocabulary() { return &vocabulary_; }
+
+  /// Exact reference semantics by exhaustive world enumeration:
+  /// W(Φ) = Σ_{D |= Φ ∧ hard} Π_{(w,ϕ),a⃗: D |= ϕ[a⃗]} w  and
+  /// Pr(Φ) = W(Φ)/W(true). Exponential in |Tup(n)| — ground truth only.
+  numeric::BigRational BruteForceWeight(const logic::Formula& query,
+                                        std::uint64_t domain_size) const;
+  numeric::BigRational BruteForceProbability(const logic::Formula& query,
+                                             std::uint64_t domain_size) const;
+
+ private:
+  logic::Vocabulary vocabulary_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace swfomc::mln
+
+#endif  // SWFOMC_MLN_MLN_H_

@@ -1,0 +1,71 @@
+#include "mln/reduction.h"
+
+#include <stdexcept>
+
+#include "grounding/grounded_wfomc.h"
+
+namespace swfomc::mln {
+
+using numeric::BigRational;
+
+WfomcReduction ReduceToWFOMC(const MarkovLogicNetwork& network) {
+  WfomcReduction result;
+  result.vocabulary = network.vocabulary();
+  std::vector<logic::Formula> hard;
+
+  for (const MarkovLogicNetwork::Constraint& constraint :
+       network.constraints()) {
+    std::set<std::string> free_set = logic::FreeVariables(constraint.formula);
+    std::vector<std::string> free_vars(free_set.begin(), free_set.end());
+    if (!constraint.weight.has_value()) {
+      // Hard constraint: its universal closure joins Γ directly.
+      hard.push_back(logic::Forall(free_vars, constraint.formula));
+      continue;
+    }
+    const BigRational& w = *constraint.weight;
+    if (w == BigRational(1)) continue;  // weight-1 constraints are no-ops
+
+    // Fresh auxiliary relation with weights (1/(w-1), 1).
+    BigRational aux_weight = BigRational(1) / (w - BigRational(1));
+    logic::RelationId aux = result.vocabulary.AddRelation(
+        result.vocabulary.FreshName("MlnR"), free_vars.size(), aux_weight, 1);
+    std::vector<logic::Term> args;
+    args.reserve(free_vars.size());
+    for (const std::string& v : free_vars) {
+      args.push_back(logic::Term::Var(v));
+    }
+    hard.push_back(logic::Forall(
+        free_vars, logic::Or(logic::Atom(aux, std::move(args)),
+                             constraint.formula)));
+  }
+  result.gamma = logic::And(std::move(hard));
+  return result;
+}
+
+numeric::BigRational ProbabilityViaWFOMC(const MarkovLogicNetwork& network,
+                                         const logic::Formula& query,
+                                         std::uint64_t domain_size,
+                                         const WfomcEngine& engine) {
+  WfomcReduction reduction = ReduceToWFOMC(network);
+  BigRational numerator = engine(logic::And(query, reduction.gamma),
+                                 reduction.vocabulary, domain_size);
+  BigRational denominator =
+      engine(reduction.gamma, reduction.vocabulary, domain_size);
+  if (denominator.IsZero()) {
+    throw std::domain_error("MLN reduction: zero partition function");
+  }
+  return numerator / denominator;
+}
+
+numeric::BigRational ProbabilityViaWFOMC(const MarkovLogicNetwork& network,
+                                         const logic::Formula& query,
+                                         std::uint64_t domain_size) {
+  return ProbabilityViaWFOMC(
+      network, query, domain_size,
+      [](const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+         std::uint64_t n) {
+        return grounding::GroundedWFOMC(sentence, vocabulary, n);
+      });
+}
+
+}  // namespace swfomc::mln

@@ -1,0 +1,47 @@
+#ifndef SWFOMC_MLN_REDUCTION_H_
+#define SWFOMC_MLN_REDUCTION_H_
+
+#include <functional>
+
+#include "mln/mln.h"
+
+namespace swfomc::mln {
+
+/// Example 1.2: the reduction from MLN inference to symmetric WFOMC.
+/// Every soft constraint (w, ϕ(x⃗)) is replaced by
+///   * a hard constraint ∀x⃗ (R(x⃗) ∨ ϕ(x⃗)), and
+///   * a fresh relation R of arity |x⃗| with symmetric weights
+///     (w_R, w̄_R) = (1/(w-1), 1) — negative when w < 1.
+/// Then Pr_MLN(Φ) = Pr(Φ | Γ) = WFOMC(Φ ∧ Γ) / WFOMC(Γ), where Γ
+/// conjoins all hard constraints (original and introduced). The reduction
+/// is independent of the domain size.
+///
+/// Soft constraints with w = 1 are weightless no-ops and are dropped;
+/// the transformation is undefined for w = 1 only in the sense that no
+/// auxiliary relation is needed.
+struct WfomcReduction {
+  logic::Vocabulary vocabulary;  // extended, with auxiliary weights
+  logic::Formula gamma;          // conjunction of hard constraints
+};
+
+WfomcReduction ReduceToWFOMC(const MarkovLogicNetwork& network);
+
+/// A WFOMC engine: (sentence, vocabulary, n) -> WFOMC.
+using WfomcEngine = std::function<numeric::BigRational(
+    const logic::Formula&, const logic::Vocabulary&, std::uint64_t)>;
+
+/// Pr_MLN(query) over a domain of the given size, computed through the
+/// WFOMC reduction with the supplied engine (grounded or lifted).
+numeric::BigRational ProbabilityViaWFOMC(const MarkovLogicNetwork& network,
+                                         const logic::Formula& query,
+                                         std::uint64_t domain_size,
+                                         const WfomcEngine& engine);
+
+/// Same, defaulting to the grounded DPLL engine.
+numeric::BigRational ProbabilityViaWFOMC(const MarkovLogicNetwork& network,
+                                         const logic::Formula& query,
+                                         std::uint64_t domain_size);
+
+}  // namespace swfomc::mln
+
+#endif  // SWFOMC_MLN_REDUCTION_H_

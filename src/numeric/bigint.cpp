@@ -1,0 +1,543 @@
+#include "numeric/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace swfomc::numeric {
+
+namespace {
+
+constexpr std::uint64_t kBase = 1ULL << 32;
+constexpr std::size_t kKaratsubaThreshold = 32;
+
+void TrimZeros(std::vector<std::uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Avoid UB on INT64_MIN: negate in unsigned space.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xFFFFFFFFu));
+    magnitude >>= 32;
+  }
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::FromUnsigned(std::uint64_t value) {
+  BigInt result;
+  while (value != 0) {
+    result.limbs_.push_back(static_cast<std::uint32_t>(value & 0xFFFFFFFFu));
+    value >>= 32;
+  }
+  return result;
+}
+
+BigInt BigInt::FromString(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  bool negative = false;
+  std::size_t start = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    start = 1;
+  }
+  if (start == text.size()) throw std::invalid_argument("BigInt: no digits");
+  BigInt result;
+  // Process 9 decimal digits at a time: result = result * 10^9 + chunk.
+  std::size_t i = start;
+  while (i < text.size()) {
+    std::size_t chunk_len = std::min<std::size_t>(9, text.size() - i);
+    std::uint32_t chunk = 0;
+    std::uint32_t chunk_base = 1;
+    for (std::size_t j = 0; j < chunk_len; ++j, ++i) {
+      char c = text[i];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("BigInt: invalid digit");
+      }
+      chunk = chunk * 10 + static_cast<std::uint32_t>(c - '0');
+      chunk_base *= 10;
+    }
+    // result = result * chunk_base + chunk, in-place over limbs.
+    std::uint64_t carry = chunk;
+    for (std::uint32_t& limb : result.limbs_) {
+      std::uint64_t cur = static_cast<std::uint64_t>(limb) * chunk_base + carry;
+      limb = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    while (carry != 0) {
+      result.limbs_.push_back(static_cast<std::uint32_t>(carry & 0xFFFFFFFFu));
+      carry >>= 32;
+    }
+  }
+  result.negative_ = negative;
+  result.Normalize();
+  return result;
+}
+
+int BigInt::Sign() const {
+  if (limbs_.empty()) return 0;
+  return negative_ ? -1 : 1;
+}
+
+std::size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::string BigInt::ToString() const {
+  if (limbs_.empty()) return "0";
+  // Repeatedly divide the magnitude by 10^9.
+  std::vector<std::uint32_t> magnitude = limbs_;
+  std::vector<std::uint32_t> chunks;  // base-10^9 digits, little-endian
+  while (!magnitude.empty()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = magnitude.size(); i-- > 0;) {
+      std::uint64_t cur = (remainder << 32) | magnitude[i];
+      magnitude[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      remainder = cur % 1000000000u;
+    }
+    TrimZeros(&magnitude);
+    chunks.push_back(static_cast<std::uint32_t>(remainder));
+  }
+  std::string out;
+  if (negative_) out.push_back('-');
+  out += std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out.append(9 - part.size(), '0');
+    out += part;
+  }
+  return out;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  std::uint64_t magnitude =
+      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return magnitude <= (1ULL << 63);
+  return magnitude < (1ULL << 63);
+}
+
+std::int64_t BigInt::ToInt64() const {
+  if (!FitsInt64()) throw std::overflow_error("BigInt: does not fit in int64");
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
+  return static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::ToDouble() const {
+  double result = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    result = result * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -result : result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.limbs_.empty()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::AddMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> result;
+  result.reserve(longer.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i];
+    if (i < shorter.size()) sum += shorter[i];
+    result.push_back(static_cast<std::uint32_t>(sum & 0xFFFFFFFFu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<std::uint32_t>(carry));
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::SubMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= b[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<std::uint32_t>(diff));
+  }
+  TrimZeros(&result);
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::MulSchoolbook(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a[i]) * b[j] +
+                          result[i + j] + carry;
+      result[i + j] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  TrimZeros(&result);
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::MulKaratsuba(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  std::size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const std::vector<std::uint32_t>& v)
+      -> std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> {
+    std::vector<std::uint32_t> low(v.begin(),
+                                   v.begin() + std::min(half, v.size()));
+    std::vector<std::uint32_t> high;
+    if (v.size() > half) high.assign(v.begin() + half, v.end());
+    TrimZeros(&low);
+    return {std::move(low), std::move(high)};
+  };
+  auto [a_low, a_high] = split(a);
+  auto [b_low, b_high] = split(b);
+
+  std::vector<std::uint32_t> z0 = MulKaratsuba(a_low, b_low);
+  std::vector<std::uint32_t> z2 = MulKaratsuba(a_high, b_high);
+  std::vector<std::uint32_t> sum_a = AddMagnitude(a_low, a_high);
+  std::vector<std::uint32_t> sum_b = AddMagnitude(b_low, b_high);
+  std::vector<std::uint32_t> z1 = MulKaratsuba(sum_a, sum_b);
+  z1 = SubMagnitude(z1, z0);
+  z1 = SubMagnitude(z1, z2);
+
+  // result = z0 + z1 << (32*half) + z2 << (64*half)
+  std::vector<std::uint32_t> result(std::max(
+      {z0.size(), z1.size() + half, z2.size() + 2 * half}) + 1, 0);
+  auto add_at = [&result](const std::vector<std::uint32_t>& v,
+                          std::size_t offset) {
+    std::uint64_t carry = 0;
+    std::size_t i = 0;
+    for (; i < v.size(); ++i) {
+      std::uint64_t cur = static_cast<std::uint64_t>(result[offset + i]) +
+                          v[i] + carry;
+      result[offset + i] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    while (carry != 0) {
+      std::uint64_t cur = result[offset + i] + carry;
+      result[offset + i] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++i;
+    }
+  };
+  add_at(z0, 0);
+  add_at(z1, half);
+  add_at(z2, 2 * half);
+  TrimZeros(&result);
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::MulMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  return MulKaratsuba(a, b);
+}
+
+void BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b,
+                             std::vector<std::uint32_t>* quotient,
+                             std::vector<std::uint32_t>* remainder) {
+  quotient->clear();
+  remainder->clear();
+  if (b.empty()) throw std::domain_error("BigInt: division by zero");
+  if (CompareMagnitude(a, b) < 0) {
+    *remainder = a;
+    return;
+  }
+  if (b.size() == 1) {
+    // Fast path: single-limb divisor.
+    std::uint64_t divisor = b[0];
+    quotient->assign(a.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | a[i];
+      (*quotient)[i] = static_cast<std::uint32_t>(cur / divisor);
+      rem = cur % divisor;
+    }
+    TrimZeros(quotient);
+    if (rem != 0) {
+      remainder->push_back(static_cast<std::uint32_t>(rem & 0xFFFFFFFFu));
+      if (rem >> 32) remainder->push_back(static_cast<std::uint32_t>(rem >> 32));
+    }
+    return;
+  }
+  // Knuth algorithm D with normalization so the top divisor limb has its
+  // high bit set.
+  int shift = 0;
+  std::uint32_t top = b.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  auto shift_left = [](const std::vector<std::uint32_t>& v, int s) {
+    std::vector<std::uint32_t> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= v[i] << s;
+      if (s != 0) out[i + 1] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(v[i]) >> (32 - s));
+    }
+    TrimZeros(&out);
+    return out;
+  };
+  std::vector<std::uint32_t> u = shift_left(a, shift);
+  std::vector<std::uint32_t> v = shift_left(b, shift);
+  std::size_t n = v.size();
+  std::size_t m = u.size() - n;
+  u.push_back(0);  // u has m+n+1 limbs
+  quotient->assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / v[n - 1];
+    std::uint64_t r_hat = numerator % v[n - 1];
+    while (q_hat >= kBase ||
+           q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >= kBase) break;
+    }
+    // Multiply-subtract u[j..j+n] -= q_hat * v.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[j + i]) -
+                          static_cast<std::int64_t>(product & 0xFFFFFFFFu) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[j + i] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
+                        static_cast<std::int64_t>(carry) - borrow;
+    if (diff < 0) {
+      // q_hat was one too large: add back.
+      diff += static_cast<std::int64_t>(kBase);
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum =
+            static_cast<std::uint64_t>(u[j + i]) + v[i] + add_carry;
+        u[j + i] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
+        add_carry = sum >> 32;
+      }
+      diff += static_cast<std::int64_t>(add_carry);
+      diff &= 0xFFFFFFFF;
+    }
+    u[j + n] = static_cast<std::uint32_t>(diff);
+    (*quotient)[j] = static_cast<std::uint32_t>(q_hat);
+  }
+  TrimZeros(quotient);
+  // Remainder = u[0..n) >> shift.
+  u.resize(n);
+  if (shift != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] >>= shift;
+      if (i + 1 < n) {
+        u[i] |= u[i + 1] << (32 - shift);
+      }
+    }
+  }
+  TrimZeros(&u);
+  *remainder = std::move(u);
+}
+
+void BigInt::Normalize() {
+  TrimZeros(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  if (negative_ == other.negative_) {
+    limbs_ = AddMagnitude(limbs_, other.limbs_);
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (cmp > 0) {
+      limbs_ = SubMagnitude(limbs_, other.limbs_);
+    } else {
+      limbs_ = SubMagnitude(other.limbs_, limbs_);
+      negative_ = other.negative_;
+    }
+  }
+  Normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) {
+  BigInt negated = other;
+  if (!negated.limbs_.empty()) negated.negative_ = !negated.negative_;
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  bool result_negative = negative_ != other.negative_;
+  limbs_ = MulMagnitude(limbs_, other.limbs_);
+  negative_ = result_negative;
+  Normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator/=(const BigInt& other) {
+  BigInt quotient, remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  *this = std::move(quotient);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& other) {
+  BigInt quotient, remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  *this = std::move(remainder);
+  return *this;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                    BigInt* remainder) {
+  std::vector<std::uint32_t> q_mag, r_mag;
+  DivModMagnitude(a.limbs_, b.limbs_, &q_mag, &r_mag);
+  quotient->limbs_ = std::move(q_mag);
+  quotient->negative_ = a.negative_ != b.negative_;
+  quotient->Normalize();
+  remainder->limbs_ = std::move(r_mag);
+  remainder->negative_ = a.negative_;
+  remainder->Normalize();
+}
+
+BigInt BigInt::Pow(const BigInt& base, std::uint64_t exponent) {
+  BigInt result(1);
+  BigInt factor = base;
+  while (exponent != 0) {
+    if (exponent & 1) result *= factor;
+    exponent >>= 1;
+    if (exponent != 0) factor *= factor;
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.IsZero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::ShiftLeft(std::size_t bits) const {
+  if (limbs_.empty() || bits == 0) {
+    BigInt r = *this;
+    return r;
+  }
+  std::size_t limb_shift = bits / 32;
+  int bit_shift = static_cast<int>(bits % 32);
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    result.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      result.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(limbs_[i]) >> (32 - bit_shift));
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::ShiftRight(std::size_t bits) const {
+  std::size_t limb_shift = bits / 32;
+  int bit_shift = static_cast<int>(bits % 32);
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < result.limbs_.size(); ++i) {
+      result.limbs_[i] >>= bit_shift;
+      if (i + 1 < result.limbs_.size()) {
+        result.limbs_[i] |= result.limbs_[i + 1] << (32 - bit_shift);
+      }
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+bool operator<(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_;
+  int cmp = BigInt::CompareMagnitude(a.limbs_, b.limbs_);
+  return a.negative_ ? cmp > 0 : cmp < 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace swfomc::numeric

@@ -1,0 +1,133 @@
+#ifndef SWFOMC_NUMERIC_BIGINT_H_
+#define SWFOMC_NUMERIC_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swfomc::numeric {
+
+/// Arbitrary-precision signed integer.
+///
+/// Model counts in symmetric WFOMC grow as 2^Θ(n²) (there are 2^|Tup(n)|
+/// labeled structures over a domain of size n), so every counting path in
+/// this library uses exact arbitrary-precision arithmetic. GMP is not a
+/// dependency; this is a from-scratch implementation with sign-magnitude
+/// representation over 32-bit limbs (little-endian), schoolbook
+/// multiplication with a Karatsuba fast path, and long division.
+///
+/// The class is a regular value type: copyable, movable, totally ordered,
+/// hashable via ToString. All operations are exact; division truncates
+/// toward zero (C++ semantics), and DivMod returns both quotient and
+/// remainder with |r| < |b| and sign(r) == sign(a) (or r == 0).
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+  /// From native signed integer.
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  /// From native unsigned integer.
+  static BigInt FromUnsigned(std::uint64_t value);
+  /// Parses a decimal string with optional leading '-'. Throws
+  /// std::invalid_argument on malformed input.
+  static BigInt FromString(std::string_view text);
+
+  /// True iff the value is zero.
+  bool IsZero() const { return limbs_.empty(); }
+  /// True iff the value is strictly negative.
+  bool IsNegative() const { return negative_; }
+  /// True iff the value is one.
+  bool IsOne() const { return !negative_ && limbs_.size() == 1 && limbs_[0] == 1; }
+  /// Sign as -1, 0, or +1.
+  int Sign() const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  std::size_t BitLength() const;
+
+  /// Decimal string rendering.
+  std::string ToString() const;
+
+  /// Returns the value as int64 if it fits; throws std::overflow_error
+  /// otherwise.
+  std::int64_t ToInt64() const;
+  /// True iff the value fits in int64.
+  bool FitsInt64() const;
+  /// Lossy conversion to double (for reporting only; never used in
+  /// counting paths).
+  double ToDouble() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+  BigInt& operator/=(const BigInt& other);
+  BigInt& operator%=(const BigInt& other);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+
+  /// Simultaneous quotient and remainder; truncated division.
+  /// Throws std::domain_error when divisor is zero.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
+                     BigInt* remainder);
+
+  /// a^exponent with exponent >= 0 (throws std::domain_error otherwise).
+  static BigInt Pow(const BigInt& base, std::uint64_t exponent);
+  /// Greatest common divisor of |a| and |b| (non-negative result).
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  /// Left shift by `bits` (multiplication by 2^bits).
+  BigInt ShiftLeft(std::size_t bits) const;
+  /// Arithmetic right shift of the magnitude by `bits` (division of the
+  /// magnitude by 2^bits, sign preserved; returns 0 if all bits shifted out).
+  BigInt ShiftRight(std::size_t bits) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
+  friend bool operator<(const BigInt& a, const BigInt& b);
+  friend bool operator>(const BigInt& a, const BigInt& b) { return b < a; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return !(b < a); }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+ private:
+  // Magnitude comparison: -1, 0, +1 for |a| vs |b|.
+  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> AddMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> SubMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulSchoolbook(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulKaratsuba(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Long division of magnitudes; quotient and remainder out-params.
+  static void DivModMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b,
+                              std::vector<std::uint32_t>* quotient,
+                              std::vector<std::uint32_t>* remainder);
+  void Normalize();
+
+  // Little-endian 32-bit limbs; empty means zero. Invariant: no trailing
+  // zero limb, and negative_ is false when limbs_ is empty.
+  std::vector<std::uint32_t> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace swfomc::numeric
+
+#endif  // SWFOMC_NUMERIC_BIGINT_H_

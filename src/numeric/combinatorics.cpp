@@ -1,0 +1,87 @@
+#include "numeric/combinatorics.h"
+
+#include <stdexcept>
+
+namespace swfomc::numeric {
+
+BigInt Factorial(std::uint64_t n) {
+  BigInt result(1);
+  for (std::uint64_t i = 2; i <= n; ++i) {
+    result *= BigInt::FromUnsigned(i);
+  }
+  return result;
+}
+
+BigInt Binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return BigInt(0);
+  if (k > n - k) k = n - k;
+  BigInt result(1);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result *= BigInt::FromUnsigned(n - i);
+    result /= BigInt::FromUnsigned(i + 1);
+  }
+  return result;
+}
+
+BigInt Binomial(const BigInt& n, std::uint64_t k) {
+  if (n.IsNegative()) {
+    throw std::domain_error("Binomial: negative upper index");
+  }
+  if (n.FitsInt64() &&
+      BigInt::FromUnsigned(k) > n) {
+    return BigInt(0);
+  }
+  BigInt result(1);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    result *= n - BigInt::FromUnsigned(i);
+    result /= BigInt::FromUnsigned(i + 1);
+  }
+  if (result.IsNegative()) return BigInt(0);  // k > n for big n is impossible
+  return result;
+}
+
+BigInt Multinomial(std::uint64_t n, const std::vector<std::uint64_t>& parts) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t p : parts) sum += p;
+  if (sum != n) {
+    throw std::invalid_argument("Multinomial: parts do not sum to n");
+  }
+  BigInt result(1);
+  std::uint64_t remaining = n;
+  for (std::uint64_t p : parts) {
+    result *= Binomial(remaining, p);
+    remaining -= p;
+  }
+  return result;
+}
+
+void ForEachComposition(
+    std::uint64_t total, std::size_t parts,
+    const std::function<bool(const std::vector<std::uint64_t>&)>& visit) {
+  if (parts == 0) {
+    if (total == 0) visit({});
+    return;
+  }
+  std::vector<std::uint64_t> current(parts, 0);
+  // Recursive fill of positions [index, parts) summing to `remaining`.
+  std::function<bool(std::size_t, std::uint64_t)> fill =
+      [&](std::size_t index, std::uint64_t remaining) -> bool {
+    if (index + 1 == parts) {
+      current[index] = remaining;
+      return visit(current);
+    }
+    for (std::uint64_t value = 0; value <= remaining; ++value) {
+      current[index] = value;
+      if (!fill(index + 1, remaining - value)) return false;
+    }
+    return true;
+  };
+  fill(0, total);
+}
+
+BigInt CompositionCount(std::uint64_t total, std::size_t parts) {
+  if (parts == 0) return BigInt(total == 0 ? 1 : 0);
+  return Binomial(total + parts - 1, static_cast<std::uint64_t>(parts - 1));
+}
+
+}  // namespace swfomc::numeric

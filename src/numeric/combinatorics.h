@@ -1,0 +1,41 @@
+#ifndef SWFOMC_NUMERIC_COMBINATORICS_H_
+#define SWFOMC_NUMERIC_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "numeric/bigint.h"
+
+namespace swfomc::numeric {
+
+/// n! as a BigInt.
+BigInt Factorial(std::uint64_t n);
+
+/// Binomial coefficient C(n, k); 0 when k > n.
+BigInt Binomial(std::uint64_t n, std::uint64_t k);
+
+/// Binomial coefficient with BigInt upper index (needed by the γ-acyclic
+/// evaluator, where rule (e) multiplies domain sizes). Computed as the
+/// falling factorial n(n-1)...(n-k+1) / k!.
+BigInt Binomial(const BigInt& n, std::uint64_t k);
+
+/// Multinomial coefficient n! / (parts[0]! * ... * parts[m-1]!).
+/// Requires sum(parts) == n (checked).
+BigInt Multinomial(std::uint64_t n, const std::vector<std::uint64_t>& parts);
+
+/// Enumerates all weak compositions of `total` into `parts` non-negative
+/// summands, invoking `visit` with each composition. Used by the FO² cell
+/// algorithm (Appendix C sums over cell cardinalities n_1+...+n_{2^m}=n).
+/// `visit` returning false aborts the enumeration.
+void ForEachComposition(
+    std::uint64_t total, std::size_t parts,
+    const std::function<bool(const std::vector<std::uint64_t>&)>& visit);
+
+/// Number of weak compositions of `total` into `parts` summands:
+/// C(total + parts - 1, parts - 1).
+BigInt CompositionCount(std::uint64_t total, std::size_t parts);
+
+}  // namespace swfomc::numeric
+
+#endif  // SWFOMC_NUMERIC_COMBINATORICS_H_

@@ -1,0 +1,158 @@
+#include "numeric/polynomial.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/combinatorics.h"
+
+namespace swfomc::numeric {
+
+namespace {
+const BigRational kZero;
+}  // namespace
+
+Polynomial::Polynomial(std::vector<BigRational> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  Trim();
+}
+
+Polynomial Polynomial::Constant(BigRational c) {
+  return Polynomial({std::move(c)});
+}
+
+Polynomial Polynomial::Monomial(BigRational c, std::size_t degree) {
+  std::vector<BigRational> coefficients(degree + 1);
+  coefficients[degree] = std::move(c);
+  return Polynomial(std::move(coefficients));
+}
+
+const BigRational& Polynomial::Coefficient(std::size_t k) const {
+  if (k >= coefficients_.size()) return kZero;
+  return coefficients_[k];
+}
+
+BigRational Polynomial::Evaluate(const BigRational& x) const {
+  BigRational result;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    result = result * x + coefficients_[i];
+  }
+  return result;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial result = *this;
+  for (BigRational& c : result.coefficients_) c = -c;
+  return result;
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  if (other.coefficients_.size() > coefficients_.size()) {
+    coefficients_.resize(other.coefficients_.size());
+  }
+  for (std::size_t i = 0; i < other.coefficients_.size(); ++i) {
+    coefficients_[i] += other.coefficients_[i];
+  }
+  Trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& other) {
+  if (other.coefficients_.size() > coefficients_.size()) {
+    coefficients_.resize(other.coefficients_.size());
+  }
+  for (std::size_t i = 0; i < other.coefficients_.size(); ++i) {
+    coefficients_[i] -= other.coefficients_[i];
+  }
+  Trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& other) {
+  if (coefficients_.empty() || other.coefficients_.empty()) {
+    coefficients_.clear();
+    return *this;
+  }
+  std::vector<BigRational> result(
+      coefficients_.size() + other.coefficients_.size() - 1);
+  for (std::size_t i = 0; i < coefficients_.size(); ++i) {
+    if (coefficients_[i].IsZero()) continue;
+    for (std::size_t j = 0; j < other.coefficients_.size(); ++j) {
+      result[i + j] += coefficients_[i] * other.coefficients_[j];
+    }
+  }
+  coefficients_ = std::move(result);
+  Trim();
+  return *this;
+}
+
+Polynomial Polynomial::Interpolate(
+    const std::vector<std::pair<BigRational, BigRational>>& points) {
+  Polynomial result;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    // Basis polynomial L_i with L_i(x_i)=1, L_i(x_j)=0 for j != i.
+    Polynomial basis = Polynomial::Constant(BigRational(1));
+    BigRational denominator(1);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      BigRational dx = points[i].first - points[j].first;
+      if (dx.IsZero()) {
+        throw std::invalid_argument(
+            "Polynomial::Interpolate: duplicate x value");
+      }
+      basis *= Polynomial({-points[j].first, BigRational(1)});
+      denominator *= dx;
+    }
+    basis *= Polynomial::Constant(points[i].second / denominator);
+    result += basis;
+  }
+  return result;
+}
+
+std::string Polynomial::ToString(const std::string& variable) const {
+  if (coefficients_.empty()) return "0";
+  std::string out;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    const BigRational& c = coefficients_[i];
+    if (c.IsZero()) continue;
+    if (!out.empty()) {
+      out += c.Sign() < 0 ? " - " : " + ";
+    } else if (c.Sign() < 0) {
+      out += "-";
+    }
+    BigRational magnitude = c.Abs();
+    if (i == 0) {
+      out += magnitude.ToString();
+    } else {
+      if (!magnitude.IsOne()) out += magnitude.ToString() + "*";
+      out += variable;
+      if (i > 1) out += "^" + std::to_string(i);
+    }
+  }
+  if (out.empty()) out = "0";
+  return out;
+}
+
+void Polynomial::Trim() {
+  while (!coefficients_.empty() && coefficients_.back().IsZero()) {
+    coefficients_.pop_back();
+  }
+}
+
+BigRational FiniteDifferenceAtZero(
+    const std::vector<BigRational>& values_at_multiples_of_step) {
+  if (values_at_multiples_of_step.empty()) {
+    throw std::invalid_argument("FiniteDifferenceAtZero: no values");
+  }
+  std::size_t k = values_at_multiples_of_step.size() - 1;
+  BigRational result;
+  for (std::size_t i = 0; i <= k; ++i) {
+    BigRational term(Binomial(static_cast<std::uint64_t>(k),
+                              static_cast<std::uint64_t>(i)));
+    term *= values_at_multiples_of_step[i];
+    if ((k - i) % 2 == 1) term = -term;
+    result += term;
+  }
+  return result;
+}
+
+}  // namespace swfomc::numeric

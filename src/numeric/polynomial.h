@@ -1,0 +1,90 @@
+#ifndef SWFOMC_NUMERIC_POLYNOMIAL_H_
+#define SWFOMC_NUMERIC_POLYNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "numeric/rational.h"
+
+namespace swfomc::numeric {
+
+/// Dense univariate polynomial over BigRational.
+///
+/// Two of the paper's arguments are literally polynomial arguments and this
+/// class runs them:
+///   * Section 2 observes that WFOMC(Φ,n,w) is a multivariate polynomial in
+///     the relation weights and that an evaluation oracle at positive points
+///     determines it everywhere (so negative weights add no hardness);
+///   * Lemma 3.5 recovers WFOMC(Φ,n,w) as the degree-n coefficient of a
+///     degree-n² polynomial via n+1 oracle calls (finite differences or,
+///     equivalently, interpolation).
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+  /// From low-to-high coefficient list (trailing zeros are trimmed).
+  explicit Polynomial(std::vector<BigRational> coefficients);
+  /// The constant polynomial c.
+  static Polynomial Constant(BigRational c);
+  /// The monomial c * x^degree.
+  static Polynomial Monomial(BigRational c, std::size_t degree);
+
+  /// Degree; the zero polynomial has degree 0 by convention here.
+  std::size_t Degree() const {
+    return coefficients_.empty() ? 0 : coefficients_.size() - 1;
+  }
+  bool IsZero() const { return coefficients_.empty(); }
+
+  /// Coefficient of x^k (0 beyond the degree).
+  const BigRational& Coefficient(std::size_t k) const;
+
+  /// Horner evaluation.
+  BigRational Evaluate(const BigRational& x) const;
+
+  Polynomial operator-() const;
+  Polynomial& operator+=(const Polynomial& other);
+  Polynomial& operator-=(const Polynomial& other);
+  Polynomial& operator*=(const Polynomial& other);
+
+  friend Polynomial operator+(Polynomial a, const Polynomial& b) {
+    return a += b;
+  }
+  friend Polynomial operator-(Polynomial a, const Polynomial& b) {
+    return a -= b;
+  }
+  friend Polynomial operator*(Polynomial a, const Polynomial& b) {
+    return a *= b;
+  }
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    return a.coefficients_ == b.coefficients_;
+  }
+  friend bool operator!=(const Polynomial& a, const Polynomial& b) {
+    return !(a == b);
+  }
+
+  /// Unique polynomial of degree < points.size() through the given
+  /// (x, y) pairs (Lagrange). Throws std::invalid_argument on duplicate x.
+  static Polynomial Interpolate(
+      const std::vector<std::pair<BigRational, BigRational>>& points);
+
+  /// Human-readable rendering like "3*x^2 - 1/2*x + 7".
+  std::string ToString(const std::string& variable = "x") const;
+
+ private:
+  void Trim();
+
+  // Low-to-high; invariant: no trailing zero coefficient.
+  std::vector<BigRational> coefficients_;
+};
+
+/// The k-th forward finite difference at 0 with step `step`:
+/// Δ^k f(0) = Σ_i (-1)^{k-i} C(k,i) f(i*step). For a polynomial f of degree
+/// k with leading coefficient c and step 1, this equals c * k!. This is
+/// exactly the extraction step in the proof of Lemma 3.5.
+BigRational FiniteDifferenceAtZero(
+    const std::vector<BigRational>& values_at_multiples_of_step);
+
+}  // namespace swfomc::numeric
+
+#endif  // SWFOMC_NUMERIC_POLYNOMIAL_H_

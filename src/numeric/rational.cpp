@@ -1,0 +1,137 @@
+#include "numeric/rational.h"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace swfomc::numeric {
+
+BigRational::BigRational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.IsZero()) {
+    throw std::domain_error("BigRational: zero denominator");
+  }
+  Reduce();
+}
+
+BigRational BigRational::Fraction(std::int64_t numerator,
+                                  std::int64_t denominator) {
+  return BigRational(BigInt(numerator), BigInt(denominator));
+}
+
+BigRational BigRational::FromString(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return BigRational(BigInt::FromString(text));
+  }
+  return BigRational(BigInt::FromString(text.substr(0, slash)),
+                     BigInt::FromString(text.substr(slash + 1)));
+}
+
+void BigRational::Reduce() {
+  if (denominator_.IsNegative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.IsZero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(numerator_, denominator_);
+  if (!g.IsOne()) {
+    numerator_ /= g;
+    denominator_ /= g;
+  }
+}
+
+std::string BigRational::ToString() const {
+  if (denominator_.IsOne()) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+double BigRational::ToDouble() const {
+  // Scale to keep precision when both parts are huge.
+  std::size_t num_bits = numerator_.BitLength();
+  std::size_t den_bits = denominator_.BitLength();
+  std::size_t excess =
+      (num_bits > 900 || den_bits > 900)
+          ? std::max(num_bits, den_bits) - 512
+          : 0;
+  BigInt n = numerator_.ShiftRight(excess);
+  BigInt d = denominator_.ShiftRight(excess);
+  if (d.IsZero()) return 0.0;
+  return n.ToDouble() / d.ToDouble();
+}
+
+const BigInt& BigRational::ToInteger() const {
+  if (!denominator_.IsOne()) {
+    throw std::domain_error("BigRational: not an integer: " + ToString());
+  }
+  return numerator_;
+}
+
+BigRational BigRational::operator-() const {
+  BigRational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+BigRational BigRational::Abs() const {
+  BigRational result = *this;
+  result.numerator_ = result.numerator_.Abs();
+  return result;
+}
+
+BigRational BigRational::Inverse() const {
+  if (IsZero()) throw std::domain_error("BigRational: inverse of zero");
+  return BigRational(denominator_, numerator_);
+}
+
+BigRational& BigRational::operator+=(const BigRational& other) {
+  numerator_ = numerator_ * other.denominator_ + other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  return *this;
+}
+
+BigRational& BigRational::operator-=(const BigRational& other) {
+  numerator_ = numerator_ * other.denominator_ - other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  return *this;
+}
+
+BigRational& BigRational::operator*=(const BigRational& other) {
+  numerator_ *= other.numerator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  return *this;
+}
+
+BigRational& BigRational::operator/=(const BigRational& other) {
+  if (other.IsZero()) throw std::domain_error("BigRational: division by zero");
+  numerator_ *= other.denominator_;
+  denominator_ *= other.numerator_;
+  Reduce();
+  return *this;
+}
+
+BigRational BigRational::Pow(const BigRational& base, std::int64_t exponent) {
+  if (exponent < 0) {
+    return Pow(base.Inverse(), -exponent);
+  }
+  return BigRational(BigInt::Pow(base.numerator_,
+                                 static_cast<std::uint64_t>(exponent)),
+                     BigInt::Pow(base.denominator_,
+                                 static_cast<std::uint64_t>(exponent)));
+}
+
+bool operator<(const BigRational& a, const BigRational& b) {
+  return a.numerator_ * b.denominator_ < b.numerator_ * a.denominator_;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigRational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace swfomc::numeric

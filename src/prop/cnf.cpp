@@ -1,0 +1,57 @@
+#include "prop/cnf.h"
+
+#include <algorithm>
+#include <set>
+
+namespace swfomc::prop {
+
+bool CnfFormula::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  for (const Clause& clause : clauses) {
+    bool satisfied = false;
+    for (const Literal& literal : clause) {
+      if (assignment.at(literal.variable) == literal.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out = "p cnf " + std::to_string(variable_count) + " " +
+                    std::to_string(clauses.size()) + "\n";
+  for (const Clause& clause : clauses) {
+    for (const Literal& literal : clause) {
+      if (!literal.positive) out += "-";
+      out += std::to_string(literal.variable + 1) + " ";
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+void NormalizeCnf(CnfFormula* cnf) {
+  std::set<Clause> seen;
+  std::vector<Clause> result;
+  for (Clause& clause : cnf->clauses) {
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    bool tautology = false;
+    for (std::size_t i = 0; i + 1 < clause.size(); ++i) {
+      if (clause[i].variable == clause[i + 1].variable &&
+          clause[i].positive != clause[i + 1].positive) {
+        tautology = true;
+        break;
+      }
+    }
+    if (tautology) continue;
+    if (seen.insert(clause).second) {
+      result.push_back(std::move(clause));
+    }
+  }
+  cnf->clauses = std::move(result);
+}
+
+}  // namespace swfomc::prop

@@ -1,0 +1,87 @@
+#include "prop/dimacs.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace swfomc::prop {
+
+std::string ToDimacs(const CnfFormula& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.variable_count << ' ' << cnf.clauses.size() << '\n';
+  for (const Clause& clause : cnf.clauses) {
+    for (const Literal& literal : clause) {
+      if (!literal.positive) out << '-';
+      out << (literal.variable + 1) << ' ';
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+CnfFormula FromDimacs(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  CnfFormula cnf;
+  bool have_header = false;
+  std::size_t declared_clauses = 0;
+  Clause pending;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, format;
+      long long variables = -1, clauses = -1;
+      header >> p >> format >> variables >> clauses;
+      if (p != "p" || format != "cnf" || variables < 0 || clauses < 0 ||
+          header.fail()) {
+        throw std::invalid_argument("FromDimacs: malformed header: " + line);
+      }
+      cnf.variable_count = static_cast<std::uint32_t>(variables);
+      declared_clauses = static_cast<std::size_t>(clauses);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) {
+      throw std::invalid_argument(
+          "FromDimacs: clause before the \"p cnf\" header");
+    }
+    std::istringstream body(line);
+    long long literal = 0;
+    while (body >> literal) {
+      if (literal == 0) {
+        cnf.clauses.push_back(std::move(pending));
+        pending.clear();
+        continue;
+      }
+      long long magnitude = literal > 0 ? literal : -literal;
+      if (magnitude > cnf.variable_count) {
+        throw std::invalid_argument(
+            "FromDimacs: literal " + std::to_string(literal) +
+            " outside declared variable range");
+      }
+      pending.push_back(Literal{static_cast<VarId>(magnitude - 1),
+                                literal > 0});
+    }
+    if (!body.eof()) {
+      throw std::invalid_argument("FromDimacs: non-numeric token in: " +
+                                  line);
+    }
+  }
+  if (!have_header) {
+    throw std::invalid_argument("FromDimacs: missing \"p cnf\" header");
+  }
+  if (!pending.empty()) {
+    throw std::invalid_argument(
+        "FromDimacs: trailing clause without terminating 0");
+  }
+  if (declared_clauses != cnf.clauses.size()) {
+    throw std::invalid_argument(
+        "FromDimacs: header declares " + std::to_string(declared_clauses) +
+        " clauses, found " + std::to_string(cnf.clauses.size()));
+  }
+  return cnf;
+}
+
+}  // namespace swfomc::prop

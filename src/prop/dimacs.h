@@ -1,0 +1,27 @@
+#ifndef SWFOMC_PROP_DIMACS_H_
+#define SWFOMC_PROP_DIMACS_H_
+
+#include <string>
+
+#include "prop/cnf.h"
+
+namespace swfomc::prop {
+
+/// DIMACS CNF interchange, so grounded lineages can be handed to (or
+/// taken from) external #SAT/WMC tools. Variables are 1-based in DIMACS
+/// and 0-based internally; comment lines ("c ...") are preserved on
+/// neither side.
+
+/// Renders a CNF in DIMACS format: "p cnf <vars> <clauses>" header, one
+/// zero-terminated clause per line.
+std::string ToDimacs(const CnfFormula& cnf);
+
+/// Parses DIMACS text. Accepts comment lines, blank lines, and clauses
+/// spanning multiple lines (terminated by 0). Throws std::invalid_argument
+/// on malformed input, a missing header, or literals out of the declared
+/// range.
+CnfFormula FromDimacs(const std::string& text);
+
+}  // namespace swfomc::prop
+
+#endif  // SWFOMC_PROP_DIMACS_H_

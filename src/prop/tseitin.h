@@ -1,0 +1,29 @@
+#ifndef SWFOMC_PROP_TSEITIN_H_
+#define SWFOMC_PROP_TSEITIN_H_
+
+#include "prop/cnf.h"
+#include "prop/prop_formula.h"
+
+namespace swfomc::prop {
+
+/// Result of a Tseitin encoding. Auxiliary variables occupy ids
+/// [original_variable_count, cnf.variable_count). Because every auxiliary
+/// variable is *defined* by a biconditional, each satisfying assignment of
+/// the original formula extends to exactly one satisfying assignment of the
+/// CNF — so weighted model counts are preserved when auxiliary variables
+/// get weights (1, 1).
+struct TseitinResult {
+  CnfFormula cnf;
+  std::uint32_t original_variable_count = 0;
+};
+
+/// Encodes an arbitrary propositional formula into equisatisfiable,
+/// count-preserving CNF. `original_variable_count` must be an upper bound
+/// on variable ids in the formula (it fixes which ids are "original"; pass
+/// VariableUpperBound(formula) or the known ground-tuple count).
+TseitinResult TseitinTransform(const PropFormula& formula,
+                               std::uint32_t original_variable_count);
+
+}  // namespace swfomc::prop
+
+#endif  // SWFOMC_PROP_TSEITIN_H_

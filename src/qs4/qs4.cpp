@@ -1,0 +1,73 @@
+#include "qs4/qs4.h"
+
+#include "logic/parser.h"
+#include "numeric/combinatorics.h"
+
+namespace swfomc::qs4 {
+
+using numeric::BigRational;
+
+Qs4Solver::Qs4Solver(numeric::BigRational positive_weight,
+                     numeric::BigRational negative_weight)
+    : w_(std::move(positive_weight)), w_bar_(std::move(negative_weight)) {}
+
+numeric::BigRational Qs4Solver::WFOMC(std::uint64_t domain_size) {
+  return GeneralizedWFOMC(domain_size, domain_size);
+}
+
+numeric::BigRational Qs4Solver::GeneralizedWFOMC(std::uint64_t n1,
+                                                 std::uint64_t n2) {
+  if (n1 == 0 && n2 == 0) return BigRational(1);  // the empty structure
+  return F(n1, n2) + G(n1, n2);
+}
+
+numeric::BigRational Qs4Solver::F(std::uint64_t n1, std::uint64_t n2) {
+  if (n2 == 0) return BigRational(1);  // Pa vacuous over y, no tuples
+  if (n1 == 0) return BigRational(0);  // Pa needs a witness row
+  auto key = std::make_pair(n1, n2);
+  auto it = f_.find(key);
+  if (it != f_.end()) return it->second;
+  BigRational result;
+  for (std::uint64_t k = 1; k <= n1; ++k) {
+    BigRational term(numeric::Binomial(n1, k));
+    term *= BigRational::Pow(w_, static_cast<std::int64_t>(k * n2));
+    term *= G(n1 - k, n2);
+    result += term;
+  }
+  f_.emplace(key, result);
+  return result;
+}
+
+numeric::BigRational Qs4Solver::G(std::uint64_t n1, std::uint64_t n2) {
+  if (n1 == 0) return BigRational(1);  // Pb vacuous over x, no tuples
+  if (n2 == 0) return BigRational(0);  // Pb needs a witness column
+  auto key = std::make_pair(n1, n2);
+  auto it = g_.find(key);
+  if (it != g_.end()) return it->second;
+  BigRational result;
+  for (std::uint64_t l = 1; l <= n2; ++l) {
+    BigRational term(numeric::Binomial(n2, l));
+    term *= BigRational::Pow(w_bar_, static_cast<std::int64_t>(n1 * l));
+    term *= F(n1, n2 - l);
+    result += term;
+  }
+  g_.emplace(key, result);
+  return result;
+}
+
+logic::Formula Qs4Sentence(const logic::Vocabulary& vocabulary) {
+  return logic::ParseStrict(
+      "forall x1 forall x2 forall y1 forall y2 "
+      "(S(x1,y1) | !S(x2,y1) | S(x2,y2) | !S(x1,y2))",
+      vocabulary);
+}
+
+logic::Vocabulary Qs4Vocabulary(numeric::BigRational positive_weight,
+                                numeric::BigRational negative_weight) {
+  logic::Vocabulary vocab;
+  vocab.AddRelation("S", 2, std::move(positive_weight),
+                    std::move(negative_weight));
+  return vocab;
+}
+
+}  // namespace swfomc::qs4

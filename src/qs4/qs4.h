@@ -1,0 +1,61 @@
+#ifndef SWFOMC_QS4_QS4_H_
+#define SWFOMC_QS4_QS4_H_
+
+#include <cstdint>
+#include <map>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "numeric/rational.h"
+
+namespace swfomc::qs4 {
+
+/// Theorem 3.7: the symmetric WFOMC of
+///
+///   QS4 = ∀x1 ∀x2 ∀y1 ∀y2 (S(x1,y1) ∨ ¬S(x2,y1) ∨ S(x2,y2) ∨ ¬S(x1,y2))
+///
+/// is computable in PTIME by a dynamic program that none of the standard
+/// lifted-inference rules derive. Every model satisfies exactly one of
+///   Pa ≡ ∃x ∀y S(x,y)    (a row full of S)
+///   Pb ≡ ∃y ∀x ¬S(x,y)   (a column empty of S)
+/// and the DP recurses on the generalized counts f(n1,n2) (models of
+/// Q_{n1,n2} ∧ Pa) and g(n1,n2) (models of Q_{n1,n2} ∧ Pb):
+///
+///   f(n1,0) = 1   f(n1,n2) = Σ_{k=1..n1} C(n1,k) w^{k n2} g(n1-k, n2)
+///   g(0,n2) = 1   g(n1,n2) = Σ_{l=1..n2} C(n2,l) w̄^{n1 l} f(n1, n2-l)
+///
+/// where (w, w̄) are the weights of S-tuples.
+class Qs4Solver {
+ public:
+  Qs4Solver(numeric::BigRational positive_weight,
+            numeric::BigRational negative_weight);
+
+  /// WFOMC(QS4, n, w, w̄) = f(n,n) + g(n,n) for n >= 1; 1 for n = 0.
+  numeric::BigRational WFOMC(std::uint64_t domain_size);
+
+  /// The generalized count over separate row/column domains [n1] x [n2]
+  /// (the paper's Q_{n1,n2}).
+  numeric::BigRational GeneralizedWFOMC(std::uint64_t n1, std::uint64_t n2);
+
+ private:
+  numeric::BigRational F(std::uint64_t n1, std::uint64_t n2);
+  numeric::BigRational G(std::uint64_t n1, std::uint64_t n2);
+
+  numeric::BigRational w_;
+  numeric::BigRational w_bar_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, numeric::BigRational> f_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, numeric::BigRational> g_;
+};
+
+/// The QS4 sentence itself over a vocabulary containing binary S (for
+/// cross-validation against the grounded engine; QS4 is FO4, outside the
+/// lifted FO² fragment).
+logic::Formula Qs4Sentence(const logic::Vocabulary& vocabulary);
+
+/// Builds a vocabulary with just S weighted (w, w̄).
+logic::Vocabulary Qs4Vocabulary(numeric::BigRational positive_weight,
+                                numeric::BigRational negative_weight);
+
+}  // namespace swfomc::qs4
+
+#endif  // SWFOMC_QS4_QS4_H_

@@ -1,0 +1,81 @@
+#include "reductions/figure2_gadget.h"
+
+namespace swfomc::reductions {
+
+namespace {
+
+using logic::Atom;
+using logic::Formula;
+using logic::Term;
+
+Term X() { return Term::Var("x"); }
+Term Y() { return Term::Var("y"); }
+
+Formula UniqueExistence(logic::RelationId relation) {
+  Formula exists = logic::Exists("x", Atom(relation, {X()}));
+  Formula unique = logic::Forall(
+      {"x", "y"},
+      logic::Implies(logic::And(Atom(relation, {X()}), Atom(relation, {Y()})),
+                     logic::Equals(X(), Y())));
+  return logic::And(std::move(exists), std::move(unique));
+}
+
+Formula Disjoint(logic::RelationId first, logic::RelationId second) {
+  return logic::Not(logic::Exists(
+      "x", logic::And(Atom(first, {X()}), Atom(second, {X()}))));
+}
+
+}  // namespace
+
+Figure2Gadget DeclareFigure2Gadget(logic::Vocabulary* vocabulary) {
+  Figure2Gadget gadget;
+  gadget.a = vocabulary->AddRelation("A", 1);
+  gadget.b = vocabulary->AddRelation("B", 1);
+  gadget.c = vocabulary->AddRelation("C", 1);
+  gadget.r = vocabulary->AddRelation("R", 2);
+  return gadget;
+}
+
+Formula AlphaFormula(const Figure2Gadget& gadget, std::uint32_t i,
+                     bool target_is_x) {
+  // α_1(v) = A(v); α_{i+1}(v) = ∃u (α_i(u) & R(u,v)) with u, v
+  // alternating between x and y so the formula stays in FO².
+  Term target = target_is_x ? X() : Y();
+  if (i == 1) return Atom(gadget.a, {target});
+  Term source = target_is_x ? Y() : X();
+  Formula inner = AlphaFormula(gadget, i - 1, !target_is_x);
+  return logic::Exists(
+      source.name,
+      logic::And(std::move(inner), Atom(gadget.r, {source, target})));
+}
+
+std::vector<Formula> ChainConstraints(const Figure2Gadget& gadget,
+                                      std::uint32_t n) {
+  std::vector<Formula> parts;
+  parts.push_back(UniqueExistence(gadget.a));
+  parts.push_back(UniqueExistence(gadget.b));
+  parts.push_back(UniqueExistence(gadget.c));
+  parts.push_back(Disjoint(gadget.a, gadget.b));
+  parts.push_back(Disjoint(gadget.a, gadget.c));
+  parts.push_back(Disjoint(gadget.b, gadget.c));
+  // An A→B walk of exactly n elements exists...
+  parts.push_back(logic::Exists(
+      "x",
+      logic::And(AlphaFormula(gadget, n, true), Atom(gadget.b, {X()}))));
+  // ...and no A→B walk of any other length in [1, 2n].
+  for (std::uint32_t m = 1; m <= 2 * n; ++m) {
+    if (m == n) continue;
+    parts.push_back(logic::Not(logic::Exists(
+        "x",
+        logic::And(AlphaFormula(gadget, m, true), Atom(gadget.b, {X()})))));
+  }
+  // R avoids the C element.
+  parts.push_back(logic::Forall(
+      {"x", "y"},
+      logic::Implies(Atom(gadget.r, {X(), Y()}),
+                     logic::And(logic::Not(Atom(gadget.c, {X()})),
+                                logic::Not(Atom(gadget.c, {Y()}))))));
+  return parts;
+}
+
+}  // namespace swfomc::reductions

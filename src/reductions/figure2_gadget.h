@@ -1,0 +1,41 @@
+#ifndef SWFOMC_REDUCTIONS_FIGURE2_GADGET_H_
+#define SWFOMC_REDUCTIONS_FIGURE2_GADGET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace swfomc::reductions {
+
+/// The Figure 2 chain gadget shared by the #SAT reduction (Theorem 4.1(1))
+/// and its QBF extension (Theorem 4.1(2)): over a domain of size n+1, the
+/// constraints pin the models to exactly the graphs of Figure 2 — a
+/// linear R-chain of n elements from the unique A-element to the unique
+/// B-element, plus a unique C-element off the chain.
+struct Figure2Gadget {
+  logic::RelationId a;  // A/1: chain start
+  logic::RelationId b;  // B/1: chain end
+  logic::RelationId c;  // C/1: the off-chain hub S-edges leave from
+  logic::RelationId r;  // R/2: chain edges
+};
+
+/// Declares A, B, C, R on the vocabulary and returns their ids.
+Figure2Gadget DeclareFigure2Gadget(logic::Vocabulary* vocabulary);
+
+/// The chain constraints (everything in Figure 2 except the S-edges):
+/// unique pairwise-distinct A/B/C elements, an A→B R-walk of exactly n
+/// elements, no A→B R-walk of any other length in [1, 2n], and R avoiding
+/// the C-element. Each conjunct uses at most two logical variables.
+std::vector<logic::Formula> ChainConstraints(const Figure2Gadget& gadget,
+                                             std::uint32_t n);
+
+/// α_i(x): "x is the i-th chain element" (1-based), built with the
+/// variables {x, y} only by alternating the target variable.
+logic::Formula AlphaFormula(const Figure2Gadget& gadget, std::uint32_t i,
+                            bool target_is_x);
+
+}  // namespace swfomc::reductions
+
+#endif  // SWFOMC_REDUCTIONS_FIGURE2_GADGET_H_

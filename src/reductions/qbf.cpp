@@ -1,0 +1,187 @@
+#include "reductions/qbf.h"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "reductions/figure2_gadget.h"
+#include "reductions/spectrum.h"
+
+namespace swfomc::reductions {
+
+namespace {
+
+using logic::Atom;
+using logic::Formula;
+using logic::Term;
+using prop::PropKind;
+
+bool EvaluateMatrix(const prop::PropFormula& formula,
+                    std::vector<bool>& assignment) {
+  switch (formula->kind()) {
+    case PropKind::kTrue:
+      return true;
+    case PropKind::kFalse:
+      return false;
+    case PropKind::kVar:
+      return assignment.at(formula->variable());
+    case PropKind::kNot:
+      return !EvaluateMatrix(formula->child(), assignment);
+    case PropKind::kAnd:
+      for (const prop::PropFormula& child : formula->children()) {
+        if (!EvaluateMatrix(child, assignment)) return false;
+      }
+      return true;
+    case PropKind::kOr:
+      for (const prop::PropFormula& child : formula->children()) {
+        if (EvaluateMatrix(child, assignment)) return true;
+      }
+      return false;
+  }
+  throw std::logic_error("EvaluateMatrix: unreachable");
+}
+
+bool EvaluateFrom(const QuantifiedBooleanFormula& qbf, std::size_t position,
+                  std::vector<bool>& assignment) {
+  if (position == qbf.prefix.size()) {
+    return EvaluateMatrix(qbf.matrix, assignment);
+  }
+  const auto& q = qbf.prefix[position];
+  for (bool value : {false, true}) {
+    assignment[q.variable] = value;
+    bool result = EvaluateFrom(qbf, position + 1, assignment);
+    if (q.is_forall && !result) return false;
+    if (!q.is_forall && result) return true;
+  }
+  return q.is_forall;
+}
+
+// The variable name u_i carrying Boolean variable X_i's chosen endpoint.
+std::string UName(prop::VarId variable) {
+  return "u" + std::to_string(variable);
+}
+
+// Translates the matrix: X_i becomes ∃x∃z (C(z) ∧ α_i(x) ∧ S(z, x, u_i)).
+Formula TranslateMatrix(const prop::PropFormula& formula,
+                        const Figure2Gadget& gadget, logic::RelationId s) {
+  switch (formula->kind()) {
+    case PropKind::kTrue:
+      return logic::True();
+    case PropKind::kFalse:
+      return logic::False();
+    case PropKind::kVar: {
+      std::uint32_t i = formula->variable() + 1;  // 1-based chain position
+      Formula alpha = AlphaFormula(gadget, i, /*target_is_x=*/true);
+      Formula edge = logic::Exists(
+          "y", logic::And(Atom(gadget.c, {Term::Var("y")}),
+                          Atom(s, {Term::Var("y"), Term::Var("x"),
+                                   Term::Var(UName(formula->variable()))})));
+      return logic::Exists("x",
+                           logic::And(std::move(alpha), std::move(edge)));
+    }
+    case PropKind::kNot:
+      return logic::Not(TranslateMatrix(formula->child(), gadget, s));
+    case PropKind::kAnd:
+    case PropKind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(formula->children().size());
+      for (const prop::PropFormula& child : formula->children()) {
+        children.push_back(TranslateMatrix(child, gadget, s));
+      }
+      return formula->kind() == PropKind::kAnd
+                 ? logic::And(std::move(children))
+                 : logic::Or(std::move(children));
+    }
+  }
+  throw std::logic_error("TranslateMatrix: unreachable");
+}
+
+}  // namespace
+
+bool EvaluateQbf(const QuantifiedBooleanFormula& qbf) {
+  std::set<prop::VarId> quantified;
+  for (const auto& q : qbf.prefix) {
+    if (!quantified.insert(q.variable).second) {
+      throw std::invalid_argument("EvaluateQbf: variable quantified twice");
+    }
+  }
+  std::size_t bound = prop::VariableUpperBound(qbf.matrix);
+  if (!quantified.empty()) {
+    bound = std::max<std::size_t>(bound, *quantified.rbegin() + 1);
+  }
+  std::vector<bool> assignment(bound, false);
+  return EvaluateFrom(qbf, 0, assignment);
+}
+
+QbfReduction EncodeQbf(const QuantifiedBooleanFormula& qbf) {
+  std::uint32_t k = static_cast<std::uint32_t>(qbf.prefix.size());
+  if (k < 2) {
+    throw std::invalid_argument(
+        "EncodeQbf: need at least two quantified variables (distinct A/B "
+        "endpoints)");
+  }
+  std::set<prop::VarId> quantified;
+  for (const auto& q : qbf.prefix) {
+    if (q.variable >= k || !quantified.insert(q.variable).second) {
+      throw std::invalid_argument(
+          "EncodeQbf: prefix must quantify variables 0..k-1 exactly once");
+    }
+  }
+
+  QbfReduction result;
+  Figure2Gadget gadget = DeclareFigure2Gadget(&result.vocabulary);
+  logic::RelationId s = result.vocabulary.AddRelation("S", 3);
+  result.domain_size = k + 1;
+
+  std::vector<Formula> parts = ChainConstraints(gadget, k);
+
+  Term x = Term::Var("x");
+  Term y = Term::Var("y");
+  Term u = Term::Var("u");
+  Term v = Term::Var("v");
+  // S(x,y,u) ⇒ C(x) ∧ ¬C(y) ∧ (A(u) ∨ B(u)).
+  parts.push_back(logic::Forall(
+      {"x", "y", "u"},
+      logic::Implies(
+          Atom(s, {x, y, u}),
+          logic::And(std::vector<Formula>{
+              Atom(gadget.c, {x}), logic::Not(Atom(gadget.c, {y})),
+              logic::Or(Atom(gadget.a, {u}), Atom(gadget.b, {u}))}))));
+  // The xor constraint: for eligible pairs, the A-endpoint bit is the
+  // negation of the B-endpoint bit (picking u picks a truth value).
+  parts.push_back(logic::Forall(
+      {"x", "y", "u", "v"},
+      logic::Implies(
+          logic::And(std::vector<Formula>{Atom(gadget.c, {x}),
+                                          logic::Not(Atom(gadget.c, {y})),
+                                          Atom(gadget.a, {u}),
+                                          Atom(gadget.b, {v})}),
+          logic::Not(logic::Iff(Atom(s, {x, y, u}),
+                                Atom(s, {x, y, v}))))));
+
+  // The quantifier prefix, guarded to the two endpoints, around the
+  // translated matrix.
+  Formula body = TranslateMatrix(qbf.matrix, gadget, s);
+  for (std::size_t i = qbf.prefix.size(); i-- > 0;) {
+    const auto& q = qbf.prefix[i];
+    std::string name = UName(q.variable);
+    Term ui = Term::Var(name);
+    Formula endpoint =
+        logic::Or(Atom(gadget.a, {ui}), Atom(gadget.b, {ui}));
+    body = q.is_forall
+               ? logic::Forall(name, logic::Implies(endpoint, body))
+               : logic::Exists(name, logic::And(endpoint, body));
+  }
+  parts.push_back(std::move(body));
+
+  result.sentence = logic::And(std::move(parts));
+  return result;
+}
+
+bool QbfValidViaSpectrum(const QuantifiedBooleanFormula& qbf) {
+  QbfReduction reduction = EncodeQbf(qbf);
+  return HasModelOfSize(reduction.sentence, reduction.vocabulary,
+                        reduction.domain_size);
+}
+
+}  // namespace swfomc::reductions

@@ -1,0 +1,55 @@
+#ifndef SWFOMC_REDUCTIONS_QBF_H_
+#define SWFOMC_REDUCTIONS_QBF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "prop/prop_formula.h"
+
+namespace swfomc::reductions {
+
+/// A Quantified Boolean Formula Q_1 X_1 Q_2 X_2 ... Q_k X_k F, the
+/// PSPACE-complete problem behind Theorem 4.1(2). Variables are 0-based;
+/// the prefix must quantify every variable of the matrix exactly once.
+struct QuantifiedBooleanFormula {
+  struct QuantifiedVar {
+    bool is_forall;
+    prop::VarId variable;
+  };
+  std::vector<QuantifiedVar> prefix;  // outermost first
+  prop::PropFormula matrix;
+};
+
+/// Reference QBF solver by recursive expansion: exponential time, linear
+/// space (the textbook PSPACE witness). Ground truth for the reduction.
+bool EvaluateQbf(const QuantifiedBooleanFormula& qbf);
+
+/// Theorem 4.1(2), PSPACE-hardness of the combined decision problem
+/// "n ∈ Spec(Φ)" for full FO: the QBF validity problem reduces to
+/// spectrum membership. The Figure 2 gadget is extended per Section 4:
+///   * S becomes ternary S(x, y, u) with u restricted to the two
+///     distinguished chain endpoints (the A- and B-elements);
+///   * S(c0, ci, a-elem) and S(c0, ci, b-elem) are complementary
+///     (the xor constraint), so picking u picks a truth value for X_i;
+///   * each Boolean quantifier Q_i X_i becomes the guarded domain
+///     quantifier Q_i u_i over {a-elem, b-elem}, and X_i in the matrix
+///     becomes ∃x∃z (C(z) ∧ α_i(x) ∧ S(z, x, u_i)).
+/// Over a domain of size k+1 (k = number of Boolean variables, k >= 2):
+/// the sentence has a model iff the QBF is valid.
+struct QbfReduction {
+  logic::Vocabulary vocabulary;
+  logic::Formula sentence;
+  std::uint64_t domain_size;  // k + 1
+};
+
+QbfReduction EncodeQbf(const QuantifiedBooleanFormula& qbf);
+
+/// Decides the QBF through the reduction: builds ϕ_QBF and asks the
+/// spectrum decision procedure whether a model of size k+1 exists.
+bool QbfValidViaSpectrum(const QuantifiedBooleanFormula& qbf);
+
+}  // namespace swfomc::reductions
+
+#endif  // SWFOMC_REDUCTIONS_QBF_H_

@@ -1,0 +1,32 @@
+#include "reductions/spectrum.h"
+
+#include "grounding/lineage.h"
+#include "grounding/tuple_index.h"
+#include "prop/tseitin.h"
+#include "wmc/dpll_counter.h"
+
+namespace swfomc::reductions {
+
+bool HasModelOfSize(const logic::Formula& sentence,
+                    const logic::Vocabulary& vocabulary,
+                    std::uint64_t domain_size) {
+  grounding::TupleIndex index(vocabulary, domain_size);
+  prop::PropFormula lineage = grounding::GroundLineage(sentence, index);
+  if (lineage->kind() == prop::PropKind::kTrue) return true;
+  if (lineage->kind() == prop::PropKind::kFalse) return false;
+  prop::TseitinResult tseitin = prop::TseitinTransform(
+      lineage, static_cast<std::uint32_t>(index.TupleCount()));
+  return wmc::DpllCounter::IsSatisfiable(tseitin.cnf);
+}
+
+std::vector<std::uint64_t> SpectrumMembers(
+    const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+    std::uint64_t from, std::uint64_t to) {
+  std::vector<std::uint64_t> result;
+  for (std::uint64_t n = from; n <= to; ++n) {
+    if (HasModelOfSize(sentence, vocabulary, n)) result.push_back(n);
+  }
+  return result;
+}
+
+}  // namespace swfomc::reductions

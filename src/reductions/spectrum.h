@@ -1,0 +1,29 @@
+#ifndef SWFOMC_REDUCTIONS_SPECTRUM_H_
+#define SWFOMC_REDUCTIONS_SPECTRUM_H_
+
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace swfomc::reductions {
+
+/// The decision problem associated with (W)FOMC (Section 4): given Φ and
+/// n, is n ∈ Spec(Φ)? Decided by grounding and DPLL satisfiability (the
+/// PSPACE upper bound's "enumerate structures" replaced by search). For
+/// FO² the paper proves the combined complexity is NP-complete; for full
+/// FO it is PSPACE-complete — either way this exact procedure is the
+/// practical tool.
+bool HasModelOfSize(const logic::Formula& sentence,
+                    const logic::Vocabulary& vocabulary,
+                    std::uint64_t domain_size);
+
+/// The initial segment of Spec(Φ): all n in [from, to] with a model.
+std::vector<std::uint64_t> SpectrumMembers(const logic::Formula& sentence,
+                                           const logic::Vocabulary& vocabulary,
+                                           std::uint64_t from,
+                                           std::uint64_t to);
+
+}  // namespace swfomc::reductions
+
+#endif  // SWFOMC_REDUCTIONS_SPECTRUM_H_

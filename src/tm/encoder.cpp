@@ -1,0 +1,443 @@
+#include "tm/encoder.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace swfomc::tm {
+
+namespace {
+
+using logic::Atom;
+using logic::Formula;
+using logic::RelationId;
+using logic::Term;
+
+// Builds and owns the Θ1 signature for one machine.
+class Encoder {
+ public:
+  Encoder(const CountingTuringMachine& machine, std::size_t epochs)
+      : machine_(machine), epochs_(epochs) {
+    lt_ = vocab_.AddRelation("Lt", 2);
+    succ_ = vocab_.AddRelation("Succ", 2);
+    min_ = vocab_.AddRelation("Min", 1);
+    max_ = vocab_.AddRelation("Max", 1);
+    state_.assign(Q(), std::vector<RelationId>(epochs_));
+    for (std::size_t q = 0; q < Q(); ++q) {
+      for (std::size_t e = 0; e < epochs_; ++e) {
+        state_[q][e] = vocab_.AddRelation(
+            "S" + std::to_string(q) + "e" + std::to_string(e), 1);
+      }
+    }
+    auto add_grid = [this](const char* prefix) {
+      std::vector<std::vector<std::vector<RelationId>>> grid(
+          T(), std::vector<std::vector<RelationId>>(
+                   epochs_, std::vector<RelationId>(epochs_)));
+      for (std::size_t tape = 0; tape < T(); ++tape) {
+        for (std::size_t e = 0; e < epochs_; ++e) {
+          for (std::size_t r = 0; r < epochs_; ++r) {
+            grid[tape][e][r] = vocab_.AddRelation(
+                std::string(prefix) + std::to_string(tape) + "e" +
+                    std::to_string(e) + "r" + std::to_string(r),
+                2);
+          }
+        }
+      }
+      return grid;
+    };
+    head_ = add_grid("H");
+    tape0_ = add_grid("T0t");
+    tape1_ = add_grid("T1t");
+    left_ = add_grid("Lf");
+    right_ = add_grid("Rt");
+    unchanged_ = add_grid("Un");
+  }
+
+  EncodedMachine Build() {
+    std::vector<Formula> sentences;
+    AppendOrderAxioms(&sentences);
+    AppendStateAxioms(&sentences);
+    AppendHeadAxioms(&sentences);
+    AppendSymbolAxioms(&sentences);
+    AppendInitialConfiguration(&sentences);
+    AppendTransitions(&sentences);
+    AppendMovementDefinitions(&sentences);
+    AppendUnchangedDefinitionsAndFrame(&sentences);
+    AppendInactiveHeadPersistence(&sentences);
+    AppendAcceptance(&sentences);
+
+    EncodedMachine result;
+    result.theta = logic::And(std::move(sentences));
+    result.vocabulary = std::move(vocab_);
+    result.epochs = epochs_;
+    if (!logic::InFragmentFOk(result.theta, 3)) {
+      throw std::logic_error("EncodeMachine: Θ1 left the FO3 fragment");
+    }
+    return result;
+  }
+
+ private:
+  std::size_t Q() const {
+    return static_cast<std::size_t>(machine_.num_states());
+  }
+  std::size_t T() const {
+    return static_cast<std::size_t>(machine_.num_tapes());
+  }
+
+  static Term X() { return Term::Var("x"); }
+  static Term Y() { return Term::Var("y"); }
+  static Term Z() { return Term::Var("z"); }
+
+  Formula Lt(Term a, Term b) const { return Atom(lt_, {a, b}); }
+  Formula Succ(Term a, Term b) const { return Atom(succ_, {a, b}); }
+  Formula Min(Term a) const { return Atom(min_, {a}); }
+  Formula Max(Term a) const { return Atom(max_, {a}); }
+  Formula S(std::size_t q, std::size_t e, Term t) const {
+    return Atom(state_[q][e], {t});
+  }
+  Formula H(std::size_t tape, std::size_t e, std::size_t r, Term t,
+            Term p) const {
+    return Atom(head_[tape][e][r], {t, p});
+  }
+  Formula Tape(bool symbol, std::size_t tape, std::size_t e, std::size_t r,
+               Term t, Term p) const {
+    return Atom((symbol ? tape1_ : tape0_)[tape][e][r], {t, p});
+  }
+  Formula Left(std::size_t tape, std::size_t e, std::size_t r, Term t,
+               Term p) const {
+    return Atom(left_[tape][e][r], {t, p});
+  }
+  Formula Right(std::size_t tape, std::size_t e, std::size_t r, Term t,
+                Term p) const {
+    return Atom(right_[tape][e][r], {t, p});
+  }
+  Formula Unchanged(std::size_t tape, std::size_t e, std::size_t r, Term t,
+                    Term p) const {
+    return Atom(unchanged_[tape][e][r], {t, p});
+  }
+
+  // Item 1: Lt is a strict linear order.
+  void AppendOrderAxioms(std::vector<Formula>* out) const {
+    out->push_back(logic::Forall(
+        {"x", "y"},
+        logic::Implies(logic::Not(logic::Equals(X(), Y())),
+                       logic::Or(Lt(X(), Y()), Lt(Y(), X())))));
+    out->push_back(logic::Forall(
+        {"x", "y"},
+        logic::Or(logic::Not(Lt(X(), Y())), logic::Not(Lt(Y(), X())))));
+    out->push_back(logic::Forall(
+        {"x"}, logic::Not(Lt(X(), X()))));
+    out->push_back(logic::Forall(
+        {"x", "y", "z"},
+        logic::Implies(logic::And(Lt(X(), Y()), Lt(Y(), Z())),
+                       Lt(X(), Z()))));
+    // Item 2: Min/Max definitions.
+    out->push_back(logic::Forall(
+        {"x"}, logic::Iff(Min(X()),
+                          logic::Not(logic::Exists("y", Lt(Y(), X()))))));
+    out->push_back(logic::Forall(
+        {"x"}, logic::Iff(Max(X()),
+                          logic::Not(logic::Exists("y", Lt(X(), Y()))))));
+    // Item 3: Succ definition.
+    out->push_back(logic::Forall(
+        {"x", "y"},
+        logic::Iff(Succ(X(), Y()),
+                   logic::And(Lt(X(), Y()),
+                              logic::Not(logic::Exists(
+                                  "z", logic::And(Lt(X(), Z()),
+                                                  Lt(Z(), Y()))))))));
+  }
+
+  // Item 4: exactly one state per (epoch, time).
+  void AppendStateAxioms(std::vector<Formula>* out) const {
+    for (std::size_t e = 0; e < epochs_; ++e) {
+      std::vector<Formula> some_state;
+      for (std::size_t q = 0; q < Q(); ++q) {
+        some_state.push_back(S(q, e, X()));
+        for (std::size_t q2 = q + 1; q2 < Q(); ++q2) {
+          out->push_back(logic::Forall(
+              "x", logic::Or(logic::Not(S(q, e, X())),
+                             logic::Not(S(q2, e, X())))));
+        }
+      }
+      out->push_back(logic::Forall("x", logic::Or(std::move(some_state))));
+    }
+  }
+
+  // Item 5: per tape and time, the head is in exactly one position.
+  void AppendHeadAxioms(std::vector<Formula>* out) const {
+    for (std::size_t tape = 0; tape < T(); ++tape) {
+      for (std::size_t e = 0; e < epochs_; ++e) {
+        // (a) at least one position in some region.
+        std::vector<Formula> somewhere;
+        for (std::size_t r = 0; r < epochs_; ++r) {
+          somewhere.push_back(H(tape, e, r, X(), Y()));
+        }
+        out->push_back(logic::Forall(
+            "x", logic::Exists("y", logic::Or(std::move(somewhere)))));
+        for (std::size_t r = 0; r < epochs_; ++r) {
+          // (b) at most one region.
+          for (std::size_t r2 = 0; r2 < epochs_; ++r2) {
+            if (r2 == r) continue;
+            out->push_back(logic::Forall(
+                {"x", "y"},
+                logic::Implies(H(tape, e, r, X(), Y()),
+                               logic::Forall(
+                                   "z", logic::Not(
+                                            H(tape, e, r2, X(), Z()))))));
+          }
+          // (c) at most one position within the region.
+          out->push_back(logic::Forall(
+              {"x", "y"},
+              logic::Implies(
+                  H(tape, e, r, X(), Y()),
+                  logic::Not(logic::Exists(
+                      "z", logic::And(logic::Not(logic::Equals(Y(), Z())),
+                                      H(tape, e, r, X(), Z())))))));
+        }
+      }
+    }
+  }
+
+  // Item 6: each cell holds exactly one symbol.
+  void AppendSymbolAxioms(std::vector<Formula>* out) const {
+    for (std::size_t tape = 0; tape < T(); ++tape) {
+      for (std::size_t e = 0; e < epochs_; ++e) {
+        for (std::size_t r = 0; r < epochs_; ++r) {
+          out->push_back(logic::Forall(
+              {"x", "y"},
+              logic::Iff(Tape(false, tape, e, r, X(), Y()),
+                         logic::Not(Tape(true, tape, e, r, X(), Y())))));
+        }
+      }
+    }
+  }
+
+  // Item 7: initial configuration at (epoch 0, time Min).
+  void AppendInitialConfiguration(std::vector<Formula>* out) const {
+    // (a) initial state, all heads at the first cell.
+    std::vector<Formula> at_min{
+        S(static_cast<std::size_t>(machine_.initial_state()), 0, X())};
+    for (std::size_t tape = 0; tape < T(); ++tape) {
+      at_min.push_back(H(tape, 0, 0, X(), X()));
+    }
+    out->push_back(logic::Forall(
+        "x", logic::Implies(Min(X()), logic::And(std::move(at_min)))));
+    // (b) tape 0 region 0 holds 1^n; everything else holds 0.
+    std::vector<Formula> contents;
+    for (std::size_t tape = 0; tape < T(); ++tape) {
+      for (std::size_t r = 0; r < epochs_; ++r) {
+        bool ones = (tape == 0 && r == 0);
+        contents.push_back(Tape(ones, tape, 0, r, X(), Y()));
+      }
+    }
+    out->push_back(logic::Forall(
+        {"x", "y"},
+        logic::Implies(Min(X()), logic::And(std::move(contents)))));
+  }
+
+  // Item 8 (a)+(b): the transition relation.
+  void AppendTransitions(std::vector<Formula>* out) const {
+    for (std::size_t q = 0; q < Q(); ++q) {
+      std::size_t tape =
+          static_cast<std::size_t>(machine_.active_tape(static_cast<int>(q)));
+      for (bool symbol : {false, true}) {
+        const auto& options = machine_.Delta(static_cast<int>(q), symbol);
+        for (std::size_t e = 0; e < epochs_; ++e) {
+          for (std::size_t r = 0; r < epochs_; ++r) {
+            // Consequent builder: the successor configuration at time y
+            // (epoch e2), written at old head position z.
+            auto consequent = [&](std::size_t e2) {
+              std::vector<Formula> branches;
+              for (const CountingTuringMachine::Transition& o : options) {
+                Formula move =
+                    o.move == CountingTuringMachine::Move::kLeft
+                        ? Left(tape, e2, r, Y(), Z())
+                        : Right(tape, e2, r, Y(), Z());
+                branches.push_back(logic::And(
+                    {S(static_cast<std::size_t>(o.next_state), e2, Y()),
+                     std::move(move),
+                     Tape(o.write, tape, e2, r, Y(), Z())}));
+              }
+              return logic::Or(std::move(branches));  // empty -> false
+            };
+            // (a) within an epoch: Succ(x,y).
+            out->push_back(logic::Forall(
+                {"x", "y", "z"},
+                logic::Implies(
+                    logic::And({S(q, e, X()), H(tape, e, r, X(), Z()),
+                                Tape(symbol, tape, e, r, X(), Z()),
+                                Succ(X(), Y())}),
+                    consequent(e))));
+            // (b) across the epoch boundary: Max(x) ∧ Min(y).
+            if (e + 1 < epochs_) {
+              out->push_back(logic::Forall(
+                  {"x", "y", "z"},
+                  logic::Implies(
+                      logic::And({S(q, e, X()), H(tape, e, r, X(), Z()),
+                                  Tape(symbol, tape, e, r, X(), Z()),
+                                  Max(X()), Min(Y())}),
+                      consequent(e + 1))));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Item 9 (repaired): exact definitions of the movement predicates.
+  // Left_{τer}(t,p) <=> the head of τ at time t is at the cell immediately
+  // before (r,p) in tape order, with the first cell of the tape absorbing.
+  void AppendMovementDefinitions(std::vector<Formula>* out) const {
+    for (std::size_t tape = 0; tape < T(); ++tape) {
+      for (std::size_t e = 0; e < epochs_; ++e) {
+        for (std::size_t r = 0; r < epochs_; ++r) {
+          // Predecessor-of-(r,p) clause.
+          Formula within = logic::Exists(
+              "z", logic::And(Succ(Z(), Y()), H(tape, e, r, X(), Z())));
+          Formula boundary;
+          if (r == 0) {
+            // First region: at (r0, Min) a left move stays.
+            boundary = logic::And(Min(Y()), H(tape, e, 0, X(), Y()));
+          } else {
+            boundary = logic::And(
+                Min(Y()),
+                logic::Exists("z", logic::And(Max(Z()),
+                                              H(tape, e, r - 1, X(), Z()))));
+          }
+          out->push_back(logic::Forall(
+              {"x", "y"},
+              logic::Iff(Left(tape, e, r, X(), Y()),
+                         logic::Or(std::move(within), std::move(boundary)))));
+
+          // Right_{τer}(t,p) <=> head immediately after (r,p), last cell
+          // of the last region absorbing.
+          Formula within_r = logic::Exists(
+              "z", logic::And(Succ(Y(), Z()), H(tape, e, r, X(), Z())));
+          Formula boundary_r;
+          if (r + 1 == epochs_) {
+            boundary_r = logic::And(Max(Y()), H(tape, e, r, X(), Y()));
+          } else {
+            boundary_r = logic::And(
+                Max(Y()),
+                logic::Exists("z", logic::And(Min(Z()),
+                                              H(tape, e, r + 1, X(), Z()))));
+          }
+          out->push_back(logic::Forall(
+              {"x", "y"},
+              logic::Iff(Right(tape, e, r, X(), Y()),
+                         logic::Or(std::move(within_r),
+                                   std::move(boundary_r)))));
+        }
+      }
+    }
+  }
+
+  // Item 10 (repaired): Unchanged is definable — a cell changes only when
+  // the head of its tape sits on it while the state acts on that tape.
+  void AppendUnchangedDefinitionsAndFrame(std::vector<Formula>* out) const {
+    for (std::size_t tape = 0; tape < T(); ++tape) {
+      for (std::size_t e = 0; e < epochs_; ++e) {
+        // "the current state acts on this tape" at (epoch e, time x).
+        std::vector<Formula> active;
+        for (std::size_t q = 0; q < Q(); ++q) {
+          if (static_cast<std::size_t>(machine_.active_tape(
+                  static_cast<int>(q))) == tape) {
+            active.push_back(S(q, e, X()));
+          }
+        }
+        Formula is_active = logic::Or(std::move(active));  // empty -> false
+        for (std::size_t r = 0; r < epochs_; ++r) {
+          out->push_back(logic::Forall(
+              {"x", "y"},
+              logic::Iff(Unchanged(tape, e, r, X(), Y()),
+                         logic::Not(logic::And(H(tape, e, r, X(), Y()),
+                                               is_active)))));
+          // Frame axiom within an epoch.
+          out->push_back(logic::Forall(
+              {"x", "y", "z"},
+              logic::Implies(
+                  logic::And(Succ(X(), Y()),
+                             Unchanged(tape, e, r, X(), Z())),
+                  logic::Iff(Tape(true, tape, e, r, X(), Z()),
+                             Tape(true, tape, e, r, Y(), Z())))));
+          // Frame axiom across the epoch boundary.
+          if (e + 1 < epochs_) {
+            out->push_back(logic::Forall(
+                {"x", "y", "z"},
+                logic::Implies(
+                    logic::And({Max(X()), Min(Y()),
+                                Unchanged(tape, e, r, X(), Z())}),
+                    logic::Iff(Tape(true, tape, e, r, X(), Z()),
+                               Tape(true, tape, e + 1, r, Y(), Z())))));
+          }
+        }
+      }
+    }
+  }
+
+  // Item 8(d): heads of inactive tapes do not move.
+  void AppendInactiveHeadPersistence(std::vector<Formula>* out) const {
+    for (std::size_t q = 0; q < Q(); ++q) {
+      std::size_t active =
+          static_cast<std::size_t>(machine_.active_tape(static_cast<int>(q)));
+      for (std::size_t tape = 0; tape < T(); ++tape) {
+        if (tape == active) continue;
+        for (std::size_t e = 0; e < epochs_; ++e) {
+          for (std::size_t r = 0; r < epochs_; ++r) {
+            out->push_back(logic::Forall(
+                {"x", "y", "z"},
+                logic::Implies(
+                    logic::And({S(q, e, X()), H(tape, e, r, X(), Z()),
+                                Succ(X(), Y())}),
+                    H(tape, e, r, Y(), Z()))));
+            if (e + 1 < epochs_) {
+              out->push_back(logic::Forall(
+                  {"x", "y", "z"},
+                  logic::Implies(
+                      logic::And({S(q, e, X()), H(tape, e, r, X(), Z()),
+                                  Max(X()), Min(Y())}),
+                      H(tape, e + 1, r, Y(), Z()))));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Item 11: the machine halts accepting at (last epoch, Max).
+  void AppendAcceptance(std::vector<Formula>* out) const {
+    std::vector<Formula> accepting;
+    for (int q : machine_.accepting_states()) {
+      accepting.push_back(
+          S(static_cast<std::size_t>(q), epochs_ - 1, X()));
+    }
+    out->push_back(logic::Forall(
+        "x",
+        logic::Implies(Max(X()), logic::Or(std::move(accepting)))));
+  }
+
+  const CountingTuringMachine& machine_;
+  std::size_t epochs_;
+  logic::Vocabulary vocab_;
+  RelationId lt_, succ_, min_, max_;
+  std::vector<std::vector<RelationId>> state_;                 // [q][e]
+  std::vector<std::vector<std::vector<RelationId>>> head_;     // [tape][e][r]
+  std::vector<std::vector<std::vector<RelationId>>> tape0_;
+  std::vector<std::vector<std::vector<RelationId>>> tape1_;
+  std::vector<std::vector<std::vector<RelationId>>> left_;
+  std::vector<std::vector<std::vector<RelationId>>> right_;
+  std::vector<std::vector<std::vector<RelationId>>> unchanged_;
+};
+
+}  // namespace
+
+EncodedMachine EncodeMachine(const CountingTuringMachine& machine,
+                             std::size_t epochs) {
+  if (epochs == 0) {
+    throw std::invalid_argument("EncodeMachine: epochs must be >= 1");
+  }
+  return Encoder(machine, epochs).Build();
+}
+
+}  // namespace swfomc::tm

@@ -1,0 +1,47 @@
+#ifndef SWFOMC_TM_ENCODER_H_
+#define SWFOMC_TM_ENCODER_H_
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "tm/machine.h"
+
+namespace swfomc::tm {
+
+/// The Appendix B construction behind Theorem 3.1 / Lemma 3.9: encodes a
+/// nondeterministic multi-tape counting TM running for c*n steps on input
+/// 1^n into an FO³ sentence Θ1 such that, over a domain of size n,
+///
+///   FOMC(Θ1, n) = n! * #accepting-computations(machine, n)
+///
+/// (one model per linear order of the domain per accepting run).
+///
+/// The construction follows the paper's signature exactly — a strict
+/// linear order with Min/Max/Succ, per-(state, epoch) unary predicates
+/// S_qe, and per-(tape, epoch, region) binary predicates H, T0, T1, Left,
+/// Right, Unchanged over (time, position) — with one repair: the paper's
+/// items 9/10 write the movement/frame definitions as loose biconditionals
+/// that, read literally, either over-constrain or leave Unchanged
+/// undetermined at the written cell (inflating the count). We pin every
+/// auxiliary predicate down with exact definitions:
+///   Left_{τer}(t,p)  <=> head of τ at time t sits immediately before
+///                        (r,p) in tape order, or at (r1, Min) = (r,p);
+///   Right_{τer}(t,p) <=> dually with the last cell absorbing;
+///   Unchanged_{τer}(t,p) <=> not (head of τ at (r,p) and the current
+///                        state acts on τ),
+/// which makes models correspond one-to-one to (order, accepting run)
+/// pairs. DESIGN.md records this as a faithful-intent substitution.
+struct EncodedMachine {
+  logic::Vocabulary vocabulary;
+  logic::Formula theta;
+  std::size_t epochs = 1;
+};
+
+/// Builds Θ1 for the machine with the given epoch count c (run length
+/// c*n). Every generated sentence uses at most 3 distinct variables; the
+/// result is verified to be FO³ before returning.
+EncodedMachine EncodeMachine(const CountingTuringMachine& machine,
+                             std::size_t epochs = 1);
+
+}  // namespace swfomc::tm
+
+#endif  // SWFOMC_TM_ENCODER_H_

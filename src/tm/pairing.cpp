@@ -1,0 +1,68 @@
+#include "tm/pairing.h"
+
+#include <stdexcept>
+
+namespace swfomc::tm {
+
+using numeric::BigInt;
+
+std::uint64_t CeilLog3(std::uint64_t j) {
+  if (j == 0) throw std::invalid_argument("CeilLog3: j must be >= 1");
+  std::uint64_t power = 1;
+  std::uint64_t exponent = 0;
+  while (power < j) {
+    power *= 3;
+    ++exponent;
+  }
+  return exponent;
+}
+
+numeric::BigInt PairingEncode(std::uint64_t i, std::uint64_t j) {
+  if (j == 0) throw std::invalid_argument("PairingEncode: j must be >= 1");
+  BigInt result = BigInt::Pow(BigInt(2), i);
+  result *= BigInt::Pow(BigInt(3), 4 * i * CeilLog3(j));
+  result *= BigInt::FromUnsigned(6 * j + 1);
+  return result;
+}
+
+std::pair<std::uint64_t, std::uint64_t> PairingDecode(
+    const numeric::BigInt& value) {
+  if (value.Sign() <= 0) {
+    throw std::invalid_argument("PairingDecode: value must be positive");
+  }
+  // i = number of trailing zero bits.
+  BigInt odd = value;
+  std::uint64_t i = 0;
+  BigInt two(2), three(3);
+  for (;;) {
+    BigInt quotient, remainder;
+    BigInt::DivMod(odd, two, &quotient, &remainder);
+    if (!remainder.IsZero()) break;
+    odd = std::move(quotient);
+    ++i;
+  }
+  // Strip ternary trailing zeros, counting them.
+  BigInt rest = odd;
+  std::uint64_t ternary_zeros = 0;
+  for (;;) {
+    BigInt quotient, remainder;
+    BigInt::DivMod(rest, three, &quotient, &remainder);
+    if (!remainder.IsZero()) break;
+    rest = std::move(quotient);
+    ++ternary_zeros;
+  }
+  // rest must be 6j + 1.
+  BigInt quotient, remainder;
+  BigInt::DivMod(rest - BigInt(1), BigInt(6), &quotient, &remainder);
+  if (!remainder.IsZero() || !quotient.FitsInt64() ||
+      quotient.Sign() <= 0) {
+    throw std::invalid_argument("PairingDecode: not in the image of e");
+  }
+  std::uint64_t j = static_cast<std::uint64_t>(quotient.ToInt64());
+  if (ternary_zeros != 4 * i * CeilLog3(j)) {
+    throw std::invalid_argument("PairingDecode: inconsistent exponents");
+  }
+  return {i, j};
+}
+
+}  // namespace swfomc::tm

@@ -1,0 +1,33 @@
+#ifndef SWFOMC_TM_PAIRING_H_
+#define SWFOMC_TM_PAIRING_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "numeric/bigint.h"
+
+namespace swfomc::tm {
+
+/// The Lemma 3.8 pairing function used by the universal #P1 machine U1:
+///
+///   e(i, j) = 2^i * 3^{4i*ceil(log3 j)} * (6j + 1)
+///
+/// with the three properties the proof needs:
+///   (a) i and j are recoverable from e(i, j) in linear time — i is the
+///       number of trailing zero bits, j comes from stripping ternary
+///       trailing zeros of the odd part and inverting 6j + 1;
+///   (b) e(i, j) >= (i * j^i + i)^2, so U1 can afford to run M_i on j;
+///   (c) j -> e(i, j) is PTIME for fixed i.
+numeric::BigInt PairingEncode(std::uint64_t i, std::uint64_t j);
+
+/// Inverse of PairingEncode; throws std::invalid_argument when `value` is
+/// not in the image of e.
+std::pair<std::uint64_t, std::uint64_t> PairingDecode(
+    const numeric::BigInt& value);
+
+/// ceil(log3 j) for j >= 1 (0 for j = 1).
+std::uint64_t CeilLog3(std::uint64_t j);
+
+}  // namespace swfomc::tm
+
+#endif  // SWFOMC_TM_PAIRING_H_

@@ -1,0 +1,78 @@
+#include "tm/simulator.h"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace swfomc::tm {
+
+namespace {
+
+using numeric::BigInt;
+
+struct Configuration {
+  int state;
+  std::vector<std::vector<bool>> tapes;  // [tape][cell], length c*n each
+  std::vector<std::size_t> heads;        // [tape]
+
+  friend bool operator<(const Configuration& a, const Configuration& b) {
+    if (a.state != b.state) return a.state < b.state;
+    if (a.heads != b.heads) return a.heads < b.heads;
+    return a.tapes < b.tapes;
+  }
+};
+
+}  // namespace
+
+numeric::BigInt CountAcceptingComputations(
+    const CountingTuringMachine& machine, std::uint64_t n,
+    std::uint64_t epochs) {
+  if (n == 0) return BigInt(0);
+  std::uint64_t span = n * epochs;
+  std::uint64_t steps = span;  // time steps 1..c*n
+
+  Configuration initial;
+  initial.state = machine.initial_state();
+  initial.tapes.assign(static_cast<std::size_t>(machine.num_tapes()),
+                       std::vector<bool>(span, false));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    initial.tapes[0][i] = true;  // input 1^n in region 1 of tape 1
+  }
+  initial.heads.assign(static_cast<std::size_t>(machine.num_tapes()), 0);
+
+  // Breadth-first over time steps, merging identical configurations with
+  // multiplicity — counts paths, not reachable configurations.
+  std::map<Configuration, BigInt> frontier;
+  frontier.emplace(initial, BigInt(1));
+  for (std::uint64_t t = 1; t < steps; ++t) {
+    std::map<Configuration, BigInt> next;
+    for (const auto& [config, count] : frontier) {
+      int tape = machine.active_tape(config.state);
+      bool symbol = config.tapes[static_cast<std::size_t>(tape)]
+                                [config.heads[static_cast<std::size_t>(tape)]];
+      for (const CountingTuringMachine::Transition& option :
+           machine.Delta(config.state, symbol)) {
+        Configuration successor = config;
+        successor.state = option.next_state;
+        std::size_t& head = successor.heads[static_cast<std::size_t>(tape)];
+        successor.tapes[static_cast<std::size_t>(tape)][head] = option.write;
+        if (option.move == CountingTuringMachine::Move::kLeft) {
+          if (head > 0) --head;  // stay at the leftmost cell
+        } else {
+          if (head + 1 < span) ++head;  // stay at the rightmost cell
+        }
+        auto [it, inserted] = next.emplace(std::move(successor), count);
+        if (!inserted) it->second += count;
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  BigInt accepted(0);
+  for (const auto& [config, count] : frontier) {
+    if (machine.IsAccepting(config.state)) accepted += count;
+  }
+  return accepted;
+}
+
+}  // namespace swfomc::tm

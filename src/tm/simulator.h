@@ -1,0 +1,26 @@
+#ifndef SWFOMC_TM_SIMULATOR_H_
+#define SWFOMC_TM_SIMULATOR_H_
+
+#include "numeric/bigint.h"
+#include "tm/machine.h"
+
+namespace swfomc::tm {
+
+/// Counts the accepting computations of the machine on input 1^n under
+/// the Appendix B run discipline:
+///   * every tape has c regions of n cells (total span c*n);
+///   * the run takes exactly c*n time steps (c epochs of n steps), i.e.
+///     c*n - 1 nondeterministic transitions;
+///   * the input tape initially holds n ones in region 1, all else zeros,
+///     heads on the first cell, state = initial;
+///   * a computation accepts iff its state at the final step is accepting;
+///   * a step with no applicable transition kills the branch (unless it is
+///     the final step).
+/// This is the quantity Lemma 3.9 equates to FOMC(Θ1, n) / n!.
+numeric::BigInt CountAcceptingComputations(const CountingTuringMachine& machine,
+                                           std::uint64_t n,
+                                           std::uint64_t epochs = 1);
+
+}  // namespace swfomc::tm
+
+#endif  // SWFOMC_TM_SIMULATOR_H_

@@ -1,0 +1,97 @@
+#include "transforms/equality_removal.h"
+
+#include <stdexcept>
+
+#include "numeric/polynomial.h"
+
+namespace swfomc::transforms {
+
+namespace {
+
+using logic::Formula;
+using logic::FormulaKind;
+
+Formula ReplaceEquality(const Formula& formula, logic::RelationId e_id) {
+  switch (formula->kind()) {
+    case FormulaKind::kEquality:
+      return logic::Atom(e_id, formula->arguments());
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return formula;
+    default: {
+      std::vector<Formula> children;
+      children.reserve(formula->children().size());
+      for (const Formula& child : formula->children()) {
+        children.push_back(ReplaceEquality(child, e_id));
+      }
+      switch (formula->kind()) {
+        case FormulaKind::kNot:
+          return Not(children[0]);
+        case FormulaKind::kAnd:
+          return And(std::move(children));
+        case FormulaKind::kOr:
+          return Or(std::move(children));
+        case FormulaKind::kImplies:
+          return Implies(children[0], children[1]);
+        case FormulaKind::kIff:
+          return Iff(children[0], children[1]);
+        case FormulaKind::kForall:
+          return Forall(formula->variable(), children[0]);
+        case FormulaKind::kExists:
+          return Exists(formula->variable(), children[0]);
+        default:
+          throw std::logic_error("ReplaceEquality: unreachable");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EqualityRemovalResult RemoveEquality(const logic::Formula& sentence,
+                                     const logic::Vocabulary& vocabulary) {
+  EqualityRemovalResult result;
+  result.vocabulary = vocabulary;
+  std::string name = result.vocabulary.FreshName("Eq");
+  // Placeholder weight (1, 1); the recovery procedure re-binds w(E).
+  result.equality_relation = result.vocabulary.AddRelation(name, 2);
+  Formula rewritten = ReplaceEquality(sentence, result.equality_relation);
+  Formula reflexivity = logic::Forall(
+      "veq", logic::Atom(result.equality_relation,
+                         {logic::Term::Var("veq"), logic::Term::Var("veq")}));
+  result.sentence = And(std::move(rewritten), std::move(reflexivity));
+  return result;
+}
+
+numeric::BigRational WFOMCViaEqualityRemoval(
+    const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+    std::uint64_t domain_size, const WfomcOracle& oracle) {
+  EqualityRemovalResult rewrite = RemoveEquality(sentence, vocabulary);
+  std::uint64_t degree = domain_size * domain_size;
+  std::vector<std::pair<numeric::BigRational, numeric::BigRational>> points;
+  points.reserve(degree + 1);
+  for (std::uint64_t z = 0; z <= degree; ++z) {
+    logic::Vocabulary bound = rewrite.vocabulary;
+    bound.SetWeights(rewrite.equality_relation,
+                     numeric::BigRational(static_cast<std::int64_t>(z)), 1);
+    points.emplace_back(
+        numeric::BigRational(static_cast<std::int64_t>(z)),
+        oracle(rewrite.sentence, bound, domain_size));
+  }
+  numeric::Polynomial f = numeric::Polynomial::Interpolate(points);
+  if (f.Degree() > degree) {
+    throw std::logic_error("WFOMCViaEqualityRemoval: degree bound violated");
+  }
+  // All monomials must have degree >= n; the coefficient of z^n is the
+  // answer (worlds where |E| = n, i.e. E is exactly the diagonal).
+  for (std::uint64_t k = 0; k < domain_size; ++k) {
+    if (!f.Coefficient(k).IsZero()) {
+      throw std::logic_error(
+          "WFOMCViaEqualityRemoval: low-degree monomial present");
+    }
+  }
+  return f.Coefficient(domain_size);
+}
+
+}  // namespace swfomc::transforms

@@ -1,0 +1,45 @@
+#ifndef SWFOMC_TRANSFORMS_EQUALITY_REMOVAL_H_
+#define SWFOMC_TRANSFORMS_EQUALITY_REMOVAL_H_
+
+#include <functional>
+
+#include "numeric/rational.h"
+#include "transforms/skolemization.h"
+
+namespace swfomc::transforms {
+
+/// Lemma 3.5, structural part: replaces every equality atom x = y by
+/// E(x, y) for a fresh binary relation E and conjoins ∀x E(x, x). The
+/// weight w(E) is a free parameter z (w̄(E) = 1); the returned vocabulary
+/// carries a placeholder weight that callers of the recovery procedure
+/// below re-bind per evaluation point.
+struct EqualityRemovalResult {
+  logic::Formula sentence;
+  logic::Vocabulary vocabulary;
+  logic::RelationId equality_relation;
+};
+
+EqualityRemovalResult RemoveEquality(const logic::Formula& sentence,
+                                     const logic::Vocabulary& vocabulary);
+
+/// An oracle computing WFOMC(Φ', n, w') for the rewritten, equality-free
+/// sentence (e.g. grounding::GroundedWFOMC, or a lifted algorithm).
+using WfomcOracle = std::function<numeric::BigRational(
+    const logic::Formula&, const logic::Vocabulary&, std::uint64_t)>;
+
+/// Lemma 3.5, recovery part: WFOMC(Φ, n, w, w̄) equals the coefficient of
+/// z^n in f(z) = WFOMC(Φ', n, w ∪ {w_E = z}), a polynomial of degree ≤ n²
+/// all of whose monomials have degree ≥ n (∀x E(x,x) forces |E| ≥ n).
+///
+/// The paper extracts the coefficient with n+1 oracle calls and a finite-
+/// difference/limit argument; this implementation uses exact polynomial
+/// interpolation at z = 0..n² instead (n²+1 calls — still polynomial, and
+/// exact over the rationals with no limit step). EXPERIMENTS.md discusses
+/// the substitution.
+numeric::BigRational WFOMCViaEqualityRemoval(
+    const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+    std::uint64_t domain_size, const WfomcOracle& oracle);
+
+}  // namespace swfomc::transforms
+
+#endif  // SWFOMC_TRANSFORMS_EQUALITY_REMOVAL_H_

@@ -1,0 +1,26 @@
+#ifndef SWFOMC_TRANSFORMS_NEGATION_REMOVAL_H_
+#define SWFOMC_TRANSFORMS_NEGATION_REMOVAL_H_
+
+#include "transforms/skolemization.h"
+
+namespace swfomc::transforms {
+
+/// Lemma 3.4: given a sentence in prenex form with quantifier prefix ∀*,
+/// produces a *positive* sentence (no negations anywhere) over an extended
+/// weighted vocabulary with the same WFOMC for every n.
+///
+/// Every negated subformula ¬ψ(x⃗) in the (NNF) matrix is replaced by a
+/// fresh atom A(x⃗), and the matrix gains the conjunct
+/// (ψ ∨ A) ∧ (A ∨ B) ∧ (ψ ∨ B) with weights w_A = w̄_A = w_B = 1,
+/// w̄_B = -1: when ¬ψ(a⃗) ≡ A(a⃗) the B-atom is forced true contributing
+/// +1; when ψ(a⃗) and A(a⃗) both hold, B(a⃗) is free and the two worlds
+/// cancel.
+///
+/// Throws std::invalid_argument when the input is not a ∀* prenex sentence
+/// (Skolemize first — Lemma 3.3 — to reach that form).
+RewriteResult RemoveNegations(const logic::Formula& sentence,
+                              const logic::Vocabulary& vocabulary);
+
+}  // namespace swfomc::transforms
+
+#endif  // SWFOMC_TRANSFORMS_NEGATION_REMOVAL_H_

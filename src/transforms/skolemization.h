@@ -1,0 +1,38 @@
+#ifndef SWFOMC_TRANSFORMS_SKOLEMIZATION_H_
+#define SWFOMC_TRANSFORMS_SKOLEMIZATION_H_
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+
+namespace swfomc::transforms {
+
+/// Result of a WFOMC-preserving rewriting: a new sentence over an
+/// *extended* weighted vocabulary such that
+/// WFOMC(sentence', n, w', w̄') == WFOMC(sentence, n, w, w̄) for all n.
+struct RewriteResult {
+  logic::Formula sentence;
+  logic::Vocabulary vocabulary;
+};
+
+/// Lemma 3.3 (Skolemization for WFOMC, after Van den Broeck-Meert-Darwiche
+/// KR'14): eliminates every existential quantifier. Each innermost
+/// subformula ∃v ψ(u⃗,v) (in NNF, so every occurrence is positive) is
+/// replaced in place by a fresh atom Z(u⃗) with w(Z) = w̄(Z) = 1, guarded
+/// by ∀u⃗∀v (Z(u⃗) ∨ ¬ψ) ∧ (Sk(u⃗) ∨ ¬ψ) and ∀u⃗ (Z(u⃗) ∨ Sk(u⃗)) for a
+/// second fresh atom Sk with w(Sk) = 1, w̄(Sk) = -1. Where the existential
+/// holds, Z and Sk are forced true (factor +1); where it fails, the world
+/// with Z true pairs off against Sk's negative weight and only the
+/// truthful Z-false world survives — the Lemma 3.4 cancellation pattern,
+/// required because the occurrence may sit under other connectives. (The
+/// paper's bare Lemma 3.3 form, which drops the original constraint,
+/// covers only the prenex ∀*∃ case.)
+///
+/// The output contains only universal quantifiers. Note the *unweighted*
+/// model count is NOT preserved (Section 3.1 explains why it cannot be) —
+/// only WFOMC with the stated weights is.
+RewriteResult Skolemize(const logic::Formula& sentence,
+                        const logic::Vocabulary& vocabulary);
+
+}  // namespace swfomc::transforms
+
+#endif  // SWFOMC_TRANSFORMS_SKOLEMIZATION_H_

@@ -1,0 +1,77 @@
+#include "wmc/brute_force.h"
+
+#include <stdexcept>
+
+namespace swfomc::wmc {
+
+namespace {
+
+constexpr std::uint32_t kMaxBruteForceVariables = 30;
+
+void CheckSize(std::uint32_t variable_count) {
+  if (variable_count > kMaxBruteForceVariables) {
+    throw std::invalid_argument(
+        "BruteForceWMC: refusing to enumerate 2^" +
+        std::to_string(variable_count) + " assignments");
+  }
+}
+
+}  // namespace
+
+numeric::BigRational BruteForceWMC(const prop::PropFormula& formula,
+                                   std::uint32_t variable_count,
+                                   const WeightMap& weights) {
+  CheckSize(variable_count);
+  numeric::BigRational total;
+  std::vector<bool> assignment(variable_count, false);
+  std::uint64_t limit = 1ULL << variable_count;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    for (std::uint32_t i = 0; i < variable_count; ++i) {
+      assignment[i] = (mask >> i) & 1;
+    }
+    if (!EvaluateProp(formula, assignment)) continue;
+    numeric::BigRational weight(1);
+    for (std::uint32_t i = 0; i < variable_count; ++i) {
+      weight *= weights.LiteralWeight(i, assignment[i]);
+    }
+    total += weight;
+  }
+  return total;
+}
+
+numeric::BigRational BruteForceWMC(const prop::CnfFormula& cnf,
+                                   const WeightMap& weights) {
+  CheckSize(cnf.variable_count);
+  numeric::BigRational total;
+  std::vector<bool> assignment(cnf.variable_count, false);
+  std::uint64_t limit = 1ULL << cnf.variable_count;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    for (std::uint32_t i = 0; i < cnf.variable_count; ++i) {
+      assignment[i] = (mask >> i) & 1;
+    }
+    if (!cnf.IsSatisfiedBy(assignment)) continue;
+    numeric::BigRational weight(1);
+    for (std::uint32_t i = 0; i < cnf.variable_count; ++i) {
+      weight *= weights.LiteralWeight(i, assignment[i]);
+    }
+    total += weight;
+  }
+  return total;
+}
+
+numeric::BigInt BruteForceCount(const prop::PropFormula& formula,
+                                std::uint32_t variable_count) {
+  CheckSize(variable_count);
+  numeric::BigInt count(0);
+  std::vector<bool> assignment(variable_count, false);
+  std::uint64_t limit = 1ULL << variable_count;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    for (std::uint32_t i = 0; i < variable_count; ++i) {
+      assignment[i] = (mask >> i) & 1;
+    }
+    if (EvaluateProp(formula, assignment)) count += numeric::BigInt(1);
+  }
+  return count;
+}
+
+}  // namespace swfomc::wmc

@@ -1,0 +1,29 @@
+#ifndef SWFOMC_WMC_BRUTE_FORCE_H_
+#define SWFOMC_WMC_BRUTE_FORCE_H_
+
+#include "numeric/rational.h"
+#include "prop/cnf.h"
+#include "prop/prop_formula.h"
+#include "wmc/weights.h"
+
+namespace swfomc::wmc {
+
+/// Reference weighted model counter: enumerates all 2^k assignments of the
+/// variables [0, variable_count). Exponential by construction — used as
+/// ground truth in tests and as the paper's "asymmetric WFOMC is hard"
+/// baseline. Throws std::invalid_argument when variable_count > 30.
+numeric::BigRational BruteForceWMC(const prop::PropFormula& formula,
+                                   std::uint32_t variable_count,
+                                   const WeightMap& weights);
+
+/// Same over a CNF.
+numeric::BigRational BruteForceWMC(const prop::CnfFormula& cnf,
+                                   const WeightMap& weights);
+
+/// Unweighted count (#F) over the given number of variables.
+numeric::BigInt BruteForceCount(const prop::PropFormula& formula,
+                                std::uint32_t variable_count);
+
+}  // namespace swfomc::wmc
+
+#endif  // SWFOMC_WMC_BRUTE_FORCE_H_

@@ -1,0 +1,293 @@
+#include "wmc/dpll_counter.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace swfomc::wmc {
+
+namespace {
+
+using prop::Clause;
+using prop::Literal;
+using prop::VarId;
+using numeric::BigRational;
+
+std::set<VarId> VariablesOf(const std::vector<Clause>& clauses) {
+  std::set<VarId> vars;
+  for (const Clause& clause : clauses) {
+    for (const Literal& literal : clause) vars.insert(literal.variable);
+  }
+  return vars;
+}
+
+// Conditions the clause set on `lit` being true. Returns nullopt if an
+// empty clause (conflict) arises.
+std::optional<std::vector<Clause>> Condition(const std::vector<Clause>& clauses,
+                                             Literal lit) {
+  std::vector<Clause> result;
+  result.reserve(clauses.size());
+  for (const Clause& clause : clauses) {
+    bool satisfied = false;
+    for (const Literal& l : clause) {
+      if (l.variable == lit.variable && l.positive == lit.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) continue;
+    Clause reduced;
+    reduced.reserve(clause.size());
+    for (const Literal& l : clause) {
+      if (l.variable != lit.variable) reduced.push_back(l);
+    }
+    if (reduced.empty()) return std::nullopt;
+    result.push_back(std::move(reduced));
+  }
+  return result;
+}
+
+std::string CanonicalKey(std::vector<Clause> clauses) {
+  for (Clause& clause : clauses) std::sort(clause.begin(), clause.end());
+  std::sort(clauses.begin(), clauses.end());
+  std::string key;
+  for (const Clause& clause : clauses) {
+    for (const Literal& l : clause) {
+      key += l.positive ? '+' : '-';
+      key += std::to_string(l.variable);
+      key += ',';
+    }
+    key += ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights)
+    : DpllCounter(std::move(cnf), std::move(weights), Options{}) {}
+
+DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights,
+                         Options options)
+    : cnf_(std::move(cnf)), weights_(std::move(weights)), options_(options) {
+  weights_.EnsureSize(cnf_.variable_count);
+}
+
+numeric::BigRational DpllCounter::Count() {
+  prop::NormalizeCnf(&cnf_);
+  for (const Clause& clause : cnf_.clauses) {
+    if (clause.empty()) return BigRational(0);
+  }
+  std::set<VarId> mentioned = VariablesOf(cnf_.clauses);
+  BigRational result = CountClauses(cnf_.clauses);
+  // Variables never mentioned contribute (w + w̄) each.
+  for (VarId v = 0; v < cnf_.variable_count; ++v) {
+    if (!mentioned.contains(v)) {
+      result *= weights_.Get(v).Total();
+    }
+  }
+  return result;
+}
+
+numeric::BigRational DpllCounter::CountClauses(std::vector<Clause> clauses) {
+  BigRational factor(1);
+  // Unit propagation to fixpoint, batched one round at a time: collect
+  // every unit literal, then condition the whole clause set in a single
+  // pass. Variables that vanish because all their clauses got satisfied
+  // are accounted for with one before/after diff over the entire loop.
+  std::set<VarId> before_propagation;
+  std::set<VarId> assigned;
+  bool propagated = false;
+  for (;;) {
+    std::map<VarId, bool> units;
+    for (const Clause& clause : clauses) {
+      if (clause.size() == 1) {
+        auto [it, inserted] =
+            units.emplace(clause[0].variable, clause[0].positive);
+        if (!inserted && it->second != clause[0].positive) {
+          return BigRational(0);  // conflicting units
+        }
+      }
+    }
+    if (units.empty()) break;
+    if (!propagated) {
+      before_propagation = VariablesOf(clauses);
+      propagated = true;
+    }
+    stats_.unit_propagations += units.size();
+    for (const auto& [variable, positive] : units) {
+      factor *= weights_.LiteralWeight(variable, positive);
+      assigned.insert(variable);
+    }
+    std::vector<Clause> next;
+    next.reserve(clauses.size());
+    for (const Clause& clause : clauses) {
+      bool satisfied = false;
+      Clause reduced;
+      reduced.reserve(clause.size());
+      for (const Literal& l : clause) {
+        auto it = units.find(l.variable);
+        if (it == units.end()) {
+          reduced.push_back(l);
+        } else if (it->second == l.positive) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (reduced.empty()) return BigRational(0);
+      next.push_back(std::move(reduced));
+    }
+    clauses = std::move(next);
+    if (factor.IsZero()) {
+      // Zero annihilates; still sound to stop (counts multiply through).
+      return BigRational(0);
+    }
+  }
+  if (propagated) {
+    std::set<VarId> after = VariablesOf(clauses);
+    for (VarId v : before_propagation) {
+      if (!assigned.contains(v) && !after.contains(v)) {
+        factor *= weights_.Get(v).Total();
+      }
+    }
+    if (factor.IsZero()) return BigRational(0);
+  }
+  if (clauses.empty()) return factor;
+
+  // Component decomposition: partition clauses by shared variables.
+  if (options_.use_components) {
+    std::map<VarId, std::size_t> var_group;  // var -> clause-group root
+    std::vector<std::size_t> parent(clauses.size());
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    auto unite = [&](std::size_t a, std::size_t b) {
+      a = find(a);
+      b = find(b);
+      if (a != b) parent[a] = b;
+    };
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      for (const Literal& l : clauses[i]) {
+        auto it = var_group.find(l.variable);
+        if (it == var_group.end()) {
+          var_group.emplace(l.variable, i);
+        } else {
+          unite(it->second, i);
+        }
+      }
+    }
+    std::map<std::size_t, std::vector<Clause>> components;
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      components[find(i)].push_back(clauses[i]);
+    }
+    if (components.size() > 1) {
+      ++stats_.component_splits;
+      BigRational product = factor;
+      for (auto& [root, component] : components) {
+        product *= CountComponentCached(std::move(component));
+        if (product.IsZero()) return product;
+      }
+      return product;
+    }
+  }
+
+  // Branch on the most frequent variable.
+  std::map<VarId, std::size_t> occurrences;
+  for (const Clause& clause : clauses) {
+    for (const Literal& l : clause) ++occurrences[l.variable];
+  }
+  VarId best = occurrences.begin()->first;
+  std::size_t best_count = 0;
+  for (const auto& [v, count] : occurrences) {
+    if (count > best_count) {
+      best = v;
+      best_count = count;
+    }
+  }
+  ++stats_.decisions;
+
+  BigRational total;
+  std::set<VarId> before = VariablesOf(clauses);
+  for (bool value : {true, false}) {
+    Literal lit{best, value};
+    auto conditioned = Condition(clauses, lit);
+    if (!conditioned.has_value()) continue;
+    BigRational term = weights_.LiteralWeight(best, value);
+    if (!term.IsZero()) {
+      std::set<VarId> after = VariablesOf(*conditioned);
+      term *= CountClauses(std::move(*conditioned));
+      for (VarId v : before) {
+        if (v != best && !after.contains(v)) {
+          term *= weights_.Get(v).Total();
+        }
+      }
+    }
+    total += term;
+  }
+  return factor * total;
+}
+
+numeric::BigRational DpllCounter::CountComponentCached(
+    std::vector<Clause> clauses) {
+  if (!options_.use_cache) return CountClauses(std::move(clauses));
+  std::string key = CanonicalKey(clauses);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  BigRational result = CountClauses(std::move(clauses));
+  cache_.emplace(std::move(key), result);
+  stats_.cache_entries = cache_.size();
+  return result;
+}
+
+bool DpllCounter::IsSatisfiable(const prop::CnfFormula& cnf) {
+  std::vector<Clause> clauses = cnf.clauses;
+  // Recursive lambda: DPLL decision procedure.
+  std::function<bool(std::vector<Clause>)> solve =
+      [&solve](std::vector<Clause> current) -> bool {
+    // Unit propagation.
+    for (;;) {
+      const Clause* unit = nullptr;
+      for (const Clause& clause : current) {
+        if (clause.empty()) return false;
+        if (clause.size() == 1) {
+          unit = &clause;
+          break;
+        }
+      }
+      if (unit == nullptr) break;
+      auto conditioned = Condition(current, (*unit)[0]);
+      if (!conditioned.has_value()) return false;
+      current = std::move(*conditioned);
+    }
+    if (current.empty()) return true;
+    Literal lit = current[0][0];
+    auto positive = Condition(current, lit);
+    if (positive.has_value() && solve(std::move(*positive))) return true;
+    auto negative = Condition(current, lit.Negated());
+    return negative.has_value() && solve(std::move(*negative));
+  };
+  for (const Clause& clause : clauses) {
+    if (clause.empty()) return false;
+  }
+  return solve(std::move(clauses));
+}
+
+numeric::BigRational CountWeightedModels(prop::CnfFormula cnf,
+                                         WeightMap weights) {
+  DpllCounter counter(std::move(cnf), std::move(weights));
+  return counter.Count();
+}
+
+}  // namespace swfomc::wmc

@@ -1,0 +1,6 @@
+#include "wmc/weights.h"
+
+// WeightMap is header-only; this translation unit anchors the module in the
+// build and is the natural home for future out-of-line helpers.
+
+namespace swfomc::wmc {}  // namespace swfomc::wmc

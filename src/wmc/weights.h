@@ -1,0 +1,57 @@
+#ifndef SWFOMC_WMC_WEIGHTS_H_
+#define SWFOMC_WMC_WEIGHTS_H_
+
+#include <vector>
+
+#include "numeric/rational.h"
+#include "prop/prop_formula.h"
+
+namespace swfomc::wmc {
+
+/// Per-variable weight pair (w, w̄) as in Section 2, Eq. (2)-(3):
+/// WMC(F, w, w̄) = Σ_{θ |= F} Π_{θ(X)=1} w(X) · Π_{θ(X)=0} w̄(X).
+/// Weights may be negative or zero.
+struct VariableWeights {
+  numeric::BigRational positive{1};  // w(X)
+  numeric::BigRational negative{1};  // w̄(X)
+
+  /// w + w̄: the total weight of an unconstrained variable.
+  numeric::BigRational Total() const { return positive + negative; }
+};
+
+/// Weight table indexed by VarId.
+class WeightMap {
+ public:
+  WeightMap() = default;
+  /// All `count` variables weighted (1, 1) — plain model counting.
+  explicit WeightMap(std::size_t count) : weights_(count) {}
+
+  std::size_t size() const { return weights_.size(); }
+  /// Grows the table with (1, 1) entries if needed.
+  void EnsureSize(std::size_t count) {
+    if (weights_.size() < count) weights_.resize(count);
+  }
+
+  const VariableWeights& Get(prop::VarId variable) const {
+    return weights_.at(variable);
+  }
+  void Set(prop::VarId variable, numeric::BigRational positive,
+           numeric::BigRational negative) {
+    weights_.at(variable) =
+        VariableWeights{std::move(positive), std::move(negative)};
+  }
+
+  /// Weight of a single literal.
+  const numeric::BigRational& LiteralWeight(prop::VarId variable,
+                                            bool positive) const {
+    const VariableWeights& w = weights_.at(variable);
+    return positive ? w.positive : w.negative;
+  }
+
+ private:
+  std::vector<VariableWeights> weights_;
+};
+
+}  // namespace swfomc::wmc
+
+#endif  // SWFOMC_WMC_WEIGHTS_H_

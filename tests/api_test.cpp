@@ -1,0 +1,136 @@
+// The Engine facade: routing, cross-method agreement, probability and
+// 0-1-law helpers.
+
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "closedforms/closed_forms.h"
+
+namespace swfomc::api {
+namespace {
+
+using numeric::BigInt;
+using numeric::BigRational;
+
+TEST(EngineTest, RoutesFO2ToLifted) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x exists y R(x,y)");
+  EXPECT_EQ(engine.Route(f), Method::kLiftedFO2);
+}
+
+TEST(EngineTest, RoutesGammaAcyclicCQ) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f =
+      engine.Parse("exists x exists y exists z (R(x,y) & S(y,z))");
+  EXPECT_EQ(engine.Route(f), Method::kGammaAcyclic);
+}
+
+TEST(EngineTest, RoutesTypedCycleToGrounded) {
+  Engine engine{logic::Vocabulary{}};
+  // C3 is a CQ but cyclic, and uses 3 variables: grounded.
+  logic::Formula f = engine.Parse(
+      "exists x exists y exists z (R1(x,y) & R2(y,z) & R3(z,x))");
+  EXPECT_EQ(engine.Route(f), Method::kGrounded);
+}
+
+TEST(EngineTest, RoutesHighArityToGrounded) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x forall y !T(x,y,x)");
+  EXPECT_EQ(engine.Route(f), Method::kGrounded);
+}
+
+TEST(EngineTest, RoutesConstantsAwayFromLifted) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x R(x,0)");
+  EXPECT_EQ(engine.Route(f), Method::kGrounded);
+}
+
+TEST(EngineTest, MethodsAgreeOnFO2CQ) {
+  // ∃x∃y (R(x,y) & T(y)) is simultaneously FO², a γ-acyclic CQ, and
+  // groundable: all three answers must coincide.
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("exists x exists y (R(x,y) & T(y))");
+  engine.mutable_vocabulary()->SetWeights(
+      engine.vocabulary().Require("R"), BigRational(2), BigRational(1));
+  engine.mutable_vocabulary()->SetWeights(
+      engine.vocabulary().Require("T"), BigRational(1), BigRational(3));
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    BigRational lifted = engine.WFOMC(f, n, Method::kLiftedFO2).value;
+    BigRational gamma = engine.WFOMC(f, n, Method::kGammaAcyclic).value;
+    BigRational grounded = engine.WFOMC(f, n, Method::kGrounded).value;
+    EXPECT_EQ(lifted, gamma) << n;
+    EXPECT_EQ(lifted, grounded) << n;
+  }
+}
+
+TEST(EngineTest, FomcForcesUnitWeightsAndRestores) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x exists y R(x,y)");
+  engine.mutable_vocabulary()->SetWeights(
+      engine.vocabulary().Require("R"), BigRational(7), BigRational(5));
+  EXPECT_EQ(engine.FOMC(f, 4), closedforms::ForallExistsFOMC(4));
+  // Weights restored afterwards.
+  EXPECT_EQ(engine.vocabulary().positive_weight(
+                engine.vocabulary().Require("R")),
+            BigRational(7));
+}
+
+TEST(EngineTest, ProbabilityMatchesClosedForm) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("exists y S(y)");
+  // Weights (1,1): Pr = (2^n - 1) / 2^n.
+  EXPECT_EQ(engine.Probability(f, 5), BigRational::Fraction(31, 32));
+}
+
+TEST(EngineTest, MuConvergesToZeroForExistsForall) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("exists x forall y R(x,y)");
+  BigRational mu8 = engine.Mu(f, 8);
+  BigRational mu16 = engine.Mu(f, 16);
+  EXPECT_LT(mu16, mu8);  // µ_n -> 0
+  EXPECT_LT(mu16, BigRational::Fraction(1, 1000));
+}
+
+TEST(EngineTest, MuConvergesToOneForForallExists) {
+  // (1 - 2^{-n})^n -> 1 by Fagin's 0-1 law (the paper's intro has a typo
+  // claiming 0; EXPERIMENTS.md discusses it).
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x exists y R(x,y)");
+  EXPECT_GT(engine.Mu(f, 16), BigRational::Fraction(999, 1000));
+}
+
+TEST(EngineTest, MuConvergesToOneForExtensionStyleAxiom) {
+  // ∀x∃y R(x,y) fails a.a.s., but ∃x∃y R(x,y) holds a.a.s.: µ_n -> 1.
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("exists x exists y R(x,y)");
+  BigRational mu6 = engine.Mu(f, 6);
+  EXPECT_GT(mu6, BigRational::Fraction(999, 1000));
+}
+
+TEST(EngineTest, HasModelOfSize) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f =
+      engine.Parse("exists x exists y (x != y & R(x,y))");
+  EXPECT_FALSE(engine.HasModelOfSize(f, 1));
+  EXPECT_TRUE(engine.HasModelOfSize(f, 2));
+}
+
+TEST(EngineTest, MethodNames) {
+  EXPECT_STREQ(ToString(Method::kLiftedFO2), "lifted-fo2");
+  EXPECT_STREQ(ToString(Method::kGammaAcyclic), "gamma-acyclic");
+  EXPECT_STREQ(ToString(Method::kGrounded), "grounded");
+}
+
+TEST(EngineTest, AutoRoutingProducesSameValueAsExplicit) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x forall y (R(x) | S(x,y) | T(y))");
+  for (std::uint64_t n = 1; n <= 5; ++n) {
+    Engine::Result result = engine.WFOMC(f, n);
+    EXPECT_EQ(result.method, Method::kLiftedFO2);
+    EXPECT_EQ(result.value.ToInteger(), closedforms::Table1FOMC(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace swfomc::api

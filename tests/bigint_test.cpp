@@ -1,0 +1,288 @@
+#include "numeric/bigint.h"
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace swfomc::numeric {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.Sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.ToInt64(), 0);
+}
+
+TEST(BigIntTest, SmallConstruction) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(1).Sign(), 1);
+  EXPECT_EQ(BigInt(-1).Sign(), -1);
+  EXPECT_TRUE(BigInt(1).IsOne());
+  EXPECT_FALSE(BigInt(-1).IsOne());
+}
+
+TEST(BigIntTest, Int64Extremes) {
+  BigInt min(std::numeric_limits<std::int64_t>::min());
+  BigInt max(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(min.ToString(), "-9223372036854775808");
+  EXPECT_EQ(max.ToString(), "9223372036854775807");
+  EXPECT_EQ(min.ToInt64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(max.ToInt64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_TRUE(min.FitsInt64());
+  EXPECT_FALSE((min - BigInt(1)).FitsInt64());
+  EXPECT_FALSE((max + BigInt(1)).FitsInt64());
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const char* cases[] = {"0",
+                         "7",
+                         "-7",
+                         "123456789",
+                         "-987654321012345678901234567890",
+                         "340282366920938463463374607431768211456"};
+  for (const char* text : cases) {
+    EXPECT_EQ(BigInt::FromString(text).ToString(), text) << text;
+  }
+}
+
+TEST(BigIntTest, FromStringAcceptsPlusAndRejectsGarbage) {
+  EXPECT_EQ(BigInt::FromString("+17").ToString(), "17");
+  EXPECT_THROW(BigInt::FromString(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigInt::FromString("1 2"), std::invalid_argument);
+}
+
+TEST(BigIntTest, FromStringNegativeZeroNormalizes) {
+  EXPECT_TRUE(BigInt::FromString("-0").IsZero());
+  EXPECT_EQ(BigInt::FromString("-0000").Sign(), 0);
+  EXPECT_EQ(BigInt::FromString("007").ToString(), "7");
+}
+
+TEST(BigIntTest, AdditionMatchesInt64) {
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::int64_t> dist(-1000000000, 1000000000);
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t a = dist(rng), b = dist(rng);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).ToInt64(), a + b) << a << " " << b;
+    EXPECT_EQ((BigInt(a) - BigInt(b)).ToInt64(), a - b) << a << " " << b;
+  }
+}
+
+TEST(BigIntTest, MultiplicationMatchesInt128) {
+  std::mt19937_64 rng(2);
+  std::uniform_int_distribution<std::int64_t> dist(-3000000000LL,
+                                                   3000000000LL);
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t a = dist(rng), b = dist(rng);
+    __int128 expected = static_cast<__int128>(a) * b;
+    BigInt product = BigInt(a) * BigInt(b);
+    // Render the __int128 for comparison.
+    bool negative = expected < 0;
+    unsigned __int128 magnitude =
+        negative ? -static_cast<unsigned __int128>(expected)
+                 : static_cast<unsigned __int128>(expected);
+    std::string text;
+    if (magnitude == 0) text = "0";
+    while (magnitude != 0) {
+      text.insert(text.begin(),
+                  static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+      magnitude /= 10;
+    }
+    if (negative && text != "0") text.insert(text.begin(), '-');
+    EXPECT_EQ(product.ToString(), text) << a << " * " << b;
+  }
+}
+
+TEST(BigIntTest, DivModMatchesInt64Semantics) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::int64_t> dist(-100000, 100000);
+  for (int i = 0; i < 3000; ++i) {
+    std::int64_t a = dist(rng), b = dist(rng);
+    if (b == 0) continue;
+    BigInt q, r;
+    BigInt::DivMod(BigInt(a), BigInt(b), &q, &r);
+    EXPECT_EQ(q.ToInt64(), a / b) << a << " / " << b;
+    EXPECT_EQ(r.ToInt64(), a % b) << a << " % " << b;
+  }
+}
+
+TEST(BigIntTest, DivModInvariantOnLargeOperands) {
+  std::mt19937_64 rng(4);
+  auto random_bigint = [&rng](int limbs) {
+    BigInt value(0);
+    for (int i = 0; i < limbs; ++i) {
+      value = value.ShiftLeft(32) + BigInt::FromUnsigned(rng() & 0xFFFFFFFFu);
+    }
+    return value;
+  };
+  for (int i = 0; i < 200; ++i) {
+    BigInt a = random_bigint(1 + static_cast<int>(rng() % 8));
+    BigInt b = random_bigint(1 + static_cast<int>(rng() % 4));
+    if (b.IsZero()) continue;
+    if (rng() & 1) a = -a;
+    if (rng() & 1) b = -b;
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+    if (!r.IsZero()) {
+      EXPECT_EQ(r.Sign(), a.Sign());
+    }
+  }
+}
+
+TEST(BigIntTest, DivisionByZeroThrows) {
+  BigInt q, r;
+  EXPECT_THROW(BigInt::DivMod(BigInt(1), BigInt(0), &q, &r),
+               std::domain_error);
+  BigInt x(5);
+  EXPECT_THROW(x /= BigInt(0), std::domain_error);
+}
+
+TEST(BigIntTest, KnuthDivisionAddBackCase) {
+  // Exercise multi-limb division near the q_hat correction boundary.
+  BigInt a = BigInt::FromString("340282366920938463463374607431768211455");
+  BigInt b = BigInt::FromString("18446744073709551615");
+  BigInt q, r;
+  BigInt::DivMod(a, b, &q, &r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_EQ(q.ToString(), "18446744073709551617");
+  EXPECT_EQ(r.ToString(), "0");
+}
+
+TEST(BigIntTest, PowSmall) {
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 10).ToInt64(), 1024);
+  EXPECT_EQ(BigInt::Pow(BigInt(3), 0).ToInt64(), 1);
+  EXPECT_EQ(BigInt::Pow(BigInt(0), 0).ToInt64(), 1);  // convention
+  EXPECT_EQ(BigInt::Pow(BigInt(0), 5).ToInt64(), 0);
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 3).ToInt64(), -8);
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 4).ToInt64(), 16);
+}
+
+TEST(BigIntTest, PowLargeKnownValue) {
+  // 2^128
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 128).ToString(),
+            "340282366920938463463374607431768211456");
+  // 10^40
+  std::string ten40 = "1";
+  ten40.append(40, '0');
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 40).ToString(), ten40);
+}
+
+TEST(BigIntTest, KaratsubaAgreesWithSchoolbookViaStringCheck) {
+  // Build operands large enough to cross the Karatsuba threshold (32
+  // limbs = 1024 bits) and verify a multiplication identity:
+  // (x + 1)(x - 1) == x^2 - 1.
+  BigInt x = BigInt::Pow(BigInt(7), 500);  // ~1400 bits
+  BigInt lhs = (x + BigInt(1)) * (x - BigInt(1));
+  BigInt rhs = x * x - BigInt(1);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(BigIntTest, KaratsubaRandomizedCrossCheckAgainstDivision) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a(1), b(1);
+    int a_limbs = 40 + static_cast<int>(rng() % 30);
+    int b_limbs = 40 + static_cast<int>(rng() % 30);
+    for (int j = 0; j < a_limbs; ++j) {
+      a = a.ShiftLeft(32) + BigInt::FromUnsigned(rng() & 0xFFFFFFFFu);
+    }
+    for (int j = 0; j < b_limbs; ++j) {
+      b = b.ShiftLeft(32) + BigInt::FromUnsigned(rng() & 0xFFFFFFFFu);
+    }
+    BigInt product = a * b;
+    BigInt q, r;
+    BigInt::DivMod(product, b, &q, &r);
+    EXPECT_EQ(q, a);
+    EXPECT_TRUE(r.IsZero());
+  }
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  std::vector<BigInt> ordered = {
+      BigInt::FromString("-100000000000000000000"), BigInt(-5), BigInt(0),
+      BigInt(3), BigInt::FromString("99999999999999999999")};
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    for (std::size_t j = 0; j < ordered.size(); ++j) {
+      EXPECT_EQ(ordered[i] < ordered[j], i < j);
+      EXPECT_EQ(ordered[i] == ordered[j], i == j);
+      EXPECT_EQ(ordered[i] <= ordered[j], i <= j);
+    }
+  }
+}
+
+TEST(BigIntTest, NegationAndAbs) {
+  BigInt a(-17);
+  EXPECT_EQ((-a).ToInt64(), 17);
+  EXPECT_EQ(a.Abs().ToInt64(), 17);
+  EXPECT_EQ((-BigInt(0)).Sign(), 0);
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(7), BigInt(0)).ToInt64(), 7);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToInt64(), 0);
+  // gcd(2^100, 2^60) = 2^60.
+  EXPECT_EQ(BigInt::Gcd(BigInt::Pow(BigInt(2), 100),
+                        BigInt::Pow(BigInt(2), 60)),
+            BigInt::Pow(BigInt(2), 60));
+}
+
+TEST(BigIntTest, Shifts) {
+  BigInt one(1);
+  EXPECT_EQ(one.ShiftLeft(100).ToString(),
+            BigInt::Pow(BigInt(2), 100).ToString());
+  EXPECT_EQ(one.ShiftLeft(100).ShiftRight(100), one);
+  EXPECT_EQ(BigInt(5).ShiftRight(1).ToInt64(), 2);
+  EXPECT_EQ(BigInt(5).ShiftRight(10).ToInt64(), 0);
+  EXPECT_EQ(BigInt(-8).ShiftLeft(2).ToInt64(), -32);
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 100).BitLength(), 101u);
+}
+
+TEST(BigIntTest, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).ToDouble(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-7).ToDouble(), -7.0);
+  double big = BigInt::Pow(BigInt(2), 70).ToDouble();
+  EXPECT_NEAR(big, std::pow(2.0, 70.0), big * 1e-12);
+}
+
+TEST(BigIntTest, StreamOutput) {
+  std::ostringstream os;
+  os << BigInt(-123);
+  EXPECT_EQ(os.str(), "-123");
+}
+
+TEST(BigIntTest, SelfAliasingOperations) {
+  BigInt a(7);
+  a += a;
+  EXPECT_EQ(a.ToInt64(), 14);
+  a *= a;
+  EXPECT_EQ(a.ToInt64(), 196);
+  a -= a;
+  EXPECT_TRUE(a.IsZero());
+}
+
+TEST(BigIntTest, FactorialLikeAccumulation) {
+  BigInt f(1);
+  for (int i = 2; i <= 30; ++i) f *= BigInt(i);
+  EXPECT_EQ(f.ToString(), "265252859812191058636308480000000");
+}
+
+}  // namespace
+}  // namespace swfomc::numeric

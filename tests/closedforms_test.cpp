@@ -1,0 +1,86 @@
+// Closed forms from the paper, cross-checked against the engines.
+
+#include "closedforms/closed_forms.h"
+
+#include <gtest/gtest.h>
+
+#include "fo2/cell_algorithm.h"
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+
+namespace swfomc::closedforms {
+namespace {
+
+using numeric::BigInt;
+using numeric::BigRational;
+
+TEST(ClosedFormsTest, ForallExistsSmallValues) {
+  // (2^1-1)^1 = 1, (2^2-1)^2 = 9, (2^3-1)^3 = 343.
+  EXPECT_EQ(ForallExistsFOMC(1), BigInt(1));
+  EXPECT_EQ(ForallExistsFOMC(2), BigInt(9));
+  EXPECT_EQ(ForallExistsFOMC(3), BigInt(343));
+}
+
+TEST(ClosedFormsTest, ForallExistsWeightedReducesToUnweighted) {
+  for (std::uint64_t n = 1; n <= 6; ++n) {
+    EXPECT_EQ(ForallExistsWFOMC(n, 1, 1),
+              BigRational(ForallExistsFOMC(n)))
+        << n;
+  }
+}
+
+TEST(ClosedFormsTest, ExistsForms) {
+  EXPECT_EQ(ExistsFOMC(4), BigInt(15));
+  // (7/2)^3 - (1/2)^3 = 342/8 = 171/4.
+  EXPECT_EQ(ExistsWFOMC(3, BigRational(3), BigRational::Fraction(1, 2)),
+            BigRational::Fraction(171, 4));
+}
+
+TEST(ClosedFormsTest, Table1AgreesWithLiftedEngine) {
+  logic::Vocabulary vocab;
+  logic::Formula f =
+      logic::Parse("forall x forall y (R(x) | S(x,y) | T(y))", &vocab);
+  for (std::uint64_t n = 1; n <= 7; ++n) {
+    EXPECT_EQ(BigRational(Table1FOMC(n)),
+              fo2::LiftedWFOMC(f, vocab, n))
+        << n;
+  }
+}
+
+TEST(ClosedFormsTest, Table1WeightedAgreesWithLiftedEngine) {
+  logic::Vocabulary vocab;
+  vocab.AddRelation("R", 1, BigRational(2), BigRational(1));
+  vocab.AddRelation("S", 2, BigRational::Fraction(1, 2), BigRational(1));
+  vocab.AddRelation("T", 1, BigRational(1), BigRational(3));
+  logic::Formula f =
+      logic::ParseStrict("forall x forall y (R(x) | S(x,y) | T(y))", vocab);
+  for (std::uint64_t n = 1; n <= 5; ++n) {
+    EXPECT_EQ(Table1WFOMC(n, BigRational(2), BigRational(1),
+                          BigRational::Fraction(1, 2), BigRational(1),
+                          BigRational(1), BigRational(3)),
+              fo2::LiftedWFOMC(f, vocab, n))
+        << n;
+  }
+}
+
+TEST(ClosedFormsTest, ExistsConjComplementIdentity) {
+  // Φ = ∃x∃y(R(x) & S(x,y) & T(y)) is the dual of Table 1's clause:
+  // models(Φ) + models(¬Φ) = 2^{2n + n²} and ¬Φ ≡ ∀x∀y(!R|!S|!T) has the
+  // same count as Table 1 by symmetry (complement R, S, T).
+  logic::Vocabulary vocab;
+  logic::Formula f = logic::Parse(
+      "exists x exists y (R(x) & S(x,y) & T(y))", &vocab);
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    EXPECT_EQ(BigInt(grounding::GroundedFOMC(f, vocab, n)),
+              ExistsConjFOMC(n))
+        << n;
+  }
+}
+
+TEST(ClosedFormsTest, WorldCount) {
+  EXPECT_EQ(WorldCount(0), BigInt(1));
+  EXPECT_EQ(WorldCount(10), BigInt(1024));
+}
+
+}  // namespace
+}  // namespace swfomc::closedforms

@@ -1,0 +1,125 @@
+#include "numeric/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+namespace swfomc::numeric {
+namespace {
+
+TEST(FactorialTest, SmallValues) {
+  EXPECT_EQ(Factorial(0).ToInt64(), 1);
+  EXPECT_EQ(Factorial(1).ToInt64(), 1);
+  EXPECT_EQ(Factorial(5).ToInt64(), 120);
+  EXPECT_EQ(Factorial(12).ToInt64(), 479001600);
+}
+
+TEST(FactorialTest, LargeValue) {
+  EXPECT_EQ(Factorial(25).ToString(), "15511210043330985984000000");
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    for (std::uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(BinomialTest, Boundaries) {
+  EXPECT_EQ(Binomial(10, 0).ToInt64(), 1);
+  EXPECT_EQ(Binomial(10, 10).ToInt64(), 1);
+  EXPECT_EQ(Binomial(10, 11).ToInt64(), 0);
+  EXPECT_EQ(Binomial(0, 0).ToInt64(), 1);
+  EXPECT_EQ(Binomial(52, 5).ToInt64(), 2598960);
+}
+
+TEST(BinomialTest, RowSumsArePowersOfTwo) {
+  for (std::uint64_t n = 0; n <= 16; ++n) {
+    BigInt sum(0);
+    for (std::uint64_t k = 0; k <= n; ++k) sum += Binomial(n, k);
+    EXPECT_EQ(sum, BigInt::Pow(BigInt(2), n));
+  }
+}
+
+TEST(BinomialTest, BigIntUpperIndex) {
+  BigInt big = BigInt::FromString("1000000000000");
+  // C(10^12, 2) = 10^12 * (10^12 - 1) / 2.
+  EXPECT_EQ(Binomial(big, 2).ToString(), "499999999999500000000000");
+  EXPECT_EQ(Binomial(big, 0).ToInt64(), 1);
+  EXPECT_EQ(Binomial(BigInt(3), 5).ToInt64(), 0);
+  EXPECT_THROW(Binomial(BigInt(-1), 2), std::domain_error);
+}
+
+TEST(MultinomialTest, MatchesFactorialFormula) {
+  // 7! / (2! 2! 3!) = 210.
+  EXPECT_EQ(Multinomial(7, {2, 2, 3}).ToInt64(), 210);
+  EXPECT_EQ(Multinomial(5, {5}).ToInt64(), 1);
+  EXPECT_EQ(Multinomial(4, {1, 1, 1, 1}).ToInt64(), 24);
+  EXPECT_EQ(Multinomial(0, {0, 0}).ToInt64(), 1);
+}
+
+TEST(MultinomialTest, MismatchedPartsThrow) {
+  EXPECT_THROW(Multinomial(5, {2, 2}), std::invalid_argument);
+}
+
+TEST(CompositionTest, EnumeratesAllWeakCompositions) {
+  std::vector<std::vector<std::uint64_t>> seen;
+  ForEachComposition(3, 2, [&](const std::vector<std::uint64_t>& c) {
+    seen.push_back(c);
+    return true;
+  });
+  std::vector<std::vector<std::uint64_t>> expected = {
+      {0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(CompositionTest, CountMatchesEnumeration) {
+  for (std::uint64_t total = 0; total <= 6; ++total) {
+    for (std::size_t parts = 1; parts <= 4; ++parts) {
+      std::uint64_t count = 0;
+      ForEachComposition(total, parts,
+                         [&](const std::vector<std::uint64_t>&) {
+                           ++count;
+                           return true;
+                         });
+      EXPECT_EQ(BigInt::FromUnsigned(count), CompositionCount(total, parts))
+          << total << " into " << parts;
+    }
+  }
+}
+
+TEST(CompositionTest, EachCompositionSumsToTotal) {
+  ForEachComposition(5, 3, [](const std::vector<std::uint64_t>& c) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : c) sum += v;
+    EXPECT_EQ(sum, 5u);
+    return true;
+  });
+}
+
+TEST(CompositionTest, EarlyAbort) {
+  std::uint64_t count = 0;
+  ForEachComposition(4, 3, [&](const std::vector<std::uint64_t>&) {
+    ++count;
+    return count < 3;
+  });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(CompositionTest, ZeroParts) {
+  std::uint64_t calls = 0;
+  ForEachComposition(0, 0, [&](const std::vector<std::uint64_t>& c) {
+    EXPECT_TRUE(c.empty());
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 1u);
+  calls = 0;
+  ForEachComposition(2, 0, [&](const std::vector<std::uint64_t>&) {
+    ++calls;
+    return true;
+  });
+  EXPECT_EQ(calls, 0u);
+}
+
+}  // namespace
+}  // namespace swfomc::numeric

@@ -1,0 +1,144 @@
+// The lifted-rules baseline: computes the easy fragment and — the point
+// of Theorem 3.7's closing remark — fails on QS4, on Table 1's sentence
+// (no atom counting), and on the Table 2 conjectures, while every value
+// it does produce matches the grounded engine exactly.
+
+#include "lifted/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+#include "qs4/qs4.h"
+
+namespace swfomc::lifted {
+namespace {
+
+using numeric::BigRational;
+
+struct Engine {
+  logic::Vocabulary vocab;
+  logic::Formula formula;
+  RuleEngine rules{logic::Vocabulary{}};
+
+  explicit Engine(const char* text)
+      : formula(logic::Parse(text, &vocab)), rules(vocab) {}
+};
+
+TEST(RuleEngineTest, ForallExistsClosedForm) {
+  Engine e("forall x exists y R(x,y)");
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    auto result = e.rules.Probability(e.formula, n);
+    ASSERT_TRUE(result.has_value()) << n;
+    EXPECT_EQ(*result, grounding::GroundedProbability(e.formula, e.vocab, n))
+        << n;
+  }
+  // Closed form at n = 10, far beyond grounding: (1 - 2^-10)^10.
+  auto big = e.rules.Probability(e.formula, 10);
+  ASSERT_TRUE(big.has_value());
+  BigRational per_row =
+      BigRational(1) - BigRational::Fraction(1, 1024);
+  EXPECT_EQ(*big, BigRational::Pow(per_row, 10));
+  EXPECT_GE(e.rules.trace().partial_groundings, 2u);
+}
+
+TEST(RuleEngineTest, ExistsUnary) {
+  Engine e("exists y S(y)");
+  auto result = e.rules.Probability(e.formula, 4);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result,
+            BigRational(1) -
+                BigRational::Pow(BigRational::Fraction(1, 2), 4));
+}
+
+TEST(RuleEngineTest, DecomposableConjunction) {
+  Engine e("(exists x U(x)) & (forall y exists z R(y,z))");
+  auto result = e.rules.Probability(e.formula, 3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, grounding::GroundedProbability(e.formula, e.vocab, 3));
+  EXPECT_EQ(e.rules.trace().decomposable_conjunctions, 1u);
+}
+
+TEST(RuleEngineTest, DecomposableDisjunction) {
+  Engine e("(exists x U(x)) | (exists y V(y))");
+  auto result = e.rules.Probability(e.formula, 3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, grounding::GroundedProbability(e.formula, e.vocab, 3));
+  EXPECT_EQ(e.rules.trace().decomposable_disjunctions, 1u);
+}
+
+TEST(RuleEngineTest, SharedAtomsAcrossGroundingsAreNotSeparable) {
+  // ∃x∃y (R(x,y) & R(y,x)): "x in every atom" holds but positions
+  // conflict — the naive rule would double-count; the engine must refuse
+  // rather than return a wrong value.
+  Engine e("exists x exists y (R(x,y) & R(y,x))");
+  auto result = e.rules.Probability(e.formula, 2);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_FALSE(e.rules.trace().failure.empty());
+}
+
+TEST(RuleEngineTest, FailsOnQs4) {
+  // Theorem 3.7's remark, reproduced: the rule set cannot compute QS4 —
+  // the dedicated dynamic program can.
+  logic::Vocabulary vocab =
+      qs4::Qs4Vocabulary(BigRational(1), BigRational(1));
+  logic::Formula qs4_sentence = qs4::Qs4Sentence(vocab);
+  RuleEngine rules(vocab);
+  EXPECT_FALSE(rules.Probability(qs4_sentence, 3).has_value());
+  qs4::Qs4Solver solver{BigRational(1), BigRational(1)};
+  EXPECT_GT(solver.WFOMC(3), BigRational(0));  // the DP has no trouble
+}
+
+TEST(RuleEngineTest, FailsOnTable1WithoutAtomCounting) {
+  Engine e("forall x forall y (R(x) | S(x,y) | T(y))");
+  EXPECT_FALSE(e.rules.Probability(e.formula, 3).has_value());
+}
+
+TEST(RuleEngineTest, FailsOnTransitivity) {
+  Engine e("forall x forall y forall z ((E(x,y) & E(y,z)) => E(x,z))");
+  EXPECT_FALSE(e.rules.Probability(e.formula, 3).has_value());
+}
+
+TEST(RuleEngineTest, EmptyDomainConventions) {
+  Engine forall("forall x U(x)");
+  EXPECT_EQ(forall.rules.Probability(forall.formula, 0).value(),
+            BigRational(1));
+  Engine exists("exists x U(x)");
+  EXPECT_EQ(exists.rules.Probability(exists.formula, 0).value(),
+            BigRational(0));
+}
+
+// Whatever the rule engine answers must agree with the grounded engine —
+// across a family of rule-solvable sentences and domain sizes.
+struct RuleCase {
+  const char* text;
+};
+
+class RuleAgreementSweep : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(RuleAgreementSweep, MatchesGroundedWhenSolvable) {
+  Engine e(GetParam().text);
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    auto result = e.rules.Probability(e.formula, n);
+    ASSERT_TRUE(result.has_value()) << GetParam().text;
+    EXPECT_EQ(*result, grounding::GroundedProbability(e.formula, e.vocab, n))
+        << GetParam().text << " at n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Solvable, RuleAgreementSweep,
+    ::testing::Values(
+        RuleCase{"forall x exists y R(x,y)"},
+        RuleCase{"exists x forall y R(x,y)"},
+        RuleCase{"forall x U(x)"},
+        RuleCase{"exists x (U(x) & V(x))"},
+        RuleCase{"(forall x U(x)) | (exists y V(y))"},
+        RuleCase{"!(exists x U(x))"},
+        RuleCase{"(exists x U(x)) -> (exists y V(y))"},
+        RuleCase{"forall x (U(x) | !U(x))"},
+        RuleCase{"forall x forall y R(x,y)"},
+        RuleCase{"exists x exists y (R(x,y) & U(x))"}));
+
+}  // namespace
+}  // namespace swfomc::lifted

@@ -1,0 +1,166 @@
+// Markov Logic Networks (Example 1.1) and the Example 1.2 reduction to
+// symmetric WFOMC, validated against exact brute-force MLN semantics.
+
+#include "mln/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "fo2/cell_algorithm.h"
+#include "logic/parser.h"
+
+namespace swfomc::mln {
+namespace {
+
+using numeric::BigRational;
+
+TEST(MlnTest, SoftWeightMustBePositive) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  EXPECT_THROW(network.AddSoft(BigRational(0), "U(x)"), std::invalid_argument);
+  EXPECT_THROW(network.AddSoft(BigRational(-2), "U(x)"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(network.AddSoft(BigRational::Fraction(1, 2), "U(x)"));
+}
+
+TEST(MlnTest, BruteForceWeightSingleSoftUnary) {
+  // One soft constraint (w, U(x)): W(true) over n elements is
+  // Σ_worlds w^{#U-true} = (1 + w)^n.
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(3), "U(x)");
+  for (std::uint64_t n = 1; n <= 4; ++n) {
+    EXPECT_EQ(network.BruteForceWeight(logic::True(), n),
+              BigRational::Pow(BigRational(4), static_cast<std::int64_t>(n)))
+        << n;
+  }
+}
+
+TEST(MlnTest, HardConstraintExcludesWorlds) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddHard("U(x)");  // all elements must be U
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    EXPECT_EQ(network.BruteForceWeight(logic::True(), n), BigRational(1))
+        << n;
+  }
+}
+
+TEST(MlnTest, BruteForceProbabilityIsConditional) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(3), "U(x)");
+  // Pr(U(0)) = w / (1 + w) = 3/4 by independence across elements.
+  logic::Formula query =
+      logic::ParseStrict("U(0)", network.vocabulary());
+  EXPECT_EQ(network.BruteForceProbability(query, 2),
+            BigRational::Fraction(3, 4));
+}
+
+TEST(ReductionTest, AuxiliaryWeightIsOneOverWMinusOne) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(3), "U(x)");
+  WfomcReduction reduction = ReduceToWFOMC(network);
+  // Aux relation appended with weights (1/2, 1) — Example 1.2's numbers.
+  logic::RelationId aux = reduction.vocabulary.size() - 1;
+  EXPECT_EQ(reduction.vocabulary.positive_weight(aux),
+            BigRational::Fraction(1, 2));
+  EXPECT_EQ(reduction.vocabulary.negative_weight(aux), BigRational(1));
+}
+
+TEST(ReductionTest, NegativeAuxWeightWhenWBelowOne) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational::Fraction(1, 2), "U(x)");
+  WfomcReduction reduction = ReduceToWFOMC(network);
+  logic::RelationId aux = reduction.vocabulary.size() - 1;
+  // 1/(1/2 - 1) = -2: the paper's negative-weight case.
+  EXPECT_EQ(reduction.vocabulary.positive_weight(aux), BigRational(-2));
+}
+
+TEST(ReductionTest, WeightOneConstraintIsDropped) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(1), "U(x)");
+  WfomcReduction reduction = ReduceToWFOMC(network);
+  EXPECT_EQ(reduction.vocabulary.size(), network.vocabulary().size());
+}
+
+void ExpectReductionMatchesBruteForce(const MarkovLogicNetwork& network,
+                                      const logic::Formula& query,
+                                      std::uint64_t max_n) {
+  for (std::uint64_t n = 1; n <= max_n; ++n) {
+    BigRational reference = network.BruteForceProbability(query, n);
+    BigRational reduced = ProbabilityViaWFOMC(network, query, n);
+    EXPECT_EQ(reduced, reference) << "n=" << n;
+  }
+}
+
+TEST(ReductionTest, SingleSoftUnaryMatches) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(3), "U(x)");
+  logic::Formula query = logic::ParseStrict("U(0)", network.vocabulary());
+  ExpectReductionMatchesBruteForce(network, query, 3);
+}
+
+TEST(ReductionTest, SpouseExampleMatches) {
+  // Example 1.1: (3, Spouse(x,y) & Female(x) => Male(y)).
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(3),
+                  "Spouse(x,y) & Female(x) => Male(y)");
+  logic::Formula query = logic::ParseStrict(
+      "exists x exists y (Spouse(x,y) & Female(x) & !Male(y))",
+      network.vocabulary());
+  ExpectReductionMatchesBruteForce(network, query, 2);
+}
+
+TEST(ReductionTest, MixedHardAndSoftMatches) {
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddHard("Friend(x,y) => Friend(y,x)");
+  network.AddSoft(BigRational(2), "Friend(x,y)");
+  logic::Formula query =
+      logic::ParseStrict("exists x exists y Friend(x,y)",
+                         network.vocabulary());
+  ExpectReductionMatchesBruteForce(network, query, 2);
+}
+
+TEST(ReductionTest, FractionalWeightMatches) {
+  // w < 1 exercises the negative-probability regime end to end.
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational::Fraction(1, 3), "U(x) => V(x)");
+  logic::Formula query =
+      logic::ParseStrict("exists x (U(x) & V(x))", network.vocabulary());
+  ExpectReductionMatchesBruteForce(network, query, 2);
+}
+
+TEST(ReductionTest, LiftedEngineAgreesOnFO2Network) {
+  // The reduction output for a two-variable MLN stays in FO², so the
+  // lifted cell algorithm can serve as the engine — the paper's headline
+  // pipeline (MLN -> WFOMC -> lifted inference).
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(3), "Smokes(x) & Friend(x,y) => Smokes(y)");
+  logic::Formula query =
+      logic::ParseStrict("exists x Smokes(x)", network.vocabulary());
+  for (std::uint64_t n = 1; n <= 2; ++n) {
+    BigRational reference = network.BruteForceProbability(query, n);
+    BigRational lifted = ProbabilityViaWFOMC(
+        network, query, n,
+        [](const logic::Formula& sentence,
+           const logic::Vocabulary& vocabulary, std::uint64_t domain) {
+          return fo2::LiftedWFOMC(sentence, vocabulary, domain);
+        });
+    EXPECT_EQ(lifted, reference) << n;
+  }
+}
+
+TEST(ReductionTest, LiftedEngineScalesBeyondBruteForce) {
+  // n = 12 has 2^{156} worlds; the lifted pipeline answers exactly.
+  MarkovLogicNetwork network{logic::Vocabulary{}};
+  network.AddSoft(BigRational(3), "Smokes(x) & Friend(x,y) => Smokes(y)");
+  logic::Formula query =
+      logic::ParseStrict("exists x Smokes(x)", network.vocabulary());
+  BigRational p = ProbabilityViaWFOMC(
+      network, query, 12,
+      [](const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+         std::uint64_t domain) {
+        return fo2::LiftedWFOMC(sentence, vocabulary, domain);
+      });
+  EXPECT_GT(p, BigRational(0));
+  EXPECT_LT(p, BigRational(1));
+}
+
+}  // namespace
+}  // namespace swfomc::mln

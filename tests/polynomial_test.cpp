@@ -1,0 +1,135 @@
+#include "numeric/polynomial.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "numeric/combinatorics.h"
+
+namespace swfomc::numeric {
+namespace {
+
+Polynomial FromInts(std::initializer_list<std::int64_t> coefficients) {
+  std::vector<BigRational> c;
+  for (std::int64_t v : coefficients) c.emplace_back(v);
+  return Polynomial(std::move(c));
+}
+
+TEST(PolynomialTest, ZeroPolynomial) {
+  Polynomial z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.Degree(), 0u);
+  EXPECT_EQ(z.Evaluate(BigRational(5)), BigRational(0));
+  EXPECT_EQ(z.ToString(), "0");
+}
+
+TEST(PolynomialTest, TrailingZerosTrimmed) {
+  Polynomial p = FromInts({1, 2, 0, 0});
+  EXPECT_EQ(p.Degree(), 1u);
+  EXPECT_EQ(p, FromInts({1, 2}));
+}
+
+TEST(PolynomialTest, EvaluateHorner) {
+  // 3x^2 - x + 7 at x = 2 -> 17.
+  Polynomial p = FromInts({7, -1, 3});
+  EXPECT_EQ(p.Evaluate(BigRational(2)), BigRational(17));
+  EXPECT_EQ(p.Evaluate(BigRational::Fraction(1, 2)),
+            BigRational::Fraction(29, 4));
+}
+
+TEST(PolynomialTest, Addition) {
+  EXPECT_EQ(FromInts({1, 2}) + FromInts({0, 0, 5}), FromInts({1, 2, 5}));
+  // Cancellation of the leading term trims degree.
+  EXPECT_EQ(FromInts({1, 0, 3}) + FromInts({0, 0, -3}), FromInts({1}));
+}
+
+TEST(PolynomialTest, Multiplication) {
+  // (x + 1)(x - 1) = x^2 - 1.
+  EXPECT_EQ(FromInts({1, 1}) * FromInts({-1, 1}), FromInts({-1, 0, 1}));
+  EXPECT_EQ(FromInts({2}) * FromInts({0, 0, 3}), FromInts({0, 0, 6}));
+  EXPECT_TRUE((Polynomial() * FromInts({1, 2, 3})).IsZero());
+}
+
+TEST(PolynomialTest, MonomialAndConstant) {
+  EXPECT_EQ(Polynomial::Monomial(BigRational(4), 3).ToString("z"), "4*z^3");
+  EXPECT_EQ(Polynomial::Constant(BigRational(-2)).ToString(), "-2");
+}
+
+TEST(PolynomialTest, ToStringRendering) {
+  EXPECT_EQ(FromInts({7, -1, 3}).ToString(), "3*x^2 - x + 7");
+  EXPECT_EQ(FromInts({0, 1}).ToString(), "x");
+  EXPECT_EQ(FromInts({0, -1}).ToString(), "-x");
+}
+
+TEST(PolynomialTest, InterpolateRecoversPolynomial) {
+  std::mt19937_64 rng(21);
+  std::uniform_int_distribution<std::int64_t> dist(-9, 9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t degree = rng() % 6;
+    std::vector<BigRational> coefficients;
+    for (std::size_t i = 0; i <= degree; ++i) {
+      coefficients.emplace_back(dist(rng));
+    }
+    Polynomial p(coefficients);
+    std::vector<std::pair<BigRational, BigRational>> points;
+    for (std::size_t x = 0; x <= degree; ++x) {
+      BigRational bx(static_cast<std::int64_t>(x));
+      points.emplace_back(bx, p.Evaluate(bx));
+    }
+    Polynomial q = Polynomial::Interpolate(points);
+    EXPECT_EQ(p, q);
+  }
+}
+
+TEST(PolynomialTest, InterpolateRationalPoints) {
+  // Through (0,1), (1,1/2), (2,1/3) -- a genuine rational-coefficient fit.
+  std::vector<std::pair<BigRational, BigRational>> points = {
+      {BigRational(0), BigRational(1)},
+      {BigRational(1), BigRational::Fraction(1, 2)},
+      {BigRational(2), BigRational::Fraction(1, 3)}};
+  Polynomial p = Polynomial::Interpolate(points);
+  for (const auto& [x, y] : points) {
+    EXPECT_EQ(p.Evaluate(x), y);
+  }
+}
+
+TEST(PolynomialTest, InterpolateDuplicateXThrows) {
+  std::vector<std::pair<BigRational, BigRational>> points = {
+      {BigRational(1), BigRational(1)}, {BigRational(1), BigRational(2)}};
+  EXPECT_THROW(Polynomial::Interpolate(points), std::invalid_argument);
+}
+
+TEST(PolynomialTest, CoefficientBeyondDegreeIsZero) {
+  Polynomial p = FromInts({1, 2});
+  EXPECT_EQ(p.Coefficient(0), BigRational(1));
+  EXPECT_EQ(p.Coefficient(1), BigRational(2));
+  EXPECT_EQ(p.Coefficient(99), BigRational(0));
+}
+
+TEST(FiniteDifferenceTest, ExtractsLeadingCoefficientTimesFactorial) {
+  // f(x) = 5x^3 - x + 2; Δ³f(0) with step 1 = 5 * 3!.
+  Polynomial f = FromInts({2, -1, 0, 5});
+  std::vector<BigRational> values;
+  for (std::int64_t i = 0; i <= 3; ++i) {
+    values.push_back(f.Evaluate(BigRational(i)));
+  }
+  EXPECT_EQ(FiniteDifferenceAtZero(values),
+            BigRational(5) * BigRational(Factorial(3)));
+}
+
+TEST(FiniteDifferenceTest, KillsLowerDegreeTerms) {
+  // Δ³ of a degree-2 polynomial vanishes.
+  Polynomial f = FromInts({4, 3, 9});
+  std::vector<BigRational> values;
+  for (std::int64_t i = 0; i <= 3; ++i) {
+    values.push_back(f.Evaluate(BigRational(i)));
+  }
+  EXPECT_TRUE(FiniteDifferenceAtZero(values).IsZero());
+}
+
+TEST(FiniteDifferenceTest, EmptyThrows) {
+  EXPECT_THROW(FiniteDifferenceAtZero({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swfomc::numeric

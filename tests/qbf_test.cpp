@@ -1,0 +1,151 @@
+// QBF: the reference solver and the Theorem 4.1(2) reduction from QBF
+// validity to spectrum membership for full FO.
+
+#include "reductions/qbf.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/transform.h"
+
+namespace swfomc::reductions {
+namespace {
+
+using prop::PropAnd;
+using prop::PropFormula;
+using prop::PropNot;
+using prop::PropOr;
+using prop::PropVar;
+
+QuantifiedBooleanFormula Qbf(std::vector<std::pair<char, prop::VarId>> prefix,
+                             PropFormula matrix) {
+  QuantifiedBooleanFormula qbf;
+  for (auto [q, v] : prefix) {
+    qbf.prefix.push_back({q == 'A', v});
+  }
+  qbf.matrix = std::move(matrix);
+  return qbf;
+}
+
+// --- the reference solver ------------------------------------------------
+
+TEST(QbfSolverTest, ForallExistsXor) {
+  // ∀X0 ∃X1 (X0 xor X1): valid.
+  PropFormula matrix = PropOr(PropAnd(PropVar(0), PropNot(PropVar(1))),
+                              PropAnd(PropNot(PropVar(0)), PropVar(1)));
+  EXPECT_TRUE(EvaluateQbf(Qbf({{'A', 0}, {'E', 1}}, matrix)));
+  // ∃X1 ∀X0 (X0 xor X1): invalid (X1 cannot match both X0 values).
+  EXPECT_FALSE(EvaluateQbf(Qbf({{'E', 1}, {'A', 0}}, matrix)));
+}
+
+TEST(QbfSolverTest, QuantifierOrderMatters) {
+  // ∀X0 ∃X1 (X0 -> X1) valid; ∃X1 ∀X0 (X0 <-> X1) invalid.
+  PropFormula implies = PropOr(PropNot(PropVar(0)), PropVar(1));
+  EXPECT_TRUE(EvaluateQbf(Qbf({{'A', 0}, {'E', 1}}, implies)));
+  PropFormula iff = PropOr(PropAnd(PropVar(0), PropVar(1)),
+                           PropAnd(PropNot(PropVar(0)), PropNot(PropVar(1))));
+  EXPECT_FALSE(EvaluateQbf(Qbf({{'E', 1}, {'A', 0}}, iff)));
+  EXPECT_TRUE(EvaluateQbf(Qbf({{'A', 0}, {'E', 1}}, iff)));
+}
+
+TEST(QbfSolverTest, AllUniversalTautologyAndContradiction) {
+  PropFormula tautology = PropOr(PropVar(0), PropNot(PropVar(0)));
+  EXPECT_TRUE(EvaluateQbf(Qbf({{'A', 0}, {'A', 1}}, tautology)));
+  PropFormula contradiction = PropAnd(PropVar(0), PropNot(PropVar(0)));
+  EXPECT_FALSE(EvaluateQbf(Qbf({{'A', 0}, {'A', 1}}, contradiction)));
+  EXPECT_FALSE(EvaluateQbf(Qbf({{'E', 0}, {'E', 1}}, contradiction)));
+}
+
+TEST(QbfSolverTest, RejectsDoubleQuantification) {
+  EXPECT_THROW(EvaluateQbf(Qbf({{'A', 0}, {'E', 0}}, PropVar(0))),
+               std::invalid_argument);
+}
+
+TEST(QbfSolverTest, ThreeVariableAlternation) {
+  // ∀X0 ∃X1 ∀X2 ((X0 xor X1) | X2) — X1 := ¬X0 satisfies regardless of
+  // X2: valid.
+  PropFormula matrix =
+      PropOr(PropOr(PropAnd(PropVar(0), PropNot(PropVar(1))),
+                    PropAnd(PropNot(PropVar(0)), PropVar(1))),
+             PropVar(2));
+  EXPECT_TRUE(
+      EvaluateQbf(Qbf({{'A', 0}, {'E', 1}, {'A', 2}}, matrix)));
+  // ∀X0 ∀X1 ∃X2 ((X0 xor X1) & ¬X2) — fails when X0 == X1: invalid.
+  PropFormula matrix2 =
+      PropAnd(PropOr(PropAnd(PropVar(0), PropNot(PropVar(1))),
+                     PropAnd(PropNot(PropVar(0)), PropVar(1))),
+              PropNot(PropVar(2)));
+  EXPECT_FALSE(
+      EvaluateQbf(Qbf({{'A', 0}, {'A', 1}, {'E', 2}}, matrix2)));
+}
+
+// --- the reduction -------------------------------------------------------
+
+TEST(QbfReductionTest, EncodingShape) {
+  PropFormula matrix = PropOr(PropVar(0), PropVar(1));
+  QbfReduction reduction = EncodeQbf(Qbf({{'E', 0}, {'E', 1}}, matrix));
+  EXPECT_EQ(reduction.domain_size, 3u);
+  // Vocabulary: A, B, C unary; R binary; S ternary.
+  EXPECT_EQ(reduction.vocabulary.size(), 5u);
+  EXPECT_EQ(reduction.vocabulary.arity(reduction.vocabulary.Require("S")),
+            3u);
+  EXPECT_TRUE(logic::IsSentence(reduction.sentence));
+}
+
+TEST(QbfReductionTest, RejectsDegenerateInputs) {
+  EXPECT_THROW(EncodeQbf(Qbf({{'A', 0}}, PropVar(0))),
+               std::invalid_argument);
+  EXPECT_THROW(EncodeQbf(Qbf({{'A', 0}, {'A', 3}}, PropVar(0))),
+               std::invalid_argument);
+}
+
+struct QbfCase {
+  const char* name;
+  std::vector<std::pair<char, prop::VarId>> prefix;
+  int matrix_id;
+};
+
+PropFormula MatrixById(int id) {
+  switch (id) {
+    case 0:  // X0 xor X1
+      return PropOr(PropAnd(PropVar(0), PropNot(PropVar(1))),
+                    PropAnd(PropNot(PropVar(0)), PropVar(1)));
+    case 1:  // X0 -> X1
+      return PropOr(PropNot(PropVar(0)), PropVar(1));
+    case 2:  // X0 & X1
+      return PropAnd(PropVar(0), PropVar(1));
+    case 3:  // X0 | X1
+      return PropOr(PropVar(0), PropVar(1));
+    default:
+      throw std::logic_error("bad matrix id");
+  }
+}
+
+class QbfReductionAgreement : public ::testing::TestWithParam<QbfCase> {};
+
+TEST_P(QbfReductionAgreement, SpectrumMatchesSolver) {
+  const QbfCase& c = GetParam();
+  QuantifiedBooleanFormula qbf = Qbf(c.prefix, MatrixById(c.matrix_id));
+  EXPECT_EQ(QbfValidViaSpectrum(qbf), EvaluateQbf(qbf)) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoVariable, QbfReductionAgreement,
+    ::testing::Values(
+        QbfCase{"forall-exists-xor", {{'A', 0}, {'E', 1}}, 0},
+        QbfCase{"exists-forall-xor", {{'E', 1}, {'A', 0}}, 0},
+        QbfCase{"forall-exists-implies", {{'A', 0}, {'E', 1}}, 1},
+        QbfCase{"forall-forall-implies", {{'A', 0}, {'A', 1}}, 1},
+        QbfCase{"exists-exists-and", {{'E', 0}, {'E', 1}}, 2},
+        QbfCase{"forall-forall-and", {{'A', 0}, {'A', 1}}, 2},
+        QbfCase{"forall-exists-or", {{'A', 0}, {'E', 1}}, 3},
+        QbfCase{"forall-forall-or", {{'A', 0}, {'A', 1}}, 3}),
+    [](const ::testing::TestParamInfo<QbfCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace swfomc::reductions

@@ -1,0 +1,140 @@
+#include "numeric/rational.h"
+
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace swfomc::numeric {
+namespace {
+
+TEST(BigRationalTest, DefaultIsZero) {
+  BigRational z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_TRUE(z.IsInteger());
+}
+
+TEST(BigRationalTest, ReductionToLowestTerms) {
+  EXPECT_EQ(BigRational::Fraction(6, 4).ToString(), "3/2");
+  EXPECT_EQ(BigRational::Fraction(-6, 4).ToString(), "-3/2");
+  EXPECT_EQ(BigRational::Fraction(6, -4).ToString(), "-3/2");
+  EXPECT_EQ(BigRational::Fraction(-6, -4).ToString(), "3/2");
+  EXPECT_EQ(BigRational::Fraction(0, 17).ToString(), "0");
+  EXPECT_EQ(BigRational::Fraction(10, 5).ToString(), "2");
+}
+
+TEST(BigRationalTest, DenominatorAlwaysPositive) {
+  BigRational r = BigRational::Fraction(3, -7);
+  EXPECT_EQ(r.denominator(), BigInt(7));
+  EXPECT_EQ(r.numerator(), BigInt(-3));
+}
+
+TEST(BigRationalTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(BigRational::Fraction(1, 0), std::domain_error);
+}
+
+TEST(BigRationalTest, FromString) {
+  EXPECT_EQ(BigRational::FromString("22/7").ToString(), "22/7");
+  EXPECT_EQ(BigRational::FromString("-1/2").ToString(), "-1/2");
+  EXPECT_EQ(BigRational::FromString("42").ToString(), "42");
+  EXPECT_EQ(BigRational::FromString("4/8").ToString(), "1/2");
+}
+
+TEST(BigRationalTest, Arithmetic) {
+  BigRational half = BigRational::Fraction(1, 2);
+  BigRational third = BigRational::Fraction(1, 3);
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((-half).ToString(), "-1/2");
+}
+
+TEST(BigRationalTest, NegativeWeightArithmetic) {
+  // The Skolemization weight -1 and MLN weights 1/(w-1) < 0 must combine
+  // exactly (cancellations drive Lemma 3.3).
+  BigRational minus_one(-1);
+  BigRational one(1);
+  EXPECT_TRUE((one + minus_one).IsZero());
+  EXPECT_EQ((minus_one * minus_one), one);
+  BigRational w = BigRational::Fraction(1, 2);  // MLN weight 3 -> 1/(3-1)
+  EXPECT_EQ((w / (one + w)).ToString(), "1/3");
+}
+
+TEST(BigRationalTest, DivisionByZeroThrows) {
+  BigRational x(3);
+  EXPECT_THROW(x /= BigRational(0), std::domain_error);
+  EXPECT_THROW(BigRational(0).Inverse(), std::domain_error);
+}
+
+TEST(BigRationalTest, PowPositiveAndNegativeExponents) {
+  BigRational two_thirds = BigRational::Fraction(2, 3);
+  EXPECT_EQ(BigRational::Pow(two_thirds, 3).ToString(), "8/27");
+  EXPECT_EQ(BigRational::Pow(two_thirds, 0).ToString(), "1");
+  EXPECT_EQ(BigRational::Pow(two_thirds, -2).ToString(), "9/4");
+  EXPECT_EQ(BigRational::Pow(BigRational(-2), 3).ToString(), "-8");
+}
+
+TEST(BigRationalTest, Comparisons) {
+  BigRational a = BigRational::Fraction(1, 3);
+  BigRational b = BigRational::Fraction(1, 2);
+  BigRational c = BigRational::Fraction(-5, 2);
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);
+  EXPECT_GT(b, c);
+  EXPECT_EQ(a, BigRational::Fraction(2, 6));
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, a);
+}
+
+TEST(BigRationalTest, ToIntegerOnlyWhenIntegral) {
+  EXPECT_EQ(BigRational::Fraction(8, 2).ToInteger(), BigInt(4));
+  EXPECT_THROW(BigRational::Fraction(1, 2).ToInteger(), std::domain_error);
+}
+
+TEST(BigRationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigRational::Fraction(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(BigRational::Fraction(-3, 4).ToDouble(), -0.75);
+  // Huge numerator and denominator of similar size still resolve.
+  BigRational huge(BigInt::Pow(BigInt(3), 800), BigInt::Pow(BigInt(3), 799));
+  EXPECT_NEAR(huge.ToDouble(), 3.0, 1e-9);
+}
+
+TEST(BigRationalTest, RandomizedFieldAxioms) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::int64_t> dist(-50, 50);
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t an = dist(rng), ad = dist(rng);
+    std::int64_t bn = dist(rng), bd = dist(rng);
+    std::int64_t cn = dist(rng), cd = dist(rng);
+    if (ad == 0 || bd == 0 || cd == 0) continue;
+    BigRational a = BigRational::Fraction(an, ad);
+    BigRational b = BigRational::Fraction(bn, bd);
+    BigRational c = BigRational::Fraction(cn, cd);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigRational(0));
+    if (!a.IsZero()) {
+      EXPECT_EQ(a * a.Inverse(), BigRational(1));
+    }
+  }
+}
+
+TEST(BigRationalTest, StreamOutput) {
+  std::ostringstream os;
+  os << BigRational::Fraction(-7, 3);
+  EXPECT_EQ(os.str(), "-7/3");
+}
+
+TEST(BigRationalTest, SignAndAbs) {
+  EXPECT_EQ(BigRational::Fraction(-1, 2).Sign(), -1);
+  EXPECT_EQ(BigRational(0).Sign(), 0);
+  EXPECT_EQ(BigRational(3).Sign(), 1);
+  EXPECT_EQ(BigRational::Fraction(-1, 2).Abs().ToString(), "1/2");
+}
+
+}  // namespace
+}  // namespace swfomc::numeric

@@ -1,0 +1,114 @@
+// Theorem 4.1: the #SAT -> FO² FOMC reduction (Figure 2 gadget) and the
+// spectrum decision procedure.
+
+#include "reductions/sharp_sat.h"
+
+#include <functional>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "reductions/spectrum.h"
+#include "wmc/brute_force.h"
+
+namespace swfomc::reductions {
+namespace {
+
+using numeric::BigInt;
+using prop::PropAnd;
+using prop::PropNot;
+using prop::PropOr;
+using prop::PropVar;
+
+TEST(SharpSatReductionTest, SentenceIsFO2) {
+  prop::PropFormula f = PropOr(PropVar(0), PropVar(1));
+  SharpSatReduction reduction = EncodeSharpSat(f, 2);
+  EXPECT_TRUE(logic::IsSentence(reduction.sentence));
+  EXPECT_TRUE(logic::InFragmentFOk(reduction.sentence, 2));
+  EXPECT_EQ(reduction.domain_size, 3u);
+}
+
+TEST(SharpSatReductionTest, RejectsDegenerateInputs) {
+  EXPECT_THROW(EncodeSharpSat(PropVar(0), 1), std::invalid_argument);
+  EXPECT_THROW(EncodeSharpSat(PropVar(5), 2), std::invalid_argument);
+}
+
+TEST(SharpSatReductionTest, CountsOrOfTwo) {
+  // #(X1 | X2) = 3.
+  prop::PropFormula f = PropOr(PropVar(0), PropVar(1));
+  EXPECT_EQ(SharpSatViaFOMC(f, 2), BigInt(3));
+}
+
+TEST(SharpSatReductionTest, CountsConjunction) {
+  // #(X1 & !X2) = 1.
+  prop::PropFormula f = PropAnd(PropVar(0), PropNot(PropVar(1)));
+  EXPECT_EQ(SharpSatViaFOMC(f, 2), BigInt(1));
+}
+
+TEST(SharpSatReductionTest, CountsTautologyAndContradiction) {
+  prop::PropFormula tautology = PropOr(PropVar(0), PropNot(PropVar(0)));
+  EXPECT_EQ(SharpSatViaFOMC(tautology, 2), BigInt(4));
+  prop::PropFormula contradiction = PropAnd(PropVar(0), PropNot(PropVar(0)));
+  EXPECT_EQ(SharpSatViaFOMC(contradiction, 2), BigInt(0));
+}
+
+TEST(SharpSatReductionTest, MatchesBruteForceOnRandomFormulas) {
+  std::mt19937_64 rng(61);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::function<prop::PropFormula(int)> random_formula =
+        [&](int depth) -> prop::PropFormula {
+      if (depth == 0 || rng() % 3 == 0) {
+        prop::PropFormula v = PropVar(static_cast<prop::VarId>(rng() % 3));
+        return rng() % 2 ? PropNot(v) : v;
+      }
+      prop::PropFormula a = random_formula(depth - 1);
+      prop::PropFormula b = random_formula(depth - 1);
+      return rng() % 2 ? PropAnd(a, b) : PropOr(a, b);
+    };
+    prop::PropFormula f = random_formula(2);
+    BigInt expected = wmc::BruteForceCount(f, 3);
+    EXPECT_EQ(SharpSatViaFOMC(f, 3), expected) << prop::PropToString(f);
+  }
+}
+
+TEST(SpectrumTest, EveryCqHasAllSizes) {
+  // Section 3.1: every conjunctive query has a model over any n >= 1.
+  logic::Vocabulary vocab;
+  logic::Formula cq = logic::Parse("exists x exists y (R(x,y) & S(x))",
+                                   &vocab);
+  EXPECT_EQ(SpectrumMembers(cq, vocab, 1, 4),
+            (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(SpectrumTest, EvenCardinalitySpectrum) {
+  // Φ forcing |domain| even: M is a fixed-point-free involution that is
+  // functional — a perfect matching, so Spec(Φ) = even numbers.
+  logic::Vocabulary vocab2;
+  logic::Formula matching = logic::Parse(
+      "(forall x exists y (M(x,y) & x != y))"
+      " & (forall x forall y (M(x,y) => M(y,x)))"
+      " & (forall x forall y forall z ((M(x,y) & M(x,z)) => y = z))",
+      &vocab2);
+  std::vector<std::uint64_t> members =
+      SpectrumMembers(matching, vocab2, 1, 4);
+  EXPECT_EQ(members, (std::vector<std::uint64_t>{2, 4}));
+}
+
+TEST(SpectrumTest, UnsatisfiableSentenceHasEmptySpectrum) {
+  logic::Vocabulary vocab;
+  logic::Formula f =
+      logic::Parse("(forall x U(x)) & (exists x !U(x))", &vocab);
+  EXPECT_TRUE(SpectrumMembers(f, vocab, 1, 3).empty());
+}
+
+TEST(SpectrumTest, AtLeastThreeElements) {
+  logic::Vocabulary vocab;
+  logic::Formula f = logic::Parse(
+      "exists x exists y exists z (x != y & y != z & x != z)", &vocab);
+  EXPECT_EQ(SpectrumMembers(f, vocab, 1, 5),
+            (std::vector<std::uint64_t>{3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace swfomc::reductions

@@ -1,0 +1,151 @@
+#include "logic/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "logic/evaluate.h"
+#include "logic/parser.h"
+
+namespace swfomc::logic {
+namespace {
+
+class StructureTest : public ::testing::Test {
+ protected:
+  StructureTest() {
+    r_ = vocab_.AddRelation("R", 2);
+    u_ = vocab_.AddRelation("U", 1);
+    p_ = vocab_.AddRelation("P", 0);
+  }
+  Vocabulary vocab_;
+  RelationId r_, u_, p_;
+};
+
+TEST_F(StructureTest, TupleCountAndLayout) {
+  Structure s(vocab_, 3);
+  EXPECT_EQ(s.TupleCount(), 9u + 3u + 1u);
+  EXPECT_EQ(s.RelationOffset(r_), 0u);
+  EXPECT_EQ(s.RelationOffset(u_), 9u);
+  EXPECT_EQ(s.RelationOffset(p_), 12u);
+  EXPECT_EQ(s.RelationBitCount(r_), 9u);
+  EXPECT_EQ(s.RelationBitCount(p_), 1u);
+}
+
+TEST_F(StructureTest, GetSetRoundTrip) {
+  Structure s(vocab_, 3);
+  EXPECT_FALSE(s.Get(r_, {1, 2}));
+  s.Set(r_, {1, 2}, true);
+  EXPECT_TRUE(s.Get(r_, {1, 2}));
+  EXPECT_FALSE(s.Get(r_, {2, 1}));  // mixed radix is order sensitive
+  s.Set(p_, {}, true);
+  EXPECT_TRUE(s.Get(p_, {}));
+  EXPECT_EQ(s.Cardinality(r_), 1u);
+}
+
+TEST_F(StructureTest, FlatIndexBijective) {
+  Structure s(vocab_, 3);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 3; ++a) {
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      seen.insert(s.FlatIndex(r_, {a, b}));
+    }
+  }
+  for (std::uint64_t a = 0; a < 3; ++a) seen.insert(s.FlatIndex(u_, {a}));
+  seen.insert(s.FlatIndex(p_, {}));
+  EXPECT_EQ(seen.size(), s.TupleCount());
+  EXPECT_EQ(*seen.rbegin(), s.TupleCount() - 1);
+}
+
+TEST_F(StructureTest, AssignFromMaskEnumeratesAllWorlds) {
+  Vocabulary small;
+  small.AddRelation("Q", 1);
+  Structure s(small, 2);
+  std::set<std::pair<bool, bool>> seen;
+  for (std::uint64_t mask = 0; mask < 4; ++mask) {
+    s.AssignFromMask(mask);
+    seen.emplace(s.Get(0, {0}), s.Get(0, {1}));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST_F(StructureTest, WeightIsProductOverTuples) {
+  Vocabulary weighted;
+  RelationId q = weighted.AddRelation("Q", 1, numeric::BigRational(3),
+                                      numeric::BigRational::Fraction(1, 2));
+  Structure s(weighted, 2);
+  // Both absent: (1/2)^2.
+  EXPECT_EQ(s.Weight(), numeric::BigRational::Fraction(1, 4));
+  s.Set(q, {0}, true);
+  EXPECT_EQ(s.Weight(), numeric::BigRational::Fraction(3, 2));
+  s.Set(q, {1}, true);
+  EXPECT_EQ(s.Weight(), numeric::BigRational(9));
+}
+
+TEST_F(StructureTest, WeightWithNegativeWeights) {
+  Vocabulary weighted;
+  weighted.AddRelation("A", 1, numeric::BigRational(1),
+                       numeric::BigRational(-1));
+  Structure s(weighted, 1);
+  EXPECT_EQ(s.Weight(), numeric::BigRational(-1));
+  s.Set(0, {0}, true);
+  EXPECT_EQ(s.Weight(), numeric::BigRational(1));
+}
+
+TEST_F(StructureTest, EvaluateAtomsAndConnectives) {
+  Structure s(vocab_, 2);
+  s.Set(r_, {0, 1}, true);
+  s.Set(u_, {0}, true);
+  Formula f = ParseStrict("R(0,1) & U(0) & !U(1)", vocab_);
+  EXPECT_TRUE(Evaluate(s, f));
+  Formula g = ParseStrict("R(1,0)", vocab_);
+  EXPECT_FALSE(Evaluate(s, g));
+}
+
+TEST_F(StructureTest, EvaluateQuantifiers) {
+  Structure s(vocab_, 3);
+  for (std::uint64_t a = 0; a < 3; ++a) {
+    s.Set(r_, {a, (a + 1) % 3}, true);  // a directed 3-cycle
+  }
+  EXPECT_TRUE(Evaluate(s, ParseStrict("forall x exists y R(x,y)", vocab_)));
+  EXPECT_FALSE(Evaluate(s, ParseStrict("exists x forall y R(x,y)", vocab_)));
+  EXPECT_TRUE(Evaluate(
+      s, ParseStrict("forall x forall y (R(x,y) => !R(y,x))", vocab_)));
+}
+
+TEST_F(StructureTest, EvaluateEquality) {
+  Structure s(vocab_, 2);
+  EXPECT_TRUE(Evaluate(s, ParseStrict("forall x (x = x)", vocab_)));
+  EXPECT_FALSE(Evaluate(s, ParseStrict("forall x forall y (x = y)", vocab_)));
+  EXPECT_TRUE(
+      Evaluate(s, ParseStrict("exists x exists y (x != y)", vocab_)));
+}
+
+TEST_F(StructureTest, EvaluateWithAssignment) {
+  Structure s(vocab_, 2);
+  s.Set(u_, {1}, true);
+  Formula f = ParseStrict("U(x)", vocab_);
+  EXPECT_FALSE(Evaluate(s, f, {{"x", 0}}));
+  EXPECT_TRUE(Evaluate(s, f, {{"x", 1}}));
+  EXPECT_THROW(Evaluate(s, f), std::invalid_argument);  // unbound
+}
+
+TEST_F(StructureTest, CountSatisfiedGroundings) {
+  Structure s(vocab_, 2);
+  s.Set(r_, {0, 0}, true);
+  s.Set(r_, {0, 1}, true);
+  Formula f = ParseStrict("R(x,y)", vocab_);
+  EXPECT_EQ(CountSatisfiedGroundings(s, f), 2u);
+  // Implication satisfied by vacuity counts too (MLN semantics).
+  Formula g = ParseStrict("R(x,y) => U(y)", vocab_);
+  EXPECT_EQ(CountSatisfiedGroundings(s, g), 2u);  // the two R-true pairs fail
+  Formula sentence = ParseStrict("R(0,0)", vocab_);
+  EXPECT_EQ(CountSatisfiedGroundings(s, sentence), 1u);
+}
+
+TEST_F(StructureTest, EmptyDomain) {
+  Structure s(vocab_, 0);
+  EXPECT_EQ(s.TupleCount(), 1u);  // just the 0-ary P
+  EXPECT_TRUE(Evaluate(s, ParseStrict("forall x U(x)", vocab_)));
+  EXPECT_FALSE(Evaluate(s, ParseStrict("exists x U(x)", vocab_)));
+}
+
+}  // namespace
+}  // namespace swfomc::logic

@@ -1,0 +1,256 @@
+// Typed cycles C_k, typed (per-variable-domain) grounding, and the
+// Section 3.2 embedding of C_k into β-cyclic queries.
+
+#include "cq/typed_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/gamma_evaluator.h"
+#include "grounding/grounded_wfomc.h"
+
+namespace swfomc::cq {
+namespace {
+
+using numeric::BigInt;
+using numeric::BigRational;
+
+BigRational Pow(const BigRational& base, std::uint64_t e) {
+  return BigRational::Pow(base, static_cast<std::int64_t>(e));
+}
+
+TEST(TypedCycleTest, BuildsCycleStructure) {
+  ConjunctiveQuery c3 = TypedCycle(3);
+  ASSERT_EQ(c3.atoms().size(), 3u);
+  EXPECT_EQ(c3.ToString(), "R1(x1,x2), R2(x2,x3), R3(x3,x1)");
+  ConjunctiveQuery c5 = TypedCycle(5);
+  EXPECT_EQ(c5.atoms().back().relation, "R5");
+  EXPECT_EQ(c5.atoms().back().variables,
+            (std::vector<std::string>{"x5", "x1"}));
+}
+
+TEST(TypedCycleTest, RejectsShortCycles) {
+  EXPECT_THROW(TypedCycle(0), std::invalid_argument);
+  EXPECT_THROW(TypedCycle(2), std::invalid_argument);
+}
+
+TEST(TypedCycleTest, CycleIsNotGammaOrBetaAcyclic) {
+  for (std::size_t k : {3u, 4u, 5u}) {
+    Hypergraph graph = BuildHypergraph(TypedCycle(k));
+    EXPECT_FALSE(IsGammaAcyclic(graph));
+    EXPECT_FALSE(IsBetaAcyclic(graph));
+    auto cycle = FindWeakBetaCycle(graph);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->edges.size(), k);
+  }
+}
+
+// --- typed grounding ----------------------------------------------------
+
+TEST(TypedGroundingTest, SingleAtomClosedForm) {
+  // Pr(∃x R(x)) over [n] = 1 - (1-p)^n.
+  ConjunctiveQuery query = ConjunctiveQuery::FromString("R(x)");
+  query.SetProbability("R", BigRational::Fraction(1, 3));
+  for (std::uint64_t n = 1; n <= 5; ++n) {
+    BigRational expected =
+        BigRational(1) - Pow(BigRational::Fraction(2, 3), n);
+    EXPECT_EQ(TypedGroundedProbability(query, n), expected) << "n=" << n;
+  }
+}
+
+TEST(TypedGroundingTest, EmptyDomainGivesZero) {
+  ConjunctiveQuery query = ConjunctiveQuery::FromString("R(x)");
+  std::map<std::string, std::uint64_t> domains{{"x", 0}};
+  EXPECT_EQ(TypedGroundedProbability(query, domains), BigRational(0));
+}
+
+TEST(TypedGroundingTest, MissingDomainThrows) {
+  ConjunctiveQuery query = ConjunctiveQuery::FromString("R(x,y)");
+  std::map<std::string, std::uint64_t> domains{{"x", 2}};
+  EXPECT_THROW(TypedGroundedProbability(query, domains),
+               std::invalid_argument);
+}
+
+TEST(TypedGroundingTest, ProductQueryFactorizes) {
+  // Pr(∃x∃y R(x) ∧ S(y)) = Pr(∃x R(x)) · Pr(∃y S(y)) with distinct
+  // domains — independence across disjoint relations.
+  ConjunctiveQuery query = ConjunctiveQuery::FromString("R(x), S(y)");
+  query.SetProbability("R", BigRational::Fraction(1, 2));
+  query.SetProbability("S", BigRational::Fraction(1, 4));
+  std::map<std::string, std::uint64_t> domains{{"x", 2}, {"y", 3}};
+  BigRational left = BigRational(1) - Pow(BigRational::Fraction(1, 2), 2);
+  BigRational right = BigRational(1) - Pow(BigRational::Fraction(3, 4), 3);
+  EXPECT_EQ(TypedGroundedProbability(query, domains), left * right);
+}
+
+TEST(TypedGroundingTest, MatchesGammaEvaluatorOnChains) {
+  // The Theorem 3.6 evaluator supports per-variable domains; typed
+  // grounding must agree on γ-acyclic inputs.
+  ConjunctiveQuery chain = ConjunctiveQuery::FromString("R(x,y), S(y,z)");
+  chain.SetProbability("R", BigRational::Fraction(1, 2));
+  chain.SetProbability("S", BigRational::Fraction(1, 3));
+  for (std::uint64_t nx = 1; nx <= 2; ++nx) {
+    for (std::uint64_t ny = 1; ny <= 2; ++ny) {
+      for (std::uint64_t nz = 1; nz <= 3; ++nz) {
+        std::map<std::string, std::uint64_t> domains{
+            {"x", nx}, {"y", ny}, {"z", nz}};
+        GammaEvaluator evaluator;
+        std::map<std::string, BigInt> big_domains{
+            {"x", BigInt(nx)}, {"y", BigInt(ny)}, {"z", BigInt(nz)}};
+        EXPECT_EQ(TypedGroundedProbability(chain, domains),
+                  evaluator.Probability(chain, big_domains))
+            << nx << "," << ny << "," << nz;
+      }
+    }
+  }
+}
+
+TEST(TypedGroundingTest, StandardSemanticsMatchesSentenceGrounding) {
+  // Under equal domains the typed grounding must agree with the generic
+  // FO path (ToSentence + GroundedProbability).
+  ConjunctiveQuery c3 = TypedCycle(3);
+  c3.SetProbability("R1", BigRational::Fraction(1, 2));
+  c3.SetProbability("R2", BigRational::Fraction(1, 3));
+  c3.SetProbability("R3", BigRational::Fraction(2, 3));
+  for (std::uint64_t n = 1; n <= 2; ++n) {
+    auto [sentence, vocab] = c3.ToSentence();
+    EXPECT_EQ(TypedGroundedProbability(c3, n),
+              grounding::GroundedProbability(sentence, vocab, n))
+        << "n=" << n;
+  }
+}
+
+TEST(TypedGroundingTest, RepeatedVariableHitsDiagonal) {
+  // R(x,x) only constrains diagonal tuples: Pr(∃x R(x,x)) = 1 - (1-p)^n.
+  ConjunctiveQuery query;
+  query.AddAtom("R", {"x", "x"});
+  query.SetProbability("R", BigRational::Fraction(1, 2));
+  std::map<std::string, std::uint64_t> domains{{"x", 3}};
+  EXPECT_EQ(TypedGroundedProbability(query, domains),
+            BigRational(1) - Pow(BigRational::Fraction(1, 2), 3));
+}
+
+// --- C_k closed-form spot checks ---------------------------------------
+
+TEST(TypedCycleTest, C3AllDomainsOneIsProductOfProbabilities) {
+  // With n_i = 1 the cycle needs its three designated tuples present.
+  std::vector<BigRational> p = {BigRational::Fraction(1, 2),
+                                BigRational::Fraction(1, 3),
+                                BigRational::Fraction(3, 4)};
+  EXPECT_EQ(TypedCycleProbability(3, {1, 1, 1}, p), p[0] * p[1] * p[2]);
+}
+
+TEST(TypedCycleTest, C3MatchesSentenceGroundingAtN2) {
+  ConjunctiveQuery c3 = TypedCycle(3);
+  c3.SetProbability("R1", BigRational::Fraction(1, 2));
+  c3.SetProbability("R2", BigRational::Fraction(1, 2));
+  c3.SetProbability("R3", BigRational::Fraction(1, 2));
+  auto [sentence, vocab] = c3.ToSentence();
+  EXPECT_EQ(TypedGroundedProbability(c3, 2),
+            grounding::GroundedProbability(sentence, vocab, 2));
+}
+
+// --- the Section 3.2 embedding -----------------------------------------
+
+// Q with a weak β-cycle of length 3 plus extra baggage: an extra variable
+// w inside a cycle relation and a satellite relation A(w).
+ConjunctiveQuery BaggageQuery() {
+  ConjunctiveQuery query;
+  query.AddAtom("R1", {"x1", "x2", "w"});
+  query.AddAtom("R2", {"x2", "x3"});
+  query.AddAtom("R3", {"x3", "x1"});
+  query.AddAtom("A", {"w"});
+  return query;
+}
+
+TEST(CkEmbeddingTest, EmbedsIntoPlainCycle) {
+  std::vector<std::uint64_t> domains = {2, 2, 2};
+  std::vector<BigRational> p = {BigRational::Fraction(1, 2),
+                                BigRational::Fraction(1, 3),
+                                BigRational::Fraction(1, 4)};
+  ConjunctiveQuery c3 = TypedCycle(3);
+  CkEmbedding embedding = EmbedCkInBetaCyclicQuery(c3, domains, p);
+  EXPECT_EQ(embedding.k, 3u);
+  EXPECT_EQ(TypedGroundedProbability(embedding.query,
+                                     embedding.domain_sizes),
+            TypedCycleProbability(3, domains, p));
+}
+
+TEST(CkEmbeddingTest, EmbedsIntoQueryWithBaggage) {
+  std::vector<std::uint64_t> domains = {2, 1, 2};
+  std::vector<BigRational> p = {BigRational::Fraction(1, 2),
+                                BigRational::Fraction(2, 3),
+                                BigRational::Fraction(1, 5)};
+  CkEmbedding embedding =
+      EmbedCkInBetaCyclicQuery(BaggageQuery(), domains, p);
+  EXPECT_EQ(embedding.k, 3u);
+  // Non-cycle relation A gets probability 1; non-cycle variable w gets
+  // domain size 1.
+  EXPECT_EQ(embedding.query.probability("A"), BigRational(1));
+  EXPECT_EQ(embedding.domain_sizes.at("w"), 1u);
+  EXPECT_EQ(TypedGroundedProbability(embedding.query,
+                                     embedding.domain_sizes),
+            TypedCycleProbability(3, domains, p));
+}
+
+TEST(CkEmbeddingTest, UnequalDomainSizes) {
+  std::vector<std::uint64_t> domains = {1, 2, 3};
+  std::vector<BigRational> p(3, BigRational::Fraction(1, 2));
+  CkEmbedding embedding =
+      EmbedCkInBetaCyclicQuery(BaggageQuery(), domains, p);
+  EXPECT_EQ(TypedGroundedProbability(embedding.query,
+                                     embedding.domain_sizes),
+            TypedCycleProbability(3, domains, p));
+}
+
+TEST(CkEmbeddingTest, RejectsAcyclicQuery) {
+  ConjunctiveQuery chain = ConjunctiveQuery::FromString("R(x,y), S(y,z)");
+  EXPECT_THROW(EmbedCkInBetaCyclicQuery(chain, {1, 1, 1},
+                                        {BigRational(1), BigRational(1),
+                                         BigRational(1)}),
+               std::invalid_argument);
+}
+
+TEST(CkEmbeddingTest, RejectsWrongVectorLengths) {
+  ConjunctiveQuery c3 = TypedCycle(3);
+  EXPECT_THROW(
+      EmbedCkInBetaCyclicQuery(c3, {1, 1}, {BigRational(1), BigRational(1)}),
+      std::invalid_argument);
+}
+
+// Property sweep: the embedding identity holds across probabilities and
+// domain shapes for C_4 inside a 4-cycle with a pendant.
+struct EmbeddingCase {
+  std::uint64_t n1, n2, n3, n4;
+  int numerator;  // shared probability numerator / 4
+};
+
+class CkEmbeddingSweep : public ::testing::TestWithParam<EmbeddingCase> {};
+
+TEST_P(CkEmbeddingSweep, IdentityHolds) {
+  const EmbeddingCase& c = GetParam();
+  ConjunctiveQuery query;
+  query.AddAtom("R1", {"x1", "x2"});
+  query.AddAtom("R2", {"x2", "x3"});
+  query.AddAtom("R3", {"x3", "x4"});
+  query.AddAtom("R4", {"x4", "x1"});
+  query.AddAtom("Pendant", {"x1", "u"});
+
+  std::vector<std::uint64_t> domains = {c.n1, c.n2, c.n3, c.n4};
+  std::vector<BigRational> p(4, BigRational::Fraction(c.numerator, 4));
+  CkEmbedding embedding = EmbedCkInBetaCyclicQuery(query, domains, p);
+  EXPECT_EQ(TypedGroundedProbability(embedding.query,
+                                     embedding.domain_sizes),
+            TypedCycleProbability(4, domains, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CkEmbeddingSweep,
+    ::testing::Values(EmbeddingCase{1, 1, 1, 1, 1},
+                      EmbeddingCase{2, 1, 1, 1, 1},
+                      EmbeddingCase{2, 2, 1, 1, 2},
+                      EmbeddingCase{1, 2, 1, 2, 3},
+                      EmbeddingCase{2, 2, 2, 1, 3},
+                      EmbeddingCase{2, 1, 2, 1, 4}));
+
+}  // namespace
+}  // namespace swfomc::cq

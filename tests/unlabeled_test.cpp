@@ -1,0 +1,104 @@
+// Unlabeled model counting (Burnside over S_n) — Section 3.3's UFOMC.
+
+#include "grounding/unlabeled.h"
+
+#include <gtest/gtest.h>
+
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+#include "numeric/combinatorics.h"
+
+namespace swfomc::grounding {
+namespace {
+
+using numeric::BigInt;
+
+logic::Formula P(const char* text, logic::Vocabulary* vocab) {
+  return logic::Parse(text, vocab);
+}
+
+TEST(UnlabeledTest, IdentityPermutationFixesEverything) {
+  logic::Vocabulary vocab;
+  logic::Formula truth = P("forall x (U(x) | !U(x))", &vocab);
+  // Under the identity, every structure is fixed: 2^n models of a
+  // tautology over a unary predicate.
+  EXPECT_EQ(CountFixedModels(truth, vocab, {0, 1, 2}), BigInt(8));
+}
+
+TEST(UnlabeledTest, TranspositionHalvesUnaryOrbits) {
+  logic::Vocabulary vocab;
+  logic::Formula truth = P("forall x (U(x) | !U(x))", &vocab);
+  // Swap(0,1) on 3 elements: orbits {U(0),U(1)}, {U(2)} — 2^2 fixed
+  // structures.
+  EXPECT_EQ(CountFixedModels(truth, vocab, {1, 0, 2}), BigInt(4));
+}
+
+TEST(UnlabeledTest, UnaryPredicateCountsSubsetsUpToSize) {
+  // Unlabeled structures over one unary predicate = choice of |U| only:
+  // UFOMC(true, n) = n + 1.
+  logic::Vocabulary vocab;
+  logic::Formula truth = P("forall x (U(x) | !U(x))", &vocab);
+  for (std::uint64_t n = 1; n <= 5; ++n) {
+    EXPECT_EQ(UnlabeledFOMC(truth, vocab, n), BigInt(n + 1)) << n;
+  }
+}
+
+TEST(UnlabeledTest, UndirectedLooplessGraphsMatchOeisA000088) {
+  // Unlabeled simple graphs on n nodes: 1, 2, 4, 11 (OEIS A000088).
+  // Encode simple graphs as symmetric irreflexive E.
+  logic::Vocabulary vocab;
+  logic::Formula simple = P(
+      "forall x forall y ((E(x,y) -> E(y,x)) & !E(x,x))", &vocab);
+  const std::uint64_t expected[] = {1, 2, 4, 11};
+  for (std::uint64_t n = 1; n <= 4; ++n) {
+    EXPECT_EQ(UnlabeledFOMC(simple, vocab, n), BigInt(expected[n - 1]))
+        << n;
+  }
+}
+
+TEST(UnlabeledTest, DigraphsMatchOeisA000273) {
+  // Unlabeled directed graphs (loopless): 1, 3, 16 (OEIS A000273).
+  logic::Vocabulary vocab;
+  logic::Formula loopless = P("forall x !E(x,x)", &vocab);
+  const std::uint64_t expected[] = {1, 3, 16};
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    EXPECT_EQ(UnlabeledFOMC(loopless, vocab, n), BigInt(expected[n - 1]))
+        << n;
+  }
+}
+
+TEST(UnlabeledTest, UnlabeledNeverExceedsLabeled) {
+  logic::Vocabulary vocab;
+  logic::Formula phi = P("forall x exists y R(x,y)", &vocab);
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    BigInt labeled = GroundedFOMC(phi, vocab, n);
+    BigInt unlabeled = UnlabeledFOMC(phi, vocab, n);
+    EXPECT_TRUE(unlabeled <= labeled) << n;
+    // And labeled <= n! * unlabeled (each isomorphism class has at most
+    // n! labelings).
+    EXPECT_TRUE(labeled <= unlabeled * numeric::Factorial(n)) << n;
+  }
+}
+
+TEST(UnlabeledTest, RigidSentenceHasExactlyFactorialRatio) {
+  // A strict linear order is rigid: every unlabeled order has exactly n!
+  // labelings, so FOMC = n! and UFOMC = 1.
+  logic::Vocabulary vocab;
+  logic::Formula order = P(
+      "forall x forall y forall z ((!(x = y) -> (L(x,y) | L(y,x))) & "
+      "!(L(x,y) & L(y,x)) & !L(x,x) & ((L(x,y) & L(y,z)) -> L(x,z)))",
+      &vocab);
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    EXPECT_EQ(UnlabeledFOMC(order, vocab, n), BigInt(1)) << n;
+    EXPECT_EQ(GroundedFOMC(order, vocab, n), numeric::Factorial(n)) << n;
+  }
+}
+
+TEST(UnlabeledTest, RefusesLargeDomains) {
+  logic::Vocabulary vocab;
+  logic::Formula phi = P("forall x U(x)", &vocab);
+  EXPECT_THROW(UnlabeledFOMC(phi, vocab, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swfomc::grounding

@@ -1,0 +1,230 @@
+#include "wmc/dpll_counter.h"
+
+#include <functional>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "prop/tseitin.h"
+#include "wmc/brute_force.h"
+
+namespace swfomc::wmc {
+namespace {
+
+using numeric::BigRational;
+using prop::CnfFormula;
+using prop::Literal;
+using prop::PropFormula;
+using prop::VarId;
+
+CnfFormula RandomCnf(std::mt19937_64* rng, std::uint32_t variables,
+                     std::size_t clauses, std::size_t max_len) {
+  CnfFormula cnf;
+  cnf.variable_count = variables;
+  std::uniform_int_distribution<std::uint32_t> var_dist(0, variables - 1);
+  for (std::size_t i = 0; i < clauses; ++i) {
+    std::size_t len = 1 + (*rng)() % max_len;
+    prop::Clause clause;
+    for (std::size_t j = 0; j < len; ++j) {
+      clause.push_back(Literal{var_dist(*rng), ((*rng)() & 1) != 0});
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+WeightMap RandomWeights(std::mt19937_64* rng, std::uint32_t variables,
+                        bool allow_negative) {
+  WeightMap weights(variables);
+  std::uniform_int_distribution<std::int64_t> dist(allow_negative ? -3 : 1, 4);
+  for (VarId v = 0; v < variables; ++v) {
+    std::int64_t wp = dist(*rng), wn = dist(*rng);
+    weights.Set(v, BigRational::Fraction(wp, 2), BigRational::Fraction(wn, 3));
+  }
+  return weights;
+}
+
+TEST(BruteForceTest, UnweightedCountSimple) {
+  // x0 | x1 has 3 models over 2 variables.
+  PropFormula f = prop::PropOr(prop::PropVar(0), prop::PropVar(1));
+  EXPECT_EQ(BruteForceCount(f, 2).ToInt64(), 3);
+  // Over 3 variables the free variable doubles the count.
+  EXPECT_EQ(BruteForceCount(f, 3).ToInt64(), 6);
+}
+
+TEST(BruteForceTest, RefusesHugeEnumerations) {
+  EXPECT_THROW(BruteForceCount(prop::PropTrue(), 31), std::invalid_argument);
+}
+
+TEST(DpllCounterTest, EmptyCnfCountsAllAssignments) {
+  CnfFormula cnf;
+  cnf.variable_count = 3;
+  WeightMap weights(3);
+  EXPECT_EQ(CountWeightedModels(cnf, weights), BigRational(8));
+}
+
+TEST(DpllCounterTest, EmptyClauseMeansZero) {
+  CnfFormula cnf;
+  cnf.variable_count = 2;
+  cnf.clauses = {{}};
+  WeightMap weights(2);
+  EXPECT_EQ(CountWeightedModels(cnf, weights), BigRational(0));
+}
+
+TEST(DpllCounterTest, UnitClauseForcesValue) {
+  CnfFormula cnf;
+  cnf.variable_count = 2;
+  cnf.clauses = {{Literal{0, true}}};
+  WeightMap weights(2);
+  weights.Set(0, BigRational(3), BigRational(5));
+  // x0 forced true (weight 3), x1 free (1+1).
+  EXPECT_EQ(CountWeightedModels(cnf, weights), BigRational(6));
+}
+
+TEST(DpllCounterTest, ContradictoryUnitsGiveZero) {
+  CnfFormula cnf;
+  cnf.variable_count = 1;
+  cnf.clauses = {{Literal{0, true}}, {Literal{0, false}}};
+  EXPECT_EQ(CountWeightedModels(cnf, WeightMap(1)), BigRational(0));
+}
+
+TEST(DpllCounterTest, MatchesBruteForceUnweightedRandom) {
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 120; ++trial) {
+    CnfFormula cnf = RandomCnf(&rng, 6, 3 + rng() % 8, 3);
+    WeightMap weights(6);
+    BigRational expected = BruteForceWMC(cnf, weights);
+    EXPECT_EQ(CountWeightedModels(cnf, weights), expected)
+        << cnf.ToString();
+  }
+}
+
+TEST(DpllCounterTest, MatchesBruteForcePositiveWeights) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 80; ++trial) {
+    CnfFormula cnf = RandomCnf(&rng, 6, 2 + rng() % 8, 3);
+    WeightMap weights = RandomWeights(&rng, 6, /*allow_negative=*/false);
+    BigRational expected = BruteForceWMC(cnf, weights);
+    EXPECT_EQ(CountWeightedModels(cnf, weights), expected)
+        << cnf.ToString();
+  }
+}
+
+TEST(DpllCounterTest, MatchesBruteForceNegativeWeights) {
+  // Negative weights are load-bearing for Lemma 3.3 / Example 1.2.
+  std::mt19937_64 rng(43);
+  for (int trial = 0; trial < 80; ++trial) {
+    CnfFormula cnf = RandomCnf(&rng, 6, 2 + rng() % 8, 3);
+    WeightMap weights = RandomWeights(&rng, 6, /*allow_negative=*/true);
+    BigRational expected = BruteForceWMC(cnf, weights);
+    EXPECT_EQ(CountWeightedModels(cnf, weights), expected)
+        << cnf.ToString();
+  }
+}
+
+TEST(DpllCounterTest, ZeroWeightsHandled) {
+  CnfFormula cnf;
+  cnf.variable_count = 2;
+  cnf.clauses = {{Literal{0, true}, Literal{1, true}}};
+  WeightMap weights(2);
+  weights.Set(0, BigRational(0), BigRational(1));
+  weights.Set(1, BigRational(2), BigRational(0));
+  // Models: (T,T):0*2, (T,F):0*0, (F,T):1*2 -> total 2.
+  EXPECT_EQ(CountWeightedModels(cnf, weights), BigRational(2));
+}
+
+TEST(DpllCounterTest, OptionsProduceSameAnswer) {
+  std::mt19937_64 rng(44);
+  for (int trial = 0; trial < 40; ++trial) {
+    CnfFormula cnf = RandomCnf(&rng, 8, 6 + rng() % 8, 3);
+    WeightMap weights = RandomWeights(&rng, 8, true);
+    BigRational reference = BruteForceWMC(cnf, weights);
+    for (bool components : {false, true}) {
+      for (bool cache : {false, true}) {
+        DpllCounter::Options options;
+        options.use_components = components;
+        options.use_cache = cache;
+        DpllCounter counter(cnf, weights, options);
+        EXPECT_EQ(counter.Count(), reference)
+            << "components=" << components << " cache=" << cache;
+      }
+    }
+  }
+}
+
+TEST(DpllCounterTest, ComponentDecompositionFires) {
+  // Two disjoint clauses must split into components.
+  CnfFormula cnf;
+  cnf.variable_count = 4;
+  cnf.clauses = {{Literal{0, true}, Literal{1, true}},
+                 {Literal{2, true}, Literal{3, true}}};
+  DpllCounter counter(cnf, WeightMap(4));
+  EXPECT_EQ(counter.Count(), BigRational(9));
+  EXPECT_GE(counter.stats().component_splits, 1u);
+}
+
+TEST(DpllCounterTest, CacheHitsOnRepeatedComponents) {
+  // A chain of independent identical blocks: (x_i | x_{i+1}) pairs.
+  CnfFormula cnf;
+  cnf.variable_count = 12;
+  for (VarId v = 0; v < 12; v += 2) {
+    cnf.clauses.push_back({Literal{v, true}, Literal{VarId(v + 1), true}});
+  }
+  DpllCounter counter(cnf, WeightMap(12));
+  EXPECT_EQ(counter.Count(), BigRational(3 * 3 * 3 * 3 * 3 * 3));
+  // Identical blocks over distinct variables have distinct keys, so the
+  // only guarantee is correctness; components must have fired.
+  EXPECT_GE(counter.stats().component_splits, 1u);
+}
+
+TEST(DpllCounterTest, CountsViaTseitinPipeline) {
+  // Full pipeline: formula -> Tseitin -> weighted count equals brute WMC
+  // over the original variables.
+  std::mt19937_64 rng(45);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::function<PropFormula(int)> random_formula = [&](int depth) {
+      if (depth == 0 || rng() % 3 == 0) {
+        PropFormula v = prop::PropVar(static_cast<VarId>(rng() % 5));
+        return rng() % 2 ? prop::PropNot(v) : v;
+      }
+      PropFormula a = random_formula(depth - 1);
+      PropFormula b = random_formula(depth - 1);
+      return rng() % 2 ? prop::PropAnd(a, b) : prop::PropOr(a, b);
+    };
+    PropFormula f = random_formula(3);
+    WeightMap original_weights = RandomWeights(&rng, 5, true);
+    BigRational expected = BruteForceWMC(f, 5, original_weights);
+
+    prop::TseitinResult tseitin = prop::TseitinTransform(f, 5);
+    WeightMap extended = original_weights;
+    extended.EnsureSize(tseitin.cnf.variable_count);
+    EXPECT_EQ(CountWeightedModels(tseitin.cnf, extended), expected)
+        << PropToString(f);
+  }
+}
+
+TEST(DpllSatTest, SatisfiabilityBasics) {
+  CnfFormula sat;
+  sat.variable_count = 2;
+  sat.clauses = {{Literal{0, true}, Literal{1, true}},
+                 {Literal{0, false}}};
+  EXPECT_TRUE(DpllCounter::IsSatisfiable(sat));
+
+  CnfFormula unsat;
+  unsat.variable_count = 1;
+  unsat.clauses = {{Literal{0, true}}, {Literal{0, false}}};
+  EXPECT_FALSE(DpllCounter::IsSatisfiable(unsat));
+}
+
+TEST(DpllSatTest, AgreesWithCountOnRandomInstances) {
+  std::mt19937_64 rng(46);
+  for (int trial = 0; trial < 100; ++trial) {
+    CnfFormula cnf = RandomCnf(&rng, 5, 4 + rng() % 10, 2);
+    bool sat = DpllCounter::IsSatisfiable(cnf);
+    BigRational count = CountWeightedModels(cnf, WeightMap(5));
+    EXPECT_EQ(sat, !count.IsZero()) << cnf.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace swfomc::wmc
