@@ -12,41 +12,14 @@
 #include "cq/hypergraph.h"
 #include "cq/typed_cycle.h"
 #include "grounding/grounded_wfomc.h"
+#include "test_util.h"
 
 namespace swfomc::cq {
 namespace {
 
 using numeric::BigInt;
 using numeric::BigRational;
-
-// Random tree-shaped (hence γ-acyclic) query: atoms R1..Rk, each new atom
-// shares exactly one variable with an earlier atom and introduces one
-// fresh variable — a random spanning tree over variables.
-ConjunctiveQuery MakeRandomTreeQuery(std::uint64_t seed, std::size_t atoms) {
-  std::mt19937_64 rng(seed);
-  ConjunctiveQuery query;
-  std::vector<std::string> variables = {"v0", "v1"};
-  query.AddAtom("R1", {"v0", "v1"});
-  for (std::size_t i = 2; i <= atoms; ++i) {
-    std::string shared = variables[rng() % variables.size()];
-    std::string fresh = "v" + std::to_string(variables.size());
-    variables.push_back(fresh);
-    // Random atom shape: binary, or unary on the fresh variable.
-    if (rng() % 4 == 0) {
-      query.AddAtom("R" + std::to_string(i), {fresh});
-    } else if (rng() % 2 == 0) {
-      query.AddAtom("R" + std::to_string(i), {shared, fresh});
-    } else {
-      query.AddAtom("R" + std::to_string(i), {fresh, shared});
-    }
-  }
-  for (const ConjunctiveQuery::QueryAtom& atom : query.atoms()) {
-    std::int64_t numerator = static_cast<std::int64_t>(1 + rng() % 3);
-    query.SetProbability(atom.relation,
-                         BigRational::Fraction(numerator, 4));
-  }
-  return query;
-}
+using testutil::MakeRandomTreeQuery;
 
 class GammaSweep : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,12 +1,12 @@
 #include "prop/prop_formula.h"
 
-#include <functional>
 #include <random>
 
 #include <gtest/gtest.h>
 
 #include "prop/cnf.h"
 #include "prop/tseitin.h"
+#include "test_util.h"
 
 namespace swfomc::prop {
 namespace {
@@ -83,16 +83,7 @@ TEST(TseitinTest, CountPreservation) {
   std::mt19937_64 rng(31);
   for (int trial = 0; trial < 60; ++trial) {
     // Random formula over 4 variables.
-    std::function<PropFormula(int)> random_formula = [&](int depth) {
-      if (depth == 0 || rng() % 3 == 0) {
-        PropFormula v = PropVar(static_cast<VarId>(rng() % 4));
-        return rng() % 2 ? PropNot(v) : v;
-      }
-      PropFormula a = random_formula(depth - 1);
-      PropFormula b = random_formula(depth - 1);
-      return rng() % 2 ? PropAnd(a, b) : PropOr(a, b);
-    };
-    PropFormula f = random_formula(3);
+    PropFormula f = testutil::RandomPropFormula(&rng, 3, 4);
     TseitinResult tseitin = TseitinTransform(f, 4);
 
     // Count models of f directly.

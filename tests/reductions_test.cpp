@@ -3,13 +3,13 @@
 
 #include "reductions/sharp_sat.h"
 
-#include <functional>
 #include <random>
 
 #include <gtest/gtest.h>
 
 #include "logic/parser.h"
 #include "reductions/spectrum.h"
+#include "test_util.h"
 #include "wmc/brute_force.h"
 
 namespace swfomc::reductions {
@@ -56,17 +56,7 @@ TEST(SharpSatReductionTest, CountsTautologyAndContradiction) {
 TEST(SharpSatReductionTest, MatchesBruteForceOnRandomFormulas) {
   std::mt19937_64 rng(61);
   for (int trial = 0; trial < 5; ++trial) {
-    std::function<prop::PropFormula(int)> random_formula =
-        [&](int depth) -> prop::PropFormula {
-      if (depth == 0 || rng() % 3 == 0) {
-        prop::PropFormula v = PropVar(static_cast<prop::VarId>(rng() % 3));
-        return rng() % 2 ? PropNot(v) : v;
-      }
-      prop::PropFormula a = random_formula(depth - 1);
-      prop::PropFormula b = random_formula(depth - 1);
-      return rng() % 2 ? PropAnd(a, b) : PropOr(a, b);
-    };
-    prop::PropFormula f = random_formula(2);
+    prop::PropFormula f = testutil::RandomPropFormula(&rng, 2, 3);
     BigInt expected = wmc::BruteForceCount(f, 3);
     EXPECT_EQ(SharpSatViaFOMC(f, 3), expected) << prop::PropToString(f);
   }

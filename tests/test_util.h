@@ -1,0 +1,106 @@
+#ifndef SWFOMC_TESTS_TEST_UTIL_H_
+#define SWFOMC_TESTS_TEST_UTIL_H_
+
+// Shared seeded generators for the property suites and benchmark drivers.
+// Everything here is deterministic in the caller-supplied rng/seed so test
+// shards and reruns see identical instances.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+#include "numeric/rational.h"
+#include "prop/cnf.h"
+#include "prop/prop_formula.h"
+#include "wmc/weights.h"
+
+namespace swfomc::testutil {
+
+/// Random CNF over `variables` variables: `clauses` clauses of 1..max_len
+/// literals each, uniformly random variable and polarity. Duplicate and
+/// complementary literals within a clause are allowed — counters must
+/// handle both.
+inline prop::CnfFormula RandomCnf(std::mt19937_64* rng,
+                                  std::uint32_t variables,
+                                  std::size_t clauses, std::size_t max_len) {
+  prop::CnfFormula cnf;
+  cnf.variable_count = variables;
+  std::uniform_int_distribution<std::uint32_t> var_dist(0, variables - 1);
+  for (std::size_t i = 0; i < clauses; ++i) {
+    std::size_t len = 1 + (*rng)() % max_len;
+    prop::Clause clause;
+    for (std::size_t j = 0; j < len; ++j) {
+      clause.push_back(prop::Literal{var_dist(*rng), ((*rng)() & 1) != 0});
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+/// Random weight table with small fractional weights; negative w/w̄ are
+/// included when `allow_negative` (the paper's Section 2 semantics allows
+/// them, and the exact engines must agree there too).
+inline wmc::WeightMap RandomWeights(std::mt19937_64* rng,
+                                    std::uint32_t variables,
+                                    bool allow_negative) {
+  wmc::WeightMap weights(variables);
+  std::uniform_int_distribution<std::int64_t> dist(allow_negative ? -3 : 1, 4);
+  for (prop::VarId v = 0; v < variables; ++v) {
+    std::int64_t wp = dist(*rng), wn = dist(*rng);
+    weights.Set(v, numeric::BigRational::Fraction(wp, 2),
+                numeric::BigRational::Fraction(wn, 3));
+  }
+  return weights;
+}
+
+/// Random propositional formula tree of depth <= `depth` over `variables`
+/// variables: leaves are (possibly negated) variables, interior nodes are
+/// And/Or with early termination so shapes vary.
+inline prop::PropFormula RandomPropFormula(std::mt19937_64* rng, int depth,
+                                           std::uint32_t variables) {
+  if (depth == 0 || (*rng)() % 3 == 0) {
+    prop::PropFormula v =
+        prop::PropVar(static_cast<prop::VarId>((*rng)() % variables));
+    return (*rng)() % 2 ? prop::PropNot(v) : v;
+  }
+  prop::PropFormula a = RandomPropFormula(rng, depth - 1, variables);
+  prop::PropFormula b = RandomPropFormula(rng, depth - 1, variables);
+  return (*rng)() % 2 ? prop::PropAnd(a, b) : prop::PropOr(a, b);
+}
+
+/// Random tree-shaped (hence γ-acyclic) query: atoms R1..Rk, each new atom
+/// shares exactly one variable with an earlier atom and introduces one
+/// fresh variable — a random spanning tree over variables. Every relation
+/// gets a random probability in {1/4, 2/4, 3/4}.
+inline cq::ConjunctiveQuery MakeRandomTreeQuery(std::uint64_t seed,
+                                                std::size_t atoms) {
+  std::mt19937_64 rng(seed);
+  cq::ConjunctiveQuery query;
+  std::vector<std::string> variables = {"v0", "v1"};
+  query.AddAtom("R1", {"v0", "v1"});
+  for (std::size_t i = 2; i <= atoms; ++i) {
+    std::string shared = variables[rng() % variables.size()];
+    std::string fresh = "v" + std::to_string(variables.size());
+    variables.push_back(fresh);
+    // Random atom shape: binary, or unary on the fresh variable.
+    if (rng() % 4 == 0) {
+      query.AddAtom("R" + std::to_string(i), {fresh});
+    } else if (rng() % 2 == 0) {
+      query.AddAtom("R" + std::to_string(i), {shared, fresh});
+    } else {
+      query.AddAtom("R" + std::to_string(i), {fresh, shared});
+    }
+  }
+  for (const cq::ConjunctiveQuery::QueryAtom& atom : query.atoms()) {
+    std::int64_t numerator = static_cast<std::int64_t>(1 + rng() % 3);
+    query.SetProbability(atom.relation,
+                         numeric::BigRational::Fraction(numerator, 4));
+  }
+  return query;
+}
+
+}  // namespace swfomc::testutil
+
+#endif  // SWFOMC_TESTS_TEST_UTIL_H_

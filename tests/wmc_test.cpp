@@ -1,11 +1,11 @@
 #include "wmc/dpll_counter.h"
 
-#include <functional>
 #include <random>
 
 #include <gtest/gtest.h>
 
 #include "prop/tseitin.h"
+#include "test_util.h"
 #include "wmc/brute_force.h"
 
 namespace swfomc::wmc {
@@ -16,33 +16,8 @@ using prop::CnfFormula;
 using prop::Literal;
 using prop::PropFormula;
 using prop::VarId;
-
-CnfFormula RandomCnf(std::mt19937_64* rng, std::uint32_t variables,
-                     std::size_t clauses, std::size_t max_len) {
-  CnfFormula cnf;
-  cnf.variable_count = variables;
-  std::uniform_int_distribution<std::uint32_t> var_dist(0, variables - 1);
-  for (std::size_t i = 0; i < clauses; ++i) {
-    std::size_t len = 1 + (*rng)() % max_len;
-    prop::Clause clause;
-    for (std::size_t j = 0; j < len; ++j) {
-      clause.push_back(Literal{var_dist(*rng), ((*rng)() & 1) != 0});
-    }
-    cnf.clauses.push_back(std::move(clause));
-  }
-  return cnf;
-}
-
-WeightMap RandomWeights(std::mt19937_64* rng, std::uint32_t variables,
-                        bool allow_negative) {
-  WeightMap weights(variables);
-  std::uniform_int_distribution<std::int64_t> dist(allow_negative ? -3 : 1, 4);
-  for (VarId v = 0; v < variables; ++v) {
-    std::int64_t wp = dist(*rng), wn = dist(*rng);
-    weights.Set(v, BigRational::Fraction(wp, 2), BigRational::Fraction(wn, 3));
-  }
-  return weights;
-}
+using testutil::RandomCnf;
+using testutil::RandomWeights;
 
 TEST(BruteForceTest, UnweightedCountSimple) {
   // x0 | x1 has 3 models over 2 variables.
@@ -182,16 +157,7 @@ TEST(DpllCounterTest, CountsViaTseitinPipeline) {
   // over the original variables.
   std::mt19937_64 rng(45);
   for (int trial = 0; trial < 40; ++trial) {
-    std::function<PropFormula(int)> random_formula = [&](int depth) {
-      if (depth == 0 || rng() % 3 == 0) {
-        PropFormula v = prop::PropVar(static_cast<VarId>(rng() % 5));
-        return rng() % 2 ? prop::PropNot(v) : v;
-      }
-      PropFormula a = random_formula(depth - 1);
-      PropFormula b = random_formula(depth - 1);
-      return rng() % 2 ? prop::PropAnd(a, b) : prop::PropOr(a, b);
-    };
-    PropFormula f = random_formula(3);
+    PropFormula f = testutil::RandomPropFormula(&rng, 3, 5);
     WeightMap original_weights = RandomWeights(&rng, 5, true);
     BigRational expected = BruteForceWMC(f, 5, original_weights);
 
