@@ -105,6 +105,29 @@ void BM_Ablation_PlainDpll(benchmark::State& state) {
 }
 BENCHMARK(BM_Ablation_PlainDpll)->Arg(2)->Arg(3);
 
+// The counter's stress workload: grounded triangle lineages blow up
+// combinatorially with n, so this is where trail-based search and the
+// hashed component cache pay off. n=5 is the perf-tracking headline
+// (BENCH_wmc.json) that successive PRs compare against.
+void BM_Ablation_Full_Triangle(benchmark::State& state) {
+  RunConfig(state, kConfigs[0].options, kWorkloads[2].sentence,
+            static_cast<std::uint64_t>(state.range(0)));
+}
+BENCHMARK(BM_Ablation_Full_Triangle)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_Full_Table1Large(benchmark::State& state) {
+  RunConfig(state, kConfigs[0].options, kWorkloads[0].sentence,
+            static_cast<std::uint64_t>(state.range(0)));
+}
+BENCHMARK(BM_Ablation_Full_Table1Large)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Perf-trajectory recorder: runs the WMC ablation and Table 1 benchmark
+# drivers with JSON output and folds both reports into BENCH_wmc.json, so
+# successive PRs have hard numbers to compare against.
+#
+# Usage: scripts/bench.sh [build-dir]
+#   BENCH_MIN_TIME=0.01 scripts/bench.sh   # CI smoke: one iteration each
+#   BENCH_OUT=/tmp/b.json scripts/bench.sh # write elsewhere
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+OUT="${BENCH_OUT:-BENCH_wmc.json}"
+
+for bench in bench_wmc_ablation bench_table1; do
+  if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
+    echo "error: $BUILD_DIR/bench/$bench not built (run cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for bench in bench_wmc_ablation bench_table1; do
+  echo "running $bench (min_time=${MIN_TIME}s)..."
+  "$BUILD_DIR/bench/$bench" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$tmp/$bench.json" \
+    --benchmark_out_format=json >/dev/null
+done
+
+{
+  printf '{\n"bench_wmc_ablation":\n'
+  cat "$tmp/bench_wmc_ablation.json"
+  printf ',\n"bench_table1":\n'
+  cat "$tmp/bench_table1.json"
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

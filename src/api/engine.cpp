@@ -53,6 +53,27 @@ std::optional<cq::ConjunctiveQuery> AsConjunctiveQuery(
   return query;
 }
 
+// Forces every relation's weights to (1, 1) for the lifetime of the
+// guard; the original vocabulary is restored on scope exit, including
+// when the guarded computation throws.
+class ScopedUnitWeights {
+ public:
+  explicit ScopedUnitWeights(logic::Vocabulary* vocabulary)
+      : vocabulary_(vocabulary), saved_(*vocabulary) {
+    for (logic::RelationId id = 0; id < vocabulary_->size(); ++id) {
+      vocabulary_->SetWeights(id, 1, 1);
+    }
+  }
+  ~ScopedUnitWeights() { *vocabulary_ = std::move(saved_); }
+
+  ScopedUnitWeights(const ScopedUnitWeights&) = delete;
+  ScopedUnitWeights& operator=(const ScopedUnitWeights&) = delete;
+
+ private:
+  logic::Vocabulary* vocabulary_;
+  logic::Vocabulary saved_;
+};
+
 }  // namespace
 
 const char* ToString(Method method) {
@@ -147,19 +168,8 @@ Engine::Result Engine::WFOMC(const logic::Formula& sentence,
 
 numeric::BigInt Engine::FOMC(const logic::Formula& sentence,
                              std::uint64_t domain_size, Method method) {
-  logic::Vocabulary saved = vocabulary_;
-  for (logic::RelationId id = 0; id < vocabulary_.size(); ++id) {
-    vocabulary_.SetWeights(id, 1, 1);
-  }
-  numeric::BigInt count;
-  try {
-    count = WFOMC(sentence, domain_size, method).value.ToInteger();
-  } catch (...) {
-    vocabulary_ = std::move(saved);
-    throw;
-  }
-  vocabulary_ = std::move(saved);
-  return count;
+  ScopedUnitWeights unit_weights(&vocabulary_);
+  return WFOMC(sentence, domain_size, method).value.ToInteger();
 }
 
 numeric::BigRational Engine::Probability(const logic::Formula& sentence,
@@ -184,19 +194,8 @@ numeric::BigRational Engine::Probability(const logic::Formula& sentence,
 
 numeric::BigRational Engine::Mu(const logic::Formula& sentence,
                                 std::uint64_t domain_size) {
-  logic::Vocabulary saved = vocabulary_;
-  for (logic::RelationId id = 0; id < vocabulary_.size(); ++id) {
-    vocabulary_.SetWeights(id, 1, 1);
-  }
-  numeric::BigRational mu;
-  try {
-    mu = Probability(sentence, domain_size);
-  } catch (...) {
-    vocabulary_ = std::move(saved);
-    throw;
-  }
-  vocabulary_ = std::move(saved);
-  return mu;
+  ScopedUnitWeights unit_weights(&vocabulary_);
+  return Probability(sentence, domain_size);
 }
 
 bool Engine::HasModelOfSize(const logic::Formula& sentence,

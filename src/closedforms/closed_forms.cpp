@@ -32,10 +32,11 @@ numeric::BigRational ExistsWFOMC(std::uint64_t n,
 }
 
 numeric::BigInt Table1FOMC(std::uint64_t n) {
+  numeric::BinomialTable binomials;  // row n shared by the O(n²) loop
   BigInt total(0);
   for (std::uint64_t k = 0; k <= n; ++k) {
     for (std::uint64_t m = 0; m <= n; ++m) {
-      total += numeric::Binomial(n, k) * numeric::Binomial(n, m) *
+      total += binomials.Get(n, k) * binomials.Get(n, m) *
                BigInt::Pow(BigInt(2), n * n - k * m);
     }
   }
@@ -49,10 +50,11 @@ numeric::BigRational Table1WFOMC(std::uint64_t n,
                                  const numeric::BigRational& wbar_s,
                                  const numeric::BigRational& w_t,
                                  const numeric::BigRational& wbar_t) {
+  numeric::BinomialTable binomials;
   BigRational total;
   for (std::uint64_t k = 0; k <= n; ++k) {
     for (std::uint64_t m = 0; m <= n; ++m) {
-      BigRational term(numeric::Binomial(n, k) * numeric::Binomial(n, m));
+      BigRational term(binomials.Get(n, k) * binomials.Get(n, m));
       term *= BigRational::Pow(w_r, static_cast<std::int64_t>(n - k));
       term *= BigRational::Pow(wbar_r, static_cast<std::int64_t>(k));
       term *= BigRational::Pow(w_s, static_cast<std::int64_t>(k * m));

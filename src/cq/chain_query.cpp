@@ -44,7 +44,7 @@ BigRational ChainQuery::Recurse(std::size_t m,
   std::uint64_t n = domains[m - 1];
   BigRational result(0);
   for (std::uint64_t k = 1; k <= n; ++k) {
-    BigRational term(numeric::Binomial(n, k));
+    BigRational term(binomials_.Get(n, k));
     term *= Pow(q, k);
     term *= Pow(BigRational(1) - q, n - k);
     term *= Recurse(m - 1, domains, k);

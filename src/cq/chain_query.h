@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cq/conjunctive_query.h"
+#include "numeric/combinatorics.h"
 #include "numeric/rational.h"
 
 namespace swfomc::cq {
@@ -52,6 +53,7 @@ class ChainQuery {
   std::vector<numeric::BigRational> probabilities_;
   std::map<std::pair<std::size_t, std::uint64_t>, numeric::BigRational>
       memo_;
+  numeric::BinomialTable binomials_;
 };
 
 }  // namespace swfomc::cq

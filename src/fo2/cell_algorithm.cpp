@@ -153,10 +153,13 @@ class MatrixEvaluator {
   std::vector<std::size_t> binary_slot_;
 };
 
-// Core: Shannon-expanded, zero-ary-free matrix.
+// Core: Shannon-expanded, zero-ary-free matrix. `binomials` is shared
+// across the Shannon branches so Pascal rows are built once per solve
+// rather than once per composition term.
 BigRational SolveMatrix(const Formula& matrix,
                         const logic::Vocabulary& vocabulary,
-                        std::uint64_t n, CellStats* stats) {
+                        std::uint64_t n, numeric::BinomialTable* binomials,
+                        CellStats* stats) {
   std::vector<RelationId> unary_relations, binary_relations;
   for (RelationId id = 0; id < vocabulary.size(); ++id) {
     if (vocabulary.arity(id) == 1) unary_relations.push_back(id);
@@ -243,7 +246,7 @@ BigRational SolveMatrix(const Formula& matrix,
   numeric::ForEachComposition(
       n, num_cells, [&](const std::vector<std::uint64_t>& counts) -> bool {
         ++terms;
-        BigRational term(numeric::Multinomial(n, counts));
+        BigRational term(binomials->Multinomial(n, counts));
         for (std::size_t l = 0; l < num_cells && !term.IsZero(); ++l) {
           if (counts[l] == 0) continue;
           term *= BigRational::Pow(cells[l].weight,
@@ -270,9 +273,10 @@ BigRational SolveWithShannon(Formula matrix,
                              const logic::Vocabulary& vocabulary,
                              const std::vector<RelationId>& zeroary,
                              std::size_t index, std::uint64_t n,
+                             numeric::BinomialTable* binomials,
                              CellStats* stats) {
   if (index == zeroary.size()) {
-    return SolveMatrix(matrix, vocabulary, n, stats);
+    return SolveMatrix(matrix, vocabulary, n, binomials, stats);
   }
   RelationId relation = zeroary[index];
   BigRational result;
@@ -282,7 +286,8 @@ BigRational SolveWithShannon(Formula matrix,
     if (weight.IsZero()) continue;
     Formula substituted = SubstituteZeroAry(matrix, relation, value);
     result += weight * SolveWithShannon(std::move(substituted), vocabulary,
-                                        zeroary, index + 1, n, stats);
+                                        zeroary, index + 1, n, binomials,
+                                        stats);
   }
   return result;
 }
@@ -313,8 +318,9 @@ numeric::BigRational CellAlgorithmWFOMC(const UniversalForm& form,
     if (form.vocabulary.arity(id) == 0) zeroary.push_back(id);
   }
   if (stats != nullptr) stats->zeroary_predicates = zeroary.size();
+  numeric::BinomialTable binomials;
   return SolveWithShannon(form.matrix, form.vocabulary, zeroary, 0,
-                          domain_size, stats);
+                          domain_size, &binomials, stats);
 }
 
 numeric::BigRational LiftedWFOMC(const logic::Formula& sentence,

@@ -5,11 +5,8 @@
 namespace swfomc::numeric {
 
 BigInt Factorial(std::uint64_t n) {
-  BigInt result(1);
-  for (std::uint64_t i = 2; i <= n; ++i) {
-    result *= BigInt::FromUnsigned(i);
-  }
-  return result;
+  thread_local FactorialTable table;
+  return table.Get(n);
 }
 
 BigInt Binomial(std::uint64_t n, std::uint64_t k) {
@@ -82,6 +79,45 @@ void ForEachComposition(
 BigInt CompositionCount(std::uint64_t total, std::size_t parts) {
   if (parts == 0) return BigInt(total == 0 ? 1 : 0);
   return Binomial(total + parts - 1, static_cast<std::uint64_t>(parts - 1));
+}
+
+const BigInt& FactorialTable::Get(std::uint64_t n) {
+  if (values_.empty()) values_.push_back(BigInt(1));  // 0! = 1
+  while (values_.size() <= n) {
+    values_.push_back(values_.back() *
+                      BigInt::FromUnsigned(values_.size()));
+  }
+  return values_[n];
+}
+
+const BigInt& BinomialTable::Get(std::uint64_t n, std::uint64_t k) {
+  static const BigInt kZero(0);
+  if (k > n) return kZero;
+  while (rows_.size() <= n) {
+    std::size_t row_index = rows_.size();
+    std::vector<BigInt> row(row_index + 1, BigInt(1));
+    for (std::size_t j = 1; j < row_index; ++j) {
+      row[j] = rows_[row_index - 1][j - 1] + rows_[row_index - 1][j];
+    }
+    rows_.push_back(std::move(row));
+  }
+  return rows_[n][k];
+}
+
+BigInt BinomialTable::Multinomial(std::uint64_t n,
+                                  const std::vector<std::uint64_t>& parts) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t p : parts) sum += p;
+  if (sum != n) {
+    throw std::invalid_argument("Multinomial: parts do not sum to n");
+  }
+  BigInt result(1);
+  std::uint64_t remaining = n;
+  for (std::uint64_t p : parts) {
+    result *= Get(remaining, p);
+    remaining -= p;
+  }
+  return result;
 }
 
 }  // namespace swfomc::numeric

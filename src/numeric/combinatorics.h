@@ -2,6 +2,7 @@
 #define SWFOMC_NUMERIC_COMBINATORICS_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -9,7 +10,9 @@
 
 namespace swfomc::numeric {
 
-/// n! as a BigInt.
+/// n! as a BigInt. Served from a shared thread-local FactorialTable, so
+/// repeated calls (e.g. unlabeled-count divisions across domain sizes)
+/// cost one multiplication per previously unseen n.
 BigInt Factorial(std::uint64_t n);
 
 /// Binomial coefficient C(n, k); 0 when k > n.
@@ -35,6 +38,36 @@ void ForEachComposition(
 /// Number of weak compositions of `total` into `parts` summands:
 /// C(total + parts - 1, parts - 1).
 BigInt CompositionCount(std::uint64_t total, std::size_t parts);
+
+/// Memoized factorial table: Get(n) extends the cache one multiplication
+/// at a time, so a sequence of calls costs one BigInt multiply per new n
+/// instead of O(n) each. Deque storage keeps returned references valid
+/// across later growth. Backs the free Factorial().
+class FactorialTable {
+ public:
+  const BigInt& Get(std::uint64_t n);
+
+ private:
+  std::deque<BigInt> values_;
+};
+
+/// Memoized binomial coefficients via cached Pascal rows: row n is built
+/// once from row n-1 (n additions) and every later Get(n, k) is a table
+/// lookup. Use one table per algorithm invocation wherever C(n, k) is
+/// recomputed inside loops (the FO² composition sum, closed forms, the
+/// chain-query and QS4 recurrences).
+class BinomialTable {
+ public:
+  /// C(n, k); a shared zero when k > n.
+  const BigInt& Get(std::uint64_t n, std::uint64_t k);
+
+  /// n! / (parts[0]! · ... · parts[m-1]!) as a product of cached
+  /// binomials. Requires sum(parts) == n (checked).
+  BigInt Multinomial(std::uint64_t n, const std::vector<std::uint64_t>& parts);
+
+ private:
+  std::vector<std::vector<BigInt>> rows_;
+};
 
 }  // namespace swfomc::numeric
 

@@ -29,7 +29,7 @@ numeric::BigRational Qs4Solver::F(std::uint64_t n1, std::uint64_t n2) {
   if (it != f_.end()) return it->second;
   BigRational result;
   for (std::uint64_t k = 1; k <= n1; ++k) {
-    BigRational term(numeric::Binomial(n1, k));
+    BigRational term(binomials_.Get(n1, k));
     term *= BigRational::Pow(w_, static_cast<std::int64_t>(k * n2));
     term *= G(n1 - k, n2);
     result += term;
@@ -46,7 +46,7 @@ numeric::BigRational Qs4Solver::G(std::uint64_t n1, std::uint64_t n2) {
   if (it != g_.end()) return it->second;
   BigRational result;
   for (std::uint64_t l = 1; l <= n2; ++l) {
-    BigRational term(numeric::Binomial(n2, l));
+    BigRational term(binomials_.Get(n2, l));
     term *= BigRational::Pow(w_bar_, static_cast<std::int64_t>(n1 * l));
     term *= F(n1, n2 - l);
     result += term;

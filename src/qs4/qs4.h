@@ -6,6 +6,7 @@
 
 #include "logic/formula.h"
 #include "logic/vocabulary.h"
+#include "numeric/combinatorics.h"
 #include "numeric/rational.h"
 
 namespace swfomc::qs4 {
@@ -45,6 +46,7 @@ class Qs4Solver {
   numeric::BigRational w_bar_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, numeric::BigRational> f_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, numeric::BigRational> g_;
+  numeric::BinomialTable binomials_;
 };
 
 /// The QS4 sentence itself over a vocabulary containing binary S (for

@@ -1,0 +1,46 @@
+#include "wmc/component_cache.h"
+
+#include <utility>
+
+namespace swfomc::wmc {
+
+std::uint64_t HashComponentKey(const ComponentKey& key) {
+  std::uint64_t hash = ComponentHashInit();
+  for (std::uint32_t word : key) hash = ComponentHashStep(hash, word);
+  return ComponentHashFinalize(hash);
+}
+
+ComponentCache::ComponentCache(std::size_t max_entries)
+    : max_entries_(max_entries) {}
+
+const numeric::BigRational* ComponentCache::Lookup(const ComponentKey& key,
+                                                   std::uint64_t hash) {
+  auto it = entries_.find(hash);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.key != key) {
+    ++collisions_;
+    return nullptr;
+  }
+  return &it->second.value;
+}
+
+void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
+                            numeric::BigRational value) {
+  if (max_entries_ == 0) return;
+  auto it = entries_.find(hash);
+  if (it != entries_.end()) {
+    // Hash collision with a different key (Lookup missed): keep the fresh
+    // entry, which the search is more likely to revisit.
+    it->second = Entry{std::move(key), std::move(value)};
+    return;
+  }
+  while (entries_.size() >= max_entries_) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++evictions_;
+  }
+  insertion_order_.push_back(hash);
+  entries_.emplace(hash, Entry{std::move(key), std::move(value)});
+}
+
+}  // namespace swfomc::wmc

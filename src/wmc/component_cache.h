@@ -1,0 +1,78 @@
+#ifndef SWFOMC_WMC_COMPONENT_CACHE_H_
+#define SWFOMC_WMC_COMPONENT_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/rational.h"
+
+namespace swfomc::wmc {
+
+/// Packed signature of a residual component: the free (unassigned)
+/// compact literals of each active clause, clauses in ascending id order,
+/// each clause terminated by kComponentKeySeparator. Literals use global
+/// variable ids, so equal keys imply equal residual formulas *and* equal
+/// weight vectors — a key determines its weighted count.
+using ComponentKey = std::vector<std::uint32_t>;
+
+inline constexpr std::uint32_t kComponentKeySeparator = 0xFFFFFFFFu;
+
+/// Incremental FNV-1a over 32-bit words with a splitmix64 finalizer;
+/// exposed stepwise so signatures can be hashed while they are packed.
+inline constexpr std::uint64_t ComponentHashInit() {
+  return 0xcbf29ce484222325ull;  // FNV offset basis
+}
+inline constexpr std::uint64_t ComponentHashStep(std::uint64_t hash,
+                                                 std::uint32_t word) {
+  return (hash ^ word) * 0x100000001b3ull;  // FNV prime
+}
+inline constexpr std::uint64_t ComponentHashFinalize(std::uint64_t hash) {
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ull;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebull;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+/// 64-bit hash of a packed signature.
+std::uint64_t HashComponentKey(const ComponentKey& key);
+
+/// Bounded hashed memo table for component counts, replacing a
+/// string-keyed std::map: entries are addressed by the 64-bit hash, the
+/// packed key is stored alongside the value to resolve collisions
+/// exactly, and the entry count is bounded — inserting past the bound
+/// evicts the oldest entries (FIFO).
+class ComponentCache {
+ public:
+  explicit ComponentCache(std::size_t max_entries);
+
+  /// Returns the cached count for `key`, or nullptr on a miss. A hash
+  /// match with a different stored key counts as a collision and a miss.
+  const numeric::BigRational* Lookup(const ComponentKey& key,
+                                     std::uint64_t hash);
+  void Insert(ComponentKey key, std::uint64_t hash,
+              numeric::BigRational value);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t collisions() const { return collisions_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    ComponentKey key;
+    numeric::BigRational value;
+  };
+
+  std::size_t max_entries_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::deque<std::uint64_t> insertion_order_;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace swfomc::wmc
+
+#endif  // SWFOMC_WMC_COMPONENT_CACHE_H_

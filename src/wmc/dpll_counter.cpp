@@ -2,67 +2,19 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
-#include <optional>
-#include <set>
 
 namespace swfomc::wmc {
 
 namespace {
 
-using prop::Clause;
-using prop::Literal;
-using prop::VarId;
 using numeric::BigRational;
-
-std::set<VarId> VariablesOf(const std::vector<Clause>& clauses) {
-  std::set<VarId> vars;
-  for (const Clause& clause : clauses) {
-    for (const Literal& literal : clause) vars.insert(literal.variable);
-  }
-  return vars;
-}
-
-// Conditions the clause set on `lit` being true. Returns nullopt if an
-// empty clause (conflict) arises.
-std::optional<std::vector<Clause>> Condition(const std::vector<Clause>& clauses,
-                                             Literal lit) {
-  std::vector<Clause> result;
-  result.reserve(clauses.size());
-  for (const Clause& clause : clauses) {
-    bool satisfied = false;
-    for (const Literal& l : clause) {
-      if (l.variable == lit.variable && l.positive == lit.positive) {
-        satisfied = true;
-        break;
-      }
-    }
-    if (satisfied) continue;
-    Clause reduced;
-    reduced.reserve(clause.size());
-    for (const Literal& l : clause) {
-      if (l.variable != lit.variable) reduced.push_back(l);
-    }
-    if (reduced.empty()) return std::nullopt;
-    result.push_back(std::move(reduced));
-  }
-  return result;
-}
-
-std::string CanonicalKey(std::vector<Clause> clauses) {
-  for (Clause& clause : clauses) std::sort(clause.begin(), clause.end());
-  std::sort(clauses.begin(), clauses.end());
-  std::string key;
-  for (const Clause& clause : clauses) {
-    for (const Literal& l : clause) {
-      key += l.positive ? '+' : '-';
-      key += std::to_string(l.variable);
-      key += ',';
-    }
-    key += ';';
-  }
-  return key;
-}
+using prop::Clause;
+using prop::Lit;
+using prop::LitPositive;
+using prop::LitVariable;
+using prop::MakeLit;
+using prop::NegateLit;
+using prop::VarId;
 
 }  // namespace
 
@@ -71,7 +23,10 @@ DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights)
 
 DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights,
                          Options options)
-    : cnf_(std::move(cnf)), weights_(std::move(weights)), options_(options) {
+    : cnf_(std::move(cnf)),
+      weights_(std::move(weights)),
+      options_(options),
+      cache_(options.max_cache_entries) {
   weights_.EnsureSize(cnf_.variable_count);
 }
 
@@ -80,208 +35,310 @@ numeric::BigRational DpllCounter::Count() {
   for (const Clause& clause : cnf_.clauses) {
     if (clause.empty()) return BigRational(0);
   }
-  std::set<VarId> mentioned = VariablesOf(cnf_.clauses);
-  BigRational result = CountClauses(cnf_.clauses);
-  // Variables never mentioned contribute (w + w̄) each.
+  compact_ = prop::CompactCnf::Build(cnf_);
+  trail_.emplace(&compact_);
+  total_weight_.clear();
+  total_weight_.reserve(cnf_.variable_count);
   for (VarId v = 0; v < cnf_.variable_count; ++v) {
-    if (!mentioned.contains(v)) {
-      result *= weights_.Get(v).Total();
+    total_weight_.push_back(weights_.Get(v).Total());
+  }
+  epoch_ = 0;
+  variable_stamp_.assign(cnf_.variable_count, 0);
+  clause_mark_.assign(compact_.clause_count(), ClauseMark{});
+  score_stamp_.assign(cnf_.variable_count, 0);
+  score_.assign(cnf_.variable_count, 0);
+
+  if (!trail_->PropagateExistingUnits(&stats_.unit_propagations)) {
+    return BigRational(0);
+  }
+  BigRational result(1);
+  for (Lit lit : trail_->assignments()) {
+    const BigRational& weight =
+        weights_.LiteralWeight(LitVariable(lit), LitPositive(lit));
+    if (!weight.IsOne()) result *= weight;
+  }
+  if (result.IsZero()) return result;
+
+  std::vector<VarId> candidates;
+  candidates.reserve(cnf_.variable_count);
+  for (VarId v = 0; v < cnf_.variable_count; ++v) {
+    if (trail_->IsAssigned(v)) continue;
+    if (compact_.Mentions(v)) {
+      candidates.push_back(v);
+    } else {
+      // Never constrained by any clause: free (w + w̄) factor.
+      result *= total_weight_[v];
     }
   }
-  return result;
+  if (result.IsZero()) return result;
+  std::vector<std::uint32_t> all_clauses(compact_.clause_count());
+  for (std::uint32_t c = 0; c < compact_.clause_count(); ++c) {
+    all_clauses[c] = c;
+  }
+  return result * CountResidual(candidates, all_clauses);
 }
 
-numeric::BigRational DpllCounter::CountClauses(std::vector<Clause> clauses) {
-  BigRational factor(1);
-  // Unit propagation to fixpoint, batched one round at a time: collect
-  // every unit literal, then condition the whole clause set in a single
-  // pass. Variables that vanish because all their clauses got satisfied
-  // are accounted for with one before/after diff over the entire loop.
-  std::set<VarId> before_propagation;
-  std::set<VarId> assigned;
-  bool propagated = false;
-  for (;;) {
-    std::map<VarId, bool> units;
-    for (const Clause& clause : clauses) {
-      if (clause.size() == 1) {
-        auto [it, inserted] =
-            units.emplace(clause[0].variable, clause[0].positive);
-        if (!inserted && it->second != clause[0].positive) {
-          return BigRational(0);  // conflicting units
-        }
-      }
-    }
-    if (units.empty()) break;
-    if (!propagated) {
-      before_propagation = VariablesOf(clauses);
-      propagated = true;
-    }
-    stats_.unit_propagations += units.size();
-    for (const auto& [variable, positive] : units) {
-      factor *= weights_.LiteralWeight(variable, positive);
-      assigned.insert(variable);
-    }
-    std::vector<Clause> next;
-    next.reserve(clauses.size());
-    for (const Clause& clause : clauses) {
-      bool satisfied = false;
-      Clause reduced;
-      reduced.reserve(clause.size());
-      for (const Literal& l : clause) {
-        auto it = units.find(l.variable);
-        if (it == units.end()) {
-          reduced.push_back(l);
-        } else if (it->second == l.positive) {
-          satisfied = true;
-          break;
-        }
-      }
-      if (satisfied) continue;
-      if (reduced.empty()) return BigRational(0);
-      next.push_back(std::move(reduced));
-    }
-    clauses = std::move(next);
-    if (factor.IsZero()) {
-      // Zero annihilates; still sound to stop (counts multiply through).
-      return BigRational(0);
-    }
-  }
-  if (propagated) {
-    std::set<VarId> after = VariablesOf(clauses);
-    for (VarId v : before_propagation) {
-      if (!assigned.contains(v) && !after.contains(v)) {
-        factor *= weights_.Get(v).Total();
-      }
-    }
-    if (factor.IsZero()) return BigRational(0);
-  }
-  if (clauses.empty()) return factor;
+numeric::BigRational DpllCounter::CountResidual(
+    const std::vector<VarId>& candidates,
+    const std::vector<std::uint32_t>& parent_clauses) {
+  std::vector<Component> components;
+  std::vector<VarId> free_variables;
+  FindComponents(candidates, parent_clauses, &components, &free_variables);
 
-  // Component decomposition: partition clauses by shared variables.
-  if (options_.use_components) {
-    std::map<VarId, std::size_t> var_group;  // var -> clause-group root
-    std::vector<std::size_t> parent(clauses.size());
-    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
-    std::function<std::size_t(std::size_t)> find =
-        [&](std::size_t x) -> std::size_t {
-      while (parent[x] != x) {
-        parent[x] = parent[parent[x]];
-        x = parent[x];
-      }
-      return x;
-    };
-    auto unite = [&](std::size_t a, std::size_t b) {
-      a = find(a);
-      b = find(b);
-      if (a != b) parent[a] = b;
-    };
-    for (std::size_t i = 0; i < clauses.size(); ++i) {
-      for (const Literal& l : clauses[i]) {
-        auto it = var_group.find(l.variable);
-        if (it == var_group.end()) {
-          var_group.emplace(l.variable, i);
-        } else {
-          unite(it->second, i);
-        }
-      }
-    }
-    std::map<std::size_t, std::vector<Clause>> components;
-    for (std::size_t i = 0; i < clauses.size(); ++i) {
-      components[find(i)].push_back(clauses[i]);
-    }
-    if (components.size() > 1) {
-      ++stats_.component_splits;
-      BigRational product = factor;
-      for (auto& [root, component] : components) {
-        product *= CountComponentCached(std::move(component));
-        if (product.IsZero()) return product;
-      }
-      return product;
-    }
+  BigRational result(1);
+  for (VarId v : free_variables) {
+    result *= total_weight_[v];
+    if (result.IsZero()) break;
   }
-
-  // Branch on the most frequent variable.
-  std::map<VarId, std::size_t> occurrences;
-  for (const Clause& clause : clauses) {
-    for (const Literal& l : clause) ++occurrences[l.variable];
-  }
-  VarId best = occurrences.begin()->first;
-  std::size_t best_count = 0;
-  for (const auto& [v, count] : occurrences) {
-    if (count > best_count) {
-      best = v;
-      best_count = count;
-    }
-  }
-  ++stats_.decisions;
-
-  BigRational total;
-  std::set<VarId> before = VariablesOf(clauses);
-  for (bool value : {true, false}) {
-    Literal lit{best, value};
-    auto conditioned = Condition(clauses, lit);
-    if (!conditioned.has_value()) continue;
-    BigRational term = weights_.LiteralWeight(best, value);
-    if (!term.IsZero()) {
-      std::set<VarId> after = VariablesOf(*conditioned);
-      term *= CountClauses(std::move(*conditioned));
-      for (VarId v : before) {
-        if (v != best && !after.contains(v)) {
-          term *= weights_.Get(v).Total();
-        }
+  if (!result.IsZero() && !components.empty()) {
+    if (!options_.use_components && components.size() > 1) {
+      // Decomposition disabled: fuse everything back into one residual.
+      Component merged;
+      for (Component& component : components) {
+        merged.variables.insert(merged.variables.end(),
+                                component.variables.begin(),
+                                component.variables.end());
+        merged.clauses.insert(merged.clauses.end(),
+                              component.clauses.begin(),
+                              component.clauses.end());
+      }
+      std::sort(merged.variables.begin(), merged.variables.end());
+      std::sort(merged.clauses.begin(), merged.clauses.end());
+      result *= CountComponentCached(merged);
+    } else {
+      if (components.size() > 1) ++stats_.component_splits;
+      for (const Component& component : components) {
+        result *= CountComponentCached(component);
+        if (result.IsZero()) break;
       }
     }
-    total += term;
   }
-  return factor * total;
+  // Recycle the id-span buffers for later search nodes.
+  for (Component& component : components) {
+    component.variables.clear();
+    component.clauses.clear();
+    component_pool_.push_back(std::move(component));
+  }
+  return result;
 }
 
 numeric::BigRational DpllCounter::CountComponentCached(
-    std::vector<Clause> clauses) {
-  if (!options_.use_cache) return CountClauses(std::move(clauses));
-  std::string key = CanonicalKey(clauses);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    return it->second;
+    const Component& component) {
+  // A single-clause component has the closed form
+  //   Π_v (w_v + w̄_v)  −  Π_{lit} weight(¬lit)
+  // (all assignments minus the one falsifying the clause); computing it
+  // beats both branching and a cache round-trip, and such components are
+  // the bulk of what Tseitin-encoded lineages shatter into.
+  if (component.clauses.size() == 1) {
+    BigRational all(1);
+    BigRational falsifying(1);
+    for (Lit lit : compact_.Clause(component.clauses.front())) {
+      VarId v = LitVariable(lit);
+      if (trail_->IsAssigned(v)) continue;
+      all *= total_weight_[v];
+      falsifying *= weights_.LiteralWeight(v, !LitPositive(lit));
+    }
+    return all - falsifying;
   }
-  BigRational result = CountClauses(std::move(clauses));
-  cache_.emplace(std::move(key), result);
+  if (!options_.use_cache) return BranchOnComponent(component);
+  std::uint64_t hash = PackKey(component);
+  if (const BigRational* hit = cache_.Lookup(key_scratch_, hash)) {
+    ++stats_.cache_hits;
+    return *hit;
+  }
+  // Copy the scratch key out before recursing (nested lookups reuse it).
+  ComponentKey key = key_scratch_;
+  BigRational value = BranchOnComponent(component);
+  cache_.Insert(std::move(key), hash, value);
   stats_.cache_entries = cache_.size();
-  return result;
+  stats_.cache_collisions = cache_.collisions();
+  stats_.cache_evictions = cache_.evictions();
+  return value;
+}
+
+numeric::BigRational DpllCounter::BranchOnComponent(
+    const Component& component) {
+  VarId variable = PickBranchVariable(component);
+  ++stats_.decisions;
+  BigRational total;
+  for (bool value : {true, false}) {
+    const BigRational& weight = weights_.LiteralWeight(variable, value);
+    if (weight.IsZero()) continue;  // the whole branch carries factor 0
+    std::size_t mark = trail_->Mark();
+    if (trail_->AssignAndPropagate(MakeLit(variable, value),
+                                   &stats_.unit_propagations)) {
+      BigRational term = weight;
+      const std::vector<Lit>& trail = trail_->assignments();
+      for (std::size_t i = mark + 1; i < trail.size(); ++i) {
+        const BigRational& implied =
+            weights_.LiteralWeight(LitVariable(trail[i]), LitPositive(trail[i]));
+        if (!implied.IsOne()) term *= implied;
+      }
+      if (!term.IsZero()) {
+        std::vector<VarId> remaining;
+        remaining.reserve(component.variables.size());
+        for (VarId v : component.variables) {
+          if (!trail_->IsAssigned(v)) remaining.push_back(v);
+        }
+        term *= CountResidual(remaining, component.clauses);
+      }
+      total += term;
+    }
+    trail_->UndoTo(mark);
+  }
+  return total;
+}
+
+void DpllCounter::BumpEpoch() {
+  if (++epoch_ == 0) {  // wraparound: wipe every stamp and restart
+    std::fill(variable_stamp_.begin(), variable_stamp_.end(), 0);
+    std::fill(clause_mark_.begin(), clause_mark_.end(), ClauseMark{});
+    std::fill(score_stamp_.begin(), score_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+void DpllCounter::FindComponents(
+    const std::vector<VarId>& candidates,
+    const std::vector<std::uint32_t>& parent_clauses,
+    std::vector<Component>* components, std::vector<VarId>* free_variables) {
+  BumpEpoch();
+  std::vector<VarId> stack;
+  for (VarId seed : candidates) {
+    if (variable_stamp_[seed] == epoch_) continue;
+    variable_stamp_[seed] = epoch_;
+    Component component;
+    if (!component_pool_.empty()) {
+      component = std::move(component_pool_.back());
+      component_pool_.pop_back();
+    }
+    std::uint32_t component_index =
+        static_cast<std::uint32_t>(components->size());
+    bool has_clauses = false;
+    stack.assign(1, seed);
+    while (!stack.empty()) {
+      VarId v = stack.back();
+      stack.pop_back();
+      component.variables.push_back(v);
+      for (std::uint32_t clause : compact_.VariableOccurrences(v)) {
+        ClauseMark& mark = clause_mark_[clause];
+        if (mark.stamp == epoch_) continue;
+        if (trail_->ClauseSatisfied(clause)) continue;
+        mark = ClauseMark{epoch_, component_index};
+        has_clauses = true;
+        for (Lit lit : compact_.Clause(clause)) {
+          VarId other = LitVariable(lit);
+          if (variable_stamp_[other] == epoch_) continue;
+          variable_stamp_[other] = epoch_;
+          if (trail_->IsAssigned(other)) continue;  // stamped, not visited
+          stack.push_back(other);
+        }
+      }
+    }
+    if (!has_clauses) {
+      // All of the variable's clauses are satisfied: it is unconstrained
+      // in this residual and contributes (w + w̄) directly.
+      free_variables->push_back(seed);
+      component.variables.clear();
+      component_pool_.push_back(std::move(component));
+    } else {
+      components->push_back(std::move(component));
+    }
+  }
+  if (components->empty()) return;
+  // One sweep over the parent's (sorted) clause list hands every active
+  // clause to its component in ascending id order, so cache signatures
+  // are canonical without any per-component sort.
+  for (std::uint32_t clause : parent_clauses) {
+    if (clause_mark_[clause].stamp == epoch_) {
+      (*components)[clause_mark_[clause].component].clauses.push_back(clause);
+    }
+  }
+}
+
+prop::VarId DpllCounter::PickBranchVariable(const Component& component) {
+  // Dynamic literal-occurrence scores over the current component: branch
+  // on the variable constrained by the most active clauses, ties to the
+  // smallest id. (Weighting shorter clauses higher was tried and measured
+  // strictly worse on the grounded-lineage workloads.)
+  BumpEpoch();
+  VarId best = component.variables.front();
+  std::uint64_t best_score = 0;
+  for (std::uint32_t clause : component.clauses) {
+    for (Lit lit : compact_.Clause(clause)) {
+      VarId v = LitVariable(lit);
+      if (trail_->IsAssigned(v)) continue;
+      if (score_stamp_[v] != epoch_) {
+        score_stamp_[v] = epoch_;
+        score_[v] = 0;
+      }
+      ++score_[v];
+      if (score_[v] > best_score ||
+          (score_[v] == best_score && v < best)) {
+        best = v;
+        best_score = score_[v];
+      }
+    }
+  }
+  return best;
+}
+
+std::uint64_t DpllCounter::PackKey(const Component& component) {
+  ComponentKey& key = key_scratch_;
+  key.clear();
+  std::uint64_t state = ComponentHashInit();
+  for (std::uint32_t clause : component.clauses) {
+    for (Lit lit : compact_.Clause(clause)) {
+      if (!trail_->IsAssigned(LitVariable(lit))) {
+        key.push_back(lit);
+        state = ComponentHashStep(state, lit);
+      }
+    }
+    key.push_back(kComponentKeySeparator);
+    state = ComponentHashStep(state, kComponentKeySeparator);
+  }
+  return ComponentHashFinalize(state);
 }
 
 bool DpllCounter::IsSatisfiable(const prop::CnfFormula& cnf) {
-  std::vector<Clause> clauses = cnf.clauses;
-  // Recursive lambda: DPLL decision procedure.
-  std::function<bool(std::vector<Clause>)> solve =
-      [&solve](std::vector<Clause> current) -> bool {
-    // Unit propagation.
-    for (;;) {
-      const Clause* unit = nullptr;
-      for (const Clause& clause : current) {
-        if (clause.empty()) return false;
-        if (clause.size() == 1) {
-          unit = &clause;
-          break;
-        }
-      }
-      if (unit == nullptr) break;
-      auto conditioned = Condition(current, (*unit)[0]);
-      if (!conditioned.has_value()) return false;
-      current = std::move(*conditioned);
-    }
-    if (current.empty()) return true;
-    Literal lit = current[0][0];
-    auto positive = Condition(current, lit);
-    if (positive.has_value() && solve(std::move(*positive))) return true;
-    auto negative = Condition(current, lit.Negated());
-    return negative.has_value() && solve(std::move(*negative));
-  };
-  for (const Clause& clause : clauses) {
+  prop::CnfFormula normalized = cnf;
+  prop::NormalizeCnf(&normalized);
+  for (const Clause& clause : normalized.clauses) {
     if (clause.empty()) return false;
   }
-  return solve(std::move(clauses));
+  prop::CompactCnf compact = prop::CompactCnf::Build(normalized);
+  Trail trail(&compact);
+  std::uint64_t propagations = 0;
+  if (!trail.PropagateExistingUnits(&propagations)) return false;
+  std::function<bool()> solve = [&]() -> bool {
+    // Find an active clause; with none left, the assignment extends to a
+    // model.
+    std::uint32_t target = compact.clause_count();
+    for (std::uint32_t clause = 0; clause < compact.clause_count();
+         ++clause) {
+      if (!trail.ClauseSatisfied(clause)) {
+        target = clause;
+        break;
+      }
+    }
+    if (target == compact.clause_count()) return true;
+    Lit branch = 0;
+    for (Lit lit : compact.Clause(target)) {
+      if (!trail.IsAssigned(LitVariable(lit))) {
+        branch = lit;
+        break;
+      }
+    }
+    for (Lit lit : {branch, NegateLit(branch)}) {
+      std::size_t mark = trail.Mark();
+      if (trail.AssignAndPropagate(lit, &propagations) && solve()) {
+        return true;
+      }
+      trail.UndoTo(mark);
+    }
+    return false;
+  };
+  return solve();
 }
 
 numeric::BigRational CountWeightedModels(prop::CnfFormula cnf,

@@ -2,20 +2,30 @@
 #define SWFOMC_WMC_DPLL_COUNTER_H_
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
+#include <optional>
+#include <vector>
 
 #include "numeric/rational.h"
 #include "prop/cnf.h"
+#include "prop/compact_cnf.h"
+#include "wmc/component_cache.h"
+#include "wmc/trail.h"
 #include "wmc/weights.h"
 
 namespace swfomc::wmc {
 
 /// Exact weighted model counter over CNF: DPLL search with unit
 /// propagation, connected-component decomposition, and component caching
-/// (the architecture of Cachet / sharpSAT, simplified). This is the
-/// library's stand-in for the #SAT oracle the paper's reductions assume,
-/// and the engine behind the grounded (non-lifted) WFOMC baseline.
+/// (the architecture of Cachet / sharpSAT). This is the library's
+/// stand-in for the #SAT oracle the paper's reductions assume, and the
+/// engine behind the grounded (non-lifted) WFOMC baseline.
+///
+/// Internally the search is trail-based: the CNF is flattened once into a
+/// CompactCnf, conditioning updates per-clause counters through
+/// occurrence lists, and backtracking unwinds the assignment trail —
+/// clauses are never copied during search. Residual components are
+/// discovered by DFS over the occurrence lists restricted to unassigned
+/// variables and memoized in a bounded hashed ComponentCache.
 ///
 /// Counts are over *all* variables in [0, cnf.variable_count): a variable
 /// not constrained by any clause contributes a factor (w + w̄). Negative
@@ -26,8 +36,10 @@ class DpllCounter {
     /// Split residual formulas into variable-disjoint components and count
     /// them independently.
     bool use_components = true;
-    /// Memoize component counts keyed by their canonical form.
+    /// Memoize component counts keyed by their packed signature.
     bool use_cache = true;
+    /// Cache entry bound; the oldest entries are evicted past it.
+    std::size_t max_cache_entries = std::size_t{1} << 20;
   };
 
   struct Stats {
@@ -36,6 +48,8 @@ class DpllCounter {
     std::uint64_t component_splits = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_entries = 0;
+    std::uint64_t cache_collisions = 0;
+    std::uint64_t cache_evictions = 0;
   };
 
   DpllCounter(prop::CnfFormula cnf, WeightMap weights);
@@ -51,16 +65,68 @@ class DpllCounter {
   static bool IsSatisfiable(const prop::CnfFormula& cnf);
 
  private:
-  // Weighted count over the variables mentioned in `clauses` (only), of
-  // assignments satisfying all clauses.
-  numeric::BigRational CountClauses(std::vector<prop::Clause> clauses);
-  numeric::BigRational CountComponentCached(std::vector<prop::Clause> clauses);
+  /// A residual component: unassigned variables connected through active
+  /// clauses, as sorted id spans (no clause materialization).
+  struct Component {
+    std::vector<prop::VarId> variables;
+    std::vector<std::uint32_t> clauses;
+  };
+
+  // Weighted count of the residual formula over `candidates` (unassigned
+  // variables) and `parent_clauses` (sorted ids of the clauses that could
+  // still be active), assuming unit propagation has reached fixpoint:
+  // splits into components, counts free variables as (w + w̄), and
+  // multiplies the per-component counts.
+  numeric::BigRational CountResidual(
+      const std::vector<prop::VarId>& candidates,
+      const std::vector<std::uint32_t>& parent_clauses);
+  numeric::BigRational CountComponentCached(const Component& component);
+  numeric::BigRational BranchOnComponent(const Component& component);
+
+  // Partitions `candidates` into connected components and isolated
+  // (constraint-free) variables via DFS over the occurrence lists. Each
+  // component's clause list is assembled by one sweep over
+  // `parent_clauses`, inheriting its sorted order — no per-component
+  // sort.
+  void FindComponents(const std::vector<prop::VarId>& candidates,
+                      const std::vector<std::uint32_t>& parent_clauses,
+                      std::vector<Component>* components,
+                      std::vector<prop::VarId>* free_variables);
+  prop::VarId PickBranchVariable(const Component& component);
+  // Packs the component's signature into key_scratch_ and returns its
+  // 64-bit hash.
+  std::uint64_t PackKey(const Component& component);
 
   prop::CnfFormula cnf_;
   WeightMap weights_;
   Options options_;
   Stats stats_;
-  std::unordered_map<std::string, numeric::BigRational> cache_;
+  ComponentCache cache_;
+
+  // Search state, rebuilt by Count().
+  prop::CompactCnf compact_;
+  std::optional<Trail> trail_;
+  std::vector<numeric::BigRational> total_weight_;  // per-var w + w̄
+
+  // Epoch-stamped scratch for FindComponents / PickBranchVariable, so
+  // neither allocates per search node. 32-bit epochs keep the stamp
+  // arrays cache-friendly; on wraparound they are wiped and the epoch
+  // restarts (BumpEpoch).
+  void BumpEpoch();
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> variable_stamp_;
+  struct ClauseMark {
+    std::uint32_t stamp = 0;
+    std::uint32_t component = 0;  // valid when stamp matches epoch_
+  };
+  std::vector<ClauseMark> clause_mark_;
+  std::vector<std::uint32_t> score_stamp_;
+  std::vector<std::uint64_t> score_;
+
+  // Buffer pools: component id-spans and cache keys are recycled across
+  // search nodes instead of reallocated.
+  std::vector<Component> component_pool_;
+  ComponentKey key_scratch_;
 };
 
 /// One-shot convenience.

@@ -1,0 +1,112 @@
+#include "wmc/trail.h"
+
+namespace swfomc::wmc {
+
+using prop::Lit;
+using prop::LitPositive;
+using prop::LitVariable;
+using prop::NegateLit;
+using prop::VarId;
+
+Trail::Trail(const prop::CompactCnf* cnf)
+    : cnf_(cnf),
+      values_(cnf->variable_count(), kUnassigned),
+      satisfied_count_(cnf->clause_count(), 0),
+      free_count_(cnf->clause_count(), 0) {
+  trail_.reserve(cnf->variable_count());
+  for (std::uint32_t clause = 0; clause < cnf_->clause_count(); ++clause) {
+    free_count_[clause] = cnf_->ClauseSize(clause);
+  }
+}
+
+bool Trail::AssignOne(Lit lit) {
+  VarId variable = LitVariable(lit);
+  values_[variable] = LitPositive(lit) ? 1 : 0;
+  trail_.push_back(lit);
+  bool conflict = false;
+  for (std::uint32_t clause : cnf_->Occurrences(lit)) {
+    ++satisfied_count_[clause];
+  }
+  for (std::uint32_t clause : cnf_->Occurrences(NegateLit(lit))) {
+    std::uint32_t free = --free_count_[clause];
+    if (satisfied_count_[clause] != 0) continue;
+    if (free == 0) {
+      conflict = true;  // keep updating the remaining counters
+    } else if (free == 1) {
+      for (Lit candidate : cnf_->Clause(clause)) {
+        if (values_[LitVariable(candidate)] == kUnassigned) {
+          queue_.push_back(candidate);
+          break;
+        }
+      }
+    }
+  }
+  return !conflict;
+}
+
+bool Trail::DrainQueue(std::uint64_t* propagations) {
+  while (queue_head_ < queue_.size()) {
+    Lit lit = queue_[queue_head_++];
+    VarId variable = LitVariable(lit);
+    if (values_[variable] != kUnassigned) {
+      if (values_[variable] == (LitPositive(lit) ? 1 : 0)) continue;
+      queue_.clear();
+      queue_head_ = 0;
+      return false;  // forced both ways
+    }
+    ++*propagations;
+    if (!AssignOne(lit)) {
+      queue_.clear();
+      queue_head_ = 0;
+      return false;
+    }
+  }
+  queue_.clear();
+  queue_head_ = 0;
+  return true;
+}
+
+bool Trail::AssignAndPropagate(Lit decision, std::uint64_t* propagations) {
+  queue_.clear();
+  queue_head_ = 0;
+  if (!AssignOne(decision)) {
+    queue_.clear();
+    queue_head_ = 0;
+    return false;
+  }
+  return DrainQueue(propagations);
+}
+
+bool Trail::PropagateExistingUnits(std::uint64_t* propagations) {
+  queue_.clear();
+  queue_head_ = 0;
+  for (std::uint32_t clause = 0; clause < cnf_->clause_count(); ++clause) {
+    if (satisfied_count_[clause] != 0) continue;
+    if (free_count_[clause] == 0) return false;  // empty clause
+    if (free_count_[clause] == 1) {
+      for (Lit candidate : cnf_->Clause(clause)) {
+        if (values_[LitVariable(candidate)] == kUnassigned) {
+          queue_.push_back(candidate);
+          break;
+        }
+      }
+    }
+  }
+  return DrainQueue(propagations);
+}
+
+void Trail::UndoTo(std::size_t mark) {
+  while (trail_.size() > mark) {
+    Lit lit = trail_.back();
+    trail_.pop_back();
+    values_[LitVariable(lit)] = kUnassigned;
+    for (std::uint32_t clause : cnf_->Occurrences(lit)) {
+      --satisfied_count_[clause];
+    }
+    for (std::uint32_t clause : cnf_->Occurrences(NegateLit(lit))) {
+      ++free_count_[clause];
+    }
+  }
+}
+
+}  // namespace swfomc::wmc

@@ -105,6 +105,40 @@ TEST(CompositionTest, EarlyAbort) {
   EXPECT_EQ(count, 3u);
 }
 
+TEST(FactorialTableTest, MatchesFactorial) {
+  FactorialTable table;
+  // Out-of-order access exercises the incremental growth.
+  EXPECT_EQ(table.Get(5), Factorial(5));
+  EXPECT_EQ(table.Get(0), BigInt(1));
+  EXPECT_EQ(table.Get(20), Factorial(20));
+  EXPECT_EQ(table.Get(12), Factorial(12));
+  // Repeated access returns the identical cached value, and references
+  // stay valid while the table grows.
+  EXPECT_EQ(&table.Get(12), &table.Get(12));
+  const BigInt& twelve = table.Get(12);
+  table.Get(64);
+  EXPECT_EQ(twelve, Factorial(12));
+}
+
+TEST(BinomialTableTest, MatchesBinomial) {
+  BinomialTable table;
+  for (std::uint64_t n = 0; n <= 16; ++n) {
+    for (std::uint64_t k = 0; k <= n + 2; ++k) {
+      EXPECT_EQ(table.Get(n, k), Binomial(n, k)) << n << " choose " << k;
+    }
+  }
+  // Access far above previously built rows.
+  EXPECT_EQ(table.Get(40, 20), Binomial(40, 20));
+}
+
+TEST(BinomialTableTest, MultinomialMatchesFreeFunction) {
+  BinomialTable table;
+  EXPECT_EQ(table.Multinomial(6, {2, 2, 2}), Multinomial(6, {2, 2, 2}));
+  EXPECT_EQ(table.Multinomial(10, {10}), BigInt(1));
+  EXPECT_EQ(table.Multinomial(0, {}), BigInt(1));
+  EXPECT_THROW(table.Multinomial(5, {2, 2}), std::invalid_argument);
+}
+
 TEST(CompositionTest, ZeroParts) {
   std::uint64_t calls = 0;
   ForEachComposition(0, 0, [&](const std::vector<std::uint64_t>& c) {

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+#include "prop/compact_cnf.h"
 #include "prop/tseitin.h"
 #include "test_util.h"
 #include "wmc/brute_force.h"
+#include "wmc/component_cache.h"
 
 namespace swfomc::wmc {
 namespace {
@@ -167,6 +171,157 @@ TEST(DpllCounterTest, CountsViaTseitinPipeline) {
     EXPECT_EQ(CountWeightedModels(tseitin.cnf, extended), expected)
         << PropToString(f);
   }
+}
+
+TEST(DpllCounterTest, MatchesBruteForceLargerSeededRandom) {
+  // Differential oracle on larger instances than the quick checks above:
+  // mixed clause widths, negative weights, default (trail + components +
+  // cache) configuration.
+  std::mt19937_64 rng(47);
+  for (int trial = 0; trial < 60; ++trial) {
+    CnfFormula cnf = RandomCnf(&rng, 10, 8 + rng() % 16, 2 + rng() % 3);
+    WeightMap weights = RandomWeights(&rng, 10, /*allow_negative=*/true);
+    BigRational expected = BruteForceWMC(cnf, weights);
+    EXPECT_EQ(CountWeightedModels(cnf, weights), expected) << cnf.ToString();
+  }
+}
+
+TEST(DpllCounterTest, GroundedPipelineMatchesExhaustiveWFOMC) {
+  // End-to-end differential: lineage -> Tseitin -> counter vs exhaustive
+  // world enumeration, with non-trivial weights.
+  struct Case {
+    const char* sentence;
+    std::uint64_t n;
+  };
+  const Case cases[] = {
+      {"forall x forall y (R(x) | S(x,y) | T(y))", 2},
+      {"forall x exists y S(x,y)", 3},
+      {"exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", 2},
+  };
+  for (const Case& c : cases) {
+    logic::Vocabulary vocab;
+    logic::Formula phi = logic::Parse(c.sentence, &vocab);
+    for (logic::RelationId id = 0; id < vocab.size(); ++id) {
+      vocab.SetWeights(id, BigRational(2), BigRational::Fraction(1, 3));
+    }
+    EXPECT_EQ(grounding::GroundedWFOMC(phi, vocab, c.n),
+              grounding::ExhaustiveWFOMC(phi, vocab, c.n))
+        << c.sentence << " n=" << c.n;
+  }
+}
+
+TEST(DpllCounterTest, CacheSoundnessOnGroundedLineage) {
+  // All four option combinations must agree on an instance too large for
+  // brute force (grounded triangle lineage, 463 models at n=3).
+  logic::Vocabulary vocab;
+  logic::Formula phi = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocab);
+  for (bool components : {false, true}) {
+    for (bool cache : {false, true}) {
+      DpllCounter::Options options;
+      options.use_components = components;
+      options.use_cache = cache;
+      EXPECT_EQ(grounding::GroundedWFOMC(phi, vocab, 3, options),
+                BigRational(463))
+          << "components=" << components << " cache=" << cache;
+    }
+  }
+}
+
+TEST(DpllCounterTest, CacheHitsOnRepeatedSuffixChains) {
+  // A path (x_i | x_{i+1}): branching at the frontier leaves suffix
+  // chains that recur across branches, so the component cache must score
+  // hits; the count is the Fibonacci number F(18) = 2584.
+  CnfFormula cnf;
+  cnf.variable_count = 16;
+  for (VarId v = 0; v + 1 < 16; ++v) {
+    cnf.clauses.push_back({Literal{v, true}, Literal{VarId(v + 1), true}});
+  }
+  DpllCounter counter(cnf, WeightMap(16));
+  EXPECT_EQ(counter.Count(), BigRational(2584));
+  EXPECT_GT(counter.stats().cache_hits, 0u);
+  EXPECT_GT(counter.stats().cache_entries, 0u);
+}
+
+TEST(DpllCounterTest, StatsReportCacheActivityOnGroundedLineage) {
+  logic::Vocabulary vocab;
+  logic::Formula phi = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocab);
+  DpllCounter::Stats stats;
+  grounding::GroundedWFOMC(phi, vocab, 3, {}, &stats);
+  EXPECT_GT(stats.decisions, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_entries, 0u);
+  EXPECT_EQ(stats.cache_evictions, 0u);  // far below the entry bound
+}
+
+TEST(DpllCounterTest, CacheEntryBoundEvicts) {
+  // With a tiny bound the counter must stay exact and record evictions.
+  CnfFormula cnf;
+  cnf.variable_count = 16;
+  for (VarId v = 0; v + 1 < 16; ++v) {
+    cnf.clauses.push_back({Literal{v, true}, Literal{VarId(v + 1), true}});
+  }
+  DpllCounter::Options options;
+  options.max_cache_entries = 2;
+  DpllCounter counter(cnf, WeightMap(16), options);
+  EXPECT_EQ(counter.Count(), BigRational(2584));
+  EXPECT_LE(counter.stats().cache_entries, 2u);
+  EXPECT_GT(counter.stats().cache_evictions, 0u);
+}
+
+TEST(ComponentCacheTest, LookupInsertAndCollisionHandling) {
+  ComponentCache cache(/*max_entries=*/2);
+  ComponentKey a{1, 2, kComponentKeySeparator};
+  ComponentKey b{3, 4, kComponentKeySeparator};
+  std::uint64_t hash = HashComponentKey(a);
+  EXPECT_EQ(cache.Lookup(a, hash), nullptr);
+  cache.Insert(a, hash, BigRational(7));
+  ASSERT_NE(cache.Lookup(a, hash), nullptr);
+  EXPECT_EQ(*cache.Lookup(a, hash), BigRational(7));
+  // Same hash, different key: counts a collision, reads as a miss.
+  EXPECT_EQ(cache.Lookup(b, hash), nullptr);
+  EXPECT_EQ(cache.collisions(), 1u);
+  // The bound evicts the oldest entry.
+  cache.Insert(ComponentKey{5}, HashComponentKey({5}), BigRational(1));
+  cache.Insert(ComponentKey{6}, HashComponentKey({6}), BigRational(2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(a, hash), nullptr);  // oldest entry gone
+}
+
+TEST(CompactCnfTest, LiteralEncodingRoundTrip) {
+  using prop::LitPositive;
+  using prop::LitVariable;
+  using prop::MakeLit;
+  using prop::NegateLit;
+  prop::Lit lit = MakeLit(7, true);
+  EXPECT_EQ(LitVariable(lit), 7u);
+  EXPECT_TRUE(LitPositive(lit));
+  EXPECT_EQ(LitVariable(NegateLit(lit)), 7u);
+  EXPECT_FALSE(LitPositive(NegateLit(lit)));
+  EXPECT_EQ(NegateLit(NegateLit(lit)), lit);
+}
+
+TEST(CompactCnfTest, OccurrenceListsMatchClauses) {
+  CnfFormula cnf;
+  cnf.variable_count = 3;
+  cnf.clauses = {{Literal{0, true}, Literal{1, false}},
+                 {Literal{1, false}, Literal{2, true}},
+                 {Literal{0, true}}};
+  prop::CompactCnf compact = prop::CompactCnf::Build(cnf);
+  EXPECT_EQ(compact.clause_count(), 3u);
+  EXPECT_EQ(compact.ClauseSize(0), 2u);
+  EXPECT_EQ(compact.ClauseSize(2), 1u);
+  auto occ_x0 = compact.Occurrences(prop::MakeLit(0, true));
+  ASSERT_EQ(occ_x0.size(), 2u);
+  EXPECT_EQ(occ_x0[0], 0u);
+  EXPECT_EQ(occ_x0[1], 2u);
+  auto occ_not_x1 = compact.Occurrences(prop::MakeLit(1, false));
+  ASSERT_EQ(occ_not_x1.size(), 2u);
+  EXPECT_TRUE(compact.Mentions(2));
+  EXPECT_EQ(compact.Occurrences(prop::MakeLit(2, false)).size(), 0u);
+  EXPECT_EQ(compact.VariableOccurrences(1).size(), 2u);
 }
 
 TEST(DpllSatTest, SatisfiabilityBasics) {
