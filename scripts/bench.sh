@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
-# Perf-trajectory recorder: runs the WMC ablation and Table 1 benchmark
-# drivers with JSON output and folds both reports into BENCH_wmc.json, so
-# successive PRs have hard numbers to compare against.
+# Perf-trajectory recorder: runs the WMC ablation, Table 1, and sweep
+# benchmark drivers with JSON output and folds the reports into
+# BENCH_wmc.json, so successive PRs have hard numbers to compare against.
 #
 # Usage: scripts/bench.sh [build-dir]
-#   BENCH_MIN_TIME=0.01 scripts/bench.sh   # CI smoke: one iteration each
-#   BENCH_OUT=/tmp/b.json scripts/bench.sh # write elsewhere
+#   BENCH_MIN_TIME=0.01 scripts/bench.sh       # CI smoke: one iteration each
+#   BENCH_OUT=/tmp/b.json scripts/bench.sh     # write elsewhere
+#   SWFOMC_BENCH_THREADS=8 scripts/bench.sh    # thread count for
+#                                              # bench_sweep's pooled rows
+#                                              # (default 4; the ablation's
+#                                              # thread rows are fixed at
+#                                              # 1/2/4; speedups need
+#                                              # multi-core hardware)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 OUT="${BENCH_OUT:-BENCH_wmc.json}"
+export SWFOMC_BENCH_THREADS="${SWFOMC_BENCH_THREADS:-4}"
 
-for bench in bench_wmc_ablation bench_table1; do
+BENCHES=(bench_wmc_ablation bench_table1 bench_sweep)
+
+for bench in "${BENCHES[@]}"; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then
     echo "error: $BUILD_DIR/bench/$bench not built (run cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -23,8 +32,8 @@ done
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-for bench in bench_wmc_ablation bench_table1; do
-  echo "running $bench (min_time=${MIN_TIME}s)..."
+for bench in "${BENCHES[@]}"; do
+  echo "running $bench (min_time=${MIN_TIME}s, threads=${SWFOMC_BENCH_THREADS})..."
   "$BUILD_DIR/bench/$bench" \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_out="$tmp/$bench.json" \
@@ -32,10 +41,14 @@ for bench in bench_wmc_ablation bench_table1; do
 done
 
 {
-  printf '{\n"bench_wmc_ablation":\n'
-  cat "$tmp/bench_wmc_ablation.json"
-  printf ',\n"bench_table1":\n'
-  cat "$tmp/bench_table1.json"
+  printf '{\n'
+  first=1
+  for bench in "${BENCHES[@]}"; do
+    if [[ $first -eq 0 ]]; then printf ',\n'; fi
+    first=0
+    printf '"%s":\n' "$bench"
+    cat "$tmp/$bench.json"
+  done
   printf '}\n'
 } > "$OUT"
 

@@ -1,13 +1,17 @@
 #include "api/engine.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "cq/acyclicity.h"
 #include "cq/gamma_evaluator.h"
 #include "fo2/cell_algorithm.h"
+#include "fo2/fo2_normal_form.h"
 #include "grounding/grounded_wfomc.h"
 #include "logic/parser.h"
+#include "numeric/combinatorics.h"
 #include "reductions/spectrum.h"
+#include "runtime/thread_pool.h"
 
 namespace swfomc::api {
 
@@ -53,6 +57,34 @@ std::optional<cq::ConjunctiveQuery> AsConjunctiveQuery(
   return query;
 }
 
+// The γ-acyclic evaluator's inputs, extracted once per call: the
+// conjunctive query plus each relation's weight pair. Shared by WFOMC
+// and WFOMCSweep so their fragment checks and weight handling cannot
+// diverge. Throws std::invalid_argument (prefixed with `who`) when the
+// sentence is not a conjunctive query.
+struct GammaQueryInputs {
+  cq::ConjunctiveQuery query;
+  std::map<std::string, std::pair<BigRational, BigRational>> weights;
+};
+
+GammaQueryInputs RequireGammaAcyclicQuery(const Formula& sentence,
+                                          const logic::Vocabulary& vocabulary,
+                                          const char* who) {
+  auto query = AsConjunctiveQuery(sentence, vocabulary);
+  if (!query.has_value()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": sentence is not a conjunctive query");
+  }
+  GammaQueryInputs inputs;
+  for (const auto& atom : query->atoms()) {
+    logic::RelationId id = vocabulary.Require(atom.relation);
+    inputs.weights[atom.relation] = {vocabulary.positive_weight(id),
+                                     vocabulary.negative_weight(id)};
+  }
+  inputs.query = *std::move(query);
+  return inputs;
+}
+
 // Forces every relation's weights to (1, 1) for the lifetime of the
 // guard; the original vocabulary is restored on scope exit, including
 // when the guarded computation throws.
@@ -87,7 +119,10 @@ const char* ToString(Method method) {
 }
 
 Engine::Engine(logic::Vocabulary vocabulary)
-    : vocabulary_(std::move(vocabulary)) {}
+    : Engine(std::move(vocabulary), Options{}) {}
+
+Engine::Engine(logic::Vocabulary vocabulary, Options options)
+    : vocabulary_(std::move(vocabulary)), options_(options) {}
 
 logic::Formula Engine::Parse(const std::string& text) {
   return logic::Parse(text, &vocabulary_);
@@ -142,28 +177,103 @@ Engine::Result Engine::WFOMC(const logic::Formula& sentence,
       result.value = fo2::LiftedWFOMC(sentence, vocabulary_, domain_size);
       return result;
     case Method::kGammaAcyclic: {
-      auto query = AsConjunctiveQuery(sentence, vocabulary_);
-      if (!query.has_value()) {
-        throw std::invalid_argument(
-            "Engine::WFOMC: sentence is not a conjunctive query");
-      }
-      std::map<std::string, std::pair<BigRational, BigRational>> weights;
-      for (const auto& atom : query->atoms()) {
-        logic::RelationId id = vocabulary_.Require(atom.relation);
-        weights[atom.relation] = {vocabulary_.positive_weight(id),
-                                  vocabulary_.negative_weight(id)};
-      }
-      result.value = cq::GammaAcyclicWFOMC(*query, domain_size, weights);
+      auto [query, weights] =
+          RequireGammaAcyclicQuery(sentence, vocabulary_, "Engine::WFOMC");
+      result.value = cq::GammaAcyclicWFOMC(query, domain_size, weights);
       return result;
     }
-    case Method::kGrounded:
-      result.value =
-          grounding::GroundedWFOMC(sentence, vocabulary_, domain_size);
+    case Method::kGrounded: {
+      wmc::DpllCounter::Options counter_options;
+      counter_options.num_threads = options_.num_threads;
+      result.value = grounding::GroundedWFOMC(sentence, vocabulary_,
+                                              domain_size, counter_options);
       return result;
+    }
     case Method::kAuto:
       break;
   }
   throw std::logic_error("Engine::WFOMC: unreachable");
+}
+
+Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
+                                       std::uint64_t n_lo, std::uint64_t n_hi,
+                                       Method method) {
+  if (n_lo > n_hi) {
+    throw std::invalid_argument("Engine::WFOMCSweep: n_lo > n_hi");
+  }
+  if (method == Method::kAuto) method = Route(sentence);
+  SweepResult sweep;
+  sweep.method = method;
+  sweep.points.resize(static_cast<std::size_t>(n_hi - n_lo + 1));
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    sweep.points[i].domain_size = n_lo + i;
+  }
+  switch (method) {
+    case Method::kLiftedFO2: {
+      // One normal-form construction and one Pascal-row table for the
+      // whole sweep; each point still runs the full composition sum. The
+      // form is built lazily at the first n >= 1 point so a sweep that
+      // only touches n = 0 behaves exactly like the per-point WFOMC call
+      // (which evaluates n = 0 directly, without the normal form).
+      std::optional<fo2::UniversalForm> form;
+      numeric::BinomialTable binomials;
+      for (SweepPoint& point : sweep.points) {
+        if (point.domain_size == 0) {
+          point.value = fo2::LiftedWFOMC(sentence, vocabulary_, 0);
+          continue;
+        }
+        if (!form.has_value()) {
+          form = fo2::ToUniversalForm(sentence, vocabulary_);
+        }
+        point.value =
+            fo2::CellAlgorithmWFOMC(*form, point.domain_size, &binomials);
+      }
+      return sweep;
+    }
+    case Method::kGammaAcyclic: {
+      auto [query, weights] =
+          RequireGammaAcyclicQuery(sentence, vocabulary_, "Engine::WFOMCSweep");
+      for (SweepPoint& point : sweep.points) {
+        point.value =
+            cq::GammaAcyclicWFOMC(query, point.domain_size, weights);
+      }
+      return sweep;
+    }
+    case Method::kGrounded: {
+      // Sweep points are independent grounded counts, so they run
+      // concurrently on the pool (each point's counter stays sequential —
+      // cross-point parallelism already saturates the workers, and one
+      // pool level keeps the schedule simple). Counts are exact, so the
+      // assembled result is bit-identical to the sequential loop.
+      unsigned threads =
+          runtime::ThreadPool::ResolveThreadCount(options_.num_threads);
+      if (threads <= 1 || sweep.points.size() == 1) {
+        // Sequential across points — but forward num_threads so a
+        // single-point sweep still parallelizes *inside* the counter,
+        // exactly like the equivalent WFOMC call.
+        wmc::DpllCounter::Options counter_options;
+        counter_options.num_threads = options_.num_threads;
+        for (SweepPoint& point : sweep.points) {
+          point.value = grounding::GroundedWFOMC(
+              sentence, vocabulary_, point.domain_size, counter_options);
+        }
+        return sweep;
+      }
+      runtime::ThreadPool pool(threads);
+      runtime::TaskGroup group(&pool);
+      for (SweepPoint& point : sweep.points) {
+        group.Submit([this, &sentence, &point] {
+          point.value = grounding::GroundedWFOMC(sentence, vocabulary_,
+                                                 point.domain_size);
+        });
+      }
+      group.Wait();
+      return sweep;
+    }
+    case Method::kAuto:
+      break;
+  }
+  throw std::logic_error("Engine::WFOMCSweep: unreachable");
 }
 
 numeric::BigInt Engine::FOMC(const logic::Formula& sentence,

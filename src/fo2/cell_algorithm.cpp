@@ -297,6 +297,14 @@ BigRational SolveWithShannon(Formula matrix,
 numeric::BigRational CellAlgorithmWFOMC(const UniversalForm& form,
                                         std::uint64_t domain_size,
                                         CellStats* stats) {
+  numeric::BinomialTable binomials;
+  return CellAlgorithmWFOMC(form, domain_size, &binomials, stats);
+}
+
+numeric::BigRational CellAlgorithmWFOMC(const UniversalForm& form,
+                                        std::uint64_t domain_size,
+                                        numeric::BinomialTable* binomials,
+                                        CellStats* stats) {
   if (domain_size == 0) {
     // Over the empty domain the lineage of ∀x∀y ψ is `true`, so the count
     // is the sum over the 0-ary predicates' assignments = Π_0-ary (w + w̄).
@@ -318,9 +326,8 @@ numeric::BigRational CellAlgorithmWFOMC(const UniversalForm& form,
     if (form.vocabulary.arity(id) == 0) zeroary.push_back(id);
   }
   if (stats != nullptr) stats->zeroary_predicates = zeroary.size();
-  numeric::BinomialTable binomials;
   return SolveWithShannon(form.matrix, form.vocabulary, zeroary, 0,
-                          domain_size, &binomials, stats);
+                          domain_size, binomials, stats);
 }
 
 numeric::BigRational LiftedWFOMC(const logic::Formula& sentence,

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "fo2/fo2_normal_form.h"
+#include "numeric/combinatorics.h"
 #include "numeric/rational.h"
 
 namespace swfomc::fo2 {
@@ -34,6 +35,14 @@ struct CellStats {
 /// O(n^{C-1}) terms with C a sentence-only constant.
 numeric::BigRational CellAlgorithmWFOMC(const UniversalForm& form,
                                         std::uint64_t domain_size,
+                                        CellStats* stats = nullptr);
+
+/// Same algorithm with a caller-owned binomial table, so a sweep over
+/// domain sizes builds each Pascal row once instead of once per point
+/// (Engine::WFOMCSweep reuses one table for the whole sweep).
+numeric::BigRational CellAlgorithmWFOMC(const UniversalForm& form,
+                                        std::uint64_t domain_size,
+                                        numeric::BinomialTable* binomials,
                                         CellStats* stats = nullptr);
 
 /// End-to-end symmetric WFOMC for an FO² sentence: normal form + cell

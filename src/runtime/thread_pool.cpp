@@ -1,0 +1,156 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+namespace swfomc::runtime {
+
+namespace {
+
+// Which pool deque the current thread owns: workers_ index + 1, or 0 for
+// every external thread (the shared deque). thread_local rather than a
+// member so nested pools on one thread stay well-defined — each pool
+// indexes its own deque vector with the same slot number.
+thread_local std::size_t current_slot = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  std::size_t workers = thread_count > 1 ? thread_count - 1 : 0;
+  deques_.resize(workers + 1);  // slot 0 is the external/shared deque
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+unsigned ThreadPool::ResolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : hardware;
+}
+
+void ThreadPool::Push(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t slot = current_slot < deques_.size() ? current_slot : 0;
+    if (slot == 0) {
+      // External thread: spread tasks round-robin so workers start on
+      // distinct deques.
+      slot = deques_.size() > 1 ? 1 + next_victim_++ % (deques_.size() - 1)
+                                : 0;
+    }
+    deques_[slot].push_back(std::move(task));
+    ++pending_;
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_ == 0) return false;
+    std::size_t own = current_slot < deques_.size() ? current_slot : 0;
+    if (!deques_[own].empty()) {
+      // Own deque: LIFO — resume the most recently forked (cache-warm)
+      // subproblem.
+      task = std::move(deques_[own].back());
+      deques_[own].pop_back();
+    } else {
+      // Steal: FIFO from another deque — take the oldest fork, which is
+      // the coarsest-grained work available.
+      for (std::size_t i = 1; i <= deques_.size(); ++i) {
+        std::size_t victim = (own + i) % deques_.size();
+        if (!deques_[victim].empty()) {
+          task = std::move(deques_[victim].front());
+          deques_[victim].pop_front();
+          break;
+        }
+      }
+    }
+    --pending_;
+  }
+  Execute(std::move(task));
+  return true;
+}
+
+void ThreadPool::Execute(Task task) {
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  task.group->OnTaskDone(std::move(error));
+}
+
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  current_slot = worker_index;
+  while (true) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_available_.wait(lock,
+                         [this] { return pending_ != 0 || shutting_down_; });
+    if (pending_ == 0 && shutting_down_) return;
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // Destructor join: the exception already escaped a task and the owner
+    // never called Wait(); dropping it beats std::terminate.
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_;
+  }
+  pool_->Push(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::Wait() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (outstanding_ == 0) break;
+    }
+    if (pool_->RunOneTask()) continue;
+    // Nothing runnable anywhere: the remaining tasks of this group are
+    // executing on other threads, and only this (blocked) thread could
+    // submit more to the group — so sleep until the count drains and be
+    // done. Work those tasks spawn belongs to nested groups, which help
+    // themselves on their own threads.
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return outstanding_ == 0; });
+    break;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error_ != nullptr) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::OnTaskDone(std::exception_ptr error) {
+  // Notify *inside* the lock: the waiter may destroy this TaskGroup the
+  // moment it observes outstanding_ == 0 under the mutex, so an unlocked
+  // notify here would race the condition variable's destruction.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (error != nullptr && error_ == nullptr) error_ = std::move(error);
+  if (--outstanding_ == 0) all_done_.notify_all();
+}
+
+}  // namespace swfomc::runtime

@@ -13,24 +13,16 @@ std::uint64_t HashComponentKey(const ComponentKey& key) {
 ComponentCache::ComponentCache(std::size_t max_entries)
     : max_entries_(max_entries) {}
 
-const numeric::BigRational* ComponentCache::Lookup(const ComponentKey& key,
-                                                   std::uint64_t hash) {
-  auto it = entries_.find(hash);
-  if (it == entries_.end()) return nullptr;
-  if (it->second.key != key) {
-    ++collisions_;
-    return nullptr;
-  }
-  return &it->second.value;
-}
-
 void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
                             numeric::BigRational value) {
   if (max_entries_ == 0) return;
+  ++insertions_;
   auto it = entries_.find(hash);
   if (it != entries_.end()) {
-    // Hash collision with a different key (Lookup missed): keep the fresh
-    // entry, which the search is more likely to revisit.
+    // Hash collision with a different key (Lookup missed), or a second
+    // worker racing us to the same key: keep the fresh entry. Same-key
+    // replacement stores the identical value — counts are determined by
+    // their keys — so this is benign either way.
     it->second = Entry{std::move(key), std::move(value)};
     return;
   }
@@ -42,5 +34,53 @@ void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
   insertion_order_.push_back(hash);
   entries_.emplace(hash, Entry{std::move(key), std::move(value)});
 }
+
+namespace {
+
+std::size_t RoundUpPowerOfTwo(std::size_t value) {
+  std::size_t result = 1;
+  while (result < value) result <<= 1;
+  return result;
+}
+
+}  // namespace
+
+ShardedComponentCache::ShardedComponentCache(std::size_t max_entries,
+                                             std::size_t shard_count,
+                                             bool synchronized)
+    : synchronized_(synchronized) {
+  std::size_t shards = RoundUpPowerOfTwo(shard_count == 0 ? 1 : shard_count);
+  // max_entries is a *global* bound: with fewer entries than requested
+  // shards, drop the shard count (more stripes than entries buys nothing)
+  // rather than rounding every shard up to 1 and overshooting the bound.
+  while (shards > 1 && max_entries / shards == 0) shards /= 2;
+  shard_mask_ = shards - 1;
+  std::size_t per_shard = max_entries / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+#define SWFOMC_CACHE_AGGREGATE(method, type)                       \
+  type ShardedComponentCache::method() const {                     \
+    type total = 0;                                                \
+    for (const std::unique_ptr<Shard>& shard : shards_) {          \
+      std::unique_lock<std::mutex> lock(shard->mutex,              \
+                                        std::defer_lock);          \
+      if (synchronized_) lock.lock();                              \
+      total += shard->cache.method();                              \
+    }                                                              \
+    return total;                                                  \
+  }
+
+SWFOMC_CACHE_AGGREGATE(size, std::size_t)
+SWFOMC_CACHE_AGGREGATE(lookups, std::uint64_t)
+SWFOMC_CACHE_AGGREGATE(hits, std::uint64_t)
+SWFOMC_CACHE_AGGREGATE(collisions, std::uint64_t)
+SWFOMC_CACHE_AGGREGATE(insertions, std::uint64_t)
+SWFOMC_CACHE_AGGREGATE(evictions, std::uint64_t)
+
+#undef SWFOMC_CACHE_AGGREGATE
 
 }  // namespace swfomc::wmc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 namespace swfomc::wmc {
 
@@ -16,6 +17,23 @@ using prop::MakeLit;
 using prop::NegateLit;
 using prop::VarId;
 
+// Cache stripes in parallel mode: enough that workers rarely collide on a
+// mutex, few enough that the per-shard FIFO bound stays meaningful.
+constexpr std::size_t kParallelCacheShards = 16;
+
+// Fork budget per Count() as a multiple of the worker count: bounds the
+// total trail-snapshot/scratch cost while leaving plenty of tasks to
+// steal. Once spent, the search continues sequentially in every branch.
+constexpr std::uint64_t kForksPerThread = 32;
+
+// Adds the search-side counters (cache counters come from the cache).
+void AddSearchStats(DpllCounter::Stats* into, const DpllCounter::Stats& from) {
+  into->decisions += from.decisions;
+  into->unit_propagations += from.unit_propagations;
+  into->component_splits += from.component_splits;
+  into->parallel_forks += from.parallel_forks;
+}
+
 }  // namespace
 
 DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights)
@@ -26,64 +44,123 @@ DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights,
     : cnf_(std::move(cnf)),
       weights_(std::move(weights)),
       options_(options),
-      cache_(options.max_cache_entries) {
+      // Parallelism forks independent components, so it needs
+      // decomposition on; without it the counter stays sequential.
+      effective_threads_(
+          options.use_components
+              ? runtime::ThreadPool::ResolveThreadCount(options.num_threads)
+              : 1),
+      cache_(options.max_cache_entries,
+             effective_threads_ > 1 ? kParallelCacheShards : 1,
+             /*synchronized=*/effective_threads_ > 1),
+      local_cache_(cache_.LocalShard()) {
   weights_.EnsureSize(cnf_.variable_count);
 }
 
+void DpllCounter::InitContext(SearchContext* ctx) const {
+  ctx->epoch = 0;
+  ctx->variable_stamp.assign(cnf_.variable_count, 0);
+  ctx->clause_mark.assign(compact_.clause_count(), ClauseMark{});
+  ctx->score_stamp.assign(cnf_.variable_count, 0);
+  ctx->score.assign(cnf_.variable_count, 0);
+}
+
 numeric::BigRational DpllCounter::Count() {
-  prop::NormalizeCnf(&cnf_);
-  for (const Clause& clause : cnf_.clauses) {
-    if (clause.empty()) return BigRational(0);
-  }
-  compact_ = prop::CompactCnf::Build(cnf_);
-  trail_.emplace(&compact_);
-  total_weight_.clear();
-  total_weight_.reserve(cnf_.variable_count);
-  for (VarId v = 0; v < cnf_.variable_count; ++v) {
-    total_weight_.push_back(weights_.Get(v).Total());
-  }
-  epoch_ = 0;
-  variable_stamp_.assign(cnf_.variable_count, 0);
-  clause_mark_.assign(compact_.clause_count(), ClauseMark{});
-  score_stamp_.assign(cnf_.variable_count, 0);
-  score_.assign(cnf_.variable_count, 0);
-
-  if (!trail_->PropagateExistingUnits(&stats_.unit_propagations)) {
-    return BigRational(0);
-  }
-  BigRational result(1);
-  for (Lit lit : trail_->assignments()) {
-    const BigRational& weight =
-        weights_.LiteralWeight(LitVariable(lit), LitPositive(lit));
-    if (!weight.IsOne()) result *= weight;
-  }
-  if (result.IsZero()) return result;
-
-  std::vector<VarId> candidates;
-  candidates.reserve(cnf_.variable_count);
-  for (VarId v = 0; v < cnf_.variable_count; ++v) {
-    if (trail_->IsAssigned(v)) continue;
-    if (compact_.Mentions(v)) {
-      candidates.push_back(v);
-    } else {
-      // Never constrained by any clause: free (w + w̄) factor.
-      result *= total_weight_[v];
+  stats_ = Stats{};
+  SnapshotCacheBaseline();
+  forks_spawned_.store(0, std::memory_order_relaxed);
+  SearchContext root;
+  // The counting core; root's counters and the cache's are folded into
+  // stats_ on exit no matter which path returns.
+  BigRational result = [&]() -> BigRational {
+    prop::NormalizeCnf(&cnf_);
+    for (const Clause& clause : cnf_.clauses) {
+      if (clause.empty()) return BigRational(0);
     }
-  }
-  if (result.IsZero()) return result;
-  std::vector<std::uint32_t> all_clauses(compact_.clause_count());
-  for (std::uint32_t c = 0; c < compact_.clause_count(); ++c) {
-    all_clauses[c] = c;
-  }
-  return result * CountResidual(candidates, all_clauses);
+    compact_ = prop::CompactCnf::Build(cnf_);
+    total_weight_.clear();
+    total_weight_.reserve(cnf_.variable_count);
+    for (VarId v = 0; v < cnf_.variable_count; ++v) {
+      total_weight_.push_back(weights_.Get(v).Total());
+    }
+    if (effective_threads_ > 1) {
+      pool_ = std::make_unique<runtime::ThreadPool>(effective_threads_);
+      fork_budget_ = static_cast<std::uint64_t>(effective_threads_) *
+                     kForksPerThread;
+    }
+    InitContext(&root);
+    root.trail.emplace(&compact_);
+
+    if (!root.trail->PropagateExistingUnits(&root.stats.unit_propagations)) {
+      return BigRational(0);
+    }
+    BigRational result(1);
+    for (Lit lit : root.trail->assignments()) {
+      const BigRational& weight =
+          weights_.LiteralWeight(LitVariable(lit), LitPositive(lit));
+      if (!weight.IsOne()) result *= weight;
+    }
+    if (result.IsZero()) return result;
+
+    std::vector<VarId> candidates;
+    candidates.reserve(cnf_.variable_count);
+    for (VarId v = 0; v < cnf_.variable_count; ++v) {
+      if (root.trail->IsAssigned(v)) continue;
+      if (compact_.Mentions(v)) {
+        candidates.push_back(v);
+      } else {
+        // Never constrained by any clause: free (w + w̄) factor.
+        result *= total_weight_[v];
+      }
+    }
+    if (result.IsZero()) return result;
+    std::vector<std::uint32_t> all_clauses(compact_.clause_count());
+    for (std::uint32_t c = 0; c < compact_.clause_count(); ++c) {
+      all_clauses[c] = c;
+    }
+    return result * CountResidual(&root, candidates, all_clauses);
+  }();
+  pool_.reset();
+  MergeContextStats(root.stats);
+  FinalizeStats();
+  return result;
+}
+
+void DpllCounter::MergeContextStats(const Stats& stats) {
+  AddSearchStats(&stats_, stats);
+}
+
+void DpllCounter::SnapshotCacheBaseline() {
+  cache_baseline_.cache_lookups = cache_.lookups();
+  cache_baseline_.cache_hits = cache_.hits();
+  cache_baseline_.cache_collisions = cache_.collisions();
+  cache_baseline_.cache_insertions = cache_.insertions();
+  cache_baseline_.cache_evictions = cache_.evictions();
+}
+
+void DpllCounter::FinalizeStats() {
+  // Deltas against the Count()-entry baseline, so repeated Count() calls
+  // report per-invocation counters even though the cache (and its
+  // cumulative totals) persist across calls. cache_entries is a level,
+  // not a counter, and stays absolute.
+  stats_.cache_lookups = cache_.lookups() - cache_baseline_.cache_lookups;
+  stats_.cache_hits = cache_.hits() - cache_baseline_.cache_hits;
+  stats_.cache_entries = cache_.size();
+  stats_.cache_collisions =
+      cache_.collisions() - cache_baseline_.cache_collisions;
+  stats_.cache_insertions =
+      cache_.insertions() - cache_baseline_.cache_insertions;
+  stats_.cache_evictions =
+      cache_.evictions() - cache_baseline_.cache_evictions;
 }
 
 numeric::BigRational DpllCounter::CountResidual(
-    const std::vector<VarId>& candidates,
+    SearchContext* ctx, const std::vector<VarId>& candidates,
     const std::vector<std::uint32_t>& parent_clauses) {
   std::vector<Component> components;
   std::vector<VarId> free_variables;
-  FindComponents(candidates, parent_clauses, &components, &free_variables);
+  FindComponents(ctx, candidates, parent_clauses, &components,
+                 &free_variables);
 
   BigRational result(1);
   for (VarId v : free_variables) {
@@ -104,26 +181,91 @@ numeric::BigRational DpllCounter::CountResidual(
       }
       std::sort(merged.variables.begin(), merged.variables.end());
       std::sort(merged.clauses.begin(), merged.clauses.end());
-      result *= CountComponentCached(merged);
+      result *= CountComponentCached(ctx, merged);
     } else {
-      if (components.size() > 1) ++stats_.component_splits;
-      for (const Component& component : components) {
-        result *= CountComponentCached(component);
-        if (result.IsZero()) break;
-      }
+      if (components.size() > 1) ++ctx->stats.component_splits;
+      result *= CountComponents(ctx, &components);
     }
   }
   // Recycle the id-span buffers for later search nodes.
   for (Component& component : components) {
     component.variables.clear();
     component.clauses.clear();
-    component_pool_.push_back(std::move(component));
+    ctx->component_pool.push_back(std::move(component));
   }
   return result;
 }
 
+bool DpllCounter::ShouldFork(const Component& component) {
+  if (pool_ == nullptr) return false;
+  if (component.variables.size() < options_.parallel_min_component_vars) {
+    return false;
+  }
+  // Claim a fork slot; on overshoot give it back — the budget is a soft
+  // bound on snapshot overhead, not a correctness constraint.
+  if (forks_spawned_.fetch_add(1, std::memory_order_relaxed) >=
+      fork_budget_) {
+    forks_spawned_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+numeric::BigRational DpllCounter::CountComponents(
+    SearchContext* ctx, std::vector<Component>* components) {
+  if (pool_ == nullptr || components->size() < 2) {
+    BigRational result(1);
+    for (const Component& component : *components) {
+      result *= CountComponentCached(ctx, component);
+      if (result.IsZero()) break;
+    }
+    return result;
+  }
+  // Fork the large components, solve the rest inline while the workers
+  // run, and multiply everything in component order afterwards. Each fork
+  // captures a snapshot of the trail *now* — the inline solving below
+  // pushes and pops decisions on ctx->trail, so a later copy would see a
+  // mid-branch assignment.
+  std::size_t count = components->size();
+  std::vector<BigRational> values(count);
+  std::vector<Stats> fork_stats(count);
+  std::vector<char> is_forked(count, 0);
+  runtime::TaskGroup group(pool_.get());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!ShouldFork((*components)[i])) continue;
+    is_forked[i] = 1;
+    ++ctx->stats.parallel_forks;
+    group.Submit([this, i, components, &values, &fork_stats,
+                  snapshot = *ctx->trail]() mutable {
+      SearchContext child;
+      InitContext(&child);
+      child.trail.emplace(std::move(snapshot));
+      values[i] = CountComponentCached(&child, (*components)[i]);
+      fork_stats[i] = child.stats;
+    });
+  }
+  // Forked tasks cannot be cancelled, but the inline work can still
+  // short-circuit: after one zero factor the product is zero no matter
+  // what the siblings count.
+  bool zero_seen = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!is_forked[i] && !zero_seen) {
+      values[i] = CountComponentCached(ctx, (*components)[i]);
+      zero_seen = values[i].IsZero();
+    }
+  }
+  group.Wait();
+  BigRational result(1);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (is_forked[i]) AddSearchStats(&ctx->stats, fork_stats[i]);
+    if (zero_seen) continue;  // skipped inline slots hold no real count
+    result *= values[i];
+  }
+  return zero_seen ? BigRational(0) : result;
+}
+
 numeric::BigRational DpllCounter::CountComponentCached(
-    const Component& component) {
+    SearchContext* ctx, const Component& component) {
   // A single-clause component has the closed form
   //   Π_v (w_v + w̄_v)  −  Π_{lit} weight(¬lit)
   // (all assignments minus the one falsifying the clause); computing it
@@ -134,83 +276,93 @@ numeric::BigRational DpllCounter::CountComponentCached(
     BigRational falsifying(1);
     for (Lit lit : compact_.Clause(component.clauses.front())) {
       VarId v = LitVariable(lit);
-      if (trail_->IsAssigned(v)) continue;
+      if (ctx->trail->IsAssigned(v)) continue;
       all *= total_weight_[v];
       falsifying *= weights_.LiteralWeight(v, !LitPositive(lit));
     }
     return all - falsifying;
   }
-  if (!options_.use_cache) return BranchOnComponent(component);
-  std::uint64_t hash = PackKey(component);
-  if (const BigRational* hit = cache_.Lookup(key_scratch_, hash)) {
-    ++stats_.cache_hits;
-    return *hit;
+  if (!options_.use_cache) return BranchOnComponent(ctx, component);
+  std::uint64_t hash = PackKey(ctx, component);
+  if (local_cache_ != nullptr) {
+    // Sequential configuration: probe the single shard directly, exactly
+    // the pre-sharding fast path (one hashtable find, zero copies).
+    if (const BigRational* hit = local_cache_->Lookup(ctx->key_scratch,
+                                                      hash)) {
+      return *hit;
+    }
+  } else if (cache_.Lookup(ctx->key_scratch, hash, &ctx->cached_value)) {
+    // Copy-out under the shard lock (another worker may evict the entry),
+    // into per-context scratch so a miss costs no allocation.
+    return ctx->cached_value;
   }
   // Copy the scratch key out before recursing (nested lookups reuse it).
-  ComponentKey key = key_scratch_;
-  BigRational value = BranchOnComponent(component);
-  cache_.Insert(std::move(key), hash, value);
-  stats_.cache_entries = cache_.size();
-  stats_.cache_collisions = cache_.collisions();
-  stats_.cache_evictions = cache_.evictions();
+  ComponentKey key = ctx->key_scratch;
+  BigRational value = BranchOnComponent(ctx, component);
+  if (local_cache_ != nullptr) {
+    local_cache_->Insert(std::move(key), hash, value);
+  } else {
+    cache_.Insert(std::move(key), hash, value);
+  }
   return value;
 }
 
 numeric::BigRational DpllCounter::BranchOnComponent(
-    const Component& component) {
-  VarId variable = PickBranchVariable(component);
-  ++stats_.decisions;
+    SearchContext* ctx, const Component& component) {
+  VarId variable = PickBranchVariable(ctx, component);
+  ++ctx->stats.decisions;
   BigRational total;
   for (bool value : {true, false}) {
     const BigRational& weight = weights_.LiteralWeight(variable, value);
     if (weight.IsZero()) continue;  // the whole branch carries factor 0
-    std::size_t mark = trail_->Mark();
-    if (trail_->AssignAndPropagate(MakeLit(variable, value),
-                                   &stats_.unit_propagations)) {
+    std::size_t mark = ctx->trail->Mark();
+    if (ctx->trail->AssignAndPropagate(MakeLit(variable, value),
+                                       &ctx->stats.unit_propagations)) {
       BigRational term = weight;
-      const std::vector<Lit>& trail = trail_->assignments();
+      const std::vector<Lit>& trail = ctx->trail->assignments();
       for (std::size_t i = mark + 1; i < trail.size(); ++i) {
-        const BigRational& implied =
-            weights_.LiteralWeight(LitVariable(trail[i]), LitPositive(trail[i]));
+        const BigRational& implied = weights_.LiteralWeight(
+            LitVariable(trail[i]), LitPositive(trail[i]));
         if (!implied.IsOne()) term *= implied;
       }
       if (!term.IsZero()) {
         std::vector<VarId> remaining;
         remaining.reserve(component.variables.size());
         for (VarId v : component.variables) {
-          if (!trail_->IsAssigned(v)) remaining.push_back(v);
+          if (!ctx->trail->IsAssigned(v)) remaining.push_back(v);
         }
-        term *= CountResidual(remaining, component.clauses);
+        term *= CountResidual(ctx, remaining, component.clauses);
       }
       total += term;
     }
-    trail_->UndoTo(mark);
+    ctx->trail->UndoTo(mark);
   }
   return total;
 }
 
-void DpllCounter::BumpEpoch() {
-  if (++epoch_ == 0) {  // wraparound: wipe every stamp and restart
-    std::fill(variable_stamp_.begin(), variable_stamp_.end(), 0);
-    std::fill(clause_mark_.begin(), clause_mark_.end(), ClauseMark{});
-    std::fill(score_stamp_.begin(), score_stamp_.end(), 0);
-    epoch_ = 1;
+void DpllCounter::BumpEpoch(SearchContext* ctx) const {
+  if (++ctx->epoch == 0) {  // wraparound: wipe every stamp and restart
+    std::fill(ctx->variable_stamp.begin(), ctx->variable_stamp.end(), 0);
+    std::fill(ctx->clause_mark.begin(), ctx->clause_mark.end(),
+              ClauseMark{});
+    std::fill(ctx->score_stamp.begin(), ctx->score_stamp.end(), 0);
+    ctx->epoch = 1;
   }
 }
 
 void DpllCounter::FindComponents(
-    const std::vector<VarId>& candidates,
+    SearchContext* ctx, const std::vector<VarId>& candidates,
     const std::vector<std::uint32_t>& parent_clauses,
     std::vector<Component>* components, std::vector<VarId>* free_variables) {
-  BumpEpoch();
+  BumpEpoch(ctx);
   std::vector<VarId> stack;
   for (VarId seed : candidates) {
-    if (variable_stamp_[seed] == epoch_) continue;
-    variable_stamp_[seed] = epoch_;
+    if (ctx->variable_stamp[seed] == ctx->epoch) continue;
+    ctx->variable_stamp[seed] = ctx->epoch;
     Component component;
-    if (!component_pool_.empty()) {
-      component = std::move(component_pool_.back());
-      component_pool_.pop_back();
+    if (!ctx->component_pool.empty()) {
+      component = std::move(ctx->component_pool.back());
+      ctx->component_pool.pop_back();
     }
     std::uint32_t component_index =
         static_cast<std::uint32_t>(components->size());
@@ -221,16 +373,17 @@ void DpllCounter::FindComponents(
       stack.pop_back();
       component.variables.push_back(v);
       for (std::uint32_t clause : compact_.VariableOccurrences(v)) {
-        ClauseMark& mark = clause_mark_[clause];
-        if (mark.stamp == epoch_) continue;
-        if (trail_->ClauseSatisfied(clause)) continue;
-        mark = ClauseMark{epoch_, component_index};
+        ClauseMark& mark = ctx->clause_mark[clause];
+        if (mark.stamp == ctx->epoch) continue;
+        if (ctx->trail->ClauseSatisfied(clause)) continue;
+        mark = ClauseMark{ctx->epoch, component_index};
         has_clauses = true;
         for (Lit lit : compact_.Clause(clause)) {
           VarId other = LitVariable(lit);
-          if (variable_stamp_[other] == epoch_) continue;
-          variable_stamp_[other] = epoch_;
-          if (trail_->IsAssigned(other)) continue;  // stamped, not visited
+          if (ctx->variable_stamp[other] == ctx->epoch) continue;
+          ctx->variable_stamp[other] = ctx->epoch;
+          if (ctx->trail->IsAssigned(other)) continue;  // stamped, not
+                                                        // visited
           stack.push_back(other);
         }
       }
@@ -240,7 +393,7 @@ void DpllCounter::FindComponents(
       // in this residual and contributes (w + w̄) directly.
       free_variables->push_back(seed);
       component.variables.clear();
-      component_pool_.push_back(std::move(component));
+      ctx->component_pool.push_back(std::move(component));
     } else {
       components->push_back(std::move(component));
     }
@@ -250,46 +403,49 @@ void DpllCounter::FindComponents(
   // clause to its component in ascending id order, so cache signatures
   // are canonical without any per-component sort.
   for (std::uint32_t clause : parent_clauses) {
-    if (clause_mark_[clause].stamp == epoch_) {
-      (*components)[clause_mark_[clause].component].clauses.push_back(clause);
+    if (ctx->clause_mark[clause].stamp == ctx->epoch) {
+      (*components)[ctx->clause_mark[clause].component].clauses.push_back(
+          clause);
     }
   }
 }
 
-prop::VarId DpllCounter::PickBranchVariable(const Component& component) {
+prop::VarId DpllCounter::PickBranchVariable(SearchContext* ctx,
+                                            const Component& component) {
   // Dynamic literal-occurrence scores over the current component: branch
   // on the variable constrained by the most active clauses, ties to the
   // smallest id. (Weighting shorter clauses higher was tried and measured
   // strictly worse on the grounded-lineage workloads.)
-  BumpEpoch();
+  BumpEpoch(ctx);
   VarId best = component.variables.front();
   std::uint64_t best_score = 0;
   for (std::uint32_t clause : component.clauses) {
     for (Lit lit : compact_.Clause(clause)) {
       VarId v = LitVariable(lit);
-      if (trail_->IsAssigned(v)) continue;
-      if (score_stamp_[v] != epoch_) {
-        score_stamp_[v] = epoch_;
-        score_[v] = 0;
+      if (ctx->trail->IsAssigned(v)) continue;
+      if (ctx->score_stamp[v] != ctx->epoch) {
+        ctx->score_stamp[v] = ctx->epoch;
+        ctx->score[v] = 0;
       }
-      ++score_[v];
-      if (score_[v] > best_score ||
-          (score_[v] == best_score && v < best)) {
+      ++ctx->score[v];
+      if (ctx->score[v] > best_score ||
+          (ctx->score[v] == best_score && v < best)) {
         best = v;
-        best_score = score_[v];
+        best_score = ctx->score[v];
       }
     }
   }
   return best;
 }
 
-std::uint64_t DpllCounter::PackKey(const Component& component) {
-  ComponentKey& key = key_scratch_;
+std::uint64_t DpllCounter::PackKey(SearchContext* ctx,
+                                   const Component& component) {
+  ComponentKey& key = ctx->key_scratch;
   key.clear();
   std::uint64_t state = ComponentHashInit();
   for (std::uint32_t clause : component.clauses) {
     for (Lit lit : compact_.Clause(clause)) {
-      if (!trail_->IsAssigned(LitVariable(lit))) {
+      if (!ctx->trail->IsAssigned(LitVariable(lit))) {
         key.push_back(lit);
         state = ComponentHashStep(state, lit);
       }

@@ -1,13 +1,16 @@
 #ifndef SWFOMC_WMC_DPLL_COUNTER_H_
 #define SWFOMC_WMC_DPLL_COUNTER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "numeric/rational.h"
 #include "prop/cnf.h"
 #include "prop/compact_cnf.h"
+#include "runtime/thread_pool.h"
 #include "wmc/component_cache.h"
 #include "wmc/trail.h"
 #include "wmc/weights.h"
@@ -25,7 +28,17 @@ namespace swfomc::wmc {
 /// occurrence lists, and backtracking unwinds the assignment trail —
 /// clauses are never copied during search. Residual components are
 /// discovered by DFS over the occurrence lists restricted to unassigned
-/// variables and memoized in a bounded hashed ComponentCache.
+/// variables and memoized in a bounded hashed component cache.
+///
+/// With `Options::num_threads > 1` the counter solves independent
+/// components in parallel on a work-stealing pool: components found at a
+/// decision node are variable-disjoint subproblems whose counts multiply,
+/// so large ones are forked to other workers (each with its own trail and
+/// scratch state, seeded from a snapshot of the parent's assignment) while
+/// the cache is shared through a mutex-striped sharded table. Because
+/// every cached value is the exact count determined by its key, the
+/// result is bit-identical to the sequential count on every schedule —
+/// parallelism changes wall-clock and Stats, never the answer.
 ///
 /// Counts are over *all* variables in [0, cnf.variable_count): a variable
 /// not constrained by any clause contributes a factor (w + w̄). Negative
@@ -40,24 +53,42 @@ class DpllCounter {
     bool use_cache = true;
     /// Cache entry bound; the oldest entries are evicted past it.
     std::size_t max_cache_entries = std::size_t{1} << 20;
+    /// Worker threads for independent-component solving. 1 = fully
+    /// sequential (no pool, no locking); 0 = one per hardware thread.
+    /// Requires use_components (without decomposition there is nothing
+    /// independent to fork); ignored otherwise.
+    unsigned num_threads = 1;
+    /// A component is forked to the pool only when it still has at least
+    /// this many unassigned variables; smaller ones are solved inline,
+    /// since a fork costs a trail snapshot plus fresh scratch state.
+    std::uint32_t parallel_min_component_vars = 16;
   };
 
   struct Stats {
     std::uint64_t decisions = 0;
     std::uint64_t unit_propagations = 0;
     std::uint64_t component_splits = 0;
+    std::uint64_t parallel_forks = 0;
+    std::uint64_t cache_lookups = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_entries = 0;
     std::uint64_t cache_collisions = 0;
+    std::uint64_t cache_insertions = 0;
     std::uint64_t cache_evictions = 0;
   };
 
   DpllCounter(prop::CnfFormula cnf, WeightMap weights);
   DpllCounter(prop::CnfFormula cnf, WeightMap weights, Options options);
 
-  /// Weighted model count; deterministic and exact.
+  /// Weighted model count; deterministic and exact — bit-identical across
+  /// every num_threads setting and schedule.
   numeric::BigRational Count();
 
+  /// Search and cache counters, finalized on every return path of
+  /// Count(). Counts (decisions, propagations, splits) vary with the
+  /// schedule in parallel runs — shared cache hits change which subtrees
+  /// are explored — but always satisfy the invariants
+  /// cache_hits <= cache_lookups and cache_evictions <= cache_insertions.
   const Stats& stats() const { return stats_; }
 
   /// Plain DPLL satisfiability with early exit (used by the spectrum
@@ -72,61 +103,110 @@ class DpllCounter {
     std::vector<std::uint32_t> clauses;
   };
 
+  struct ClauseMark {
+    std::uint32_t stamp = 0;
+    std::uint32_t component = 0;  // valid when stamp matches epoch
+  };
+
+  /// Everything one worker needs to run the search: its own trail, its
+  /// own epoch-stamped scratch, and its own counters. The sequential
+  /// counter uses exactly one of these; every parallel fork builds a
+  /// fresh one seeded with a snapshot of the forking trail, so workers
+  /// share only the read-only CompactCnf/weights and the striped cache.
+  struct SearchContext {
+    std::optional<Trail> trail;
+    Stats stats;
+
+    // Epoch-stamped scratch for FindComponents / PickBranchVariable, so
+    // neither allocates per search node. 32-bit epochs keep the stamp
+    // arrays cache-friendly; on wraparound they are wiped and the epoch
+    // restarts (BumpEpoch).
+    std::uint32_t epoch = 0;
+    std::vector<std::uint32_t> variable_stamp;
+    std::vector<ClauseMark> clause_mark;
+    std::vector<std::uint32_t> score_stamp;
+    std::vector<std::uint64_t> score;
+
+    // Buffer pools: component id-spans, cache keys, and the synchronized
+    // lookup's copy target are recycled across search nodes instead of
+    // reallocated (a fresh BigRational per probe is a malloc per probe).
+    std::vector<Component> component_pool;
+    ComponentKey key_scratch;
+    numeric::BigRational cached_value;
+  };
+
+  // Prepares a context against the current compact_ (fresh trail unless
+  // the caller moves a snapshot in afterwards).
+  void InitContext(SearchContext* ctx) const;
+  void BumpEpoch(SearchContext* ctx) const;
+
   // Weighted count of the residual formula over `candidates` (unassigned
   // variables) and `parent_clauses` (sorted ids of the clauses that could
   // still be active), assuming unit propagation has reached fixpoint:
   // splits into components, counts free variables as (w + w̄), and
-  // multiplies the per-component counts.
+  // multiplies the per-component counts (possibly in parallel).
   numeric::BigRational CountResidual(
-      const std::vector<prop::VarId>& candidates,
+      SearchContext* ctx, const std::vector<prop::VarId>& candidates,
       const std::vector<std::uint32_t>& parent_clauses);
-  numeric::BigRational CountComponentCached(const Component& component);
-  numeric::BigRational BranchOnComponent(const Component& component);
+  // Multiplies the component counts, forking large components onto the
+  // pool; `ctx`'s trail is snapshotted per fork before any inline solving
+  // mutates it.
+  numeric::BigRational CountComponents(SearchContext* ctx,
+                                       std::vector<Component>* components);
+  numeric::BigRational CountComponentCached(SearchContext* ctx,
+                                            const Component& component);
+  numeric::BigRational BranchOnComponent(SearchContext* ctx,
+                                         const Component& component);
 
   // Partitions `candidates` into connected components and isolated
   // (constraint-free) variables via DFS over the occurrence lists. Each
   // component's clause list is assembled by one sweep over
   // `parent_clauses`, inheriting its sorted order — no per-component
   // sort.
-  void FindComponents(const std::vector<prop::VarId>& candidates,
+  void FindComponents(SearchContext* ctx,
+                      const std::vector<prop::VarId>& candidates,
                       const std::vector<std::uint32_t>& parent_clauses,
                       std::vector<Component>* components,
                       std::vector<prop::VarId>* free_variables);
-  prop::VarId PickBranchVariable(const Component& component);
-  // Packs the component's signature into key_scratch_ and returns its
+  prop::VarId PickBranchVariable(SearchContext* ctx,
+                                 const Component& component);
+  // Packs the component's signature into ctx->key_scratch and returns its
   // 64-bit hash.
-  std::uint64_t PackKey(const Component& component);
+  std::uint64_t PackKey(SearchContext* ctx, const Component& component);
+
+  // True when `component` should be handed to the pool rather than solved
+  // inline (pool available, component large enough, spawn budget left).
+  bool ShouldFork(const Component& component);
+  // Folds a finished context's search counters into stats_.
+  void MergeContextStats(const Stats& stats);
+  // Publishes cache counters into stats_; called on every Count() return.
+  // The cache itself persists across Count() calls, so counters are
+  // reported relative to the baseline snapshotted at Count() entry —
+  // stats() always describes exactly one Count() invocation.
+  void SnapshotCacheBaseline();
+  void FinalizeStats();
 
   prop::CnfFormula cnf_;
   WeightMap weights_;
   Options options_;
+  unsigned effective_threads_;
   Stats stats_;
-  ComponentCache cache_;
+  ShardedComponentCache cache_;
+  // cache_'s single shard in the sequential configuration (nullptr when
+  // parallel): the hot probe path skips shard selection through it.
+  ComponentCache* local_cache_;
+  // Cache counter values at Count() entry (see FinalizeStats).
+  Stats cache_baseline_;
+
+  // Parallel execution state; pool_ exists only while a parallel Count()
+  // is running.
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::atomic<std::uint64_t> forks_spawned_{0};
+  std::uint64_t fork_budget_ = 0;
 
   // Search state, rebuilt by Count().
   prop::CompactCnf compact_;
-  std::optional<Trail> trail_;
   std::vector<numeric::BigRational> total_weight_;  // per-var w + w̄
-
-  // Epoch-stamped scratch for FindComponents / PickBranchVariable, so
-  // neither allocates per search node. 32-bit epochs keep the stamp
-  // arrays cache-friendly; on wraparound they are wiped and the epoch
-  // restarts (BumpEpoch).
-  void BumpEpoch();
-  std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> variable_stamp_;
-  struct ClauseMark {
-    std::uint32_t stamp = 0;
-    std::uint32_t component = 0;  // valid when stamp matches epoch_
-  };
-  std::vector<ClauseMark> clause_mark_;
-  std::vector<std::uint32_t> score_stamp_;
-  std::vector<std::uint64_t> score_;
-
-  // Buffer pools: component id-spans and cache keys are recycled across
-  // search nodes instead of reallocated.
-  std::vector<Component> component_pool_;
-  ComponentKey key_scratch_;
 };
 
 /// One-shot convenience.

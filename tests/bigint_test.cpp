@@ -1,6 +1,7 @@
 #include "numeric/bigint.h"
 
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <sstream>
 
@@ -282,6 +283,147 @@ TEST(BigIntTest, FactorialLikeAccumulation) {
   BigInt f(1);
   for (int i = 2; i <= 30; ++i) f *= BigInt(i);
   EXPECT_EQ(f.ToString(), "265252859812191058636308480000000");
+}
+
+// --- Regression corpus for the WMC-scale arithmetic paths (this PR) ----
+// Model counts reach thousands of bits, where multiplication crosses the
+// Karatsuba threshold and sweep normalizers divide huge rationals; these
+// tests pin the threshold boundary and the DivMod sign contract with an
+// independent reference implementation.
+
+namespace {
+
+// Pseudorandom positive value with exactly `limbs` 32-bit limbs,
+// constructed through the public interface only.
+BigInt RandomMagnitude(std::mt19937_64* rng, std::size_t limbs) {
+  BigInt result;
+  for (std::size_t i = 0; i < limbs; ++i) {
+    std::uint32_t limb = static_cast<std::uint32_t>((*rng)());
+    if (i + 1 == limbs && limb == 0) limb = 1;  // keep the top limb set
+    result = result.ShiftLeft(32) + BigInt::FromUnsigned(limb);
+  }
+  return result;
+}
+
+// Reference product via 32-bit decomposition of b: every partial product
+// has a single-limb factor, which stays on the schoolbook path — so this
+// checks Karatsuba against schoolbook without private access.
+BigInt ReferenceMul(const BigInt& a, BigInt b) {
+  bool negative = b.IsNegative();
+  if (negative) b = -b;
+  BigInt accumulator;
+  std::size_t shift = 0;
+  while (!b.IsZero()) {
+    BigInt chunk = b - b.ShiftRight(32).ShiftLeft(32);
+    accumulator += (a * chunk).ShiftLeft(shift);
+    shift += 32;
+    b = b.ShiftRight(32);
+  }
+  return negative ? -accumulator : accumulator;
+}
+
+}  // namespace
+
+TEST(BigIntTest, KaratsubaThresholdBoundary) {
+  // The Karatsuba fast path engages when both operands reach 32 limbs;
+  // products straddling the boundary (31/32/33 limbs) and unbalanced
+  // shapes (64 x 32) must agree with the schoolbook reference exactly.
+  std::mt19937_64 rng(20260731);
+  const std::size_t sizes[] = {1, 31, 32, 33, 40, 63, 64, 65, 96};
+  for (std::size_t a_limbs : sizes) {
+    for (std::size_t b_limbs : sizes) {
+      BigInt a = RandomMagnitude(&rng, a_limbs);
+      BigInt b = RandomMagnitude(&rng, b_limbs);
+      BigInt product = a * b;
+      EXPECT_EQ(product, ReferenceMul(a, b))
+          << a_limbs << "x" << b_limbs << " limbs";
+      EXPECT_EQ(product, b * a) << "commutativity " << a_limbs << "x"
+                                << b_limbs;
+      // Bit lengths of exact products: |a|+|b|-1 or |a|+|b|.
+      EXPECT_GE(product.BitLength(), a.BitLength() + b.BitLength() - 1);
+      EXPECT_LE(product.BitLength(), a.BitLength() + b.BitLength());
+    }
+  }
+}
+
+TEST(BigIntTest, KaratsubaPowersOfTwoAndAllOnes) {
+  // Sparse-limb operands stress the split-and-recombine carries: trailing
+  // zero limbs in the split halves and maximal carries from all-ones.
+  BigInt two_pow_2047 = BigInt::Pow(BigInt(2), 2047);
+  BigInt all_ones = two_pow_2047 - BigInt(1);  // 2^2047 - 1: 64 full limbs
+  EXPECT_EQ(all_ones * all_ones,
+            BigInt::Pow(BigInt(2), 4094) - two_pow_2047.ShiftLeft(1) +
+                BigInt(1));
+  BigInt sparse = BigInt::Pow(BigInt(2), 2016) + BigInt(1);  // zero middle
+  EXPECT_EQ(sparse * all_ones, ReferenceMul(sparse, all_ones));
+}
+
+TEST(BigIntTest, DivModSignInvariants) {
+  // Truncated division contract: a == q*b + r, |r| < |b|, and r is zero
+  // or carries the sign of a — for every sign combination, across the
+  // multi-limb Knuth path (divisor >= 2 limbs) and the single-limb fast
+  // path.
+  std::mt19937_64 rng(987654321);
+  const std::size_t a_sizes[] = {1, 2, 5, 33, 64};
+  const std::size_t b_sizes[] = {1, 2, 3, 32};
+  for (std::size_t a_limbs : a_sizes) {
+    for (std::size_t b_limbs : b_sizes) {
+      for (int signs = 0; signs < 4; ++signs) {
+        BigInt a = RandomMagnitude(&rng, a_limbs);
+        BigInt b = RandomMagnitude(&rng, b_limbs);
+        if (signs & 1) a = -a;
+        if (signs & 2) b = -b;
+        BigInt quotient, remainder;
+        BigInt::DivMod(a, b, &quotient, &remainder);
+        EXPECT_EQ(quotient * b + remainder, a)
+            << a.ToString() << " / " << b.ToString();
+        EXPECT_LT(remainder.Abs(), b.Abs());
+        if (!remainder.IsZero()) {
+          EXPECT_EQ(remainder.Sign(), a.Sign())
+              << a.ToString() << " % " << b.ToString();
+        }
+        EXPECT_EQ(a / b, quotient);
+        EXPECT_EQ(a % b, remainder);
+      }
+    }
+  }
+}
+
+TEST(BigIntTest, DivModKnuthQhatCorrectionCases) {
+  // Dividends engineered to force the q̂-overestimate correction loops in
+  // algorithm D: all-ones dividends against divisors with a maximal top
+  // limb and a minimal second limb.
+  BigInt dividend = BigInt::Pow(BigInt(2), 320) - BigInt(1);
+  BigInt divisor =
+      BigInt::FromUnsigned(0xFFFFFFFFull).ShiftLeft(32) + BigInt(1);
+  BigInt quotient, remainder;
+  BigInt::DivMod(dividend, divisor, &quotient, &remainder);
+  EXPECT_EQ(quotient * divisor + remainder, dividend);
+  EXPECT_LT(remainder.Abs(), divisor.Abs());
+
+  // Exact division and off-by-one neighbours around a huge product.
+  std::mt19937_64 rng(5);
+  BigInt a = RandomMagnitude(&rng, 48);
+  BigInt b = RandomMagnitude(&rng, 17);
+  BigInt product = a * b;
+  EXPECT_EQ(product / b, a);
+  EXPECT_TRUE((product % b).IsZero());
+  EXPECT_EQ((product - BigInt(1)) / b, a - BigInt(1));
+  EXPECT_EQ((product - BigInt(1)) % b, b - BigInt(1));
+  EXPECT_EQ((product + BigInt(1)) / b, a);
+  EXPECT_EQ((product + BigInt(1)) % b, BigInt(1));
+}
+
+TEST(BigIntTest, Int64BoundaryRoundTrips) {
+  BigInt min64(std::numeric_limits<std::int64_t>::min());
+  BigInt max64(std::numeric_limits<std::int64_t>::max());
+  EXPECT_TRUE(min64.FitsInt64());
+  EXPECT_TRUE(max64.FitsInt64());
+  EXPECT_EQ(min64.ToInt64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(max64.ToInt64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_FALSE((max64 + BigInt(1)).FitsInt64());
+  EXPECT_FALSE((min64 - BigInt(1)).FitsInt64());
+  EXPECT_EQ((min64 / BigInt(-1)), max64 + BigInt(1));
 }
 
 }  // namespace

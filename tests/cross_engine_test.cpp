@@ -9,93 +9,26 @@
 
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "fo2/cell_algorithm.h"
 #include "grounding/grounded_wfomc.h"
 #include "logic/formula.h"
 #include "logic/printer.h"
 #include "logic/transform.h"
 #include "logic/vocabulary.h"
+#include "test_util.h"
 #include "transforms/skolemization.h"
 
 namespace swfomc {
 namespace {
 
-using logic::Formula;
 using numeric::BigRational;
-
-struct RandomSentence {
-  Formula sentence;
-  logic::Vocabulary vocabulary;
-};
-
-// Random FO² sentence over {U/1, V/1, R/2}: a random quantifier-free
-// matrix over the eight atoms on {x, y}, wrapped in a random two-variable
-// quantifier prefix. Weight pattern varies with the seed and includes
-// fractional and negative weights (both engines are exact).
-RandomSentence MakeRandomSentence(std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  RandomSentence result;
-  auto pick_weight = [&]() {
-    switch (rng() % 5) {
-      case 0: return BigRational(1);
-      case 1: return BigRational(2);
-      case 2: return BigRational::Fraction(1, 2);
-      case 3: return BigRational(3);
-      default: return BigRational(-1);
-    }
-  };
-  logic::RelationId u =
-      result.vocabulary.AddRelation("U", 1, pick_weight(), BigRational(1));
-  logic::RelationId v =
-      result.vocabulary.AddRelation("V", 1, pick_weight(), BigRational(1));
-  logic::RelationId r =
-      result.vocabulary.AddRelation("R", 2, pick_weight(), pick_weight());
-
-  auto var = [](const char* name) { return logic::Term::Var(name); };
-  std::vector<Formula> atoms = {
-      logic::Atom(u, {var("x")}),          logic::Atom(u, {var("y")}),
-      logic::Atom(v, {var("x")}),          logic::Atom(v, {var("y")}),
-      logic::Atom(r, {var("x"), var("y")}), logic::Atom(r, {var("y"), var("x")}),
-      logic::Atom(r, {var("x"), var("x")}), logic::Atom(r, {var("y"), var("y")}),
-  };
-  // Random matrix: a small tree of connectives over random atoms.
-  std::function<Formula(int)> matrix = [&](int depth) -> Formula {
-    if (depth == 0 || rng() % 3 == 0) {
-      Formula atom = atoms[rng() % atoms.size()];
-      return rng() % 2 ? logic::Not(atom) : atom;
-    }
-    Formula a = matrix(depth - 1);
-    Formula b = matrix(depth - 1);
-    switch (rng() % 3) {
-      case 0: return logic::And(std::move(a), std::move(b));
-      case 1: return logic::Or(std::move(a), std::move(b));
-      default: return logic::Implies(std::move(a), std::move(b));
-    }
-  };
-  Formula body = matrix(2);
-  switch (rng() % 4) {
-    case 0:
-      result.sentence = logic::Forall("x", logic::Forall("y", body));
-      break;
-    case 1:
-      result.sentence = logic::Forall("x", logic::Exists("y", body));
-      break;
-    case 2:
-      result.sentence = logic::Exists("x", logic::Forall("y", body));
-      break;
-    default:
-      result.sentence = logic::Exists("x", logic::Exists("y", body));
-      break;
-  }
-  return result;
-}
+using testutil::MakeRandomFO2Sentence;
+using testutil::RandomSentence;
 
 class CrossEngineSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(CrossEngineSweep, LiftedEqualsGrounded) {
-  RandomSentence random = MakeRandomSentence(GetParam());
+  RandomSentence random = MakeRandomFO2Sentence(GetParam());
   for (std::uint64_t n = 1; n <= 3; ++n) {
     BigRational lifted =
         fo2::LiftedWFOMC(random.sentence, random.vocabulary, n);
@@ -108,7 +41,7 @@ TEST_P(CrossEngineSweep, LiftedEqualsGrounded) {
 }
 
 TEST_P(CrossEngineSweep, GroundedEqualsExhaustive) {
-  RandomSentence random = MakeRandomSentence(GetParam());
+  RandomSentence random = MakeRandomFO2Sentence(GetParam());
   // Exhaustive enumeration: 2^(n^2 + 2n) worlds — n = 2 means 256.
   for (std::uint64_t n = 1; n <= 2; ++n) {
     BigRational grounded =
@@ -122,7 +55,7 @@ TEST_P(CrossEngineSweep, GroundedEqualsExhaustive) {
 }
 
 TEST_P(CrossEngineSweep, SkolemizationPreservesWfomc) {
-  RandomSentence random = MakeRandomSentence(GetParam());
+  RandomSentence random = MakeRandomFO2Sentence(GetParam());
   transforms::RewriteResult rewritten =
       transforms::Skolemize(random.sentence, random.vocabulary);
   EXPECT_FALSE(logic::ContainsExistentialInNNFSense(rewritten.sentence));

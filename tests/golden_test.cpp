@@ -1,0 +1,295 @@
+// Golden-value regression corpus: tests/golden/wfomc_golden.json pins
+// exact WFOMC values (paper Table 1/2 family entries, closed forms, and
+// exhaustively-verified small instances). Every case is replayed through
+// Engine::WFOMC under each method the corpus declares applicable, and
+// the grounded path additionally under num_threads ∈ {1, 4} — golden
+// values are the cheapest way to catch a regression that breaks all
+// engines the same way (which the differential suites, by construction,
+// cannot see).
+//
+// The corpus location is compiled in (SWFOMC_GOLDEN_JSON, set by
+// tests/CMakeLists.txt), so the binary runs from any directory.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "numeric/rational.h"
+
+namespace swfomc {
+namespace {
+
+using api::Engine;
+using api::Method;
+using numeric::BigRational;
+
+// --- A minimal JSON reader ----------------------------------------------
+// Just enough for the corpus schema (objects, arrays, strings, unsigned
+// integers); no external dependency, throws std::runtime_error with a
+// byte offset on malformed input.
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kArray, kObject };
+  Kind kind = Kind::kString;
+  std::string string;                        // kString / kNumber (verbatim)
+  std::vector<JsonValue> array;              // kArray
+  std::map<std::string, JsonValue> object;   // kObject
+
+  const JsonValue& At(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) {
+      throw std::runtime_error("golden json: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+  bool Has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing data");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) const {
+    throw std::runtime_error("golden json: " + why + " at byte " +
+                             std::to_string(pos_));
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) Fail("unexpected end");
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    char c = Peek();
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kString;
+      value.string = ParseString();
+      return value;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kNumber;
+      std::size_t start = pos_;
+      if (text_[pos_] == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      value.string = text_.substr(start, pos_ - start);
+      if (value.string.empty() || value.string == "-") Fail("bad number");
+      return value;
+    }
+    Fail("unexpected character");
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) Fail("bad escape");
+        char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: Fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  JsonValue ParseObject() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    Expect('{');
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      std::string key = ParseString();
+      Expect(':');
+      value.object.emplace(std::move(key), ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return value;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    Expect('[');
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(ParseValue());
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return value;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- Corpus loading ------------------------------------------------------
+
+struct GoldenCase {
+  std::string name;
+  std::string sentence;
+  std::map<std::string, std::pair<BigRational, BigRational>> weights;
+  std::uint64_t domain_size = 0;
+  BigRational wfomc;
+  std::vector<Method> methods;
+};
+
+Method MethodFromString(const std::string& text) {
+  if (text == "lifted-fo2") return Method::kLiftedFO2;
+  if (text == "gamma-acyclic") return Method::kGammaAcyclic;
+  if (text == "grounded") return Method::kGrounded;
+  throw std::runtime_error("golden json: unknown method '" + text + "'");
+}
+
+const std::vector<GoldenCase>& Corpus() {
+  static const std::vector<GoldenCase> corpus = [] {
+    std::ifstream in(SWFOMC_GOLDEN_JSON);
+    if (!in) {
+      throw std::runtime_error("golden json: cannot open " +
+                               std::string(SWFOMC_GOLDEN_JSON));
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    JsonValue root = JsonParser(buffer.str()).Parse();
+    std::vector<GoldenCase> cases;
+    for (const JsonValue& entry : root.At("cases").array) {
+      GoldenCase golden;
+      golden.name = entry.At("name").string;
+      golden.sentence = entry.At("sentence").string;
+      golden.domain_size = std::stoull(entry.At("domain_size").string);
+      golden.wfomc = BigRational::FromString(entry.At("wfomc").string);
+      for (const auto& [relation, pair] : entry.At("weights").object) {
+        golden.weights[relation] = {
+            BigRational::FromString(pair.array.at(0).string),
+            BigRational::FromString(pair.array.at(1).string)};
+      }
+      for (const JsonValue& method : entry.At("methods").array) {
+        golden.methods.push_back(MethodFromString(method.string));
+      }
+      cases.push_back(std::move(golden));
+    }
+    return cases;
+  }();
+  return corpus;
+}
+
+class GoldenCorpus : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenCorpus, ReplaysUnderEveryApplicableMethodAndThreadCount) {
+  const GoldenCase& golden = Corpus()[GetParam()];
+  SCOPED_TRACE(golden.name);
+  for (Method method : golden.methods) {
+    SCOPED_TRACE(api::ToString(method));
+    // The grounded engine additionally runs parallel; the lifted and
+    // γ-acyclic evaluators ignore num_threads, so one pass suffices.
+    std::vector<unsigned> thread_counts =
+        method == Method::kGrounded ? std::vector<unsigned>{1, 4}
+                                    : std::vector<unsigned>{1};
+    for (unsigned threads : thread_counts) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      Engine engine(logic::Vocabulary{}, Engine::Options{threads});
+      logic::Formula sentence = engine.Parse(golden.sentence);
+      for (const auto& [relation, weights] : golden.weights) {
+        engine.mutable_vocabulary()->SetWeights(
+            engine.vocabulary().Require(relation), weights.first,
+            weights.second);
+      }
+      Engine::Result result =
+          engine.WFOMC(sentence, golden.domain_size, method);
+      EXPECT_EQ(result.value, golden.wfomc);
+      EXPECT_EQ(result.method, method);
+    }
+  }
+}
+
+TEST_P(GoldenCorpus, SweepEndpointCoversGoldenPoint) {
+  // WFOMCSweep(n_lo = 1, n_hi = golden n) must reproduce the golden value
+  // at its endpoint on the first declared method — exercising the batched
+  // path against the same pinned numbers.
+  const GoldenCase& golden = Corpus()[GetParam()];
+  SCOPED_TRACE(golden.name);
+  if (golden.domain_size == 0) return;
+  Method method = golden.methods.front();
+  Engine engine((logic::Vocabulary()));
+  logic::Formula sentence = engine.Parse(golden.sentence);
+  for (const auto& [relation, weights] : golden.weights) {
+    engine.mutable_vocabulary()->SetWeights(
+        engine.vocabulary().Require(relation), weights.first, weights.second);
+  }
+  Engine::SweepResult sweep =
+      engine.WFOMCSweep(sentence, 1, golden.domain_size, method);
+  ASSERT_EQ(sweep.points.size(), golden.domain_size);
+  EXPECT_EQ(sweep.points.back().domain_size, golden.domain_size);
+  EXPECT_EQ(sweep.points.back().value, golden.wfomc);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = Corpus()[info.param].name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenCorpus,
+                         ::testing::Range<std::size_t>(0, Corpus().size()),
+                         CaseName);
+
+}  // namespace
+}  // namespace swfomc

@@ -1,0 +1,181 @@
+// Determinism under parallelism — the property the ISSUE's tentpole
+// stakes its soundness on: independent components are exact subproblems
+// whose counts multiply commutatively and whose cached values are fully
+// determined by their keys, so the grounded WFOMC result must be
+// bit-identical for every thread count and every schedule. Stats are
+// *not* schedule-deterministic (shared-cache hits change which subtrees
+// get explored), but they must always satisfy the accounting invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "api/engine.h"
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+#include "runtime/thread_pool.h"
+#include "wmc/dpll_counter.h"
+
+namespace swfomc {
+namespace {
+
+using numeric::BigRational;
+using wmc::DpllCounter;
+
+// At least 2 so the parallel machinery is exercised even on single-core
+// CI runners and build containers.
+unsigned StressThreads() {
+  return std::max(2u, std::thread::hardware_concurrency());
+}
+
+void CheckStatsInvariants(const DpllCounter::Stats& stats) {
+  EXPECT_LE(stats.cache_hits, stats.cache_lookups);
+  EXPECT_LE(stats.cache_hits + stats.cache_collisions, stats.cache_lookups);
+  EXPECT_LE(stats.cache_evictions, stats.cache_insertions);
+  EXPECT_LE(stats.cache_entries,
+            stats.cache_insertions - stats.cache_evictions);
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreBitIdentical) {
+  logic::Vocabulary vocab;
+  logic::Formula phi = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocab);
+
+  DpllCounter::Stats sequential_stats;
+  BigRational sequential = grounding::GroundedWFOMC(phi, vocab, 4, {},
+                                                    &sequential_stats);
+  CheckStatsInvariants(sequential_stats);
+
+  DpllCounter::Options parallel;
+  parallel.num_threads = StressThreads();
+  // Force forking deep into the search so the schedule space is large.
+  parallel.parallel_min_component_vars = 2;
+  for (int run = 0; run < 6; ++run) {
+    SCOPED_TRACE("run=" + std::to_string(run));
+    DpllCounter::Stats stats;
+    BigRational result = grounding::GroundedWFOMC(phi, vocab, 4, parallel,
+                                                  &stats);
+    EXPECT_EQ(result, sequential);
+    EXPECT_GT(stats.parallel_forks, 0u);
+    CheckStatsInvariants(stats);
+    // The search tree may shrink under different cache-hit interleavings
+    // but never grows past the sequential one's bound by more than the
+    // forked re-discoveries; decisions must stay positive and sane.
+    EXPECT_GT(stats.decisions, 0u);
+  }
+}
+
+TEST(ParallelDeterminism, ThreadCountSweepAgreesOnWeightedInstance) {
+  // Fractional + negative weights: exactness must survive parallelism.
+  logic::Vocabulary vocab;
+  vocab.AddRelation("S", 2, BigRational::Fraction(1, 2), BigRational(-1));
+  vocab.AddRelation("U", 1, BigRational(3), BigRational(1));
+  logic::Formula phi = logic::Parse(
+      "forall x exists y (S(x,y) | U(x))", &vocab);
+
+  BigRational reference;
+  for (unsigned threads : {1u, 2u, 3u, StressThreads()}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    DpllCounter::Options options;
+    options.num_threads = threads;
+    options.parallel_min_component_vars = 2;
+    DpllCounter::Stats stats;
+    BigRational result =
+        grounding::GroundedWFOMC(phi, vocab, 4, options, &stats);
+    if (threads == 1) {
+      reference = result;
+    } else {
+      EXPECT_EQ(result, reference);
+    }
+    CheckStatsInvariants(stats);
+  }
+}
+
+TEST(ParallelDeterminism, TinyCacheBoundStaysExactUnderThreads) {
+  // Eviction churn across striped shards must never corrupt a count.
+  logic::Vocabulary vocab;
+  logic::Formula phi = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocab);
+  BigRational reference = grounding::GroundedWFOMC(phi, vocab, 3);
+  DpllCounter::Options options;
+  options.num_threads = StressThreads();
+  options.parallel_min_component_vars = 2;
+  options.max_cache_entries = 32;  // per-shard bound becomes 2
+  DpllCounter::Stats stats;
+  EXPECT_EQ(grounding::GroundedWFOMC(phi, vocab, 3, options, &stats),
+            reference);
+  CheckStatsInvariants(stats);
+  EXPECT_LE(stats.cache_entries, 32u);
+}
+
+TEST(ParallelDeterminism, EngineSweepParallelMatchesSequential) {
+  logic::Vocabulary vocab;
+  api::Engine sequential_engine(vocab);
+  logic::Formula phi = sequential_engine.Parse(
+      "exists x exists y (S(x,y) & S(y,x) & T(x))");
+  api::Engine::SweepResult expected =
+      sequential_engine.WFOMCSweep(phi, 1, 4, api::Method::kGrounded);
+
+  api::Engine parallel_engine(sequential_engine.vocabulary(),
+                              api::Engine::Options{StressThreads()});
+  api::Engine::SweepResult actual =
+      parallel_engine.WFOMCSweep(phi, 1, 4, api::Method::kGrounded);
+  ASSERT_EQ(actual.points.size(), expected.points.size());
+  for (std::size_t i = 0; i < actual.points.size(); ++i) {
+    EXPECT_EQ(actual.points[i].domain_size, expected.points[i].domain_size);
+    EXPECT_EQ(actual.points[i].value, expected.points[i].value);
+  }
+}
+
+TEST(ThreadPool, NestedGroupsAndExceptionPropagation) {
+  runtime::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+
+  // Fork-join fan-out with nested groups: 4 * 8 increments, all counted.
+  std::atomic<int> counter{0};
+  {
+    runtime::TaskGroup group(&pool);
+    for (int i = 0; i < 4; ++i) {
+      group.Submit([&pool, &counter] {
+        runtime::TaskGroup nested(&pool);
+        for (int j = 0; j < 8; ++j) {
+          nested.Submit([&counter] { ++counter; });
+        }
+        nested.Wait();
+      });
+    }
+    group.Wait();
+  }
+  EXPECT_EQ(counter.load(), 32);
+
+  // The first exception surfaces in Wait; the pool survives for reuse.
+  runtime::TaskGroup failing(&pool);
+  failing.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(failing.Wait(), std::runtime_error);
+
+  runtime::TaskGroup after(&pool);
+  after.Submit([&counter] { ++counter; });
+  after.Wait();
+  EXPECT_EQ(counter.load(), 33);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsTasksInline) {
+  runtime::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int runs = 0;
+  runtime::TaskGroup group(&pool);
+  for (int i = 0; i < 5; ++i) group.Submit([&runs] { ++runs; });
+  group.Wait();
+  EXPECT_EQ(runs, 5);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(runtime::ThreadPool::ResolveThreadCount(3), 3u);
+  EXPECT_GE(runtime::ThreadPool::ResolveThreadCount(0), 1u);
+}
+
+}  // namespace
+}  // namespace swfomc

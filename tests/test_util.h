@@ -6,11 +6,15 @@
 // shards and reruns see identical instances.
 
 #include <cstdint>
+#include <cstdlib>
+#include <functional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "cq/conjunctive_query.h"
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
 #include "numeric/rational.h"
 #include "prop/cnf.h"
 #include "prop/prop_formula.h"
@@ -99,6 +103,136 @@ inline cq::ConjunctiveQuery MakeRandomTreeQuery(std::uint64_t seed,
                          numeric::BigRational::Fraction(numerator, 4));
   }
   return query;
+}
+
+/// A random sentence paired with the weighted vocabulary it was built
+/// against (the differential suites push one instance through several
+/// engines).
+struct RandomSentence {
+  logic::Formula sentence;
+  logic::Vocabulary vocabulary;
+};
+
+/// Random FO² sentence over {U/1, V/1, R/2}: a random quantifier-free
+/// matrix over the eight atoms on {x, y}, wrapped in a random two-variable
+/// quantifier prefix. Weight pattern varies with the seed and includes
+/// fractional and negative weights (the exact engines must agree there
+/// too). Always inside the lifted fragment: no constants, arity <= 2.
+inline RandomSentence MakeRandomFO2Sentence(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  RandomSentence result;
+  auto pick_weight = [&]() {
+    switch (rng() % 5) {
+      case 0: return numeric::BigRational(1);
+      case 1: return numeric::BigRational(2);
+      case 2: return numeric::BigRational::Fraction(1, 2);
+      case 3: return numeric::BigRational(3);
+      default: return numeric::BigRational(-1);
+    }
+  };
+  logic::RelationId u = result.vocabulary.AddRelation(
+      "U", 1, pick_weight(), numeric::BigRational(1));
+  logic::RelationId v = result.vocabulary.AddRelation(
+      "V", 1, pick_weight(), numeric::BigRational(1));
+  logic::RelationId r =
+      result.vocabulary.AddRelation("R", 2, pick_weight(), pick_weight());
+
+  auto var = [](const char* name) { return logic::Term::Var(name); };
+  std::vector<logic::Formula> atoms = {
+      logic::Atom(u, {var("x")}),           logic::Atom(u, {var("y")}),
+      logic::Atom(v, {var("x")}),           logic::Atom(v, {var("y")}),
+      logic::Atom(r, {var("x"), var("y")}), logic::Atom(r, {var("y"), var("x")}),
+      logic::Atom(r, {var("x"), var("x")}), logic::Atom(r, {var("y"), var("y")}),
+  };
+  // Random matrix: a small tree of connectives over random atoms.
+  std::function<logic::Formula(int)> matrix = [&](int depth) -> logic::Formula {
+    if (depth == 0 || rng() % 3 == 0) {
+      logic::Formula atom = atoms[rng() % atoms.size()];
+      return rng() % 2 ? logic::Not(atom) : atom;
+    }
+    logic::Formula a = matrix(depth - 1);
+    logic::Formula b = matrix(depth - 1);
+    switch (rng() % 3) {
+      case 0: return logic::And(std::move(a), std::move(b));
+      case 1: return logic::Or(std::move(a), std::move(b));
+      default: return logic::Implies(std::move(a), std::move(b));
+    }
+  };
+  logic::Formula body = matrix(2);
+  switch (rng() % 4) {
+    case 0:
+      result.sentence = logic::Forall("x", logic::Forall("y", body));
+      break;
+    case 1:
+      result.sentence = logic::Forall("x", logic::Exists("y", body));
+      break;
+    case 2:
+      result.sentence = logic::Exists("x", logic::Forall("y", body));
+      break;
+    default:
+      result.sentence = logic::Exists("x", logic::Exists("y", body));
+      break;
+  }
+  return result;
+}
+
+/// Random γ-acyclic conjunctive query *as a sentence*: the tree-query
+/// shape of MakeRandomTreeQuery (each atom shares exactly one variable
+/// with an earlier atom and introduces a fresh one), existentially closed
+/// over all variables, with random positive weights (w + w̄ != 0 so the
+/// γ-acyclic route is admissible) on a fresh vocabulary.
+inline RandomSentence MakeRandomGammaAcyclicSentence(std::uint64_t seed,
+                                                     std::size_t atoms) {
+  std::mt19937_64 rng(seed);
+  RandomSentence result;
+  auto pick_weight = [&]() {
+    switch (rng() % 4) {
+      case 0: return numeric::BigRational(1);
+      case 1: return numeric::BigRational(2);
+      case 2: return numeric::BigRational::Fraction(1, 2);
+      default: return numeric::BigRational::Fraction(3, 2);
+    }
+  };
+  auto var = [](const std::string& name) { return logic::Term::Var(name); };
+  std::vector<std::string> variables = {"v0", "v1"};
+  logic::RelationId r1 =
+      result.vocabulary.AddRelation("R1", 2, pick_weight(), pick_weight());
+  logic::Formula body = logic::Atom(r1, {var("v0"), var("v1")});
+  for (std::size_t i = 2; i <= atoms; ++i) {
+    std::string shared = variables[rng() % variables.size()];
+    std::string fresh = "v" + std::to_string(variables.size());
+    variables.push_back(fresh);
+    std::string name = "R" + std::to_string(i);
+    logic::Formula atom;
+    if (rng() % 4 == 0) {
+      atom = logic::Atom(
+          result.vocabulary.AddRelation(name, 1, pick_weight(), pick_weight()),
+          {var(fresh)});
+    } else if (rng() % 2 == 0) {
+      atom = logic::Atom(
+          result.vocabulary.AddRelation(name, 2, pick_weight(), pick_weight()),
+          {var(shared), var(fresh)});
+    } else {
+      atom = logic::Atom(
+          result.vocabulary.AddRelation(name, 2, pick_weight(), pick_weight()),
+          {var(fresh), var(shared)});
+    }
+    body = logic::And(std::move(body), std::move(atom));
+  }
+  result.sentence = std::move(body);
+  for (std::size_t i = variables.size(); i-- > 0;) {
+    result.sentence = logic::Exists(variables[i], std::move(result.sentence));
+  }
+  return result;
+}
+
+/// Base seed for the fuzz suites: the committed default, overridable with
+/// the SWFOMC_FUZZ_SEED environment variable (CI rotates it per run and
+/// logs the value so any failure is replayable).
+inline std::uint64_t FuzzBaseSeed(std::uint64_t default_seed) {
+  const char* env = std::getenv("SWFOMC_FUZZ_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  return std::strtoull(env, nullptr, 10);
 }
 
 }  // namespace swfomc::testutil

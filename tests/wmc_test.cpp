@@ -270,6 +270,28 @@ TEST(DpllCounterTest, CacheEntryBoundEvicts) {
   EXPECT_GT(counter.stats().cache_evictions, 0u);
 }
 
+TEST(DpllCounterTest, RepeatedCountReportsPerInvocationStats) {
+  // The cache persists across Count() calls but stats() must describe
+  // exactly one invocation: the second run answers its top-level
+  // components straight from the warm cache, so it reports fresh lookups
+  // with zero insertions — not the cumulative totals of both runs.
+  CnfFormula cnf;
+  cnf.variable_count = 16;
+  for (VarId v = 0; v + 1 < 16; ++v) {
+    cnf.clauses.push_back({Literal{v, true}, Literal{VarId(v + 1), true}});
+  }
+  DpllCounter counter(cnf, WeightMap(16));
+  EXPECT_EQ(counter.Count(), BigRational(2584));
+  DpllCounter::Stats first = counter.stats();
+  EXPECT_GT(first.cache_insertions, 0u);
+  EXPECT_EQ(counter.Count(), BigRational(2584));
+  DpllCounter::Stats second = counter.stats();
+  EXPECT_GT(second.cache_lookups, 0u);
+  EXPECT_LT(second.cache_lookups, first.cache_lookups);
+  EXPECT_EQ(second.cache_insertions, 0u);  // warm cache: nothing recomputed
+  EXPECT_LE(second.cache_hits, second.cache_lookups);
+}
+
 TEST(ComponentCacheTest, LookupInsertAndCollisionHandling) {
   ComponentCache cache(/*max_entries=*/2);
   ComponentKey a{1, 2, kComponentKeySeparator};
@@ -288,6 +310,78 @@ TEST(ComponentCacheTest, LookupInsertAndCollisionHandling) {
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.evictions(), 1u);
   EXPECT_EQ(cache.Lookup(a, hash), nullptr);  // oldest entry gone
+}
+
+TEST(ComponentCacheTest, CounterInvariantsAndAccounting) {
+  // lookups / hits / insertions are first-class counters now (the stats
+  // staleness fixed in this PR): every probe is a lookup, every probe is
+  // at most one of {hit, collision}, and evictions never outrun
+  // insertions.
+  ComponentCache cache(/*max_entries=*/2);
+  ComponentKey a{1, kComponentKeySeparator};
+  ComponentKey b{2, kComponentKeySeparator};
+  EXPECT_EQ(cache.Lookup(a, HashComponentKey(a)), nullptr);
+  cache.Insert(a, HashComponentKey(a), BigRational(3));
+  EXPECT_NE(cache.Lookup(a, HashComponentKey(a)), nullptr);
+  cache.Insert(b, HashComponentKey(b), BigRational(4));
+  cache.Insert(ComponentKey{3}, HashComponentKey({3}), BigRational(5));
+  EXPECT_EQ(cache.lookups(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.insertions(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_LE(cache.hits() + cache.collisions(), cache.lookups());
+  EXPECT_LE(cache.evictions(), cache.insertions());
+  EXPECT_LE(cache.size(), cache.insertions() - cache.evictions());
+}
+
+TEST(ShardedComponentCacheTest, ShardsRouteByHashAndAggregateCounters) {
+  ShardedComponentCache cache(/*max_entries=*/64, /*shard_count=*/4,
+                              /*synchronized=*/true);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  BigRational value;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    ComponentKey key{i, kComponentKeySeparator};
+    std::uint64_t hash = HashComponentKey(key);
+    EXPECT_FALSE(cache.Lookup(key, hash, &value));
+    cache.Insert(key, hash, BigRational(static_cast<std::int64_t>(i)));
+  }
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    ComponentKey key{i, kComponentKeySeparator};
+    ASSERT_TRUE(cache.Lookup(key, HashComponentKey(key), &value));
+    EXPECT_EQ(value, BigRational(static_cast<std::int64_t>(i)));
+  }
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_EQ(cache.lookups(), 64u);
+  EXPECT_EQ(cache.hits(), 32u);
+  EXPECT_EQ(cache.insertions(), 32u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ShardedComponentCacheTest, SplitsEntryBoundAcrossShards) {
+  // Global bound 8 over 4 shards = 2 entries per shard; flooding one
+  // stripe cannot grow the cache past the global bound.
+  ShardedComponentCache cache(/*max_entries=*/8, /*shard_count=*/4,
+                              /*synchronized=*/false);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ComponentKey key{i, kComponentKeySeparator};
+    cache.Insert(key, HashComponentKey(key), BigRational(1));
+  }
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_EQ(cache.insertions(), 64u);
+  EXPECT_GE(cache.evictions(), 64u - 8u);
+}
+
+TEST(ShardedComponentCacheTest, TinyGlobalBoundCollapsesShards) {
+  // A global bound below the requested shard count must drop shards, not
+  // round every shard up to one entry and overshoot the bound.
+  ShardedComponentCache cache(/*max_entries=*/3, /*shard_count=*/16,
+                              /*synchronized=*/true);
+  EXPECT_LE(cache.shard_count(), 2u);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ComponentKey key{i, kComponentKeySeparator};
+    cache.Insert(key, HashComponentKey(key), BigRational(1));
+  }
+  EXPECT_LE(cache.size(), 3u);
 }
 
 TEST(CompactCnfTest, LiteralEncodingRoundTrip) {
