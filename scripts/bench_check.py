@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compares a fresh BENCH_wmc.json against the
+committed baseline and fails (exit 1) when any instance regressed more
+than the threshold.
+
+Usage:
+    scripts/bench_check.py BASELINE.json FRESH.json [--threshold 1.25]
+
+Rules:
+  * Instances are matched by (driver, benchmark name); instances present
+    on only one side are reported but never fail the gate (new rows have
+    no baseline, retired rows have no fresh run).
+  * Multi-threaded rows are skipped: the committed baseline was recorded
+    on a 1-core container (see CHANGES.md), where threads > 1 only
+    measures pool overhead — comparing them against a multi-core CI
+    runner would be noise in both directions. A row is multi-threaded
+    when its counter/pool thread count (the trailing benchmark argument
+    in `..._Threads/N/T/...` rows, or any `_Pooled` sweep row) is > 1.
+  * Comparison is on real_time, normalized per iteration by the
+    benchmark library already; the threshold is a ratio (1.25 = +25%).
+
+Environment: BENCH_REGRESSION_THRESHOLD overrides --threshold.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def is_multithreaded(name: str) -> bool:
+    """True for rows whose counter/pool runs more than one thread."""
+    if "_Pooled" in name:
+        return True
+    match = re.match(r".*_Threads/\d+/(\d+)(?:/|$)", name)
+    return match is not None and int(match.group(1)) > 1
+
+
+def load_rows(path: str) -> dict:
+    with open(path) as handle:
+        report = json.load(handle)
+    rows = {}
+    for driver, payload in report.items():
+        for bench in payload.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            rows[(driver, bench["name"])] = float(bench["real_time"])
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "1.25")),
+        help="fail when fresh/baseline exceeds this ratio (default 1.25)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    regressions = []
+    skipped = 0
+    compared = 0
+    for key, base_time in sorted(baseline.items()):
+        driver, name = key
+        if key not in fresh:
+            print(f"note: {driver}:{name} missing from fresh run")
+            continue
+        if is_multithreaded(name):
+            skipped += 1
+            continue
+        compared += 1
+        ratio = fresh[key] / base_time if base_time > 0 else float("inf")
+        marker = ""
+        if ratio > args.threshold:
+            regressions.append((driver, name, base_time, fresh[key], ratio))
+            marker = "  <-- REGRESSION"
+        print(f"{driver}:{name}: {base_time:.3g} -> {fresh[key]:.3g} ns "
+              f"({ratio:.2f}x){marker}")
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"note: {key[0]}:{key[1]} has no baseline (new instance)")
+
+    print(f"\ncompared {compared} instances "
+          f"({skipped} multi-threaded rows skipped), "
+          f"threshold {args.threshold:.2f}x")
+    if regressions:
+        print(f"FAIL: {len(regressions)} instance(s) regressed "
+              f"more than {100 * (args.threshold - 1):.0f}%:")
+        for driver, name, base, new, ratio in regressions:
+            print(f"  {driver}:{name}: {base:.3g} -> {new:.3g} ns "
+                  f"({ratio:.2f}x)")
+        return 1
+    print("OK: no instance regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "api/engine.h"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -129,42 +130,73 @@ logic::Formula Engine::Parse(const std::string& text) {
 }
 
 Method Engine::Route(const logic::Formula& sentence) const {
+  return ExplainRoute(sentence).method;
+}
+
+RouteDecision Engine::ExplainRoute(const logic::Formula& sentence) const {
+  // Rejection evidence for the grounded fallback's reason line.
+  std::string cq_obstacle;
+  std::string fo2_obstacle;
+
   // γ-acyclic CQ path: needs probability conversion, so w + w̄ != 0.
   if (auto query = AsConjunctiveQuery(sentence, vocabulary_)) {
-    bool weights_ok = true;
+    std::string zero_total_relation;
     for (const auto& atom : query->atoms()) {
       logic::RelationId id = vocabulary_.Require(atom.relation);
       if ((vocabulary_.positive_weight(id) + vocabulary_.negative_weight(id))
               .IsZero()) {
-        weights_ok = false;
+        zero_total_relation = atom.relation;
         break;
       }
     }
-    if (weights_ok && cq::IsGammaAcyclic(cq::BuildHypergraph(*query))) {
-      return Method::kGammaAcyclic;
+    if (!zero_total_relation.empty()) {
+      cq_obstacle = "conjunctive query but relation " + zero_total_relation +
+                    " has w + w̄ = 0";
+    } else if (cq::IsGammaAcyclic(cq::BuildHypergraph(*query))) {
+      return RouteDecision{
+          Method::kGammaAcyclic,
+          "existential conjunctive query with a gamma-acyclic hypergraph "
+          "(Theorem 3.6 evaluator, PTIME)"};
+    } else {
+      cq_obstacle = "conjunctive query but its hypergraph is not "
+                    "gamma-acyclic";
+    }
+  } else {
+    cq_obstacle = "not an existential conjunctive query";
+  }
+
+  if (!logic::IsSentence(sentence)) {
+    fo2_obstacle = "not a sentence (free variables)";
+  } else if (!logic::InFragmentFOk(sentence, 2)) {
+    fo2_obstacle = "uses more than 2 variables";
+  } else if (vocabulary_.MaxArity() > 2) {
+    fo2_obstacle = "vocabulary has a relation of arity > 2";
+  } else {
+    // Constants also exclude the lifted path; scan for them here (the
+    // same check ToUniversalForm performs) so routing stays cheap.
+    std::function<bool(const Formula&)> has_constant =
+        [&](const Formula& f) {
+          for (const logic::Term& t : f->arguments()) {
+            if (t.IsConstant()) return true;
+          }
+          for (const Formula& child : f->children()) {
+            if (has_constant(child)) return true;
+          }
+          return false;
+        };
+    if (has_constant(sentence)) {
+      fo2_obstacle = "contains constants";
+    } else {
+      return RouteDecision{
+          Method::kLiftedFO2,
+          "FO² sentence over arity <= 2 without constants "
+          "(Appendix C cell algorithm, PTIME data complexity)"};
     }
   }
-  if (logic::IsSentence(sentence) && logic::InFragmentFOk(sentence, 2) &&
-      vocabulary_.MaxArity() <= 2) {
-    // Constants also exclude the lifted path.
-    try {
-      // Routing must be cheap; rely on the same checks ToUniversalForm
-      // performs by scanning for constants here.
-      std::function<bool(const Formula&)> has_constant =
-          [&](const Formula& f) {
-            for (const logic::Term& t : f->arguments()) {
-              if (t.IsConstant()) return true;
-            }
-            for (const Formula& child : f->children()) {
-              if (has_constant(child)) return true;
-            }
-            return false;
-          };
-      if (!has_constant(sentence)) return Method::kLiftedFO2;
-    } catch (...) {
-    }
-  }
-  return Method::kGrounded;
+
+  return RouteDecision{Method::kGrounded,
+                       "grounded fallback: " + cq_obstacle + "; " +
+                           fo2_obstacle};
 }
 
 Engine::Result Engine::WFOMC(const logic::Formula& sentence,
@@ -185,8 +217,10 @@ Engine::Result Engine::WFOMC(const logic::Formula& sentence,
     case Method::kGrounded: {
       wmc::DpllCounter::Options counter_options;
       counter_options.num_threads = options_.num_threads;
-      result.value = grounding::GroundedWFOMC(sentence, vocabulary_,
-                                              domain_size, counter_options);
+      wmc::DpllCounter::Stats stats;
+      result.value = grounding::GroundedWFOMC(
+          sentence, vocabulary_, domain_size, counter_options, &stats);
+      result.grounded_stats = stats;
       return result;
     }
     case Method::kAuto:
@@ -200,6 +234,10 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
                                        Method method) {
   if (n_lo > n_hi) {
     throw std::invalid_argument("Engine::WFOMCSweep: n_lo > n_hi");
+  }
+  // One point per size; [0, 2^64-1] would wrap the count to zero.
+  if (n_hi - n_lo == std::numeric_limits<std::uint64_t>::max()) {
+    throw std::invalid_argument("Engine::WFOMCSweep: range too large");
   }
   if (method == Method::kAuto) method = Route(sentence);
   SweepResult sweep;

@@ -2,6 +2,7 @@
 #define SWFOMC_API_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "logic/vocabulary.h"
 #include "numeric/bigint.h"
 #include "numeric/rational.h"
+#include "wmc/dpll_counter.h"
 
 namespace swfomc::api {
 
@@ -21,6 +23,17 @@ enum class Method {
 };
 
 const char* ToString(Method method);
+
+/// The outcome of Auto routing, with the evidence behind it: `method` is
+/// what Route() returns and `reason` a one-line human-readable
+/// justification (why the chosen path applies, or — for the grounded
+/// fallback — why each lifted path was rejected). Surfaced through the
+/// CLI's JSON output so every run records which algorithm answered and
+/// why.
+struct RouteDecision {
+  Method method = Method::kGrounded;
+  std::string reason;
+};
 
 /// The library facade: one entry point for symmetric WFOMC over a weighted
 /// vocabulary. `Auto` routing sends
@@ -56,6 +69,9 @@ class Engine {
   struct Result {
     numeric::BigRational value;
     Method method = Method::kGrounded;
+    /// The DPLL counter's search/cache counters when `method` was
+    /// kGrounded (the lifted paths never run the counter).
+    std::optional<wmc::DpllCounter::Stats> grounded_stats;
   };
 
   /// Symmetric WFOMC(Φ, n, w, w̄).
@@ -108,6 +124,10 @@ class Engine {
 
   /// The routing decision Auto would take (for inspection/testing).
   Method Route(const logic::Formula& sentence) const;
+
+  /// Route() plus the reason for the decision — the introspection the
+  /// CLI's reports are built on. Route(s) == ExplainRoute(s).method.
+  RouteDecision ExplainRoute(const logic::Formula& sentence) const;
 
  private:
   logic::Vocabulary vocabulary_;

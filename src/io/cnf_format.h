@@ -1,0 +1,55 @@
+#ifndef SWFOMC_IO_CNF_FORMAT_H_
+#define SWFOMC_IO_CNF_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "prop/cnf.h"
+#include "wmc/weights.h"
+
+namespace swfomc::io {
+
+/// A propositional WMC instance: CNF plus per-variable weights, ready to
+/// hand to wmc::DpllCounter.
+struct WeightedCnf {
+  prop::CnfFormula cnf;
+  wmc::WeightMap weights;  // sized to cnf.variable_count; defaults (1, 1)
+};
+
+/// Parses the weighted-DIMACS dialect used by exact counters in the
+/// Cachet / MiniC2D family:
+///
+///   c free-text comment
+///   p cnf VARS CLAUSES          -- required before any clause or weight
+///   w VAR W WBAR                -- both weights of variable VAR (1-based)
+///                                  as exact rationals
+///   w LIT W                     -- MiniC2D-style: one literal's weight
+///                                  (positive LIT sets w, negative sets w̄)
+///   1 -2 3 0                    -- clauses, 0-terminated, may span lines
+///
+/// Weight lines take no trailing "0" terminator — `w 2 1/2 0` would be
+/// ambiguous between a terminated literal-form line and w̄ = 0, so any
+/// weight line ending in the bare token "0" is rejected with a hint; a
+/// genuine zero weight is spelled `0/1` (e.g. `w 2 1/2 0/1`).
+/// Unweighted variables default to (1, 1) — plain #SAT.
+///
+/// Malformed input — a missing or malformed header, literals out of the
+/// declared range, more clauses than declared, a truncated final clause
+/// (no terminating 0), bad weight lines, or a weight side set twice —
+/// throws io::ParseError with `source` and the offending line/column;
+/// never crashes.
+WeightedCnf ParseWeightedCnf(std::string_view text,
+                             std::string_view source = "");
+
+/// Reads and parses a `.cnf` file; throws std::runtime_error when the
+/// file cannot be read, io::ParseError when it cannot be parsed.
+WeightedCnf LoadWeightedCnfFile(const std::string& path);
+
+/// Canonical rendering: header, then one `w VAR W WBAR` line per
+/// non-(1,1) variable in index order, then one 0-terminated clause per
+/// line. ParseWeightedCnf(PrintWeightedCnf(x)) reproduces x exactly.
+std::string PrintWeightedCnf(const WeightedCnf& instance);
+
+}  // namespace swfomc::io
+
+#endif  // SWFOMC_IO_CNF_FORMAT_H_

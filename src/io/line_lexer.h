@@ -1,0 +1,147 @@
+#ifndef SWFOMC_IO_LINE_LEXER_H_
+#define SWFOMC_IO_LINE_LEXER_H_
+
+// Shared token-level machinery for the io module's line-oriented readers
+// (model_format.cpp, cnf_format.cpp): whitespace tokenization with column
+// tracking, and the numeric token parsers with their overflow checks.
+// Internal to src/io — not part of the module's public surface.
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/diagnostics.h"
+#include "numeric/rational.h"
+
+namespace swfomc::io::internal {
+
+/// Calls fn(line_number, line) for every line of `text` (1-based, final
+/// newline-less line included, a trailing newline yielding one empty
+/// final line), with Windows '\r' stripped. Both readers get their line
+/// accounting from here so their diagnostics can never drift.
+template <typename LineFn>
+inline void ForEachLine(std::string_view text, LineFn&& fn) {
+  std::size_t pos = 0;
+  std::size_t number = 1;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    fn(number, line);
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+    ++number;
+  }
+}
+
+/// One whitespace-delimited token plus the 1-based column it starts at.
+struct LineToken {
+  std::string text;
+  std::size_t column = 1;
+};
+
+inline std::vector<LineToken> Tokenize(std::string_view line) {
+  std::vector<LineToken> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back(
+        LineToken{std::string(line.substr(start, i - start)), start + 1});
+  }
+  return tokens;
+}
+
+[[noreturn]] inline void FailAt(std::string_view source, Location location,
+                                const std::string& message) {
+  throw ParseError(std::string(source), location, message);
+}
+
+/// Parses `text` (usually token.text, but domain ranges parse substrings)
+/// as a non-negative integer; errors point at the token's position.
+inline std::uint64_t ParseUnsignedText(std::string_view source,
+                                       std::size_t line,
+                                       const LineToken& token,
+                                       const std::string& text,
+                                       const char* what) {
+  Location at{line, token.column};
+  if (text.empty()) FailAt(source, at, std::string("missing ") + what);
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      FailAt(source, at,
+             std::string("bad ") + what + " '" + text +
+                 "' (expected a non-negative integer)");
+    }
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    // Checked before the multiply: the *10 itself can wrap past a
+    // post-hoc "smaller than before" test.
+    if (value > (kMax - digit) / 10) {
+      FailAt(source, at, std::string(what) + " '" + text + "' overflows");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+inline std::uint64_t ParseUnsigned(std::string_view source, std::size_t line,
+                                   const LineToken& token, const char* what) {
+  return ParseUnsignedText(source, line, token, token.text, what);
+}
+
+inline std::int64_t ParseSigned(std::string_view source, std::size_t line,
+                                const LineToken& token, const char* what) {
+  Location at{line, token.column};
+  std::string_view text = token.text;
+  bool negative = false;
+  if (!text.empty() && text[0] == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  if (text.empty()) {
+    FailAt(source, at,
+           std::string("bad ") + what + " '" + token.text + "'");
+  }
+  std::int64_t value = 0;
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      FailAt(source, at,
+             std::string("bad ") + what + " '" + token.text +
+                 "' (expected an integer)");
+    }
+    if (value > (std::int64_t{1} << 32)) {
+      FailAt(source, at,
+             std::string(what) + " '" + token.text + "' overflows");
+    }
+    value = value * 10 + (c - '0');
+  }
+  return negative ? -value : value;
+}
+
+inline numeric::BigRational ParseRational(std::string_view source,
+                                          std::size_t line,
+                                          const LineToken& token) {
+  try {
+    return numeric::BigRational::FromString(token.text);
+  } catch (const std::invalid_argument&) {
+    FailAt(source, {line, token.column},
+           "bad rational '" + token.text +
+               "' (expected \"a\", \"-a\", or \"a/b\")");
+  }
+}
+
+}  // namespace swfomc::io::internal
+
+#endif  // SWFOMC_IO_LINE_LEXER_H_

@@ -1,0 +1,79 @@
+#ifndef SWFOMC_IO_MODEL_FORMAT_H_
+#define SWFOMC_IO_MODEL_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/engine.h"
+#include "io/diagnostics.h"
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "numeric/rational.h"
+
+namespace swfomc::io {
+
+/// A weighted WFOMC workload parsed from a `.model` file: the sentence,
+/// its weighted vocabulary, and the domain size (or sweep range) to count
+/// over — everything a recompile used to be needed for.
+///
+/// The format is line-oriented; `#` starts a comment (full line or after
+/// a directive) and blank lines are ignored:
+///
+///   model NAME                  -- optional; a label for reports
+///   predicate NAME ARITY        -- optional; pre-declares a relation.
+///                                  Must precede `sentence`; duplicate
+///                                  declarations are an error.
+///   sentence FO-SENTENCE        -- required, once; the parser syntax of
+///                                  logic/parser.h. Undeclared relations
+///                                  are added with the observed arity.
+///   weight NAME W WBAR          -- optional; exact rationals ("2", "-1",
+///                                  "1/2"). NAME must be declared or used
+///                                  by the sentence; one weight line per
+///                                  relation. Defaults to (1, 1).
+///   domain N                    -- required, once; or `domain LO..HI`
+///                                  for a sweep over every size in range.
+///   method NAME                 -- optional; auto | lifted-fo2 |
+///                                  gamma-acyclic | grounded. Default auto.
+///   expect VALUE                -- optional; the exact WFOMC value at the
+///                                  largest domain size. Lets a runner
+///                                  verify the count (`swfomc run --check`).
+struct ModelSpec {
+  std::string name;
+  logic::Vocabulary vocabulary;  // weights applied
+  logic::Formula sentence;
+  std::string sentence_text;  // verbatim, as it appeared in the file
+  std::uint64_t domain_lo = 0;
+  std::uint64_t domain_hi = 0;
+  api::Method method = api::Method::kAuto;
+  std::optional<numeric::BigRational> expect;
+
+  bool IsSweep() const { return domain_lo != domain_hi; }
+};
+
+/// Parses a `.model` document. Throws io::ParseError (with `source` and
+/// the 1-based line/column of the offending token) on any malformed
+/// input — unknown directives, duplicate declarations, bad weights,
+/// missing required directives, FO syntax errors; never crashes.
+ModelSpec ParseModel(std::string_view text, std::string_view source = "");
+
+/// Reads and parses a `.model` file; throws std::runtime_error when the
+/// file cannot be read, io::ParseError when it cannot be parsed.
+ModelSpec LoadModelFile(const std::string& path);
+
+/// Canonical rendering: directives in the fixed order (model, predicate,
+/// sentence, weight, domain, method, expect), predicates and weights in
+/// vocabulary order, the sentence reprinted by logic::ToString, unit
+/// weights omitted, `method auto` omitted. PrintModel is a fixpoint:
+/// ParseModel(PrintModel(s)) prints identically, which the round-trip
+/// fuzz test in tests/io_test.cpp relies on.
+std::string PrintModel(const ModelSpec& spec);
+
+/// Method name <-> enum for directives and CLI flags; ParseMethod returns
+/// nullopt for an unknown name ("auto" maps to Method::kAuto).
+std::optional<api::Method> ParseMethodName(std::string_view text);
+
+}  // namespace swfomc::io
+
+#endif  // SWFOMC_IO_MODEL_FORMAT_H_

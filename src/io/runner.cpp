@@ -1,0 +1,147 @@
+#include "io/runner.h"
+
+#include <chrono>
+#include <utility>
+
+#include "logic/printer.h"
+
+namespace swfomc::io {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options,
+                        std::string source) {
+  ModelRunReport report;
+  report.source = std::move(source);
+  report.name = spec.name;
+  report.domain_lo = spec.domain_lo;
+  report.domain_hi = spec.domain_hi;
+
+  api::Engine engine(spec.vocabulary,
+                     api::Engine::Options{options.num_threads});
+  report.sentence =
+      logic::ToString(spec.sentence, engine.vocabulary());
+  report.route = engine.ExplainRoute(spec.sentence);
+
+  api::Method method =
+      options.method_override.value_or(spec.method);
+  if (method == api::Method::kAuto) method = report.route.method;
+  report.method_used = method;
+
+  auto start = std::chrono::steady_clock::now();
+  if (spec.IsSweep()) {
+    api::Engine::SweepResult sweep = engine.WFOMCSweep(
+        spec.sentence, spec.domain_lo, spec.domain_hi, method);
+    report.points = std::move(sweep.points);
+  } else {
+    api::Engine::Result result =
+        engine.WFOMC(spec.sentence, spec.domain_lo, method);
+    report.points.push_back(
+        api::Engine::SweepPoint{spec.domain_lo, std::move(result.value)});
+    report.grounded_stats = std::move(result.grounded_stats);
+  }
+  report.elapsed_seconds = SecondsSince(start);
+
+  report.expected = spec.expect;
+  if (report.expected.has_value()) {
+    report.check_passed = report.points.back().value == *report.expected;
+  }
+  return report;
+}
+
+CnfRunReport RunWeightedCnf(const WeightedCnf& instance,
+                            const RunOptions& options, std::string source) {
+  CnfRunReport report;
+  report.source = std::move(source);
+  report.variables = instance.cnf.variable_count;
+  report.clauses = instance.cnf.clauses.size();
+
+  wmc::DpllCounter::Options counter_options;
+  counter_options.num_threads = options.num_threads;
+  wmc::DpllCounter counter(instance.cnf, instance.weights, counter_options);
+
+  auto start = std::chrono::steady_clock::now();
+  report.count = counter.Count();
+  report.elapsed_seconds = SecondsSince(start);
+  report.stats = counter.stats();
+  return report;
+}
+
+JsonValue ToJson(const wmc::DpllCounter::Stats& stats) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("decisions", JsonValue::MakeNumber(stats.decisions));
+  json.Add("unit_propagations",
+           JsonValue::MakeNumber(stats.unit_propagations));
+  json.Add("component_splits", JsonValue::MakeNumber(stats.component_splits));
+  json.Add("parallel_forks", JsonValue::MakeNumber(stats.parallel_forks));
+  json.Add("cache_lookups", JsonValue::MakeNumber(stats.cache_lookups));
+  json.Add("cache_hits", JsonValue::MakeNumber(stats.cache_hits));
+  json.Add("cache_entries", JsonValue::MakeNumber(stats.cache_entries));
+  json.Add("cache_collisions", JsonValue::MakeNumber(stats.cache_collisions));
+  json.Add("cache_insertions", JsonValue::MakeNumber(stats.cache_insertions));
+  json.Add("cache_evictions", JsonValue::MakeNumber(stats.cache_evictions));
+  return json;
+}
+
+JsonValue ToJson(const ModelRunReport& report) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("file", JsonValue::MakeString(report.source));
+  if (!report.name.empty()) {
+    json.Add("name", JsonValue::MakeString(report.name));
+  }
+  json.Add("sentence", JsonValue::MakeString(report.sentence));
+  json.Add("method", JsonValue::MakeString(api::ToString(report.method_used)));
+
+  JsonValue route = JsonValue::MakeObject();
+  route.Add("method",
+            JsonValue::MakeString(api::ToString(report.route.method)));
+  route.Add("reason", JsonValue::MakeString(report.route.reason));
+  json.Add("route", std::move(route));
+
+  JsonValue domain = JsonValue::MakeObject();
+  domain.Add("lo", JsonValue::MakeNumber(report.domain_lo));
+  domain.Add("hi", JsonValue::MakeNumber(report.domain_hi));
+  json.Add("domain", std::move(domain));
+
+  JsonValue points = JsonValue::MakeArray();
+  for (const api::Engine::SweepPoint& point : report.points) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Add("n", JsonValue::MakeNumber(point.domain_size));
+    entry.Add("wfomc", JsonValue::MakeString(point.value.ToString()));
+    points.array.push_back(std::move(entry));
+  }
+  json.Add("points", std::move(points));
+
+  if (report.grounded_stats.has_value()) {
+    json.Add("stats", ToJson(*report.grounded_stats));
+  }
+  json.Add("elapsed_seconds", JsonValue::MakeNumber(report.elapsed_seconds));
+  if (report.expected.has_value()) {
+    json.Add("expect", JsonValue::MakeString(report.expected->ToString()));
+    json.Add("check",
+             JsonValue::MakeString(report.check_passed ? "pass" : "fail"));
+  }
+  return json;
+}
+
+JsonValue ToJson(const CnfRunReport& report) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("file", JsonValue::MakeString(report.source));
+  json.Add("variables", JsonValue::MakeNumber(
+                            static_cast<std::uint64_t>(report.variables)));
+  json.Add("clauses", JsonValue::MakeNumber(report.clauses));
+  json.Add("wmc", JsonValue::MakeString(report.count.ToString()));
+  json.Add("stats", ToJson(report.stats));
+  json.Add("elapsed_seconds", JsonValue::MakeNumber(report.elapsed_seconds));
+  return json;
+}
+
+}  // namespace swfomc::io

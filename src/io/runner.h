@@ -1,0 +1,80 @@
+#ifndef SWFOMC_IO_RUNNER_H_
+#define SWFOMC_IO_RUNNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "io/cnf_format.h"
+#include "io/json.h"
+#include "io/model_format.h"
+#include "numeric/rational.h"
+#include "wmc/dpll_counter.h"
+
+namespace swfomc::io {
+
+/// Execution knobs shared by every CLI subcommand.
+struct RunOptions {
+  /// Engine::Options::num_threads (1 = sequential, 0 = hardware).
+  unsigned num_threads = 1;
+  /// Overrides the model's `method` directive when set (the CLI's
+  /// --method flag).
+  std::optional<api::Method> method_override;
+};
+
+/// Everything one model evaluation produced, ready for serialization:
+/// the counts (one point per domain size), the routing decision and its
+/// reason, counter statistics where the grounded engine ran, wall-clock
+/// time, and the outcome of the `expect` check.
+struct ModelRunReport {
+  std::string source;    // file path (or "<input>")
+  std::string name;      // the model directive, may be empty
+  std::string sentence;  // canonical rendering
+  /// What Auto routing would pick and why — always reported, even when a
+  /// method was forced, so logs show when a run overrode the router.
+  api::RouteDecision route;
+  /// The method that actually computed the counts.
+  api::Method method_used = api::Method::kGrounded;
+  std::uint64_t domain_lo = 0;
+  std::uint64_t domain_hi = 0;
+  std::vector<api::Engine::SweepPoint> points;  // ascending, >= 1 entry
+  /// DPLL counter statistics; present for single-point grounded runs
+  /// (sweeps share no single counter, so they report none).
+  std::optional<wmc::DpllCounter::Stats> grounded_stats;
+  double elapsed_seconds = 0.0;
+  std::optional<numeric::BigRational> expected;  // the `expect` directive
+  /// False iff `expected` is present and the count at domain_hi differs.
+  bool check_passed = true;
+};
+
+/// Evaluates a parsed model through api::Engine (WFOMC for a point,
+/// WFOMCSweep for a range) and assembles the report.
+ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options = {},
+                        std::string source = "<input>");
+
+/// One weighted CNF count through wmc::DpllCounter.
+struct CnfRunReport {
+  std::string source;
+  std::uint32_t variables = 0;
+  std::uint64_t clauses = 0;
+  numeric::BigRational count;
+  wmc::DpllCounter::Stats stats;
+  double elapsed_seconds = 0.0;
+};
+
+CnfRunReport RunWeightedCnf(const WeightedCnf& instance,
+                            const RunOptions& options = {},
+                            std::string source = "<input>");
+
+/// JSON renderings of the reports (the `swfomc` output schema; see the
+/// README's "File formats and the swfomc CLI" section). All exact values
+/// are strings; timings are numbers.
+JsonValue ToJson(const ModelRunReport& report);
+JsonValue ToJson(const CnfRunReport& report);
+JsonValue ToJson(const wmc::DpllCounter::Stats& stats);
+
+}  // namespace swfomc::io
+
+#endif  // SWFOMC_IO_RUNNER_H_

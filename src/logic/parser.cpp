@@ -84,14 +84,14 @@ class Lexer {
           current_ = {TokenKind::kIff, "<=>", 0, pos_};
           return;
         }
-        throw std::invalid_argument(Error("unexpected '<'"));
+        Fail("unexpected '<'");
       case '-':
         if (text_.substr(pos_, 2) == "->") {
           pos_ += 2;
           current_ = {TokenKind::kImplies, "->", 0, pos_};
           return;
         }
-        throw std::invalid_argument(Error("unexpected '-'"));
+        Fail("unexpected '-'");
       default:
         break;
     }
@@ -128,12 +128,16 @@ class Lexer {
       }
       return;
     }
-    throw std::invalid_argument(Error("unexpected character '" +
-                                      std::string(1, c) + "'"));
+    Fail("unexpected character '" + std::string(1, c) + "'");
   }
 
   std::string Error(const std::string& message) const {
     return "FO parse error at offset " + std::to_string(pos_) + ": " + message;
+  }
+
+  /// Throws SyntaxError at the lexer's current position.
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw SyntaxError(Error(message), pos_);
   }
 
  private:
@@ -157,8 +161,7 @@ class Parser {
   Formula ParseFormula() {
     Formula result = ParseIff();
     if (lexer_.current().kind != TokenKind::kEnd) {
-      throw std::invalid_argument(
-          lexer_.Error("trailing input after formula"));
+      lexer_.Fail("trailing input after formula");
     }
     return result;
   }
@@ -215,8 +218,7 @@ class Parser {
       lexer_.Advance();
     }
     if (variables.empty()) {
-      throw std::invalid_argument(
-          lexer_.Error("quantifier requires at least one variable"));
+      lexer_.Fail("quantifier requires at least one variable");
     }
     if (lexer_.current().kind == TokenKind::kDot) lexer_.Advance();
     Formula body = ParseQuantified();
@@ -258,8 +260,7 @@ class Parser {
       case TokenKind::kNumber:
         return ParseEqualityFrom(ParseTerm());
       default:
-        throw std::invalid_argument(
-            lexer_.Error("expected a formula, found '" + token.text + "'"));
+        lexer_.Fail("expected a formula, found '" + token.text + "'");
     }
   }
 
@@ -290,8 +291,7 @@ class Parser {
       lexer_.Advance();
       return Not(Equals(std::move(left), ParseTerm()));
     }
-    throw std::invalid_argument(
-        lexer_.Error("expected '=' or '!=' after term"));
+    lexer_.Fail("expected '=' or '!=' after term");
   }
 
   Term ParseTerm() {
@@ -306,23 +306,20 @@ class Parser {
       lexer_.Advance();
       return t;
     }
-    throw std::invalid_argument(
-        lexer_.Error("expected a term (variable or constant)"));
+    lexer_.Fail("expected a term (variable or constant)");
   }
 
   RelationId ResolveRelation(const std::string& name, std::size_t arity) {
     if (auto id = vocabulary_->Find(name)) {
       if (vocabulary_->arity(*id) != arity) {
-        throw std::invalid_argument(
-            lexer_.Error("relation " + name + " used with arity " +
+        lexer_.Fail("relation " + name + " used with arity " +
                          std::to_string(arity) + " but declared with arity " +
-                         std::to_string(vocabulary_->arity(*id))));
+                         std::to_string(vocabulary_->arity(*id)));
       }
       return *id;
     }
     if (!allow_declare_) {
-      throw std::invalid_argument(
-          lexer_.Error("unknown relation " + name));
+      lexer_.Fail("unknown relation " + name);
     }
     return vocabulary_->AddRelation(name, arity);
   }
@@ -335,7 +332,7 @@ class Parser {
 
   void Expect(TokenKind kind, const std::string& what) {
     if (lexer_.current().kind != kind) {
-      throw std::invalid_argument(lexer_.Error("expected '" + what + "'"));
+      lexer_.Fail("expected '" + what + "'");
     }
     lexer_.Advance();
   }

@@ -1,12 +1,31 @@
 #ifndef SWFOMC_LOGIC_PARSER_H_
 #define SWFOMC_LOGIC_PARSER_H_
 
+#include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 
 #include "logic/formula.h"
 #include "logic/vocabulary.h"
 
 namespace swfomc::logic {
+
+/// What Parse/ParseStrict throw on malformed input. Derives from
+/// std::invalid_argument (the historical contract), additionally carrying
+/// the byte offset of the offending token so embedding file formats (the
+/// io module) can translate it into a file line/column.
+class SyntaxError : public std::invalid_argument {
+ public:
+  SyntaxError(const std::string& what, std::size_t offset)
+      : std::invalid_argument(what), offset_(offset) {}
+
+  /// Byte offset into the parsed text where the error was detected.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
 
 /// Parses the textual FO syntax used throughout the library.
 ///

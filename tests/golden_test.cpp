@@ -8,7 +8,9 @@
 // cannot see).
 //
 // The corpus location is compiled in (SWFOMC_GOLDEN_JSON, set by
-// tests/CMakeLists.txt), so the binary runs from any directory.
+// tests/CMakeLists.txt), so the binary runs from any directory. The JSON
+// itself is read through io::ParseJson — the library's own reader, once
+// a private copy in this file, now shared with the swfomc CLI.
 
 #include <gtest/gtest.h>
 
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "io/json.h"
 #include "numeric/rational.h"
 
 namespace swfomc {
@@ -29,155 +32,8 @@ namespace {
 
 using api::Engine;
 using api::Method;
+using io::JsonValue;
 using numeric::BigRational;
-
-// --- A minimal JSON reader ----------------------------------------------
-// Just enough for the corpus schema (objects, arrays, strings, unsigned
-// integers); no external dependency, throws std::runtime_error with a
-// byte offset on malformed input.
-
-struct JsonValue {
-  enum class Kind { kString, kNumber, kArray, kObject };
-  Kind kind = Kind::kString;
-  std::string string;                        // kString / kNumber (verbatim)
-  std::vector<JsonValue> array;              // kArray
-  std::map<std::string, JsonValue> object;   // kObject
-
-  const JsonValue& At(const std::string& key) const {
-    auto it = object.find(key);
-    if (it == object.end()) {
-      throw std::runtime_error("golden json: missing key '" + key + "'");
-    }
-    return it->second;
-  }
-  bool Has(const std::string& key) const { return object.count(key) > 0; }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-  JsonValue Parse() {
-    JsonValue value = ParseValue();
-    SkipSpace();
-    if (pos_ != text_.size()) Fail("trailing data");
-    return value;
-  }
-
- private:
-  [[noreturn]] void Fail(const std::string& why) const {
-    throw std::runtime_error("golden json: " + why + " at byte " +
-                             std::to_string(pos_));
-  }
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char Peek() {
-    SkipSpace();
-    if (pos_ >= text_.size()) Fail("unexpected end");
-    return text_[pos_];
-  }
-  void Expect(char c) {
-    if (Peek() != c) Fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue ParseValue() {
-    char c = Peek();
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') {
-      JsonValue value;
-      value.kind = JsonValue::Kind::kString;
-      value.string = ParseString();
-      return value;
-    }
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-      JsonValue value;
-      value.kind = JsonValue::Kind::kNumber;
-      std::size_t start = pos_;
-      if (text_[pos_] == '-') ++pos_;
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-      value.string = text_.substr(start, pos_ - start);
-      if (value.string.empty() || value.string == "-") Fail("bad number");
-      return value;
-    }
-    Fail("unexpected character");
-  }
-
-  std::string ParseString() {
-    Expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) Fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) Fail("bad escape");
-        char escape = text_[pos_++];
-        switch (escape) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          default: Fail("unsupported escape");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-  }
-
-  JsonValue ParseObject() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kObject;
-    Expect('{');
-    if (Peek() == '}') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      std::string key = ParseString();
-      Expect(':');
-      value.object.emplace(std::move(key), ParseValue());
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect('}');
-      return value;
-    }
-  }
-
-  JsonValue ParseArray() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kArray;
-    Expect('[');
-    if (Peek() == ']') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      value.array.push_back(ParseValue());
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      Expect(']');
-      return value;
-    }
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-};
 
 // --- Corpus loading ------------------------------------------------------
 
@@ -206,7 +62,7 @@ const std::vector<GoldenCase>& Corpus() {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    JsonValue root = JsonParser(buffer.str()).Parse();
+    JsonValue root = io::ParseJson(buffer.str(), SWFOMC_GOLDEN_JSON);
     std::vector<GoldenCase> cases;
     for (const JsonValue& entry : root.At("cases").array) {
       GoldenCase golden;

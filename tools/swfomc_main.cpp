@@ -1,0 +1,240 @@
+// swfomc — the command-line front-end: feed the engine models and
+// weighted CNFs as files instead of recompiled C++. Every subcommand
+// emits one machine-readable JSON document on stdout; diagnostics go to
+// stderr with file:line:column positions.
+//
+//   swfomc run [options] FILE.model...    evaluate WFOMC workloads
+//   swfomc cnf [options] FILE.cnf...      weighted model counts (DPLL)
+//   swfomc route FILE.model...            routing decision only, no solve
+//   swfomc print FILE.{model,cnf}...      reprint in canonical form
+//
+// Options:
+//   --threads N   worker threads (1 = sequential, 0 = hardware), default 1
+//   --method M    force auto | lifted-fo2 | gamma-acyclic | grounded
+//   --check       exit 1 when a model's `expect` value doesn't match
+//   --compact     single-line JSON output
+//
+// Exit codes: 0 success, 1 an `expect` check failed, 2 bad usage or
+// unreadable/malformed input.
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "io/cnf_format.h"
+#include "io/diagnostics.h"
+#include "io/json.h"
+#include "io/model_format.h"
+#include "io/runner.h"
+
+namespace {
+
+using swfomc::api::Engine;
+using swfomc::api::Method;
+using swfomc::io::JsonValue;
+using swfomc::io::ModelSpec;
+using swfomc::io::RunOptions;
+using swfomc::io::WeightedCnf;
+
+constexpr const char* kUsage =
+    R"(usage: swfomc <command> [options] <file>...
+
+commands:
+  run     evaluate .model files: parse, route, count, report JSON
+  cnf     weighted model count of .cnf files through the DPLL counter
+  route   report the routing decision for .model files without solving
+  print   parse .model/.cnf files and reprint them in canonical form
+
+options:
+  --threads N   worker threads (1 = sequential, 0 = one per hardware
+                thread); applies to the grounded path and sweeps
+  --method M    force a method: auto | lifted-fo2 | gamma-acyclic | grounded
+  --check       exit with status 1 if any model's `expect` value mismatches
+  --compact     emit single-line JSON instead of pretty-printed
+  --help        this text
+
+exit codes: 0 ok, 1 an expect-check failed, 2 usage or input error
+)";
+
+struct CliOptions {
+  std::string command;
+  RunOptions run;
+  bool check = false;
+  bool compact = false;
+  std::vector<std::string> files;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "swfomc: " << message << "\n";
+  return 2;
+}
+
+// Strict flag-value parser: digits only, bounded — `--threads -1` or
+// `--threads 4abc` must be a usage error, not ~4 billion worker threads
+// (std::stoul would accept both).
+unsigned ParseThreadCount(const std::string& text) {
+  if (text.empty()) throw std::runtime_error("--threads needs a value");
+  unsigned value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error("bad --threads value '" + text +
+                               "' (expected a non-negative integer)");
+    }
+    value = value * 10 + static_cast<unsigned>(c - '0');
+    if (value > 4096) {
+      throw std::runtime_error("--threads value '" + text +
+                               "' exceeds the supported maximum (4096)");
+    }
+  }
+  return value;  // 0 = one per hardware thread
+}
+
+std::optional<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  if (argc < 2) return std::nullopt;
+  options.command = argv[1];
+  if (options.command == "--help" || options.command == "-h") {
+    return std::nullopt;
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return std::nullopt;
+    if (arg == "--check") {
+      options.check = true;
+    } else if (arg == "--compact") {
+      options.compact = true;
+    } else if (arg == "--threads") {
+      if (++i >= argc) throw std::runtime_error("--threads needs a value");
+      options.run.num_threads = ParseThreadCount(argv[i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.run.num_threads = ParseThreadCount(arg.substr(10));
+    } else if (arg == "--method" || arg.rfind("--method=", 0) == 0) {
+      std::string name;
+      if (arg == "--method") {
+        if (++i >= argc) throw std::runtime_error("--method needs a value");
+        name = argv[i];
+      } else {
+        name = arg.substr(9);
+      }
+      auto method = swfomc::io::ParseMethodName(name);
+      if (!method.has_value()) {
+        throw std::runtime_error("unknown method '" + name + "'");
+      }
+      options.run.method_override = *method;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::runtime_error("unknown option '" + arg + "'");
+    } else {
+      options.files.push_back(std::move(arg));
+    }
+  }
+  if (options.files.empty()) {
+    throw std::runtime_error("no input files");
+  }
+  return options;
+}
+
+void Emit(const JsonValue& document, bool compact) {
+  std::cout << document.Dump(compact ? -1 : 2) << "\n";
+}
+
+int RunModels(const CliOptions& options) {
+  JsonValue results = JsonValue::MakeArray();
+  bool checks_passed = true;
+  for (const std::string& path : options.files) {
+    ModelSpec spec = swfomc::io::LoadModelFile(path);
+    swfomc::io::ModelRunReport report =
+        swfomc::io::RunModel(spec, options.run, path);
+    if (options.check && spec.expect.has_value() && !report.check_passed) {
+      checks_passed = false;
+      std::cerr << "swfomc: check FAILED: " << path << ": expected "
+                << spec.expect->ToString() << " at n=" << spec.domain_hi
+                << ", computed " << report.points.back().value.ToString()
+                << " (" << swfomc::api::ToString(report.method_used) << ")\n";
+    }
+    results.array.push_back(swfomc::io::ToJson(report));
+  }
+  JsonValue document = JsonValue::MakeObject();
+  document.Add("results", std::move(results));
+  if (options.check) {
+    document.Add("check", JsonValue::MakeString(checks_passed ? "pass"
+                                                              : "fail"));
+  }
+  Emit(document, options.compact);
+  return checks_passed ? 0 : 1;
+}
+
+int RunCnfs(const CliOptions& options) {
+  JsonValue results = JsonValue::MakeArray();
+  for (const std::string& path : options.files) {
+    WeightedCnf instance = swfomc::io::LoadWeightedCnfFile(path);
+    swfomc::io::CnfRunReport report =
+        swfomc::io::RunWeightedCnf(instance, options.run, path);
+    results.array.push_back(swfomc::io::ToJson(report));
+  }
+  JsonValue document = JsonValue::MakeObject();
+  document.Add("results", std::move(results));
+  Emit(document, options.compact);
+  return 0;
+}
+
+int RunRoute(const CliOptions& options) {
+  JsonValue results = JsonValue::MakeArray();
+  for (const std::string& path : options.files) {
+    ModelSpec spec = swfomc::io::LoadModelFile(path);
+    Engine engine(spec.vocabulary);
+    swfomc::api::RouteDecision decision =
+        engine.ExplainRoute(spec.sentence);
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Add("file", JsonValue::MakeString(path));
+    entry.Add("method",
+              JsonValue::MakeString(swfomc::api::ToString(decision.method)));
+    entry.Add("reason", JsonValue::MakeString(decision.reason));
+    results.array.push_back(std::move(entry));
+  }
+  JsonValue document = JsonValue::MakeObject();
+  document.Add("results", std::move(results));
+  Emit(document, options.compact);
+  return 0;
+}
+
+int RunPrint(const CliOptions& options) {
+  for (const std::string& path : options.files) {
+    if (path.ends_with(".cnf")) {
+      std::cout << swfomc::io::PrintWeightedCnf(
+          swfomc::io::LoadWeightedCnfFile(path));
+    } else {
+      std::cout << swfomc::io::PrintModel(swfomc::io::LoadModelFile(path));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<CliOptions> options;
+  try {
+    options = ParseArgs(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << kUsage;
+    return Fail(error.what());
+  }
+  if (!options.has_value()) {
+    std::cout << kUsage;
+    return argc < 2 ? 2 : 0;
+  }
+  try {
+    if (options->command == "run") return RunModels(*options);
+    if (options->command == "cnf") return RunCnfs(*options);
+    if (options->command == "route") return RunRoute(*options);
+    if (options->command == "print") return RunPrint(*options);
+    std::cerr << kUsage;
+    return Fail("unknown command '" + options->command + "'");
+  } catch (const swfomc::io::ParseError& error) {
+    return Fail(error.what());
+  } catch (const std::exception& error) {
+    return Fail(error.what());
+  }
+}
