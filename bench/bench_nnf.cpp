@@ -1,0 +1,144 @@
+// Knowledge compilation — compile-once-evaluate-N vs. recount-N.
+//
+// The serving scenario the nnf subsystem exists for: the same sentence is
+// queried with many weight vectors (learning loops, per-tenant weights).
+// The baseline recounts the grounded lineage from scratch per vector; the
+// compiled path runs the exponential search once, keeps the trace as a
+// d-DNNF circuit, and answers every further vector with one linear
+// circuit pass. Rows come in matched pairs
+//
+//   BM_Nnf_Recount/<n>/<vectors>      N grounded recounts
+//   BM_Nnf_CompileEval/<n>/<vectors>  1 compile + N circuit evaluations
+//
+// on the triangle family (the counter's stress workload, FO3 so grounded
+// is the only engine). BM_Nnf_EvaluateOnly isolates the per-vector
+// marginal cost. The headline (BENCH_wmc.json): at n=4 with 100 vectors,
+// compile-once must beat recounting by well over the 5x the roadmap's
+// serving story needs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "api/engine.h"
+#include "logic/parser.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using swfomc::api::CompiledQuery;
+using swfomc::api::Engine;
+using swfomc::api::Method;
+using swfomc::api::RelationWeights;
+using swfomc::numeric::BigRational;
+
+constexpr const char* kTriangle =
+    "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))";
+
+// Deterministic weight schedule: the k-th vector is (k+1, 1/(k+2)) — all
+// distinct, all exercising non-trivial rational arithmetic.
+RelationWeights WeightVector(std::int64_t k) {
+  return {"S", BigRational(k + 1), BigRational::Fraction(1, k + 2)};
+}
+
+struct TriangleFixture {
+  swfomc::logic::Vocabulary vocabulary;
+  swfomc::logic::Formula sentence;
+
+  TriangleFixture()
+      : sentence(swfomc::logic::Parse(kTriangle, &vocabulary)) {}
+};
+
+void BM_Nnf_Recount(benchmark::State& state) {
+  TriangleFixture fixture;
+  std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  std::int64_t vectors = state.range(1);
+  for (auto _ : state) {
+    for (std::int64_t k = 0; k < vectors; ++k) {
+      RelationWeights weights = WeightVector(k);
+      swfomc::logic::Vocabulary reweighted = fixture.vocabulary;
+      reweighted.SetWeights(reweighted.Require("S"), weights.positive,
+                            weights.negative);
+      Engine engine(reweighted);
+      benchmark::DoNotOptimize(
+          engine.WFOMC(fixture.sentence, n, Method::kGrounded).value);
+    }
+  }
+}
+BENCHMARK(BM_Nnf_Recount)
+    ->Args({4, 100})
+    ->Args({5, 10})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Nnf_CompileEval(benchmark::State& state) {
+  TriangleFixture fixture;
+  std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  std::int64_t vectors = state.range(1);
+  for (auto _ : state) {
+    Engine engine(fixture.vocabulary);
+    CompiledQuery compiled = engine.Compile(fixture.sentence, n);
+    for (std::int64_t k = 0; k < vectors; ++k) {
+      benchmark::DoNotOptimize(compiled.Evaluate({WeightVector(k)}));
+    }
+  }
+}
+BENCHMARK(BM_Nnf_CompileEval)
+    ->Args({4, 100})
+    ->Args({5, 10})
+    ->Unit(benchmark::kMillisecond);
+
+// The marginal cost of one more weight vector once compiled — the number
+// to quote for serving throughput (queries/second = 1 / this).
+void BM_Nnf_EvaluateOnly(benchmark::State& state) {
+  TriangleFixture fixture;
+  Engine engine(fixture.vocabulary);
+  CompiledQuery compiled =
+      engine.Compile(fixture.sentence,
+                     static_cast<std::uint64_t>(state.range(0)));
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.Evaluate({WeightVector(k++ % 100)}));
+  }
+}
+BENCHMARK(BM_Nnf_EvaluateOnly)
+    ->Arg(4)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintTable() {
+  std::printf(
+      "== Knowledge compilation: circuit sizes on the triangle family "
+      "==\n\n");
+  std::printf("%4s %10s %10s %10s %8s %12s %12s\n", "n", "vars", "nodes",
+              "edges", "depth", "cache hits", "wfomc check");
+  for (std::uint64_t n = 2; n <= 5; ++n) {
+    TriangleFixture fixture;
+    Engine engine(fixture.vocabulary);
+    CompiledQuery compiled = engine.Compile(fixture.sentence, n);
+    auto stats = compiled.circuit().ComputeStats();
+    bool check = compiled.Evaluate() == compiled.compile_count();
+    std::printf("%4llu %10u %10llu %10llu %8llu %12llu %12s\n",
+                static_cast<unsigned long long>(n),
+                compiled.circuit().variable_count(),
+                static_cast<unsigned long long>(stats.nodes),
+                static_cast<unsigned long long>(stats.edges),
+                static_cast<unsigned long long>(stats.depth),
+                static_cast<unsigned long long>(
+                    compiled.compile_stats().cache_hits),
+                check ? "ok" : "MISMATCH");
+  }
+  std::printf(
+      "\nTimings below: Recount = N grounded counts, CompileEval = one\n"
+      "compile + N circuit evaluations, EvaluateOnly = the per-vector\n"
+      "marginal cost after compiling.\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -19,7 +19,10 @@ Rules:
   * Comparison is on real_time, normalized per iteration by the
     benchmark library already; the threshold is a ratio (1.25 = +25%).
 
-Environment: BENCH_REGRESSION_THRESHOLD overrides --threshold.
+Environment: SWFOMC_BENCH_TOLERANCE overrides the default threshold
+(e.g. SWFOMC_BENCH_TOLERANCE=1.5 allows +50%); the legacy
+BENCH_REGRESSION_THRESHOLD is still honored when the former is unset.
+An explicit --threshold flag wins over both.
 """
 
 import argparse
@@ -38,6 +41,7 @@ def is_multithreaded(name: str) -> bool:
 
 
 def load_rows(path: str) -> dict:
+    """(driver, name) -> full benchmark row dict (real_time and friends)."""
     with open(path) as handle:
         report = json.load(handle)
     rows = {}
@@ -45,8 +49,24 @@ def load_rows(path: str) -> dict:
         for bench in payload.get("benchmarks", []):
             if bench.get("run_type") == "aggregate":
                 continue
-            rows[(driver, bench["name"])] = float(bench["real_time"])
+            rows[(driver, bench["name"])] = bench
     return rows
+
+
+def default_threshold() -> float:
+    for variable in ("SWFOMC_BENCH_TOLERANCE", "BENCH_REGRESSION_THRESHOLD"):
+        value = os.environ.get(variable)
+        if value is None:
+            continue
+        try:
+            threshold = float(value)
+        except ValueError:
+            sys.exit(f"error: {variable}={value!r} is not a number")
+        if threshold < 1.0:
+            sys.exit(f"error: {variable}={value!r} must be >= 1.0 "
+                     "(it is a fresh/baseline ratio, not a percentage)")
+        return threshold
+    return 1.25
 
 
 def main() -> int:
@@ -56,10 +76,15 @@ def main() -> int:
     parser.add_argument(
         "--threshold",
         type=float,
-        default=float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "1.25")),
-        help="fail when fresh/baseline exceeds this ratio (default 1.25)",
+        default=None,
+        help="fail when fresh/baseline exceeds this ratio (default 1.25; "
+        "SWFOMC_BENCH_TOLERANCE / BENCH_REGRESSION_THRESHOLD override it)",
     )
     args = parser.parse_args()
+    if args.threshold is None:
+        # Resolved only when the flag is absent, so an explicit
+        # --threshold wins even over a malformed environment variable.
+        args.threshold = default_threshold()
 
     baseline = load_rows(args.baseline)
     fresh = load_rows(args.fresh)
@@ -67,8 +92,9 @@ def main() -> int:
     regressions = []
     skipped = 0
     compared = 0
-    for key, base_time in sorted(baseline.items()):
+    for key, base_row in sorted(baseline.items()):
         driver, name = key
+        base_time = float(base_row["real_time"])
         if key not in fresh:
             print(f"note: {driver}:{name} missing from fresh run")
             continue
@@ -76,12 +102,13 @@ def main() -> int:
             skipped += 1
             continue
         compared += 1
-        ratio = fresh[key] / base_time if base_time > 0 else float("inf")
+        fresh_time = float(fresh[key]["real_time"])
+        ratio = fresh_time / base_time if base_time > 0 else float("inf")
         marker = ""
         if ratio > args.threshold:
-            regressions.append((driver, name, base_time, fresh[key], ratio))
+            regressions.append((driver, name, base_time, fresh_time, ratio))
             marker = "  <-- REGRESSION"
-        print(f"{driver}:{name}: {base_time:.3g} -> {fresh[key]:.3g} ns "
+        print(f"{driver}:{name}: {base_time:.3g} -> {fresh_time:.3g} ns "
               f"({ratio:.2f}x){marker}")
     for key in sorted(set(fresh) - set(baseline)):
         print(f"note: {key[0]}:{key[1]} has no baseline (new instance)")
@@ -95,6 +122,10 @@ def main() -> int:
         for driver, name, base, new, ratio in regressions:
             print(f"  {driver}:{name}: {base:.3g} -> {new:.3g} ns "
                   f"({ratio:.2f}x)")
+            print(f"  baseline row: "
+                  f"{json.dumps(baseline[(driver, name)], sort_keys=True)}")
+        print("(override the threshold with SWFOMC_BENCH_TOLERANCE, "
+              "e.g. SWFOMC_BENCH_TOLERANCE=1.5 for +50%)")
         return 1
     print("OK: no instance regressed beyond the threshold")
     return 0

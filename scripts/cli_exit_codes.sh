@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Exit-code contract of the swfomc CLI, asserted against the real binary
+# (registered as the tier-1 ctest `cli_exit_codes`):
+#   0   success (including --help)
+#   1   an --check comparison failed
+#   2   unreadable or malformed input file
+#   64  usage error (EX_USAGE): bad command, bad option, missing operand
+#
+# Usage: scripts/cli_exit_codes.sh path/to/swfomc
+set -u
+
+bin="${1:?usage: cli_exit_codes.sh path/to/swfomc}"
+failures=0
+
+expect() {
+  local want="$1"
+  shift
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [[ "$got" != "$want" ]]; then
+    echo "FAIL: exit $got (want $want): $*"
+    failures=1
+  else
+    echo "ok: exit $got: $*"
+  fi
+}
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# 0: help, from any position.
+expect 0 "$bin" --help
+expect 0 "$bin" run --help
+
+# 64: the command line itself is wrong.
+expect 64 "$bin"
+expect 64 "$bin" frobnicate whatever.model
+expect 64 "$bin" run
+expect 64 "$bin" run --bogus-flag x.model
+expect 64 "$bin" run --threads abc x.model
+expect 64 "$bin" run --method warp-drive x.model
+expect 64 "$bin" run --threads
+expect 64 "$bin" run --out circuit.nnf x.model        # --out is compile-only
+expect 64 "$bin" compile --out a.nnf --out-dir d x.model
+expect 64 "$bin" eval --out-dir d x.nnf
+expect 64 "$bin" compile --method grounded x.model    # forced methods and
+expect 64 "$bin" compile --threads 4 x.model          # thread counts would
+expect 64 "$bin" eval --threads 2 x.nnf               # be silently ignored
+mkdir -p "$workdir/a" "$workdir/b"
+printf 'sentence forall x R(x)\ndomain 1\n' > "$workdir/a/same.model"
+printf 'sentence forall x R(x)\ndomain 1\n' > "$workdir/b/same.model"
+expect 64 "$bin" compile --out-dir "$workdir/nnf-dup" \
+  "$workdir/a/same.model" "$workdir/b/same.model"     # basenames collide
+
+# 2: input files that cannot be read or parsed.
+expect 2 "$bin" run "$workdir/does-not-exist.model"
+expect 2 "$bin" cnf "$workdir/does-not-exist.cnf"
+expect 2 "$bin" eval "$workdir/does-not-exist.nnf"
+printf 'garbage directive\n' > "$workdir/bad.model"
+expect 2 "$bin" run "$workdir/bad.model"
+printf 'nnf 1 0 1\nL 2\n' > "$workdir/bad.nnf"        # literal out of range
+expect 2 "$bin" eval "$workdir/bad.nnf"
+
+# 1: the count disagrees with the pinned expectation.
+printf 'sentence forall x R(x)\ndomain 1\nexpect 5\n' > "$workdir/wrong.model"
+expect 1 "$bin" run --check "$workdir/wrong.model"
+expect 1 "$bin" compile --check "$workdir/wrong.model"
+printf 'nnf 1 0 1\ne 5\nL 1\n' > "$workdir/wrong.nnf"  # evaluates to 1
+expect 1 "$bin" eval --check "$workdir/wrong.nnf"
+
+# 0: the same checks, satisfied. Also exercises compile -> eval chaining.
+printf 'sentence forall x R(x)\ndomain 1\nexpect 1\n' > "$workdir/right.model"
+expect 0 "$bin" run --check "$workdir/right.model"
+expect 0 "$bin" compile --check --out-dir "$workdir/nnf" "$workdir/right.model"
+expect 0 "$bin" eval --check "$workdir/nnf/right.nnf"
+
+exit "$failures"

@@ -9,8 +9,12 @@
 #include "fo2/cell_algorithm.h"
 #include "fo2/fo2_normal_form.h"
 #include "grounding/grounded_wfomc.h"
+#include "grounding/lineage.h"
+#include "grounding/tuple_index.h"
 #include "logic/parser.h"
+#include "nnf/circuit_builder.h"
 #include "numeric/combinatorics.h"
+#include "prop/tseitin.h"
 #include "reductions/spectrum.h"
 #include "runtime/thread_pool.h"
 
@@ -312,6 +316,80 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
       break;
   }
   throw std::logic_error("Engine::WFOMCSweep: unreachable");
+}
+
+numeric::BigRational CompiledQuery::Evaluate() const {
+  return Evaluate({});
+}
+
+numeric::BigRational CompiledQuery::Evaluate(
+    const std::vector<RelationWeights>& reweights) const {
+  return EvaluateRaw(GroundWeights(reweights));
+}
+
+numeric::BigRational CompiledQuery::EvaluateRaw(
+    const wmc::WeightMap& weights) const {
+  return circuit_.Evaluate(weights);
+}
+
+wmc::WeightMap CompiledQuery::GroundWeights(
+    const std::vector<RelationWeights>& reweights) const {
+  // Start from the compile-time per-relation weights, overlay the
+  // replacements, then expand per ground tuple. Tseitin auxiliaries
+  // (ids >= tuple_count()) keep the WeightMap default (1, 1).
+  std::vector<std::pair<BigRational, BigRational>> by_relation;
+  by_relation.reserve(vocabulary_.size());
+  for (logic::RelationId id = 0; id < vocabulary_.size(); ++id) {
+    by_relation.emplace_back(vocabulary_.positive_weight(id),
+                             vocabulary_.negative_weight(id));
+  }
+  for (const RelationWeights& reweight : reweights) {
+    auto id = vocabulary_.Find(reweight.relation);
+    if (!id.has_value()) {
+      throw std::invalid_argument(
+          "CompiledQuery::Evaluate: unknown relation '" + reweight.relation +
+          "'");
+    }
+    by_relation[*id] = {reweight.positive, reweight.negative};
+  }
+  wmc::WeightMap weights(circuit_.variable_count());
+  for (prop::VarId v = 0; v < variable_relation_.size(); ++v) {
+    const auto& [positive, negative] = by_relation[variable_relation_[v]];
+    weights.Set(v, positive, negative);
+  }
+  return weights;
+}
+
+CompiledQuery Engine::Compile(const logic::Formula& sentence,
+                              std::uint64_t domain_size) {
+  // The same grounding pipeline as Method::kGrounded, with the counter in
+  // tracing mode: the count falls out of the compile for free, and the
+  // circuit's variable layout matches TupleIndex exactly.
+  grounding::TupleIndex index(vocabulary_, domain_size);
+  prop::PropFormula lineage = grounding::GroundLineage(sentence, index);
+  prop::TseitinResult tseitin = prop::TseitinTransform(
+      lineage, static_cast<std::uint32_t>(index.TupleCount()));
+  wmc::WeightMap weights =
+      grounding::SymmetricGroundWeights(index, tseitin.cnf.variable_count);
+
+  nnf::CircuitBuilder builder(tseitin.cnf.variable_count);
+  wmc::DpllCounter::Options options;
+  options.trace_sink = &builder;
+  wmc::DpllCounter counter(std::move(tseitin.cnf), std::move(weights),
+                           options);
+
+  CompiledQuery compiled;
+  compiled.compile_count_ = counter.Count();
+  compiled.compile_stats_ = counter.stats();
+  compiled.circuit_ = builder.Finish();
+  compiled.vocabulary_ = vocabulary_;
+  compiled.domain_size_ = domain_size;
+  compiled.variable_relation_.reserve(
+      static_cast<std::size_t>(index.TupleCount()));
+  for (prop::VarId v = 0; v < index.TupleCount(); ++v) {
+    compiled.variable_relation_.push_back(index.AtomOf(v).relation);
+  }
+  return compiled;
 }
 
 numeric::BigInt Engine::FOMC(const logic::Formula& sentence,

@@ -8,9 +8,11 @@
 
 #include "logic/formula.h"
 #include "logic/vocabulary.h"
+#include "nnf/circuit.h"
 #include "numeric/bigint.h"
 #include "numeric/rational.h"
 #include "wmc/dpll_counter.h"
+#include "wmc/weights.h"
 
 namespace swfomc::api {
 
@@ -33,6 +35,70 @@ const char* ToString(Method method);
 struct RouteDecision {
   Method method = Method::kGrounded;
   std::string reason;
+};
+
+/// One relation's replacement weights for CompiledQuery evaluation.
+struct RelationWeights {
+  std::string relation;
+  numeric::BigRational positive{1};
+  numeric::BigRational negative{1};
+};
+
+/// A sentence compiled at a fixed domain size into a d-DNNF arithmetic
+/// circuit (Engine::Compile): the exponential DPLL search over the
+/// grounded lineage runs once and its trace is kept, so every subsequent
+/// weight vector — a learning-loop step, a per-tenant reweighting — is
+/// answered by one linear circuit pass instead of a fresh count. The
+/// compiled object is immutable and self-contained: it carries the
+/// circuit, the compile-time vocabulary snapshot, and the ground-tuple →
+/// relation map that turns per-relation weights into the circuit's
+/// per-variable weights.
+class CompiledQuery {
+ public:
+  const nnf::Circuit& circuit() const { return circuit_; }
+  std::uint64_t domain_size() const { return domain_size_; }
+  const logic::Vocabulary& vocabulary() const { return vocabulary_; }
+  /// Ground tuple variables [0, tuple_count); higher variable ids are
+  /// Tseitin auxiliaries and always weigh (1, 1).
+  std::uint32_t tuple_count() const {
+    return static_cast<std::uint32_t>(variable_relation_.size());
+  }
+  /// The count computed while compiling (under the compile-time weights);
+  /// identical to WFOMC(Φ, n, Method::kGrounded).
+  const numeric::BigRational& compile_count() const { return compile_count_; }
+  /// The compiling search's counters (cache_* describe the trace memo).
+  const wmc::DpllCounter::Stats& compile_stats() const {
+    return compile_stats_;
+  }
+
+  /// WFOMC(Φ, n) under the compile-time vocabulary weights, via the
+  /// circuit. Equals compile_count() — the cheap sanity check.
+  numeric::BigRational Evaluate() const;
+  /// WFOMC(Φ, n) with the listed relations' weights replaced (relations
+  /// not listed keep their compile-time weights). Zero and negative
+  /// weights are fine — the circuit does not depend on the weights.
+  /// Throws std::invalid_argument for an unknown relation name.
+  numeric::BigRational Evaluate(
+      const std::vector<RelationWeights>& reweights) const;
+  /// Lowest level: explicit per-variable weights (must cover
+  /// circuit().variable_count() variables; Tseitin auxiliaries should
+  /// stay (1, 1) for the count to mean WFOMC).
+  numeric::BigRational EvaluateRaw(const wmc::WeightMap& weights) const;
+
+  /// The per-variable weight map `reweights` induces — what EvaluateRaw
+  /// would be handed. Exposed for serialization (.nnf weight lines).
+  wmc::WeightMap GroundWeights(
+      const std::vector<RelationWeights>& reweights) const;
+
+ private:
+  friend class Engine;
+
+  nnf::Circuit circuit_;
+  logic::Vocabulary vocabulary_;
+  std::uint64_t domain_size_ = 0;
+  std::vector<logic::RelationId> variable_relation_;
+  numeric::BigRational compile_count_;
+  wmc::DpllCounter::Stats compile_stats_;
 };
 
 /// The library facade: one entry point for symmetric WFOMC over a weighted
@@ -101,6 +167,15 @@ class Engine {
   /// n_lo > n_hi.
   SweepResult WFOMCSweep(const logic::Formula& sentence, std::uint64_t n_lo,
                          std::uint64_t n_hi, Method method = Method::kAuto);
+
+  /// Compiles Φ at domain size n into a reusable d-DNNF circuit: the
+  /// grounded path (lineage + Tseitin — every sentence the grounded
+  /// method accepts is compilable) is searched once by the DPLL counter
+  /// in tracing mode, and the trace is the circuit. Compilation cost is
+  /// one sequential grounded count with zero-weight pruning off; each
+  /// CompiledQuery::Evaluate afterwards is linear in the circuit.
+  CompiledQuery Compile(const logic::Formula& sentence,
+                        std::uint64_t domain_size);
 
   /// FOMC(Φ, n): WFOMC with all weights forced to (1, 1).
   numeric::BigInt FOMC(const logic::Formula& sentence,

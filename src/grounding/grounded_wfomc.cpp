@@ -13,8 +13,10 @@ namespace {
 
 using numeric::BigRational;
 
-wmc::WeightMap SymmetricWeights(const TupleIndex& index,
-                                std::uint32_t total_vars) {
+}  // namespace
+
+wmc::WeightMap SymmetricGroundWeights(const TupleIndex& index,
+                                      std::uint32_t total_vars) {
   wmc::WeightMap weights(total_vars);
   for (prop::VarId v = 0; v < index.TupleCount(); ++v) {
     TupleIndex::GroundAtom atom = index.AtomOf(v);
@@ -23,8 +25,6 @@ wmc::WeightMap SymmetricWeights(const TupleIndex& index,
   }
   return weights;
 }
-
-}  // namespace
 
 numeric::BigRational GroundedWFOMC(const logic::Formula& sentence,
                                    const logic::Vocabulary& vocabulary,
@@ -36,7 +36,7 @@ numeric::BigRational GroundedWFOMC(const logic::Formula& sentence,
   prop::TseitinResult tseitin = prop::TseitinTransform(
       lineage, static_cast<std::uint32_t>(index.TupleCount()));
   wmc::WeightMap weights =
-      SymmetricWeights(index, tseitin.cnf.variable_count);
+      SymmetricGroundWeights(index, tseitin.cnf.variable_count);
   wmc::DpllCounter counter(std::move(tseitin.cnf), std::move(weights),
                            options);
   BigRational result = counter.Count();

@@ -10,6 +10,14 @@
 
 namespace swfomc::grounding {
 
+/// The symmetric weight table of a grounded instance: ground tuple
+/// variables carry their relation's (w, w̄) from the vocabulary, the
+/// remaining (Tseitin auxiliary) variables up to `total_vars` carry
+/// (1, 1). Shared by GroundedWFOMC and the knowledge-compilation path,
+/// which must reproduce the exact same variable weighting.
+wmc::WeightMap SymmetricGroundWeights(const TupleIndex& index,
+                                      std::uint32_t total_vars);
+
 /// Symmetric WFOMC by grounding: builds the lineage F_{Φ,n}, Tseitin-
 /// encodes it, assigns every ground tuple of relation R_i the weights
 /// (w_i, w̄_i) from the vocabulary, and runs the DPLL counter. Works for

@@ -1,0 +1,313 @@
+#include "io/nnf_format.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "io/diagnostics.h"
+#include "io/line_lexer.h"
+
+namespace swfomc::io {
+
+namespace {
+
+using internal::LineToken;
+using numeric::BigRational;
+
+class NnfParser {
+ public:
+  NnfParser(std::string_view text, std::string_view source)
+      : text_(text), source_(source) {}
+
+  NnfDocument Parse() {
+    internal::ForEachLine(text_, [&](std::size_t number,
+                                     std::string_view line) {
+      line_ = number;
+      ParseLine(line);
+    });
+    if (!saw_header_) Fail({line_, 1}, "missing 'nnf V E n' header");
+    if (nodes_.size() != declared_nodes_) {
+      Fail({line_, 1},
+           "node count mismatch: header declares " +
+               std::to_string(declared_nodes_) + ", file has " +
+               std::to_string(nodes_.size()));
+    }
+    if (edges_.size() != declared_edges_) {
+      Fail({line_, 1},
+           "edge count mismatch: header declares " +
+               std::to_string(declared_edges_) + ", nodes reference " +
+               std::to_string(edges_.size()));
+    }
+    NnfDocument document;
+    document.circuit = nnf::Circuit(
+        variable_count_, std::move(nodes_), std::move(edges_),
+        static_cast<nnf::Circuit::NodeId>(declared_nodes_ - 1));
+    document.weights = std::move(weights_);
+    document.weights.EnsureSize(variable_count_);
+    document.expect = std::move(expect_);
+    return document;
+  }
+
+ private:
+  [[noreturn]] void Fail(Location location, const std::string& message) {
+    internal::FailAt(source_, location, message);
+  }
+
+  void RequireTokenCount(const std::vector<LineToken>& tokens,
+                         std::size_t count, const char* what) {
+    if (tokens.size() < count) {
+      Fail({line_, tokens.back().column},
+           std::string(what) + ": expected " + std::to_string(count - 1) +
+               " value(s)");
+    }
+    if (tokens.size() > count) {
+      Fail({line_, tokens[count].column},
+           std::string("unexpected trailing token '") + tokens[count].text +
+               "' on " + what + " line");
+    }
+  }
+
+  // A variable index in [1, n], returned 0-based.
+  prop::VarId ParseVariable(const LineToken& token, const char* what) {
+    std::uint64_t value =
+        internal::ParseUnsigned(source_, line_, token, what);
+    if (value == 0 || value > variable_count_) {
+      Fail({line_, token.column},
+           std::string(what) + " " + token.text + " out of range [1, " +
+               std::to_string(variable_count_) + "]");
+    }
+    return static_cast<prop::VarId>(value - 1);
+  }
+
+  void ParseChildren(const std::vector<LineToken>& tokens, std::size_t from,
+                     nnf::Circuit::Node* node) {
+    std::uint64_t count = internal::ParseUnsigned(source_, line_,
+                                                  tokens[from], "child count");
+    if (tokens.size() - from - 1 != count) {
+      Fail({line_, tokens[from].column},
+           "child count " + std::to_string(count) + " does not match the " +
+               std::to_string(tokens.size() - from - 1) +
+               " child id(s) on the line");
+    }
+    node->children_begin = static_cast<std::uint32_t>(edges_.size());
+    for (std::size_t i = from + 1; i < tokens.size(); ++i) {
+      std::uint64_t child =
+          internal::ParseUnsigned(source_, line_, tokens[i], "child id");
+      if (child >= nodes_.size()) {
+        Fail({line_, tokens[i].column},
+             "child " + std::to_string(child) +
+                 " does not precede its parent (node " +
+                 std::to_string(nodes_.size()) + ")");
+      }
+      edges_.push_back(static_cast<nnf::Circuit::NodeId>(child));
+    }
+    node->children_end = static_cast<std::uint32_t>(edges_.size());
+  }
+
+  void ParseLine(std::string_view line) {
+    std::vector<LineToken> tokens = internal::Tokenize(line);
+    if (tokens.empty() || tokens.front().text == "c") return;
+    const LineToken& head = tokens.front();
+    if (!saw_header_) {
+      if (head.text != "nnf") {
+        Fail({line_, head.column},
+             "expected 'nnf V E n' header, found '" + head.text + "'");
+      }
+      RequireTokenCount(tokens, 4, "header");
+      declared_nodes_ =
+          internal::ParseUnsigned(source_, line_, tokens[1], "node count");
+      declared_edges_ =
+          internal::ParseUnsigned(source_, line_, tokens[2], "edge count");
+      std::uint64_t variables = internal::ParseUnsigned(
+          source_, line_, tokens[3], "variable count");
+      if (declared_nodes_ == 0) {
+        Fail({line_, tokens[1].column}, "a circuit needs at least one node");
+      }
+      constexpr std::uint64_t kMax =
+          std::numeric_limits<std::uint32_t>::max();
+      if (declared_nodes_ > kMax || declared_edges_ > kMax ||
+          variables > kMax) {
+        Fail({line_, head.column}, "header counts exceed 2^32");
+      }
+      variable_count_ = static_cast<std::uint32_t>(variables);
+      weights_.EnsureSize(variable_count_);
+      saw_header_ = true;
+      return;
+    }
+    if (head.text == "nnf") {
+      Fail({line_, head.column}, "duplicate 'nnf' header");
+    }
+    if (head.text == "w") {
+      RequireTokenCount(tokens, 4, "weight line");
+      prop::VarId variable = ParseVariable(tokens[1], "weight variable");
+      if (weight_set_.size() <= variable) weight_set_.resize(variable + 1);
+      if (weight_set_[variable]) {
+        Fail({line_, tokens[1].column},
+             "weights of variable " + tokens[1].text + " set twice");
+      }
+      weight_set_[variable] = true;
+      weights_.Set(variable,
+                   internal::ParseRational(source_, line_, tokens[2]),
+                   internal::ParseRational(source_, line_, tokens[3]));
+      return;
+    }
+    if (head.text == "e") {
+      RequireTokenCount(tokens, 2, "expect line");
+      if (expect_.has_value()) {
+        Fail({line_, head.column}, "duplicate 'e' line");
+      }
+      expect_ = internal::ParseRational(source_, line_, tokens[1]);
+      return;
+    }
+    if (nodes_.size() >= declared_nodes_) {
+      Fail({line_, head.column},
+           "more nodes than the header's " + std::to_string(declared_nodes_));
+    }
+    if (head.text == "L") {
+      RequireTokenCount(tokens, 2, "literal node");
+      std::int64_t literal =
+          internal::ParseSigned(source_, line_, tokens[1], "literal");
+      std::uint64_t magnitude =
+          static_cast<std::uint64_t>(literal < 0 ? -literal : literal);
+      if (magnitude == 0 || magnitude > variable_count_) {
+        Fail({line_, tokens[1].column},
+             "literal " + tokens[1].text + " out of range [1, " +
+                 std::to_string(variable_count_) + "]");
+      }
+      nodes_.push_back(nnf::Circuit::Node{
+          .kind = nnf::NodeKind::kLiteral,
+          .literal = prop::MakeLit(static_cast<prop::VarId>(magnitude - 1),
+                                   literal > 0)});
+      return;
+    }
+    if (head.text == "A") {
+      if (tokens.size() < 2) {
+        Fail({line_, head.column}, "AND node: missing child count");
+      }
+      nnf::Circuit::Node node{.kind = nnf::NodeKind::kAnd};
+      ParseChildren(tokens, 1, &node);
+      if (node.children_begin == node.children_end) {
+        node.kind = nnf::NodeKind::kTrue;  // A 0: the TRUE sentinel
+      }
+      nodes_.push_back(node);
+      return;
+    }
+    if (head.text == "O") {
+      if (tokens.size() < 3) {
+        Fail({line_, head.column},
+             "OR node: expected 'O decision-var child-count children...'");
+      }
+      std::uint64_t decision =
+          internal::ParseUnsigned(source_, line_, tokens[1], "decision");
+      if (decision > variable_count_) {
+        Fail({line_, tokens[1].column},
+             "decision variable " + tokens[1].text + " out of range [0, " +
+                 std::to_string(variable_count_) + "]");
+      }
+      nnf::Circuit::Node node{.kind = nnf::NodeKind::kOr};
+      node.decision = decision == 0
+                          ? nnf::kNoDecision
+                          : static_cast<prop::VarId>(decision - 1);
+      ParseChildren(tokens, 2, &node);
+      if (node.children_begin == node.children_end) {
+        // O j 0: the FALSE sentinel (c2d writes O 0 0).
+        if (decision != 0) {
+          Fail({line_, tokens[1].column},
+               "a childless OR (FALSE) must use decision 0");
+        }
+        node.kind = nnf::NodeKind::kFalse;
+        node.decision = nnf::kNoDecision;
+      }
+      nodes_.push_back(node);
+      return;
+    }
+    Fail({line_, head.column},
+         "unknown line '" + head.text +
+             "' (expected c, w, e, L, A, or O)");
+  }
+
+  std::string_view text_;
+  std::string_view source_;
+  std::size_t line_ = 1;
+
+  bool saw_header_ = false;
+  std::uint64_t declared_nodes_ = 0;
+  std::uint64_t declared_edges_ = 0;
+  std::uint32_t variable_count_ = 0;
+  std::vector<nnf::Circuit::Node> nodes_;
+  std::vector<nnf::Circuit::NodeId> edges_;
+  wmc::WeightMap weights_;
+  std::vector<bool> weight_set_;
+  std::optional<BigRational> expect_;
+};
+
+}  // namespace
+
+NnfDocument ParseNnf(std::string_view text, std::string_view source) {
+  return NnfParser(text, source).Parse();
+}
+
+NnfDocument LoadNnfFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open nnf file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseNnf(buffer.str(), path);
+}
+
+std::string PrintNnf(const NnfDocument& document) {
+  const nnf::Circuit& circuit = document.circuit;
+  std::ostringstream out;
+  out << "nnf " << circuit.node_count() << " " << circuit.edge_count() << " "
+      << circuit.variable_count() << "\n";
+  for (prop::VarId v = 0; v < circuit.variable_count(); ++v) {
+    const wmc::VariableWeights& weights = document.weights.Get(v);
+    if (weights.positive.IsOne() && weights.negative.IsOne()) continue;
+    out << "w " << v + 1 << " " << weights.positive.ToString() << " "
+        << weights.negative.ToString() << "\n";
+  }
+  if (document.expect.has_value()) {
+    out << "e " << document.expect->ToString() << "\n";
+  }
+  for (nnf::Circuit::NodeId id = 0; id < circuit.node_count(); ++id) {
+    const nnf::Circuit::Node& node = circuit.node(id);
+    switch (node.kind) {
+      case nnf::NodeKind::kTrue:
+        out << "A 0\n";
+        break;
+      case nnf::NodeKind::kFalse:
+        out << "O 0 0\n";
+        break;
+      case nnf::NodeKind::kLiteral: {
+        std::int64_t variable =
+            static_cast<std::int64_t>(prop::LitVariable(node.literal)) + 1;
+        out << "L " << (prop::LitPositive(node.literal) ? variable : -variable)
+            << "\n";
+        break;
+      }
+      case nnf::NodeKind::kAnd: {
+        std::span<const nnf::Circuit::NodeId> children = circuit.Children(id);
+        out << "A " << children.size();
+        for (nnf::Circuit::NodeId child : children) out << " " << child;
+        out << "\n";
+        break;
+      }
+      case nnf::NodeKind::kOr: {
+        std::span<const nnf::Circuit::NodeId> children = circuit.Children(id);
+        out << "O "
+            << (node.decision == nnf::kNoDecision
+                    ? std::uint64_t{0}
+                    : static_cast<std::uint64_t>(node.decision) + 1)
+            << " " << children.size();
+        for (nnf::Circuit::NodeId child : children) out << " " << child;
+        out << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace swfomc::io

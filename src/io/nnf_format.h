@@ -1,0 +1,63 @@
+#ifndef SWFOMC_IO_NNF_FORMAT_H_
+#define SWFOMC_IO_NNF_FORMAT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "nnf/circuit.h"
+#include "numeric/rational.h"
+#include "wmc/weights.h"
+
+namespace swfomc::io {
+
+/// A serialized compiled query: the d-DNNF circuit plus the weight vector
+/// it was compiled under and (optionally) the value it must evaluate to —
+/// everything `swfomc eval` needs to serve or verify a circuit without
+/// the original model file.
+struct NnfDocument {
+  nnf::Circuit circuit;
+  /// Sized to circuit.variable_count(); unlisted variables weigh (1, 1).
+  wmc::WeightMap weights;
+  /// The expected evaluation under `weights` (the `e` line) — lets
+  /// `swfomc eval --check` replay a compile→eval pipeline bit-exactly.
+  std::optional<numeric::BigRational> expect;
+};
+
+/// Parses the c2d-style `.nnf` dialect:
+///
+///   c free-text comment
+///   nnf V E n            -- header, first: V nodes, E edges, n variables
+///   w VAR W WBAR         -- optional; both weights of variable VAR
+///                           (1-based) as exact rationals
+///   e VALUE              -- optional, once; expected evaluation result
+///   L l                  -- literal node, DIMACS literal (±1-based var)
+///   A c i1 .. ic         -- AND with c children (A 0 = TRUE)
+///   O j c i1 .. ic       -- OR deciding variable j (0 = none) with c
+///                           children (O 0 0 = FALSE)
+///
+/// Node lines assign ids 0, 1, .. V-1 in order; children must reference
+/// earlier ids (the file is a topologically ordered DAG) and the root is
+/// the last node, as written by c2d/MiniC2D. Weight and `e` lines are
+/// this dialect's extension — a file without them is plain c2d output and
+/// evaluates as unweighted model counting.
+///
+/// Malformed input — a missing or wrong-count header, children that do
+/// not precede their parent, out-of-range literals or decisions, a bad
+/// edge total, duplicate weight lines — throws io::ParseError with
+/// `source` and the offending line/column; never crashes.
+NnfDocument ParseNnf(std::string_view text, std::string_view source = "");
+
+/// Reads and parses a `.nnf` file; throws std::runtime_error when the
+/// file cannot be read, io::ParseError when it cannot be parsed.
+NnfDocument LoadNnfFile(const std::string& path);
+
+/// Canonical rendering: header, weight lines for non-(1, 1) variables in
+/// ascending order, the `e` line when present, then one line per node in
+/// id order. PrintNnf is a parser fixpoint: ParseNnf(PrintNnf(d)) prints
+/// identically, which the round-trip tests in tests/nnf_test.cpp rely on.
+std::string PrintNnf(const NnfDocument& document);
+
+}  // namespace swfomc::io
+
+#endif  // SWFOMC_IO_NNF_FORMAT_H_

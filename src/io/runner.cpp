@@ -1,6 +1,7 @@
 #include "io/runner.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "logic/printer.h"
@@ -75,6 +76,65 @@ CnfRunReport RunWeightedCnf(const WeightedCnf& instance,
   return report;
 }
 
+CompileOutcome RunCompile(const ModelSpec& spec, std::string source) {
+  CompileOutcome outcome;
+  CompileRunReport& report = outcome.report;
+  report.source = std::move(source);
+  report.name = spec.name;
+  report.domain_size = spec.domain_hi;
+
+  api::Engine engine(spec.vocabulary);
+  report.sentence = logic::ToString(spec.sentence, engine.vocabulary());
+  report.route = engine.ExplainRoute(spec.sentence);
+
+  auto start = std::chrono::steady_clock::now();
+  outcome.query = engine.Compile(spec.sentence, spec.domain_hi);
+  report.compile_seconds = SecondsSince(start);
+
+  report.variables = outcome.query.circuit().variable_count();
+  report.count = outcome.query.compile_count();
+  report.search_stats = outcome.query.compile_stats();
+  report.circuit_stats = outcome.query.circuit().ComputeStats();
+  report.expected = spec.expect;
+  if (report.expected.has_value()) {
+    report.check_passed = report.count == *report.expected;
+  }
+  return outcome;
+}
+
+NnfDocument MakeNnfDocument(const api::CompiledQuery& query,
+                            std::optional<numeric::BigRational> expect) {
+  NnfDocument document;
+  document.circuit = query.circuit();
+  document.weights = query.GroundWeights({});
+  document.weights.EnsureSize(document.circuit.variable_count());
+  document.expect = std::move(expect);
+  return document;
+}
+
+EvalRunReport RunEval(const NnfDocument& document, std::string source) {
+  EvalRunReport report;
+  report.source = std::move(source);
+  report.variables = document.circuit.variable_count();
+  report.circuit_stats = document.circuit.ComputeStats();
+
+  std::string violation;
+  if (!document.circuit.Validate(&violation)) {
+    throw std::runtime_error(report.source +
+                             ": circuit is not well-formed d-DNNF: " +
+                             violation);
+  }
+  auto start = std::chrono::steady_clock::now();
+  report.value = document.circuit.Evaluate(document.weights);
+  report.elapsed_seconds = SecondsSince(start);
+
+  report.expected = document.expect;
+  if (report.expected.has_value()) {
+    report.check_passed = report.value == *report.expected;
+  }
+  return report;
+}
+
 JsonValue ToJson(const wmc::DpllCounter::Stats& stats) {
   JsonValue json = JsonValue::MakeObject();
   json.Add("decisions", JsonValue::MakeNumber(stats.decisions));
@@ -123,6 +183,67 @@ JsonValue ToJson(const ModelRunReport& report) {
   if (report.grounded_stats.has_value()) {
     json.Add("stats", ToJson(*report.grounded_stats));
   }
+  json.Add("elapsed_seconds", JsonValue::MakeNumber(report.elapsed_seconds));
+  if (report.expected.has_value()) {
+    json.Add("expect", JsonValue::MakeString(report.expected->ToString()));
+    json.Add("check",
+             JsonValue::MakeString(report.check_passed ? "pass" : "fail"));
+  }
+  return json;
+}
+
+JsonValue ToJson(const nnf::Circuit::Stats& stats) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("nodes", JsonValue::MakeNumber(stats.nodes));
+  json.Add("constant_nodes", JsonValue::MakeNumber(stats.constant_nodes));
+  json.Add("literal_nodes", JsonValue::MakeNumber(stats.literal_nodes));
+  json.Add("and_nodes", JsonValue::MakeNumber(stats.and_nodes));
+  json.Add("or_nodes", JsonValue::MakeNumber(stats.or_nodes));
+  json.Add("edges", JsonValue::MakeNumber(stats.edges));
+  json.Add("depth", JsonValue::MakeNumber(stats.depth));
+  return json;
+}
+
+JsonValue ToJson(const CompileRunReport& report) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("file", JsonValue::MakeString(report.source));
+  if (!report.name.empty()) {
+    json.Add("name", JsonValue::MakeString(report.name));
+  }
+  json.Add("sentence", JsonValue::MakeString(report.sentence));
+  json.Add("method", JsonValue::MakeString("compile-grounded"));
+
+  JsonValue route = JsonValue::MakeObject();
+  route.Add("method",
+            JsonValue::MakeString(api::ToString(report.route.method)));
+  route.Add("reason", JsonValue::MakeString(report.route.reason));
+  json.Add("route", std::move(route));
+
+  json.Add("n", JsonValue::MakeNumber(report.domain_size));
+  json.Add("variables", JsonValue::MakeNumber(
+                            static_cast<std::uint64_t>(report.variables)));
+  json.Add("wfomc", JsonValue::MakeString(report.count.ToString()));
+  json.Add("circuit", ToJson(report.circuit_stats));
+  json.Add("stats", ToJson(report.search_stats));
+  json.Add("compile_seconds", JsonValue::MakeNumber(report.compile_seconds));
+  if (!report.output_path.empty()) {
+    json.Add("output", JsonValue::MakeString(report.output_path));
+  }
+  if (report.expected.has_value()) {
+    json.Add("expect", JsonValue::MakeString(report.expected->ToString()));
+    json.Add("check",
+             JsonValue::MakeString(report.check_passed ? "pass" : "fail"));
+  }
+  return json;
+}
+
+JsonValue ToJson(const EvalRunReport& report) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("file", JsonValue::MakeString(report.source));
+  json.Add("variables", JsonValue::MakeNumber(
+                            static_cast<std::uint64_t>(report.variables)));
+  json.Add("circuit", ToJson(report.circuit_stats));
+  json.Add("wmc", JsonValue::MakeString(report.value.ToString()));
   json.Add("elapsed_seconds", JsonValue::MakeNumber(report.elapsed_seconds));
   if (report.expected.has_value()) {
     json.Add("expect", JsonValue::MakeString(report.expected->ToString()));

@@ -10,6 +10,8 @@
 #include "io/cnf_format.h"
 #include "io/json.h"
 #include "io/model_format.h"
+#include "io/nnf_format.h"
+#include "nnf/circuit.h"
 #include "numeric/rational.h"
 #include "wmc/dpll_counter.h"
 
@@ -68,12 +70,67 @@ CnfRunReport RunWeightedCnf(const WeightedCnf& instance,
                             const RunOptions& options = {},
                             std::string source = "<input>");
 
+/// One model compiled into a d-DNNF circuit (`swfomc compile`): the
+/// report plus the CompiledQuery itself, so callers can serialize the
+/// circuit or keep serving weight vectors from it. Compilation always
+/// runs the (sequential) grounded trace at the model's largest domain
+/// size, whatever the router would pick — the route is still reported.
+struct CompileRunReport {
+  std::string source;
+  std::string name;
+  std::string sentence;
+  api::RouteDecision route;  // what Auto *would* run, for the record
+  std::uint64_t domain_size = 0;
+  std::uint32_t variables = 0;  // ground tuples + Tseitin auxiliaries
+  numeric::BigRational count;   // under the model's weights
+  wmc::DpllCounter::Stats search_stats;
+  nnf::Circuit::Stats circuit_stats;
+  double compile_seconds = 0.0;
+  /// Where the `.nnf` was written ("" when not requested).
+  std::string output_path;
+  std::optional<numeric::BigRational> expected;  // the `expect` directive
+  bool check_passed = true;
+};
+
+struct CompileOutcome {
+  CompileRunReport report;
+  api::CompiledQuery query;
+};
+
+CompileOutcome RunCompile(const ModelSpec& spec,
+                          std::string source = "<input>");
+
+/// The serialized form of a compiled model: the circuit, the weight map
+/// the model's vocabulary induces, and the model's `expect` as the `e`
+/// line so `swfomc eval --check` can verify the pipeline end to end.
+NnfDocument MakeNnfDocument(const api::CompiledQuery& query,
+                            std::optional<numeric::BigRational> expect);
+
+/// One circuit evaluation (`swfomc eval`): d-DNNF well-formedness audit
+/// (std::runtime_error on violation — a malformed circuit is an input
+/// error), then a linear evaluation under the document's weights.
+struct EvalRunReport {
+  std::string source;
+  std::uint32_t variables = 0;
+  nnf::Circuit::Stats circuit_stats;
+  numeric::BigRational value;
+  double elapsed_seconds = 0.0;
+  std::optional<numeric::BigRational> expected;  // the `e` line
+  bool check_passed = true;
+};
+
+EvalRunReport RunEval(const NnfDocument& document,
+                      std::string source = "<input>");
+
 /// JSON renderings of the reports (the `swfomc` output schema; see the
 /// README's "File formats and the swfomc CLI" section). All exact values
 /// are strings; timings are numbers.
 JsonValue ToJson(const ModelRunReport& report);
 JsonValue ToJson(const CnfRunReport& report);
+JsonValue ToJson(const CompileRunReport& report);
+JsonValue ToJson(const EvalRunReport& report);
 JsonValue ToJson(const wmc::DpllCounter::Stats& stats);
+JsonValue ToJson(const nnf::Circuit::Stats& stats);
 
 }  // namespace swfomc::io
 

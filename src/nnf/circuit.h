@@ -1,0 +1,135 @@
+#ifndef SWFOMC_NNF_CIRCUIT_H_
+#define SWFOMC_NNF_CIRCUIT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numeric/rational.h"
+#include "prop/compact_cnf.h"
+#include "wmc/weights.h"
+
+namespace swfomc::nnf {
+
+/// Node kinds of a d-DNNF arithmetic circuit (Darwiche's deterministic
+/// decomposable negation normal form): constants, literals, decomposable
+/// conjunctions (children over pairwise disjoint variables), and
+/// deterministic disjunctions (children pairwise inconsistent — here, the
+/// two phases of a decision variable).
+enum class NodeKind : std::uint8_t { kTrue, kFalse, kLiteral, kAnd, kOr };
+
+/// Decision annotation of an OR node that records no decision variable.
+inline constexpr prop::VarId kNoDecision = 0xFFFFFFFFu;
+
+/// A compiled query circuit in a flat arena: nodes in topological order
+/// (every child has a smaller id than its parent), children in one shared
+/// edge array addressed by per-node spans. The circuit is a DAG — cache
+/// hits during compilation become shared subcircuits — and evaluation is
+/// one linear bottom-up pass, so a query compiled once answers any
+/// subsequent weight vector in O(nodes + edges) exact-rational
+/// operations.
+class Circuit {
+ public:
+  using NodeId = std::uint32_t;
+
+  struct Node {
+    NodeKind kind = NodeKind::kTrue;
+    prop::Lit literal = 0;               // kLiteral only (compact encoding)
+    prop::VarId decision = kNoDecision;  // kOr only
+    std::uint32_t children_begin = 0;    // span into the edge array
+    std::uint32_t children_end = 0;
+  };
+
+  /// Structural statistics (the `swfomc compile` report's circuit block).
+  struct Stats {
+    std::uint64_t nodes = 0;
+    std::uint64_t constant_nodes = 0;
+    std::uint64_t literal_nodes = 0;
+    std::uint64_t and_nodes = 0;
+    std::uint64_t or_nodes = 0;
+    std::uint64_t edges = 0;
+    /// Longest root-to-leaf path, in edges (0 when the root is a leaf).
+    std::uint64_t depth = 0;
+  };
+
+  Circuit() = default;
+
+  /// Raw assembly, used by CircuitBuilder::Finish and the .nnf parser.
+  /// Requirements (std::invalid_argument otherwise): at least one node;
+  /// every child id smaller than its parent's id (topological, acyclic);
+  /// children spans nested in `edges`; constants and literals childless;
+  /// literal variables and OR decisions inside `variable_count`;
+  /// `root < nodes.size()`.
+  Circuit(std::uint32_t variable_count, std::vector<Node> nodes,
+          std::vector<NodeId> edges, NodeId root);
+
+  std::uint32_t variable_count() const { return variable_count_; }
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  std::uint64_t edge_count() const { return edges_.size(); }
+  NodeId root() const { return root_; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::span<const NodeId> Children(NodeId id) const {
+    return {edges_.data() + nodes_[id].children_begin,
+            edges_.data() + nodes_[id].children_end};
+  }
+
+  /// The weighted count: one bottom-up pass assigning TRUE → 1, FALSE →
+  /// 0, literal → its weight, AND → product, OR → sum. For circuits
+  /// traced from DpllCounter this equals DpllCounter::Count() under the
+  /// same weights, bit for bit, for *every* weight map (including zero
+  /// and negative weights). Throws std::invalid_argument when `weights`
+  /// covers fewer than variable_count() variables.
+  ///
+  /// When the circuit is structurally decomposable and smooth (traced
+  /// circuits always are; checked once at construction), evaluation
+  /// clears each covered variable's weight denominators up front, runs
+  /// the pass in pure integer arithmetic, and divides once at the root —
+  /// identical result, but without a gcd reduction per node, which is
+  /// what makes serving a compiled circuit several times cheaper than a
+  /// recount even on rational weights.
+  numeric::BigRational Evaluate(const wmc::WeightMap& weights) const;
+
+  Stats ComputeStats() const;
+
+  /// Structural d-DNNF audit: AND children must be variable-disjoint
+  /// (checked with per-node variable sets), OR children must be pairwise
+  /// inconsistent — each pair has to fix some variable to opposite
+  /// phases among its surface literals (the child itself, or the direct
+  /// literal children of an AND child); an OR carrying a decision
+  /// variable must fix exactly that variable in every child. Returns
+  /// false and fills *error (when non-null) with the first violation.
+  bool Validate(std::string* error) const;
+
+ private:
+  numeric::BigRational EvaluateRational(const wmc::WeightMap& weights) const;
+  numeric::BigRational EvaluateScaled(const wmc::WeightMap& weights) const;
+  // One construction-time bitset pass: fills varsets_ and decides
+  // scalable_ (every AND variable-disjoint, every OR smooth). The table
+  // is kept — Evaluate's fast path reads the root's set and Validate
+  // reuses the per-node sets instead of rebuilding them.
+  void AnalyzeStructure();
+  // The variables below node `id`, as a bitset of varset_words_ words.
+  std::span<const std::uint64_t> Varset(NodeId id) const {
+    return {varsets_.data() + static_cast<std::size_t>(id) * varset_words_,
+            varset_words_};
+  }
+
+  std::uint32_t variable_count_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> edges_;
+  NodeId root_ = 0;
+  // True when the integer-scaled evaluation is sound: every product term
+  // of the root then has degree exactly one in each root-varset
+  // variable, so per-variable denominator clearing scales the total by
+  // one known factor.
+  bool scalable_ = false;
+  std::size_t varset_words_ = 0;
+  std::vector<std::uint64_t> varsets_;  // nodes_.size() × varset_words_
+};
+
+}  // namespace swfomc::nnf
+
+#endif  // SWFOMC_NNF_CIRCUIT_H_

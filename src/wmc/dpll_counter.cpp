@@ -45,9 +45,11 @@ DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights,
       weights_(std::move(weights)),
       options_(options),
       // Parallelism forks independent components, so it needs
-      // decomposition on; without it the counter stays sequential.
+      // decomposition on; without it the counter stays sequential. A
+      // trace sink also forces sequential: circuit nodes are emitted in
+      // construction order and the trace memo is unsynchronized.
       effective_threads_(
-          options.use_components
+          options.use_components && options.trace_sink == nullptr
               ? runtime::ThreadPool::ResolveThreadCount(options.num_threads)
               : 1),
       cache_(options.max_cache_entries,
@@ -68,14 +70,23 @@ void DpllCounter::InitContext(SearchContext* ctx) const {
 numeric::BigRational DpllCounter::Count() {
   stats_ = Stats{};
   SnapshotCacheBaseline();
+  trace_cache_.clear();
+  trace_cache_stats_ = Stats{};
   forks_spawned_.store(0, std::memory_order_relaxed);
+  TraceSink* sink = options_.trace_sink;
+  TraceSink::NodeId trace_root = TraceSink::kNoNode;
   SearchContext root;
   // The counting core; root's counters and the cache's are folded into
-  // stats_ on exit no matter which path returns.
+  // stats_ on exit no matter which path returns. In tracing mode the
+  // zero-weight early returns are disabled — a weight-induced zero is
+  // not UNSAT, and the circuit must stay valid for other weight vectors.
   BigRational result = [&]() -> BigRational {
     prop::NormalizeCnf(&cnf_);
     for (const Clause& clause : cnf_.clauses) {
-      if (clause.empty()) return BigRational(0);
+      if (clause.empty()) {
+        if (sink != nullptr) trace_root = sink->False();
+        return BigRational(0);
+      }
     }
     compact_ = prop::CompactCnf::Build(cnf_);
     total_weight_.clear();
@@ -92,15 +103,18 @@ numeric::BigRational DpllCounter::Count() {
     root.trail.emplace(&compact_);
 
     if (!root.trail->PropagateExistingUnits(&root.stats.unit_propagations)) {
+      if (sink != nullptr) trace_root = sink->False();
       return BigRational(0);
     }
+    std::vector<TraceSink::NodeId> children;
     BigRational result(1);
     for (Lit lit : root.trail->assignments()) {
       const BigRational& weight =
           weights_.LiteralWeight(LitVariable(lit), LitPositive(lit));
       if (!weight.IsOne()) result *= weight;
+      if (sink != nullptr) children.push_back(sink->Literal(lit));
     }
-    if (result.IsZero()) return result;
+    if (result.IsZero() && sink == nullptr) return result;
 
     std::vector<VarId> candidates;
     candidates.reserve(cnf_.variable_count);
@@ -111,18 +125,23 @@ numeric::BigRational DpllCounter::Count() {
       } else {
         // Never constrained by any clause: free (w + w̄) factor.
         result *= total_weight_[v];
+        if (sink != nullptr) children.push_back(sink->FreeVariable(v));
       }
     }
-    if (result.IsZero()) return result;
+    if (result.IsZero() && sink == nullptr) return result;
     std::vector<std::uint32_t> all_clauses(compact_.clause_count());
     for (std::uint32_t c = 0; c < compact_.clause_count(); ++c) {
       all_clauses[c] = c;
     }
-    return result * CountResidual(&root, candidates, all_clauses);
+    result *= CountResidual(&root, candidates, all_clauses,
+                            sink != nullptr ? &children : nullptr);
+    if (sink != nullptr) trace_root = sink->And(children);
+    return result;
   }();
   pool_.reset();
   MergeContextStats(root.stats);
   FinalizeStats();
+  if (sink != nullptr) sink->Root(trace_root);
   return result;
 }
 
@@ -139,6 +158,16 @@ void DpllCounter::SnapshotCacheBaseline() {
 }
 
 void DpllCounter::FinalizeStats() {
+  if (tracing()) {
+    // The trace memo replaced the component cache for this Count(); its
+    // counters are already per-invocation (the memo is rebuilt each call)
+    // and nothing is ever collided out or evicted.
+    stats_.cache_lookups = trace_cache_stats_.cache_lookups;
+    stats_.cache_hits = trace_cache_stats_.cache_hits;
+    stats_.cache_insertions = trace_cache_stats_.cache_insertions;
+    stats_.cache_entries = trace_cache_.size();
+    return;
+  }
   // Deltas against the Count()-entry baseline, so repeated Count() calls
   // report per-invocation counters even though the cache (and its
   // cumulative totals) persist across calls. cache_entries is a level,
@@ -156,7 +185,8 @@ void DpllCounter::FinalizeStats() {
 
 numeric::BigRational DpllCounter::CountResidual(
     SearchContext* ctx, const std::vector<VarId>& candidates,
-    const std::vector<std::uint32_t>& parent_clauses) {
+    const std::vector<std::uint32_t>& parent_clauses,
+    std::vector<TraceSink::NodeId>* trace_children) {
   std::vector<Component> components;
   std::vector<VarId> free_variables;
   FindComponents(ctx, candidates, parent_clauses, &components,
@@ -165,9 +195,16 @@ numeric::BigRational DpllCounter::CountResidual(
   BigRational result(1);
   for (VarId v : free_variables) {
     result *= total_weight_[v];
-    if (result.IsZero()) break;
+    if (trace_children != nullptr) {
+      trace_children->push_back(options_.trace_sink->FreeVariable(v));
+    } else if (result.IsZero()) {
+      break;
+    }
   }
-  if (!result.IsZero() && !components.empty()) {
+  bool descend = trace_children != nullptr ? !components.empty()
+                                           : !result.IsZero() &&
+                                                 !components.empty();
+  if (descend) {
     if (!options_.use_components && components.size() > 1) {
       // Decomposition disabled: fuse everything back into one residual.
       Component merged;
@@ -181,10 +218,13 @@ numeric::BigRational DpllCounter::CountResidual(
       }
       std::sort(merged.variables.begin(), merged.variables.end());
       std::sort(merged.clauses.begin(), merged.clauses.end());
-      result *= CountComponentCached(ctx, merged);
+      TraceSink::NodeId node = TraceSink::kNoNode;
+      result *= CountComponentCached(
+          ctx, merged, trace_children != nullptr ? &node : nullptr);
+      if (trace_children != nullptr) trace_children->push_back(node);
     } else {
       if (components.size() > 1) ++ctx->stats.component_splits;
-      result *= CountComponents(ctx, &components);
+      result *= CountComponents(ctx, &components, trace_children);
     }
   }
   // Recycle the id-span buffers for later search nodes.
@@ -212,12 +252,22 @@ bool DpllCounter::ShouldFork(const Component& component) {
 }
 
 numeric::BigRational DpllCounter::CountComponents(
-    SearchContext* ctx, std::vector<Component>* components) {
+    SearchContext* ctx, std::vector<Component>* components,
+    std::vector<TraceSink::NodeId>* trace_children) {
   if (pool_ == nullptr || components->size() < 2) {
+    // Tracing always lands here (a trace sink forces one thread, so
+    // pool_ is null) and must visit every component even after a zero
+    // factor — the AND node needs all its children.
     BigRational result(1);
     for (const Component& component : *components) {
-      result *= CountComponentCached(ctx, component);
-      if (result.IsZero()) break;
+      TraceSink::NodeId node = TraceSink::kNoNode;
+      result *= CountComponentCached(
+          ctx, component, trace_children != nullptr ? &node : nullptr);
+      if (trace_children != nullptr) {
+        trace_children->push_back(node);
+      } else if (result.IsZero()) {
+        break;
+      }
     }
     return result;
   }
@@ -240,7 +290,7 @@ numeric::BigRational DpllCounter::CountComponents(
       SearchContext child;
       InitContext(&child);
       child.trail.emplace(std::move(snapshot));
-      values[i] = CountComponentCached(&child, (*components)[i]);
+      values[i] = CountComponentCached(&child, (*components)[i], nullptr);
       fork_stats[i] = child.stats;
     });
   }
@@ -250,7 +300,7 @@ numeric::BigRational DpllCounter::CountComponents(
   bool zero_seen = false;
   for (std::size_t i = 0; i < count; ++i) {
     if (!is_forked[i] && !zero_seen) {
-      values[i] = CountComponentCached(ctx, (*components)[i]);
+      values[i] = CountComponentCached(ctx, (*components)[i], nullptr);
       zero_seen = values[i].IsZero();
     }
   }
@@ -265,7 +315,28 @@ numeric::BigRational DpllCounter::CountComponents(
 }
 
 numeric::BigRational DpllCounter::CountComponentCached(
-    SearchContext* ctx, const Component& component) {
+    SearchContext* ctx, const Component& component,
+    TraceSink::NodeId* trace_node) {
+  if (trace_node != nullptr) {
+    // Tracing: the unbounded trace memo stands in for the component
+    // cache (a hit must hand back the node of the first computation),
+    // and the single-clause closed form is skipped — branching emits the
+    // clause's decision chain through the generic machinery instead.
+    PackKey(ctx, component);
+    ++trace_cache_stats_.cache_lookups;
+    auto it = trace_cache_.find(ctx->key_scratch);
+    if (it != trace_cache_.end()) {
+      ++trace_cache_stats_.cache_hits;
+      *trace_node = it->second.node;
+      return it->second.value;
+    }
+    // Copy the scratch key out before recursing (nested lookups reuse it).
+    ComponentKey key = ctx->key_scratch;
+    BigRational value = BranchOnComponent(ctx, component, trace_node);
+    trace_cache_.emplace(std::move(key), TraceEntry{value, *trace_node});
+    ++trace_cache_stats_.cache_insertions;
+    return value;
+  }
   // A single-clause component has the closed form
   //   Π_v (w_v + w̄_v)  −  Π_{lit} weight(¬lit)
   // (all assignments minus the one falsifying the clause); computing it
@@ -282,7 +353,7 @@ numeric::BigRational DpllCounter::CountComponentCached(
     }
     return all - falsifying;
   }
-  if (!options_.use_cache) return BranchOnComponent(ctx, component);
+  if (!options_.use_cache) return BranchOnComponent(ctx, component, nullptr);
   std::uint64_t hash = PackKey(ctx, component);
   if (local_cache_ != nullptr) {
     // Sequential configuration: probe the single shard directly, exactly
@@ -298,7 +369,7 @@ numeric::BigRational DpllCounter::CountComponentCached(
   }
   // Copy the scratch key out before recursing (nested lookups reuse it).
   ComponentKey key = ctx->key_scratch;
-  BigRational value = BranchOnComponent(ctx, component);
+  BigRational value = BranchOnComponent(ctx, component, nullptr);
   if (local_cache_ != nullptr) {
     local_cache_->Insert(std::move(key), hash, value);
   } else {
@@ -308,34 +379,56 @@ numeric::BigRational DpllCounter::CountComponentCached(
 }
 
 numeric::BigRational DpllCounter::BranchOnComponent(
-    SearchContext* ctx, const Component& component) {
+    SearchContext* ctx, const Component& component,
+    TraceSink::NodeId* trace_node) {
   VarId variable = PickBranchVariable(ctx, component);
   ++ctx->stats.decisions;
   BigRational total;
+  // Circuit children of the decision OR; conflicting branches contribute
+  // no child (an omitted FALSE summand is weight-independent).
+  std::vector<TraceSink::NodeId> or_children;
+  std::vector<TraceSink::NodeId> branch_children;
   for (bool value : {true, false}) {
     const BigRational& weight = weights_.LiteralWeight(variable, value);
-    if (weight.IsZero()) continue;  // the whole branch carries factor 0
+    // A zero-weight branch carries factor 0 — but only for *these*
+    // weights, so tracing must still explore it for the circuit.
+    if (weight.IsZero() && trace_node == nullptr) continue;
     std::size_t mark = ctx->trail->Mark();
     if (ctx->trail->AssignAndPropagate(MakeLit(variable, value),
                                        &ctx->stats.unit_propagations)) {
       BigRational term = weight;
       const std::vector<Lit>& trail = ctx->trail->assignments();
+      if (trace_node != nullptr) {
+        branch_children.clear();
+        // The decision literal itself (trail[mark]) plus its implications.
+        for (std::size_t i = mark; i < trail.size(); ++i) {
+          branch_children.push_back(options_.trace_sink->Literal(trail[i]));
+        }
+      }
       for (std::size_t i = mark + 1; i < trail.size(); ++i) {
         const BigRational& implied = weights_.LiteralWeight(
             LitVariable(trail[i]), LitPositive(trail[i]));
         if (!implied.IsOne()) term *= implied;
       }
-      if (!term.IsZero()) {
+      if (!term.IsZero() || trace_node != nullptr) {
         std::vector<VarId> remaining;
         remaining.reserve(component.variables.size());
         for (VarId v : component.variables) {
           if (!ctx->trail->IsAssigned(v)) remaining.push_back(v);
         }
-        term *= CountResidual(ctx, remaining, component.clauses);
+        term *= CountResidual(ctx, remaining, component.clauses,
+                              trace_node != nullptr ? &branch_children
+                                                    : nullptr);
       }
       total += term;
+      if (trace_node != nullptr) {
+        or_children.push_back(options_.trace_sink->And(branch_children));
+      }
     }
     ctx->trail->UndoTo(mark);
+  }
+  if (trace_node != nullptr) {
+    *trace_node = options_.trace_sink->Or(variable, or_children);
   }
   return total;
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "numeric/rational.h"
@@ -12,6 +13,7 @@
 #include "prop/compact_cnf.h"
 #include "runtime/thread_pool.h"
 #include "wmc/component_cache.h"
+#include "wmc/trace.h"
 #include "wmc/trail.h"
 #include "wmc/weights.h"
 
@@ -62,6 +64,14 @@ class DpllCounter {
     /// this many unassigned variables; smaller ones are solved inline,
     /// since a fork costs a trail snapshot plus fresh scratch state.
     std::uint32_t parallel_min_component_vars = 16;
+    /// When set, Count() emits its search DAG into the sink as a d-DNNF
+    /// circuit (see wmc/trace.h). Tracing forces the search sequential,
+    /// replaces the bounded component cache with an unbounded trace memo
+    /// (cache hits must stay resolvable to circuit nodes), skips the
+    /// single-clause closed form, and disables every zero-weight pruning
+    /// shortcut so the circuit is valid for all weight vectors — the
+    /// returned count is still bit-identical to an untraced Count().
+    TraceSink* trace_sink = nullptr;
   };
 
   struct Stats {
@@ -145,18 +155,27 @@ class DpllCounter {
   // still be active), assuming unit propagation has reached fixpoint:
   // splits into components, counts free variables as (w + w̄), and
   // multiplies the per-component counts (possibly in parallel).
+  //
+  // The trace_* out-parameters are non-null exactly when tracing: the
+  // residual/component entry points append the circuit nodes of their
+  // factors to *trace_children, the per-component ones write their node
+  // to *trace_node.
   numeric::BigRational CountResidual(
       SearchContext* ctx, const std::vector<prop::VarId>& candidates,
-      const std::vector<std::uint32_t>& parent_clauses);
+      const std::vector<std::uint32_t>& parent_clauses,
+      std::vector<TraceSink::NodeId>* trace_children);
   // Multiplies the component counts, forking large components onto the
   // pool; `ctx`'s trail is snapshotted per fork before any inline solving
   // mutates it.
-  numeric::BigRational CountComponents(SearchContext* ctx,
-                                       std::vector<Component>* components);
+  numeric::BigRational CountComponents(
+      SearchContext* ctx, std::vector<Component>* components,
+      std::vector<TraceSink::NodeId>* trace_children);
   numeric::BigRational CountComponentCached(SearchContext* ctx,
-                                            const Component& component);
+                                            const Component& component,
+                                            TraceSink::NodeId* trace_node);
   numeric::BigRational BranchOnComponent(SearchContext* ctx,
-                                         const Component& component);
+                                         const Component& component,
+                                         TraceSink::NodeId* trace_node);
 
   // Partitions `candidates` into connected components and isolated
   // (constraint-free) variables via DFS over the occurrence lists. Each
@@ -186,6 +205,8 @@ class DpllCounter {
   void SnapshotCacheBaseline();
   void FinalizeStats();
 
+  bool tracing() const { return options_.trace_sink != nullptr; }
+
   prop::CnfFormula cnf_;
   WeightMap weights_;
   Options options_;
@@ -207,6 +228,22 @@ class DpllCounter {
   // Search state, rebuilt by Count().
   prop::CompactCnf compact_;
   std::vector<numeric::BigRational> total_weight_;  // per-var w + w̄
+
+  // Tracing state (rebuilt per Count()): the unbounded trace memo plays
+  // the component cache's role — a hit must return the circuit node of
+  // the first computation, so entries can never be evicted — and its
+  // counters feed the cache_* Stats fields in tracing mode.
+  struct TraceEntry {
+    numeric::BigRational value;
+    TraceSink::NodeId node = TraceSink::kNoNode;
+  };
+  struct TraceKeyHash {
+    std::size_t operator()(const ComponentKey& key) const {
+      return static_cast<std::size_t>(HashComponentKey(key));
+    }
+  };
+  std::unordered_map<ComponentKey, TraceEntry, TraceKeyHash> trace_cache_;
+  Stats trace_cache_stats_;
 };
 
 /// One-shot convenience.

@@ -1,0 +1,450 @@
+// Knowledge-compilation subsystem: the traced circuits must be (a)
+// well-formed d-DNNF — structurally audited — and (b) *evaluation-
+// equivalent* to the DPLL counter under every weight vector, which the
+// differential checks here enforce bit-for-bit: for the whole golden
+// corpus and for seeded random CNFs, Compile(...).Evaluate(w) must equal
+// a fresh recount with w, including zero and negative weights (the
+// weight regimes where a naive trace — one that keeps the counter's
+// zero-weight pruning — would silently drop subcircuits).
+//
+// Seeds are deterministic (committed base seed 1) but rotatable via
+// SWFOMC_FUZZ_SEED, like the other fuzz suites.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "io/diagnostics.h"
+#include "io/model_format.h"
+#include "io/nnf_format.h"
+#include "logic/parser.h"
+#include "nnf/circuit.h"
+#include "nnf/circuit_builder.h"
+#include "test_util.h"
+#include "wmc/dpll_counter.h"
+
+namespace swfomc {
+namespace {
+
+using api::CompiledQuery;
+using api::Engine;
+using api::Method;
+using api::RelationWeights;
+using io::ModelSpec;
+using io::NnfDocument;
+using nnf::Circuit;
+using nnf::CircuitBuilder;
+using nnf::NodeKind;
+using numeric::BigRational;
+using testutil::FuzzBaseSeed;
+using testutil::RandomCnf;
+using testutil::RandomWeights;
+using wmc::DpllCounter;
+using wmc::WeightMap;
+
+constexpr std::uint64_t kDefaultBaseSeed = 1;
+
+std::uint64_t BaseSeed() {
+  static std::uint64_t seed = [] {
+    std::uint64_t value = FuzzBaseSeed(kDefaultBaseSeed);
+    std::cout << "[nnf_test] SWFOMC_FUZZ_SEED base = " << value << std::endl;
+    return value;
+  }();
+  return seed;
+}
+
+// Compiles a raw CNF by running the counter in tracing mode.
+Circuit TraceCnf(const prop::CnfFormula& cnf, const WeightMap& weights,
+                 BigRational* count) {
+  CircuitBuilder builder(cnf.variable_count);
+  DpllCounter::Options options;
+  options.trace_sink = &builder;
+  DpllCounter counter(cnf, weights, options);
+  *count = counter.Count();
+  return builder.Finish();
+}
+
+// The per-relation weight regimes every golden entry is re-evaluated
+// under: unit (FOMC), fractional, negative (Skolemization's regime), and
+// zero — the last one only works if tracing disabled zero pruning.
+std::vector<std::vector<RelationWeights>> WeightRegimes(
+    const logic::Vocabulary& vocabulary) {
+  std::vector<std::vector<RelationWeights>> regimes(4);
+  for (logic::RelationId id = 0; id < vocabulary.size(); ++id) {
+    const std::string& name = vocabulary.name(id);
+    regimes[0].push_back({name, BigRational(1), BigRational(1)});
+    regimes[1].push_back(
+        {name, BigRational(3), BigRational::Fraction(1, 2)});
+    regimes[2].push_back({name, BigRational(-1), BigRational(2)});
+    regimes[3].push_back({name, BigRational(0), BigRational(1)});
+  }
+  return regimes;
+}
+
+std::vector<std::string> GoldenModelPaths() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SWFOMC_GOLDEN_MODELS_DIR)) {
+    if (entry.path().extension() == ".model") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+// --- Golden corpus: compile once, recount under many weights -------------
+
+TEST(Compile, GoldenCorpusBitIdenticalAcrossWeightRegimes) {
+  std::vector<std::string> paths = GoldenModelPaths();
+  ASSERT_FALSE(paths.empty());
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    ModelSpec spec = io::LoadModelFile(path);
+    Engine engine(spec.vocabulary);
+    CompiledQuery compiled = engine.Compile(spec.sentence, spec.domain_hi);
+
+    // The compile-time count is the grounded count; the corpus pins it.
+    ASSERT_TRUE(spec.expect.has_value());
+    EXPECT_EQ(compiled.compile_count(), *spec.expect);
+    EXPECT_EQ(compiled.Evaluate(), compiled.compile_count());
+
+    // Structural d-DNNF audit.
+    std::string violation;
+    EXPECT_TRUE(compiled.circuit().Validate(&violation)) << violation;
+
+    // Differential: circuit evaluation vs. a fresh grounded recount.
+    for (const std::vector<RelationWeights>& regime :
+         WeightRegimes(spec.vocabulary)) {
+      logic::Vocabulary reweighted = spec.vocabulary;
+      for (const RelationWeights& weights : regime) {
+        reweighted.SetWeights(reweighted.Require(weights.relation),
+                              weights.positive, weights.negative);
+      }
+      Engine recount(reweighted);
+      EXPECT_EQ(compiled.Evaluate(regime),
+                recount.WFOMC(spec.sentence, spec.domain_hi,
+                              Method::kGrounded)
+                    .value)
+          << "regime starting (" << regime.front().positive.ToString()
+          << ", " << regime.front().negative.ToString() << ")";
+    }
+  }
+}
+
+TEST(Compile, SharesCacheHitSubcircuits) {
+  // The n=3 triangle lineage has repeated components; the trace must
+  // resolve those cache hits to shared nodes, not re-expansions, so the
+  // circuit is a DAG strictly smaller than the unshared search tree.
+  logic::Vocabulary vocabulary;
+  logic::Formula sentence = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocabulary);
+  Engine engine(vocabulary);
+  CompiledQuery compiled = engine.Compile(sentence, 3);
+  EXPECT_GT(compiled.compile_stats().cache_hits, 0u);
+  EXPECT_EQ(compiled.compile_stats().cache_entries,
+            compiled.compile_stats().cache_insertions);
+  EXPECT_EQ(compiled.compile_stats().parallel_forks, 0u);
+  // Every insertion is a distinct component; the node count is bounded
+  // by a constant multiple of the distinct-component set plus literals.
+  EXPECT_LT(compiled.circuit().node_count(),
+            10 * (compiled.compile_stats().cache_entries + 1) +
+                2 * compiled.circuit().variable_count());
+}
+
+TEST(Compile, TracingForcesSequentialSearch) {
+  prop::CnfFormula cnf;
+  cnf.variable_count = 40;
+  std::mt19937_64 rng(7);
+  cnf = RandomCnf(&rng, 40, 60, 3);
+  WeightMap weights(cnf.variable_count);
+  CircuitBuilder builder(cnf.variable_count);
+  DpllCounter::Options options;
+  options.num_threads = 4;  // must be ignored under tracing
+  options.trace_sink = &builder;
+  DpllCounter counter(cnf, weights, options);
+  BigRational traced = counter.Count();
+  EXPECT_EQ(counter.stats().parallel_forks, 0u);
+  EXPECT_EQ(traced, DpllCounter(cnf, weights).Count());
+  Circuit circuit = builder.Finish();
+  EXPECT_EQ(circuit.Evaluate(weights), traced);
+}
+
+// --- Random CNFs: trace, audit, evaluate under fresh weights -------------
+
+TEST(Compile, RandomCnfDifferential) {
+  std::uint64_t base = BaseSeed();
+  ::testing::Test::RecordProperty("fuzz_base_seed",
+                                  static_cast<int64_t>(base));
+  for (std::uint64_t offset = 0; offset < 24; ++offset) {
+    std::uint64_t seed = base + offset;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    std::uint32_t variables = 3 + static_cast<std::uint32_t>(rng() % 8);
+    prop::CnfFormula cnf =
+        RandomCnf(&rng, variables, 4 + rng() % 10, 1 + rng() % 4);
+    WeightMap compile_weights =
+        RandomWeights(&rng, variables, /*allow_negative=*/true);
+
+    BigRational compile_count;
+    Circuit circuit = TraceCnf(cnf, compile_weights, &compile_count);
+    EXPECT_EQ(circuit.Evaluate(compile_weights), compile_count);
+    std::string violation;
+    ASSERT_TRUE(circuit.Validate(&violation)) << violation;
+
+    // Three fresh weight maps, one with forced zeros.
+    for (int regime = 0; regime < 3; ++regime) {
+      WeightMap weights =
+          RandomWeights(&rng, variables, /*allow_negative=*/regime != 0);
+      if (regime == 2) {
+        weights.Set(0, BigRational(0), BigRational(1));
+        weights.Set(variables - 1, BigRational(2), BigRational(0));
+      }
+      DpllCounter recount(cnf, weights);
+      EXPECT_EQ(circuit.Evaluate(weights), recount.Count())
+          << "regime " << regime;
+    }
+  }
+}
+
+TEST(Compile, DegenerateFormulas) {
+  // No clauses: every variable is free, the circuit is a product of
+  // (w + w̄) factors.
+  prop::CnfFormula free_cnf;
+  free_cnf.variable_count = 3;
+  WeightMap weights(3);
+  weights.Set(0, BigRational(2), BigRational(3));
+  weights.Set(1, BigRational::Fraction(1, 2), BigRational::Fraction(3, 2));
+  BigRational count;
+  Circuit circuit = TraceCnf(free_cnf, weights, &count);
+  EXPECT_EQ(count, BigRational(5) * BigRational(2) * BigRational(2));
+  EXPECT_EQ(circuit.Evaluate(weights), count);
+  std::string violation;
+  EXPECT_TRUE(circuit.Validate(&violation)) << violation;
+
+  // An empty clause: FALSE for every weight vector.
+  prop::CnfFormula unsat;
+  unsat.variable_count = 2;
+  unsat.clauses.push_back({});
+  Circuit false_circuit = TraceCnf(unsat, WeightMap(2), &count);
+  EXPECT_TRUE(count.IsZero());
+  EXPECT_EQ(false_circuit.node_count(), 1u);
+  WeightMap other(2);
+  other.Set(0, BigRational(7), BigRational(-2));
+  EXPECT_TRUE(false_circuit.Evaluate(other).IsZero());
+
+  // A unit clause: root propagation, literal factor times free factor.
+  prop::CnfFormula unit;
+  unit.variable_count = 2;
+  unit.clauses.push_back({prop::Literal{0, true}});
+  WeightMap unit_weights(2);
+  unit_weights.Set(0, BigRational(5), BigRational(11));
+  unit_weights.Set(1, BigRational(2), BigRational(3));
+  Circuit unit_circuit = TraceCnf(unit, unit_weights, &count);
+  EXPECT_EQ(count, BigRational(25));
+  EXPECT_EQ(unit_circuit.Evaluate(unit_weights), BigRational(25));
+}
+
+// --- The structural audit must actually reject malformed circuits -------
+
+TEST(Validate, RejectsNonDecomposableAnd) {
+  // AND(x1, x1) shares variable 0 between children.
+  std::vector<Circuit::Node> nodes(2);
+  nodes[0] = {.kind = NodeKind::kLiteral, .literal = prop::MakeLit(0, true)};
+  nodes[1] = {.kind = NodeKind::kAnd,
+              .children_begin = 0,
+              .children_end = 2};
+  Circuit circuit(1, std::move(nodes), {0, 0}, 1);
+  std::string violation;
+  EXPECT_FALSE(circuit.Validate(&violation));
+  EXPECT_NE(violation.find("not decomposable"), std::string::npos)
+      << violation;
+}
+
+TEST(Validate, RejectsNonDeterministicOr) {
+  // OR(x1, x2) — the children do not conflict on any variable.
+  std::vector<Circuit::Node> nodes(3);
+  nodes[0] = {.kind = NodeKind::kLiteral, .literal = prop::MakeLit(0, true)};
+  nodes[1] = {.kind = NodeKind::kLiteral, .literal = prop::MakeLit(1, true)};
+  nodes[2] = {.kind = NodeKind::kOr, .children_begin = 0, .children_end = 2};
+  Circuit circuit(2, std::move(nodes), {0, 1}, 2);
+  std::string violation;
+  EXPECT_FALSE(circuit.Validate(&violation));
+  EXPECT_NE(violation.find("not deterministic"), std::string::npos)
+      << violation;
+}
+
+TEST(Validate, RejectsDecisionOrWhoseChildSkipsTheDecision) {
+  // OR deciding variable 2 with a child fixing only variable 1.
+  std::vector<Circuit::Node> nodes(3);
+  nodes[0] = {.kind = NodeKind::kLiteral, .literal = prop::MakeLit(0, true)};
+  nodes[1] = {.kind = NodeKind::kLiteral, .literal = prop::MakeLit(1, false)};
+  nodes[2] = {.kind = NodeKind::kOr,
+              .decision = 1,
+              .children_begin = 0,
+              .children_end = 2};
+  Circuit circuit(2, std::move(nodes), {0, 1}, 2);
+  std::string violation;
+  EXPECT_FALSE(circuit.Validate(&violation));
+  EXPECT_NE(violation.find("does not fix the decision"), std::string::npos)
+      << violation;
+}
+
+TEST(Validate, AcceptsDecisionlessDeterministicOr) {
+  // c2d-style OR with decision 0 but conflicting surface literals.
+  NnfDocument document = io::ParseNnf(
+      "nnf 3 2 1\n"
+      "L 1\n"
+      "L -1\n"
+      "O 0 2 0 1\n");
+  std::string violation;
+  EXPECT_TRUE(document.circuit.Validate(&violation)) << violation;
+  EXPECT_EQ(document.circuit.Evaluate(WeightMap(1)), BigRational(2));
+}
+
+TEST(Circuit, ConstructorRejectsForwardReferences) {
+  std::vector<Circuit::Node> nodes(2);
+  nodes[0] = {.kind = NodeKind::kAnd, .children_begin = 0, .children_end = 1};
+  nodes[1] = {.kind = NodeKind::kLiteral, .literal = prop::MakeLit(0, true)};
+  EXPECT_THROW(Circuit(1, std::move(nodes), {1}, 1), std::invalid_argument);
+}
+
+// --- .nnf format ---------------------------------------------------------
+
+TEST(NnfFormat, PrintIsAParserFixpoint) {
+  std::uint64_t base = BaseSeed();
+  for (std::uint64_t offset = 0; offset < 8; ++offset) {
+    std::mt19937_64 rng(base + 1000 + offset);
+    std::uint32_t variables = 3 + static_cast<std::uint32_t>(rng() % 6);
+    prop::CnfFormula cnf =
+        RandomCnf(&rng, variables, 3 + rng() % 8, 1 + rng() % 3);
+    WeightMap weights =
+        RandomWeights(&rng, variables, /*allow_negative=*/true);
+    BigRational count;
+    NnfDocument document;
+    document.circuit = TraceCnf(cnf, weights, &count);
+    document.weights = weights;
+    document.weights.EnsureSize(document.circuit.variable_count());
+    document.expect = count;
+
+    std::string once = io::PrintNnf(document);
+    NnfDocument reparsed = io::ParseNnf(once, "roundtrip.nnf");
+    EXPECT_EQ(io::PrintNnf(reparsed), once);
+    ASSERT_TRUE(reparsed.expect.has_value());
+    EXPECT_EQ(*reparsed.expect, count);
+    EXPECT_EQ(reparsed.circuit.Evaluate(reparsed.weights), count);
+  }
+}
+
+void ExpectParseErrorAt(const std::string& text, std::size_t line,
+                        std::size_t column,
+                        const std::string& message_piece) {
+  try {
+    io::ParseNnf(text, "bad.nnf");
+    FAIL() << "expected ParseError for:\n" << text;
+  } catch (const io::ParseError& error) {
+    EXPECT_EQ(error.location().line, line) << error.what();
+    EXPECT_EQ(error.location().column, column) << error.what();
+    EXPECT_NE(error.message().find(message_piece), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(NnfFormat, ErrorPositions) {
+  ExpectParseErrorAt("L 1\n", 1, 1, "expected 'nnf V E n' header");
+  ExpectParseErrorAt("nnf 1 0\nL 1\n", 1, 7, "expected 3 value(s)");
+  ExpectParseErrorAt("nnf 1 0 1 9\nL 1\n", 1, 11, "unexpected trailing token");
+  ExpectParseErrorAt("nnf 0 0 1\n", 1, 5, "at least one node");
+  ExpectParseErrorAt("nnf 1 0 1\nnnf 1 0 1\n", 2, 1, "duplicate 'nnf'");
+  ExpectParseErrorAt("nnf 1 0 1\nL 2\n", 2, 3, "out of range");
+  ExpectParseErrorAt("nnf 1 0 1\nL 0\n", 2, 3, "out of range");
+  ExpectParseErrorAt("nnf 2 1 1\nL 1\nA 1 1\n", 3, 5,
+                     "does not precede its parent");
+  ExpectParseErrorAt("nnf 2 1 1\nL 1\nA 2 0\n", 3, 3,
+                     "does not match");
+  ExpectParseErrorAt("nnf 1 0 1\nw 1 1/2\nL 1\n", 2, 5, "expected 3");
+  ExpectParseErrorAt("nnf 1 0 1\nw 1 1 1\nw 1 2 2\nL 1\n", 3, 3,
+                     "set twice");
+  ExpectParseErrorAt("nnf 1 0 1\nw 2 1 1\nL 1\n", 2, 3, "out of range");
+  ExpectParseErrorAt("nnf 1 0 1\ne 1\ne 2\nL 1\n", 3, 1, "duplicate 'e'");
+  ExpectParseErrorAt("nnf 1 0 1\nL 1\nL 1\n", 3, 1, "more nodes");
+  ExpectParseErrorAt("nnf 1 0 1\nO 1 0\n", 2, 3,
+                     "must use decision 0");
+  ExpectParseErrorAt("nnf 1 0 1\nQ 3\n", 2, 1, "unknown line");
+  // The count mismatches are end-of-document errors; the trailing
+  // newline makes the (empty) final line 3 the reported position.
+  ExpectParseErrorAt("nnf 2 0 1\nL 1\n", 3, 1, "node count mismatch");
+  ExpectParseErrorAt("nnf 1 5 1\nL 1\n", 3, 1, "edge count mismatch");
+}
+
+TEST(Circuit, NonSmoothCircuitsEvaluateThroughTheRationalPath) {
+  // OR(x1, ¬x2) is deterministic-enough to parse but not smooth, so the
+  // integer-scaled pass must not apply; the plain rational pass computes
+  // the circuit polynomial w1 + w̄2.
+  NnfDocument document = io::ParseNnf(
+      "nnf 3 2 2\n"
+      "w 1 1/3 1\n"
+      "w 2 1 1/7\n"
+      "L 1\n"
+      "L -2\n"
+      "O 0 2 0 1\n");
+  EXPECT_EQ(document.circuit.Evaluate(document.weights),
+            BigRational::Fraction(1, 3) + BigRational::Fraction(1, 7));
+}
+
+TEST(NnfFormat, ParsesConstantsAndComments) {
+  NnfDocument trivial = io::ParseNnf(
+      "c a comment\n"
+      "nnf 1 0 0\n"
+      "c another\n"
+      "A 0\n");
+  EXPECT_EQ(trivial.circuit.node(0).kind, NodeKind::kTrue);
+  EXPECT_EQ(trivial.circuit.Evaluate(WeightMap(0)), BigRational(1));
+
+  NnfDocument contradiction = io::ParseNnf("nnf 1 0 2\nO 0 0\n");
+  EXPECT_EQ(contradiction.circuit.node(0).kind, NodeKind::kFalse);
+  EXPECT_TRUE(contradiction.circuit.Evaluate(WeightMap(2)).IsZero());
+}
+
+// --- CompiledQuery surface ----------------------------------------------
+
+TEST(CompiledQuery, RejectsUnknownRelation) {
+  logic::Vocabulary vocabulary;
+  logic::Formula sentence = logic::Parse("forall x R(x)", &vocabulary);
+  Engine engine(vocabulary);
+  CompiledQuery compiled = engine.Compile(sentence, 2);
+  EXPECT_THROW(
+      compiled.Evaluate({{"NoSuchRelation", BigRational(1), BigRational(1)}}),
+      std::invalid_argument);
+}
+
+TEST(CompiledQuery, ReweightSweepMatchesEngine) {
+  // The serving loop: one compile, many weight vectors, against the
+  // engine recounting each time.
+  logic::Vocabulary vocabulary;
+  logic::Formula sentence =
+      logic::Parse("forall x exists y S(x,y)", &vocabulary);
+  Engine engine(vocabulary);
+  CompiledQuery compiled = engine.Compile(sentence, 3);
+  for (std::int64_t k = -2; k <= 2; ++k) {
+    std::vector<RelationWeights> regime = {
+        {"S", BigRational(k), BigRational::Fraction(1, 3)}};
+    logic::Vocabulary reweighted = vocabulary;
+    reweighted.SetWeights(reweighted.Require("S"), BigRational(k),
+                          BigRational::Fraction(1, 3));
+    Engine recount(reweighted);
+    EXPECT_EQ(compiled.Evaluate(regime),
+              recount.WFOMC(sentence, 3, Method::kGrounded).value)
+        << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace swfomc

@@ -1,0 +1,15 @@
+# Test-time helper for the cli_golden_eval ctest entry: globs the .nnf
+# files the cli_golden_compile fixture just wrote (a configure-time glob
+# would see an empty directory) and replays them through `swfomc eval
+# --check`. Usage:
+#   cmake -D SWFOMC_CLI=<binary> -D NNF_DIR=<dir> -P eval_dir.cmake
+file(GLOB circuits "${NNF_DIR}/*.nnf")
+if(NOT circuits)
+  message(FATAL_ERROR "no .nnf files in ${NNF_DIR} (did the compile fixture run?)")
+endif()
+execute_process(
+  COMMAND ${SWFOMC_CLI} eval --check --compact ${circuits}
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "swfomc eval --check failed with status ${status}")
+endif()

@@ -3,20 +3,27 @@
 // emits one machine-readable JSON document on stdout; diagnostics go to
 // stderr with file:line:column positions.
 //
-//   swfomc run [options] FILE.model...    evaluate WFOMC workloads
-//   swfomc cnf [options] FILE.cnf...      weighted model counts (DPLL)
-//   swfomc route FILE.model...            routing decision only, no solve
-//   swfomc print FILE.{model,cnf}...      reprint in canonical form
+//   swfomc run [options] FILE.model...       evaluate WFOMC workloads
+//   swfomc cnf [options] FILE.cnf...         weighted model counts (DPLL)
+//   swfomc route FILE.model...               routing decision only, no solve
+//   swfomc compile [options] FILE.model...   compile to d-DNNF circuits
+//   swfomc eval [options] FILE.nnf...        evaluate compiled circuits
+//   swfomc print FILE.{model,cnf,nnf}...     reprint in canonical form
 //
 // Options:
-//   --threads N   worker threads (1 = sequential, 0 = hardware), default 1
-//   --method M    force auto | lifted-fo2 | gamma-acyclic | grounded
-//   --check       exit 1 when a model's `expect` value doesn't match
-//   --compact     single-line JSON output
+//   --threads N    worker threads (1 = sequential, 0 = hardware), default 1
+//   --method M     force auto | lifted-fo2 | gamma-acyclic | grounded
+//   --check        exit 1 when an `expect`/`e` value doesn't match
+//   --compact      single-line JSON output
+//   --out FILE     compile: write the circuit to FILE (single input)
+//   --out-dir DIR  compile: write one INPUT-basename.nnf per input
 //
-// Exit codes: 0 success, 1 an `expect` check failed, 2 bad usage or
-// unreadable/malformed input.
+// Exit codes: 0 success, 1 a check failed, 2 unreadable or malformed
+// input, 64 usage error (unknown command/option, missing operand).
 
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -27,6 +34,7 @@
 #include "io/diagnostics.h"
 #include "io/json.h"
 #include "io/model_format.h"
+#include "io/nnf_format.h"
 #include "io/runner.h"
 
 namespace {
@@ -35,34 +43,56 @@ using swfomc::api::Engine;
 using swfomc::api::Method;
 using swfomc::io::JsonValue;
 using swfomc::io::ModelSpec;
+using swfomc::io::NnfDocument;
 using swfomc::io::RunOptions;
 using swfomc::io::WeightedCnf;
+
+// BSD sysexits EX_USAGE: the command line itself was wrong (as opposed to
+// exit 2, a file we could not read or parse).
+constexpr int kExitUsage = 64;
 
 constexpr const char* kUsage =
     R"(usage: swfomc <command> [options] <file>...
 
 commands:
-  run     evaluate .model files: parse, route, count, report JSON
-  cnf     weighted model count of .cnf files through the DPLL counter
-  route   report the routing decision for .model files without solving
-  print   parse .model/.cnf files and reprint them in canonical form
+  run      evaluate .model files: parse, route, count, report JSON
+  cnf      weighted model count of .cnf files through the DPLL counter
+  route    report the routing decision for .model files without solving
+  compile  trace the grounded search of .model files into d-DNNF
+           circuits (.nnf); report circuit statistics and the count
+  eval     evaluate .nnf circuits under their embedded weights
+  print    parse .model/.cnf/.nnf files and reprint them canonically
 
 options:
-  --threads N   worker threads (1 = sequential, 0 = one per hardware
-                thread); applies to the grounded path and sweeps
-  --method M    force a method: auto | lifted-fo2 | gamma-acyclic | grounded
-  --check       exit with status 1 if any model's `expect` value mismatches
-  --compact     emit single-line JSON instead of pretty-printed
-  --help        this text
+  --threads N    worker threads (1 = sequential, 0 = one per hardware
+                 thread); applies to the grounded path and sweeps of
+                 run/cnf (compile and eval are sequential and reject it)
+  --method M     force a method: auto | lifted-fo2 | gamma-acyclic |
+                 grounded (run only; compile always traces grounded)
+  --check        exit with status 1 if any model's `expect` (or circuit's
+                 `e`) value mismatches
+  --compact      emit single-line JSON instead of pretty-printed
+  --out FILE     compile only: write the circuit to FILE (one input file)
+  --out-dir DIR  compile only: write DIR/<input-basename>.nnf per input
+  --help         this text
 
-exit codes: 0 ok, 1 an expect-check failed, 2 usage or input error
+exit codes: 0 ok, 1 a check failed, 2 unreadable or malformed input,
+64 usage error
 )";
+
+// A bad command line (vs. bad input files, which stay exit 2).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct CliOptions {
   std::string command;
   RunOptions run;
   bool check = false;
   bool compact = false;
+  std::string out_file;
+  std::string out_dir;
   std::vector<std::string> files;
 };
 
@@ -75,17 +105,17 @@ int Fail(const std::string& message) {
 // `--threads 4abc` must be a usage error, not ~4 billion worker threads
 // (std::stoul would accept both).
 unsigned ParseThreadCount(const std::string& text) {
-  if (text.empty()) throw std::runtime_error("--threads needs a value");
+  if (text.empty()) throw UsageError("--threads needs a value");
   unsigned value = 0;
   for (char c : text) {
     if (c < '0' || c > '9') {
-      throw std::runtime_error("bad --threads value '" + text +
-                               "' (expected a non-negative integer)");
+      throw UsageError("bad --threads value '" + text +
+                       "' (expected a non-negative integer)");
     }
     value = value * 10 + static_cast<unsigned>(c - '0');
     if (value > 4096) {
-      throw std::runtime_error("--threads value '" + text +
-                               "' exceeds the supported maximum (4096)");
+      throw UsageError("--threads value '" + text +
+                       "' exceeds the supported maximum (4096)");
     }
   }
   return value;  // 0 = one per hardware thread
@@ -93,7 +123,7 @@ unsigned ParseThreadCount(const std::string& text) {
 
 std::optional<CliOptions> ParseArgs(int argc, char** argv) {
   CliOptions options;
-  if (argc < 2) return std::nullopt;
+  if (argc < 2) throw UsageError("no command given");
   options.command = argv[1];
   if (options.command == "--help" || options.command == "-h") {
     return std::nullopt;
@@ -106,31 +136,67 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg == "--compact") {
       options.compact = true;
     } else if (arg == "--threads") {
-      if (++i >= argc) throw std::runtime_error("--threads needs a value");
+      if (++i >= argc) throw UsageError("--threads needs a value");
       options.run.num_threads = ParseThreadCount(argv[i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.run.num_threads = ParseThreadCount(arg.substr(10));
+    } else if (arg == "--out") {
+      if (++i >= argc) throw UsageError("--out needs a value");
+      options.out_file = argv[i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options.out_file = arg.substr(6);
+    } else if (arg == "--out-dir") {
+      if (++i >= argc) throw UsageError("--out-dir needs a value");
+      options.out_dir = argv[i];
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      options.out_dir = arg.substr(10);
     } else if (arg == "--method" || arg.rfind("--method=", 0) == 0) {
       std::string name;
       if (arg == "--method") {
-        if (++i >= argc) throw std::runtime_error("--method needs a value");
+        if (++i >= argc) throw UsageError("--method needs a value");
         name = argv[i];
       } else {
         name = arg.substr(9);
       }
       auto method = swfomc::io::ParseMethodName(name);
       if (!method.has_value()) {
-        throw std::runtime_error("unknown method '" + name + "'");
+        throw UsageError("unknown method '" + name + "'");
       }
       options.run.method_override = *method;
     } else if (arg.rfind("--", 0) == 0) {
-      throw std::runtime_error("unknown option '" + arg + "'");
+      throw UsageError("unknown option '" + arg + "'");
     } else {
       options.files.push_back(std::move(arg));
     }
   }
   if (options.files.empty()) {
-    throw std::runtime_error("no input files");
+    throw UsageError("no input files");
+  }
+  if (!options.out_file.empty() && options.command != "compile") {
+    throw UsageError("--out only applies to the compile command");
+  }
+  if (!options.out_dir.empty() && options.command != "compile") {
+    throw UsageError("--out-dir only applies to the compile command");
+  }
+  if (!options.out_file.empty() && !options.out_dir.empty()) {
+    throw UsageError("--out and --out-dir are mutually exclusive");
+  }
+  if (!options.out_file.empty() && options.files.size() != 1) {
+    throw UsageError("--out takes exactly one input file (use --out-dir)");
+  }
+  // Compilation always runs the sequential grounded trace and eval is a
+  // linear circuit pass; accepting a forced method or a thread count
+  // there would silently do nothing.
+  if (options.command == "compile" || options.command == "eval") {
+    if (options.run.method_override.has_value()) {
+      throw UsageError("--method does not apply to the " + options.command +
+                       " command (compilation always traces the grounded "
+                       "search)");
+    }
+    if (options.run.num_threads != 1) {
+      throw UsageError("--threads does not apply to the " + options.command +
+                       " command (tracing and evaluation are sequential)");
+    }
   }
   return options;
 }
@@ -199,11 +265,108 @@ int RunRoute(const CliOptions& options) {
   return 0;
 }
 
+// The .nnf path for one compile input: --out verbatim, or
+// --out-dir/<input-basename>.nnf.
+std::string OutputPathFor(const CliOptions& options,
+                          const std::string& input) {
+  if (!options.out_file.empty()) return options.out_file;
+  std::filesystem::path name = std::filesystem::path(input).filename();
+  name.replace_extension(".nnf");
+  return (std::filesystem::path(options.out_dir) / name).string();
+}
+
+int RunCompile(const CliOptions& options) {
+  if (!options.out_dir.empty()) {
+    // Output names are input basenames, so two inputs sharing one would
+    // silently overwrite each other's circuit — refuse up front.
+    std::map<std::string, std::string> by_output;
+    for (const std::string& path : options.files) {
+      std::string out_path = OutputPathFor(options, path);
+      auto [it, inserted] = by_output.emplace(out_path, path);
+      if (!inserted) {
+        throw UsageError("--out-dir would write '" + out_path +
+                         "' for both '" + it->second + "' and '" + path +
+                         "' (basenames collide)");
+      }
+    }
+    std::error_code error;
+    std::filesystem::create_directories(options.out_dir, error);
+    if (error) {
+      throw std::runtime_error("cannot create --out-dir '" +
+                               options.out_dir + "': " + error.message());
+    }
+  }
+  JsonValue results = JsonValue::MakeArray();
+  bool checks_passed = true;
+  for (const std::string& path : options.files) {
+    ModelSpec spec = swfomc::io::LoadModelFile(path);
+    swfomc::io::CompileOutcome outcome = swfomc::io::RunCompile(spec, path);
+    if (options.check && spec.expect.has_value() &&
+        !outcome.report.check_passed) {
+      checks_passed = false;
+      std::cerr << "swfomc: check FAILED: " << path << ": expected "
+                << spec.expect->ToString() << " at n=" << spec.domain_hi
+                << ", compiled circuit counts "
+                << outcome.report.count.ToString() << "\n";
+    }
+    if (!options.out_file.empty() || !options.out_dir.empty()) {
+      std::string out_path = OutputPathFor(options, path);
+      NnfDocument document =
+          swfomc::io::MakeNnfDocument(outcome.query, spec.expect);
+      std::ofstream out(out_path);
+      if (!out) {
+        throw std::runtime_error("cannot write nnf file: " + out_path);
+      }
+      out << swfomc::io::PrintNnf(document);
+      if (!out.flush()) {
+        throw std::runtime_error("error writing nnf file: " + out_path);
+      }
+      outcome.report.output_path = std::move(out_path);
+    }
+    results.array.push_back(swfomc::io::ToJson(outcome.report));
+  }
+  JsonValue document = JsonValue::MakeObject();
+  document.Add("results", std::move(results));
+  if (options.check) {
+    document.Add("check", JsonValue::MakeString(checks_passed ? "pass"
+                                                              : "fail"));
+  }
+  Emit(document, options.compact);
+  return checks_passed ? 0 : 1;
+}
+
+int RunEval(const CliOptions& options) {
+  JsonValue results = JsonValue::MakeArray();
+  bool checks_passed = true;
+  for (const std::string& path : options.files) {
+    NnfDocument document = swfomc::io::LoadNnfFile(path);
+    swfomc::io::EvalRunReport report = swfomc::io::RunEval(document, path);
+    if (options.check && report.expected.has_value() &&
+        !report.check_passed) {
+      checks_passed = false;
+      std::cerr << "swfomc: check FAILED: " << path << ": expected "
+                << report.expected->ToString() << ", circuit evaluates to "
+                << report.value.ToString() << "\n";
+    }
+    results.array.push_back(swfomc::io::ToJson(report));
+  }
+  JsonValue document = JsonValue::MakeObject();
+  document.Add("results", std::move(results));
+  if (options.check) {
+    document.Add("check", JsonValue::MakeString(checks_passed ? "pass"
+                                                              : "fail"));
+  }
+  Emit(document, options.compact);
+  return checks_passed ? 0 : 1;
+}
+
 int RunPrint(const CliOptions& options) {
   for (const std::string& path : options.files) {
     if (path.ends_with(".cnf")) {
       std::cout << swfomc::io::PrintWeightedCnf(
           swfomc::io::LoadWeightedCnfFile(path));
+    } else if (path.ends_with(".nnf")) {
+      std::cout << swfomc::io::PrintNnf(swfomc::io::LoadNnfFile(path));
     } else {
       std::cout << swfomc::io::PrintModel(swfomc::io::LoadModelFile(path));
     }
@@ -217,21 +380,30 @@ int main(int argc, char** argv) {
   std::optional<CliOptions> options;
   try {
     options = ParseArgs(argc, argv);
-  } catch (const std::exception& error) {
+  } catch (const UsageError& error) {
     std::cerr << kUsage;
-    return Fail(error.what());
+    std::cerr << "swfomc: " << error.what() << "\n";
+    return kExitUsage;
   }
-  if (!options.has_value()) {
+  if (!options.has_value()) {  // --help
     std::cout << kUsage;
-    return argc < 2 ? 2 : 0;
+    return 0;
   }
   try {
     if (options->command == "run") return RunModels(*options);
     if (options->command == "cnf") return RunCnfs(*options);
     if (options->command == "route") return RunRoute(*options);
+    if (options->command == "compile") return RunCompile(*options);
+    if (options->command == "eval") return RunEval(*options);
     if (options->command == "print") return RunPrint(*options);
     std::cerr << kUsage;
-    return Fail("unknown command '" + options->command + "'");
+    std::cerr << "swfomc: unknown command '" << options->command << "'\n";
+    return kExitUsage;
+  } catch (const UsageError& error) {
+    // Command-line-shaped problems discovered mid-command (e.g. colliding
+    // --out-dir basenames) keep the EX_USAGE exit.
+    std::cerr << "swfomc: " << error.what() << "\n";
+    return kExitUsage;
   } catch (const swfomc::io::ParseError& error) {
     return Fail(error.what());
   } catch (const std::exception& error) {
