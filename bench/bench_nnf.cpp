@@ -23,6 +23,7 @@
 
 #include "api/engine.h"
 #include "logic/parser.h"
+#include "nnf/circuit.h"
 #include "numeric/rational.h"
 
 namespace {
@@ -75,11 +76,12 @@ void BM_Nnf_CompileEval(benchmark::State& state) {
   TriangleFixture fixture;
   std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
   std::int64_t vectors = state.range(1);
+  swfomc::nnf::Circuit::EvalArena arena;
   for (auto _ : state) {
     Engine engine(fixture.vocabulary);
     CompiledQuery compiled = engine.Compile(fixture.sentence, n);
     for (std::int64_t k = 0; k < vectors; ++k) {
-      benchmark::DoNotOptimize(compiled.Evaluate({WeightVector(k)}));
+      benchmark::DoNotOptimize(compiled.Evaluate({WeightVector(k)}, &arena));
     }
   }
 }
@@ -89,16 +91,19 @@ BENCHMARK(BM_Nnf_CompileEval)
     ->Unit(benchmark::kMillisecond);
 
 // The marginal cost of one more weight vector once compiled — the number
-// to quote for serving throughput (queries/second = 1 / this).
+// to quote for serving throughput (queries/second = 1 / this). Serving
+// form: one EvalArena reused across calls, as a real serving loop would.
 void BM_Nnf_EvaluateOnly(benchmark::State& state) {
   TriangleFixture fixture;
   Engine engine(fixture.vocabulary);
   CompiledQuery compiled =
       engine.Compile(fixture.sentence,
                      static_cast<std::uint64_t>(state.range(0)));
+  swfomc::nnf::Circuit::EvalArena arena;
   std::int64_t k = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(compiled.Evaluate({WeightVector(k++ % 100)}));
+    benchmark::DoNotOptimize(
+        compiled.Evaluate({WeightVector(k++ % 100)}, &arena));
   }
 }
 BENCHMARK(BM_Nnf_EvaluateOnly)

@@ -1,0 +1,150 @@
+// Numeric layer microbenchmarks — the arithmetic the counters live in.
+//
+// The BigInt/Rational hot paths this file pins down:
+//
+//   BM_Numeric_SmallChain         int64-range add/mul chains that must
+//                                 never leave the inline representation
+//   BM_Numeric_BoundaryStraddle   products near ±2^62 that promote to
+//                                 heap limbs and demote back on divide
+//   BM_Numeric_BigMulDiv          multi-limb multiply + divide (the
+//                                 schoolbook/Karatsuba regime)
+//   BM_Numeric_RationalEager      a counter-shaped accumulation with one
+//                                 gcd reduction per operation
+//   BM_Numeric_RationalDeferred   the same accumulation through
+//                                 RationalAccumulator — gcd deferred to
+//                                 one final canonicalization
+//
+// Eager vs. deferred is the row pair that justifies the counter's
+// accumulator plumbing; SmallChain vs. BoundaryStraddle isolates what the
+// inline word buys before any heap work starts.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/bigint.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using swfomc::numeric::BigInt;
+using swfomc::numeric::BigRational;
+using swfomc::numeric::RationalAccumulator;
+
+// Deterministic small operands (no <random> so rows are exactly
+// reproducible across standard libraries).
+std::vector<std::int64_t> SmallOperands(std::size_t count) {
+  std::vector<std::int64_t> values;
+  values.reserve(count);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < count; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(static_cast<std::int64_t>(x % 2001) - 1000);
+  }
+  return values;
+}
+
+void BM_Numeric_SmallChain(benchmark::State& state) {
+  std::vector<std::int64_t> operands = SmallOperands(256);
+  for (auto _ : state) {
+    BigInt accumulator(1);
+    for (std::int64_t value : operands) {
+      accumulator += BigInt(value);
+      accumulator *= BigInt(3);
+      accumulator -= BigInt(value * 2);
+      accumulator = accumulator / BigInt(3);  // keeps the chain inline
+    }
+    benchmark::DoNotOptimize(accumulator);
+  }
+}
+BENCHMARK(BM_Numeric_SmallChain);
+
+void BM_Numeric_BoundaryStraddle(benchmark::State& state) {
+  // Each step promotes (product of two near-2^62 words needs two limbs)
+  // and demotes (the divide lands back inside the inline word).
+  constexpr std::int64_t kNearBoundary = (std::int64_t{1} << 62) - 3;
+  BigInt a(kNearBoundary);
+  BigInt b(-kNearBoundary + 10);
+  for (auto _ : state) {
+    BigInt accumulator(0);
+    for (int i = 0; i < 128; ++i) {
+      BigInt product = a * b;        // heap
+      accumulator += product / a;    // back to inline
+      benchmark::DoNotOptimize(product);
+    }
+    benchmark::DoNotOptimize(accumulator);
+  }
+}
+BENCHMARK(BM_Numeric_BoundaryStraddle);
+
+void BM_Numeric_BigMulDiv(benchmark::State& state) {
+  // range(0) = decimal digits per operand: 40 stays schoolbook, 600
+  // crosses the Karatsuba threshold.
+  std::string digits_a, digits_b;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    digits_a.push_back('1' + static_cast<char>(i % 9));
+    digits_b.push_back('9' - static_cast<char>(i % 7));
+  }
+  BigInt a = BigInt::FromString(digits_a);
+  BigInt b = BigInt::FromString(digits_b);
+  for (auto _ : state) {
+    BigInt product = a * b;
+    benchmark::DoNotOptimize(product / b);
+    benchmark::DoNotOptimize(product);
+  }
+}
+BENCHMARK(BM_Numeric_BigMulDiv)->Arg(40)->Arg(600);
+
+// The counter-shaped workload: alternating weight products and branch
+// sums over fractions with overlapping factors — exactly the pattern
+// DpllCounter's BranchOnComponent/CountComponents accumulate.
+std::vector<BigRational> CounterTerms() {
+  std::vector<BigRational> terms;
+  for (std::int64_t k = 1; k <= 64; ++k) {
+    terms.push_back(BigRational::Fraction(2 * k + 1, k + 1));
+    terms.push_back(BigRational::Fraction(-k, 2 * k + 3));
+  }
+  return terms;
+}
+
+void BM_Numeric_RationalEager(benchmark::State& state) {
+  std::vector<BigRational> terms = CounterTerms();
+  for (auto _ : state) {
+    BigRational total(0);
+    BigRational product(1);
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      product *= terms[i];
+      if (i % 4 == 3) {
+        total += product;
+        product = BigRational(1);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_Numeric_RationalEager);
+
+void BM_Numeric_RationalDeferred(benchmark::State& state) {
+  std::vector<BigRational> terms = CounterTerms();
+  for (auto _ : state) {
+    RationalAccumulator total;
+    RationalAccumulator product;
+    product.SetOne();
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      product.Multiply(terms[i]);
+      if (i % 4 == 3) {
+        total.Add(product);
+        product.SetOne();
+      }
+    }
+    benchmark::DoNotOptimize(total.Canonical());
+  }
+}
+BENCHMARK(BM_Numeric_RationalDeferred);
+
+}  // namespace
+
+BENCHMARK_MAIN();

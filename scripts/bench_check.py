@@ -27,6 +27,7 @@ An explicit --threshold flag wins over both.
 
 import argparse
 import json
+import math
 import os
 import re
 import sys
@@ -51,6 +52,24 @@ def load_rows(path: str) -> dict:
                 continue
             rows[(driver, bench["name"])] = bench
     return rows
+
+
+def uniform_drift(ratios: list) -> float:
+    """The common slowdown factor when every row drifted together, or 0.
+
+    A genuine code regression hits the touched rows and leaves the rest
+    alone; a slower machine (different CPU, thermal throttling, noisy
+    neighbor) slows *every* row by roughly the same factor. When all
+    compared rows regressed and each ratio sits within +/-15% of their
+    geometric mean, the drift is uniform and the right fix is re-recording
+    the baseline on the current runner, not hunting a phantom regression.
+    """
+    if len(ratios) < 3 or min(ratios) <= 1.0:
+        return 0.0
+    mean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    if all(max(r / mean, mean / r) <= 1.15 for r in ratios):
+        return mean
+    return 0.0
 
 
 def default_threshold() -> float:
@@ -90,6 +109,7 @@ def main() -> int:
     fresh = load_rows(args.fresh)
 
     regressions = []
+    ratios = []
     skipped = 0
     compared = 0
     for key, base_row in sorted(baseline.items()):
@@ -104,6 +124,7 @@ def main() -> int:
         compared += 1
         fresh_time = float(fresh[key]["real_time"])
         ratio = fresh_time / base_time if base_time > 0 else float("inf")
+        ratios.append(ratio)
         marker = ""
         if ratio > args.threshold:
             regressions.append((driver, name, base_time, fresh_time, ratio))
@@ -117,6 +138,16 @@ def main() -> int:
           f"({skipped} multi-threaded rows skipped), "
           f"threshold {args.threshold:.2f}x")
     if regressions:
+        drift = uniform_drift(ratios)
+        if drift:
+            print(f"FAIL: every compared instance slowed down by a "
+                  f"uniform ~{drift:.2f}x (ratios within +/-15% of their "
+                  f"geometric mean).")
+            print("This pattern is machine skew — a slower/throttled "
+                  "runner, not a code regression. Re-record the baseline "
+                  "on the current runner (scripts/bench.sh) instead of "
+                  "bisecting individual rows.")
+            return 1
         print(f"FAIL: {len(regressions)} instance(s) regressed "
               f"more than {100 * (args.threshold - 1):.0f}%:")
         for driver, name, base, new, ratio in regressions:

@@ -327,9 +327,20 @@ numeric::BigRational CompiledQuery::Evaluate(
   return EvaluateRaw(GroundWeights(reweights));
 }
 
+numeric::BigRational CompiledQuery::Evaluate(
+    const std::vector<RelationWeights>& reweights,
+    nnf::Circuit::EvalArena* arena) const {
+  return EvaluateRaw(GroundWeights(reweights), arena);
+}
+
 numeric::BigRational CompiledQuery::EvaluateRaw(
     const wmc::WeightMap& weights) const {
   return circuit_.Evaluate(weights);
+}
+
+numeric::BigRational CompiledQuery::EvaluateRaw(
+    const wmc::WeightMap& weights, nnf::Circuit::EvalArena* arena) const {
+  return circuit_.Evaluate(weights, arena);
 }
 
 wmc::WeightMap CompiledQuery::GroundWeights(

@@ -80,10 +80,17 @@ class CompiledQuery {
   /// Throws std::invalid_argument for an unknown relation name.
   numeric::BigRational Evaluate(
       const std::vector<RelationWeights>& reweights) const;
+  /// Serving form: same as above with caller-owned evaluation scratch
+  /// (one nnf::Circuit::EvalArena reused across calls makes steady-state
+  /// evaluation allocation-free; see circuit.h).
+  numeric::BigRational Evaluate(const std::vector<RelationWeights>& reweights,
+                                nnf::Circuit::EvalArena* arena) const;
   /// Lowest level: explicit per-variable weights (must cover
   /// circuit().variable_count() variables; Tseitin auxiliaries should
   /// stay (1, 1) for the count to mean WFOMC).
   numeric::BigRational EvaluateRaw(const wmc::WeightMap& weights) const;
+  numeric::BigRational EvaluateRaw(const wmc::WeightMap& weights,
+                                   nnf::Circuit::EvalArena* arena) const;
 
   /// The per-variable weight map `reweights` induces — what EvaluateRaw
   /// would be handed. Exposed for serialization (.nnf weight lines).

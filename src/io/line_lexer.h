@@ -19,14 +19,16 @@
 namespace swfomc::io::internal {
 
 /// Calls fn(line_number, line) for every line of `text` (1-based, final
-/// newline-less line included, a trailing newline yielding one empty
-/// final line), with Windows '\r' stripped. Both readers get their line
-/// accounting from here so their diagnostics can never drift.
+/// newline-less line included). A trailing '\n' terminates the last line
+/// rather than opening a phantom empty one — "a\n" is one line, "a\n\n"
+/// is two — so EOF diagnostics keyed to the last delivered line point at
+/// the last real line. Windows '\r' is stripped. Both readers get their
+/// line accounting from here so their diagnostics can never drift.
 template <typename LineFn>
 inline void ForEachLine(std::string_view text, LineFn&& fn) {
   std::size_t pos = 0;
   std::size_t number = 1;
-  while (pos <= text.size()) {
+  while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
     std::string_view line = text.substr(
         pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);

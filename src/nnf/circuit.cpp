@@ -132,29 +132,43 @@ void Circuit::AnalyzeStructure() {
 }
 
 numeric::BigRational Circuit::Evaluate(const wmc::WeightMap& weights) const {
+  EvalArena arena;
+  return Evaluate(weights, &arena);
+}
+
+numeric::BigRational Circuit::Evaluate(const wmc::WeightMap& weights,
+                                       EvalArena* arena) const {
   if (weights.size() < variable_count_) {
     throw std::invalid_argument(
         "Circuit::Evaluate: weight map covers " +
         std::to_string(weights.size()) + " of " +
         std::to_string(variable_count_) + " variables");
   }
-  return scalable_ ? EvaluateScaled(weights) : EvaluateRational(weights);
+  return scalable_ ? EvaluateScaled(weights, arena)
+                   : EvaluateRational(weights, arena);
 }
 
-numeric::BigRational Circuit::EvaluateScaled(
-    const wmc::WeightMap& weights) const {
+numeric::BigRational Circuit::EvaluateScaled(const wmc::WeightMap& weights,
+                                             EvalArena* arena) const {
   using numeric::BigInt;
   // Clear denominators per covered variable: scale both phases of v by
   // d_v = lcm(den(w_v), den(w̄_v)). Each root product term picks exactly
   // one literal per covered variable (that is what scalable_ certifies),
   // so the root total is scaled by exactly Π d_v — divide once at the
   // end. The pass itself is pure BigInt arithmetic: no per-node gcd.
-  std::vector<BigInt> scaled_positive(variable_count_);
-  std::vector<BigInt> scaled_negative(variable_count_);
+  std::vector<BigInt>& scaled_positive = arena->scaled_positive;
+  std::vector<BigInt>& scaled_negative = arena->scaled_negative;
+  scaled_positive.resize(variable_count_);
+  scaled_negative.resize(variable_count_);
   std::span<const std::uint64_t> root_varset = Varset(root_);
   BigInt denominator(1);
   for (prop::VarId v = 0; v < variable_count_; ++v) {
     if ((root_varset[v / 64] & (std::uint64_t{1} << (v % 64))) == 0) {
+      // Not under the root: zero the slot — a literal node outside the
+      // root's cone may still read it, and the arena can hold values
+      // from a previous evaluation.
+      scaled_positive[v] = BigInt(0);
+      scaled_negative[v] = BigInt(0);
       continue;
     }
     const wmc::VariableWeights& weight = weights.Get(v);
@@ -167,7 +181,8 @@ numeric::BigRational Circuit::EvaluateScaled(
     scaled_negative[v] = weight.negative.numerator() * (lcm / negative_den);
     denominator *= lcm;
   }
-  std::vector<BigInt> value(nodes_.size());
+  std::vector<BigInt>& value = arena->integer_values;
+  value.resize(nodes_.size());
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     const Node& node = nodes_[id];
     switch (node.kind) {
@@ -175,7 +190,9 @@ numeric::BigRational Circuit::EvaluateScaled(
         value[id] = BigInt(1);
         break;
       case NodeKind::kFalse:
-        break;  // BigInt default-constructs to 0
+        // Explicit: the arena slot may hold a previous evaluation's value.
+        value[id] = BigInt(0);
+        break;
       case NodeKind::kLiteral: {
         prop::VarId v = LitVariable(node.literal);
         value[id] = LitPositive(node.literal) ? scaled_positive[v]
@@ -196,12 +213,15 @@ numeric::BigRational Circuit::EvaluateScaled(
       }
     }
   }
+  // Moving the root value out leaves a valid (zero) slot; every slot is
+  // rewritten before it is read on the next evaluation.
   return BigRational(std::move(value[root_]), std::move(denominator));
 }
 
-numeric::BigRational Circuit::EvaluateRational(
-    const wmc::WeightMap& weights) const {
-  std::vector<BigRational> value(nodes_.size());
+numeric::BigRational Circuit::EvaluateRational(const wmc::WeightMap& weights,
+                                               EvalArena* arena) const {
+  std::vector<BigRational>& value = arena->rational_values;
+  value.resize(nodes_.size());
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     const Node& node = nodes_[id];
     switch (node.kind) {
@@ -229,7 +249,9 @@ numeric::BigRational Circuit::EvaluateRational(
       }
     }
   }
-  return value[root_];
+  BigRational result = std::move(value[root_]);
+  value[root_] = BigRational(0);  // keep every arena slot a valid value
+  return result;
 }
 
 Circuit::Stats Circuit::ComputeStats() const {

@@ -53,6 +53,22 @@ class Circuit {
     std::uint64_t depth = 0;
   };
 
+  /// Reusable evaluation scratch: the per-node value column plus the
+  /// per-variable scaled-weight tables of the integer fast path. A caller
+  /// serving many weight vectors against the same circuit passes one
+  /// arena to every Evaluate call; after the first evaluation the buffers
+  /// hold their capacity, so steady-state serving allocates only when an
+  /// individual value outgrows its slot. The arena carries no state
+  /// between calls — every slot is overwritten before it is read — and
+  /// one arena can serve circuits of different sizes (the vectors are
+  /// resized per call). Not thread-safe: one arena per evaluating thread.
+  struct EvalArena {
+    std::vector<numeric::BigInt> integer_values;
+    std::vector<numeric::BigRational> rational_values;
+    std::vector<numeric::BigInt> scaled_positive;
+    std::vector<numeric::BigInt> scaled_negative;
+  };
+
   Circuit() = default;
 
   /// Raw assembly, used by CircuitBuilder::Finish and the .nnf parser.
@@ -91,6 +107,10 @@ class Circuit {
   /// what makes serving a compiled circuit several times cheaper than a
   /// recount even on rational weights.
   numeric::BigRational Evaluate(const wmc::WeightMap& weights) const;
+  /// Same, with caller-owned scratch (see EvalArena); the no-arena
+  /// overload delegates here with a throwaway arena.
+  numeric::BigRational Evaluate(const wmc::WeightMap& weights,
+                                EvalArena* arena) const;
 
   Stats ComputeStats() const;
 
@@ -104,8 +124,10 @@ class Circuit {
   bool Validate(std::string* error) const;
 
  private:
-  numeric::BigRational EvaluateRational(const wmc::WeightMap& weights) const;
-  numeric::BigRational EvaluateScaled(const wmc::WeightMap& weights) const;
+  numeric::BigRational EvaluateRational(const wmc::WeightMap& weights,
+                                        EvalArena* arena) const;
+  numeric::BigRational EvaluateScaled(const wmc::WeightMap& weights,
+                                      EvalArena* arena) const;
   // One construction-time bitset pass: fills varsets_ and decides
   // scalable_ (every AND variable-disjoint, every OR smooth). The table
   // is kept — Evaluate's fast path reads the root's set and Validate

@@ -1,7 +1,8 @@
 #include "numeric/bigint.h"
 
 #include <algorithm>
-#include <cmath>
+#include <bit>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 
@@ -10,6 +11,7 @@ namespace swfomc::numeric {
 namespace {
 
 constexpr std::uint64_t kBase = 1ULL << 32;
+constexpr std::uint64_t kTwo63 = 1ULL << 63;
 constexpr std::size_t kKaratsubaThreshold = 32;
 
 void TrimZeros(std::vector<std::uint32_t>* limbs) {
@@ -18,25 +20,90 @@ void TrimZeros(std::vector<std::uint32_t>* limbs) {
 
 }  // namespace
 
-BigInt::BigInt(std::int64_t value) {
-  negative_ = value < 0;
-  // Avoid UB on INT64_MIN: negate in unsigned space.
-  std::uint64_t magnitude =
-      negative_ ? ~static_cast<std::uint64_t>(value) + 1
-                : static_cast<std::uint64_t>(value);
+std::uint64_t BigInt::InlineMagnitude() const {
+  // Negate in unsigned space: well-defined for INT64_MIN.
+  return small_ < 0 ? ~static_cast<std::uint64_t>(small_) + 1
+                    : static_cast<std::uint64_t>(small_);
+}
+
+BigInt::MagnitudeSpan BigInt::MagnitudeView(std::uint32_t scratch[2]) const {
+  if (!IsInline()) return {limbs_.data(), limbs_.size()};
+  std::uint64_t magnitude = InlineMagnitude();
+  std::size_t count = 0;
   while (magnitude != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xFFFFFFFFu));
+    scratch[count++] = static_cast<std::uint32_t>(magnitude);
     magnitude >>= 32;
   }
-  if (limbs_.empty()) negative_ = false;
+  return {scratch, count};
+}
+
+void BigInt::SetFromUnsignedMagnitude(std::uint64_t magnitude, bool negative) {
+  if (negative ? magnitude <= kTwo63 : magnitude < kTwo63) {
+    small_ = negative ? static_cast<std::int64_t>(~magnitude + 1)
+                      : static_cast<std::int64_t>(magnitude);
+    limbs_.clear();
+    negative_ = false;
+    return;
+  }
+  limbs_.clear();
+  limbs_.push_back(static_cast<std::uint32_t>(magnitude));
+  limbs_.push_back(static_cast<std::uint32_t>(magnitude >> 32));
+  negative_ = negative;
+  small_ = 0;
+}
+
+void BigInt::SetFromMagnitude(std::vector<std::uint32_t> magnitude,
+                              bool negative) {
+  TrimZeros(&magnitude);
+  if (magnitude.size() <= 2) {
+    std::uint64_t value = magnitude.empty() ? 0 : magnitude[0];
+    if (magnitude.size() == 2) {
+      value |= static_cast<std::uint64_t>(magnitude[1]) << 32;
+    }
+    SetFromUnsignedMagnitude(value, negative);
+    return;
+  }
+  limbs_ = std::move(magnitude);
+  negative_ = negative;
+  small_ = 0;
+}
+
+void BigInt::MaybeDemote() {
+  if (limbs_.empty()) {
+    negative_ = false;
+    small_ = 0;
+    return;
+  }
+  if (limbs_.size() > 2) return;
+  std::uint64_t magnitude = limbs_[0];
+  if (limbs_.size() == 2) {
+    magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  }
+  if (negative_ ? magnitude > kTwo63 : magnitude >= kTwo63) return;
+  bool negative = negative_;
+  limbs_.clear();
+  negative_ = false;
+  small_ = negative ? static_cast<std::int64_t>(~magnitude + 1)
+                    : static_cast<std::int64_t>(magnitude);
+}
+
+void BigInt::NegateInPlace() {
+  if (IsInline()) {
+    if (small_ == std::numeric_limits<std::int64_t>::min()) {
+      SetFromUnsignedMagnitude(kTwo63, false);
+    } else {
+      small_ = -small_;
+    }
+    return;
+  }
+  negative_ = !negative_;
+  // Negating heap +2^63 yields INT64_MIN, which must go back inline.
+  MaybeDemote();
 }
 
 BigInt BigInt::FromUnsigned(std::uint64_t value) {
   BigInt result;
-  while (value != 0) {
-    result.limbs_.push_back(static_cast<std::uint32_t>(value & 0xFFFFFFFFu));
-    value >>= 32;
-  }
+  result.SetFromUnsignedMagnitude(value, false);
   return result;
 }
 
@@ -49,8 +116,22 @@ BigInt BigInt::FromString(std::string_view text) {
     start = 1;
   }
   if (start == text.size()) throw std::invalid_argument("BigInt: no digits");
-  BigInt result;
-  // Process 9 decimal digits at a time: result = result * 10^9 + chunk.
+  if (text.size() - start <= 18) {
+    // Up to 18 digits always fit: 10^18 < 2^63.
+    std::uint64_t value = 0;
+    for (std::size_t i = start; i < text.size(); ++i) {
+      char c = text[i];
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("BigInt: invalid digit");
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    BigInt result;
+    result.SetFromUnsignedMagnitude(value, negative);
+    return result;
+  }
+  std::vector<std::uint32_t> magnitude;
+  // Process 9 decimal digits at a time: magnitude = magnitude * 10^9 + chunk.
   std::size_t i = start;
   while (i < text.size()) {
     std::size_t chunk_len = std::min<std::size_t>(9, text.size() - i);
@@ -64,41 +145,38 @@ BigInt BigInt::FromString(std::string_view text) {
       chunk = chunk * 10 + static_cast<std::uint32_t>(c - '0');
       chunk_base *= 10;
     }
-    // result = result * chunk_base + chunk, in-place over limbs.
     std::uint64_t carry = chunk;
-    for (std::uint32_t& limb : result.limbs_) {
+    for (std::uint32_t& limb : magnitude) {
       std::uint64_t cur = static_cast<std::uint64_t>(limb) * chunk_base + carry;
       limb = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
       carry = cur >> 32;
     }
     while (carry != 0) {
-      result.limbs_.push_back(static_cast<std::uint32_t>(carry & 0xFFFFFFFFu));
+      magnitude.push_back(static_cast<std::uint32_t>(carry & 0xFFFFFFFFu));
       carry >>= 32;
     }
   }
-  result.negative_ = negative;
-  result.Normalize();
+  BigInt result;
+  result.SetFromMagnitude(std::move(magnitude), negative);
   return result;
 }
 
 int BigInt::Sign() const {
-  if (limbs_.empty()) return 0;
+  if (IsInline()) return (small_ > 0) - (small_ < 0);
   return negative_ ? -1 : 1;
 }
 
 std::size_t BigInt::BitLength() const {
-  if (limbs_.empty()) return 0;
-  std::uint32_t top = limbs_.back();
-  std::size_t bits = (limbs_.size() - 1) * 32;
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
+  if (IsInline()) {
+    return static_cast<std::size_t>(std::bit_width(InlineMagnitude()));
   }
-  return bits;
+  std::uint32_t top = limbs_.back();
+  return (limbs_.size() - 1) * 32 +
+         static_cast<std::size_t>(std::bit_width(top));
 }
 
 std::string BigInt::ToString() const {
-  if (limbs_.empty()) return "0";
+  if (IsInline()) return std::to_string(small_);
   // Repeatedly divide the magnitude by 10^9.
   std::vector<std::uint32_t> magnitude = limbs_;
   std::vector<std::uint32_t> chunks;  // base-10^9 digits, little-endian
@@ -123,25 +201,13 @@ std::string BigInt::ToString() const {
   return out;
 }
 
-bool BigInt::FitsInt64() const {
-  if (limbs_.size() > 2) return false;
-  if (limbs_.size() < 2) return true;
-  std::uint64_t magnitude =
-      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
-  if (negative_) return magnitude <= (1ULL << 63);
-  return magnitude < (1ULL << 63);
-}
-
 std::int64_t BigInt::ToInt64() const {
-  if (!FitsInt64()) throw std::overflow_error("BigInt: does not fit in int64");
-  std::uint64_t magnitude = 0;
-  if (!limbs_.empty()) magnitude = limbs_[0];
-  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  if (negative_) return static_cast<std::int64_t>(~magnitude + 1);
-  return static_cast<std::int64_t>(magnitude);
+  if (!IsInline()) throw std::overflow_error("BigInt: does not fit in int64");
+  return small_;
 }
 
 double BigInt::ToDouble() const {
+  if (IsInline()) return static_cast<double>(small_);
   double result = 0.0;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
     result = result * 4294967296.0 + static_cast<double>(limbs_[i]);
@@ -151,18 +217,23 @@ double BigInt::ToDouble() const {
 
 BigInt BigInt::operator-() const {
   BigInt result = *this;
-  if (!result.limbs_.empty()) result.negative_ = !result.negative_;
+  result.NegateInPlace();
   return result;
 }
 
 BigInt BigInt::Abs() const {
   BigInt result = *this;
-  result.negative_ = false;
+  if (result.IsInline()) {
+    if (result.small_ < 0) result.NegateInPlace();
+  } else {
+    // A negative heap magnitude is >= 2^63 + 1; it stays heap when the
+    // sign is dropped, so the form remains canonical.
+    result.negative_ = false;
+  }
   return result;
 }
 
-int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
-                             const std::vector<std::uint32_t>& b) {
+int BigInt::CompareMagnitude(MagnitudeSpan a, MagnitudeSpan b) {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (std::size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -170,10 +241,10 @@ int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
   return 0;
 }
 
-std::vector<std::uint32_t> BigInt::AddMagnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
-  const auto& longer = a.size() >= b.size() ? a : b;
-  const auto& shorter = a.size() >= b.size() ? b : a;
+std::vector<std::uint32_t> BigInt::AddMagnitude(MagnitudeSpan a,
+                                                MagnitudeSpan b) {
+  MagnitudeSpan longer = a.size() >= b.size() ? a : b;
+  MagnitudeSpan shorter = a.size() >= b.size() ? b : a;
   std::vector<std::uint32_t> result;
   result.reserve(longer.size() + 1);
   std::uint64_t carry = 0;
@@ -187,8 +258,8 @@ std::vector<std::uint32_t> BigInt::AddMagnitude(
   return result;
 }
 
-std::vector<std::uint32_t> BigInt::SubMagnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+std::vector<std::uint32_t> BigInt::SubMagnitude(MagnitudeSpan a,
+                                                MagnitudeSpan b) {
   std::vector<std::uint32_t> result;
   result.reserve(a.size());
   std::int64_t borrow = 0;
@@ -207,8 +278,8 @@ std::vector<std::uint32_t> BigInt::SubMagnitude(
   return result;
 }
 
-std::vector<std::uint32_t> BigInt::MulSchoolbook(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+std::vector<std::uint32_t> BigInt::MulSchoolbook(MagnitudeSpan a,
+                                                 MagnitudeSpan b) {
   if (a.empty() || b.empty()) return {};
   std::vector<std::uint32_t> result(a.size() + b.size(), 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -231,23 +302,24 @@ std::vector<std::uint32_t> BigInt::MulSchoolbook(
   return result;
 }
 
-std::vector<std::uint32_t> BigInt::MulKaratsuba(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+std::vector<std::uint32_t> BigInt::MulKaratsuba(MagnitudeSpan a,
+                                                MagnitudeSpan b) {
   if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
     return MulSchoolbook(a, b);
   }
   std::size_t half = std::max(a.size(), b.size()) / 2;
-  auto split = [half](const std::vector<std::uint32_t>& v)
-      -> std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> {
-    std::vector<std::uint32_t> low(v.begin(),
-                                   v.begin() + std::min(half, v.size()));
-    std::vector<std::uint32_t> high;
-    if (v.size() > half) high.assign(v.begin() + half, v.end());
-    TrimZeros(&low);
-    return {std::move(low), std::move(high)};
+  auto low = [half](MagnitudeSpan v) {
+    MagnitudeSpan part = v.subspan(0, std::min(half, v.size()));
+    while (!part.empty() && part.back() == 0) part = part.first(part.size() - 1);
+    return part;
   };
-  auto [a_low, a_high] = split(a);
-  auto [b_low, b_high] = split(b);
+  auto high = [half](MagnitudeSpan v) {
+    return v.size() > half ? v.subspan(half) : MagnitudeSpan{};
+  };
+  MagnitudeSpan a_low = low(a);
+  MagnitudeSpan a_high = high(a);
+  MagnitudeSpan b_low = low(b);
+  MagnitudeSpan b_high = high(b);
 
   std::vector<std::uint32_t> z0 = MulKaratsuba(a_low, b_low);
   std::vector<std::uint32_t> z2 = MulKaratsuba(a_high, b_high);
@@ -284,20 +356,19 @@ std::vector<std::uint32_t> BigInt::MulKaratsuba(
   return result;
 }
 
-std::vector<std::uint32_t> BigInt::MulMagnitude(
-    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+std::vector<std::uint32_t> BigInt::MulMagnitude(MagnitudeSpan a,
+                                                MagnitudeSpan b) {
   return MulKaratsuba(a, b);
 }
 
-void BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
-                             const std::vector<std::uint32_t>& b,
+void BigInt::DivModMagnitude(MagnitudeSpan a, MagnitudeSpan b,
                              std::vector<std::uint32_t>* quotient,
                              std::vector<std::uint32_t>* remainder) {
   quotient->clear();
   remainder->clear();
   if (b.empty()) throw std::domain_error("BigInt: division by zero");
   if (CompareMagnitude(a, b) < 0) {
-    *remainder = a;
+    remainder->assign(a.begin(), a.end());
     return;
   }
   if (b.size() == 1) {
@@ -325,7 +396,7 @@ void BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
     top <<= 1;
     ++shift;
   }
-  auto shift_left = [](const std::vector<std::uint32_t>& v, int s) {
+  auto shift_left = [](MagnitudeSpan v, int s) {
     std::vector<std::uint32_t> out(v.size() + 1, 0);
     for (std::size_t i = 0; i < v.size(); ++i) {
       out[i] |= v[i] << s;
@@ -404,41 +475,63 @@ void BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
   *remainder = std::move(u);
 }
 
-void BigInt::Normalize() {
-  TrimZeros(&limbs_);
-  if (limbs_.empty()) negative_ = false;
+void BigInt::AddGeneric(const BigInt& other, bool negate_other) {
+  std::uint32_t sa[2], sb[2];
+  MagnitudeSpan a = MagnitudeView(sa);
+  MagnitudeSpan b = other.MagnitudeView(sb);
+  bool a_negative = IsNegative();
+  bool b_negative = negate_other ? !other.IsNegative() : other.IsNegative();
+  if (a_negative == b_negative) {
+    SetFromMagnitude(AddMagnitude(a, b), a_negative);
+    return;
+  }
+  int cmp = CompareMagnitude(a, b);
+  if (cmp == 0) {
+    SetFromUnsignedMagnitude(0, false);
+  } else if (cmp > 0) {
+    SetFromMagnitude(SubMagnitude(a, b), a_negative);
+  } else {
+    SetFromMagnitude(SubMagnitude(b, a), b_negative);
+  }
 }
 
 BigInt& BigInt::operator+=(const BigInt& other) {
-  if (negative_ == other.negative_) {
-    limbs_ = AddMagnitude(limbs_, other.limbs_);
-  } else {
-    int cmp = CompareMagnitude(limbs_, other.limbs_);
-    if (cmp == 0) {
-      limbs_.clear();
-      negative_ = false;
-    } else if (cmp > 0) {
-      limbs_ = SubMagnitude(limbs_, other.limbs_);
-    } else {
-      limbs_ = SubMagnitude(other.limbs_, limbs_);
-      negative_ = other.negative_;
+  if (IsInline() && other.IsInline()) {
+    std::int64_t result;
+    if (!__builtin_add_overflow(small_, other.small_, &result)) {
+      small_ = result;
+      return *this;
     }
   }
-  Normalize();
+  AddGeneric(other, /*negate_other=*/false);
   return *this;
 }
 
 BigInt& BigInt::operator-=(const BigInt& other) {
-  BigInt negated = other;
-  if (!negated.limbs_.empty()) negated.negative_ = !negated.negative_;
-  return *this += negated;
+  if (IsInline() && other.IsInline()) {
+    std::int64_t result;
+    if (!__builtin_sub_overflow(small_, other.small_, &result)) {
+      small_ = result;
+      return *this;
+    }
+  }
+  AddGeneric(other, /*negate_other=*/true);
+  return *this;
 }
 
 BigInt& BigInt::operator*=(const BigInt& other) {
-  bool result_negative = negative_ != other.negative_;
-  limbs_ = MulMagnitude(limbs_, other.limbs_);
-  negative_ = result_negative;
-  Normalize();
+  if (IsInline() && other.IsInline()) {
+    std::int64_t result;
+    if (!__builtin_mul_overflow(small_, other.small_, &result)) {
+      small_ = result;
+      return *this;
+    }
+  }
+  std::uint32_t sa[2], sb[2];
+  MagnitudeSpan a = MagnitudeView(sa);
+  MagnitudeSpan b = other.MagnitudeView(sb);
+  bool result_negative = IsNegative() != other.IsNegative();
+  SetFromMagnitude(MulMagnitude(a, b), result_negative);
   return *this;
 }
 
@@ -458,14 +551,27 @@ BigInt& BigInt::operator%=(const BigInt& other) {
 
 void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quotient,
                     BigInt* remainder) {
+  if (b.IsZero()) throw std::domain_error("BigInt: division by zero");
+  if (a.IsInline() && b.IsInline()) {
+    // Magnitude division avoids the INT64_MIN / -1 overflow; the 2^63
+    // quotient escapes to heap form via SetFromUnsignedMagnitude.
+    std::uint64_t a_mag = a.InlineMagnitude();
+    std::uint64_t b_mag = b.InlineMagnitude();
+    bool a_negative = a.small_ < 0;
+    bool q_negative = a_negative != (b.small_ < 0);
+    quotient->SetFromUnsignedMagnitude(a_mag / b_mag, q_negative);
+    remainder->SetFromUnsignedMagnitude(a_mag % b_mag, a_negative);
+    return;
+  }
+  // Signs are read before either out-param is written so quotient or
+  // remainder may alias a or b.
+  bool a_negative = a.IsNegative();
+  bool q_negative = a_negative != b.IsNegative();
+  std::uint32_t sa[2], sb[2];
   std::vector<std::uint32_t> q_mag, r_mag;
-  DivModMagnitude(a.limbs_, b.limbs_, &q_mag, &r_mag);
-  quotient->limbs_ = std::move(q_mag);
-  quotient->negative_ = a.negative_ != b.negative_;
-  quotient->Normalize();
-  remainder->limbs_ = std::move(r_mag);
-  remainder->negative_ = a.negative_;
-  remainder->Normalize();
+  DivModMagnitude(a.MagnitudeView(sa), b.MagnitudeView(sb), &q_mag, &r_mag);
+  quotient->SetFromMagnitude(std::move(q_mag), q_negative);
+  remainder->SetFromMagnitude(std::move(r_mag), a_negative);
 }
 
 BigInt BigInt::Pow(const BigInt& base, std::uint64_t exponent) {
@@ -480,60 +586,87 @@ BigInt BigInt::Pow(const BigInt& base, std::uint64_t exponent) {
 }
 
 BigInt BigInt::Gcd(BigInt a, BigInt b) {
-  a.negative_ = false;
-  b.negative_ = false;
-  while (!b.IsZero()) {
+  while (true) {
+    if (a.IsInline() && b.IsInline()) {
+      // Single-word Euclid on magnitudes — the overwhelmingly common
+      // case for rational reduction in the counters.
+      std::uint64_t x = a.InlineMagnitude();
+      std::uint64_t y = b.InlineMagnitude();
+      while (y != 0) {
+        std::uint64_t t = x % y;
+        x = y;
+        y = t;
+      }
+      return FromUnsigned(x);
+    }
+    if (b.IsZero()) return a.Abs();
     BigInt r = a % b;
     a = std::move(b);
     b = std::move(r);
   }
-  return a;
 }
 
 BigInt BigInt::ShiftLeft(std::size_t bits) const {
-  if (limbs_.empty() || bits == 0) {
-    BigInt r = *this;
-    return r;
-  }
-  std::size_t limb_shift = bits / 32;
-  int bit_shift = static_cast<int>(bits % 32);
+  if (IsZero() || bits == 0) return *this;
   BigInt result;
-  result.negative_ = negative_;
-  result.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    result.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
-    if (bit_shift != 0) {
-      result.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(
-          static_cast<std::uint64_t>(limbs_[i]) >> (32 - bit_shift));
+  if (IsInline() && bits < 64) {
+    std::uint64_t magnitude = InlineMagnitude();
+    if ((magnitude >> (64 - bits)) == 0) {
+      result.SetFromUnsignedMagnitude(magnitude << bits, small_ < 0);
+      return result;
     }
   }
-  result.Normalize();
+  std::uint32_t scratch[2];
+  MagnitudeSpan magnitude = MagnitudeView(scratch);
+  std::size_t limb_shift = bits / 32;
+  int bit_shift = static_cast<int>(bits % 32);
+  std::vector<std::uint32_t> out(magnitude.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < magnitude.size(); ++i) {
+    out[i + limb_shift] |= magnitude[i] << bit_shift;
+    if (bit_shift != 0) {
+      out[i + limb_shift + 1] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(magnitude[i]) >> (32 - bit_shift));
+    }
+  }
+  result.SetFromMagnitude(std::move(out), IsNegative());
   return result;
 }
 
 BigInt BigInt::ShiftRight(std::size_t bits) const {
+  BigInt result;
+  if (IsInline()) {
+    std::uint64_t shifted = bits >= 64 ? 0 : InlineMagnitude() >> bits;
+    result.SetFromUnsignedMagnitude(shifted, small_ < 0);
+    return result;
+  }
   std::size_t limb_shift = bits / 32;
   int bit_shift = static_cast<int>(bits % 32);
-  if (limb_shift >= limbs_.size()) return BigInt();
-  BigInt result;
-  result.negative_ = negative_;
-  result.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  if (limb_shift >= limbs_.size()) return result;
+  std::vector<std::uint32_t> out(limbs_.begin() + limb_shift, limbs_.end());
   if (bit_shift != 0) {
-    for (std::size_t i = 0; i < result.limbs_.size(); ++i) {
-      result.limbs_[i] >>= bit_shift;
-      if (i + 1 < result.limbs_.size()) {
-        result.limbs_[i] |= result.limbs_[i + 1] << (32 - bit_shift);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] >>= bit_shift;
+      if (i + 1 < out.size()) {
+        out[i] |= out[i + 1] << (32 - bit_shift);
       }
     }
   }
-  result.Normalize();
+  result.SetFromMagnitude(std::move(out), negative_);
   return result;
 }
 
 bool operator<(const BigInt& a, const BigInt& b) {
-  if (a.negative_ != b.negative_) return a.negative_;
+  if (a.IsInline() && b.IsInline()) return a.small_ < b.small_;
+  int a_sign = a.Sign();
+  int b_sign = b.Sign();
+  if (a_sign != b_sign) return a_sign < b_sign;
+  if (a.IsInline() != b.IsInline()) {
+    // Same sign, mixed forms: the heap magnitude is strictly larger
+    // (canonical representation keeps int64-sized values inline).
+    return a.IsInline() ? a_sign > 0 : a_sign < 0;
+  }
   int cmp = BigInt::CompareMagnitude(a.limbs_, b.limbs_);
-  return a.negative_ ? cmp > 0 : cmp < 0;
+  return a_sign < 0 ? cmp > 0 : cmp < 0;
 }
 
 std::ostream& operator<<(std::ostream& os, const BigInt& value) {

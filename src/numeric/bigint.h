@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,9 +15,18 @@ namespace swfomc::numeric {
 /// Model counts in symmetric WFOMC grow as 2^Θ(n²) (there are 2^|Tup(n)|
 /// labeled structures over a domain of size n), so every counting path in
 /// this library uses exact arbitrary-precision arithmetic. GMP is not a
-/// dependency; this is a from-scratch implementation with sign-magnitude
-/// representation over 32-bit limbs (little-endian), schoolbook
-/// multiplication with a Karatsuba fast path, and long division.
+/// dependency; this is a from-scratch implementation with schoolbook
+/// multiplication, a Karatsuba fast path, and Knuth long division.
+///
+/// Representation: a value that fits in int64 is stored *inline* in a
+/// single machine word (`small_`, with `limbs_` empty) — no heap
+/// allocation, and every arithmetic operation on two inline operands is a
+/// handful of instructions with an overflow check. Values outside int64
+/// escape to sign-magnitude heap limbs (32-bit, little-endian). The form
+/// is canonical: a result that fits int64 is always demoted back to the
+/// inline word, so equality is field-wise and hashing via ToString stays
+/// stable. This mirrors the small-value fast paths of Cachet/sharpSAT —
+/// counter intermediates are overwhelmingly single-word.
 ///
 /// The class is a regular value type: copyable, movable, totally ordered,
 /// hashable via ToString. All operations are exact; division truncates
@@ -26,8 +36,8 @@ class BigInt {
  public:
   /// Zero.
   BigInt() = default;
-  /// From native signed integer.
-  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+  /// From native signed integer (always inline).
+  BigInt(std::int64_t value) : small_(value) {}  // NOLINT(google-explicit-constructor)
   /// From native unsigned integer.
   static BigInt FromUnsigned(std::uint64_t value);
   /// Parses a decimal string with optional leading '-'. Throws
@@ -35,11 +45,13 @@ class BigInt {
   static BigInt FromString(std::string_view text);
 
   /// True iff the value is zero.
-  bool IsZero() const { return limbs_.empty(); }
+  bool IsZero() const { return limbs_.empty() && small_ == 0; }
   /// True iff the value is strictly negative.
-  bool IsNegative() const { return negative_; }
+  bool IsNegative() const {
+    return limbs_.empty() ? small_ < 0 : negative_;
+  }
   /// True iff the value is one.
-  bool IsOne() const { return !negative_ && limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsOne() const { return limbs_.empty() && small_ == 1; }
   /// Sign as -1, 0, or +1.
   int Sign() const;
 
@@ -52,8 +64,9 @@ class BigInt {
   /// Returns the value as int64 if it fits; throws std::overflow_error
   /// otherwise.
   std::int64_t ToInt64() const;
-  /// True iff the value fits in int64.
-  bool FitsInt64() const;
+  /// True iff the value fits in int64 — equivalently (by the canonical
+  /// representation) iff the value is stored inline.
+  bool FitsInt64() const { return limbs_.empty(); }
   /// Lossy conversion to double (for reporting only; never used in
   /// counting paths).
   double ToDouble() const;
@@ -90,7 +103,11 @@ class BigInt {
   BigInt ShiftRight(std::size_t bits) const;
 
   friend bool operator==(const BigInt& a, const BigInt& b) {
-    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+    // Canonical form (inline iff the value fits int64, sign normalized,
+    // no trailing zero limbs) makes equality field-wise: mixed inline /
+    // heap representations of the same value cannot exist.
+    return a.small_ == b.small_ && a.negative_ == b.negative_ &&
+           a.limbs_ == b.limbs_;
   }
   friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
   friend bool operator<(const BigInt& a, const BigInt& b);
@@ -101,29 +118,56 @@ class BigInt {
   friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
 
  private:
-  // Magnitude comparison: -1, 0, +1 for |a| vs |b|.
-  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
-                              const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> AddMagnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  using MagnitudeSpan = std::span<const std::uint32_t>;
+
+  /// True when the value is stored in `small_` (iff it fits int64).
+  bool IsInline() const { return limbs_.empty(); }
+  /// |small_| without UB on INT64_MIN. Inline form only.
+  std::uint64_t InlineMagnitude() const;
+  /// The magnitude as a limb span; inline values are decomposed into the
+  /// caller-provided 2-limb scratch buffer (no allocation).
+  MagnitudeSpan MagnitudeView(std::uint32_t scratch[2]) const;
+
+  /// Canonicalizing assignment from an (untrimmed) magnitude vector:
+  /// demotes to the inline word whenever the value fits int64.
+  void SetFromMagnitude(std::vector<std::uint32_t> magnitude, bool negative);
+  /// Same, from a 64-bit magnitude (negative with magnitude 2^63 is
+  /// INT64_MIN and stays inline).
+  void SetFromUnsignedMagnitude(std::uint64_t magnitude, bool negative);
+  /// Demotes a trimmed heap value back inline when it fits int64.
+  void MaybeDemote();
+  void NegateInPlace();
+
+  /// Sign-magnitude addition of `other` (negated when `negate_other`)
+  /// into *this through the limb kernels; handles every non-inline or
+  /// overflowing case.
+  void AddGeneric(const BigInt& other, bool negate_other);
+
+  // Magnitude kernels over limb spans (operands may be inline-decomposed
+  // scratch buffers or heap limb arrays).
+  static int CompareMagnitude(MagnitudeSpan a, MagnitudeSpan b);
+  static std::vector<std::uint32_t> AddMagnitude(MagnitudeSpan a,
+                                                 MagnitudeSpan b);
   // Requires |a| >= |b|.
-  static std::vector<std::uint32_t> SubMagnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> MulMagnitude(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> MulSchoolbook(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> MulKaratsuba(
-      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> SubMagnitude(MagnitudeSpan a,
+                                                 MagnitudeSpan b);
+  static std::vector<std::uint32_t> MulMagnitude(MagnitudeSpan a,
+                                                 MagnitudeSpan b);
+  static std::vector<std::uint32_t> MulSchoolbook(MagnitudeSpan a,
+                                                  MagnitudeSpan b);
+  static std::vector<std::uint32_t> MulKaratsuba(MagnitudeSpan a,
+                                                 MagnitudeSpan b);
   // Long division of magnitudes; quotient and remainder out-params.
-  static void DivModMagnitude(const std::vector<std::uint32_t>& a,
-                              const std::vector<std::uint32_t>& b,
+  static void DivModMagnitude(MagnitudeSpan a, MagnitudeSpan b,
                               std::vector<std::uint32_t>* quotient,
                               std::vector<std::uint32_t>* remainder);
-  void Normalize();
 
-  // Little-endian 32-bit limbs; empty means zero. Invariant: no trailing
-  // zero limb, and negative_ is false when limbs_ is empty.
+  // Inline value when limbs_ is empty; otherwise 0.
+  std::int64_t small_ = 0;
+  // Heap form: little-endian 32-bit limbs of the magnitude; empty means
+  // the value is inline. Invariants: no trailing zero limb; non-empty
+  // only when the value does not fit int64; negative_ is false in the
+  // inline form (the sign lives in small_).
   std::vector<std::uint32_t> limbs_;
   bool negative_ = false;
 };

@@ -24,16 +24,15 @@ BigInt Binomial(const BigInt& n, std::uint64_t k) {
   if (n.IsNegative()) {
     throw std::domain_error("Binomial: negative upper index");
   }
-  if (n.FitsInt64() &&
-      BigInt::FromUnsigned(k) > n) {
-    return BigInt(0);
-  }
+  // Unconditional k > n guard: the old FitsInt64-gated check missed
+  // n in [2^63, 2^64) with k > n, where the falling factorial below
+  // picks up negative factors.
+  if (BigInt::FromUnsigned(k) > n) return BigInt(0);
   BigInt result(1);
   for (std::uint64_t i = 0; i < k; ++i) {
     result *= n - BigInt::FromUnsigned(i);
     result /= BigInt::FromUnsigned(i + 1);
   }
-  if (result.IsNegative()) return BigInt(0);  // k > n for big n is impossible
   return result;
 }
 

@@ -37,11 +37,27 @@ void BigRational::Reduce() {
     denominator_ = BigInt(1);
     return;
   }
-  BigInt g = BigInt::Gcd(numerator_, denominator_);
-  if (!g.IsOne()) {
-    numerator_ /= g;
-    denominator_ /= g;
+  if (!denominator_.IsOne()) {
+    BigInt g = BigInt::Gcd(numerator_, denominator_);
+    if (!g.IsOne()) {
+      numerator_ /= g;
+      denominator_ /= g;
+    }
   }
+  CheckCanonical();
+}
+
+void BigRational::CheckCanonical() const {
+#ifndef NDEBUG
+  if (!denominator_.IsNegative() && !denominator_.IsZero() &&
+      (numerator_.IsZero() ? denominator_.IsOne()
+                           : BigInt::Gcd(numerator_, denominator_).IsOne())) {
+    return;
+  }
+  throw std::logic_error("BigRational: non-canonical value " +
+                         numerator_.ToString() + "/" +
+                         denominator_.ToString());
+#endif
 }
 
 std::string BigRational::ToString() const {
@@ -88,6 +104,25 @@ BigRational BigRational::Inverse() const {
 }
 
 BigRational& BigRational::operator+=(const BigRational& other) {
+  // Fast paths whose results are canonical by construction: with both
+  // operands reduced, gcd(n1 + k*d1, d1) == gcd(n1, d1) == 1, so adding
+  // an integer multiple of the denominator to the numerator never
+  // introduces a common factor.
+  if (other.denominator_.IsOne()) {
+    if (denominator_.IsOne()) {
+      numerator_ += other.numerator_;
+    } else {
+      numerator_ += other.numerator_ * denominator_;
+    }
+    CheckCanonical();
+    return *this;
+  }
+  if (denominator_.IsOne()) {
+    numerator_ = numerator_ * other.denominator_ + other.numerator_;
+    denominator_ = other.denominator_;
+    CheckCanonical();
+    return *this;
+  }
   numerator_ = numerator_ * other.denominator_ + other.numerator_ * denominator_;
   denominator_ *= other.denominator_;
   Reduce();
@@ -95,6 +130,21 @@ BigRational& BigRational::operator+=(const BigRational& other) {
 }
 
 BigRational& BigRational::operator-=(const BigRational& other) {
+  if (other.denominator_.IsOne()) {
+    if (denominator_.IsOne()) {
+      numerator_ -= other.numerator_;
+    } else {
+      numerator_ -= other.numerator_ * denominator_;
+    }
+    CheckCanonical();
+    return *this;
+  }
+  if (denominator_.IsOne()) {
+    numerator_ = numerator_ * other.denominator_ - other.numerator_;
+    denominator_ = other.denominator_;
+    CheckCanonical();
+    return *this;
+  }
   numerator_ = numerator_ * other.denominator_ - other.numerator_ * denominator_;
   denominator_ *= other.denominator_;
   Reduce();
@@ -102,16 +152,44 @@ BigRational& BigRational::operator-=(const BigRational& other) {
 }
 
 BigRational& BigRational::operator*=(const BigRational& other) {
-  numerator_ *= other.numerator_;
-  denominator_ *= other.denominator_;
-  Reduce();
+  if (denominator_.IsOne() && other.denominator_.IsOne()) {
+    // Integer times integer stays canonical without a gcd.
+    numerator_ *= other.numerator_;
+    CheckCanonical();
+    return *this;
+  }
+  // Cross-cancel before multiplying (Knuth 4.5.1): with both operands
+  // reduced, dividing out gcd(n1, d2) and gcd(n2, d1) leaves a product
+  // already in lowest terms, and the gcds run on the small inputs rather
+  // than the large product.
+  BigInt other_num = other.numerator_;
+  BigInt other_den = other.denominator_;
+  if (!other_den.IsOne() && !numerator_.IsZero()) {
+    BigInt g = BigInt::Gcd(numerator_, other_den);
+    if (!g.IsOne()) {
+      numerator_ /= g;
+      other_den /= g;
+    }
+  }
+  if (!denominator_.IsOne() && !other_num.IsZero()) {
+    BigInt g = BigInt::Gcd(other_num, denominator_);
+    if (!g.IsOne()) {
+      other_num /= g;
+      denominator_ /= g;
+    }
+  }
+  numerator_ *= other_num;
+  denominator_ *= other_den;
+  if (numerator_.IsZero()) denominator_ = BigInt(1);
+  CheckCanonical();
   return *this;
 }
 
 BigRational& BigRational::operator/=(const BigRational& other) {
   if (other.IsZero()) throw std::domain_error("BigRational: division by zero");
+  BigInt other_num = other.numerator_;  // copy: `other` may alias *this
   numerator_ *= other.denominator_;
-  denominator_ *= other.numerator_;
+  denominator_ *= other_num;
   Reduce();
   return *this;
 }

@@ -9,6 +9,7 @@ namespace swfomc::wmc {
 namespace {
 
 using numeric::BigRational;
+using numeric::RationalAccumulator;
 using prop::Clause;
 using prop::Lit;
 using prop::LitPositive;
@@ -65,6 +66,21 @@ void DpllCounter::InitContext(SearchContext* ctx) const {
   ctx->clause_mark.assign(compact_.clause_count(), ClauseMark{});
   ctx->score_stamp.assign(cnf_.variable_count, 0);
   ctx->score.assign(cnf_.variable_count, 0);
+  ctx->node_scratch.clear();
+  ctx->scratch_depth = 0;
+  ctx->dfs_stack.clear();
+}
+
+DpllCounter::NodeScratch* DpllCounter::AcquireScratch(
+    SearchContext* ctx) const {
+  if (ctx->scratch_depth == ctx->node_scratch.size()) {
+    ctx->node_scratch.push_back(std::make_unique<NodeScratch>());
+  }
+  NodeScratch* scratch = ctx->node_scratch[ctx->scratch_depth++].get();
+  scratch->components.clear();
+  scratch->free_variables.clear();
+  scratch->remaining.clear();
+  return scratch;
 }
 
 numeric::BigRational DpllCounter::Count() {
@@ -107,14 +123,17 @@ numeric::BigRational DpllCounter::Count() {
       return BigRational(0);
     }
     std::vector<TraceSink::NodeId> children;
-    BigRational result(1);
+    // Gcd-deferred product of the root factors: one canonicalizing
+    // reduction at the end instead of one per factor.
+    RationalAccumulator result;
+    result.SetOne();
     for (Lit lit : root.trail->assignments()) {
       const BigRational& weight =
           weights_.LiteralWeight(LitVariable(lit), LitPositive(lit));
-      if (!weight.IsOne()) result *= weight;
+      if (!weight.IsOne()) result.Multiply(weight);
       if (sink != nullptr) children.push_back(sink->Literal(lit));
     }
-    if (result.IsZero() && sink == nullptr) return result;
+    if (result.IsZero() && sink == nullptr) return BigRational(0);
 
     std::vector<VarId> candidates;
     candidates.reserve(cnf_.variable_count);
@@ -124,19 +143,19 @@ numeric::BigRational DpllCounter::Count() {
         candidates.push_back(v);
       } else {
         // Never constrained by any clause: free (w + w̄) factor.
-        result *= total_weight_[v];
+        result.Multiply(total_weight_[v]);
         if (sink != nullptr) children.push_back(sink->FreeVariable(v));
       }
     }
-    if (result.IsZero() && sink == nullptr) return result;
+    if (result.IsZero() && sink == nullptr) return BigRational(0);
     std::vector<std::uint32_t> all_clauses(compact_.clause_count());
     for (std::uint32_t c = 0; c < compact_.clause_count(); ++c) {
       all_clauses[c] = c;
     }
-    result *= CountResidual(&root, candidates, all_clauses,
-                            sink != nullptr ? &children : nullptr);
+    result.Multiply(CountResidual(&root, candidates, all_clauses,
+                                  sink != nullptr ? &children : nullptr));
     if (sink != nullptr) trace_root = sink->And(children);
-    return result;
+    return result.Canonical();
   }();
   pool_.reset();
   MergeContextStats(root.stats);
@@ -187,14 +206,16 @@ numeric::BigRational DpllCounter::CountResidual(
     SearchContext* ctx, const std::vector<VarId>& candidates,
     const std::vector<std::uint32_t>& parent_clauses,
     std::vector<TraceSink::NodeId>* trace_children) {
-  std::vector<Component> components;
-  std::vector<VarId> free_variables;
+  NodeScratch* scratch = AcquireScratch(ctx);
+  std::vector<Component>& components = scratch->components;
+  std::vector<VarId>& free_variables = scratch->free_variables;
   FindComponents(ctx, candidates, parent_clauses, &components,
                  &free_variables);
 
-  BigRational result(1);
+  RationalAccumulator result;
+  result.SetOne();
   for (VarId v : free_variables) {
-    result *= total_weight_[v];
+    result.Multiply(total_weight_[v]);
     if (trace_children != nullptr) {
       trace_children->push_back(options_.trace_sink->FreeVariable(v));
     } else if (result.IsZero()) {
@@ -219,12 +240,12 @@ numeric::BigRational DpllCounter::CountResidual(
       std::sort(merged.variables.begin(), merged.variables.end());
       std::sort(merged.clauses.begin(), merged.clauses.end());
       TraceSink::NodeId node = TraceSink::kNoNode;
-      result *= CountComponentCached(
-          ctx, merged, trace_children != nullptr ? &node : nullptr);
+      result.Multiply(CountComponentCached(
+          ctx, merged, trace_children != nullptr ? &node : nullptr));
       if (trace_children != nullptr) trace_children->push_back(node);
     } else {
       if (components.size() > 1) ++ctx->stats.component_splits;
-      result *= CountComponents(ctx, &components, trace_children);
+      result.Multiply(CountComponents(ctx, &components, trace_children));
     }
   }
   // Recycle the id-span buffers for later search nodes.
@@ -233,7 +254,9 @@ numeric::BigRational DpllCounter::CountResidual(
     component.clauses.clear();
     ctx->component_pool.push_back(std::move(component));
   }
-  return result;
+  components.clear();
+  ReleaseScratch(ctx);
+  return result.Canonical();
 }
 
 bool DpllCounter::ShouldFork(const Component& component) {
@@ -258,18 +281,19 @@ numeric::BigRational DpllCounter::CountComponents(
     // Tracing always lands here (a trace sink forces one thread, so
     // pool_ is null) and must visit every component even after a zero
     // factor — the AND node needs all its children.
-    BigRational result(1);
+    RationalAccumulator result;
+    result.SetOne();
     for (const Component& component : *components) {
       TraceSink::NodeId node = TraceSink::kNoNode;
-      result *= CountComponentCached(
-          ctx, component, trace_children != nullptr ? &node : nullptr);
+      result.Multiply(CountComponentCached(
+          ctx, component, trace_children != nullptr ? &node : nullptr));
       if (trace_children != nullptr) {
         trace_children->push_back(node);
       } else if (result.IsZero()) {
         break;
       }
     }
-    return result;
+    return result.Canonical();
   }
   // Fork the large components, solve the rest inline while the workers
   // run, and multiply everything in component order afterwards. Each fork
@@ -305,13 +329,14 @@ numeric::BigRational DpllCounter::CountComponents(
     }
   }
   group.Wait();
-  BigRational result(1);
+  RationalAccumulator result;
+  result.SetOne();
   for (std::size_t i = 0; i < count; ++i) {
     if (is_forked[i]) AddSearchStats(&ctx->stats, fork_stats[i]);
     if (zero_seen) continue;  // skipped inline slots hold no real count
-    result *= values[i];
+    result.Multiply(values[i]);
   }
-  return zero_seen ? BigRational(0) : result;
+  return zero_seen ? BigRational(0) : result.Canonical();
 }
 
 numeric::BigRational DpllCounter::CountComponentCached(
@@ -343,15 +368,17 @@ numeric::BigRational DpllCounter::CountComponentCached(
   // beats both branching and a cache round-trip, and such components are
   // the bulk of what Tseitin-encoded lineages shatter into.
   if (component.clauses.size() == 1) {
-    BigRational all(1);
-    BigRational falsifying(1);
+    RationalAccumulator all;
+    RationalAccumulator falsifying;
+    all.SetOne();
+    falsifying.SetOne();
     for (Lit lit : compact_.Clause(component.clauses.front())) {
       VarId v = LitVariable(lit);
       if (ctx->trail->IsAssigned(v)) continue;
-      all *= total_weight_[v];
-      falsifying *= weights_.LiteralWeight(v, !LitPositive(lit));
+      all.Multiply(total_weight_[v]);
+      falsifying.Multiply(weights_.LiteralWeight(v, !LitPositive(lit)));
     }
-    return all - falsifying;
+    return all.Canonical() - falsifying.Canonical();
   }
   if (!options_.use_cache) return BranchOnComponent(ctx, component, nullptr);
   std::uint64_t hash = PackKey(ctx, component);
@@ -383,7 +410,12 @@ numeric::BigRational DpllCounter::BranchOnComponent(
     TraceSink::NodeId* trace_node) {
   VarId variable = PickBranchVariable(ctx, component);
   ++ctx->stats.decisions;
-  BigRational total;
+  NodeScratch* scratch = AcquireScratch(ctx);
+  // Branch product and decision sum stay unreduced until the OR closes:
+  // one canonicalizing reduction per decision node instead of one per
+  // weight factor.
+  RationalAccumulator total;
+  RationalAccumulator term;
   // Circuit children of the decision OR; conflicting branches contribute
   // no child (an omitted FALSE summand is weight-independent).
   std::vector<TraceSink::NodeId> or_children;
@@ -396,7 +428,7 @@ numeric::BigRational DpllCounter::BranchOnComponent(
     std::size_t mark = ctx->trail->Mark();
     if (ctx->trail->AssignAndPropagate(MakeLit(variable, value),
                                        &ctx->stats.unit_propagations)) {
-      BigRational term = weight;
+      term.Set(weight);
       const std::vector<Lit>& trail = ctx->trail->assignments();
       if (trace_node != nullptr) {
         branch_children.clear();
@@ -408,19 +440,20 @@ numeric::BigRational DpllCounter::BranchOnComponent(
       for (std::size_t i = mark + 1; i < trail.size(); ++i) {
         const BigRational& implied = weights_.LiteralWeight(
             LitVariable(trail[i]), LitPositive(trail[i]));
-        if (!implied.IsOne()) term *= implied;
+        if (!implied.IsOne()) term.Multiply(implied);
       }
       if (!term.IsZero() || trace_node != nullptr) {
-        std::vector<VarId> remaining;
+        std::vector<VarId>& remaining = scratch->remaining;
+        remaining.clear();
         remaining.reserve(component.variables.size());
         for (VarId v : component.variables) {
           if (!ctx->trail->IsAssigned(v)) remaining.push_back(v);
         }
-        term *= CountResidual(ctx, remaining, component.clauses,
-                              trace_node != nullptr ? &branch_children
-                                                    : nullptr);
+        term.Multiply(CountResidual(ctx, remaining, component.clauses,
+                                    trace_node != nullptr ? &branch_children
+                                                          : nullptr));
       }
-      total += term;
+      total.Add(term);
       if (trace_node != nullptr) {
         or_children.push_back(options_.trace_sink->And(branch_children));
       }
@@ -430,7 +463,8 @@ numeric::BigRational DpllCounter::BranchOnComponent(
   if (trace_node != nullptr) {
     *trace_node = options_.trace_sink->Or(variable, or_children);
   }
-  return total;
+  ReleaseScratch(ctx);
+  return total.Canonical();
 }
 
 void DpllCounter::BumpEpoch(SearchContext* ctx) const {
@@ -448,7 +482,7 @@ void DpllCounter::FindComponents(
     const std::vector<std::uint32_t>& parent_clauses,
     std::vector<Component>* components, std::vector<VarId>* free_variables) {
   BumpEpoch(ctx);
-  std::vector<VarId> stack;
+  std::vector<VarId>& stack = ctx->dfs_stack;
   for (VarId seed : candidates) {
     if (ctx->variable_stamp[seed] == ctx->epoch) continue;
     ctx->variable_stamp[seed] = ctx->epoch;

@@ -118,6 +118,18 @@ class DpllCounter {
     std::uint32_t component = 0;  // valid when stamp matches epoch
   };
 
+  /// Per-search-node scratch vectors, pooled by recursion depth: each
+  /// CountResidual / BranchOnComponent frame borrows the entry at its
+  /// depth instead of constructing fresh vectors, so steady-state search
+  /// nodes reuse the capacity of earlier visits at the same depth.
+  /// Heap-allocated entries keep the borrowed references stable while the
+  /// stack grows underneath a deeper frame.
+  struct NodeScratch {
+    std::vector<Component> components;
+    std::vector<prop::VarId> free_variables;
+    std::vector<prop::VarId> remaining;
+  };
+
   /// Everything one worker needs to run the search: its own trail, its
   /// own epoch-stamped scratch, and its own counters. The sequential
   /// counter uses exactly one of these; every parallel fork builds a
@@ -143,12 +155,23 @@ class DpllCounter {
     std::vector<Component> component_pool;
     ComponentKey key_scratch;
     numeric::BigRational cached_value;
+
+    // Depth-indexed node scratch (AcquireScratch/ReleaseScratch) and the
+    // component-DFS work stack, both reused across all search nodes.
+    std::vector<std::unique_ptr<NodeScratch>> node_scratch;
+    std::size_t scratch_depth = 0;
+    std::vector<prop::VarId> dfs_stack;
   };
 
   // Prepares a context against the current compact_ (fresh trail unless
   // the caller moves a snapshot in afterwards).
   void InitContext(SearchContext* ctx) const;
   void BumpEpoch(SearchContext* ctx) const;
+  // Borrows the scratch entry for the current recursion depth (growing
+  // the pool on first descent); ReleaseScratch must be called once per
+  // acquire, on frame exit.
+  NodeScratch* AcquireScratch(SearchContext* ctx) const;
+  void ReleaseScratch(SearchContext* ctx) const { --ctx->scratch_depth; }
 
   // Weighted count of the residual formula over `candidates` (unassigned
   // variables) and `parent_clauses` (sorted ids of the clauses that could

@@ -1,6 +1,7 @@
 #ifndef SWFOMC_WMC_WEIGHTS_H_
 #define SWFOMC_WMC_WEIGHTS_H_
 
+#include <cassert>
 #include <vector>
 
 #include "numeric/rational.h"
@@ -32,8 +33,12 @@ class WeightMap {
     if (weights_.size() < count) weights_.resize(count);
   }
 
+  // Get/LiteralWeight sit on the counters' innermost loops; callers run
+  // behind EnsureSize, so the bounds check is a debug assert rather than
+  // an .at() throw.
   const VariableWeights& Get(prop::VarId variable) const {
-    return weights_.at(variable);
+    assert(variable < weights_.size());
+    return weights_[variable];
   }
   void Set(prop::VarId variable, numeric::BigRational positive,
            numeric::BigRational negative) {
@@ -44,7 +49,8 @@ class WeightMap {
   /// Weight of a single literal.
   const numeric::BigRational& LiteralWeight(prop::VarId variable,
                                             bool positive) const {
-    const VariableWeights& w = weights_.at(variable);
+    assert(variable < weights_.size());
+    const VariableWeights& w = weights_[variable];
     return positive ? w.positive : w.negative;
   }
 

@@ -426,5 +426,119 @@ TEST(BigIntTest, Int64BoundaryRoundTrips) {
   EXPECT_EQ((min64 / BigInt(-1)), max64 + BigInt(1));
 }
 
+TEST(BigIntTest, ShiftLeftAtLimbMultiples) {
+  // Shifts by exact 32-bit limb multiples take the whole-limb path; the
+  // result must agree with multiplication by 2^k and round-trip back.
+  for (std::size_t bits : {32u, 64u, 96u, 128u}) {
+    for (std::int64_t value : {1, 3, -5, 0x7FFFFFFF}) {
+      BigInt shifted = BigInt(value).ShiftLeft(bits);
+      EXPECT_EQ(shifted, BigInt(value) * BigInt::Pow(BigInt(2), bits))
+          << value << " << " << bits;
+      EXPECT_EQ(shifted.ShiftRight(bits), BigInt(value))
+          << value << " << " << bits;
+    }
+  }
+  // Zero stays canonical zero through any shift.
+  EXPECT_TRUE(BigInt(0).ShiftLeft(64).IsZero());
+  EXPECT_EQ(BigInt(0).ShiftLeft(64), BigInt(0));
+}
+
+TEST(BigIntTest, ShiftRightAtOrPastBitLength) {
+  // Shifting by >= BitLength() must produce canonical zero — including
+  // for negative values, where a stale sign bit once survived.
+  for (const char* text :
+       {"1", "-1", "123456789", "-123456789",
+        "340282366920938463463374607431768211456",
+        "-340282366920938463463374607431768211456"}) {
+    BigInt value = BigInt::FromString(text);
+    std::size_t length = value.BitLength();
+    for (std::size_t bits : {length, length + 1, length + 32, length + 129}) {
+      BigInt shifted = value.ShiftRight(bits);
+      EXPECT_TRUE(shifted.IsZero()) << text << " >> " << bits;
+      EXPECT_EQ(shifted.Sign(), 0) << text << " >> " << bits;
+      EXPECT_EQ(shifted, BigInt(0)) << text << " >> " << bits;
+      EXPECT_EQ(shifted.ToString(), "0") << text << " >> " << bits;
+    }
+    // One bit short of the length leaves the top bit (magnitude 1).
+    if (!value.IsZero()) {
+      EXPECT_EQ(value.ShiftRight(length - 1).Abs(), BigInt(1)) << text;
+    }
+  }
+}
+
+TEST(BigIntTest, ShiftRightAtLimbMultiples) {
+  BigInt value = BigInt::FromString("340282366920938463463374607431768211457");
+  // 2^128 + 1: dropping exact limb counts must keep the remaining limbs.
+  EXPECT_EQ(value.ShiftRight(32), BigInt::Pow(BigInt(2), 96));
+  EXPECT_EQ(value.ShiftRight(64), BigInt::Pow(BigInt(2), 64));
+  EXPECT_EQ(value.ShiftRight(96), BigInt::Pow(BigInt(2), 32));
+  EXPECT_EQ(value.ShiftRight(128), BigInt(1));
+  EXPECT_EQ(value.ShiftRight(129), BigInt(0));
+}
+
+TEST(BigIntTest, PromoteDemoteBoundaryRoundTrips) {
+  // Crossing ±2^63 in both directions lands back on the inline form with
+  // full equality against a freshly built value (the representation is
+  // canonical, so == is field-wise).
+  BigInt max64(std::numeric_limits<std::int64_t>::max());
+  BigInt min64(std::numeric_limits<std::int64_t>::min());
+  BigInt up = max64;
+  up += BigInt(1);  // 2^63: heap
+  EXPECT_FALSE(up.FitsInt64());
+  up -= BigInt(1);  // back to 2^63 - 1: inline again
+  EXPECT_TRUE(up.FitsInt64());
+  EXPECT_EQ(up, max64);
+  EXPECT_EQ(up.ToInt64(), std::numeric_limits<std::int64_t>::max());
+
+  BigInt down = min64;  // -2^63 is the inline negative extreme
+  EXPECT_TRUE(down.FitsInt64());
+  down -= BigInt(1);  // -2^63 - 1: heap
+  EXPECT_FALSE(down.FitsInt64());
+  down += BigInt(1);
+  EXPECT_TRUE(down.FitsInt64());
+  EXPECT_EQ(down, min64);
+
+  // Negation across the asymmetric boundary: -(-2^63) needs the heap,
+  // and negating back must demote.
+  BigInt flipped = -min64;
+  EXPECT_FALSE(flipped.FitsInt64());
+  EXPECT_EQ(flipped.ToString(), "9223372036854775808");
+  EXPECT_EQ(-flipped, min64);
+  EXPECT_TRUE((-flipped).FitsInt64());
+
+  // Division is a demotion path too: 2^63 / -1 → -2^63 inline.
+  EXPECT_EQ(flipped / BigInt(-1), min64);
+  EXPECT_TRUE((flipped / BigInt(-1)).FitsInt64());
+}
+
+TEST(BigIntTest, ArithmeticStraddlingTheInlineBoundary) {
+  // Products and sums whose operands are inline but whose results are
+  // not (and vice versa) — the overflow-intrinsic fast paths must commit
+  // only on success.
+  BigInt two62 = BigInt::Pow(BigInt(2), 62);
+  EXPECT_TRUE(two62.FitsInt64());
+  EXPECT_FALSE((two62 * BigInt(2)).FitsInt64());
+  EXPECT_EQ((two62 * BigInt(2)) - two62, two62);
+  EXPECT_TRUE(((two62 * BigInt(2)) - two62).FitsInt64());
+  EXPECT_EQ(two62 * BigInt(-2), BigInt(std::numeric_limits<std::int64_t>::min()));
+  EXPECT_TRUE((two62 * BigInt(-2)).FitsInt64());
+
+  // (2^62) * (2^62) then divided back down: promote through multiply,
+  // demote through divide.
+  BigInt square = two62 * two62;
+  EXPECT_FALSE(square.FitsInt64());
+  EXPECT_EQ(square / two62, two62);
+  EXPECT_TRUE((square / two62).FitsInt64());
+  EXPECT_EQ(square % two62, BigInt(0));
+
+  // Sum of two inline extremes: max + max = 2^64 - 2 (heap), minus max
+  // demotes again.
+  BigInt max64(std::numeric_limits<std::int64_t>::max());
+  BigInt double_max = max64 + max64;
+  EXPECT_FALSE(double_max.FitsInt64());
+  EXPECT_EQ(double_max - max64, max64);
+  EXPECT_TRUE((double_max - max64).FitsInt64());
+}
+
 }  // namespace
 }  // namespace swfomc::numeric

@@ -22,7 +22,11 @@
 #include "cq/acyclicity.h"
 #include "cq/hypergraph.h"
 #include "logic/printer.h"
+#include "nnf/circuit.h"
+#include "nnf/circuit_builder.h"
 #include "test_util.h"
+#include "wmc/brute_force.h"
+#include "wmc/dpll_counter.h"
 
 namespace swfomc {
 namespace {
@@ -98,6 +102,44 @@ TEST(DifferentialFuzz, GammaAcyclicAgreesWithGrounded) {
           engine.WFOMC(random.sentence, n, Method::kGrounded);
       EXPECT_EQ(gamma.value, grounded.value)
           << logic::ToString(random.sentence, random.vocabulary);
+    }
+  }
+}
+
+TEST(DifferentialFuzz, BoundaryWeightsAgreeAcrossCounterAndCircuit) {
+  // Weights pinned a few units off ±2^62 make every multiply cross the
+  // BigInt inline/heap seam and every reduced sum land back inside it —
+  // the regime where a promote/demote or deferred-gcd bug would show as
+  // a cross-engine disagreement. Oracle: brute-force enumeration; under
+  // test: the DPLL counter (sequential and 4-thread) and the traced
+  // d-DNNF circuit evaluated under the same weights. All four values
+  // must be bit-identical.
+  std::uint64_t base = BaseSeed();
+  std::mt19937_64 rng(base ^ 0xb0a2d2e1ull);
+  for (int trial = 0; trial < 10; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    prop::CnfFormula cnf = testutil::RandomCnf(&rng, 8, 10, 3);
+    wmc::WeightMap weights = testutil::RandomBoundaryWeights(&rng, 8);
+    BigRational oracle = wmc::BruteForceWMC(cnf, weights);
+
+    nnf::CircuitBuilder builder(cnf.variable_count);
+    wmc::DpllCounter::Options trace_options;
+    trace_options.trace_sink = &builder;
+    wmc::DpllCounter tracing(cnf, weights, trace_options);
+    EXPECT_EQ(tracing.Count(), oracle);
+    nnf::Circuit circuit = builder.Finish();
+    EXPECT_EQ(circuit.Evaluate(weights), oracle);
+    // Serving form: the same circuit through a reused arena.
+    nnf::Circuit::EvalArena arena;
+    EXPECT_EQ(circuit.Evaluate(weights, &arena), oracle);
+    EXPECT_EQ(circuit.Evaluate(weights, &arena), oracle);
+
+    for (unsigned threads : {1u, 4u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      wmc::DpllCounter::Options options;
+      options.num_threads = threads;
+      wmc::DpllCounter counter(cnf, weights, options);
+      EXPECT_EQ(counter.Count(), oracle);
     }
   }
 }

@@ -217,9 +217,10 @@ TEST(ModelFormat, ErrorPathsReportLineAndColumn) {
                      "unknown method");
   ExpectModelErrorAt("sentence true\ndomain 1\nexpect 1..2\n", 3, 8,
                      "bad rational");
-  // Missing required directives.
-  ExpectModelErrorAt("domain 3\n", 2, 1, "missing required directive");
-  ExpectModelErrorAt("sentence true\n", 2, 1,
+  // Missing required directives: the EOF error points at the last real
+  // line — a trailing '\n' must not shift it onto a phantom empty line.
+  ExpectModelErrorAt("domain 3\n", 1, 1, "missing required directive");
+  ExpectModelErrorAt("sentence true\n", 1, 1,
                      "missing required directive 'domain'");
   // FO syntax errors map to the sentence's line, offset by the column of
   // the offending token within the sentence text.
@@ -229,6 +230,40 @@ TEST(ModelFormat, ErrorPathsReportLineAndColumn) {
   // atom's argument list: column = sentence start (10) + offset 22.
   ExpectModelErrorAt("# pad\nsentence exists x U(x) & U(x,x)\ndomain 2\n", 2,
                      32, "arity");
+}
+
+TEST(ModelFormat, EofErrorsPointAtTheLastRealLine) {
+  // Same document with and without the trailing newline: the EOF
+  // diagnostic must render the identical file:line:column either way.
+  for (const char* text : {"model demo\ndomain 3", "model demo\ndomain 3\n"}) {
+    try {
+      ParseModel(text, "demo.model");
+      FAIL() << "expected ParseError for:\n" << text;
+    } catch (const ParseError& error) {
+      EXPECT_EQ(error.source(), "demo.model");
+      EXPECT_EQ(error.location().line, 2u) << error.what();
+      EXPECT_EQ(error.location().column, 1u) << error.what();
+      EXPECT_NE(std::string(error.what()).find("demo.model:2:1"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(CnfFormat, EofErrorsPointAtTheLastRealLine) {
+  for (const char* text : {"p cnf 2 2\n1 0", "p cnf 2 2\n1 0\n"}) {
+    try {
+      ParseWeightedCnf(text, "demo.cnf");
+      FAIL() << "expected ParseError for:\n" << text;
+    } catch (const ParseError& error) {
+      EXPECT_EQ(error.source(), "demo.cnf");
+      EXPECT_EQ(error.location().line, 2u) << error.what();
+      EXPECT_EQ(error.location().column, 1u) << error.what();
+      EXPECT_NE(std::string(error.what()).find("demo.cnf:2:1"),
+                std::string::npos)
+          << error.what();
+    }
+  }
 }
 
 TEST(ModelFormat, PrintIsAParserFixpoint) {
@@ -361,8 +396,8 @@ TEST(CnfFormat, ErrorPathsReportLineAndColumn) {
                    "exceeds the supported maximum");
   ExpectCnfErrorAt("p cnf 2 1\n1 3 0\n", 2, 3, "out of range");
   ExpectCnfErrorAt("p cnf 2 1\n1 0\n2 0\n", 3, 3, "more clauses");
-  ExpectCnfErrorAt("p cnf 2 2\n1 0\n", 3, 1, "truncated CNF");
-  ExpectCnfErrorAt("p cnf 2 1\n1 2\n", 3, 1, "terminating 0");
+  ExpectCnfErrorAt("p cnf 2 2\n1 0\n", 2, 1, "truncated CNF");
+  ExpectCnfErrorAt("p cnf 2 1\n1 2\n", 2, 1, "terminating 0");
   ExpectCnfErrorAt("p cnf 2 1\nw 1 0.5 1\n1 0\n", 2, 5, "bad rational");
   ExpectCnfErrorAt("p cnf 2 1\nw 1 1 2 3\n1 0\n", 2, 1,
                    "malformed weight line");

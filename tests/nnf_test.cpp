@@ -378,10 +378,12 @@ TEST(NnfFormat, ErrorPositions) {
   ExpectParseErrorAt("nnf 1 0 1\nO 1 0\n", 2, 3,
                      "must use decision 0");
   ExpectParseErrorAt("nnf 1 0 1\nQ 3\n", 2, 1, "unknown line");
-  // The count mismatches are end-of-document errors; the trailing
-  // newline makes the (empty) final line 3 the reported position.
-  ExpectParseErrorAt("nnf 2 0 1\nL 1\n", 3, 1, "node count mismatch");
-  ExpectParseErrorAt("nnf 1 5 1\nL 1\n", 3, 1, "edge count mismatch");
+  // The count mismatches are end-of-document errors reported at the last
+  // real line — the trailing newline must not shift them onto a phantom
+  // empty line 3.
+  ExpectParseErrorAt("nnf 2 0 1\nL 1\n", 2, 1, "node count mismatch");
+  ExpectParseErrorAt("nnf 1 5 1\nL 1\n", 2, 1, "edge count mismatch");
+  ExpectParseErrorAt("nnf 2 0 1\nL 1", 2, 1, "node count mismatch");
 }
 
 TEST(Circuit, NonSmoothCircuitsEvaluateThroughTheRationalPath) {

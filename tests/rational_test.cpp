@@ -136,5 +136,122 @@ TEST(BigRationalTest, SignAndAbs) {
   EXPECT_EQ(BigRational::Fraction(-1, 2).Abs().ToString(), "1/2");
 }
 
+// Every value observable through the public surface must be canonical:
+// positive denominator, gcd(num, den) == 1, zero spelled 0/1. The fast
+// paths in +=, -=, *= and /= skip the gcd reduction on number-theoretic
+// grounds, so this is the invariant they must be measured against.
+void ExpectCanonical(const BigRational& value) {
+  EXPECT_GT(value.denominator().Sign(), 0) << value;
+  EXPECT_EQ(BigInt::Gcd(value.numerator(), value.denominator()), BigInt(1))
+      << value;
+  if (value.numerator().IsZero()) {
+    EXPECT_EQ(value.denominator(), BigInt(1)) << value;
+  }
+}
+
+TEST(BigRationalTest, EveryMutationPathStaysCanonical) {
+  // Pairs chosen to hit each fast path: integer ± integer, integer ±
+  // fraction, fraction ± integer, fraction ± fraction with shared
+  // factors, multiply with cross-cancellation, and zero products.
+  const BigRational values[] = {
+      BigRational(0),        BigRational(1),
+      BigRational(-3),       BigRational(42),
+      BigRational::Fraction(3, 2),   BigRational::Fraction(-3, 2),
+      BigRational::Fraction(7, 6),   BigRational::Fraction(-5, 6),
+      BigRational::Fraction(1, 42),  BigRational::Fraction(6, 35),
+  };
+  for (const BigRational& a : values) {
+    for (const BigRational& b : values) {
+      BigRational sum = a;
+      sum += b;
+      ExpectCanonical(sum);
+      BigRational difference = a;
+      difference -= b;
+      ExpectCanonical(difference);
+      BigRational product = a;
+      product *= b;
+      ExpectCanonical(product);
+      if (!b.IsZero()) {
+        BigRational quotient = a;
+        quotient /= b;
+        ExpectCanonical(quotient);
+        // quotient * b must reconstruct a exactly (field inverse).
+        EXPECT_EQ(quotient * b, a);
+      }
+    }
+  }
+}
+
+TEST(BigRationalTest, MultiplyByZeroNormalizesDenominator) {
+  // (3/2) * 0 must be 0/1, not 0/2 — the cross-cancel multiply needs an
+  // explicit zero fixup.
+  BigRational r = BigRational::Fraction(3, 2);
+  r *= BigRational(0);
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(r.denominator(), BigInt(1));
+  ExpectCanonical(r);
+}
+
+TEST(BigRationalTest, DivisionSelfAliasing) {
+  // x /= x must yield exactly 1 (a copy of other's numerator is needed
+  // because `other` may alias *this).
+  BigRational r = BigRational::Fraction(-21, 10);
+  r /= r;
+  EXPECT_EQ(r, BigRational(1));
+  ExpectCanonical(r);
+  BigRational s = BigRational::Fraction(5, 3);
+  s *= s;
+  EXPECT_EQ(s, BigRational::Fraction(25, 9));
+  s -= s;
+  EXPECT_TRUE(s.IsZero());
+  ExpectCanonical(s);
+}
+
+TEST(RationalAccumulatorTest, MatchesEagerArithmetic) {
+  // The gcd-deferred accumulator must canonicalize to exactly the value
+  // the eager operators produce, across mixed products and sums.
+  std::mt19937_64 rng(20260808);
+  for (int trial = 0; trial < 50; ++trial) {
+    RationalAccumulator accumulated;
+    accumulated.SetOne();
+    BigRational eager(1);
+    for (int step = 0; step < 12; ++step) {
+      std::int64_t num =
+          static_cast<std::int64_t>(rng() % 41) - 20;
+      std::int64_t den = 1 + static_cast<std::int64_t>(rng() % 19);
+      BigRational term = BigRational::Fraction(num, den);
+      if (rng() % 2 == 0) {
+        accumulated.Multiply(term);
+        eager *= term;
+      } else {
+        accumulated.Add(term);
+        eager += term;
+      }
+    }
+    BigRational canonical = accumulated.Canonical();
+    EXPECT_EQ(canonical, eager);
+    ExpectCanonical(canonical);
+  }
+}
+
+TEST(RationalAccumulatorTest, SetZeroCheckAndNestedAdd) {
+  RationalAccumulator outer;
+  outer.SetOne();
+  EXPECT_FALSE(outer.IsZero());
+  outer.Multiply(BigRational(0));
+  EXPECT_TRUE(outer.IsZero());
+  EXPECT_EQ(outer.Canonical(), BigRational(0));
+
+  // Accumulator-into-accumulator addition (the counter's branch sum).
+  RationalAccumulator left;
+  left.Set(BigRational::Fraction(2, 6));  // unreduced entry is fine
+  RationalAccumulator right;
+  right.Set(BigRational::Fraction(1, 2));
+  right.Multiply(BigRational::Fraction(2, 3));  // 2/6, deferred
+  left.Add(right);
+  EXPECT_EQ(left.Canonical(), BigRational::Fraction(2, 3));
+  ExpectCanonical(left.Canonical());
+}
+
 }  // namespace
 }  // namespace swfomc::numeric

@@ -59,6 +59,36 @@ inline wmc::WeightMap RandomWeights(std::mt19937_64* rng,
   return weights;
 }
 
+/// Random weight table concentrated at the BigInt inline-word boundary:
+/// numerators within a few units of ±2^62 over denominators of 1, 2, or
+/// likewise near 2^62. A product of any two such weights overflows the
+/// inline int64 form (promote), while sums and gcd reductions routinely
+/// land back inside it (demote) — so counting under these weights hammers
+/// exactly the promote/demote seam the small-value representation adds.
+inline wmc::WeightMap RandomBoundaryWeights(std::mt19937_64* rng,
+                                            std::uint32_t variables) {
+  wmc::WeightMap weights(variables);
+  constexpr std::int64_t kBoundary = std::int64_t{1} << 62;
+  auto near_boundary = [rng]() {
+    std::int64_t magnitude =
+        kBoundary - 2 + static_cast<std::int64_t>((*rng)() % 5);
+    return ((*rng)() & 1) != 0 ? magnitude : -magnitude;
+  };
+  auto denominator = [rng, near_boundary]() -> std::int64_t {
+    switch ((*rng)() % 3) {
+      case 0: return 1;
+      case 1: return 2;
+      default: return std::abs(near_boundary());
+    }
+  };
+  for (prop::VarId v = 0; v < variables; ++v) {
+    weights.Set(v,
+                numeric::BigRational::Fraction(near_boundary(), denominator()),
+                numeric::BigRational::Fraction(near_boundary(), denominator()));
+  }
+  return weights;
+}
+
 /// Random propositional formula tree of depth <= `depth` over `variables`
 /// variables: leaves are (possibly negated) variables, interior nodes are
 /// And/Or with early termination so shapes vary.
