@@ -20,7 +20,8 @@ MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 OUT="${BENCH_OUT:-BENCH_wmc.json}"
 export SWFOMC_BENCH_THREADS="${SWFOMC_BENCH_THREADS:-4}"
 
-BENCHES=(bench_wmc_ablation bench_table1 bench_sweep bench_nnf bench_numeric)
+BENCHES=(bench_wmc_ablation bench_table1 bench_sweep bench_nnf bench_numeric
+         bench_budget)
 
 for bench in "${BENCHES[@]}"; do
   if [[ ! -x "$BUILD_DIR/bench/$bench" ]]; then

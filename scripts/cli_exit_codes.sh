@@ -4,6 +4,7 @@
 #   0   success (including --help)
 #   1   an --check comparison failed
 #   2   unreadable or malformed input file
+#   3   a resource budget was exhausted under --on-budget=error
 #   64  usage error (EX_USAGE): bad command, bad option, missing operand
 #
 # Usage: scripts/cli_exit_codes.sh path/to/swfomc
@@ -51,6 +52,13 @@ printf 'sentence forall x R(x)\ndomain 1\n' > "$workdir/a/same.model"
 printf 'sentence forall x R(x)\ndomain 1\n' > "$workdir/b/same.model"
 expect 64 "$bin" compile --out-dir "$workdir/nnf-dup" \
   "$workdir/a/same.model" "$workdir/b/same.model"     # basenames collide
+expect 64 "$bin" run --budget-ms x.model              # flag eats the operand
+expect 64 "$bin" run --budget-ms -5 x.model
+expect 64 "$bin" run --max-memory 64q x.model         # bad size suffix
+expect 64 "$bin" run --on-budget=panic --budget-ms 5 x.model
+expect 64 "$bin" run --on-budget=error x.model        # needs a budget flag
+expect 64 "$bin" eval --budget-ms 5 x.nnf             # eval runs no search
+expect 64 "$bin" route --max-decisions 1 x.model
 
 # 2: input files that cannot be read or parsed.
 expect 2 "$bin" run "$workdir/does-not-exist.model"
@@ -67,6 +75,17 @@ expect 1 "$bin" run --check "$workdir/wrong.model"
 expect 1 "$bin" compile --check "$workdir/wrong.model"
 printf 'nnf 1 0 1\ne 5\nL 1\n' > "$workdir/wrong.nnf"  # evaluates to 1
 expect 1 "$bin" eval --check "$workdir/wrong.nnf"
+
+# 3: a budget fired and the caller asked --on-budget=error. The triangle
+# sentence is FO3 (grounded route) and needs real decisions, so a zero
+# decision cap always stops it; the default bounds policy keeps exit 0.
+printf 'model triangle\ndomain 3\nmethod grounded\nsentence exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))\n' \
+  > "$workdir/triangle.model"
+expect 3 "$bin" run --max-decisions 0 --on-budget=error "$workdir/triangle.model"
+expect 3 "$bin" run --budget-ms 0 --on-budget error "$workdir/triangle.model"
+expect 3 "$bin" compile --max-decisions 0 --on-budget=error "$workdir/triangle.model"
+expect 0 "$bin" run --max-decisions 0 "$workdir/triangle.model"
+expect 0 "$bin" run --max-decisions 0 --on-budget=bounds "$workdir/triangle.model"
 
 # 0: the same checks, satisfied. Also exercises compile -> eval chaining.
 printf 'sentence forall x R(x)\ndomain 1\nexpect 1\n' > "$workdir/right.model"

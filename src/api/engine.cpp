@@ -111,6 +111,16 @@ class ScopedUnitWeights {
   logic::Vocabulary saved_;
 };
 
+// Maps the counter's outcome onto the API enum.
+Outcome FromCounterOutcome(wmc::DpllCounter::CountOutcome outcome) {
+  switch (outcome) {
+    case wmc::DpllCounter::CountOutcome::kExact: return Outcome::kExact;
+    case wmc::DpllCounter::CountOutcome::kBounds: return Outcome::kBounds;
+    case wmc::DpllCounter::CountOutcome::kAborted: return Outcome::kAborted;
+  }
+  return Outcome::kAborted;
+}
+
 }  // namespace
 
 const char* ToString(Method method) {
@@ -119,6 +129,15 @@ const char* ToString(Method method) {
     case Method::kLiftedFO2: return "lifted-fo2";
     case Method::kGammaAcyclic: return "gamma-acyclic";
     case Method::kGrounded: return "grounded";
+  }
+  return "?";
+}
+
+const char* ToString(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kExact: return "exact";
+    case Outcome::kBounds: return "bounds";
+    case Outcome::kAborted: return "aborted";
   }
   return "?";
 }
@@ -221,10 +240,21 @@ Engine::Result Engine::WFOMC(const logic::Formula& sentence,
     case Method::kGrounded: {
       wmc::DpllCounter::Options counter_options;
       counter_options.num_threads = options_.num_threads;
+      counter_options.budget = options_.budget;
+      counter_options.cancel = options_.cancel;
+      counter_options.fault = options_.fault;
       wmc::DpllCounter::Stats stats;
-      result.value = grounding::GroundedWFOMC(
+      wmc::DpllCounter::CountResult counted = grounding::GroundedWFOMCBounded(
           sentence, vocabulary_, domain_size, counter_options, &stats);
       result.grounded_stats = stats;
+      result.outcome = FromCounterOutcome(counted.outcome);
+      result.stop_reason = counted.stop_reason;
+      if (result.outcome == Outcome::kBounds) {
+        result.bounds = BoundsResult{counted.value, std::move(counted.upper)};
+        result.value = std::move(counted.value);
+      } else if (result.outcome == Outcome::kExact) {
+        result.value = std::move(counted.value);
+      }
       return result;
     }
     case Method::kAuto:
@@ -285,31 +315,59 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
       // Sweep points are independent grounded counts, so they run
       // concurrently on the pool (each point's counter stays sequential —
       // cross-point parallelism already saturates the workers, and one
-      // pool level keeps the schedule simple). Counts are exact, so the
-      // assembled result is bit-identical to the sequential loop.
+      // pool level keeps the schedule simple). Exact counts are
+      // bit-identical to the sequential loop; a shared budget is charged
+      // by all points together, so which points degrade to bounds can
+      // vary with the schedule (the bracket guarantee holds per point
+      // regardless).
+      auto count_point = [this, &sentence](SweepPoint* point,
+                                           unsigned point_threads) {
+        wmc::DpllCounter::Options counter_options;
+        counter_options.num_threads = point_threads;
+        counter_options.budget = options_.budget;
+        counter_options.cancel = options_.cancel;
+        counter_options.fault = options_.fault;
+        wmc::DpllCounter::CountResult counted =
+            grounding::GroundedWFOMCBounded(sentence, vocabulary_,
+                                            point->domain_size,
+                                            counter_options);
+        point->outcome = FromCounterOutcome(counted.outcome);
+        point->stop_reason = counted.stop_reason;
+        if (point->outcome == Outcome::kBounds) {
+          point->bounds =
+              BoundsResult{counted.value, std::move(counted.upper)};
+          point->value = std::move(counted.value);
+        } else if (point->outcome == Outcome::kExact) {
+          point->value = std::move(counted.value);
+        }
+      };
       unsigned threads =
           runtime::ThreadPool::ResolveThreadCount(options_.num_threads);
       if (threads <= 1 || sweep.points.size() == 1) {
         // Sequential across points — but forward num_threads so a
         // single-point sweep still parallelizes *inside* the counter,
         // exactly like the equivalent WFOMC call.
-        wmc::DpllCounter::Options counter_options;
-        counter_options.num_threads = options_.num_threads;
         for (SweepPoint& point : sweep.points) {
-          point.value = grounding::GroundedWFOMC(
-              sentence, vocabulary_, point.domain_size, counter_options);
+          count_point(&point, options_.num_threads);
         }
-        return sweep;
+      } else {
+        runtime::ThreadPool pool(threads);
+        runtime::TaskGroup group(&pool);
+        for (SweepPoint& point : sweep.points) {
+          group.Submit([&count_point, &point] { count_point(&point, 1); });
+        }
+        group.Wait();
       }
-      runtime::ThreadPool pool(threads);
-      runtime::TaskGroup group(&pool);
-      for (SweepPoint& point : sweep.points) {
-        group.Submit([this, &sentence, &point] {
-          point.value = grounding::GroundedWFOMC(sentence, vocabulary_,
-                                                 point.domain_size);
-        });
+      for (const SweepPoint& point : sweep.points) {
+        if (point.outcome == Outcome::kAborted ||
+            (point.outcome == Outcome::kBounds &&
+             sweep.outcome == Outcome::kExact)) {
+          sweep.outcome = point.outcome;
+        }
+        if (sweep.stop_reason == runtime::StopReason::kNone) {
+          sweep.stop_reason = point.stop_reason;
+        }
       }
-      group.Wait();
       return sweep;
     }
     case Method::kAuto:
@@ -373,6 +431,19 @@ wmc::WeightMap CompiledQuery::GroundWeights(
 
 CompiledQuery Engine::Compile(const logic::Formula& sentence,
                               std::uint64_t domain_size) {
+  CompileResult result = TryCompile(sentence, domain_size);
+  if (result.outcome != Outcome::kExact) {
+    throw std::runtime_error(
+        std::string("Engine::Compile: budget exhausted mid-trace "
+                    "(stop reason: ") +
+        runtime::ToString(result.stop_reason) +
+        "); a partial circuit is unusable — retry with a larger budget");
+  }
+  return *std::move(result.compiled);
+}
+
+Engine::CompileResult Engine::TryCompile(const logic::Formula& sentence,
+                                         std::uint64_t domain_size) {
   // The same grounding pipeline as Method::kGrounded, with the counter in
   // tracing mode: the count falls out of the compile for free, and the
   // circuit's variable layout matches TupleIndex exactly.
@@ -386,11 +457,26 @@ CompiledQuery Engine::Compile(const logic::Formula& sentence,
   nnf::CircuitBuilder builder(tseitin.cnf.variable_count);
   wmc::DpllCounter::Options options;
   options.trace_sink = &builder;
+  options.budget = options_.budget;
+  options.cancel = options_.cancel;
+  options.fault = options_.fault;
   wmc::DpllCounter counter(std::move(tseitin.cnf), std::move(weights),
                            options);
 
+  CompileResult result;
+  wmc::DpllCounter::CountResult counted = counter.CountBounded();
+  result.stop_reason = counted.stop_reason;
+  if (counted.outcome != wmc::DpllCounter::CountOutcome::kExact) {
+    // A stopped trace contains placeholder FALSE nodes for the abandoned
+    // subtrees — wrong for some weight vector — so the whole circuit is
+    // discarded. (Unlike counting, compilation has no usable partial
+    // result; the caller retries with a larger budget or falls back to
+    // per-query counting.)
+    result.outcome = Outcome::kAborted;
+    return result;
+  }
   CompiledQuery compiled;
-  compiled.compile_count_ = counter.Count();
+  compiled.compile_count_ = std::move(counted.value);
   compiled.compile_stats_ = counter.stats();
   compiled.circuit_ = builder.Finish();
   compiled.vocabulary_ = vocabulary_;
@@ -400,19 +486,41 @@ CompiledQuery Engine::Compile(const logic::Formula& sentence,
   for (prop::VarId v = 0; v < index.TupleCount(); ++v) {
     compiled.variable_relation_.push_back(index.AtomOf(v).relation);
   }
-  return compiled;
+  result.outcome = Outcome::kExact;
+  result.compiled = std::move(compiled);
+  return result;
 }
+
+namespace {
+
+// FOMC/Probability return a single number with no channel for bounds, so
+// a budget-stopped count behind them must throw rather than silently
+// hand back a lower bound.
+void RequireExact(const Engine::Result& result, const char* who) {
+  if (result.outcome != Outcome::kExact) {
+    throw std::runtime_error(
+        std::string(who) + ": budget exhausted (stop reason: " +
+        runtime::ToString(result.stop_reason) +
+        "); use WFOMC() to consume anytime bounds");
+  }
+}
+
+}  // namespace
 
 numeric::BigInt Engine::FOMC(const logic::Formula& sentence,
                              std::uint64_t domain_size, Method method) {
   ScopedUnitWeights unit_weights(&vocabulary_);
-  return WFOMC(sentence, domain_size, method).value.ToInteger();
+  Result result = WFOMC(sentence, domain_size, method);
+  RequireExact(result, "Engine::FOMC");
+  return result.value.ToInteger();
 }
 
 numeric::BigRational Engine::Probability(const logic::Formula& sentence,
                                          std::uint64_t domain_size,
                                          Method method) {
-  BigRational numerator = WFOMC(sentence, domain_size, method).value;
+  Result numerator_result = WFOMC(sentence, domain_size, method);
+  RequireExact(numerator_result, "Engine::Probability");
+  BigRational numerator = std::move(numerator_result.value);
   BigRational normalizer(1);
   for (logic::RelationId id = 0; id < vocabulary_.size(); ++id) {
     std::uint64_t tuples = 1;

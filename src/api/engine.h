@@ -26,6 +26,26 @@ enum class Method {
 
 const char* ToString(Method method);
 
+/// How a query ended under a resource envelope. Ungoverned queries (and
+/// every lifted-path query — the PTIME routes never exhaust a budget) are
+/// kExact. kBounds carries certified anytime bounds; kAborted means the
+/// budget fired where no certified answer exists (negative weights, or a
+/// partial compilation trace).
+enum class Outcome {
+  kExact,
+  kBounds,
+  kAborted,
+};
+
+const char* ToString(Outcome outcome);
+
+/// Certified anytime bounds: lower <= exact <= upper, from the explored
+/// part of a budget-stopped search (non-negative weights only).
+struct BoundsResult {
+  numeric::BigRational lower;
+  numeric::BigRational upper;
+};
+
 /// The outcome of Auto routing, with the evidence behind it: `method` is
 /// what Route() returns and `reason` a one-line human-readable
 /// justification (why the chosen path applies, or — for the grounded
@@ -125,6 +145,15 @@ class Engine {
     /// solving inside the DPLL counter) and for WFOMCSweep's concurrent
     /// sweep points. 1 = fully sequential; 0 = one per hardware thread.
     unsigned num_threads = 1;
+    /// Resource envelope for grounded searches (not owned; shared by
+    /// every query — and every sweep point — issued while set). On
+    /// exhaustion WFOMC/WFOMCSweep report Outcome::kBounds (or kAborted)
+    /// instead of spinning; Compile reports through TryCompile.
+    runtime::Budget* budget = nullptr;
+    /// Cooperative cancellation for grounded searches (not owned).
+    runtime::CancelToken* cancel = nullptr;
+    /// Deterministic fault injection for tests (not owned).
+    runtime::FaultPoint* fault = nullptr;
   };
 
   explicit Engine(logic::Vocabulary vocabulary);
@@ -140,8 +169,15 @@ class Engine {
   logic::Formula Parse(const std::string& text);
 
   struct Result {
+    /// The exact count when `outcome` is kExact; the certified lower
+    /// bound (== bounds->lower) for kBounds; zero for kAborted.
     numeric::BigRational value;
     Method method = Method::kGrounded;
+    Outcome outcome = Outcome::kExact;
+    /// Set exactly when `outcome` is kBounds.
+    std::optional<BoundsResult> bounds;
+    /// Why a governed query stopped (kNone when it ran to completion).
+    runtime::StopReason stop_reason = runtime::StopReason::kNone;
     /// The DPLL counter's search/cache counters when `method` was
     /// kGrounded (the lifted paths never run the counter).
     std::optional<wmc::DpllCounter::Stats> grounded_stats;
@@ -154,9 +190,18 @@ class Engine {
   struct SweepPoint {
     std::uint64_t domain_size = 0;
     numeric::BigRational value;
+    Outcome outcome = Outcome::kExact;
+    std::optional<BoundsResult> bounds;
+    runtime::StopReason stop_reason = runtime::StopReason::kNone;
   };
   struct SweepResult {
     Method method = Method::kGrounded;
+    /// kExact when every point is exact; else the worst point outcome
+    /// (kAborted dominates kBounds). A shared budget keeps draining
+    /// across points, so later points typically degrade first… to
+    /// brackets computed in O(component) time.
+    Outcome outcome = Outcome::kExact;
+    runtime::StopReason stop_reason = runtime::StopReason::kNone;
     std::vector<SweepPoint> points;  // one per n, ascending
   };
 
@@ -183,6 +228,20 @@ class Engine {
   /// CompiledQuery::Evaluate afterwards is linear in the circuit.
   CompiledQuery Compile(const logic::Formula& sentence,
                         std::uint64_t domain_size);
+
+  /// Compile under the Options resource envelope. A compilation the
+  /// budget stops mid-trace cannot be salvaged (the partial circuit
+  /// would be wrong for some weight vectors), so the trace is discarded
+  /// and the result reports kAborted with the stop reason; `compiled` is
+  /// set exactly when `outcome` is kExact. Compile() delegates here and
+  /// throws on a non-exact outcome.
+  struct CompileResult {
+    Outcome outcome = Outcome::kExact;
+    runtime::StopReason stop_reason = runtime::StopReason::kNone;
+    std::optional<CompiledQuery> compiled;
+  };
+  CompileResult TryCompile(const logic::Formula& sentence,
+                           std::uint64_t domain_size);
 
   /// FOMC(Φ, n): WFOMC with all weights forced to (1, 1).
   numeric::BigInt FOMC(const logic::Formula& sentence,

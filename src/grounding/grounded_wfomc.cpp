@@ -44,6 +44,23 @@ numeric::BigRational GroundedWFOMC(const logic::Formula& sentence,
   return result;
 }
 
+wmc::DpllCounter::CountResult GroundedWFOMCBounded(
+    const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+    std::uint64_t domain_size, wmc::DpllCounter::Options options,
+    wmc::DpllCounter::Stats* stats) {
+  TupleIndex index(vocabulary, domain_size);
+  prop::PropFormula lineage = GroundLineage(sentence, index);
+  prop::TseitinResult tseitin = prop::TseitinTransform(
+      lineage, static_cast<std::uint32_t>(index.TupleCount()));
+  wmc::WeightMap weights =
+      SymmetricGroundWeights(index, tseitin.cnf.variable_count);
+  wmc::DpllCounter counter(std::move(tseitin.cnf), std::move(weights),
+                           options);
+  wmc::DpllCounter::CountResult result = counter.CountBounded();
+  if (stats != nullptr) *stats = counter.stats();
+  return result;
+}
+
 numeric::BigInt GroundedFOMC(const logic::Formula& sentence,
                              const logic::Vocabulary& vocabulary,
                              std::uint64_t domain_size) {

@@ -29,6 +29,15 @@ numeric::BigRational GroundedWFOMC(const logic::Formula& sentence,
                                    wmc::DpllCounter::Options options = {},
                                    wmc::DpllCounter::Stats* stats = nullptr);
 
+/// Resource-governed GroundedWFOMC: same pipeline, but a budget, cancel
+/// token, or fault point in `options` can stop the search early, in which
+/// case the result carries certified anytime bounds (or kAborted) instead
+/// of throwing. Ungoverned options make this identical to GroundedWFOMC.
+wmc::DpllCounter::CountResult GroundedWFOMCBounded(
+    const logic::Formula& sentence, const logic::Vocabulary& vocabulary,
+    std::uint64_t domain_size, wmc::DpllCounter::Options options = {},
+    wmc::DpllCounter::Stats* stats = nullptr);
+
 /// Unweighted model count FOMC(Φ, n): GroundedWFOMC with weights (1, 1);
 /// the result is always a non-negative integer.
 numeric::BigInt GroundedFOMC(const logic::Formula& sentence,

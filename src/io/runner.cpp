@@ -16,6 +16,48 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Arms `budget` from the RunOptions envelope; returns whether any limit
+/// was set. Called immediately before the timed evaluation so the
+/// wall-clock deadline measures the evaluation, not setup.
+bool ArmBudget(const RunOptions& options, runtime::Budget* budget) {
+  if (!options.governed()) return false;
+  if (options.budget_ms.has_value()) {
+    budget->SetWallClockMs(*options.budget_ms);
+  }
+  if (options.max_decisions.has_value()) {
+    budget->SetMaxDecisions(*options.max_decisions);
+  }
+  if (options.max_memory_bytes.has_value()) {
+    budget->SetMaxMemoryBytes(*options.max_memory_bytes);
+  }
+  return true;
+}
+
+/// The `expect` check under governance: exact answers must match, bounds
+/// must bracket, an aborted point verifies nothing.
+bool PointMatchesExpected(const api::Engine::SweepPoint& point,
+                          const numeric::BigRational& expect) {
+  switch (point.outcome) {
+    case api::Outcome::kExact:
+      return point.value == expect;
+    case api::Outcome::kBounds:
+      return point.bounds.has_value() && point.bounds->lower <= expect &&
+             expect <= point.bounds->upper;
+    case api::Outcome::kAborted:
+      return false;
+  }
+  return false;
+}
+
+void AddOutcomeFields(JsonValue* json, api::Outcome outcome,
+                      runtime::StopReason stop_reason) {
+  json->Add("outcome", JsonValue::MakeString(api::ToString(outcome)));
+  if (stop_reason != runtime::StopReason::kNone) {
+    json->Add("stop_reason",
+              JsonValue::MakeString(runtime::ToString(stop_reason)));
+  }
+}
+
 }  // namespace
 
 ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options,
@@ -37,23 +79,36 @@ ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options,
   if (method == api::Method::kAuto) method = report.route.method;
   report.method_used = method;
 
+  runtime::Budget budget;
+  if (ArmBudget(options, &budget)) {
+    api::Engine::Options engine_options = engine.options();
+    engine_options.budget = &budget;
+    engine.set_options(engine_options);
+  }
+
   auto start = std::chrono::steady_clock::now();
   if (spec.IsSweep()) {
     api::Engine::SweepResult sweep = engine.WFOMCSweep(
         spec.sentence, spec.domain_lo, spec.domain_hi, method);
     report.points = std::move(sweep.points);
+    report.outcome = sweep.outcome;
+    report.stop_reason = sweep.stop_reason;
   } else {
     api::Engine::Result result =
         engine.WFOMC(spec.sentence, spec.domain_lo, method);
-    report.points.push_back(
-        api::Engine::SweepPoint{spec.domain_lo, std::move(result.value)});
+    report.points.push_back(api::Engine::SweepPoint{
+        spec.domain_lo, std::move(result.value), result.outcome,
+        std::move(result.bounds), result.stop_reason});
+    report.outcome = result.outcome;
+    report.stop_reason = result.stop_reason;
     report.grounded_stats = std::move(result.grounded_stats);
   }
   report.elapsed_seconds = SecondsSince(start);
 
   report.expected = spec.expect;
   if (report.expected.has_value()) {
-    report.check_passed = report.points.back().value == *report.expected;
+    report.check_passed =
+        PointMatchesExpected(report.points.back(), *report.expected);
   }
   return report;
 }
@@ -67,16 +122,35 @@ CnfRunReport RunWeightedCnf(const WeightedCnf& instance,
 
   wmc::DpllCounter::Options counter_options;
   counter_options.num_threads = options.num_threads;
+  runtime::Budget budget;
+  if (ArmBudget(options, &budget)) counter_options.budget = &budget;
   wmc::DpllCounter counter(instance.cnf, instance.weights, counter_options);
 
   auto start = std::chrono::steady_clock::now();
-  report.count = counter.Count();
+  wmc::DpllCounter::CountResult counted = counter.CountBounded();
   report.elapsed_seconds = SecondsSince(start);
+  switch (counted.outcome) {
+    case wmc::DpllCounter::CountOutcome::kExact:
+      report.outcome = api::Outcome::kExact;
+      report.count = counted.value;
+      report.upper = std::move(counted.value);
+      break;
+    case wmc::DpllCounter::CountOutcome::kBounds:
+      report.outcome = api::Outcome::kBounds;
+      report.count = std::move(counted.value);
+      report.upper = std::move(counted.upper);
+      break;
+    case wmc::DpllCounter::CountOutcome::kAborted:
+      report.outcome = api::Outcome::kAborted;
+      break;
+  }
+  report.stop_reason = counted.stop_reason;
   report.stats = counter.stats();
   return report;
 }
 
-CompileOutcome RunCompile(const ModelSpec& spec, std::string source) {
+CompileOutcome RunCompile(const ModelSpec& spec, const RunOptions& options,
+                          std::string source) {
   CompileOutcome outcome;
   CompileRunReport& report = outcome.report;
   report.source = std::move(source);
@@ -87,15 +161,33 @@ CompileOutcome RunCompile(const ModelSpec& spec, std::string source) {
   report.sentence = logic::ToString(spec.sentence, engine.vocabulary());
   report.route = engine.ExplainRoute(spec.sentence);
 
+  runtime::Budget budget;
+  if (ArmBudget(options, &budget)) {
+    api::Engine::Options engine_options = engine.options();
+    engine_options.budget = &budget;
+    engine.set_options(engine_options);
+  }
+
   auto start = std::chrono::steady_clock::now();
-  outcome.query = engine.Compile(spec.sentence, spec.domain_hi);
+  api::Engine::CompileResult compiled =
+      engine.TryCompile(spec.sentence, spec.domain_hi);
   report.compile_seconds = SecondsSince(start);
 
-  report.variables = outcome.query.circuit().variable_count();
-  report.count = outcome.query.compile_count();
-  report.search_stats = outcome.query.compile_stats();
-  report.circuit_stats = outcome.query.circuit().ComputeStats();
+  report.outcome = compiled.outcome;
+  report.stop_reason = compiled.stop_reason;
   report.expected = spec.expect;
+  if (compiled.outcome != api::Outcome::kExact) {
+    // The partial trace was discarded; there is no circuit and nothing to
+    // check an `expect` against.
+    report.check_passed = !report.expected.has_value();
+    return outcome;
+  }
+  outcome.query = std::move(compiled.compiled);
+
+  report.variables = outcome.query->circuit().variable_count();
+  report.count = outcome.query->compile_count();
+  report.search_stats = outcome.query->compile_stats();
+  report.circuit_stats = outcome.query->circuit().ComputeStats();
   if (report.expected.has_value()) {
     report.check_passed = report.count == *report.expected;
   }
@@ -148,6 +240,8 @@ JsonValue ToJson(const wmc::DpllCounter::Stats& stats) {
   json.Add("cache_collisions", JsonValue::MakeNumber(stats.cache_collisions));
   json.Add("cache_insertions", JsonValue::MakeNumber(stats.cache_insertions));
   json.Add("cache_evictions", JsonValue::MakeNumber(stats.cache_evictions));
+  json.Add("cache_bytes", JsonValue::MakeNumber(stats.cache_bytes));
+  json.Add("aborted_subtrees", JsonValue::MakeNumber(stats.aborted_subtrees));
   return json;
 }
 
@@ -175,10 +269,29 @@ JsonValue ToJson(const ModelRunReport& report) {
   for (const api::Engine::SweepPoint& point : report.points) {
     JsonValue entry = JsonValue::MakeObject();
     entry.Add("n", JsonValue::MakeNumber(point.domain_size));
-    entry.Add("wfomc", JsonValue::MakeString(point.value.ToString()));
+    switch (point.outcome) {
+      case api::Outcome::kExact:
+        entry.Add("wfomc", JsonValue::MakeString(point.value.ToString()));
+        break;
+      case api::Outcome::kBounds:
+        entry.Add("lower",
+                  JsonValue::MakeString(point.bounds->lower.ToString()));
+        entry.Add("upper",
+                  JsonValue::MakeString(point.bounds->upper.ToString()));
+        break;
+      case api::Outcome::kAborted:
+        break;
+    }
+    if (point.outcome != api::Outcome::kExact ||
+        report.outcome != api::Outcome::kExact) {
+      AddOutcomeFields(&entry, point.outcome, point.stop_reason);
+    }
     points.array.push_back(std::move(entry));
   }
   json.Add("points", std::move(points));
+  if (report.outcome != api::Outcome::kExact) {
+    AddOutcomeFields(&json, report.outcome, report.stop_reason);
+  }
 
   if (report.grounded_stats.has_value()) {
     json.Add("stats", ToJson(*report.grounded_stats));
@@ -220,11 +333,15 @@ JsonValue ToJson(const CompileRunReport& report) {
   json.Add("route", std::move(route));
 
   json.Add("n", JsonValue::MakeNumber(report.domain_size));
-  json.Add("variables", JsonValue::MakeNumber(
-                            static_cast<std::uint64_t>(report.variables)));
-  json.Add("wfomc", JsonValue::MakeString(report.count.ToString()));
-  json.Add("circuit", ToJson(report.circuit_stats));
-  json.Add("stats", ToJson(report.search_stats));
+  if (report.outcome == api::Outcome::kExact) {
+    json.Add("variables", JsonValue::MakeNumber(
+                              static_cast<std::uint64_t>(report.variables)));
+    json.Add("wfomc", JsonValue::MakeString(report.count.ToString()));
+    json.Add("circuit", ToJson(report.circuit_stats));
+    json.Add("stats", ToJson(report.search_stats));
+  } else {
+    AddOutcomeFields(&json, report.outcome, report.stop_reason);
+  }
   json.Add("compile_seconds", JsonValue::MakeNumber(report.compile_seconds));
   if (!report.output_path.empty()) {
     json.Add("output", JsonValue::MakeString(report.output_path));
@@ -259,7 +376,20 @@ JsonValue ToJson(const CnfRunReport& report) {
   json.Add("variables", JsonValue::MakeNumber(
                             static_cast<std::uint64_t>(report.variables)));
   json.Add("clauses", JsonValue::MakeNumber(report.clauses));
-  json.Add("wmc", JsonValue::MakeString(report.count.ToString()));
+  switch (report.outcome) {
+    case api::Outcome::kExact:
+      json.Add("wmc", JsonValue::MakeString(report.count.ToString()));
+      break;
+    case api::Outcome::kBounds:
+      json.Add("lower", JsonValue::MakeString(report.count.ToString()));
+      json.Add("upper", JsonValue::MakeString(report.upper.ToString()));
+      break;
+    case api::Outcome::kAborted:
+      break;
+  }
+  if (report.outcome != api::Outcome::kExact) {
+    AddOutcomeFields(&json, report.outcome, report.stop_reason);
+  }
   json.Add("stats", ToJson(report.stats));
   json.Add("elapsed_seconds", JsonValue::MakeNumber(report.elapsed_seconds));
   return json;

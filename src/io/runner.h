@@ -13,6 +13,7 @@
 #include "io/nnf_format.h"
 #include "nnf/circuit.h"
 #include "numeric/rational.h"
+#include "runtime/budget.h"
 #include "wmc/dpll_counter.h"
 
 namespace swfomc::io {
@@ -24,6 +25,20 @@ struct RunOptions {
   /// Overrides the model's `method` directive when set (the CLI's
   /// --method flag).
   std::optional<api::Method> method_override;
+  /// Resource envelope (the CLI's --budget-ms / --max-decisions /
+  /// --max-memory flags). When any is set, a fresh runtime::Budget is
+  /// armed per input — the deadline clock starts when that input's
+  /// evaluation starts, not at process launch — and a grounded search
+  /// that exhausts it reports outcome "bounds" (or "aborted") instead of
+  /// running away.
+  std::optional<std::uint64_t> budget_ms;
+  std::optional<std::uint64_t> max_decisions;
+  std::optional<std::uint64_t> max_memory_bytes;
+
+  bool governed() const {
+    return budget_ms.has_value() || max_decisions.has_value() ||
+           max_memory_bytes.has_value();
+  }
 };
 
 /// Everything one model evaluation produced, ready for serialization:
@@ -42,12 +57,17 @@ struct ModelRunReport {
   std::uint64_t domain_lo = 0;
   std::uint64_t domain_hi = 0;
   std::vector<api::Engine::SweepPoint> points;  // ascending, >= 1 entry
+  /// Worst outcome across the points (kAborted > kBounds > kExact) and
+  /// the first stop reason, for governed runs; kExact/kNone otherwise.
+  api::Outcome outcome = api::Outcome::kExact;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
   /// DPLL counter statistics; present for single-point grounded runs
   /// (sweeps share no single counter, so they report none).
   std::optional<wmc::DpllCounter::Stats> grounded_stats;
   double elapsed_seconds = 0.0;
   std::optional<numeric::BigRational> expected;  // the `expect` directive
-  /// False iff `expected` is present and the count at domain_hi differs.
+  /// With `expected` present: exact points must match it, bounds points
+  /// must bracket it (lower <= expect <= upper), aborted points fail.
   bool check_passed = true;
 };
 
@@ -61,7 +81,12 @@ struct CnfRunReport {
   std::string source;
   std::uint32_t variables = 0;
   std::uint64_t clauses = 0;
+  /// The exact count, or the certified lower bound when `outcome` is
+  /// kBounds (see `upper`).
   numeric::BigRational count;
+  numeric::BigRational upper;  // == count unless outcome is kBounds
+  api::Outcome outcome = api::Outcome::kExact;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
   wmc::DpllCounter::Stats stats;
   double elapsed_seconds = 0.0;
 };
@@ -83,6 +108,10 @@ struct CompileRunReport {
   std::uint64_t domain_size = 0;
   std::uint32_t variables = 0;  // ground tuples + Tseitin auxiliaries
   numeric::BigRational count;   // under the model's weights
+  /// kAborted when the budget stopped the trace (the partial circuit is
+  /// discarded — compilation has no bounds mode); kExact otherwise.
+  api::Outcome outcome = api::Outcome::kExact;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
   wmc::DpllCounter::Stats search_stats;
   nnf::Circuit::Stats circuit_stats;
   double compile_seconds = 0.0;
@@ -94,10 +123,12 @@ struct CompileRunReport {
 
 struct CompileOutcome {
   CompileRunReport report;
-  api::CompiledQuery query;
+  /// Set exactly when report.outcome is kExact.
+  std::optional<api::CompiledQuery> query;
 };
 
 CompileOutcome RunCompile(const ModelSpec& spec,
+                          const RunOptions& options = {},
                           std::string source = "<input>");
 
 /// The serialized form of a compiled model: the circuit, the weight map

@@ -67,6 +67,11 @@ class BigInt {
   /// True iff the value fits in int64 — equivalently (by the canonical
   /// representation) iff the value is stored inline.
   bool FitsInt64() const { return limbs_.empty(); }
+  /// Heap bytes owned by this value (the limb buffer's capacity; 0 for
+  /// inline values). Used by byte-accounted caches.
+  std::size_t HeapBytes() const {
+    return limbs_.capacity() * sizeof(std::uint32_t);
+  }
   /// Lossy conversion to double (for reporting only; never used in
   /// counting paths).
   double ToDouble() const;

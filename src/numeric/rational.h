@@ -40,6 +40,12 @@ class BigRational {
   bool IsInteger() const { return denominator_.IsOne(); }
   int Sign() const { return numerator_.Sign(); }
 
+  /// Heap bytes owned by this value (numerator + denominator limb
+  /// buffers). Used by byte-accounted caches.
+  std::size_t HeapBytes() const {
+    return numerator_.HeapBytes() + denominator_.HeapBytes();
+  }
+
   /// "a/b" or "a" when the denominator is 1.
   std::string ToString() const;
   /// Lossy; reporting only.

@@ -1,0 +1,16 @@
+#include "runtime/budget.h"
+
+namespace swfomc::runtime {
+
+const char* ToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kDecisions: return "decisions";
+    case StopReason::kMemory: return "memory";
+  }
+  return "?";
+}
+
+}  // namespace swfomc::runtime

@@ -10,12 +10,24 @@ std::uint64_t HashComponentKey(const ComponentKey& key) {
   return ComponentHashFinalize(hash);
 }
 
-ComponentCache::ComponentCache(std::size_t max_entries)
-    : max_entries_(max_entries) {}
+ComponentCache::ComponentCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {}
+
+void ComponentCache::EvictOldest() {
+  auto victim = entries_.find(insertion_order_.front());
+  bytes_ -= victim->second.bytes;
+  entries_.erase(victim);
+  insertion_order_.pop_front();
+  ++evictions_;
+}
 
 void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
                             numeric::BigRational value) {
-  if (max_entries_ == 0) return;
+  if (max_entries_ == 0 || max_bytes_ == 0) return;
+  std::size_t entry_bytes = EntryBytes(key, value);
+  // A single entry bigger than the whole byte bound would force evicting
+  // everything else just to hold it; skip it instead.
+  if (entry_bytes > max_bytes_) return;
   ++insertions_;
   auto it = entries_.find(hash);
   if (it != entries_.end()) {
@@ -23,16 +35,19 @@ void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
     // worker racing us to the same key: keep the fresh entry. Same-key
     // replacement stores the identical value — counts are determined by
     // their keys — so this is benign either way.
-    it->second = Entry{std::move(key), std::move(value)};
+    bytes_ -= it->second.bytes;
+    it->second = Entry{std::move(key), std::move(value), entry_bytes};
+    bytes_ += entry_bytes;
+    while (bytes_ > max_bytes_) EvictOldest();
     return;
   }
-  while (entries_.size() >= max_entries_) {
-    entries_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
-    ++evictions_;
+  while (entries_.size() >= max_entries_ ||
+         (!entries_.empty() && bytes_ + entry_bytes > max_bytes_)) {
+    EvictOldest();
   }
   insertion_order_.push_back(hash);
-  entries_.emplace(hash, Entry{std::move(key), std::move(value)});
+  entries_.emplace(hash, Entry{std::move(key), std::move(value), entry_bytes});
+  bytes_ += entry_bytes;
 }
 
 namespace {
@@ -47,7 +62,8 @@ std::size_t RoundUpPowerOfTwo(std::size_t value) {
 
 ShardedComponentCache::ShardedComponentCache(std::size_t max_entries,
                                              std::size_t shard_count,
-                                             bool synchronized)
+                                             bool synchronized,
+                                             std::size_t max_bytes)
     : synchronized_(synchronized) {
   std::size_t shards = RoundUpPowerOfTwo(shard_count == 0 ? 1 : shard_count);
   // max_entries is a *global* bound: with fewer entries than requested
@@ -56,9 +72,14 @@ ShardedComponentCache::ShardedComponentCache(std::size_t max_entries,
   while (shards > 1 && max_entries / shards == 0) shards /= 2;
   shard_mask_ = shards - 1;
   std::size_t per_shard = max_entries / shards;
+  // The byte bound splits the same way; hashing spreads entries evenly
+  // enough that a per-shard slice enforces the global ceiling.
+  std::size_t bytes_per_shard = max_bytes == ComponentCache::kUnboundedBytes
+                                    ? ComponentCache::kUnboundedBytes
+                                    : max_bytes / shards;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(per_shard));
+    shards_.push_back(std::make_unique<Shard>(per_shard, bytes_per_shard));
   }
 }
 
@@ -75,6 +96,7 @@ ShardedComponentCache::ShardedComponentCache(std::size_t max_entries,
   }
 
 SWFOMC_CACHE_AGGREGATE(size, std::size_t)
+SWFOMC_CACHE_AGGREGATE(bytes, std::size_t)
 SWFOMC_CACHE_AGGREGATE(lookups, std::uint64_t)
 SWFOMC_CACHE_AGGREGATE(hits, std::uint64_t)
 SWFOMC_CACHE_AGGREGATE(collisions, std::uint64_t)

@@ -47,17 +47,34 @@ std::uint64_t HashComponentKey(const ComponentKey& key);
 
 /// Bounded hashed memo table for component counts: entries are addressed
 /// by the 64-bit hash, the packed key is stored alongside the value to
-/// resolve collisions exactly, and the entry count is bounded — inserting
-/// past the bound evicts the oldest entries (FIFO). Unsynchronized; this
-/// is one shard of a ShardedComponentCache (or the whole cache in the
-/// single-threaded counter).
+/// resolve collisions exactly, and both the entry count and the resident
+/// bytes are bounded — inserting past either bound evicts the oldest
+/// entries (FIFO). Unsynchronized; this is one shard of a
+/// ShardedComponentCache (or the whole cache in the single-threaded
+/// counter).
+///
+/// Byte accounting covers what the cache actually owns per entry: the
+/// packed key's word buffer, the BigRational payload's limb buffers, and
+/// a fixed per-entry overhead estimate for the map node + deque slot. An
+/// entry larger than the whole byte bound on its own is not inserted
+/// (evicting everything to fit one giant entry would destroy the cache's
+/// purpose).
 ///
 /// Counter invariants (asserted by the stress tests):
 ///   hits + collisions <= lookups, evictions <= insertions,
 ///   size() <= insertions - evictions (replacement inserts keep size flat).
 class ComponentCache {
  public:
-  explicit ComponentCache(std::size_t max_entries);
+  static constexpr std::size_t kUnboundedBytes = ~std::size_t{0};
+  /// Estimated fixed cost of one entry beyond its variable-size buffers:
+  /// the unordered_map node (hash key, Entry struct, bucket link) plus
+  /// the insertion-order deque slot.
+  static constexpr std::size_t kEntryOverheadBytes =
+      sizeof(std::uint64_t) * 2 + sizeof(void*) * 2 + sizeof(ComponentKey) +
+      sizeof(numeric::BigRational) + sizeof(std::size_t);
+
+  explicit ComponentCache(std::size_t max_entries,
+                          std::size_t max_bytes = kUnboundedBytes);
 
   /// Returns the cached count for `key`, or nullptr on a miss. A hash
   /// match with a different stored key counts as a collision and a miss.
@@ -81,19 +98,35 @@ class ComponentCache {
               numeric::BigRational value);
 
   std::size_t size() const { return entries_.size(); }
+  /// Resident bytes currently accounted to entries (keys + rational limb
+  /// buffers + per-entry overhead).
+  std::size_t bytes() const { return bytes_; }
+  std::size_t max_bytes() const { return max_bytes_; }
   std::uint64_t lookups() const { return lookups_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t collisions() const { return collisions_; }
   std::uint64_t insertions() const { return insertions_; }
   std::uint64_t evictions() const { return evictions_; }
 
+  /// Bytes accounted to one (key, value) pair if it were an entry.
+  static std::size_t EntryBytes(const ComponentKey& key,
+                                const numeric::BigRational& value) {
+    return key.capacity() * sizeof(std::uint32_t) + value.HeapBytes() +
+           kEntryOverheadBytes;
+  }
+
  private:
   struct Entry {
     ComponentKey key;
     numeric::BigRational value;
+    std::size_t bytes;  // EntryBytes at insertion, so removal balances
   };
 
+  void EvictOldest();
+
   std::size_t max_entries_;
+  std::size_t max_bytes_;
+  std::size_t bytes_ = 0;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::deque<std::uint64_t> insertion_order_;
   std::uint64_t lookups_ = 0;
@@ -111,11 +144,12 @@ class ComponentCache {
 /// like the PR-2 cache.
 class ShardedComponentCache {
  public:
-  /// `max_entries` is a global bound, split evenly across shards.
-  /// `shard_count` is rounded up to a power of two (so shard selection is
-  /// a mask); `synchronized` false elides all locking.
+  /// `max_entries` and `max_bytes` are global bounds, split evenly across
+  /// shards. `shard_count` is rounded up to a power of two (so shard
+  /// selection is a mask); `synchronized` false elides all locking.
   ShardedComponentCache(std::size_t max_entries, std::size_t shard_count,
-                        bool synchronized);
+                        bool synchronized,
+                        std::size_t max_bytes = ComponentCache::kUnboundedBytes);
 
   /// Copies the cached count into `*value` (reusing its capacity) and
   /// returns true on a hit. Works in both configurations; under
@@ -153,6 +187,7 @@ class ShardedComponentCache {
   /// Aggregated counters (sums over shards). Safe to call concurrently
   /// with Lookup/Insert only in the synchronized configuration.
   std::size_t size() const;
+  std::size_t bytes() const;
   std::uint64_t lookups() const;
   std::uint64_t hits() const;
   std::uint64_t collisions() const;
@@ -161,7 +196,8 @@ class ShardedComponentCache {
 
  private:
   struct Shard {
-    explicit Shard(std::size_t max_entries) : cache(max_entries) {}
+    Shard(std::size_t max_entries, std::size_t max_bytes)
+        : cache(max_entries, max_bytes) {}
     mutable std::mutex mutex;
     ComponentCache cache;
   };

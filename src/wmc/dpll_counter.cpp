@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <stdexcept>
 #include <utility>
 
 namespace swfomc::wmc {
@@ -33,9 +34,81 @@ void AddSearchStats(DpllCounter::Stats* into, const DpllCounter::Stats& from) {
   into->unit_propagations += from.unit_propagations;
   into->component_splits += from.component_splits;
   into->parallel_forks += from.parallel_forks;
+  into->aborted_subtrees += from.aborted_subtrees;
 }
 
 }  // namespace
+
+/// Interval-tracking product/sum built on RationalAccumulator. While
+/// every factor is exact only the lower track runs — the identical
+/// gcd-deferred op sequence as the ungoverned counter, so exact results
+/// stay bit-identical and carry no second-accumulator cost. The upper
+/// track is forked lazily (a copy of the exact prefix) when the first
+/// bracketed factor arrives.
+///
+/// Interval arithmetic here assumes non-negative endpoints with
+/// lower <= exact <= upper, under which products and sums of intervals
+/// bracket the products and sums of the exact values. The counter only
+/// trusts brackets when all weights are non-negative (bounds_sound_).
+class DpllCounter::BoundsAccumulator {
+ public:
+  void SetOne() {
+    lower_.SetOne();
+    exact_ = true;
+  }
+
+  bool exact() const { return exact_; }
+
+  /// True only when the accumulated value is *exactly* zero. A zero
+  /// lower bound on a bracketed product says nothing about the upper
+  /// track, so zero-short-circuits must (and do) key off this.
+  bool IsZero() const { return exact_ && lower_.IsZero(); }
+
+  void Set(const BigRational& value) {
+    lower_.Set(value);
+    exact_ = true;
+  }
+
+  void Multiply(const BigRational& factor) {
+    lower_.Multiply(factor);
+    if (!exact_) upper_.Multiply(factor);
+  }
+
+  void Multiply(const NodeResult& factor) {
+    if (!factor.exact && exact_) Fork();
+    lower_.Multiply(factor.value);
+    if (!exact_) upper_.Multiply(factor.exact ? factor.value : factor.upper);
+  }
+
+  void Add(const RationalAccumulator& term) {
+    lower_.Add(term);
+    if (!exact_) upper_.Add(term);
+  }
+
+  void Add(const BoundsAccumulator& term) {
+    if (!term.exact_ && exact_) Fork();
+    lower_.Add(term.lower_);
+    if (!exact_) upper_.Add(term.exact_ ? term.lower_ : term.upper_);
+  }
+
+  NodeResult Finish() const {
+    NodeResult result;
+    result.value = lower_.Canonical();
+    result.exact = exact_;
+    if (!exact_) result.upper = upper_.Canonical();
+    return result;
+  }
+
+ private:
+  void Fork() {
+    upper_ = lower_;  // the exact prefix bounds itself from above
+    exact_ = false;
+  }
+
+  RationalAccumulator lower_;
+  RationalAccumulator upper_;
+  bool exact_ = true;
+};
 
 DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights)
     : DpllCounter(std::move(cnf), std::move(weights), Options{}) {}
@@ -53,9 +126,17 @@ DpllCounter::DpllCounter(prop::CnfFormula cnf, WeightMap weights,
           options.use_components && options.trace_sink == nullptr
               ? runtime::ThreadPool::ResolveThreadCount(options.num_threads)
               : 1),
+      governed_(options.budget != nullptr || options.cancel != nullptr ||
+                options.fault != nullptr),
+      // A budget's memory ceiling caps the cache bytes too (the cache is
+      // the dominant allocation); the tighter of the two bounds wins.
       cache_(options.max_cache_entries,
              effective_threads_ > 1 ? kParallelCacheShards : 1,
-             /*synchronized=*/effective_threads_ > 1),
+             /*synchronized=*/effective_threads_ > 1,
+             options.budget != nullptr
+                 ? std::min<std::size_t>(options.max_cache_bytes,
+                                         options.budget->max_memory_bytes())
+                 : options.max_cache_bytes),
       local_cache_(cache_.LocalShard()) {
   weights_.EnsureSize(cnf_.variable_count);
 }
@@ -84,11 +165,33 @@ DpllCounter::NodeScratch* DpllCounter::AcquireScratch(
 }
 
 numeric::BigRational DpllCounter::Count() {
+  CountResult result = CountBounded();
+  if (result.outcome != CountOutcome::kExact) {
+    throw std::runtime_error(
+        std::string("DpllCounter: budget exhausted before an exact count "
+                    "(stop reason: ") +
+        runtime::ToString(result.stop_reason) +
+        "); use CountBounded() for anytime results");
+  }
+  return std::move(result.value);
+}
+
+DpllCounter::CountResult DpllCounter::CountBounded() {
   stats_ = Stats{};
   SnapshotCacheBaseline();
   trace_cache_.clear();
   trace_cache_stats_ = Stats{};
   forks_spawned_.store(0, std::memory_order_relaxed);
+  stop_.store(runtime::StopReason::kNone, std::memory_order_relaxed);
+  bounds_sound_ = true;
+  if (governed_) {
+    // The [0, mass] bracket needs every weight non-negative; scanned once
+    // here so per-node code can trust bounds_sound_.
+    for (VarId v = 0; v < cnf_.variable_count && bounds_sound_; ++v) {
+      const VariableWeights& w = weights_.Get(v);
+      bounds_sound_ = w.positive.Sign() >= 0 && w.negative.Sign() >= 0;
+    }
+  }
   TraceSink* sink = options_.trace_sink;
   TraceSink::NodeId trace_root = TraceSink::kNoNode;
   SearchContext root;
@@ -96,12 +199,12 @@ numeric::BigRational DpllCounter::Count() {
   // stats_ on exit no matter which path returns. In tracing mode the
   // zero-weight early returns are disabled — a weight-induced zero is
   // not UNSAT, and the circuit must stay valid for other weight vectors.
-  BigRational result = [&]() -> BigRational {
+  NodeResult result = [&]() -> NodeResult {
     prop::NormalizeCnf(&cnf_);
     for (const Clause& clause : cnf_.clauses) {
       if (clause.empty()) {
         if (sink != nullptr) trace_root = sink->False();
-        return BigRational(0);
+        return NodeResult{};
       }
     }
     compact_ = prop::CompactCnf::Build(cnf_);
@@ -120,12 +223,12 @@ numeric::BigRational DpllCounter::Count() {
 
     if (!root.trail->PropagateExistingUnits(&root.stats.unit_propagations)) {
       if (sink != nullptr) trace_root = sink->False();
-      return BigRational(0);
+      return NodeResult{};
     }
     std::vector<TraceSink::NodeId> children;
     // Gcd-deferred product of the root factors: one canonicalizing
     // reduction at the end instead of one per factor.
-    RationalAccumulator result;
+    BoundsAccumulator result;
     result.SetOne();
     for (Lit lit : root.trail->assignments()) {
       const BigRational& weight =
@@ -133,7 +236,7 @@ numeric::BigRational DpllCounter::Count() {
       if (!weight.IsOne()) result.Multiply(weight);
       if (sink != nullptr) children.push_back(sink->Literal(lit));
     }
-    if (result.IsZero() && sink == nullptr) return BigRational(0);
+    if (result.IsZero() && sink == nullptr) return NodeResult{};
 
     std::vector<VarId> candidates;
     candidates.reserve(cnf_.variable_count);
@@ -147,7 +250,7 @@ numeric::BigRational DpllCounter::Count() {
         if (sink != nullptr) children.push_back(sink->FreeVariable(v));
       }
     }
-    if (result.IsZero() && sink == nullptr) return BigRational(0);
+    if (result.IsZero() && sink == nullptr) return NodeResult{};
     std::vector<std::uint32_t> all_clauses(compact_.clause_count());
     for (std::uint32_t c = 0; c < compact_.clause_count(); ++c) {
       all_clauses[c] = c;
@@ -155,13 +258,43 @@ numeric::BigRational DpllCounter::Count() {
     result.Multiply(CountResidual(&root, candidates, all_clauses,
                                   sink != nullptr ? &children : nullptr));
     if (sink != nullptr) trace_root = sink->And(children);
-    return result.Canonical();
+    return result.Finish();
   }();
   pool_.reset();
   MergeContextStats(root.stats);
   FinalizeStats();
   if (sink != nullptr) sink->Root(trace_root);
-  return result;
+
+  CountResult out;
+  out.stop_reason = stop_.load(std::memory_order_relaxed);
+  if (out.stop_reason == runtime::StopReason::kNone) {
+    // Never stopped — exact even if governed. (A stop that fired after
+    // the last decision still unwound through brackets, so result.exact
+    // implies no bracket anywhere.)
+    out.outcome = CountOutcome::kExact;
+    out.value = std::move(result.value);
+    out.upper = out.value;
+    return out;
+  }
+  if (result.exact) {
+    // The stop fired but every subtree it interrupted turned out to be
+    // resolvable without further decisions (or from the cache): the
+    // count is exact after all.
+    out.outcome = CountOutcome::kExact;
+    out.value = std::move(result.value);
+    out.upper = out.value;
+    return out;
+  }
+  if (sink != nullptr || !bounds_sound_) {
+    // A stopped trace is unusable (placeholder FALSE nodes), and with
+    // negative weights the bracket certifies nothing.
+    out.outcome = CountOutcome::kAborted;
+    return out;
+  }
+  out.outcome = CountOutcome::kBounds;
+  out.value = std::move(result.value);
+  out.upper = std::move(result.upper);
+  return out;
 }
 
 void DpllCounter::MergeContextStats(const Stats& stats) {
@@ -200,9 +333,10 @@ void DpllCounter::FinalizeStats() {
       cache_.insertions() - cache_baseline_.cache_insertions;
   stats_.cache_evictions =
       cache_.evictions() - cache_baseline_.cache_evictions;
+  stats_.cache_bytes = cache_.bytes();
 }
 
-numeric::BigRational DpllCounter::CountResidual(
+DpllCounter::NodeResult DpllCounter::CountResidual(
     SearchContext* ctx, const std::vector<VarId>& candidates,
     const std::vector<std::uint32_t>& parent_clauses,
     std::vector<TraceSink::NodeId>* trace_children) {
@@ -212,7 +346,7 @@ numeric::BigRational DpllCounter::CountResidual(
   FindComponents(ctx, candidates, parent_clauses, &components,
                  &free_variables);
 
-  RationalAccumulator result;
+  BoundsAccumulator result;
   result.SetOne();
   for (VarId v : free_variables) {
     result.Multiply(total_weight_[v]);
@@ -256,7 +390,7 @@ numeric::BigRational DpllCounter::CountResidual(
   }
   components.clear();
   ReleaseScratch(ctx);
-  return result.Canonical();
+  return result.Finish();
 }
 
 bool DpllCounter::ShouldFork(const Component& component) {
@@ -274,14 +408,14 @@ bool DpllCounter::ShouldFork(const Component& component) {
   return true;
 }
 
-numeric::BigRational DpllCounter::CountComponents(
+DpllCounter::NodeResult DpllCounter::CountComponents(
     SearchContext* ctx, std::vector<Component>* components,
     std::vector<TraceSink::NodeId>* trace_children) {
   if (pool_ == nullptr || components->size() < 2) {
     // Tracing always lands here (a trace sink forces one thread, so
     // pool_ is null) and must visit every component even after a zero
     // factor — the AND node needs all its children.
-    RationalAccumulator result;
+    BoundsAccumulator result;
     result.SetOne();
     for (const Component& component : *components) {
       TraceSink::NodeId node = TraceSink::kNoNode;
@@ -293,7 +427,7 @@ numeric::BigRational DpllCounter::CountComponents(
         break;
       }
     }
-    return result.Canonical();
+    return result.Finish();
   }
   // Fork the large components, solve the rest inline while the workers
   // run, and multiply everything in component order afterwards. Each fork
@@ -301,7 +435,7 @@ numeric::BigRational DpllCounter::CountComponents(
   // pushes and pops decisions on ctx->trail, so a later copy would see a
   // mid-branch assignment.
   std::size_t count = components->size();
-  std::vector<BigRational> values(count);
+  std::vector<NodeResult> values(count);
   std::vector<Stats> fork_stats(count);
   std::vector<char> is_forked(count, 0);
   runtime::TaskGroup group(pool_.get());
@@ -318,28 +452,30 @@ numeric::BigRational DpllCounter::CountComponents(
       fork_stats[i] = child.stats;
     });
   }
-  // Forked tasks cannot be cancelled, but the inline work can still
-  // short-circuit: after one zero factor the product is zero no matter
-  // what the siblings count.
+  // Forked tasks observe the shared stop flag (they run on `this`, and
+  // every decision checks it), so a governed stop winds them down within
+  // one check interval. The inline work can additionally short-circuit:
+  // after one exactly-zero factor the product is zero no matter what the
+  // siblings count.
   bool zero_seen = false;
   for (std::size_t i = 0; i < count; ++i) {
     if (!is_forked[i] && !zero_seen) {
       values[i] = CountComponentCached(ctx, (*components)[i], nullptr);
-      zero_seen = values[i].IsZero();
+      zero_seen = values[i].exact && values[i].value.IsZero();
     }
   }
   group.Wait();
-  RationalAccumulator result;
+  BoundsAccumulator result;
   result.SetOne();
   for (std::size_t i = 0; i < count; ++i) {
     if (is_forked[i]) AddSearchStats(&ctx->stats, fork_stats[i]);
     if (zero_seen) continue;  // skipped inline slots hold no real count
     result.Multiply(values[i]);
   }
-  return zero_seen ? BigRational(0) : result.Canonical();
+  return zero_seen ? NodeResult{} : result.Finish();
 }
 
-numeric::BigRational DpllCounter::CountComponentCached(
+DpllCounter::NodeResult DpllCounter::CountComponentCached(
     SearchContext* ctx, const Component& component,
     TraceSink::NodeId* trace_node) {
   if (trace_node != nullptr) {
@@ -353,14 +489,28 @@ numeric::BigRational DpllCounter::CountComponentCached(
     if (it != trace_cache_.end()) {
       ++trace_cache_stats_.cache_hits;
       *trace_node = it->second.node;
-      return it->second.value;
+      return NodeResult{it->second.value, BigRational(), true};
     }
     // Copy the scratch key out before recursing (nested lookups reuse it).
     ComponentKey key = ctx->key_scratch;
-    BigRational value = BranchOnComponent(ctx, component, trace_node);
-    trace_cache_.emplace(std::move(key), TraceEntry{value, *trace_node});
+    NodeResult result = BranchOnComponent(ctx, component, trace_node);
+    if (!result.exact) {
+      // A stopped trace is unusable; the placeholder FALSE node keeps the
+      // circuit well-formed while CountBounded() reports kAborted, and a
+      // bracketed value must never enter the memo (hits would replay it
+      // as exact).
+      *trace_node = options_.trace_sink->False();
+      return result;
+    }
+    if (options_.fault != nullptr &&
+        options_.fault->Count(runtime::FaultPoint::Site::kCacheInsert)) {
+      RequestStop(options_.fault->reason());
+      return result;  // the value stays exact; the *next* decision stops
+    }
+    trace_cache_.emplace(std::move(key),
+                         TraceEntry{result.value, *trace_node});
     ++trace_cache_stats_.cache_insertions;
-    return value;
+    return result;
   }
   // A single-clause component has the closed form
   //   Π_v (w_v + w̄_v)  −  Π_{lit} weight(¬lit)
@@ -378,7 +528,8 @@ numeric::BigRational DpllCounter::CountComponentCached(
       all.Multiply(total_weight_[v]);
       falsifying.Multiply(weights_.LiteralWeight(v, !LitPositive(lit)));
     }
-    return all.Canonical() - falsifying.Canonical();
+    return NodeResult{all.Canonical() - falsifying.Canonical(),
+                      BigRational(), true};
   }
   if (!options_.use_cache) return BranchOnComponent(ctx, component, nullptr);
   std::uint64_t hash = PackKey(ctx, component);
@@ -387,35 +538,99 @@ numeric::BigRational DpllCounter::CountComponentCached(
     // the pre-sharding fast path (one hashtable find, zero copies).
     if (const BigRational* hit = local_cache_->Lookup(ctx->key_scratch,
                                                       hash)) {
-      return *hit;
+      return NodeResult{*hit, BigRational(), true};
     }
   } else if (cache_.Lookup(ctx->key_scratch, hash, &ctx->cached_value)) {
     // Copy-out under the shard lock (another worker may evict the entry),
     // into per-context scratch so a miss costs no allocation.
-    return ctx->cached_value;
+    return NodeResult{ctx->cached_value, BigRational(), true};
   }
   // Copy the scratch key out before recursing (nested lookups reuse it).
   ComponentKey key = ctx->key_scratch;
-  BigRational value = BranchOnComponent(ctx, component, nullptr);
-  if (local_cache_ != nullptr) {
-    local_cache_->Insert(std::move(key), hash, value);
-  } else {
-    cache_.Insert(std::move(key), hash, value);
+  NodeResult result = BranchOnComponent(ctx, component, nullptr);
+  // Only exact values may be cached: a key determines its exact count,
+  // but says nothing about where a budget cut the subtree off.
+  if (result.exact) {
+    if (options_.fault != nullptr &&
+        options_.fault->Count(runtime::FaultPoint::Site::kCacheInsert)) {
+      // Simulated allocation failure on this insertion: skip the insert
+      // and stop the search; the already-computed value is still exact.
+      RequestStop(options_.fault->reason());
+    } else if (local_cache_ != nullptr) {
+      local_cache_->Insert(std::move(key), hash, result.value);
+    } else {
+      cache_.Insert(std::move(key), hash, result.value);
+    }
   }
-  return value;
+  return result;
 }
 
-numeric::BigRational DpllCounter::BranchOnComponent(
+runtime::StopReason DpllCounter::CheckStop(SearchContext* ctx) {
+  runtime::StopReason stopped = stop_.load(std::memory_order_relaxed);
+  if (stopped != runtime::StopReason::kNone) return stopped;
+  if (options_.fault != nullptr &&
+      options_.fault->Count(runtime::FaultPoint::Site::kDecision)) {
+    RequestStop(options_.fault->reason());
+    return stop_.load(std::memory_order_relaxed);
+  }
+  if (options_.cancel != nullptr && options_.cancel->IsCancelled()) {
+    RequestStop(runtime::StopReason::kCancelled);
+    return stop_.load(std::memory_order_relaxed);
+  }
+  if (options_.budget != nullptr) {
+    // The decision cap is charged exactly (a cap of K permits exactly K
+    // decisions, and a cap of 0 stops before the first); the clock is
+    // read every 64 ticks, starting with tick 0 so a 0ms deadline also
+    // fires before any decision.
+    runtime::StopReason reason = options_.budget->ChargeDecisions(1);
+    if (reason == runtime::StopReason::kNone &&
+        (ctx->governance_ticks++ & 63) == 0) {
+      reason = options_.budget->CheckDeadline();
+    }
+    if (reason != runtime::StopReason::kNone) {
+      RequestStop(reason);
+      return stop_.load(std::memory_order_relaxed);
+    }
+  }
+  return runtime::StopReason::kNone;
+}
+
+void DpllCounter::RequestStop(runtime::StopReason reason) {
+  runtime::StopReason expected = runtime::StopReason::kNone;
+  stop_.compare_exchange_strong(expected, reason, std::memory_order_relaxed);
+}
+
+DpllCounter::NodeResult DpllCounter::BracketComponent(
+    SearchContext* ctx, const Component& component) {
+  ++ctx->stats.aborted_subtrees;
+  // Every total assignment of the component's unassigned variables has
+  // weight <= Π (w + w̄), and with non-negative weights the sum over the
+  // satisfying subset is sandwiched in [0, that product].
+  RationalAccumulator upper;
+  upper.SetOne();
+  for (VarId v : component.variables) {
+    if (!ctx->trail->IsAssigned(v)) upper.Multiply(total_weight_[v]);
+  }
+  return NodeResult{BigRational(0), upper.Canonical(), false};
+}
+
+DpllCounter::NodeResult DpllCounter::BranchOnComponent(
     SearchContext* ctx, const Component& component,
     TraceSink::NodeId* trace_node) {
+  // The per-decision governance checkpoint: once a stop is requested (by
+  // this worker or any other), the whole remaining subtree collapses to
+  // its bracket and the recursion unwinds without further decisions.
+  if (governed_ && CheckStop(ctx) != runtime::StopReason::kNone) {
+    return BracketComponent(ctx, component);
+  }
   VarId variable = PickBranchVariable(ctx, component);
   ++ctx->stats.decisions;
   NodeScratch* scratch = AcquireScratch(ctx);
   // Branch product and decision sum stay unreduced until the OR closes:
   // one canonicalizing reduction per decision node instead of one per
   // weight factor.
-  RationalAccumulator total;
-  RationalAccumulator term;
+  BoundsAccumulator total;
+  BoundsAccumulator term;
   // Circuit children of the decision OR; conflicting branches contribute
   // no child (an omitted FALSE summand is weight-independent).
   std::vector<TraceSink::NodeId> or_children;
@@ -464,7 +679,7 @@ numeric::BigRational DpllCounter::BranchOnComponent(
     *trace_node = options_.trace_sink->Or(variable, or_children);
   }
   ReleaseScratch(ctx);
-  return total.Canonical();
+  return total.Finish();
 }
 
 void DpllCounter::BumpEpoch(SearchContext* ctx) const {

@@ -11,6 +11,7 @@
 #include "numeric/rational.h"
 #include "prop/cnf.h"
 #include "prop/compact_cnf.h"
+#include "runtime/budget.h"
 #include "runtime/thread_pool.h"
 #include "wmc/component_cache.h"
 #include "wmc/trace.h"
@@ -45,6 +46,12 @@ namespace swfomc::wmc {
 /// Counts are over *all* variables in [0, cnf.variable_count): a variable
 /// not constrained by any clause contributes a factor (w + w̄). Negative
 /// and zero weights are handled exactly.
+///
+/// The search can be resource-governed (`Options::budget` / `cancel` /
+/// `fault`): every worker checks for a stop once per decision and, on
+/// exhaustion, winds down cooperatively — explored branches keep their
+/// exact mass, abandoned subtrees are bracketed, and CountBounded()
+/// returns certified anytime bounds instead of an answer-or-hang.
 class DpllCounter {
  public:
   struct Options {
@@ -72,6 +79,23 @@ class DpllCounter {
     /// shortcut so the circuit is valid for all weight vectors — the
     /// returned count is still bit-identical to an untraced Count().
     TraceSink* trace_sink = nullptr;
+    /// Byte bound on the component cache's resident size (keys + rational
+    /// payloads + per-entry overhead); eviction is driven by whichever of
+    /// the entry and byte bounds binds first. When `budget` carries a
+    /// memory ceiling, the effective bound is the tighter of the two.
+    std::size_t max_cache_bytes = ComponentCache::kUnboundedBytes;
+    /// Resource envelope for the search (not owned; may be shared across
+    /// counters and threads). On exhaustion the search winds down
+    /// cooperatively and CountBounded() reports bounds or an abort
+    /// instead of spinning. null = ungoverned.
+    runtime::Budget* budget = nullptr;
+    /// Cooperative cancellation (not owned). Polled once per decision by
+    /// every worker, including pool-forked component tasks.
+    runtime::CancelToken* cancel = nullptr;
+    /// Deterministic fault injection for tests (not owned): fires
+    /// cancellation or a simulated allocation failure at the K-th
+    /// decision / cache insertion. null in production.
+    runtime::FaultPoint* fault = nullptr;
   };
 
   struct Stats {
@@ -79,20 +103,58 @@ class DpllCounter {
     std::uint64_t unit_propagations = 0;
     std::uint64_t component_splits = 0;
     std::uint64_t parallel_forks = 0;
+    /// Subtrees replaced by a [0, mass] bracket after the search stopped.
+    std::uint64_t aborted_subtrees = 0;
     std::uint64_t cache_lookups = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_entries = 0;
     std::uint64_t cache_collisions = 0;
     std::uint64_t cache_insertions = 0;
     std::uint64_t cache_evictions = 0;
+    /// Resident bytes in the component cache after Count() (level, not a
+    /// counter; 0 in tracing mode).
+    std::uint64_t cache_bytes = 0;
+  };
+
+  /// How a governed count ended.
+  enum class CountOutcome : std::uint8_t {
+    kExact,   // the budget sufficed: value == upper == the exact count
+    kBounds,  // stopped early with certified value <= exact <= upper
+    kAborted, // stopped early with no certified bounds (negative weights
+              // or a partial trace); value/upper are meaningless
+  };
+
+  /// Result of a governed count. Exact runs (including every ungoverned
+  /// run) report kExact with upper == value. When a budget, token, or
+  /// fault stops the search early, explored branches contribute their
+  /// exact partial mass and every unexplored subtree is bracketed by
+  /// [0, product of its free-literal weight mass], so with non-negative
+  /// weights `value <= exact <= upper` is certified. Negative weights
+  /// make that bracket unsound, and a stopped trace is unusable, so both
+  /// degrade to kAborted.
+  struct CountResult {
+    CountOutcome outcome = CountOutcome::kExact;
+    numeric::BigRational value;  // exact count, or certified lower bound
+    numeric::BigRational upper;  // == value when exact
+    runtime::StopReason stop_reason = runtime::StopReason::kNone;
   };
 
   DpllCounter(prop::CnfFormula cnf, WeightMap weights);
   DpllCounter(prop::CnfFormula cnf, WeightMap weights, Options options);
 
   /// Weighted model count; deterministic and exact — bit-identical across
-  /// every num_threads setting and schedule.
+  /// every num_threads setting and schedule. Throws std::runtime_error if
+  /// a governed run stops before the count is exact (use CountBounded()
+  /// to consume anytime results).
   numeric::BigRational Count();
+
+  /// Weighted model count under the Options resource envelope; never
+  /// throws on exhaustion. Deterministic given a deterministic stop point
+  /// (a decision cap or fault); wall-clock deadlines stop at a
+  /// timing-dependent point, but the bracket guarantee holds wherever the
+  /// stop lands. Bounds are monotone in the budget: every decision the
+  /// search is allowed replaces a bracket with mass it contains.
+  CountResult CountBounded();
 
   /// Search and cache counters, finalized on every return path of
   /// Count(). Counts (decisions, propagations, splits) vary with the
@@ -130,6 +192,19 @@ class DpllCounter {
     std::vector<prop::VarId> remaining;
   };
 
+  // Interval-tracking accumulator (defined in the .cpp): runs only the
+  // exact lower track until the first bracketed factor arrives.
+  class BoundsAccumulator;
+
+  /// Count of one search node, possibly bracketed. While `exact`, `value`
+  /// is the exact count and `upper` is unused (kept empty); once any
+  /// descendant was cut off, `value`/`upper` are the certified bounds.
+  struct NodeResult {
+    numeric::BigRational value;
+    numeric::BigRational upper;
+    bool exact = true;
+  };
+
   /// Everything one worker needs to run the search: its own trail, its
   /// own epoch-stamped scratch, and its own counters. The sequential
   /// counter uses exactly one of these; every parallel fork builds a
@@ -138,6 +213,9 @@ class DpllCounter {
   struct SearchContext {
     std::optional<Trail> trail;
     Stats stats;
+    // Per-worker tick counter amortizing the deadline check (the clock is
+    // read every 64 decisions, starting with the first).
+    std::uint64_t governance_ticks = 0;
 
     // Epoch-stamped scratch for FindComponents / PickBranchVariable, so
     // neither allocates per search node. 32-bit epochs keep the stamp
@@ -183,22 +261,33 @@ class DpllCounter {
   // residual/component entry points append the circuit nodes of their
   // factors to *trace_children, the per-component ones write their node
   // to *trace_node.
-  numeric::BigRational CountResidual(
+  NodeResult CountResidual(
       SearchContext* ctx, const std::vector<prop::VarId>& candidates,
       const std::vector<std::uint32_t>& parent_clauses,
       std::vector<TraceSink::NodeId>* trace_children);
   // Multiplies the component counts, forking large components onto the
   // pool; `ctx`'s trail is snapshotted per fork before any inline solving
   // mutates it.
-  numeric::BigRational CountComponents(
+  NodeResult CountComponents(
       SearchContext* ctx, std::vector<Component>* components,
       std::vector<TraceSink::NodeId>* trace_children);
-  numeric::BigRational CountComponentCached(SearchContext* ctx,
-                                            const Component& component,
-                                            TraceSink::NodeId* trace_node);
-  numeric::BigRational BranchOnComponent(SearchContext* ctx,
-                                         const Component& component,
-                                         TraceSink::NodeId* trace_node);
+  NodeResult CountComponentCached(SearchContext* ctx,
+                                  const Component& component,
+                                  TraceSink::NodeId* trace_node);
+  NodeResult BranchOnComponent(SearchContext* ctx,
+                               const Component& component,
+                               TraceSink::NodeId* trace_node);
+
+  // Governance checkpoint, one call per decision: observes an already-
+  // requested stop, fires the fault point, polls the cancel token, and
+  // charges the budget (decision cap exactly; deadline every 64 ticks).
+  // kNone means keep searching. Only called when governed_.
+  runtime::StopReason CheckStop(SearchContext* ctx);
+  // Publishes a stop reason to every worker; the first reason wins.
+  void RequestStop(runtime::StopReason reason);
+  // The [0, Π unassigned (w + w̄)] bracket standing in for `component`'s
+  // abandoned subtree.
+  NodeResult BracketComponent(SearchContext* ctx, const Component& component);
 
   // Partitions `candidates` into connected components and isolated
   // (constraint-free) variables via DFS over the occurrence lists. Each
@@ -234,6 +323,16 @@ class DpllCounter {
   WeightMap weights_;
   Options options_;
   unsigned effective_threads_;
+  // True when any of budget/cancel/fault is set; the sole per-decision
+  // cost on ungoverned runs is this one predictable branch.
+  bool governed_;
+  // Non-negative weights make the [0, mass] bracket certified; scanned
+  // once per governed Count(). With negative weights a stop degrades to
+  // kAborted.
+  bool bounds_sound_ = true;
+  // The stop requested for the current Count(), observed by every worker
+  // (including pool forks, which share `this`). kNone while running.
+  std::atomic<runtime::StopReason> stop_{runtime::StopReason::kNone};
   Stats stats_;
   ShardedComponentCache cache_;
   // cache_'s single shard in the sequential configuration (nullptr when

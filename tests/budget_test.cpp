@@ -1,0 +1,607 @@
+// Resource governance: budgets, cooperative cancellation, fault
+// injection, and the anytime-bounds contract. The load-bearing property
+// is differential: wherever a governed search is forced to stop, the
+// explored prefix's exact mass plus the [0, free-mass] brackets of the
+// abandoned subtrees must produce certified lower <= exact <= upper —
+// and a budget generous enough to finish must reproduce the ungoverned
+// count bit for bit, in every threading configuration.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "grounding/grounded_wfomc.h"
+#include "logic/parser.h"
+#include "numeric/rational.h"
+#include "runtime/budget.h"
+#include "test_util.h"
+#include "wmc/component_cache.h"
+#include "wmc/dpll_counter.h"
+
+namespace swfomc {
+namespace {
+
+using numeric::BigRational;
+using runtime::Budget;
+using runtime::CancelToken;
+using runtime::FaultPoint;
+using runtime::StopReason;
+using wmc::ComponentCache;
+using wmc::DpllCounter;
+
+using CountResult = DpllCounter::CountResult;
+using CountOutcome = DpllCounter::CountOutcome;
+
+struct Instance {
+  prop::CnfFormula cnf;
+  wmc::WeightMap weights;
+};
+
+Instance MakeInstance(std::uint64_t seed, std::uint32_t variables,
+                      std::size_t clauses, bool allow_negative = false) {
+  std::mt19937_64 rng(seed);
+  Instance instance;
+  instance.cnf = testutil::RandomCnf(&rng, variables, clauses, 3);
+  instance.weights =
+      testutil::RandomWeights(&rng, variables, allow_negative);
+  return instance;
+}
+
+BigRational ExactCount(const Instance& instance) {
+  DpllCounter counter(instance.cnf, instance.weights);
+  return counter.Count();
+}
+
+CountResult CountWithOptions(const Instance& instance,
+                             DpllCounter::Options options,
+                             DpllCounter::Stats* stats = nullptr) {
+  DpllCounter counter(instance.cnf, instance.weights, options);
+  CountResult result = counter.CountBounded();
+  if (stats != nullptr) *stats = counter.stats();
+  return result;
+}
+
+void ExpectBrackets(const CountResult& result, const BigRational& exact,
+                    const std::string& context) {
+  SCOPED_TRACE(context);
+  switch (result.outcome) {
+    case CountOutcome::kExact:
+      EXPECT_EQ(result.value, exact);
+      EXPECT_EQ(result.upper, exact);
+      break;
+    case CountOutcome::kBounds:
+      EXPECT_LE(result.value, exact);
+      EXPECT_LE(exact, result.upper);
+      EXPECT_NE(result.stop_reason, StopReason::kNone);
+      break;
+    case CountOutcome::kAborted:
+      ADD_FAILURE() << "unexpected kAborted (" << context << ")";
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Budget primitive semantics.
+
+TEST(BudgetPrimitives, DecisionCapPermitsExactlyThatManyCharges) {
+  Budget budget;
+  budget.SetMaxDecisions(3);
+  EXPECT_EQ(budget.ChargeDecisions(1), StopReason::kNone);
+  EXPECT_EQ(budget.ChargeDecisions(1), StopReason::kNone);
+  EXPECT_EQ(budget.ChargeDecisions(1), StopReason::kNone);
+  EXPECT_EQ(budget.ChargeDecisions(1), StopReason::kDecisions);
+  EXPECT_EQ(budget.decisions_used(), 4u);
+
+  Budget zero;
+  zero.SetMaxDecisions(0);
+  EXPECT_EQ(zero.ChargeDecisions(1), StopReason::kDecisions);
+}
+
+TEST(BudgetPrimitives, ImmediateDeadlineFires) {
+  Budget budget;
+  budget.SetWallClockMs(0);
+  EXPECT_EQ(budget.CheckDeadline(), StopReason::kDeadline);
+
+  Budget generous;
+  generous.SetWallClockMs(60'000);
+  EXPECT_EQ(generous.CheckDeadline(), StopReason::kNone);
+}
+
+TEST(BudgetPrimitives, ByteChargesRollBackOnFailure) {
+  Budget budget;
+  budget.SetMaxMemoryBytes(100);
+  EXPECT_TRUE(budget.TryChargeBytes(60));
+  EXPECT_FALSE(budget.TryChargeBytes(50));  // would exceed; rolled back
+  EXPECT_EQ(budget.bytes_used(), 60u);
+  EXPECT_TRUE(budget.TryChargeBytes(40));
+  budget.ReleaseBytes(100);
+  EXPECT_EQ(budget.bytes_used(), 0u);
+}
+
+TEST(BudgetPrimitives, StopReasonNames) {
+  EXPECT_STREQ(runtime::ToString(StopReason::kNone), "none");
+  EXPECT_STREQ(runtime::ToString(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(runtime::ToString(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(runtime::ToString(StopReason::kDecisions), "decisions");
+  EXPECT_STREQ(runtime::ToString(StopReason::kMemory), "memory");
+}
+
+TEST(BudgetPrimitives, FaultPointFiresExactlyOnce) {
+  FaultPoint fault(FaultPoint::Site::kDecision, FaultPoint::Action::kCancel,
+                   3);
+  EXPECT_FALSE(fault.Count(FaultPoint::Site::kDecision));
+  EXPECT_FALSE(fault.Count(FaultPoint::Site::kCacheInsert));  // other site
+  EXPECT_FALSE(fault.Count(FaultPoint::Site::kDecision));
+  EXPECT_TRUE(fault.Count(FaultPoint::Site::kDecision));  // 3rd decision
+  EXPECT_FALSE(fault.Count(FaultPoint::Site::kDecision));
+  EXPECT_EQ(fault.reason(), StopReason::kCancelled);
+}
+
+// ---------------------------------------------------------------------
+// Anytime bounds: differential fuzz against the ungoverned exact count.
+
+TEST(BudgetBounds, ZeroBudgetsGiveSoundTrivialBrackets) {
+  for (std::uint64_t seed :
+       {testutil::FuzzBaseSeed(7101), testutil::FuzzBaseSeed(7101) + 1}) {
+    Instance instance = MakeInstance(seed, 12, 20);
+    BigRational exact = ExactCount(instance);
+
+    Budget decisions;
+    decisions.SetMaxDecisions(0);
+    DpllCounter::Options options;
+    options.budget = &decisions;
+    DpllCounter::Stats stats;
+    CountResult result = CountWithOptions(instance, options, &stats);
+    ExpectBrackets(result, exact, "max_decisions=0 seed=" +
+                                      std::to_string(seed));
+    // A zero decision budget means the search may propagate but never
+    // branch.
+    EXPECT_EQ(stats.decisions, 0u);
+
+    Budget deadline;
+    deadline.SetWallClockMs(0);
+    options.budget = &deadline;
+    result = CountWithOptions(instance, options);
+    ExpectBrackets(result, exact,
+                   "budget_ms=0 seed=" + std::to_string(seed));
+    if (result.outcome == CountOutcome::kBounds) {
+      EXPECT_EQ(result.stop_reason, StopReason::kDeadline);
+    }
+  }
+}
+
+TEST(BudgetBounds, BracketExactForEveryInjectedCutoff) {
+  const std::uint64_t base = testutil::FuzzBaseSeed(7102);
+  for (int round = 0; round < 6; ++round) {
+    Instance instance = MakeInstance(base + round, 13, 22);
+    BigRational exact = ExactCount(instance);
+    for (std::uint64_t cutoff : {0u, 1u, 2u, 3u, 5u, 8u, 13u, 21u, 64u}) {
+      Budget budget;
+      budget.SetMaxDecisions(cutoff);
+      DpllCounter::Options options;
+      options.budget = &budget;
+      ExpectBrackets(CountWithOptions(instance, options), exact,
+                     "seed=" + std::to_string(base + round) +
+                         " cutoff=" + std::to_string(cutoff));
+    }
+  }
+}
+
+TEST(BudgetBounds, FaultInjectedCancellationBracketsExact) {
+  const std::uint64_t base = testutil::FuzzBaseSeed(7103);
+  for (int round = 0; round < 4; ++round) {
+    Instance instance = MakeInstance(base + round, 12, 20);
+    BigRational exact = ExactCount(instance);
+    for (std::uint64_t fire_at : {1u, 2u, 4u, 7u}) {
+      FaultPoint fault(FaultPoint::Site::kDecision,
+                       FaultPoint::Action::kCancel, fire_at);
+      DpllCounter::Options options;
+      options.fault = &fault;
+      CountResult result = CountWithOptions(instance, options);
+      ExpectBrackets(result, exact,
+                     "seed=" + std::to_string(base + round) +
+                         " fire_at=" + std::to_string(fire_at));
+      if (result.outcome == CountOutcome::kBounds) {
+        EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+      }
+    }
+  }
+}
+
+TEST(BudgetBounds, BoundsAreMonotoneInTheBudget) {
+  const std::uint64_t base = testutil::FuzzBaseSeed(7104);
+  for (int round = 0; round < 4; ++round) {
+    Instance instance = MakeInstance(base + round, 13, 22);
+    BigRational exact = ExactCount(instance);
+    // Sequential search stops at a deterministic point for a decision
+    // cap, and a larger cap explores a superset of the same prefix:
+    // every extra decision replaces a bracket with mass it contains, so
+    // lower bounds may only rise and upper bounds only fall.
+    BigRational previous_lower;
+    BigRational previous_upper;
+    bool have_previous = false;
+    for (std::uint64_t cap = 0; cap <= 40; cap += 4) {
+      Budget budget;
+      budget.SetMaxDecisions(cap);
+      DpllCounter::Options options;
+      options.budget = &budget;
+      CountResult result = CountWithOptions(instance, options);
+      ExpectBrackets(result, exact,
+                     "seed=" + std::to_string(base + round) +
+                         " cap=" + std::to_string(cap));
+      BigRational lower = result.value;
+      BigRational upper =
+          result.outcome == CountOutcome::kExact ? result.value
+                                                 : result.upper;
+      if (have_previous) {
+        EXPECT_GE(lower, previous_lower) << "cap=" << cap;
+        EXPECT_LE(upper, previous_upper) << "cap=" << cap;
+      }
+      previous_lower = std::move(lower);
+      previous_upper = std::move(upper);
+      have_previous = true;
+      if (result.outcome == CountOutcome::kExact) break;
+    }
+  }
+}
+
+TEST(BudgetBounds, GenerousBudgetIsBitIdenticalToUngoverned) {
+  const std::uint64_t base = testutil::FuzzBaseSeed(7105);
+  for (int round = 0; round < 4; ++round) {
+    Instance instance = MakeInstance(base + round, 13, 22);
+    BigRational exact = ExactCount(instance);
+    for (unsigned threads : {1u, 4u}) {
+      Budget budget;
+      budget.SetMaxDecisions(std::uint64_t{1} << 40);
+      budget.SetWallClockMs(600'000);
+      DpllCounter::Options options;
+      options.budget = &budget;
+      options.num_threads = threads;
+      options.parallel_min_component_vars = 2;
+      CountResult result = CountWithOptions(instance, options);
+      ASSERT_EQ(result.outcome, CountOutcome::kExact)
+          << "threads=" << threads;
+      EXPECT_EQ(result.value, exact);
+      // Bit-identical, not just numerically equal.
+      EXPECT_EQ(result.value.ToString(), exact.ToString());
+      EXPECT_EQ(result.stop_reason, StopReason::kNone);
+    }
+  }
+}
+
+TEST(BudgetBounds, ParallelStopsStillBracketExact) {
+  const std::uint64_t base = testutil::FuzzBaseSeed(7106);
+  for (int round = 0; round < 3; ++round) {
+    Instance instance = MakeInstance(base + round, 14, 24);
+    BigRational exact = ExactCount(instance);
+    for (std::uint64_t cutoff : {1u, 4u, 16u}) {
+      // With workers racing, the stop lands at a schedule-dependent
+      // point — the bracket must hold wherever it lands.
+      Budget budget;
+      budget.SetMaxDecisions(cutoff);
+      DpllCounter::Options options;
+      options.budget = &budget;
+      options.num_threads = 4;
+      options.parallel_min_component_vars = 2;
+      ExpectBrackets(CountWithOptions(instance, options), exact,
+                     "seed=" + std::to_string(base + round) +
+                         " cutoff=" + std::to_string(cutoff));
+    }
+  }
+}
+
+TEST(BudgetBounds, ParallelFaultInjectionBracketsExact) {
+  // The fault's event counter is shared by all four workers, so which
+  // worker trips it — and which subtrees end up bracketed — is a data
+  // race by design; the bracket must hold on every schedule. This is the
+  // TSan canary for concurrent cancellation.
+  const std::uint64_t base = testutil::FuzzBaseSeed(7112);
+  for (int round = 0; round < 3; ++round) {
+    Instance instance = MakeInstance(base + round, 14, 24);
+    BigRational exact = ExactCount(instance);
+    for (std::uint64_t fire_at : {1u, 8u}) {
+      FaultPoint fault(FaultPoint::Site::kDecision,
+                       FaultPoint::Action::kCancel, fire_at);
+      DpllCounter::Options options;
+      options.fault = &fault;
+      options.num_threads = 4;
+      options.parallel_min_component_vars = 2;
+      ExpectBrackets(CountWithOptions(instance, options), exact,
+                     "seed=" + std::to_string(base + round) +
+                         " fire_at=" + std::to_string(fire_at));
+    }
+  }
+}
+
+TEST(BudgetBounds, NegativeWeightsDegradeToAborted) {
+  const std::uint64_t base = testutil::FuzzBaseSeed(7107);
+  for (int round = 0; round < 8; ++round) {
+    Instance instance =
+        MakeInstance(base + round, 12, 20, /*allow_negative=*/true);
+    bool has_negative = false;
+    for (prop::VarId v = 0; v < 12; ++v) {
+      const wmc::VariableWeights& w = instance.weights.Get(v);
+      if (w.positive.Sign() < 0 || w.negative.Sign() < 0) {
+        has_negative = true;
+        break;
+      }
+    }
+    if (!has_negative) continue;
+    BigRational exact = ExactCount(instance);
+
+    Budget budget;
+    budget.SetMaxDecisions(0);
+    DpllCounter::Options options;
+    options.budget = &budget;
+    CountResult result = CountWithOptions(instance, options);
+    if (result.outcome == CountOutcome::kExact) {
+      // Unit propagation alone finished the count — no bracket needed.
+      EXPECT_EQ(result.value, exact);
+    } else {
+      // A [0, mass] bracket is unsound under negative weights; the
+      // search must refuse to certify bounds rather than report wrong
+      // ones.
+      EXPECT_EQ(result.outcome, CountOutcome::kAborted);
+      EXPECT_EQ(result.stop_reason, StopReason::kDecisions);
+    }
+  }
+}
+
+TEST(BudgetBounds, MemoryFaultOnCacheInsertYieldsBounds) {
+  Instance instance = MakeInstance(testutil::FuzzBaseSeed(7108), 13, 22);
+  BigRational exact = ExactCount(instance);
+  FaultPoint fault(FaultPoint::Site::kCacheInsert,
+                   FaultPoint::Action::kMemoryExhausted, 1);
+  DpllCounter::Options options;
+  options.fault = &fault;
+  CountResult result = CountWithOptions(instance, options);
+  ExpectBrackets(result, exact, "memory fault at first cache insert");
+  if (result.outcome == CountOutcome::kBounds) {
+    EXPECT_EQ(result.stop_reason, StopReason::kMemory);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cooperative cancellation across the thread pool.
+
+TEST(BudgetCancellation, FourThreadSearchStopsPromptlyOnCancel) {
+  // A grounded instance big enough that nobody finishes it honestly
+  // before the token fires (triangle blow-up at n=6).
+  logic::Vocabulary vocab;
+  logic::Formula phi = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocab);
+
+  CancelToken token;
+  DpllCounter::Options options;
+  options.cancel = &token;
+  options.num_threads = 4;
+  options.parallel_min_component_vars = 2;
+
+  DpllCounter::CountResult result;
+  std::thread worker([&] {
+    result = grounding::GroundedWFOMCBounded(phi, vocab, 6, options);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto cancelled_at = std::chrono::steady_clock::now();
+  token.RequestCancel();
+  worker.join();
+  double latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    cancelled_at)
+          .count();
+
+  // Forked component tasks observe the shared stop flag at every
+  // decision, so wind-down is bounded by one check interval per worker —
+  // generous slack here for sanitizer builds and loaded CI machines.
+  EXPECT_LT(latency_seconds, 10.0);
+  EXPECT_EQ(result.outcome, CountOutcome::kBounds);
+  EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+  EXPECT_LE(result.value, result.upper);
+}
+
+TEST(BudgetCancellation, CancelBeforeStartReturnsImmediately) {
+  Instance instance = MakeInstance(testutil::FuzzBaseSeed(7109), 12, 20);
+  BigRational exact = ExactCount(instance);
+  CancelToken token;
+  token.RequestCancel();
+  DpllCounter::Options options;
+  options.cancel = &token;
+  CountResult result = CountWithOptions(instance, options);
+  ExpectBrackets(result, exact, "pre-cancelled token");
+  if (result.outcome == CountOutcome::kBounds) {
+    EXPECT_EQ(result.stop_reason, StopReason::kCancelled);
+  }
+}
+
+TEST(BudgetCancellation, CountThrowsWhenGovernedRunStopsEarly) {
+  // Some random instances collapse under unit propagation alone and stay
+  // exact even with a zero decision cap — scan seeds until one actually
+  // has to stop, then pin the throwing contract on it.
+  const std::uint64_t base = testutil::FuzzBaseSeed(7110);
+  bool exercised = false;
+  for (int round = 0; round < 16 && !exercised; ++round) {
+    Instance instance = MakeInstance(base + round, 13, 22);
+    Budget probe_budget;
+    probe_budget.SetMaxDecisions(0);
+    DpllCounter::Options options;
+    options.budget = &probe_budget;
+    if (CountWithOptions(instance, options).outcome == CountOutcome::kExact) {
+      continue;
+    }
+    Budget budget;
+    budget.SetMaxDecisions(0);
+    options.budget = &budget;
+    DpllCounter counter(instance.cnf, instance.weights, options);
+    EXPECT_THROW(counter.Count(), std::runtime_error);
+    exercised = true;
+  }
+  EXPECT_TRUE(exercised) << "no seed in range required a decision";
+}
+
+// ---------------------------------------------------------------------
+// Byte-accounted component cache.
+
+wmc::ComponentKey MakeKey(std::uint32_t tag, std::size_t words) {
+  wmc::ComponentKey key(words, tag);
+  key.push_back(wmc::kComponentKeySeparator);
+  return key;
+}
+
+TEST(CacheBytes, ResidentBytesTrackInsertionsExactly) {
+  ComponentCache cache(/*max_entries=*/64);
+  std::size_t expected_bytes = 0;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    wmc::ComponentKey key = MakeKey(i, 4 + i);
+    BigRational value = BigRational::Fraction(3 * i + 1, 7);
+    expected_bytes += ComponentCache::EntryBytes(key, value);
+    cache.Insert(std::move(key), /*hash=*/i, std::move(value));
+  }
+  EXPECT_EQ(cache.size(), 16u);
+  EXPECT_EQ(cache.bytes(), expected_bytes);
+}
+
+TEST(CacheBytes, ByteBoundDrivesEviction) {
+  wmc::ComponentKey probe = MakeKey(0, 8);
+  std::size_t per_entry =
+      ComponentCache::EntryBytes(probe, BigRational(1));
+  // Room for about four entries; the entry bound never binds.
+  ComponentCache cache(/*max_entries=*/1024, /*max_bytes=*/4 * per_entry);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    cache.Insert(MakeKey(i, 8), /*hash=*/i, BigRational(1));
+    EXPECT_LE(cache.bytes(), cache.max_bytes());
+  }
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(cache.size(), 0u);
+  // The survivors are the most recent inserts (FIFO eviction).
+  EXPECT_NE(cache.Lookup(MakeKey(63, 8), /*hash=*/63), nullptr);
+}
+
+TEST(CacheBytes, OversizedEntryIsSkippedNotThrashed) {
+  wmc::ComponentKey small = MakeKey(1, 2);
+  std::size_t small_bytes =
+      ComponentCache::EntryBytes(small, BigRational(1));
+  ComponentCache cache(/*max_entries=*/16, /*max_bytes=*/2 * small_bytes);
+  cache.Insert(std::move(small), /*hash=*/1, BigRational(1));
+  ASSERT_EQ(cache.size(), 1u);
+
+  // An entry bigger than the whole byte bound must not evict everything
+  // only to fail to fit anyway.
+  cache.Insert(MakeKey(2, 4096), /*hash=*/2, BigRational(1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Lookup(MakeKey(1, 2), /*hash=*/1), nullptr);
+}
+
+TEST(CacheBytes, ReplacementKeepsAccountingBalanced) {
+  ComponentCache cache(/*max_entries=*/8);
+  wmc::ComponentKey key = MakeKey(5, 4);
+  cache.Insert(key, /*hash=*/5, BigRational(1));
+  std::size_t bytes_small = cache.bytes();
+  // Same key, much larger payload: the accounting must follow the
+  // replacement, not accumulate. (Exact byte values depend on vector
+  // and limb capacities, so assert the shape, not a magic number.)
+  BigRational big = BigRational::Pow(BigRational::Fraction(7, 3), 64);
+  cache.Insert(key, /*hash=*/5, big);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.bytes(), bytes_small);
+  // Replacing back with the small payload must release the difference.
+  cache.Insert(key, /*hash=*/5, BigRational(1));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), bytes_small);
+}
+
+TEST(CacheBytes, CounterHonoursByteCeilingUnderBudgetMemoryLimit) {
+  Instance instance = MakeInstance(testutil::FuzzBaseSeed(7111), 14, 24);
+  BigRational exact = ExactCount(instance);
+  Budget budget;
+  budget.SetMaxMemoryBytes(1 << 12);  // 4 KiB cache ceiling
+  DpllCounter::Options options;
+  options.budget = &budget;
+  DpllCounter::Stats stats;
+  CountResult result = CountWithOptions(instance, options, &stats);
+  // A memory ceiling alone never stops the search — it shrinks the
+  // cache, trading hits for recomputation; the count stays exact.
+  ASSERT_EQ(result.outcome, CountOutcome::kExact);
+  EXPECT_EQ(result.value, exact);
+  EXPECT_LE(stats.cache_bytes, std::uint64_t{1} << 12);
+}
+
+// ---------------------------------------------------------------------
+// Engine surface: bounds through WFOMC/sweeps, aborts through compile.
+
+TEST(BudgetEngine, SweepDegradesToBoundsThatBracketTheExactSweep) {
+  logic::Vocabulary vocab;
+  logic::Formula phi = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocab);
+
+  api::Engine exact_engine(vocab);
+  api::Engine::SweepResult exact =
+      exact_engine.WFOMCSweep(phi, 1, 4, api::Method::kGrounded);
+  ASSERT_EQ(exact.outcome, api::Outcome::kExact);
+
+  runtime::Budget budget;
+  budget.SetMaxDecisions(8);  // drains across the whole sweep
+  api::Engine::Options options;
+  options.budget = &budget;
+  api::Engine governed_engine(vocab, options);
+  api::Engine::SweepResult governed =
+      governed_engine.WFOMCSweep(phi, 1, 4, api::Method::kGrounded);
+
+  ASSERT_EQ(governed.points.size(), exact.points.size());
+  bool any_bounds = false;
+  for (std::size_t i = 0; i < governed.points.size(); ++i) {
+    const api::Engine::SweepPoint& point = governed.points[i];
+    const BigRational& truth = exact.points[i].value;
+    SCOPED_TRACE("n=" + std::to_string(point.domain_size));
+    if (point.outcome == api::Outcome::kExact) {
+      EXPECT_EQ(point.value, truth);
+    } else {
+      ASSERT_EQ(point.outcome, api::Outcome::kBounds);
+      ASSERT_TRUE(point.bounds.has_value());
+      EXPECT_LE(point.bounds->lower, truth);
+      EXPECT_LE(truth, point.bounds->upper);
+      any_bounds = true;
+    }
+  }
+  EXPECT_TRUE(any_bounds);
+  EXPECT_EQ(governed.outcome, api::Outcome::kBounds);
+  EXPECT_EQ(governed.stop_reason, StopReason::kDecisions);
+}
+
+TEST(BudgetEngine, TryCompileDiscardsPartialTraceAndCompileThrows) {
+  logic::Vocabulary vocab;
+  logic::Formula phi = logic::Parse(
+      "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", &vocab);
+
+  runtime::Budget budget;
+  budget.SetMaxDecisions(0);
+  api::Engine::Options options;
+  options.budget = &budget;
+  api::Engine engine(vocab, options);
+
+  api::Engine::CompileResult result = engine.TryCompile(phi, 3);
+  EXPECT_EQ(result.outcome, api::Outcome::kAborted);
+  EXPECT_EQ(result.stop_reason, StopReason::kDecisions);
+  EXPECT_FALSE(result.compiled.has_value());
+
+  EXPECT_THROW(engine.Compile(phi, 3), std::runtime_error);
+
+  // The same engine with the cap lifted compiles fine — governance is
+  // per-budget state, not a poisoned engine.
+  budget.SetMaxDecisions(runtime::Budget::kUnlimited);
+  api::Engine::CompileResult retry = engine.TryCompile(phi, 3);
+  ASSERT_EQ(retry.outcome, api::Outcome::kExact);
+  ASSERT_TRUE(retry.compiled.has_value());
+  api::Engine ungoverned(vocab);
+  EXPECT_EQ(retry.compiled->compile_count(),
+            ungoverned.WFOMC(phi, 3, api::Method::kGrounded).value);
+}
+
+}  // namespace
+}  // namespace swfomc

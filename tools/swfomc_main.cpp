@@ -17,9 +17,14 @@
 //   --compact      single-line JSON output
 //   --out FILE     compile: write the circuit to FILE (single input)
 //   --out-dir DIR  compile: write one INPUT-basename.nnf per input
+//   --budget-ms N      wall-clock budget per input (run/cnf/compile)
+//   --max-decisions N  decision budget per input
+//   --max-memory N     memory ceiling, k/m/g suffixes (component cache)
+//   --on-budget M      bounds (report anytime bounds; default) | error
 //
 // Exit codes: 0 success, 1 a check failed, 2 unreadable or malformed
-// input, 64 usage error (unknown command/option, missing operand).
+// input, 3 a budget was exhausted under --on-budget=error, 64 usage
+// error (unknown command/option, missing operand).
 
 #include <filesystem>
 #include <fstream>
@@ -36,6 +41,7 @@
 #include "io/model_format.h"
 #include "io/nnf_format.h"
 #include "io/runner.h"
+#include "runtime/budget.h"
 
 namespace {
 
@@ -50,6 +56,9 @@ using swfomc::io::WeightedCnf;
 // BSD sysexits EX_USAGE: the command line itself was wrong (as opposed to
 // exit 2, a file we could not read or parse).
 constexpr int kExitUsage = 64;
+// A resource budget fired and the caller asked --on-budget=error: the
+// inputs were fine, the answer is just not exact.
+constexpr int kExitBudget = 3;
 
 constexpr const char* kUsage =
     R"(usage: swfomc <command> [options] <file>...
@@ -74,10 +83,19 @@ options:
   --compact      emit single-line JSON instead of pretty-printed
   --out FILE     compile only: write the circuit to FILE (one input file)
   --out-dir DIR  compile only: write DIR/<input-basename>.nnf per input
+  --budget-ms N      wall-clock budget per input, in milliseconds; an
+                     exhausted grounded search reports certified anytime
+                     bounds instead of running on (run/cnf/compile; the
+                     deadline restarts for each input file)
+  --max-decisions N  cap on DPLL decisions per input (run/cnf/compile)
+  --max-memory N     component-cache memory ceiling in bytes; accepts
+                     k/m/g binary suffixes (run/cnf/compile)
+  --on-budget M      what an exhausted budget means: bounds (default —
+                     report lower/upper and exit 0) or error (exit 3)
   --help         this text
 
 exit codes: 0 ok, 1 a check failed, 2 unreadable or malformed input,
-64 usage error
+3 a budget was exhausted under --on-budget=error, 64 usage error
 )";
 
 // A bad command line (vs. bad input files, which stay exit 2).
@@ -86,14 +104,23 @@ class UsageError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+enum class OnBudget { kBounds, kError };
+
 struct CliOptions {
   std::string command;
   RunOptions run;
   bool check = false;
   bool compact = false;
+  /// Explicitly-set --on-budget (usage error without a budget flag);
+  /// effective policy defaults to kBounds.
+  std::optional<OnBudget> on_budget;
   std::string out_file;
   std::string out_dir;
   std::vector<std::string> files;
+
+  OnBudget budget_policy() const {
+    return on_budget.value_or(OnBudget::kBounds);
+  }
 };
 
 int Fail(const std::string& message) {
@@ -119,6 +146,45 @@ unsigned ParseThreadCount(const std::string& text) {
     }
   }
   return value;  // 0 = one per hardware thread
+}
+
+// Same strictness for the 64-bit budget flags.
+std::uint64_t ParseUint64Flag(const std::string& flag,
+                              const std::string& text) {
+  if (text.empty()) throw UsageError(flag + " needs a value");
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw UsageError("bad " + flag + " value '" + text +
+                       "' (expected a non-negative integer)");
+    }
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) {
+      throw UsageError(flag + " value '" + text + "' is out of range");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+// --max-memory: a byte count with an optional k/m/g binary suffix
+// (case-insensitive), e.g. `--max-memory 64m`.
+std::uint64_t ParseMemorySize(const std::string& text) {
+  if (text.empty()) throw UsageError("--max-memory needs a value");
+  std::uint64_t multiplier = 1;
+  std::string digits = text;
+  switch (digits.back()) {
+    case 'k': case 'K': multiplier = std::uint64_t{1} << 10; break;
+    case 'm': case 'M': multiplier = std::uint64_t{1} << 20; break;
+    case 'g': case 'G': multiplier = std::uint64_t{1} << 30; break;
+    default: break;
+  }
+  if (multiplier != 1) digits.pop_back();
+  std::uint64_t value = ParseUint64Flag("--max-memory", digits);
+  if (value > ~std::uint64_t{0} / multiplier) {
+    throw UsageError("--max-memory value '" + text + "' is out of range");
+  }
+  return value * multiplier;
 }
 
 std::optional<CliOptions> ParseArgs(int argc, char** argv) {
@@ -150,6 +216,38 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
       options.out_dir = argv[i];
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       options.out_dir = arg.substr(10);
+    } else if (arg == "--budget-ms") {
+      if (++i >= argc) throw UsageError("--budget-ms needs a value");
+      options.run.budget_ms = ParseUint64Flag("--budget-ms", argv[i]);
+    } else if (arg.rfind("--budget-ms=", 0) == 0) {
+      options.run.budget_ms = ParseUint64Flag("--budget-ms", arg.substr(12));
+    } else if (arg == "--max-decisions") {
+      if (++i >= argc) throw UsageError("--max-decisions needs a value");
+      options.run.max_decisions = ParseUint64Flag("--max-decisions", argv[i]);
+    } else if (arg.rfind("--max-decisions=", 0) == 0) {
+      options.run.max_decisions =
+          ParseUint64Flag("--max-decisions", arg.substr(16));
+    } else if (arg == "--max-memory") {
+      if (++i >= argc) throw UsageError("--max-memory needs a value");
+      options.run.max_memory_bytes = ParseMemorySize(argv[i]);
+    } else if (arg.rfind("--max-memory=", 0) == 0) {
+      options.run.max_memory_bytes = ParseMemorySize(arg.substr(13));
+    } else if (arg == "--on-budget" || arg.rfind("--on-budget=", 0) == 0) {
+      std::string name;
+      if (arg == "--on-budget") {
+        if (++i >= argc) throw UsageError("--on-budget needs a value");
+        name = argv[i];
+      } else {
+        name = arg.substr(12);
+      }
+      if (name == "bounds") {
+        options.on_budget = OnBudget::kBounds;
+      } else if (name == "error") {
+        options.on_budget = OnBudget::kError;
+      } else {
+        throw UsageError("bad --on-budget value '" + name +
+                         "' (expected bounds or error)");
+      }
     } else if (arg == "--method" || arg.rfind("--method=", 0) == 0) {
       std::string name;
       if (arg == "--method") {
@@ -198,6 +296,18 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
                        " command (tracing and evaluation are sequential)");
     }
   }
+  // Budgets govern the counting search; route/eval/print never run one.
+  if (options.run.governed() &&
+      (options.command == "route" || options.command == "eval" ||
+       options.command == "print")) {
+    throw UsageError("budget options do not apply to the " + options.command +
+                     " command (it runs no counting search)");
+  }
+  if (options.on_budget.has_value() && !options.run.governed()) {
+    throw UsageError(
+        "--on-budget needs a budget (--budget-ms, --max-decisions, or "
+        "--max-memory)");
+  }
   return options;
 }
 
@@ -208,10 +318,17 @@ void Emit(const JsonValue& document, bool compact) {
 int RunModels(const CliOptions& options) {
   JsonValue results = JsonValue::MakeArray();
   bool checks_passed = true;
+  bool budget_exhausted = false;
   for (const std::string& path : options.files) {
     ModelSpec spec = swfomc::io::LoadModelFile(path);
     swfomc::io::ModelRunReport report =
         swfomc::io::RunModel(spec, options.run, path);
+    if (report.outcome != swfomc::api::Outcome::kExact) {
+      budget_exhausted = true;
+      std::cerr << "swfomc: budget exhausted: " << path << ": outcome "
+                << swfomc::api::ToString(report.outcome) << " ("
+                << swfomc::runtime::ToString(report.stop_reason) << ")\n";
+    }
     if (options.check && spec.expect.has_value() && !report.check_passed) {
       checks_passed = false;
       std::cerr << "swfomc: check FAILED: " << path << ": expected "
@@ -228,20 +345,33 @@ int RunModels(const CliOptions& options) {
                                                               : "fail"));
   }
   Emit(document, options.compact);
+  if (budget_exhausted && options.budget_policy() == OnBudget::kError) {
+    return kExitBudget;
+  }
   return checks_passed ? 0 : 1;
 }
 
 int RunCnfs(const CliOptions& options) {
   JsonValue results = JsonValue::MakeArray();
+  bool budget_exhausted = false;
   for (const std::string& path : options.files) {
     WeightedCnf instance = swfomc::io::LoadWeightedCnfFile(path);
     swfomc::io::CnfRunReport report =
         swfomc::io::RunWeightedCnf(instance, options.run, path);
+    if (report.outcome != swfomc::api::Outcome::kExact) {
+      budget_exhausted = true;
+      std::cerr << "swfomc: budget exhausted: " << path << ": outcome "
+                << swfomc::api::ToString(report.outcome) << " ("
+                << swfomc::runtime::ToString(report.stop_reason) << ")\n";
+    }
     results.array.push_back(swfomc::io::ToJson(report));
   }
   JsonValue document = JsonValue::MakeObject();
   document.Add("results", std::move(results));
   Emit(document, options.compact);
+  if (budget_exhausted && options.budget_policy() == OnBudget::kError) {
+    return kExitBudget;
+  }
   return 0;
 }
 
@@ -298,21 +428,36 @@ int RunCompile(const CliOptions& options) {
   }
   JsonValue results = JsonValue::MakeArray();
   bool checks_passed = true;
+  bool budget_exhausted = false;
   for (const std::string& path : options.files) {
     ModelSpec spec = swfomc::io::LoadModelFile(path);
-    swfomc::io::CompileOutcome outcome = swfomc::io::RunCompile(spec, path);
+    swfomc::io::CompileOutcome outcome =
+        swfomc::io::RunCompile(spec, options.run, path);
+    if (outcome.report.outcome != swfomc::api::Outcome::kExact) {
+      // A trace the budget stopped is discarded whole — there is no
+      // "partial circuit" to write, whatever --out asked for.
+      budget_exhausted = true;
+      std::cerr << "swfomc: budget exhausted: " << path
+                << ": compilation aborted ("
+                << swfomc::runtime::ToString(outcome.report.stop_reason)
+                << "), partial circuit discarded\n";
+    }
     if (options.check && spec.expect.has_value() &&
         !outcome.report.check_passed) {
       checks_passed = false;
       std::cerr << "swfomc: check FAILED: " << path << ": expected "
                 << spec.expect->ToString() << " at n=" << spec.domain_hi
-                << ", compiled circuit counts "
-                << outcome.report.count.ToString() << "\n";
+                << (outcome.query.has_value()
+                        ? ", compiled circuit counts " +
+                              outcome.report.count.ToString()
+                        : ", but compilation was aborted")
+                << "\n";
     }
-    if (!options.out_file.empty() || !options.out_dir.empty()) {
+    if (outcome.query.has_value() &&
+        (!options.out_file.empty() || !options.out_dir.empty())) {
       std::string out_path = OutputPathFor(options, path);
       NnfDocument document =
-          swfomc::io::MakeNnfDocument(outcome.query, spec.expect);
+          swfomc::io::MakeNnfDocument(*outcome.query, spec.expect);
       std::ofstream out(out_path);
       if (!out) {
         throw std::runtime_error("cannot write nnf file: " + out_path);
@@ -332,6 +477,9 @@ int RunCompile(const CliOptions& options) {
                                                               : "fail"));
   }
   Emit(document, options.compact);
+  if (budget_exhausted && options.budget_policy() == OnBudget::kError) {
+    return kExitBudget;
+  }
   return checks_passed ? 0 : 1;
 }
 
