@@ -10,12 +10,15 @@ Rules:
   * Instances are matched by (driver, benchmark name); instances present
     on only one side are reported but never fail the gate (new rows have
     no baseline, retired rows have no fresh run).
-  * Multi-threaded rows are skipped: the committed baseline was recorded
-    on a 1-core container (see CHANGES.md), where threads > 1 only
-    measures pool overhead — comparing them against a multi-core CI
-    runner would be noise in both directions. A row is multi-threaded
-    when its counter/pool thread count (the trailing benchmark argument
-    in `..._Threads/N/T/...` rows, or any `_Pooled` sweep row) is > 1.
+  * Multi-threaded rows are skipped when the baseline was recorded on a
+    single-core machine (the driver report's context.num_cpus, which the
+    benchmark library stamps at record time): there, threads > 1 only
+    measures pool overhead, and comparing such rows against a multi-core
+    CI runner would be noise in both directions. A baseline recorded
+    with num_cpus > 1 compares its multi-threaded rows normally. A row
+    is multi-threaded when its counter/pool thread count (the trailing
+    benchmark argument in `..._Threads/N/T/...` rows, or any `_Pooled`
+    sweep row) is > 1.
   * Comparison is on real_time, normalized per iteration by the
     benchmark library already; the threshold is a ratio (1.25 = +25%).
 
@@ -41,17 +44,19 @@ def is_multithreaded(name: str) -> bool:
     return match is not None and int(match.group(1)) > 1
 
 
-def load_rows(path: str) -> dict:
-    """(driver, name) -> full benchmark row dict (real_time and friends)."""
+def load_rows(path: str) -> tuple:
+    """((driver, name) -> row dict, driver -> context num_cpus)."""
     with open(path) as handle:
         report = json.load(handle)
     rows = {}
+    cpus = {}
     for driver, payload in report.items():
+        cpus[driver] = int(payload.get("context", {}).get("num_cpus", 1))
         for bench in payload.get("benchmarks", []):
             if bench.get("run_type") == "aggregate":
                 continue
             rows[(driver, bench["name"])] = bench
-    return rows
+    return rows, cpus
 
 
 def uniform_drift(ratios: list) -> float:
@@ -105,8 +110,8 @@ def main() -> int:
         # --threshold wins even over a malformed environment variable.
         args.threshold = default_threshold()
 
-    baseline = load_rows(args.baseline)
-    fresh = load_rows(args.fresh)
+    baseline, baseline_cpus = load_rows(args.baseline)
+    fresh, _ = load_rows(args.fresh)
 
     regressions = []
     ratios = []
@@ -118,7 +123,9 @@ def main() -> int:
         if key not in fresh:
             print(f"note: {driver}:{name} missing from fresh run")
             continue
-        if is_multithreaded(name):
+        if baseline_cpus.get(driver, 1) <= 1 and is_multithreaded(name):
+            # A 1-core baseline has nothing meaningful to say about
+            # multi-threaded rows.
             skipped += 1
             continue
         compared += 1

@@ -59,6 +59,18 @@ expect 64 "$bin" run --on-budget=panic --budget-ms 5 x.model
 expect 64 "$bin" run --on-budget=error x.model        # needs a budget flag
 expect 64 "$bin" eval --budget-ms 5 x.nnf             # eval runs no search
 expect 64 "$bin" route --max-decisions 1 x.model
+# serve is a daemon: it reads requests from its connection, not from file
+# operands, and one-shot reporting flags have nothing to act on.
+expect 64 "$bin" serve x.model
+expect 64 "$bin" serve --check
+expect 64 "$bin" serve --method grounded
+expect 64 "$bin" serve --on-budget=error --budget-ms 5
+expect 64 "$bin" serve --out report.json
+expect 64 "$bin" serve --listen 99999                 # not a TCP port
+expect 64 "$bin" serve --max-circuits abc
+expect 64 "$bin" run --listen 4242 x.model            # serve-only flags
+expect 64 "$bin" run --max-circuits 4 x.model
+expect 64 "$bin" compile --max-circuit-bytes 1M x.model
 
 # 2: input files that cannot be read or parsed.
 expect 2 "$bin" run "$workdir/does-not-exist.model"
@@ -75,6 +87,14 @@ expect 1 "$bin" run --check "$workdir/wrong.model"
 expect 1 "$bin" compile --check "$workdir/wrong.model"
 printf 'nnf 1 0 1\ne 5\nL 1\n' > "$workdir/wrong.nnf"  # evaluates to 1
 expect 1 "$bin" eval --check "$workdir/wrong.nnf"
+# A sweep whose FINAL point matches but whose mid-range point does not
+# must still fail (the check covers every point, not just the last one).
+printf 'sentence forall x exists y S(x,y)\ndomain 1..3\nexpect 2 = 999\nexpect 343\n' \
+  > "$workdir/midsweep.model"
+expect 1 "$bin" run --check "$workdir/midsweep.model"
+printf 'sentence forall x exists y S(x,y)\ndomain 1..3\nexpect 2 = 9\nexpect 343\n' \
+  > "$workdir/goodsweep.model"
+expect 0 "$bin" run --check "$workdir/goodsweep.model"
 
 # 3: a budget fired and the caller asked --on-budget=error. The triangle
 # sentence is FO3 (grounded route) and needs real decisions, so a zero
@@ -92,5 +112,10 @@ printf 'sentence forall x R(x)\ndomain 1\nexpect 1\n' > "$workdir/right.model"
 expect 0 "$bin" run --check "$workdir/right.model"
 expect 0 "$bin" compile --check --out-dir "$workdir/nnf" "$workdir/right.model"
 expect 0 "$bin" eval --check "$workdir/nnf/right.nnf"
+
+# 0: the daemon's side of the contract — `quit` and EOF are clean exits.
+printf '{"cmd":"quit"}\n' > "$workdir/quit.jsonl"
+expect 0 sh -c "exec \"$bin\" serve < \"$workdir/quit.jsonl\""
+expect 0 sh -c "exec \"$bin\" serve < /dev/null"
 
 exit "$failures"

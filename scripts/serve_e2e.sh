@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end contract of `swfomc serve`, driven through a pipe exactly the
+# way a client process would drive it (registered as the tier-1 ctest
+# `cli_serve_e2e`): one JSONL request per line in, one compact JSON
+# response per line out, in order. The session mixes golden-corpus
+# queries, a warm-cache repeat, a malformed line, and a budget-exhausted
+# compile — the daemon must answer every line (errors are per-request,
+# never fatal) and exit 0 on `quit`.
+#
+# Usage: scripts/serve_e2e.sh path/to/swfomc
+set -u
+
+bin="${1:?usage: serve_e2e.sh path/to/swfomc}"
+failures=0
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+requests="$workdir/requests.jsonl"
+responses="$workdir/responses.jsonl"
+
+cat > "$requests" <<'EOF'
+{"id": 1, "sentence": "forall x forall y S(x,y)", "domain": 3, "weights": [{"S": ["2", "1"]}]}
+{"id": 2, "sentence": "forall x forall y S(x,y)", "domain": 3, "weights": [{"S": ["2", "1"]}, {"S": ["3", "1"]}]}
+this line is not JSON
+{"id": 3, "sentence": "forall x exists y S(x,y)", "domain": 3}
+{"id": 4, "sentence": "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", "domain": 7, "max_decisions": 0}
+{"id": 5, "cmd": "stats"}
+{"cmd": "quit"}
+EOF
+
+"$bin" serve < "$requests" > "$responses"
+code=$?
+if [[ "$code" != 0 ]]; then
+  echo "FAIL: serve exited $code (want 0)"
+  failures=1
+fi
+
+lines=$(wc -l < "$responses")
+if [[ "$lines" != 7 ]]; then
+  echo "FAIL: $lines response lines (want 7, one per request)"
+  cat "$responses"
+  failures=1
+fi
+
+# check LINE_NO DESCRIPTION PATTERN...: the response on that line must
+# contain every pattern (fixed strings against the compact JSON).
+check() {
+  local line_no="$1" desc="$2"
+  shift 2
+  local line
+  line="$(sed -n "${line_no}p" "$responses")"
+  local pattern
+  for pattern in "$@"; do
+    if ! grep -qF -- "$pattern" <<< "$line"; then
+      echo "FAIL: response $line_no ($desc) lacks $pattern"
+      echo "  got: $line"
+      failures=1
+      return
+    fi
+  done
+  echo "ok: response $line_no: $desc"
+}
+
+check 1 "cold golden query" \
+  '"id":1' '"status":"ok"' '"wfomc":"512"' '"cached":false'
+check 2 "warm batch over the cached circuit" \
+  '"id":2' '"cached":true' '"wfomc":"512"' '"wfomc":"19683"'
+check 3 "malformed line gets a per-request error" '"status":"error"'
+check 4 "daemon keeps serving after the error" \
+  '"id":3' '"status":"ok"' '"wfomc":"343"'
+check 5 "exhausted compile degrades to certified bounds" \
+  '"id":4' '"status":"ok"' '"compile_outcome":"aborted"' \
+  '"outcome":"bounds"' '"lower"' '"upper"'
+check 6 "stats reflect the session" \
+  '"id":5' '"cache_hits":1' '"errors":1' '"circuits":2'
+check 7 "quit acknowledges and closes" '"status":"ok"' '"bye":true'
+
+exit "$failures"

@@ -91,6 +91,16 @@ class CompiledQuery {
     return compile_stats_;
   }
 
+  /// Approximate resident bytes: the circuit's arenas plus the ground
+  /// tuple → relation map and the compile count's limb buffers (the
+  /// vocabulary's strings are a few dozen bytes and not counted). Lets a
+  /// circuit cache bound its footprint (swfomc serve's LRU).
+  std::size_t MemoryBytes() const {
+    return circuit_.MemoryBytes() +
+           variable_relation_.capacity() * sizeof(logic::RelationId) +
+           compile_count_.HeapBytes();
+  }
+
   /// WFOMC(Φ, n) under the compile-time vocabulary weights, via the
   /// circuit. Equals compile_count() — the cheap sanity check.
   numeric::BigRational Evaluate() const;

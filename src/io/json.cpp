@@ -1,6 +1,7 @@
 #include "io/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -25,6 +26,11 @@ JsonValue JsonValue::MakeNumber(std::uint64_t value) {
 }
 
 JsonValue JsonValue::MakeNumber(double value) {
+  // JSON has no representation for non-finite numbers; "%.17g" would
+  // happily emit bare `inf`/`nan` tokens that no conforming parser (ours
+  // included) accepts. Serialize them as null — a reader sees "value
+  // unavailable" instead of a poisoned document.
+  if (!std::isfinite(value)) return MakeNull();
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   return MakeNumber(std::string(buffer));

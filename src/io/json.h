@@ -33,6 +33,9 @@ struct JsonValue {
   /// The number's exact decimal rendering, e.g. "42", "-7", "0.125".
   static JsonValue MakeNumber(std::string text);
   static JsonValue MakeNumber(std::uint64_t value);
+  /// Shortest round-trippable decimal rendering. Non-finite values have
+  /// no JSON representation and serialize as null (never bare inf/nan,
+  /// which the parser — like every conforming parser — rejects).
   static JsonValue MakeNumber(double value);
   static JsonValue MakeString(std::string text);
   static JsonValue MakeArray();

@@ -1,5 +1,6 @@
 #include "io/model_format.h"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <set>
@@ -33,6 +34,7 @@ class ModelParser {
       Fail({line_, 1}, "missing required directive 'sentence'");
     }
     if (!saw_domain_) Fail({line_, 1}, "missing required directive 'domain'");
+    ValidatePointExpects();
     return std::move(spec_);
   }
 
@@ -78,10 +80,7 @@ class ModelParser {
       }
       spec_.method = *method;
     } else if (directive == "expect") {
-      RequireOperands(tokens, 1, "expect VALUE");
-      RequireFirst(!spec_.expect.has_value(), tokens[0],
-                   "duplicate 'expect' directive");
-      spec_.expect = ParseRational(tokens[1]);
+      ParseExpect(tokens);
     } else {
       Fail(At(tokens[0]), "unknown directive '" + directive + "'");
     }
@@ -163,6 +162,65 @@ class ModelParser {
     spec_.vocabulary.SetWeights(*id, std::move(positive), std::move(negative));
   }
 
+  void ParseExpect(const std::vector<LineToken>& tokens) {
+    // Two spellings: `expect VALUE` (the largest domain size) and
+    // `expect N = VALUE` (one sweep point). Point expects are validated
+    // against the domain range after the whole file is parsed — directive
+    // order is free, so the range may not be known yet.
+    if (tokens.size() == 2) {
+      RequireFirst(!spec_.expect.has_value(), tokens[0],
+                   "duplicate 'expect' directive");
+      spec_.expect = ParseRational(tokens[1]);
+      return;
+    }
+    if (tokens.size() == 4 && tokens[2].text == "=") {
+      PointExpect point;
+      point.domain_size = ParseUnsigned(tokens[1], "domain size");
+      point.value = ParseRational(tokens[3]);
+      point.location = At(tokens[1]);
+      point_expects_.push_back(std::move(point));
+      return;
+    }
+    Fail(At(tokens[0]),
+         "directive 'expect' takes either one operand (expect VALUE) or "
+         "a sweep point (expect N = VALUE)");
+  }
+
+  void ValidatePointExpects() {
+    std::set<std::uint64_t> seen;
+    for (PointExpect& point : point_expects_) {
+      if (point.domain_size < spec_.domain_lo ||
+          point.domain_size > spec_.domain_hi) {
+        Fail(point.location,
+             "expect at domain size " + std::to_string(point.domain_size) +
+                 " is outside the domain range " +
+                 std::to_string(spec_.domain_lo) + ".." +
+                 std::to_string(spec_.domain_hi));
+      }
+      if (!seen.insert(point.domain_size).second) {
+        Fail(point.location,
+             "duplicate 'expect' for domain size " +
+                 std::to_string(point.domain_size));
+      }
+      if (spec_.expect.has_value() &&
+          point.domain_size == spec_.domain_hi) {
+        Fail(point.location,
+             "'expect " + std::to_string(point.domain_size) +
+                 " = ...' conflicts with the plain 'expect' directive, "
+                 "which already covers the largest domain size");
+      }
+    }
+    std::sort(point_expects_.begin(), point_expects_.end(),
+              [](const PointExpect& a, const PointExpect& b) {
+                return a.domain_size < b.domain_size;
+              });
+    spec_.point_expects.reserve(point_expects_.size());
+    for (PointExpect& point : point_expects_) {
+      spec_.point_expects.emplace_back(point.domain_size,
+                                       std::move(point.value));
+    }
+  }
+
   void ParseDomain(const std::vector<LineToken>& tokens) {
     RequireOperands(tokens, 1, "domain N or domain LO..HI");
     RequireFirst(!saw_domain_, tokens[0], "duplicate 'domain' directive");
@@ -203,6 +261,12 @@ class ModelParser {
     return internal::ParseRational(source_, line_, token);
   }
 
+  struct PointExpect {
+    std::uint64_t domain_size = 0;
+    BigRational value;
+    Location location;  // for range/duplicate diagnostics after parse
+  };
+
   std::string_view text_;
   std::string_view source_;
   std::size_t line_ = 1;
@@ -212,6 +276,7 @@ class ModelParser {
   bool saw_domain_ = false;
   bool saw_method_ = false;
   std::set<logic::RelationId> weighted_;
+  std::vector<PointExpect> point_expects_;
 };
 
 }  // namespace
@@ -252,6 +317,9 @@ std::string PrintModel(const ModelSpec& spec) {
   }
   if (spec.expect.has_value()) {
     out << "expect " << spec.expect->ToString() << "\n";
+  }
+  for (const auto& [domain_size, value] : spec.point_expects) {
+    out << "expect " << domain_size << " = " << value.ToString() << "\n";
   }
   return out.str();
 }

@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "api/engine.h"
 #include "io/diagnostics.h"
@@ -39,6 +41,12 @@ namespace swfomc::io {
 ///   expect VALUE                -- optional; the exact WFOMC value at the
 ///                                  largest domain size. Lets a runner
 ///                                  verify the count (`swfomc run --check`).
+///   expect N = VALUE            -- optional, repeatable; the exact WFOMC
+///                                  value at domain size N. N must lie in
+///                                  the domain range, each N at most once,
+///                                  and a plain `expect` already covers
+///                                  the largest size (so `expect HI = ...`
+///                                  alongside it is a conflict error).
 struct ModelSpec {
   std::string name;
   logic::Vocabulary vocabulary;  // weights applied
@@ -48,6 +56,10 @@ struct ModelSpec {
   std::uint64_t domain_hi = 0;
   api::Method method = api::Method::kAuto;
   std::optional<numeric::BigRational> expect;
+  /// Per-point expectations (`expect N = VALUE`), ascending in N —
+  /// ParseModel sorts them, so the order is canonical whatever the file
+  /// order was.
+  std::vector<std::pair<std::uint64_t, numeric::BigRational>> point_expects;
 
   bool IsSweep() const { return domain_lo != domain_hi; }
 };

@@ -49,6 +49,20 @@ bool PointMatchesExpected(const api::Engine::SweepPoint& point,
   return false;
 }
 
+/// The expectation that applies to the point at domain size `n`, if any:
+/// an `expect N = VALUE` directive wins; the plain `expect` covers the
+/// largest domain size.
+const numeric::BigRational* ExpectForPoint(const ModelRunReport& report,
+                                           std::uint64_t n) {
+  for (const auto& [domain_size, value] : report.point_expects) {
+    if (domain_size == n) return &value;
+  }
+  if (report.expected.has_value() && n == report.domain_hi) {
+    return &*report.expected;
+  }
+  return nullptr;
+}
+
 void AddOutcomeFields(JsonValue* json, api::Outcome outcome,
                       runtime::StopReason stop_reason) {
   json->Add("outcome", JsonValue::MakeString(api::ToString(outcome)));
@@ -106,9 +120,20 @@ ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options,
   report.elapsed_seconds = SecondsSince(start);
 
   report.expected = spec.expect;
-  if (report.expected.has_value()) {
-    report.check_passed =
-        PointMatchesExpected(report.points.back(), *report.expected);
+  report.point_expects = spec.point_expects;
+  // Check every point that has an applicable expectation — a sweep's
+  // intermediate sizes included. (This used to look only at
+  // points.back(), so a mid-sweep mismatch sailed through --check.)
+  for (const api::Engine::SweepPoint& point : report.points) {
+    const numeric::BigRational* expect =
+        ExpectForPoint(report, point.domain_size);
+    if (expect == nullptr) continue;
+    if (!PointMatchesExpected(point, *expect)) {
+      report.check_passed = false;
+      if (!report.first_failed_point.has_value()) {
+        report.first_failed_point = point.domain_size;
+      }
+    }
   }
   return report;
 }
@@ -286,6 +311,13 @@ JsonValue ToJson(const ModelRunReport& report) {
         report.outcome != api::Outcome::kExact) {
       AddOutcomeFields(&entry, point.outcome, point.stop_reason);
     }
+    if (const numeric::BigRational* expect =
+            ExpectForPoint(report, point.domain_size)) {
+      entry.Add("expect", JsonValue::MakeString(expect->ToString()));
+      entry.Add("check", JsonValue::MakeString(
+                             PointMatchesExpected(point, *expect) ? "pass"
+                                                                  : "fail"));
+    }
     points.array.push_back(std::move(entry));
   }
   json.Add("points", std::move(points));
@@ -299,6 +331,8 @@ JsonValue ToJson(const ModelRunReport& report) {
   json.Add("elapsed_seconds", JsonValue::MakeNumber(report.elapsed_seconds));
   if (report.expected.has_value()) {
     json.Add("expect", JsonValue::MakeString(report.expected->ToString()));
+  }
+  if (report.expected.has_value() || !report.point_expects.empty()) {
     json.Add("check",
              JsonValue::MakeString(report.check_passed ? "pass" : "fail"));
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/engine.h"
@@ -65,10 +66,17 @@ struct ModelRunReport {
   /// (sweeps share no single counter, so they report none).
   std::optional<wmc::DpllCounter::Stats> grounded_stats;
   double elapsed_seconds = 0.0;
-  std::optional<numeric::BigRational> expected;  // the `expect` directive
-  /// With `expected` present: exact points must match it, bounds points
-  /// must bracket it (lower <= expect <= upper), aborted points fail.
+  std::optional<numeric::BigRational> expected;  // the plain `expect`
+  /// The `expect N = VALUE` directives, ascending in N.
+  std::vector<std::pair<std::uint64_t, numeric::BigRational>> point_expects;
+  /// Every point with an applicable expectation must pass — a matching
+  /// `expect N = VALUE`, or the plain `expect` at the largest domain
+  /// size. Exact points must equal the expectation, bounds points must
+  /// bracket it (lower <= expect <= upper), aborted points fail. A
+  /// mid-sweep mismatch fails the whole check, not just the last point.
   bool check_passed = true;
+  /// Domain size of the first point that failed its check, when any did.
+  std::optional<std::uint64_t> first_failed_point;
 };
 
 /// Evaluates a parsed model through api::Engine (WFOMC for a point,

@@ -114,6 +114,15 @@ class Circuit {
 
   Stats ComputeStats() const;
 
+  /// Resident bytes of the circuit's flat arenas (nodes, edges, and the
+  /// structural-analysis varset table). Used by byte-bounded circuit
+  /// caches (swfomc serve) the way ComponentCache accounts its entries.
+  std::size_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           edges_.capacity() * sizeof(NodeId) +
+           varsets_.capacity() * sizeof(std::uint64_t);
+  }
+
   /// Structural d-DNNF audit: AND children must be variable-disjoint
   /// (checked with per-node variable sets), OR children must be pairwise
   /// inconsistent — each pair has to fix some variable to opposite

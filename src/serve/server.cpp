@@ -1,0 +1,692 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <utility>
+
+#include "io/diagnostics.h"
+#include "io/model_format.h"
+#include "logic/printer.h"
+#include "runtime/budget.h"
+
+namespace swfomc::serve {
+
+namespace {
+
+using io::JsonValue;
+using numeric::BigRational;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Per-entry bookkeeping beyond CompiledQuery::MemoryBytes: the key
+/// string, the list node, and the index slot (same estimation style as
+/// ComponentCache::kEntryOverheadBytes).
+constexpr std::size_t kCacheEntryOverheadBytes =
+    sizeof(std::string) + sizeof(void*) * 4 + sizeof(std::size_t) * 2;
+
+/// JSON numbers arrive as verbatim decimal strings; budgets and domain
+/// sizes must be plain non-negative integers.
+std::optional<std::uint64_t> Uint64FromJson(const JsonValue& value) {
+  if (value.kind != JsonValue::Kind::kNumber &&
+      value.kind != JsonValue::Kind::kString) {
+    return std::nullopt;
+  }
+  const std::string& text = value.string;
+  if (text.empty()) return std::nullopt;
+  std::uint64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (~std::uint64_t{0} - digit) / 10) return std::nullopt;
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+/// Weights accept JSON numbers ("2") and rational strings ("1/2") —
+/// exact values only, the same grammar as .model weight lines.
+BigRational RationalFromJson(const JsonValue& value) {
+  if (value.kind != JsonValue::Kind::kNumber &&
+      value.kind != JsonValue::Kind::kString) {
+    throw std::invalid_argument(
+        "weight must be a number or a rational string like \"1/2\"");
+  }
+  return BigRational::FromString(value.string);
+}
+
+const JsonValue* FindMember(const JsonValue& object, const std::string& key) {
+  if (object.kind != JsonValue::Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object.object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue MakeError(const JsonValue* id, const std::string& message) {
+  JsonValue json = JsonValue::MakeObject();
+  if (id != nullptr) json.Add("id", *id);
+  json.Add("status", JsonValue::MakeString("error"));
+  json.Add("error", JsonValue::MakeString(message));
+  return json;
+}
+
+/// The per-request resource envelope (request fields override the server
+/// defaults). Arms `budget` and returns true when any limit applies.
+struct RequestBudget {
+  std::optional<std::uint64_t> budget_ms;
+  std::optional<std::uint64_t> max_decisions;
+  std::optional<std::uint64_t> max_memory_bytes;
+
+  bool governed() const {
+    return budget_ms.has_value() || max_decisions.has_value() ||
+           max_memory_bytes.has_value();
+  }
+  bool Arm(runtime::Budget* budget) const {
+    if (!governed()) return false;
+    if (budget_ms.has_value()) budget->SetWallClockMs(*budget_ms);
+    if (max_decisions.has_value()) budget->SetMaxDecisions(*max_decisions);
+    if (max_memory_bytes.has_value()) {
+      budget->SetMaxMemoryBytes(*max_memory_bytes);
+    }
+    return true;
+  }
+};
+
+void AddOutcomeFields(JsonValue* json, api::Outcome outcome,
+                      runtime::StopReason stop_reason) {
+  json->Add("outcome", JsonValue::MakeString(api::ToString(outcome)));
+  if (stop_reason != runtime::StopReason::kNone) {
+    json->Add("stop_reason",
+              JsonValue::MakeString(runtime::ToString(stop_reason)));
+  }
+}
+
+/// One governed direct count (the compile-aborted fallback and the
+/// "direct" mode): a fresh engine and a fresh budget per weight vector,
+/// so every vector gets the full envelope and certified bounds where the
+/// search cannot finish.
+JsonValue DirectResult(const logic::Vocabulary& base_vocabulary,
+                       const logic::Formula& sentence,
+                       std::uint64_t domain_size,
+                       const std::vector<api::RelationWeights>& reweights,
+                       api::Method method, const RequestBudget& envelope,
+                       unsigned num_threads) {
+  logic::Vocabulary vocabulary = base_vocabulary;
+  for (const api::RelationWeights& weights : reweights) {
+    // Parsing validated the names; Find cannot miss here.
+    vocabulary.SetWeights(*vocabulary.Find(weights.relation),
+                          weights.positive, weights.negative);
+  }
+  api::Engine engine(std::move(vocabulary),
+                     api::Engine::Options{num_threads});
+  runtime::Budget budget;
+  if (envelope.governed()) {
+    envelope.Arm(&budget);
+    api::Engine::Options options = engine.options();
+    options.budget = &budget;
+    engine.set_options(options);
+  }
+  api::Engine::Result result = engine.WFOMC(sentence, domain_size, method);
+  JsonValue entry = JsonValue::MakeObject();
+  switch (result.outcome) {
+    case api::Outcome::kExact:
+      entry.Add("wfomc", JsonValue::MakeString(result.value.ToString()));
+      break;
+    case api::Outcome::kBounds:
+      entry.Add("lower",
+                JsonValue::MakeString(result.bounds->lower.ToString()));
+      entry.Add("upper",
+                JsonValue::MakeString(result.bounds->upper.ToString()));
+      break;
+    case api::Outcome::kAborted:
+      break;
+  }
+  if (result.outcome != api::Outcome::kExact) {
+    AddOutcomeFields(&entry, result.outcome, result.stop_reason);
+  }
+  return entry;
+}
+
+/// Blocking-I/O streambuf over a connected socket, enough for the
+/// line-oriented protocol: buffered reads, writes flushed per response.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(in_, in_, in_);
+    setp(out_, out_ + sizeof(out_));
+  }
+
+ protected:
+  int_type underflow() override {
+    ssize_t n = ::read(fd_, in_, sizeof(in_));
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (!Flush()) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override { return Flush() ? 0 : -1; }
+
+ private:
+  bool Flush() {
+    const char* data = pbase();
+    std::size_t pending = static_cast<std::size_t>(pptr() - pbase());
+    while (pending > 0) {
+      ssize_t n = ::write(fd_, data, pending);
+      if (n <= 0) return false;
+      data += n;
+      pending -= static_cast<std::size_t>(n);
+    }
+    setp(out_, out_ + sizeof(out_));
+    return true;
+  }
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  unsigned threads = runtime::ThreadPool::ResolveThreadCount(
+      options_.num_threads == 0 ? 0 : options_.num_threads);
+  options_.num_threads = threads;
+  if (threads > 1) pool_ = std::make_unique<runtime::ThreadPool>(threads);
+}
+
+Server::~Server() = default;
+
+Server::Reply Server::HandleLine(std::string_view line) {
+  Reply reply;
+  if (line.size() > options_.max_request_bytes) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    ++stats_.errors;
+    reply.json = MakeError(nullptr,
+                           "request exceeds " +
+                               std::to_string(options_.max_request_bytes) +
+                               " bytes");
+    return reply;
+  }
+  JsonValue request;
+  try {
+    request = io::ParseJson(line, "<request>");
+  } catch (const io::ParseError& error) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    ++stats_.errors;
+    reply.json = MakeError(nullptr, error.what());
+    return reply;
+  }
+  const JsonValue* cmd = FindMember(request, "cmd");
+  if (cmd != nullptr && cmd->kind == JsonValue::Kind::kString &&
+      (cmd->string == "quit" || cmd->string == "shutdown")) {
+    if (cmd->string == "shutdown") shutdown_requested_ = true;
+    reply.json = JsonValue::MakeObject();
+    if (const JsonValue* id = FindMember(request, "id")) {
+      reply.json.Add("id", *id);
+    }
+    reply.json.Add("status", JsonValue::MakeString("ok"));
+    reply.json.Add("bye", JsonValue::MakeBool(true));
+    reply.quit = true;
+    return reply;
+  }
+  reply.json = HandleRequest(request);
+  return reply;
+}
+
+io::JsonValue Server::HandleRequest(const io::JsonValue& request) {
+  const JsonValue* id = FindMember(request, "id");
+  auto finish = [&](JsonValue json, bool is_error) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+    if (is_error) ++stats_.errors;
+    return json;
+  };
+  if (request.kind != JsonValue::Kind::kObject) {
+    return finish(MakeError(nullptr, "request must be a JSON object"), true);
+  }
+  std::string cmd = "query";
+  if (const JsonValue* member = FindMember(request, "cmd")) {
+    if (member->kind != JsonValue::Kind::kString) {
+      return finish(MakeError(id, "\"cmd\" must be a string"), true);
+    }
+    cmd = member->string;
+  }
+  if (cmd == "stats") return finish(HandleStats(id), false);
+  if (cmd == "quit" || cmd == "shutdown") {
+    JsonValue json = JsonValue::MakeObject();
+    if (id != nullptr) json.Add("id", *id);
+    json.Add("status", JsonValue::MakeString("ok"));
+    json.Add("bye", JsonValue::MakeBool(true));
+    return finish(std::move(json), false);
+  }
+  if (cmd != "query") {
+    return finish(MakeError(id, "unknown command '" + cmd + "'"), true);
+  }
+  JsonValue response = HandleQuery(request);
+  bool is_error = false;
+  if (const JsonValue* status = FindMember(response, "status")) {
+    is_error = status->string == "error";
+  }
+  return finish(std::move(response), is_error);
+}
+
+io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
+  auto start = std::chrono::steady_clock::now();
+  const JsonValue* id = FindMember(request, "id");
+
+  const JsonValue* sentence_member = FindMember(request, "sentence");
+  if (sentence_member == nullptr ||
+      sentence_member->kind != JsonValue::Kind::kString) {
+    return MakeError(id, "missing required string field \"sentence\"");
+  }
+  const JsonValue* domain_member = FindMember(request, "domain");
+  if (domain_member == nullptr) {
+    return MakeError(id, "missing required field \"domain\"");
+  }
+  std::optional<std::uint64_t> domain = Uint64FromJson(*domain_member);
+  if (!domain.has_value()) {
+    return MakeError(id, "\"domain\" must be a non-negative integer");
+  }
+
+  RequestBudget envelope{options_.budget_ms, options_.max_decisions,
+                         options_.max_memory_bytes};
+  struct BudgetField {
+    const char* name;
+    std::optional<std::uint64_t>* slot;
+  };
+  const BudgetField budget_fields[] = {
+      {"budget_ms", &envelope.budget_ms},
+      {"max_decisions", &envelope.max_decisions},
+      {"max_memory_bytes", &envelope.max_memory_bytes},
+  };
+  for (const BudgetField& field : budget_fields) {
+    if (const JsonValue* member = FindMember(request, field.name)) {
+      std::optional<std::uint64_t> value = Uint64FromJson(*member);
+      if (!value.has_value()) {
+        return MakeError(id, std::string("\"") + field.name +
+                                 "\" must be a non-negative integer");
+      }
+      *field.slot = value;
+    }
+  }
+
+  std::string mode = "compile";
+  if (const JsonValue* member = FindMember(request, "mode")) {
+    if (member->kind != JsonValue::Kind::kString ||
+        (member->string != "compile" && member->string != "direct")) {
+      return MakeError(id, "\"mode\" must be \"compile\" or \"direct\"");
+    }
+    mode = member->string;
+  }
+  api::Method method = api::Method::kAuto;
+  if (const JsonValue* member = FindMember(request, "method")) {
+    std::optional<api::Method> parsed;
+    if (member->kind == JsonValue::Kind::kString) {
+      parsed = io::ParseMethodName(member->string);
+    }
+    if (!parsed.has_value()) {
+      return MakeError(id, "unknown method");
+    }
+    if (mode == "compile" && *parsed != api::Method::kAuto) {
+      return MakeError(
+          id, "\"method\" only applies to mode \"direct\" (compilation "
+              "always traces the grounded search)");
+    }
+    method = *parsed;
+  }
+
+  // Parse the sentence into a fresh vocabulary (every relation defaults
+  // to weights (1, 1); the request's weight vectors reweight from there).
+  api::Engine parser{logic::Vocabulary{}};
+  logic::Formula sentence;
+  try {
+    sentence = parser.Parse(sentence_member->string);
+  } catch (const std::exception& error) {
+    return MakeError(id, std::string("bad sentence: ") + error.what());
+  }
+  const logic::Vocabulary& vocabulary = parser.vocabulary();
+  std::string canonical = logic::ToString(sentence, vocabulary);
+
+  // Weight vectors: absent -> one all-default vector; a single object is
+  // a batch of one. Per-vector problems become per-result errors.
+  std::vector<WeightVector> vectors;
+  const JsonValue* weights_member = FindMember(request, "weights");
+  if (weights_member == nullptr) {
+    vectors.emplace_back();
+  } else if (weights_member->kind == JsonValue::Kind::kObject) {
+    vectors.resize(1);
+  } else if (weights_member->kind == JsonValue::Kind::kArray) {
+    vectors.resize(weights_member->array.size());
+  } else {
+    return MakeError(id,
+                     "\"weights\" must be an object or an array of objects");
+  }
+  auto parse_vector = [&](const JsonValue& object, WeightVector* out) {
+    if (object.kind != JsonValue::Kind::kObject) {
+      out->error = "weight vector must be an object";
+      return;
+    }
+    for (const auto& [name, value] : object.object) {
+      if (!vocabulary.Find(name).has_value()) {
+        out->error = "unknown relation '" + name + "'";
+        return;
+      }
+      if (value.kind != JsonValue::Kind::kArray || value.array.size() != 2) {
+        out->error = "weights for '" + name + "' must be [w, wbar]";
+        return;
+      }
+      api::RelationWeights reweight;
+      reweight.relation = name;
+      try {
+        reweight.positive = RationalFromJson(value.array[0]);
+        reweight.negative = RationalFromJson(value.array[1]);
+      } catch (const std::exception& error) {
+        out->error = "bad weight for '" + name + "': " + error.what();
+        return;
+      }
+      out->reweights.push_back(std::move(reweight));
+    }
+  };
+  if (weights_member != nullptr) {
+    if (weights_member->kind == JsonValue::Kind::kObject) {
+      parse_vector(*weights_member, &vectors[0]);
+    } else {
+      for (std::size_t i = 0; i < vectors.size(); ++i) {
+        parse_vector(weights_member->array[i], &vectors[i]);
+      }
+    }
+  }
+  if (vectors.empty()) {
+    return MakeError(id, "\"weights\" must contain at least one vector");
+  }
+
+  JsonValue response = JsonValue::MakeObject();
+  if (id != nullptr) response.Add("id", *id);
+  response.Add("status", JsonValue::MakeString("ok"));
+  response.Add("sentence", JsonValue::MakeString(canonical));
+  response.Add("n", JsonValue::MakeNumber(*domain));
+  response.Add("mode", JsonValue::MakeString(mode));
+
+  std::vector<JsonValue> results(vectors.size());
+  auto direct_all = [&]() {
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      if (!vectors[i].error.empty()) {
+        results[i] = MakeError(nullptr, vectors[i].error);
+        continue;
+      }
+      try {
+        results[i] =
+            DirectResult(vocabulary, sentence, *domain, vectors[i].reweights,
+                         method, envelope, options_.num_threads);
+      } catch (const std::exception& error) {
+        results[i] = MakeError(nullptr, error.what());
+      }
+    }
+  };
+
+  if (mode == "direct") {
+    direct_all();
+  } else {
+    std::string key = canonical;
+    key.push_back('\x1f');
+    key += std::to_string(*domain);
+
+    std::shared_ptr<const api::CompiledQuery> query = CacheLookup(key);
+    bool cached = query != nullptr;
+    if (!cached) {
+      api::Engine compiler{logic::Vocabulary(vocabulary)};
+      runtime::Budget budget;
+      if (envelope.governed()) {
+        envelope.Arm(&budget);
+        api::Engine::Options compiler_options = compiler.options();
+        compiler_options.budget = &budget;
+        compiler.set_options(compiler_options);
+      }
+      auto compile_start = std::chrono::steady_clock::now();
+      api::Engine::CompileResult compiled;
+      try {
+        compiled = compiler.TryCompile(sentence, *domain);
+      } catch (const std::exception& error) {
+        return MakeError(id, std::string("compile failed: ") + error.what());
+      }
+      response.Add("compile_seconds",
+                   JsonValue::MakeNumber(SecondsSince(compile_start)));
+      if (compiled.outcome != api::Outcome::kExact) {
+        // The budget stopped the trace; the partial circuit is unusable.
+        // Answer each vector with a governed direct count instead — the
+        // request degrades to certified bounds, it does not fail.
+        response.Add("compile_outcome",
+                     JsonValue::MakeString(api::ToString(compiled.outcome)));
+        if (compiled.stop_reason != runtime::StopReason::kNone) {
+          response.Add(
+              "stop_reason",
+              JsonValue::MakeString(runtime::ToString(compiled.stop_reason)));
+        }
+        response.Add("cached", JsonValue::MakeBool(false));
+        direct_all();
+        JsonValue results_json = JsonValue::MakeArray();
+        for (JsonValue& entry : results) {
+          results_json.array.push_back(std::move(entry));
+        }
+        response.Add("results", std::move(results_json));
+        response.Add("elapsed_seconds",
+                     JsonValue::MakeNumber(SecondsSince(start)));
+        return response;
+      }
+      query = std::make_shared<const api::CompiledQuery>(
+          std::move(*compiled.compiled));
+      CacheInsert(key, query);
+    }
+    response.Add("cached", JsonValue::MakeBool(cached));
+
+    auto evaluate_one = [&](std::size_t i) {
+      if (!vectors[i].error.empty()) {
+        results[i] = MakeError(nullptr, vectors[i].error);
+        return;
+      }
+      std::unique_ptr<nnf::Circuit::EvalArena> arena = AcquireArena();
+      try {
+        BigRational value = query->Evaluate(vectors[i].reweights, arena.get());
+        JsonValue entry = JsonValue::MakeObject();
+        entry.Add("wfomc", JsonValue::MakeString(value.ToString()));
+        results[i] = std::move(entry);
+      } catch (const std::exception& error) {
+        results[i] = MakeError(nullptr, error.what());
+      }
+      ReleaseArena(std::move(arena));
+    };
+    if (pool_ != nullptr && vectors.size() > 1) {
+      runtime::TaskGroup group(pool_.get());
+      for (std::size_t i = 0; i < vectors.size(); ++i) {
+        group.Submit([&evaluate_one, i] { evaluate_one(i); });
+      }
+      group.Wait();
+    } else {
+      for (std::size_t i = 0; i < vectors.size(); ++i) evaluate_one(i);
+    }
+  }
+
+  JsonValue results_json = JsonValue::MakeArray();
+  for (JsonValue& entry : results) {
+    results_json.array.push_back(std::move(entry));
+  }
+  response.Add("results", std::move(results_json));
+  response.Add("elapsed_seconds", JsonValue::MakeNumber(SecondsSince(start)));
+  return response;
+}
+
+io::JsonValue Server::HandleStats(const io::JsonValue* id) const {
+  ServerStats stats = Stats();
+  JsonValue json = JsonValue::MakeObject();
+  if (id != nullptr) json.Add("id", *id);
+  json.Add("status", JsonValue::MakeString("ok"));
+  json.Add("requests", JsonValue::MakeNumber(stats.requests));
+  json.Add("errors", JsonValue::MakeNumber(stats.errors));
+  json.Add("cache_hits", JsonValue::MakeNumber(stats.cache_hits));
+  json.Add("cache_misses", JsonValue::MakeNumber(stats.cache_misses));
+  json.Add("evictions", JsonValue::MakeNumber(stats.evictions));
+  json.Add("circuits", JsonValue::MakeNumber(
+                           static_cast<std::uint64_t>(stats.circuits)));
+  json.Add("circuit_bytes", JsonValue::MakeNumber(static_cast<std::uint64_t>(
+                                stats.circuit_bytes)));
+  return json;
+}
+
+ServerStats Server::Stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats = stats_;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  stats.circuits = lru_.size();
+  stats.circuit_bytes = cache_bytes_;
+  return stats;
+}
+
+std::shared_ptr<const api::CompiledQuery> Server::CacheLookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.cache_misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.cache_hits;
+  }
+  return it->second->query;
+}
+
+void Server::CacheInsert(const std::string& key,
+                         std::shared_ptr<const api::CompiledQuery> query) {
+  std::size_t bytes =
+      query->MemoryBytes() + key.capacity() + kCacheEntryOverheadBytes;
+  if (options_.max_circuits == 0 || bytes > options_.max_circuit_bytes) {
+    // Serving an oversized circuit is fine; pinning the whole cache to it
+    // is not (ComponentCache applies the same rule to giant entries).
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent request compiled the same key first; keep the fresher
+    // entry and refresh its LRU position.
+    cache_bytes_ -= it->second->bytes;
+    it->second->query = std::move(query);
+    it->second->bytes = bytes;
+    cache_bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(CacheEntry{key, std::move(query), bytes});
+    index_[key] = lru_.begin();
+    cache_bytes_ += bytes;
+  }
+  while (lru_.size() > options_.max_circuits ||
+         (lru_.size() > 1 && cache_bytes_ > options_.max_circuit_bytes)) {
+    CacheEntry& victim = lru_.back();
+    cache_bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.evictions;
+  }
+}
+
+std::unique_ptr<nnf::Circuit::EvalArena> Server::AcquireArena() {
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  if (free_arenas_.empty()) {
+    return std::make_unique<nnf::Circuit::EvalArena>();
+  }
+  std::unique_ptr<nnf::Circuit::EvalArena> arena =
+      std::move(free_arenas_.back());
+  free_arenas_.pop_back();
+  return arena;
+}
+
+void Server::ReleaseArena(std::unique_ptr<nnf::Circuit::EvalArena> arena) {
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  free_arenas_.push_back(std::move(arena));
+}
+
+int Server::ServeStream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    Reply reply = HandleLine(line);
+    out << reply.json.Dump(-1) << "\n" << std::flush;
+    if (reply.quit) break;
+  }
+  return 0;
+}
+
+int Server::ServeTcp(std::uint16_t port,
+                     const std::function<void(std::uint16_t)>& on_listening) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) throw std::runtime_error("serve: cannot create socket");
+  int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local clients only
+  address.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    ::close(listener);
+    throw std::runtime_error("serve: cannot listen on port " +
+                             std::to_string(port));
+  }
+  socklen_t address_size = sizeof(address);
+  ::getsockname(listener, reinterpret_cast<sockaddr*>(&address),
+                &address_size);
+  if (on_listening) on_listening(ntohs(address.sin_port));
+
+  while (!shutdown_requested_) {
+    int connection = ::accept(listener, nullptr, nullptr);
+    if (connection < 0) break;
+    FdStreamBuf buffer(connection);
+    std::istream in(&buffer);
+    std::ostream out(&buffer);
+    ServeStream(in, out);
+    ::close(connection);
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace swfomc::serve

@@ -14,11 +14,33 @@ ComponentCache::ComponentCache(std::size_t max_entries, std::size_t max_bytes)
     : max_entries_(max_entries), max_bytes_(max_bytes) {}
 
 void ComponentCache::EvictOldest() {
-  auto victim = entries_.find(insertion_order_.front());
-  bytes_ -= victim->second.bytes;
-  entries_.erase(victim);
-  insertion_order_.pop_front();
-  ++evictions_;
+  // Skip slots orphaned by in-place replacements: a replaced entry's old
+  // slot stays in the queue with a stale token, and only the slot whose
+  // token still matches the live entry names an actual victim.
+  while (true) {
+    const OrderSlot slot = insertion_order_.front();
+    insertion_order_.pop_front();
+    auto victim = entries_.find(slot.hash);
+    if (victim == entries_.end() || victim->second.token != slot.token) {
+      continue;
+    }
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+    return;
+  }
+}
+
+void ComponentCache::CompactOrderQueue() {
+  if (insertion_order_.size() <= 2 * entries_.size() + 16) return;
+  std::deque<OrderSlot> live;
+  for (const OrderSlot& slot : insertion_order_) {
+    auto it = entries_.find(slot.hash);
+    if (it != entries_.end() && it->second.token == slot.token) {
+      live.push_back(slot);
+    }
+  }
+  insertion_order_ = std::move(live);
 }
 
 void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
@@ -34,10 +56,16 @@ void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
     // Hash collision with a different key (Lookup missed), or a second
     // worker racing us to the same key: keep the fresh entry. Same-key
     // replacement stores the identical value — counts are determined by
-    // their keys — so this is benign either way.
+    // their keys — so this is benign either way. The refresh re-enqueues
+    // the entry at the back of the eviction order: it is the newest entry
+    // now, and the overflow loop below must victimize the *oldest* ones,
+    // never the entry this very call just paid to store.
     bytes_ -= it->second.bytes;
-    it->second = Entry{std::move(key), std::move(value), entry_bytes};
+    std::uint64_t token = ++next_token_;
+    it->second = Entry{std::move(key), std::move(value), entry_bytes, token};
     bytes_ += entry_bytes;
+    insertion_order_.push_back(OrderSlot{hash, token});
+    CompactOrderQueue();
     while (bytes_ > max_bytes_) EvictOldest();
     return;
   }
@@ -45,8 +73,10 @@ void ComponentCache::Insert(ComponentKey key, std::uint64_t hash,
          (!entries_.empty() && bytes_ + entry_bytes > max_bytes_)) {
     EvictOldest();
   }
-  insertion_order_.push_back(hash);
-  entries_.emplace(hash, Entry{std::move(key), std::move(value), entry_bytes});
+  std::uint64_t token = ++next_token_;
+  insertion_order_.push_back(OrderSlot{hash, token});
+  entries_.emplace(hash,
+                   Entry{std::move(key), std::move(value), entry_bytes, token});
   bytes_ += entry_bytes;
 }
 

@@ -49,7 +49,10 @@ std::uint64_t HashComponentKey(const ComponentKey& key);
 /// by the 64-bit hash, the packed key is stored alongside the value to
 /// resolve collisions exactly, and both the entry count and the resident
 /// bytes are bounded — inserting past either bound evicts the oldest
-/// entries (FIFO). Unsynchronized; this is one shard of a
+/// entries (FIFO over *insertion or refresh* time: an entry replaced in
+/// place counts as fresh and moves to the back of the eviction queue, so
+/// a just-refreshed entry can never be evicted by its own insertion's
+/// overflow handling). Unsynchronized; this is one shard of a
 /// ShardedComponentCache (or the whole cache in the single-threaded
 /// counter).
 ///
@@ -68,10 +71,10 @@ class ComponentCache {
   static constexpr std::size_t kUnboundedBytes = ~std::size_t{0};
   /// Estimated fixed cost of one entry beyond its variable-size buffers:
   /// the unordered_map node (hash key, Entry struct, bucket link) plus
-  /// the insertion-order deque slot.
+  /// the insertion-order slot (hash + refresh token).
   static constexpr std::size_t kEntryOverheadBytes =
-      sizeof(std::uint64_t) * 2 + sizeof(void*) * 2 + sizeof(ComponentKey) +
-      sizeof(numeric::BigRational) + sizeof(std::size_t);
+      sizeof(std::uint64_t) * 3 + sizeof(void*) * 2 + sizeof(ComponentKey) +
+      sizeof(numeric::BigRational) + sizeof(std::size_t) * 2;
 
   explicit ComponentCache(std::size_t max_entries,
                           std::size_t max_bytes = kUnboundedBytes);
@@ -120,15 +123,27 @@ class ComponentCache {
     ComponentKey key;
     numeric::BigRational value;
     std::size_t bytes;  // EntryBytes at insertion, so removal balances
+    /// Matches exactly one insertion_order_ slot; a replacement bumps the
+    /// token and enqueues a fresh slot, orphaning the old one.
+    std::uint64_t token;
+  };
+
+  struct OrderSlot {
+    std::uint64_t hash;
+    std::uint64_t token;
   };
 
   void EvictOldest();
+  /// Drops orphaned order slots once they outnumber the live ones, so the
+  /// queue stays linear in the entry count even under replacement storms.
+  void CompactOrderQueue();
 
   std::size_t max_entries_;
   std::size_t max_bytes_;
   std::size_t bytes_ = 0;
+  std::uint64_t next_token_ = 0;
   std::unordered_map<std::uint64_t, Entry> entries_;
-  std::deque<std::uint64_t> insertion_order_;
+  std::deque<OrderSlot> insertion_order_;
   std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t collisions_ = 0;

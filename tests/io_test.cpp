@@ -117,6 +117,37 @@ TEST(Json, DumpRoundTrips) {
   }
 }
 
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  // Regression: MakeNumber(double) used to pass inf/nan straight through
+  // "%.17g", emitting bare `inf`/`nan` tokens — invalid JSON that would
+  // poison any consumer of the reports (the serve protocol included).
+  for (double value : {std::numeric_limits<double>::infinity(),
+                       -std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::quiet_NaN()}) {
+    JsonValue json = JsonValue::MakeNumber(value);
+    EXPECT_EQ(json.kind, JsonValue::Kind::kNull);
+    EXPECT_EQ(json.Dump(-1), "null");
+  }
+  // Finite values still render as numbers, and every rendering must be
+  // re-parseable — the fixpoint the serve protocol relies on.
+  JsonValue finite = JsonValue::MakeNumber(0.125);
+  EXPECT_EQ(finite.kind, JsonValue::Kind::kNumber);
+  EXPECT_EQ(ParseJson(finite.Dump(-1)).string, "0.125");
+  EXPECT_EQ(JsonValue::MakeNumber(std::numeric_limits<double>::max()).kind,
+            JsonValue::Kind::kNumber);
+}
+
+TEST(Json, ParserRejectsNonFiniteNumberTokens) {
+  // The symmetric half: documents carrying the tokens the old writer
+  // emitted must be rejected, not silently absorbed.
+  auto parse = [](const std::string& t) { return ParseJson(t, "doc.json"); };
+  for (const char* text :
+       {"{\"v\": inf}", "{\"v\": -inf}", "{\"v\": nan}", "{\"v\": Infinity}",
+        "{\"v\": NaN}", "inf", "nan"}) {
+    EXPECT_THROW(parse(text), ParseError) << text;
+  }
+}
+
 TEST(Json, ErrorsCarryLineAndColumn) {
   auto parse = [](const std::string& t) { return ParseJson(t, "doc.json"); };
   ExpectParseErrorAt(parse, "{\n  \"a\": 1,\n  \"a\": 2\n}", 3, 6,
@@ -489,6 +520,71 @@ TEST(Runner, SweepAndExpectMismatch) {
   EXPECT_EQ(json.At("check").string, "fail");
   EXPECT_EQ(json.At("domain").At("lo").string, "1");
   EXPECT_EQ(json.At("domain").At("hi").string, "3");
+}
+
+TEST(ModelFormat, ParsesAndPrintsPointExpects) {
+  ModelSpec spec = ParseModel(
+      "sentence forall x exists y S(x,y)\ndomain 1..3\n"
+      "expect 2 = 9\nexpect 1 = 1\nexpect 343\n");
+  ASSERT_EQ(spec.point_expects.size(), 2u);
+  // Sorted ascending whatever the file order was.
+  EXPECT_EQ(spec.point_expects[0].first, 1u);
+  EXPECT_EQ(spec.point_expects[0].second, BigRational(1));
+  EXPECT_EQ(spec.point_expects[1].first, 2u);
+  EXPECT_EQ(spec.point_expects[1].second, BigRational(9));
+  ASSERT_TRUE(spec.expect.has_value());
+  EXPECT_EQ(*spec.expect, BigRational(343));
+  std::string canonical = PrintModel(spec);
+  EXPECT_NE(canonical.find("expect 1 = 1"), std::string::npos);
+  EXPECT_EQ(PrintModel(ParseModel(canonical)), canonical);
+}
+
+TEST(ModelFormat, PointExpectErrorPaths) {
+  const std::string header = "sentence exists x U(x)\ndomain 1..3\n";
+  ExpectModelErrorAt(header + "expect 5 = 1\n", 3, 8,
+                     "outside the domain range");
+  ExpectModelErrorAt(header + "expect 2 = 1\nexpect 2 = 1\n", 4, 8,
+                     "duplicate 'expect' for domain size 2");
+  ExpectModelErrorAt(header + "expect 7\nexpect 3 = 7\n", 4, 8,
+                     "conflicts with the plain 'expect'");
+  ExpectModelErrorAt(header + "expect 1 2 3\n", 3, 1,
+                     "takes either one operand");
+}
+
+TEST(Runner, MidSweepExpectMismatchFailsCheck) {
+  // Regression: --check used to validate only points.back(), so a sweep
+  // whose final point matched sailed through even when an intermediate
+  // point disagreed with its `expect N = VALUE`.
+  ModelSpec spec = ParseModel(
+      "sentence forall x exists y S(x,y)\ndomain 1..3\n"
+      "expect 2 = 999\nexpect 343\n");
+  ModelRunReport report = io::RunModel(spec);
+  ASSERT_EQ(report.points.size(), 3u);
+  EXPECT_EQ(report.points[1].value, BigRational(9));    // not 999
+  EXPECT_EQ(report.points[2].value, BigRational(343));  // final point fine
+  EXPECT_FALSE(report.check_passed);
+  ASSERT_TRUE(report.first_failed_point.has_value());
+  EXPECT_EQ(*report.first_failed_point, 2u);
+  JsonValue json = io::ToJson(report);
+  EXPECT_EQ(json.At("check").string, "fail");
+  EXPECT_EQ(json.At("points").array.at(1).At("check").string, "fail");
+  EXPECT_EQ(json.At("points").array.at(1).At("expect").string, "999");
+  // The matching final point still reports its own pass.
+  EXPECT_EQ(json.At("points").array.at(2).At("check").string, "pass");
+}
+
+TEST(Runner, PointExpectsThatAllMatchPassTheCheck) {
+  ModelSpec spec = ParseModel(
+      "sentence forall x exists y S(x,y)\ndomain 1..3\n"
+      "expect 1 = 1\nexpect 2 = 9\nexpect 343\n");
+  ModelRunReport report = io::RunModel(spec);
+  EXPECT_TRUE(report.check_passed);
+  EXPECT_FALSE(report.first_failed_point.has_value());
+  JsonValue json = io::ToJson(report);
+  EXPECT_EQ(json.At("check").string, "pass");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(json.At("points").array.at(i).At("check").string, "pass");
+  }
 }
 
 TEST(Runner, MethodOverrideBeatsTheFile) {

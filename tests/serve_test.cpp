@@ -1,0 +1,350 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/json.h"
+
+namespace swfomc {
+namespace {
+
+using io::JsonValue;
+using io::ParseJson;
+using serve::Server;
+using serve::ServerOptions;
+using serve::ServerStats;
+
+JsonValue Query(Server* server, const std::string& line) {
+  Server::Reply reply = server->HandleLine(line);
+  EXPECT_FALSE(reply.quit) << line;
+  return std::move(reply.json);
+}
+
+TEST(Serve, AnswersAQueryExactly) {
+  Server server;
+  JsonValue response = Query(
+      &server,
+      R"js({"id": 7, "sentence": "forall x forall y S(x,y)", "domain": 3,
+            "weights": [{"S": ["2", "1"]}]})js");
+  EXPECT_EQ(response.At("status").string, "ok");
+  EXPECT_EQ(response.At("id").string, "7");
+  EXPECT_EQ(response.At("n").string, "3");
+  ASSERT_EQ(response.At("results").array.size(), 1u);
+  EXPECT_EQ(response.At("results").array[0].At("wfomc").string, "512");
+  EXPECT_EQ(response.At("cached").boolean, false);
+}
+
+TEST(Serve, BatchesWeightVectorsOverOneCompilation) {
+  Server server;
+  JsonValue response = Query(
+      &server,
+      R"js({"sentence": "exists x exists y (R(x,y) & U(y))", "domain": 3,
+            "weights": [{}, {"R": ["1/2", "1"], "U": ["2", "3"]}]})js");
+  EXPECT_EQ(response.At("status").string, "ok");
+  ASSERT_EQ(response.At("results").array.size(), 2u);
+  // Default weights (1,1): FOMC of the sentence at n=3, i.e. 2^12 minus
+  // the 729 models in which no column y has U(y) with an incoming R edge.
+  EXPECT_EQ(response.At("results").array[0].At("wfomc").string, "3367");
+  // The same batch under a rational reweighting, computed by hand:
+  // (3/2)^9 * 5^3 minus the complement (97/8)^3, all over a common 512.
+  EXPECT_EQ(response.At("results").array[1].At("wfomc").string,
+            "773851/256");
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.circuits, 1u);
+}
+
+TEST(Serve, SecondQueryIsServedFromTheCircuitCache) {
+  Server server;
+  const std::string line =
+      R"js({"sentence": "forall x forall y S(x,y)", "domain": 3})js";
+  JsonValue cold = Query(&server, line);
+  JsonValue warm = Query(&server, line);
+  EXPECT_EQ(cold.At("cached").boolean, false);
+  EXPECT_TRUE(cold.Has("compile_seconds"));
+  EXPECT_EQ(warm.At("cached").boolean, true);
+  EXPECT_FALSE(warm.Has("compile_seconds"));
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(Serve, LruEvictsTheLeastRecentlyUsedCircuit) {
+  ServerOptions options;
+  options.max_circuits = 2;
+  Server server(options);
+  const std::string a = R"js({"sentence": "forall x U(x)", "domain": 2})js";
+  const std::string b = R"js({"sentence": "forall x U(x)", "domain": 3})js";
+  const std::string c = R"js({"sentence": "forall x U(x)", "domain": 4})js";
+  Query(&server, a);
+  Query(&server, b);
+  Query(&server, a);  // refresh a: b is now the LRU victim
+  Query(&server, c);  // evicts b
+  EXPECT_EQ(server.Stats().evictions, 1u);
+  EXPECT_EQ(Query(&server, a).At("cached").boolean, true);
+  EXPECT_EQ(Query(&server, b).At("cached").boolean, false);  // recompiled
+}
+
+TEST(Serve, OversizedCircuitIsServedButNotCached) {
+  ServerOptions options;
+  options.max_circuit_bytes = 1;  // nothing fits
+  Server server(options);
+  const std::string line =
+      R"js({"sentence": "forall x U(x)", "domain": 2})js";
+  EXPECT_EQ(Query(&server, line).At("status").string, "ok");
+  EXPECT_EQ(Query(&server, line).At("cached").boolean, false);
+  EXPECT_EQ(server.Stats().circuits, 0u);
+}
+
+TEST(Serve, MalformedLineYieldsErrorAndTheServerKeepsServing) {
+  Server server;
+  JsonValue error = Query(&server, "this is not json");
+  EXPECT_EQ(error.At("status").string, "error");
+  JsonValue recovered = Query(
+      &server, R"js({"sentence": "forall x U(x)", "domain": 1})js");
+  EXPECT_EQ(recovered.At("status").string, "ok");
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.requests, 2u);
+}
+
+TEST(Serve, RequestShapedProblemsAreErrorsNotCrashes) {
+  Server server;
+  EXPECT_EQ(Query(&server, R"js([1, 2, 3])js").At("status").string, "error");
+  EXPECT_EQ(Query(&server, R"js({"domain": 3})js").At("status").string,
+            "error");
+  EXPECT_EQ(Query(&server, R"js({"sentence": "forall x U(x)"})js")
+                .At("status").string,
+            "error");
+  EXPECT_EQ(Query(&server,
+                  R"js({"sentence": "forall x U(x)", "domain": -3})js")
+                .At("status").string,
+            "error");
+  EXPECT_EQ(Query(&server,
+                  R"js({"sentence": "forall x U(", "domain": 3})js")
+                .At("status").string,
+            "error");
+  EXPECT_EQ(Query(&server, R"js({"cmd": "frobnicate"})js").At("status").string,
+            "error");
+  EXPECT_EQ(Query(&server,
+                  R"js({"cmd": "query", "sentence": "forall x U(x)",
+                        "domain": 3, "mode": "warp"})js")
+                .At("status").string,
+            "error");
+  // After all of that, the daemon still answers.
+  EXPECT_EQ(Query(&server, R"js({"sentence": "forall x U(x)", "domain": 1})js")
+                .At("status").string,
+            "ok");
+}
+
+TEST(Serve, PerVectorProblemsDoNotFailTheRequest) {
+  Server server;
+  JsonValue response = Query(
+      &server,
+      R"js({"sentence": "forall x U(x)", "domain": 2,
+            "weights": [{"Q": ["1", "1"]}, {"U": ["oops", "1"]},
+                        {"U": ["1/2", "3"]}]})js");
+  EXPECT_EQ(response.At("status").string, "ok");
+  ASSERT_EQ(response.At("results").array.size(), 3u);
+  EXPECT_NE(response.At("results").array[0].At("error").string.find(
+                "unknown relation 'Q'"),
+            std::string::npos);
+  EXPECT_TRUE(response.At("results").array[1].Has("error"));
+  EXPECT_EQ(response.At("results").array[2].At("wfomc").string, "1/4");
+}
+
+TEST(Serve, OversizedRequestLineIsRejectedPerRequest) {
+  ServerOptions options;
+  options.max_request_bytes = 64;
+  Server server(options);
+  std::string huge =
+      R"js({"sentence": ")js" + std::string(200, 'x') + R"js("})js";
+  JsonValue error = Query(&server, huge);
+  EXPECT_EQ(error.At("status").string, "error");
+  EXPECT_NE(error.At("error").string.find("exceeds"), std::string::npos);
+  EXPECT_EQ(Query(&server, R"js({"cmd": "stats"})js").At("status").string,
+            "ok");
+}
+
+TEST(Serve, BudgetExhaustedCompileFallsBackToCertifiedBounds) {
+  Server server;
+  JsonValue response = Query(
+      &server,
+      R"js({"sentence":
+            "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))",
+            "domain": 7, "max_decisions": 0})js");
+  EXPECT_EQ(response.At("status").string, "ok");
+  EXPECT_EQ(response.At("compile_outcome").string, "aborted");
+  ASSERT_EQ(response.At("results").array.size(), 1u);
+  const JsonValue& result = response.At("results").array[0];
+  EXPECT_EQ(result.At("outcome").string, "bounds");
+  EXPECT_TRUE(result.Has("lower"));
+  EXPECT_TRUE(result.Has("upper"));
+  // The partial circuit must not have been cached.
+  EXPECT_EQ(server.Stats().circuits, 0u);
+}
+
+TEST(Serve, RequestBudgetOverridesTheServerDefault) {
+  ServerOptions options;
+  options.max_decisions = 0;  // default envelope: nothing completes
+  Server server(options);
+  const std::string triangle =
+      R"js("exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))")js";
+  JsonValue bounded = Query(
+      &server,
+      R"js({"sentence": )js" + triangle + R"js(, "domain": 5})js");
+  EXPECT_EQ(bounded.At("compile_outcome").string, "aborted");
+  JsonValue exact = Query(
+      &server,
+      R"js({"sentence": )js" + triangle +
+          R"js(, "domain": 5, "max_decisions": 100000000})js");
+  EXPECT_EQ(exact.At("status").string, "ok");
+  EXPECT_FALSE(exact.Has("compile_outcome"));
+  ASSERT_TRUE(exact.At("results").array[0].Has("wfomc"));
+  // Cross-check the compiled exact count against an independent direct
+  // (uncompiled) count of the same query.
+  JsonValue direct = Query(
+      &server,
+      R"js({"sentence": )js" + triangle +
+          R"js(, "domain": 5, "mode": "direct",
+               "max_decisions": 100000000})js");
+  EXPECT_EQ(direct.At("results").array[0].At("wfomc").string,
+            exact.At("results").array[0].At("wfomc").string);
+}
+
+TEST(Serve, DirectModeMatchesCompileMode) {
+  Server server;
+  JsonValue compiled = Query(
+      &server,
+      R"js({"sentence": "forall x exists y S(x,y)", "domain": 3})js");
+  JsonValue direct = Query(
+      &server,
+      R"js({"sentence": "forall x exists y S(x,y)", "domain": 3,
+            "mode": "direct", "method": "lifted-fo2"})js");
+  EXPECT_EQ(compiled.At("results").array[0].At("wfomc").string, "343");
+  EXPECT_EQ(direct.At("results").array[0].At("wfomc").string, "343");
+  EXPECT_FALSE(direct.Has("cached"));  // direct mode bypasses the cache
+}
+
+TEST(Serve, QuitStopsTheStreamAfterDrainingResponses) {
+  Server server;
+  std::istringstream in(
+      "{\"sentence\": \"forall x U(x)\", \"domain\": 1}\n"
+      "\n"
+      "{\"cmd\": \"stats\"}\n"
+      "{\"cmd\": \"quit\"}\n"
+      "{\"sentence\": \"forall x U(x)\", \"domain\": 2}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.ServeStream(in, out), 0);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  for (std::string line; std::getline(reader, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);  // quit drained; the trailing query unread
+  EXPECT_EQ(ParseJson(lines[0]).At("status").string, "ok");
+  EXPECT_EQ(ParseJson(lines[1]).At("status").string, "ok");
+  EXPECT_EQ(ParseJson(lines[2]).At("bye").boolean, true);
+}
+
+TEST(Serve, EofIsACleanExit) {
+  Server server;
+  std::istringstream in("{\"sentence\": \"forall x U(x)\", \"domain\": 1}\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.ServeStream(in, out), 0);
+}
+
+TEST(Serve, TcpRoundTripAndShutdown) {
+  Server server;
+  std::promise<std::uint16_t> port_promise;
+  std::future<std::uint16_t> port_future = port_promise.get_future();
+  std::thread daemon([&] {
+    server.ServeTcp(0, [&](std::uint16_t port) {
+      port_promise.set_value(port);
+    });
+  });
+  std::uint16_t port = port_future.get();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                      sizeof(address)),
+            0);
+  const std::string request =
+      "{\"sentence\": \"forall x forall y S(x,y)\", \"domain\": 3,"
+      " \"weights\": [{\"S\": [\"2\", \"1\"]}]}\n"
+      "{\"cmd\": \"shutdown\"}\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string received;
+  char buffer[4096];
+  for (ssize_t n = 0; (n = ::read(fd, buffer, sizeof(buffer))) > 0;) {
+    received.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  daemon.join();
+
+  std::vector<std::string> lines;
+  std::istringstream reader(received);
+  for (std::string line; std::getline(reader, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(ParseJson(lines[0]).At("results").array[0].At("wfomc").string,
+            "512");
+  EXPECT_EQ(ParseJson(lines[1]).At("bye").boolean, true);
+}
+
+// TSan target: four client threads hammering one server — the same hot
+// circuit plus enough distinct keys to keep the tiny LRU evicting — must
+// produce correct counts with no data race between the cache, the arena
+// pool, and the stats counters.
+TEST(Serve, ConcurrentClientsShareCircuitsSafely) {
+  ServerOptions options;
+  options.max_circuits = 2;
+  Server server(options);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 25;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &failures, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        // All threads share domain 3 (the hot circuit); the rotating
+        // domain 1/2 queries force evictions underneath it.
+        std::string hot =
+            R"js({"sentence": "forall x forall y S(x,y)", "domain": 3,
+                  "weights": [{"S": ["2", "1"]}, {"S": ["3", "1"]}]})js";
+        std::string churn =
+            R"js({"sentence": "forall x U(x)", "domain": )js" +
+            std::to_string(1 + (t + i) % 2) + "}";
+        JsonValue a = server.HandleLine(hot).json;
+        JsonValue b = server.HandleLine(churn).json;
+        if (a.At("status").string != "ok" ||
+            a.At("results").array[0].At("wfomc").string != "512" ||
+            a.At("results").array[1].At("wfomc").string != "19683" ||
+            b.At("status").string != "ok") {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(2 * kThreads * kIterations));
+}
+
+}  // namespace
+}  // namespace swfomc

@@ -334,6 +334,68 @@ TEST(ComponentCacheTest, CounterInvariantsAndAccounting) {
   EXPECT_LE(cache.size(), cache.insertions() - cache.evictions());
 }
 
+TEST(ComponentCacheTest, RefreshedEntryMovesToTheBackOfTheEvictionOrder) {
+  // Regression: an in-place replacement used to keep its original FIFO
+  // slot, so a just-refreshed entry at the queue front was the next
+  // victim. A refresh must count as the newest entry.
+  ComponentCache cache(/*max_entries=*/2);
+  ComponentKey a{1, kComponentKeySeparator};
+  ComponentKey b{2, kComponentKeySeparator};
+  ComponentKey c{3, kComponentKeySeparator};
+  std::uint64_t hash_a = HashComponentKey(a);
+  std::uint64_t hash_b = HashComponentKey(b);
+  std::uint64_t hash_c = HashComponentKey(c);
+  cache.Insert(a, hash_a, BigRational(1));
+  cache.Insert(b, hash_b, BigRational(2));
+  // Refresh a: eviction order is now b (oldest), a (newest).
+  cache.Insert(a, hash_a, BigRational(1));
+  cache.Insert(c, hash_c, BigRational(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(b, hash_b), nullptr);  // the actual oldest
+  ASSERT_NE(cache.Lookup(a, hash_a), nullptr);  // the refreshed survivor
+  ASSERT_NE(cache.Lookup(c, hash_c), nullptr);
+}
+
+TEST(ComponentCacheTest, ByteOverflowAfterRefreshEvictsOthersNotItself) {
+  // Regression for the byte-bound shape of the same bug: a replacement
+  // that grows the entry past the byte bound used to run the overflow
+  // loop with the refreshed entry still parked at the FIFO front — the
+  // cache would evict the entry it had just paid to store and keep the
+  // stale neighbors.
+  ComponentKey a{1, kComponentKeySeparator};
+  ComponentKey b{2, kComponentKeySeparator};
+  BigRational small(1);
+  // A value with real limb buffers, so the refresh genuinely grows.
+  // FromString leaves growth slack in the limb buffer; HeapBytes() counts
+  // capacity, so copy once to shrink to exact size — then the by-value
+  // copy Insert stores accounts the same bytes this test computes below.
+  const BigRational parsed = BigRational::FromString(std::string(120, '7'));
+  BigRational big = parsed;
+  ASSERT_GT(big.HeapBytes(), 0u);
+  std::size_t bytes_a_small = ComponentCache::EntryBytes(a, small);
+  std::size_t bytes_a_big = ComponentCache::EntryBytes(a, big);
+  std::size_t bytes_b = ComponentCache::EntryBytes(b, small);
+  ASSERT_GT(bytes_a_big, bytes_a_small);
+  // Fits {a-small, b}, fits {a-big} alone, but not {a-big, b}.
+  std::size_t max_bytes = bytes_a_big + bytes_b - 1;
+  ASSERT_GE(max_bytes, bytes_a_small + bytes_b);
+  ComponentCache cache(/*max_entries=*/16, max_bytes);
+  std::uint64_t hash_a = HashComponentKey(a);
+  std::uint64_t hash_b = HashComponentKey(b);
+  cache.Insert(a, hash_a, small);
+  cache.Insert(b, hash_b, small);
+  EXPECT_EQ(cache.size(), 2u);
+  // The refresh overflows the byte bound; the overflow loop must evict
+  // b (the oldest), never the entry this insertion just refreshed.
+  cache.Insert(a, hash_a, big);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(b, hash_b), nullptr);
+  ASSERT_NE(cache.Lookup(a, hash_a), nullptr);
+  EXPECT_EQ(*cache.Lookup(a, hash_a), big);
+  EXPECT_LE(cache.bytes(), max_bytes);
+}
+
 TEST(ShardedComponentCacheTest, ShardsRouteByHashAndAggregateCounters) {
   ShardedComponentCache cache(/*max_entries=*/64, /*shard_count=*/4,
                               /*synchronized=*/true);

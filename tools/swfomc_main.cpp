@@ -9,6 +9,7 @@
 //   swfomc compile [options] FILE.model...   compile to d-DNNF circuits
 //   swfomc eval [options] FILE.nnf...        evaluate compiled circuits
 //   swfomc print FILE.{model,cnf,nnf}...     reprint in canonical form
+//   swfomc serve [options]                   long-lived JSONL inference daemon
 //
 // Options:
 //   --threads N    worker threads (1 = sequential, 0 = hardware), default 1
@@ -42,6 +43,7 @@
 #include "io/nnf_format.h"
 #include "io/runner.h"
 #include "runtime/budget.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -71,6 +73,10 @@ commands:
            circuits (.nnf); report circuit statistics and the count
   eval     evaluate .nnf circuits under their embedded weights
   print    parse .model/.cnf/.nnf files and reprint them canonically
+  serve    long-lived inference daemon: newline-delimited JSON requests
+           on stdin (or a TCP port with --listen), one response line
+           each; compiled circuits are kept in a bounded LRU so repeat
+           queries skip compilation (see the README's Serving section)
 
 options:
   --threads N    worker threads (1 = sequential, 0 = one per hardware
@@ -92,6 +98,16 @@ options:
                      k/m/g binary suffixes (run/cnf/compile)
   --on-budget M      what an exhausted budget means: bounds (default —
                      report lower/upper and exit 0) or error (exit 3)
+  --listen PORT           serve only: accept TCP connections on 127.0.0.1
+                          instead of stdin/stdout (0 = ephemeral port,
+                          reported on stderr)
+  --max-circuits N        serve only: circuit-LRU entry bound (default 64)
+  --max-circuit-bytes N   serve only: circuit-LRU byte bound, k/m/g
+                          suffixes (default 256m)
+  --max-request-bytes N   serve only: longest accepted request line
+                          (default 1m)
+  (serve treats --budget-ms/--max-decisions/--max-memory as per-request
+  defaults that requests may override)
   --help         this text
 
 exit codes: 0 ok, 1 a check failed, 2 unreadable or malformed input,
@@ -117,6 +133,16 @@ struct CliOptions {
   std::string out_file;
   std::string out_dir;
   std::vector<std::string> files;
+  /// serve-only knobs.
+  std::optional<std::uint16_t> listen_port;
+  std::optional<std::uint64_t> max_circuits;
+  std::optional<std::uint64_t> max_circuit_bytes;
+  std::optional<std::uint64_t> max_request_bytes;
+
+  bool serve_flags_used() const {
+    return listen_port.has_value() || max_circuits.has_value() ||
+           max_circuit_bytes.has_value() || max_request_bytes.has_value();
+  }
 
   OnBudget budget_policy() const {
     return on_budget.value_or(OnBudget::kBounds);
@@ -167,10 +193,11 @@ std::uint64_t ParseUint64Flag(const std::string& flag,
   return value;
 }
 
-// --max-memory: a byte count with an optional k/m/g binary suffix
-// (case-insensitive), e.g. `--max-memory 64m`.
-std::uint64_t ParseMemorySize(const std::string& text) {
-  if (text.empty()) throw UsageError("--max-memory needs a value");
+// A byte count with an optional k/m/g binary suffix (case-insensitive),
+// e.g. `--max-memory 64m` or `--max-circuit-bytes 1g`.
+std::uint64_t ParseMemorySize(const std::string& flag,
+                              const std::string& text) {
+  if (text.empty()) throw UsageError(flag + " needs a value");
   std::uint64_t multiplier = 1;
   std::string digits = text;
   switch (digits.back()) {
@@ -180,11 +207,20 @@ std::uint64_t ParseMemorySize(const std::string& text) {
     default: break;
   }
   if (multiplier != 1) digits.pop_back();
-  std::uint64_t value = ParseUint64Flag("--max-memory", digits);
+  std::uint64_t value = ParseUint64Flag(flag, digits);
   if (value > ~std::uint64_t{0} / multiplier) {
-    throw UsageError("--max-memory value '" + text + "' is out of range");
+    throw UsageError(flag + " value '" + text + "' is out of range");
   }
   return value * multiplier;
+}
+
+std::uint16_t ParsePort(const std::string& text) {
+  std::uint64_t port = ParseUint64Flag("--listen", text);
+  if (port > 65535) {
+    throw UsageError("--listen port '" + text + "' is out of range (0 = "
+                     "ephemeral, else 1..65535)");
+  }
+  return static_cast<std::uint16_t>(port);
 }
 
 std::optional<CliOptions> ParseArgs(int argc, char** argv) {
@@ -229,9 +265,35 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
           ParseUint64Flag("--max-decisions", arg.substr(16));
     } else if (arg == "--max-memory") {
       if (++i >= argc) throw UsageError("--max-memory needs a value");
-      options.run.max_memory_bytes = ParseMemorySize(argv[i]);
+      options.run.max_memory_bytes = ParseMemorySize("--max-memory", argv[i]);
     } else if (arg.rfind("--max-memory=", 0) == 0) {
-      options.run.max_memory_bytes = ParseMemorySize(arg.substr(13));
+      options.run.max_memory_bytes =
+          ParseMemorySize("--max-memory", arg.substr(13));
+    } else if (arg == "--listen") {
+      if (++i >= argc) throw UsageError("--listen needs a value");
+      options.listen_port = ParsePort(argv[i]);
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      options.listen_port = ParsePort(arg.substr(9));
+    } else if (arg == "--max-circuits") {
+      if (++i >= argc) throw UsageError("--max-circuits needs a value");
+      options.max_circuits = ParseUint64Flag("--max-circuits", argv[i]);
+    } else if (arg.rfind("--max-circuits=", 0) == 0) {
+      options.max_circuits =
+          ParseUint64Flag("--max-circuits", arg.substr(15));
+    } else if (arg == "--max-circuit-bytes") {
+      if (++i >= argc) throw UsageError("--max-circuit-bytes needs a value");
+      options.max_circuit_bytes =
+          ParseMemorySize("--max-circuit-bytes", argv[i]);
+    } else if (arg.rfind("--max-circuit-bytes=", 0) == 0) {
+      options.max_circuit_bytes =
+          ParseMemorySize("--max-circuit-bytes", arg.substr(20));
+    } else if (arg == "--max-request-bytes") {
+      if (++i >= argc) throw UsageError("--max-request-bytes needs a value");
+      options.max_request_bytes =
+          ParseMemorySize("--max-request-bytes", argv[i]);
+    } else if (arg.rfind("--max-request-bytes=", 0) == 0) {
+      options.max_request_bytes =
+          ParseMemorySize("--max-request-bytes", arg.substr(20));
     } else if (arg == "--on-budget" || arg.rfind("--on-budget=", 0) == 0) {
       std::string name;
       if (arg == "--on-budget") {
@@ -266,6 +328,40 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
     } else {
       options.files.push_back(std::move(arg));
     }
+  }
+  if (options.command == "serve") {
+    // The daemon reads requests from its transport, not from operands,
+    // and its knobs that would silently do nothing are rejected outright
+    // (same philosophy as compile/eval below).
+    if (!options.files.empty()) {
+      throw UsageError("serve takes no file operands (requests arrive on "
+                       "stdin or the --listen socket)");
+    }
+    if (options.check) {
+      throw UsageError("--check does not apply to the serve command "
+                       "(expectations live in requests, not files)");
+    }
+    if (options.compact) {
+      throw UsageError("--compact does not apply to the serve command "
+                       "(responses are always single-line)");
+    }
+    if (options.run.method_override.has_value()) {
+      throw UsageError("--method does not apply to the serve command "
+                       "(requests carry their own method)");
+    }
+    if (options.on_budget.has_value()) {
+      throw UsageError("--on-budget does not apply to the serve command "
+                       "(budget outcomes are reported per request)");
+    }
+    if (!options.out_file.empty() || !options.out_dir.empty()) {
+      throw UsageError("--out/--out-dir do not apply to the serve command");
+    }
+    return options;
+  }
+  if (options.serve_flags_used()) {
+    throw UsageError(
+        "--listen/--max-circuits/--max-circuit-bytes/--max-request-bytes "
+        "only apply to the serve command");
   }
   if (options.files.empty()) {
     throw UsageError("no input files");
@@ -315,6 +411,34 @@ void Emit(const JsonValue& document, bool compact) {
   std::cout << document.Dump(compact ? -1 : 2) << "\n";
 }
 
+int RunServe(const CliOptions& options) {
+  swfomc::serve::ServerOptions server_options;
+  server_options.num_threads = options.run.num_threads;
+  if (options.max_circuits.has_value()) {
+    server_options.max_circuits =
+        static_cast<std::size_t>(*options.max_circuits);
+  }
+  if (options.max_circuit_bytes.has_value()) {
+    server_options.max_circuit_bytes =
+        static_cast<std::size_t>(*options.max_circuit_bytes);
+  }
+  if (options.max_request_bytes.has_value()) {
+    server_options.max_request_bytes =
+        static_cast<std::size_t>(*options.max_request_bytes);
+  }
+  server_options.budget_ms = options.run.budget_ms;
+  server_options.max_decisions = options.run.max_decisions;
+  server_options.max_memory_bytes = options.run.max_memory_bytes;
+  swfomc::serve::Server server(server_options);
+  if (options.listen_port.has_value()) {
+    return server.ServeTcp(*options.listen_port, [](std::uint16_t port) {
+      // stderr, so response parsers on stdout never see it.
+      std::cerr << "swfomc: serving on 127.0.0.1:" << port << "\n";
+    });
+  }
+  return server.ServeStream(std::cin, std::cout);
+}
+
 int RunModels(const CliOptions& options) {
   JsonValue results = JsonValue::MakeArray();
   bool checks_passed = true;
@@ -329,12 +453,38 @@ int RunModels(const CliOptions& options) {
                 << swfomc::api::ToString(report.outcome) << " ("
                 << swfomc::runtime::ToString(report.stop_reason) << ")\n";
     }
-    if (options.check && spec.expect.has_value() && !report.check_passed) {
+    if (options.check && !report.check_passed) {
       checks_passed = false;
+      // Report the first failing point — for a sweep that may be a
+      // mid-range size, not the last one.
+      const std::uint64_t n = report.first_failed_point.value_or(spec.domain_hi);
+      const swfomc::numeric::BigRational* expect = nullptr;
+      for (const auto& [size, value] : spec.point_expects) {
+        if (size == n) expect = &value;
+      }
+      if (expect == nullptr && spec.expect.has_value()) {
+        expect = &*spec.expect;
+      }
+      std::string computed = "?";
+      for (const auto& point : report.points) {
+        if (point.domain_size != n) continue;
+        switch (point.outcome) {
+          case swfomc::api::Outcome::kExact:
+            computed = point.value.ToString();
+            break;
+          case swfomc::api::Outcome::kBounds:
+            computed = "[" + point.bounds->lower.ToString() + ", " +
+                       point.bounds->upper.ToString() + "]";
+            break;
+          case swfomc::api::Outcome::kAborted:
+            computed = "aborted";
+            break;
+        }
+      }
       std::cerr << "swfomc: check FAILED: " << path << ": expected "
-                << spec.expect->ToString() << " at n=" << spec.domain_hi
-                << ", computed " << report.points.back().value.ToString()
-                << " (" << swfomc::api::ToString(report.method_used) << ")\n";
+                << (expect != nullptr ? expect->ToString() : "?")
+                << " at n=" << n << ", computed " << computed << " ("
+                << swfomc::api::ToString(report.method_used) << ")\n";
     }
     results.array.push_back(swfomc::io::ToJson(report));
   }
@@ -544,6 +694,7 @@ int main(int argc, char** argv) {
     if (options->command == "compile") return RunCompile(*options);
     if (options->command == "eval") return RunEval(*options);
     if (options->command == "print") return RunPrint(*options);
+    if (options->command == "serve") return RunServe(*options);
     std::cerr << kUsage;
     std::cerr << "swfomc: unknown command '" << options->command << "'\n";
     return kExitUsage;
