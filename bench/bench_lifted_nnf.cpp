@@ -1,0 +1,138 @@
+// The economics of lifted knowledge compilation — what a domain-
+// parametric circuit buys over per-n grounded compiles.
+//
+// Family: forall x forall y (S(x,y) -> (C(x) | C(y))), the liftable FO²
+// analogue of the triangle query (the triangle itself is FO3 and has no
+// lifted compilation; this family exercises the same edge/color shape
+// with two cells per color assignment).
+//
+// Rows:
+//   CompileOnceEvalSweep/N  the lifted pipeline: one Compile(Φ), then
+//                           Evaluate(n) for every n in [1, N] with a
+//                           shared binomial table — the whole sweep is
+//                           one circuit reused N times.
+//   GroundedCompilePerN/N   the pre-lifted baseline: one grounded
+//                           compile per n in [1, N]. Grounded compile
+//                           cost roughly quadruples per +2 n on this
+//                           family (~0.4 s at n = 16 alone), so the
+//                           baseline row stops at N = 16 — the lifted
+//                           row at the same N is the head-to-head.
+//   DirectCellSweep/N       the no-circuit alternative: a fresh direct
+//                           cell-algorithm count per n (what `swfomc
+//                           run` does without compilation).
+//
+// The acceptance bar for the lifted compiler is CompileOnceEvalSweep/16
+// >= 10x below GroundedCompilePerN/16; BENCH_wmc.json records both so
+// the gap is audited by every PR. A serve row measures the cache
+// consequence: one lifted entry answering queries at 32 distinct domain
+// sizes, reported as a warm-hit rate (goal: (queries-1)/queries — only
+// the first query compiles).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "api/engine.h"
+#include "fo2/cell_algorithm.h"
+#include "numeric/combinatorics.h"
+#include "serve/server.h"
+
+namespace {
+
+using swfomc::api::CompileOptions;
+using swfomc::api::CompileResult;
+using swfomc::api::Engine;
+using swfomc::api::Method;
+
+constexpr const char* kFamily =
+    "forall x forall y (S(x,y) -> (C(x) | C(y)))";
+
+void BM_LiftedNnf_CompileOnceEvalSweep(benchmark::State& state) {
+  const std::uint64_t n_hi = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Engine engine{swfomc::logic::Vocabulary{}};
+    swfomc::logic::Formula sentence = engine.Parse(kFamily);
+    CompileResult result = engine.Compile(sentence, CompileOptions{});
+    swfomc::numeric::BinomialTable binomials;
+    const swfomc::nnf::LiftedCircuit& circuit =
+        result.compiled->lifted_circuit();
+    swfomc::nnf::LiftedCircuit::Weights weights = circuit.DefaultWeights();
+    for (std::uint64_t n = 1; n <= n_hi; ++n) {
+      benchmark::DoNotOptimize(circuit.Evaluate(n, weights, &binomials));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_hi));
+}
+BENCHMARK(BM_LiftedNnf_CompileOnceEvalSweep)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LiftedNnf_GroundedCompilePerN(benchmark::State& state) {
+  const std::uint64_t n_hi = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Engine engine{swfomc::logic::Vocabulary{}};
+    swfomc::logic::Formula sentence = engine.Parse(kFamily);
+    for (std::uint64_t n = 1; n <= n_hi; ++n) {
+      CompileOptions options;
+      options.domain_size = n;
+      options.method = Method::kGrounded;
+      CompileResult result = engine.Compile(sentence, options);
+      benchmark::DoNotOptimize(result.compiled->Evaluate(n, {}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_hi));
+}
+BENCHMARK(BM_LiftedNnf_GroundedCompilePerN)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LiftedNnf_DirectCellSweep(benchmark::State& state) {
+  const std::uint64_t n_hi = static_cast<std::uint64_t>(state.range(0));
+  Engine engine{swfomc::logic::Vocabulary{}};
+  swfomc::logic::Formula sentence = engine.Parse(kFamily);
+  for (auto _ : state) {
+    for (std::uint64_t n = 1; n <= n_hi; ++n) {
+      benchmark::DoNotOptimize(
+          swfomc::fo2::LiftedWFOMC(sentence, engine.vocabulary(), n));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n_hi));
+}
+BENCHMARK(BM_LiftedNnf_DirectCellSweep)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// One server, one liftable sentence, 32 distinct domain sizes per
+// iteration: the sentence-keyed lifted cache turns all but the first
+// query into warm hits, and the counter records the measured rate.
+void BM_LiftedNnf_ServeWarmAcrossDomains(benchmark::State& state) {
+  using swfomc::serve::Server;
+  std::uint64_t queries = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Server server;  // cold cache each iteration
+    state.ResumeTiming();
+    for (std::uint64_t n = 1; n <= 32; ++n) {
+      std::string line = std::string(R"js({"sentence": ")js") + kFamily +
+                         R"js(", "domain": )js" + std::to_string(n) +
+                         R"js(, "weights": [{"S": ["2", "1"]}]})js";
+      Server::Reply reply = server.HandleLine(line);
+      benchmark::DoNotOptimize(reply.json);
+    }
+    swfomc::serve::ServerStats stats = server.Stats();
+    queries += stats.cache_hits + stats.cache_misses;
+    hits += stats.cache_hits;
+  }
+  state.counters["warm_hit_rate"] =
+      queries == 0 ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(queries);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_LiftedNnf_ServeWarmAcrossDomains)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,8 +20,8 @@ MIN_TIME="${BENCH_MIN_TIME:-0.5}"
 OUT="${BENCH_OUT:-BENCH_wmc.json}"
 export SWFOMC_BENCH_THREADS="${SWFOMC_BENCH_THREADS:-4}"
 
-BENCHES=(bench_wmc_ablation bench_table1 bench_sweep bench_nnf bench_numeric
-         bench_budget bench_serve)
+BENCHES=(bench_wmc_ablation bench_table1 bench_sweep bench_nnf
+         bench_lifted_nnf bench_numeric bench_budget bench_serve)
 
 # bench_serve's cold-process row spawns the real CLI per iteration.
 export SWFOMC_CLI="${SWFOMC_CLI:-$BUILD_DIR/tools/swfomc}"

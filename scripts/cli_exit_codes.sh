@@ -44,9 +44,13 @@ expect 64 "$bin" run --threads
 expect 64 "$bin" run --out circuit.nnf x.model        # --out is compile-only
 expect 64 "$bin" compile --out a.nnf --out-dir d x.model
 expect 64 "$bin" eval --out-dir d x.nnf
-expect 64 "$bin" compile --method grounded x.model    # forced methods and
-expect 64 "$bin" compile --threads 4 x.model          # thread counts would
-expect 64 "$bin" eval --threads 2 x.nnf               # be silently ignored
+expect 64 "$bin" eval --method grounded x.nnf         # the circuit kind is
+expect 64 "$bin" compile --threads 4 x.model          # fixed; thread counts
+expect 64 "$bin" eval --threads 2 x.nnf               # would be ignored
+expect 64 "$bin" run --domain 3 x.model               # --domain is eval-only
+expect 64 "$bin" compile --domain 3 x.model
+expect 64 "$bin" eval --domain abc x.nnf
+expect 64 "$bin" serve --domain 3
 mkdir -p "$workdir/a" "$workdir/b"
 printf 'sentence forall x R(x)\ndomain 1\n' > "$workdir/a/same.model"
 printf 'sentence forall x R(x)\ndomain 1\n' > "$workdir/b/same.model"
@@ -106,6 +110,22 @@ expect 3 "$bin" run --budget-ms 0 --on-budget error "$workdir/triangle.model"
 expect 3 "$bin" compile --max-decisions 0 --on-budget=error "$workdir/triangle.model"
 expect 0 "$bin" run --max-decisions 0 "$workdir/triangle.model"
 expect 0 "$bin" run --max-decisions 0 --on-budget=bounds "$workdir/triangle.model"
+
+# Lifted compilation: a liftable FO² model needs no `domain` directive
+# and compiles to a domain-parametric circuit; a non-liftable one
+# without a domain is a malformed workload (exit 2), as is `run` on any
+# domain-less model. --domain only makes sense against lifted circuits.
+printf 'sentence forall x exists y S(x,y)\n' > "$workdir/liftable.model"
+expect 0 "$bin" compile "$workdir/liftable.model"
+expect 0 "$bin" compile --out-dir "$workdir/lnnf" "$workdir/liftable.model"
+expect 0 "$bin" eval --domain 4 "$workdir/lnnf/liftable.nnf"
+expect 2 "$bin" eval "$workdir/lnnf/liftable.nnf"     # no e line, no --domain
+expect 2 "$bin" run "$workdir/liftable.model"         # run needs a domain
+printf 'sentence forall x T(x,x,x)\n' > "$workdir/unliftable.model"
+expect 2 "$bin" compile "$workdir/unliftable.model"   # grounded needs a domain
+printf 'sentence forall x R(x)\ndomain 2\n' > "$workdir/g.model"
+expect 0 "$bin" compile --method grounded --out-dir "$workdir/gnnf" "$workdir/g.model"
+expect 64 "$bin" eval --domain 2 "$workdir/gnnf/g.nnf" # grounded circuits fix n
 
 # 0: the same checks, satisfied. Also exercises compile -> eval chaining.
 printf 'sentence forall x R(x)\ndomain 1\nexpect 1\n' > "$workdir/right.model"

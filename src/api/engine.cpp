@@ -121,6 +121,43 @@ Outcome FromCounterOutcome(wmc::DpllCounter::CountOutcome outcome) {
   return Outcome::kAborted;
 }
 
+// The governance pointers one query runs under: each per-call override,
+// when non-null, shadows the engine-level option. Resolution happens once
+// at the query boundary so shared engine state is never mutated.
+struct Governance {
+  runtime::Budget* budget = nullptr;
+  runtime::CancelToken* cancel = nullptr;
+  runtime::FaultPoint* fault = nullptr;
+};
+
+Governance ResolveGovernance(const Engine::Options& engine_options,
+                             const QueryOptions& query_options) {
+  return Governance{
+      query_options.budget != nullptr ? query_options.budget
+                                      : engine_options.budget,
+      query_options.cancel != nullptr ? query_options.cancel
+                                      : engine_options.cancel,
+      query_options.fault != nullptr ? query_options.fault
+                                     : engine_options.fault};
+}
+
+// Resident bytes of a vocabulary snapshot: the relation records, both
+// copies of every name (the record and the by-name index key), the weight
+// limb buffers, and an approximation of the index's per-entry node
+// overhead. Counted so a circuit cache cannot be undercounted by many
+// small circuits carrying long relation names.
+std::size_t VocabularyBytes(const logic::Vocabulary& vocabulary) {
+  std::size_t bytes = 0;
+  for (logic::RelationId id = 0; id < vocabulary.size(); ++id) {
+    bytes += sizeof(logic::Vocabulary::Relation) +
+             2 * vocabulary.name(id).capacity() +
+             vocabulary.positive_weight(id).HeapBytes() +
+             vocabulary.negative_weight(id).HeapBytes() +
+             4 * sizeof(void*);  // by-name hash node
+  }
+  return bytes;
+}
+
 }  // namespace
 
 const char* ToString(Method method) {
@@ -138,6 +175,14 @@ const char* ToString(Outcome outcome) {
     case Outcome::kExact: return "exact";
     case Outcome::kBounds: return "bounds";
     case Outcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* ToString(CompiledQuery::Kind kind) {
+  switch (kind) {
+    case CompiledQuery::Kind::kGrounded: return "grounded";
+    case CompiledQuery::Kind::kLifted: return "lifted";
   }
   return "?";
 }
@@ -224,6 +269,13 @@ RouteDecision Engine::ExplainRoute(const logic::Formula& sentence) const {
 
 Engine::Result Engine::WFOMC(const logic::Formula& sentence,
                              std::uint64_t domain_size, Method method) {
+  return WFOMC(sentence, domain_size, method, QueryOptions{});
+}
+
+Engine::Result Engine::WFOMC(const logic::Formula& sentence,
+                             std::uint64_t domain_size, Method method,
+                             const QueryOptions& query_options) {
+  Governance governance = ResolveGovernance(options_, query_options);
   if (method == Method::kAuto) method = Route(sentence);
   Result result;
   result.method = method;
@@ -240,9 +292,9 @@ Engine::Result Engine::WFOMC(const logic::Formula& sentence,
     case Method::kGrounded: {
       wmc::DpllCounter::Options counter_options;
       counter_options.num_threads = options_.num_threads;
-      counter_options.budget = options_.budget;
-      counter_options.cancel = options_.cancel;
-      counter_options.fault = options_.fault;
+      counter_options.budget = governance.budget;
+      counter_options.cancel = governance.cancel;
+      counter_options.fault = governance.fault;
       wmc::DpllCounter::Stats stats;
       wmc::DpllCounter::CountResult counted = grounding::GroundedWFOMCBounded(
           sentence, vocabulary_, domain_size, counter_options, &stats);
@@ -266,6 +318,14 @@ Engine::Result Engine::WFOMC(const logic::Formula& sentence,
 Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
                                        std::uint64_t n_lo, std::uint64_t n_hi,
                                        Method method) {
+  return WFOMCSweep(sentence, n_lo, n_hi, method, QueryOptions{});
+}
+
+Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
+                                       std::uint64_t n_lo, std::uint64_t n_hi,
+                                       Method method,
+                                       const QueryOptions& query_options) {
+  Governance governance = ResolveGovernance(options_, query_options);
   if (n_lo > n_hi) {
     throw std::invalid_argument("Engine::WFOMCSweep: n_lo > n_hi");
   }
@@ -320,13 +380,13 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
       // by all points together, so which points degrade to bounds can
       // vary with the schedule (the bracket guarantee holds per point
       // regardless).
-      auto count_point = [this, &sentence](SweepPoint* point,
-                                           unsigned point_threads) {
+      auto count_point = [this, &sentence, &governance](
+                             SweepPoint* point, unsigned point_threads) {
         wmc::DpllCounter::Options counter_options;
         counter_options.num_threads = point_threads;
-        counter_options.budget = options_.budget;
-        counter_options.cancel = options_.cancel;
-        counter_options.fault = options_.fault;
+        counter_options.budget = governance.budget;
+        counter_options.cancel = governance.cancel;
+        counter_options.fault = governance.fault;
         wmc::DpllCounter::CountResult counted =
             grounding::GroundedWFOMCBounded(sentence, vocabulary_,
                                             point->domain_size,
@@ -376,33 +436,104 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
   throw std::logic_error("Engine::WFOMCSweep: unreachable");
 }
 
+void CompiledQuery::RequireKind(Kind kind, const char* who) const {
+  if (kind_ == kind) return;
+  if (kind == Kind::kGrounded) {
+    throw std::invalid_argument(
+        std::string(who) +
+        ": this circuit is lifted (domain-parametric); pass a domain size "
+        "via Evaluate(n, reweights)");
+  }
+  throw std::invalid_argument(std::string(who) +
+                              ": this circuit is grounded, not lifted");
+}
+
+std::size_t CompiledQuery::MemoryBytes() const {
+  return circuit_.MemoryBytes() + lifted_circuit_.MemoryBytes() +
+         variable_relation_.capacity() * sizeof(logic::RelationId) +
+         compile_count_.HeapBytes() + VocabularyBytes(vocabulary_);
+}
+
+numeric::BigRational CompiledQuery::Evaluate(
+    std::uint64_t domain_size, const std::vector<RelationWeights>& reweights,
+    nnf::Circuit::EvalArena* arena) const {
+  if (kind_ == Kind::kGrounded) {
+    if (domain_size != domain_size_) {
+      throw std::invalid_argument(
+          "CompiledQuery::Evaluate: this grounded circuit was compiled at "
+          "domain size " +
+          std::to_string(domain_size_) + " and cannot evaluate at " +
+          std::to_string(domain_size) +
+          "; recompile at that size or compile a lifted circuit");
+    }
+    // The grounded evaluator requires scratch; make a one-shot arena
+    // when the caller brought none.
+    if (arena == nullptr) return EvaluateRaw(GroundWeights(reweights));
+    return EvaluateRaw(GroundWeights(reweights), arena);
+  }
+  return lifted_circuit_.Evaluate(
+      domain_size, LiftedWeights(reweights), nullptr,
+      arena != nullptr ? &arena->rational_values : nullptr);
+}
+
+numeric::BigRational CompiledQuery::Evaluate(
+    std::uint64_t domain_size,
+    const std::vector<RelationWeights>& reweights) const {
+  return Evaluate(domain_size, reweights, nullptr);
+}
+
 numeric::BigRational CompiledQuery::Evaluate() const {
-  return Evaluate({});
+  return Evaluate(std::vector<RelationWeights>{});
 }
 
 numeric::BigRational CompiledQuery::Evaluate(
     const std::vector<RelationWeights>& reweights) const {
+  RequireKind(Kind::kGrounded, "CompiledQuery::Evaluate");
   return EvaluateRaw(GroundWeights(reweights));
 }
 
 numeric::BigRational CompiledQuery::Evaluate(
     const std::vector<RelationWeights>& reweights,
     nnf::Circuit::EvalArena* arena) const {
+  RequireKind(Kind::kGrounded, "CompiledQuery::Evaluate");
   return EvaluateRaw(GroundWeights(reweights), arena);
 }
 
 numeric::BigRational CompiledQuery::EvaluateRaw(
     const wmc::WeightMap& weights) const {
+  RequireKind(Kind::kGrounded, "CompiledQuery::EvaluateRaw");
   return circuit_.Evaluate(weights);
 }
 
 numeric::BigRational CompiledQuery::EvaluateRaw(
     const wmc::WeightMap& weights, nnf::Circuit::EvalArena* arena) const {
+  RequireKind(Kind::kGrounded, "CompiledQuery::EvaluateRaw");
   return circuit_.Evaluate(weights, arena);
+}
+
+nnf::LiftedCircuit::Weights CompiledQuery::LiftedWeights(
+    const std::vector<RelationWeights>& reweights) const {
+  RequireKind(Kind::kLifted, "CompiledQuery::LiftedWeights");
+  // The circuit's relation table is the extended (Scott/Skolem)
+  // vocabulary, whose prefix is the original vocabulary in id order — so
+  // replacements resolved against the snapshot apply by id, and the
+  // appended Def/Sk predicates keep their fixed (1,1)/(1,-1) weights.
+  nnf::LiftedCircuit::Weights weights = lifted_circuit_.DefaultWeights();
+  for (const RelationWeights& reweight : reweights) {
+    auto id = vocabulary_.Find(reweight.relation);
+    if (!id.has_value()) {
+      throw std::invalid_argument(
+          "CompiledQuery::Evaluate: unknown relation '" + reweight.relation +
+          "'");
+    }
+    weights[*id] = {reweight.positive, reweight.negative};
+  }
+  return weights;
 }
 
 wmc::WeightMap CompiledQuery::GroundWeights(
     const std::vector<RelationWeights>& reweights) const {
+  RequireKind(Kind::kGrounded, "CompiledQuery::GroundWeights");
   // Start from the compile-time per-relation weights, overlay the
   // replacements, then expand per ground tuple. Tseitin auxiliaries
   // (ids >= tuple_count()) keep the WeightMap default (1, 1).
@@ -429,21 +560,52 @@ wmc::WeightMap CompiledQuery::GroundWeights(
   return weights;
 }
 
-CompiledQuery Engine::Compile(const logic::Formula& sentence,
-                              std::uint64_t domain_size) {
-  CompileResult result = TryCompile(sentence, domain_size);
-  if (result.outcome != Outcome::kExact) {
-    throw std::runtime_error(
-        std::string("Engine::Compile: budget exhausted mid-trace "
-                    "(stop reason: ") +
-        runtime::ToString(result.stop_reason) +
-        "); a partial circuit is unusable — retry with a larger budget");
-  }
-  return *std::move(result.compiled);
+bool Engine::CanCompileLifted(const logic::Formula& sentence) const {
+  return fo2::CanCompileLifted(sentence, vocabulary_);
 }
 
-Engine::CompileResult Engine::TryCompile(const logic::Formula& sentence,
-                                         std::uint64_t domain_size) {
+CompileResult Engine::Compile(const logic::Formula& sentence,
+                              const CompileOptions& options) {
+  Method method = options.method;
+  if (method == Method::kAuto) {
+    method = CanCompileLifted(sentence) ? Method::kLiftedFO2
+                                        : Method::kGrounded;
+  }
+  CompileResult result;
+  result.method = method;
+  switch (method) {
+    case Method::kLiftedFO2: {
+      // Polynomial in the sentence; runs ungoverned like every lifted
+      // path. options.domain_size is irrelevant — the circuit answers
+      // every n >= 1.
+      CompiledQuery compiled;
+      compiled.kind_ = CompiledQuery::Kind::kLifted;
+      compiled.lifted_circuit_ = fo2::CompileLifted(
+          sentence, vocabulary_, &compiled.lifted_compile_stats_);
+      compiled.vocabulary_ = vocabulary_;
+      result.compiled = std::move(compiled);
+      return result;
+    }
+    case Method::kGammaAcyclic:
+      throw std::invalid_argument(
+          "Engine::Compile: the gamma-acyclic evaluator has no circuit "
+          "form; compile with method grounded or lifted-fo2");
+    case Method::kGrounded:
+      break;
+    case Method::kAuto:
+      throw std::logic_error("Engine::Compile: unreachable");
+  }
+  if (!options.domain_size.has_value()) {
+    throw std::invalid_argument(
+        "Engine::Compile: the grounded compiler fixes the domain size at "
+        "compile time; set CompileOptions::domain_size (only liftable FO² "
+        "sentences compile without one)");
+  }
+  std::uint64_t domain_size = *options.domain_size;
+  Governance governance = ResolveGovernance(
+      options_,
+      QueryOptions{options.budget, options.cancel, options.fault});
+
   // The same grounding pipeline as Method::kGrounded, with the counter in
   // tracing mode: the count falls out of the compile for free, and the
   // circuit's variable layout matches TupleIndex exactly.
@@ -455,15 +617,14 @@ Engine::CompileResult Engine::TryCompile(const logic::Formula& sentence,
       grounding::SymmetricGroundWeights(index, tseitin.cnf.variable_count);
 
   nnf::CircuitBuilder builder(tseitin.cnf.variable_count);
-  wmc::DpllCounter::Options options;
-  options.trace_sink = &builder;
-  options.budget = options_.budget;
-  options.cancel = options_.cancel;
-  options.fault = options_.fault;
+  wmc::DpllCounter::Options counter_options;
+  counter_options.trace_sink = &builder;
+  counter_options.budget = governance.budget;
+  counter_options.cancel = governance.cancel;
+  counter_options.fault = governance.fault;
   wmc::DpllCounter counter(std::move(tseitin.cnf), std::move(weights),
-                           options);
+                           counter_options);
 
-  CompileResult result;
   wmc::DpllCounter::CountResult counted = counter.CountBounded();
   result.stop_reason = counted.stop_reason;
   if (counted.outcome != wmc::DpllCounter::CountOutcome::kExact) {
@@ -489,6 +650,27 @@ Engine::CompileResult Engine::TryCompile(const logic::Formula& sentence,
   result.outcome = Outcome::kExact;
   result.compiled = std::move(compiled);
   return result;
+}
+
+CompiledQuery Engine::Compile(const logic::Formula& sentence,
+                              std::uint64_t domain_size) {
+  CompileResult result = TryCompile(sentence, domain_size);
+  if (result.outcome != Outcome::kExact) {
+    throw std::runtime_error(
+        std::string("Engine::Compile: budget exhausted mid-trace "
+                    "(stop reason: ") +
+        runtime::ToString(result.stop_reason) +
+        "); a partial circuit is unusable — retry with a larger budget");
+  }
+  return *std::move(result.compiled);
+}
+
+Engine::CompileResult Engine::TryCompile(const logic::Formula& sentence,
+                                         std::uint64_t domain_size) {
+  CompileOptions options;
+  options.domain_size = domain_size;
+  options.method = Method::kGrounded;
+  return Compile(sentence, options);
 }
 
 namespace {

@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
+#include "fo2/lifted_compiler.h"
 #include "logic/formula.h"
 #include "logic/vocabulary.h"
 #include "nnf/circuit.h"
+#include "nnf/lifted_circuit.h"
 #include "numeric/bigint.h"
 #include "numeric/rational.h"
 #include "wmc/dpll_counter.h"
@@ -64,18 +66,33 @@ struct RelationWeights {
   numeric::BigRational negative{1};
 };
 
-/// A sentence compiled at a fixed domain size into a d-DNNF arithmetic
-/// circuit (Engine::Compile): the exponential DPLL search over the
-/// grounded lineage runs once and its trace is kept, so every subsequent
-/// weight vector — a learning-loop step, a per-tenant reweighting — is
-/// answered by one linear circuit pass instead of a fresh count. The
-/// compiled object is immutable and self-contained: it carries the
-/// circuit, the compile-time vocabulary snapshot, and the ground-tuple →
-/// relation map that turns per-relation weights into the circuit's
-/// per-variable weights.
+/// A sentence compiled into a reusable arithmetic circuit
+/// (Engine::Compile). Two kinds exist, distinguished by kind():
+///
+///   * kGrounded — a d-DNNF over ground tuples, compiled at a fixed
+///     domain size: the exponential DPLL search over the grounded
+///     lineage runs once and its trace is kept, so every subsequent
+///     weight vector — a learning-loop step, a per-tenant reweighting —
+///     is answered by one linear circuit pass instead of a fresh count.
+///   * kLifted — a domain-parametric first-order circuit with counting
+///     nodes (liftable FO² sentences only): one compile answers *every*
+///     (domain size, weight vector) pair in time polynomial in n.
+///
+/// The compiled object is immutable and self-contained: it carries the
+/// circuit, the compile-time vocabulary snapshot, and — for the grounded
+/// kind — the ground-tuple → relation map that turns per-relation weights
+/// into the circuit's per-variable weights.
 class CompiledQuery {
  public:
+  enum class Kind { kGrounded, kLifted };
+
+  Kind kind() const { return kind_; }
+  /// The grounded d-DNNF; empty (zero nodes… do not evaluate) for kLifted.
   const nnf::Circuit& circuit() const { return circuit_; }
+  /// The domain-parametric circuit; empty for kGrounded.
+  const nnf::LiftedCircuit& lifted_circuit() const { return lifted_circuit_; }
+  /// The fixed compile-time domain size of a grounded circuit; 0 for
+  /// kLifted (a lifted circuit has no fixed size — pass n to Evaluate).
   std::uint64_t domain_size() const { return domain_size_; }
   const logic::Vocabulary& vocabulary() const { return vocabulary_; }
   /// Ground tuple variables [0, tuple_count); higher variable ids are
@@ -84,30 +101,48 @@ class CompiledQuery {
     return static_cast<std::uint32_t>(variable_relation_.size());
   }
   /// The count computed while compiling (under the compile-time weights);
-  /// identical to WFOMC(Φ, n, Method::kGrounded).
+  /// identical to WFOMC(Φ, n, Method::kGrounded). Grounded kind only — a
+  /// lifted compile is domain-parametric and produces no single count.
   const numeric::BigRational& compile_count() const { return compile_count_; }
   /// The compiling search's counters (cache_* describe the trace memo).
+  /// Grounded kind only.
   const wmc::DpllCounter::Stats& compile_stats() const {
     return compile_stats_;
   }
-
-  /// Approximate resident bytes: the circuit's arenas plus the ground
-  /// tuple → relation map and the compile count's limb buffers (the
-  /// vocabulary's strings are a few dozen bytes and not counted). Lets a
-  /// circuit cache bound its footprint (swfomc serve's LRU).
-  std::size_t MemoryBytes() const {
-    return circuit_.MemoryBytes() +
-           variable_relation_.capacity() * sizeof(logic::RelationId) +
-           compile_count_.HeapBytes();
+  /// The lifted compiler's counters. Lifted kind only.
+  const fo2::LiftedCompileStats& lifted_compile_stats() const {
+    return lifted_compile_stats_;
   }
 
+  /// Approximate resident bytes: the circuit's arenas plus the ground
+  /// tuple → relation map, the compile count's limb buffers, and the
+  /// vocabulary snapshot's strings and weights. Lets a circuit cache
+  /// bound its footprint (swfomc serve's LRU).
+  std::size_t MemoryBytes() const;
+
+  /// The uniform entry point: WFOMC(Φ, n) with the listed relations'
+  /// weights replaced (relations not listed keep their compile-time
+  /// weights; zero and negative weights are fine — neither circuit kind
+  /// depends on the weights). For the grounded kind `domain_size` must
+  /// equal domain_size() (std::invalid_argument otherwise — a grounded
+  /// circuit answers one n); the lifted kind accepts any n >= 1. `arena`
+  /// is optional caller-owned scratch reused across calls (one arena per
+  /// evaluating thread). Throws std::invalid_argument for an unknown
+  /// relation name.
+  numeric::BigRational Evaluate(std::uint64_t domain_size,
+                                const std::vector<RelationWeights>& reweights,
+                                nnf::Circuit::EvalArena* arena) const;
+  numeric::BigRational Evaluate(
+      std::uint64_t domain_size,
+      const std::vector<RelationWeights>& reweights) const;
+
   /// WFOMC(Φ, n) under the compile-time vocabulary weights, via the
-  /// circuit. Equals compile_count() — the cheap sanity check.
+  /// circuit. Grounded kind: equals compile_count() — the cheap sanity
+  /// check. Lifted kind throws (it needs a domain size).
   numeric::BigRational Evaluate() const;
-  /// WFOMC(Φ, n) with the listed relations' weights replaced (relations
-  /// not listed keep their compile-time weights). Zero and negative
-  /// weights are fine — the circuit does not depend on the weights.
-  /// Throws std::invalid_argument for an unknown relation name.
+  /// WFOMC(Φ, n) at the compile-time domain size with the listed
+  /// relations' weights replaced. Grounded kind only; the lifted kind
+  /// throws std::invalid_argument (pass n via Evaluate(n, reweights)).
   numeric::BigRational Evaluate(
       const std::vector<RelationWeights>& reweights) const;
   /// Serving form: same as above with caller-owned evaluation scratch
@@ -115,27 +150,79 @@ class CompiledQuery {
   /// evaluation allocation-free; see circuit.h).
   numeric::BigRational Evaluate(const std::vector<RelationWeights>& reweights,
                                 nnf::Circuit::EvalArena* arena) const;
-  /// Lowest level: explicit per-variable weights (must cover
-  /// circuit().variable_count() variables; Tseitin auxiliaries should
-  /// stay (1, 1) for the count to mean WFOMC).
+  /// Lowest level, grounded kind only: explicit per-variable weights
+  /// (must cover circuit().variable_count() variables; Tseitin
+  /// auxiliaries should stay (1, 1) for the count to mean WFOMC).
   numeric::BigRational EvaluateRaw(const wmc::WeightMap& weights) const;
   numeric::BigRational EvaluateRaw(const wmc::WeightMap& weights,
                                    nnf::Circuit::EvalArena* arena) const;
 
   /// The per-variable weight map `reweights` induces — what EvaluateRaw
   /// would be handed. Exposed for serialization (.nnf weight lines).
+  /// Grounded kind only.
   wmc::WeightMap GroundWeights(
+      const std::vector<RelationWeights>& reweights) const;
+
+  /// The per-relation weight vector `reweights` induces over the lifted
+  /// circuit's (extended) relation table. Lifted kind only.
+  nnf::LiftedCircuit::Weights LiftedWeights(
       const std::vector<RelationWeights>& reweights) const;
 
  private:
   friend class Engine;
 
+  void RequireKind(Kind kind, const char* who) const;
+
+  Kind kind_ = Kind::kGrounded;
   nnf::Circuit circuit_;
+  nnf::LiftedCircuit lifted_circuit_;
   logic::Vocabulary vocabulary_;
   std::uint64_t domain_size_ = 0;
   std::vector<logic::RelationId> variable_relation_;
   numeric::BigRational compile_count_;
   wmc::DpllCounter::Stats compile_stats_;
+  fo2::LiftedCompileStats lifted_compile_stats_;
+};
+
+const char* ToString(CompiledQuery::Kind kind);
+
+/// Per-call resource governance: non-null members override the engine's
+/// Options for the duration of one query, so concurrent callers sharing
+/// an Engine (the serve daemon) govern each request without mutating
+/// shared engine state.
+struct QueryOptions {
+  runtime::Budget* budget = nullptr;
+  runtime::CancelToken* cancel = nullptr;
+  runtime::FaultPoint* fault = nullptr;
+};
+
+/// What Engine::Compile should produce and under which resources.
+struct CompileOptions {
+  /// Required by the grounded compiler (it fixes n at compile time);
+  /// ignored by the lifted compiler, whose circuit is domain-parametric.
+  std::optional<std::uint64_t> domain_size;
+  /// kAuto compiles liftable sentences into lifted circuits and falls
+  /// back to the grounded trace (at `domain_size`) otherwise. kLiftedFO2
+  /// and kGrounded force their compiler; kGammaAcyclic has no circuit
+  /// form and is rejected.
+  Method method = Method::kAuto;
+  /// Per-call governance for the grounded trace (the lifted compiler is
+  /// polynomial and runs ungoverned); non-null overrides engine Options.
+  runtime::Budget* budget = nullptr;
+  runtime::CancelToken* cancel = nullptr;
+  runtime::FaultPoint* fault = nullptr;
+};
+
+/// The outcome of Engine::Compile, shaped like Engine::Result: which
+/// compiler ran, how it ended, and — exactly when `outcome` is kExact —
+/// the compiled circuit. A grounded compilation the budget stops
+/// mid-trace cannot be salvaged (the partial circuit would be wrong for
+/// some weight vectors), so the trace is discarded and reported kAborted.
+struct CompileResult {
+  Outcome outcome = Outcome::kExact;
+  runtime::StopReason stop_reason = runtime::StopReason::kNone;
+  Method method = Method::kGrounded;
+  std::optional<CompiledQuery> compiled;
 };
 
 /// The library facade: one entry point for symmetric WFOMC over a weighted
@@ -165,6 +252,10 @@ class Engine {
     /// Deterministic fault injection for tests (not owned).
     runtime::FaultPoint* fault = nullptr;
   };
+
+  /// CompileResult used to be a nested type; the alias keeps
+  /// Engine::CompileResult spelling valid for pre-unification callers.
+  using CompileResult = api::CompileResult;
 
   explicit Engine(logic::Vocabulary vocabulary);
   Engine(logic::Vocabulary vocabulary, Options options);
@@ -196,6 +287,10 @@ class Engine {
   /// Symmetric WFOMC(Φ, n, w, w̄).
   Result WFOMC(const logic::Formula& sentence, std::uint64_t domain_size,
                Method method = Method::kAuto);
+  /// Same, with per-call resource governance (see QueryOptions): non-null
+  /// members override the engine-level Options for this query only.
+  Result WFOMC(const logic::Formula& sentence, std::uint64_t domain_size,
+               Method method, const QueryOptions& query_options);
 
   struct SweepPoint {
     std::uint64_t domain_size = 0;
@@ -229,27 +324,42 @@ class Engine {
   /// n_lo > n_hi.
   SweepResult WFOMCSweep(const logic::Formula& sentence, std::uint64_t n_lo,
                          std::uint64_t n_hi, Method method = Method::kAuto);
+  /// Same, with per-call resource governance (see QueryOptions).
+  SweepResult WFOMCSweep(const logic::Formula& sentence, std::uint64_t n_lo,
+                         std::uint64_t n_hi, Method method,
+                         const QueryOptions& query_options);
 
-  /// Compiles Φ at domain size n into a reusable d-DNNF circuit: the
-  /// grounded path (lineage + Tseitin — every sentence the grounded
-  /// method accepts is compilable) is searched once by the DPLL counter
-  /// in tracing mode, and the trace is the circuit. Compilation cost is
-  /// one sequential grounded count with zero-weight pruning off; each
-  /// CompiledQuery::Evaluate afterwards is linear in the circuit.
+  /// The unified compile entry point. Routing (under kAuto):
+  ///   * liftable FO² sentences (CanCompileLifted) compile once into a
+  ///     domain-parametric lifted circuit — no domain size needed, every
+  ///     n >= 1 answered by CompiledQuery::Evaluate(n, reweights);
+  ///   * everything else runs the grounded path (lineage + Tseitin —
+  ///     every sentence the grounded method accepts is compilable): the
+  ///     DPLL counter searches once in tracing mode at the required
+  ///     options.domain_size, and the trace is the circuit.
+  /// Grounded compilation cost is one sequential grounded count with
+  /// zero-weight pruning off; each Evaluate afterwards is linear in the
+  /// circuit. Throws std::invalid_argument when the grounded path is
+  /// taken without a domain size, and for Method::kGammaAcyclic (the
+  /// Theorem 3.6 evaluator has no circuit form).
+  CompileResult Compile(const logic::Formula& sentence,
+                        const CompileOptions& options = {});
+
+  /// True when Compile would produce a lifted circuit for this sentence
+  /// under Method::kAuto (sentence in FO², arity <= 2, no constants).
+  bool CanCompileLifted(const logic::Formula& sentence) const;
+
+  /// Deprecated shim for the pre-unification API: grounded compile at a
+  /// fixed domain size under the engine-level Options, throwing
+  /// std::runtime_error on a budget stop. Use Compile(Φ, CompileOptions)
+  /// instead.
   CompiledQuery Compile(const logic::Formula& sentence,
                         std::uint64_t domain_size);
 
-  /// Compile under the Options resource envelope. A compilation the
-  /// budget stops mid-trace cannot be salvaged (the partial circuit
-  /// would be wrong for some weight vectors), so the trace is discarded
-  /// and the result reports kAborted with the stop reason; `compiled` is
-  /// set exactly when `outcome` is kExact. Compile() delegates here and
-  /// throws on a non-exact outcome.
-  struct CompileResult {
-    Outcome outcome = Outcome::kExact;
-    runtime::StopReason stop_reason = runtime::StopReason::kNone;
-    std::optional<CompiledQuery> compiled;
-  };
+  /// Deprecated shim for the pre-unification API: grounded compile at a
+  /// fixed domain size under the engine-level Options, reporting a
+  /// budget stop as Outcome::kAborted. Use Compile(Φ, CompileOptions)
+  /// instead.
   CompileResult TryCompile(const logic::Formula& sentence,
                            std::uint64_t domain_size);
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "fo2/matrix_eval.h"
 #include "numeric/combinatorics.h"
 
 namespace swfomc::fo2 {
@@ -16,142 +17,6 @@ using logic::Formula;
 using logic::FormulaKind;
 using logic::RelationId;
 using numeric::BigRational;
-
-// Replaces a 0-ary atom by a constant truth value.
-Formula SubstituteZeroAry(const Formula& formula, RelationId relation,
-                          bool value) {
-  switch (formula->kind()) {
-    case FormulaKind::kAtom:
-      if (formula->relation() == relation && formula->arguments().empty()) {
-        return value ? logic::True() : logic::False();
-      }
-      return formula;
-    case FormulaKind::kTrue:
-    case FormulaKind::kFalse:
-    case FormulaKind::kEquality:
-      return formula;
-    default: {
-      std::vector<Formula> children;
-      children.reserve(formula->children().size());
-      for (const Formula& child : formula->children()) {
-        children.push_back(SubstituteZeroAry(child, relation, value));
-      }
-      switch (formula->kind()) {
-        case FormulaKind::kNot:
-          return Not(children[0]);
-        case FormulaKind::kAnd:
-          return And(std::move(children));
-        case FormulaKind::kOr:
-          return Or(std::move(children));
-        case FormulaKind::kImplies:
-          return Implies(children[0], children[1]);
-        case FormulaKind::kIff:
-          return Iff(children[0], children[1]);
-        default:
-          throw std::logic_error("SubstituteZeroAry: quantifier in matrix");
-      }
-    }
-  }
-}
-
-// A 1-type: truth values for the unary atoms U(x) and diagonal binary
-// atoms R(x,x) of one element.
-struct Cell {
-  std::vector<bool> unary;  // indexed like `unary_relations`
-  std::vector<bool> diagonal;
-  BigRational weight;  // product of the corresponding tuple weights
-};
-
-// Evaluation environment for the quantifier-free matrix over a pair (a,b):
-// the cells of a and b plus the off-diagonal bits for each binary R.
-struct PairEnv {
-  const Cell* cell_x;  // 1-type of the element bound to variable x
-  const Cell* cell_y;
-  // Indexed like `binary_relations`: truth of R(x,y) and R(y,x).
-  const std::vector<bool>* xy;
-  const std::vector<bool>* yx;
-  bool same_element;  // true when evaluating ψ(c,c)
-};
-
-class MatrixEvaluator {
- public:
-  MatrixEvaluator(const logic::Vocabulary& vocabulary,
-                  std::vector<RelationId> unary_relations,
-                  std::vector<RelationId> binary_relations)
-      : unary_relations_(std::move(unary_relations)),
-        binary_relations_(std::move(binary_relations)) {
-    unary_slot_.assign(vocabulary.size(), SIZE_MAX);
-    binary_slot_.assign(vocabulary.size(), SIZE_MAX);
-    for (std::size_t i = 0; i < unary_relations_.size(); ++i) {
-      unary_slot_[unary_relations_[i]] = i;
-    }
-    for (std::size_t i = 0; i < binary_relations_.size(); ++i) {
-      binary_slot_[binary_relations_[i]] = i;
-    }
-  }
-
-  bool Eval(const Formula& formula, const PairEnv& env) const {
-    switch (formula->kind()) {
-      case FormulaKind::kTrue:
-        return true;
-      case FormulaKind::kFalse:
-        return false;
-      case FormulaKind::kEquality: {
-        bool left_is_x = IsX(formula->arguments()[0]);
-        bool right_is_x = IsX(formula->arguments()[1]);
-        if (left_is_x == right_is_x) return true;  // x=x or y=y
-        return env.same_element;                   // x=y
-      }
-      case FormulaKind::kAtom: {
-        RelationId r = formula->relation();
-        const auto& args = formula->arguments();
-        if (args.size() == 1) {
-          bool is_x = IsX(args[0]) || env.same_element;
-          const Cell* cell = is_x ? env.cell_x : env.cell_y;
-          return cell->unary[unary_slot_[r]];
-        }
-        if (args.size() == 2) {
-          bool first_x = IsX(args[0]) || env.same_element;
-          bool second_x = IsX(args[1]) || env.same_element;
-          std::size_t slot = binary_slot_[r];
-          if (first_x && second_x) return env.cell_x->diagonal[slot];
-          if (!first_x && !second_x) return env.cell_y->diagonal[slot];
-          if (first_x) return (*env.xy)[slot];
-          return (*env.yx)[slot];
-        }
-        throw std::logic_error("MatrixEvaluator: unexpected arity");
-      }
-      case FormulaKind::kNot:
-        return !Eval(formula->child(), env);
-      case FormulaKind::kAnd:
-        for (const Formula& child : formula->children()) {
-          if (!Eval(child, env)) return false;
-        }
-        return true;
-      case FormulaKind::kOr:
-        for (const Formula& child : formula->children()) {
-          if (Eval(child, env)) return true;
-        }
-        return false;
-      case FormulaKind::kImplies:
-        return !Eval(formula->child(0), env) || Eval(formula->child(1), env);
-      case FormulaKind::kIff:
-        return Eval(formula->child(0), env) == Eval(formula->child(1), env);
-      default:
-        throw std::logic_error("MatrixEvaluator: quantifier in matrix");
-    }
-  }
-
- private:
-  static bool IsX(const logic::Term& term) {
-    return term.name == UniversalForm::x();
-  }
-
-  std::vector<RelationId> unary_relations_;
-  std::vector<RelationId> binary_relations_;
-  std::vector<std::size_t> unary_slot_;
-  std::vector<std::size_t> binary_slot_;
-};
 
 // Core: Shannon-expanded, zero-ary-free matrix. `binomials` is shared
 // across the Shannon branches so Pascal rows are built once per solve

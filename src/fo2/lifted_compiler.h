@@ -1,0 +1,53 @@
+#ifndef SWFOMC_FO2_LIFTED_COMPILER_H_
+#define SWFOMC_FO2_LIFTED_COMPILER_H_
+
+#include <cstdint>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "nnf/lifted_circuit.h"
+
+namespace swfomc::fo2 {
+
+/// Instrumentation for the lifted compiler (reported by `swfomc compile`).
+struct LiftedCompileStats {
+  std::size_t unary_predicates = 0;
+  std::size_t binary_predicates = 0;
+  std::size_t zeroary_predicates = 0;
+  std::size_t cells = 0;        // 1-types enumerated, summed over
+                                // zero-ary Shannon branches
+  std::size_t valid_cells = 0;  // cells whose diagonal satisfies ψ(x,x)
+};
+
+/// True when CompileLifted accepts the sentence: a sentence (no free
+/// variables) in FO² over relations of arity <= 2, without domain
+/// constants — the same fragment check Engine routes to the cell
+/// algorithm. Weight-independent: liftability is a property of the
+/// sentence and the vocabulary's arities alone.
+bool CanCompileLifted(const logic::Formula& sentence,
+                      const logic::Vocabulary& vocabulary);
+
+/// Compiles an FO² sentence into a domain-parametric lifted circuit: the
+/// same recursion as the direct cell algorithm (Shannon expansion of the
+/// zero-ary predicates, 1-type enumeration, pairwise off-diagonal sums,
+/// composition sum), but emitting structure instead of numbers. The
+/// satisfaction checks driving the recursion are weight-independent, and
+/// — unlike the direct counter, which skips a Shannon branch whose
+/// compile-time weight is zero — both branches are always emitted, so the
+/// circuit evaluates bit-identically to CellAlgorithmWFOMC for *every*
+/// (n >= 1, weight vector) pair, zero and negative weights included.
+///
+/// The circuit's relation table is the extended (Scott/Skolem) vocabulary
+/// in id order; the original vocabulary's relations are a prefix of it,
+/// so per-relation reweights apply by original id.
+///
+/// Throws std::invalid_argument for sentences outside the fragment (see
+/// ToUniversalForm) and when the normal form exceeds 20 unary + binary
+/// predicates (the same guard as the direct algorithm).
+nnf::LiftedCircuit CompileLifted(const logic::Formula& sentence,
+                                 const logic::Vocabulary& vocabulary,
+                                 LiftedCompileStats* stats = nullptr);
+
+}  // namespace swfomc::fo2
+
+#endif  // SWFOMC_FO2_LIFTED_COMPILER_H_

@@ -1,0 +1,63 @@
+#ifndef SWFOMC_FO2_MATRIX_EVAL_H_
+#define SWFOMC_FO2_MATRIX_EVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "logic/formula.h"
+#include "logic/vocabulary.h"
+#include "numeric/rational.h"
+
+namespace swfomc::fo2 {
+
+/// Shared machinery of the Appendix C cell algorithm and the lifted
+/// compiler: a 1-type, the pair environment a quantifier-free FO² matrix
+/// is evaluated under, and the boolean evaluator itself. Both consumers
+/// enumerate exactly the same cells and off-diagonal codes; the counter
+/// folds weights into numbers on the spot while the compiler emits weight
+/// leaves — the satisfaction checks below are weight-independent, which is
+/// what makes one compiled circuit exact for every weight vector.
+
+/// A 1-type: truth values for the unary atoms U(x) and diagonal binary
+/// atoms R(x,x) of one element.
+struct Cell {
+  std::vector<bool> unary;  // indexed like the unary-relation list
+  std::vector<bool> diagonal;
+  numeric::BigRational weight;  // product of the corresponding tuple
+                                // weights (unused by the lifted compiler)
+};
+
+/// Evaluation environment for the quantifier-free matrix over a pair
+/// (a,b): the cells of a and b plus the off-diagonal bits for each binary
+/// R.
+struct PairEnv {
+  const Cell* cell_x;  // 1-type of the element bound to variable x
+  const Cell* cell_y;
+  // Indexed like the binary-relation list: truth of R(x,y) and R(y,x).
+  const std::vector<bool>* xy;
+  const std::vector<bool>* yx;
+  bool same_element;  // true when evaluating ψ(c,c)
+};
+
+class MatrixEvaluator {
+ public:
+  MatrixEvaluator(const logic::Vocabulary& vocabulary,
+                  std::vector<logic::RelationId> unary_relations,
+                  std::vector<logic::RelationId> binary_relations);
+
+  bool Eval(const logic::Formula& formula, const PairEnv& env) const;
+
+ private:
+  std::vector<logic::RelationId> unary_relations_;
+  std::vector<logic::RelationId> binary_relations_;
+  std::vector<std::size_t> unary_slot_;
+  std::vector<std::size_t> binary_slot_;
+};
+
+/// Replaces a 0-ary atom by a constant truth value (Shannon expansion).
+logic::Formula SubstituteZeroAry(const logic::Formula& formula,
+                                 logic::RelationId relation, bool value);
+
+}  // namespace swfomc::fo2
+
+#endif  // SWFOMC_FO2_MATRIX_EVAL_H_

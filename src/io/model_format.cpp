@@ -33,7 +33,12 @@ class ModelParser {
     if (!saw_sentence_) {
       Fail({line_, 1}, "missing required directive 'sentence'");
     }
-    if (!saw_domain_) Fail({line_, 1}, "missing required directive 'domain'");
+    if (!saw_domain_ &&
+        (spec_.expect.has_value() || !point_expects_.empty())) {
+      Fail({line_, 1},
+           "directive 'expect' needs a 'domain' directive (there is no "
+           "domain size to expect a value at)");
+    }
     ValidatePointExpects();
     return std::move(spec_);
   }
@@ -225,6 +230,7 @@ class ModelParser {
     RequireOperands(tokens, 1, "domain N or domain LO..HI");
     RequireFirst(!saw_domain_, tokens[0], "duplicate 'domain' directive");
     saw_domain_ = true;
+    spec_.has_domain = true;
     const std::string& text = tokens[1].text;
     std::size_t dots = text.find("..");
     if (dots == std::string::npos) {
@@ -309,9 +315,11 @@ std::string PrintModel(const ModelSpec& spec) {
     out << "weight " << spec.vocabulary.name(id) << " " << positive.ToString()
         << " " << negative.ToString() << "\n";
   }
-  out << "domain " << spec.domain_lo;
-  if (spec.IsSweep()) out << ".." << spec.domain_hi;
-  out << "\n";
+  if (spec.has_domain) {
+    out << "domain " << spec.domain_lo;
+    if (spec.IsSweep()) out << ".." << spec.domain_hi;
+    out << "\n";
+  }
   if (spec.method != api::Method::kAuto) {
     out << "method " << api::ToString(spec.method) << "\n";
   }

@@ -34,8 +34,12 @@ namespace swfomc::io {
 ///                                  "1/2"). NAME must be declared or used
 ///                                  by the sentence; one weight line per
 ///                                  relation. Defaults to (1, 1).
-///   domain N                    -- required, once; or `domain LO..HI`
+///   domain N                    -- optional, once; or `domain LO..HI`
 ///                                  for a sweep over every size in range.
+///                                  A model without a domain can only be
+///                                  compiled to a lifted (domain-
+///                                  parametric) circuit; `run` and the
+///                                  grounded compiler need one.
 ///   method NAME                 -- optional; auto | lifted-fo2 |
 ///                                  gamma-acyclic | grounded. Default auto.
 ///   expect VALUE                -- optional; the exact WFOMC value at the
@@ -52,6 +56,10 @@ struct ModelSpec {
   logic::Vocabulary vocabulary;  // weights applied
   logic::Formula sentence;
   std::string sentence_text;  // verbatim, as it appeared in the file
+  /// False when the file has no `domain` directive — domain_lo/domain_hi
+  /// are then meaningless (left 0). Such a model is a compile-only
+  /// workload for the lifted compiler.
+  bool has_domain = false;
   std::uint64_t domain_lo = 0;
   std::uint64_t domain_hi = 0;
   api::Method method = api::Method::kAuto;

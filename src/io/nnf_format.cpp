@@ -3,6 +3,7 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -243,6 +244,258 @@ class NnfParser {
   std::optional<BigRational> expect_;
 };
 
+// The lifted dialect's parser: same line discipline as NnfParser (ids in
+// file order, children precede parents, root last), with relation lines
+// instead of weight lines and the counting-node extension.
+class LiftedNnfParser {
+ public:
+  LiftedNnfParser(std::string_view text, std::string_view source)
+      : text_(text), source_(source) {}
+
+  LiftedNnfDocument Parse() {
+    internal::ForEachLine(text_, [&](std::size_t number,
+                                     std::string_view line) {
+      line_ = number;
+      ParseLine(line);
+    });
+    if (!saw_header_) Fail({line_, 1}, "missing 'lnnf V E R' header");
+    if (relations_.size() != declared_relations_) {
+      Fail({line_, 1},
+           "relation count mismatch: header declares " +
+               std::to_string(declared_relations_) + ", file has " +
+               std::to_string(relations_.size()));
+    }
+    if (nodes_.size() != declared_nodes_) {
+      Fail({line_, 1},
+           "node count mismatch: header declares " +
+               std::to_string(declared_nodes_) + ", file has " +
+               std::to_string(nodes_.size()));
+    }
+    if (edges_.size() != declared_edges_) {
+      Fail({line_, 1},
+           "edge count mismatch: header declares " +
+               std::to_string(declared_edges_) + ", nodes reference " +
+               std::to_string(edges_.size()));
+    }
+    LiftedNnfDocument document;
+    document.circuit = nnf::LiftedCircuit(
+        std::move(relations_), std::move(constants_), std::move(nodes_),
+        std::move(edges_),
+        static_cast<nnf::LiftedCircuit::NodeId>(declared_nodes_ - 1));
+    document.expect = std::move(expect_);
+    return document;
+  }
+
+ private:
+  [[noreturn]] void Fail(Location location, const std::string& message) {
+    internal::FailAt(source_, location, message);
+  }
+
+  void RequireTokenCount(const std::vector<LineToken>& tokens,
+                         std::size_t count, const char* what) {
+    if (tokens.size() < count) {
+      Fail({line_, tokens.back().column},
+           std::string(what) + ": expected " + std::to_string(count - 1) +
+               " value(s)");
+    }
+    if (tokens.size() > count) {
+      Fail({line_, tokens[count].column},
+           std::string("unexpected trailing token '") + tokens[count].text +
+               "' on " + what + " line");
+    }
+  }
+
+  void ParseChildren(const std::vector<LineToken>& tokens, std::size_t from,
+                     nnf::LiftedCircuit::Node* node) {
+    std::uint64_t count = internal::ParseUnsigned(source_, line_,
+                                                  tokens[from], "child count");
+    if (tokens.size() - from - 1 != count) {
+      Fail({line_, tokens[from].column},
+           "child count " + std::to_string(count) + " does not match the " +
+               std::to_string(tokens.size() - from - 1) +
+               " child id(s) on the line");
+    }
+    node->children_begin = static_cast<std::uint32_t>(edges_.size());
+    for (std::size_t i = from + 1; i < tokens.size(); ++i) {
+      std::uint64_t child =
+          internal::ParseUnsigned(source_, line_, tokens[i], "child id");
+      if (child >= nodes_.size()) {
+        Fail({line_, tokens[i].column},
+             "child " + std::to_string(child) +
+                 " does not precede its parent (node " +
+                 std::to_string(nodes_.size()) + ")");
+      }
+      edges_.push_back(static_cast<nnf::LiftedCircuit::NodeId>(child));
+    }
+    node->children_end = static_cast<std::uint32_t>(edges_.size());
+  }
+
+  void ParseLine(std::string_view line) {
+    std::vector<LineToken> tokens = internal::Tokenize(line);
+    if (tokens.empty() || tokens.front().text == "c") return;
+    const LineToken& head = tokens.front();
+    if (!saw_header_) {
+      if (head.text != "lnnf") {
+        Fail({line_, head.column},
+             "expected 'lnnf V E R' header, found '" + head.text + "'");
+      }
+      RequireTokenCount(tokens, 4, "header");
+      declared_nodes_ =
+          internal::ParseUnsigned(source_, line_, tokens[1], "node count");
+      declared_edges_ =
+          internal::ParseUnsigned(source_, line_, tokens[2], "edge count");
+      declared_relations_ = internal::ParseUnsigned(
+          source_, line_, tokens[3], "relation count");
+      if (declared_nodes_ == 0) {
+        Fail({line_, tokens[1].column}, "a circuit needs at least one node");
+      }
+      constexpr std::uint64_t kMax =
+          std::numeric_limits<std::uint32_t>::max();
+      if (declared_nodes_ > kMax || declared_edges_ > kMax ||
+          declared_relations_ > kMax) {
+        Fail({line_, head.column}, "header counts exceed 2^32");
+      }
+      saw_header_ = true;
+      return;
+    }
+    if (head.text == "lnnf") {
+      Fail({line_, head.column}, "duplicate 'lnnf' header");
+    }
+    if (head.text == "r") {
+      RequireTokenCount(tokens, 4, "relation line");
+      if (relations_.size() >= declared_relations_) {
+        Fail({line_, head.column},
+             "more relation lines than the header's " +
+                 std::to_string(declared_relations_));
+      }
+      relations_.push_back(nnf::LiftedCircuit::Relation{
+          std::string(tokens[1].text),
+          internal::ParseRational(source_, line_, tokens[2]),
+          internal::ParseRational(source_, line_, tokens[3])});
+      return;
+    }
+    if (head.text == "e") {
+      RequireTokenCount(tokens, 3, "expect line");
+      if (expect_.has_value()) {
+        Fail({line_, head.column}, "duplicate 'e' line");
+      }
+      std::uint64_t n = internal::ParseUnsigned(source_, line_, tokens[1],
+                                                "expect domain size");
+      if (n == 0) {
+        Fail({line_, tokens[1].column},
+             "expect domain size must be >= 1 (a lifted circuit is not "
+             "valid at n = 0)");
+      }
+      expect_ = {n, internal::ParseRational(source_, line_, tokens[2])};
+      return;
+    }
+    if (nodes_.size() >= declared_nodes_) {
+      Fail({line_, head.column},
+           "more nodes than the header's " + std::to_string(declared_nodes_));
+    }
+    if (head.text == "K") {
+      RequireTokenCount(tokens, 2, "constant node");
+      BigRational value = internal::ParseRational(source_, line_, tokens[1]);
+      std::string text = value.ToString();
+      auto [it, inserted] = constant_slots_.emplace(
+          text, static_cast<std::uint32_t>(constants_.size()));
+      if (inserted) constants_.push_back(std::move(value));
+      nodes_.push_back(nnf::LiftedCircuit::Node{
+          .kind = nnf::LiftedCircuit::Kind::kConst, .index = it->second});
+      return;
+    }
+    if (head.text == "W") {
+      RequireTokenCount(tokens, 2, "weight node");
+      std::int64_t reference = internal::ParseSigned(
+          source_, line_, tokens[1], "relation reference");
+      std::uint64_t magnitude =
+          static_cast<std::uint64_t>(reference < 0 ? -reference : reference);
+      if (magnitude == 0 || magnitude > declared_relations_) {
+        Fail({line_, tokens[1].column},
+             "relation reference " + tokens[1].text + " out of range [1, " +
+                 std::to_string(declared_relations_) + "]");
+      }
+      nodes_.push_back(nnf::LiftedCircuit::Node{
+          .kind = nnf::LiftedCircuit::Kind::kWeight,
+          .index = static_cast<std::uint32_t>(magnitude - 1),
+          .positive = reference > 0});
+      return;
+    }
+    if (head.text == "A" || head.text == "O") {
+      if (tokens.size() < 2) {
+        Fail({line_, head.column},
+             std::string(head.text == "A" ? "AND" : "OR") +
+                 " node: missing child count");
+      }
+      nnf::LiftedCircuit::Node node;
+      node.kind = head.text == "A" ? nnf::LiftedCircuit::Kind::kAnd
+                                   : nnf::LiftedCircuit::Kind::kOr;
+      ParseChildren(tokens, 1, &node);
+      nodes_.push_back(node);
+      return;
+    }
+    if (head.text == "C") {
+      if (tokens.size() < 3) {
+        Fail({line_, head.column},
+             "counting node: expected 'C cells child-count children...'");
+      }
+      std::uint64_t cells =
+          internal::ParseUnsigned(source_, line_, tokens[1], "cell count");
+      if (cells == 0) {
+        Fail({line_, tokens[1].column},
+             "counting node needs at least one cell");
+      }
+      if (cells > (std::uint64_t{1} << 20)) {
+        Fail({line_, tokens[1].column}, "cell count exceeds 2^20");
+      }
+      nnf::LiftedCircuit::Node node;
+      node.kind = nnf::LiftedCircuit::Kind::kCount;
+      node.cells = static_cast<std::uint32_t>(cells);
+      ParseChildren(tokens, 2, &node);
+      std::uint64_t expected = cells + cells * (cells + 1) / 2;
+      std::uint64_t actual = node.children_end - node.children_begin;
+      if (actual != expected) {
+        Fail({line_, tokens[1].column},
+             "counting node over " + std::to_string(cells) +
+                 " cells needs " + std::to_string(expected) +
+                 " children (C + C(C+1)/2), got " + std::to_string(actual));
+      }
+      nodes_.push_back(node);
+      return;
+    }
+    Fail({line_, head.column},
+         "unknown line '" + head.text +
+             "' (expected c, r, e, K, W, A, O, or C)");
+  }
+
+  std::string_view text_;
+  std::string_view source_;
+  std::size_t line_ = 1;
+
+  bool saw_header_ = false;
+  std::uint64_t declared_nodes_ = 0;
+  std::uint64_t declared_edges_ = 0;
+  std::uint64_t declared_relations_ = 0;
+  std::vector<nnf::LiftedCircuit::Relation> relations_;
+  std::vector<BigRational> constants_;
+  std::unordered_map<std::string, std::uint32_t> constant_slots_;
+  std::vector<nnf::LiftedCircuit::Node> nodes_;
+  std::vector<nnf::LiftedCircuit::NodeId> edges_;
+  std::optional<std::pair<std::uint64_t, BigRational>> expect_;
+};
+
+// The first non-comment line's head token decides the dialect.
+std::string_view HeaderToken(std::string_view text) {
+  std::string_view header;
+  internal::ForEachLine(text, [&](std::size_t, std::string_view line) {
+    if (!header.empty()) return;
+    std::vector<LineToken> tokens = internal::Tokenize(line);
+    if (tokens.empty() || tokens.front().text == "c") return;
+    header = tokens.front().text;
+  });
+  return header;
+}
+
 }  // namespace
 
 NnfDocument ParseNnf(std::string_view text, std::string_view source) {
@@ -308,6 +561,83 @@ std::string PrintNnf(const NnfDocument& document) {
     }
   }
   return out.str();
+}
+
+LiftedNnfDocument ParseLiftedNnf(std::string_view text,
+                                 std::string_view source) {
+  return LiftedNnfParser(text, source).Parse();
+}
+
+LiftedNnfDocument LoadLiftedNnfFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open nnf file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseLiftedNnf(buffer.str(), path);
+}
+
+std::string PrintLiftedNnf(const LiftedNnfDocument& document) {
+  const nnf::LiftedCircuit& circuit = document.circuit;
+  std::ostringstream out;
+  out << "lnnf " << circuit.node_count() << " " << circuit.edge_count() << " "
+      << circuit.relations().size() << "\n";
+  for (const nnf::LiftedCircuit::Relation& relation : circuit.relations()) {
+    out << "r " << relation.name << " " << relation.positive_weight.ToString()
+        << " " << relation.negative_weight.ToString() << "\n";
+  }
+  if (document.expect.has_value()) {
+    out << "e " << document.expect->first << " "
+        << document.expect->second.ToString() << "\n";
+  }
+  for (nnf::LiftedCircuit::NodeId id = 0; id < circuit.node_count(); ++id) {
+    const nnf::LiftedCircuit::Node& node = circuit.node(id);
+    switch (node.kind) {
+      case nnf::LiftedCircuit::Kind::kConst:
+        out << "K " << circuit.constants()[node.index].ToString() << "\n";
+        break;
+      case nnf::LiftedCircuit::Kind::kWeight: {
+        std::int64_t reference = static_cast<std::int64_t>(node.index) + 1;
+        out << "W " << (node.positive ? reference : -reference) << "\n";
+        break;
+      }
+      case nnf::LiftedCircuit::Kind::kAnd:
+      case nnf::LiftedCircuit::Kind::kOr: {
+        std::span<const nnf::LiftedCircuit::NodeId> children =
+            circuit.Children(id);
+        out << (node.kind == nnf::LiftedCircuit::Kind::kAnd ? "A " : "O ")
+            << children.size();
+        for (nnf::LiftedCircuit::NodeId child : children) out << " " << child;
+        out << "\n";
+        break;
+      }
+      case nnf::LiftedCircuit::Kind::kCount: {
+        std::span<const nnf::LiftedCircuit::NodeId> children =
+            circuit.Children(id);
+        out << "C " << node.cells << " " << children.size();
+        for (nnf::LiftedCircuit::NodeId child : children) out << " " << child;
+        out << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+AnyNnfDocument ParseAnyNnf(std::string_view text, std::string_view source) {
+  if (HeaderToken(text) == "lnnf") {
+    return ParseLiftedNnf(text, source);
+  }
+  // Everything else — including a missing or malformed header — goes to
+  // the grounded parser, whose diagnostics name the expected header.
+  return ParseNnf(text, source);
+}
+
+AnyNnfDocument LoadAnyNnfFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open nnf file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseAnyNnf(buffer.str(), path);
 }
 
 }  // namespace swfomc::io

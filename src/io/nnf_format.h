@@ -1,11 +1,15 @@
 #ifndef SWFOMC_IO_NNF_FORMAT_H_
 #define SWFOMC_IO_NNF_FORMAT_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <variant>
 
 #include "nnf/circuit.h"
+#include "nnf/lifted_circuit.h"
 #include "numeric/rational.h"
 #include "wmc/weights.h"
 
@@ -57,6 +61,60 @@ NnfDocument LoadNnfFile(const std::string& path);
 /// id order. PrintNnf is a parser fixpoint: ParseNnf(PrintNnf(d)) prints
 /// identically, which the round-trip tests in tests/nnf_test.cpp rely on.
 std::string PrintNnf(const NnfDocument& document);
+
+/// A serialized lifted circuit: the domain-parametric circuit with its
+/// relation table (names + compile-time weights) and, optionally, one
+/// pinned (domain size, value) pair for `swfomc eval --check`.
+struct LiftedNnfDocument {
+  nnf::LiftedCircuit circuit;
+  /// The `e N VALUE` line: circuit.Evaluate(N) must equal VALUE under the
+  /// compile-time weights. Also serves as the default domain size when
+  /// `swfomc eval` is run without --domain.
+  std::optional<std::pair<std::uint64_t, numeric::BigRational>> expect;
+};
+
+/// Parses the lifted `.nnf` dialect (counting-node extension):
+///
+///   c free-text comment
+///   lnnf V E R           -- header, first: V nodes, E edges, R relations
+///   r NAME W WBAR        -- exactly R of these, assigning relation ids
+///                           0, 1, .. R-1 in order; W/WBAR are the
+///                           compile-time weights as exact rationals
+///   e N VALUE            -- optional, once; expected Evaluate(N)
+///   K VALUE              -- constant node
+///   W l                  -- weight leaf, DIMACS-style ±1-based relation
+///                           reference (W 2 = w of relation 1, W -2 = w̄)
+///   A c i1 .. ic         -- product of c children (A 0 = 1)
+///   O c i1 .. ic         -- sum of c children (O 0 = 0)
+///   C m c i1 .. ic       -- counting node over m cells; c must equal
+///                           m + m(m+1)/2 (the m cell weights, then the
+///                           pair sums r_kl for k <= l, row-major)
+///
+/// Node lines assign ids 0, 1, .. V-1 in order; children must reference
+/// earlier ids and the root is the last node, exactly like the grounded
+/// dialect. Malformed input throws io::ParseError with `source` and the
+/// offending line/column; never crashes.
+LiftedNnfDocument ParseLiftedNnf(std::string_view text,
+                                 std::string_view source = "");
+
+/// Reads and parses a lifted `.nnf` file; throws std::runtime_error when
+/// the file cannot be read, io::ParseError when it cannot be parsed.
+LiftedNnfDocument LoadLiftedNnfFile(const std::string& path);
+
+/// Canonical rendering: header, relation lines in id order, the `e` line
+/// when present, then one line per node in id order. A parser fixpoint,
+/// like PrintNnf.
+std::string PrintLiftedNnf(const LiftedNnfDocument& document);
+
+/// Either circuit dialect, distinguished by the header token.
+using AnyNnfDocument = std::variant<NnfDocument, LiftedNnfDocument>;
+
+/// Parses whichever dialect the header announces: 'nnf V E n' → grounded
+/// NnfDocument, 'lnnf V E R' → LiftedNnfDocument.
+AnyNnfDocument ParseAnyNnf(std::string_view text, std::string_view source = "");
+
+/// Reads and parses a `.nnf` file of either dialect.
+AnyNnfDocument LoadAnyNnfFile(const std::string& path);
 
 }  // namespace swfomc::io
 

@@ -76,6 +76,11 @@ void AddOutcomeFields(JsonValue* json, api::Outcome outcome,
 
 ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options,
                         std::string source) {
+  if (!spec.has_domain) {
+    throw std::invalid_argument(
+        source + ": model has no 'domain' directive; 'run' needs one "
+        "(only 'compile' accepts a domain-less model)");
+  }
   ModelRunReport report;
   report.source = std::move(source);
   report.name = spec.name;
@@ -93,23 +98,22 @@ ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options,
   if (method == api::Method::kAuto) method = report.route.method;
   report.method_used = method;
 
+  // Per-call governance: the budget rides on QueryOptions instead of
+  // mutating the engine's shared Options.
   runtime::Budget budget;
-  if (ArmBudget(options, &budget)) {
-    api::Engine::Options engine_options = engine.options();
-    engine_options.budget = &budget;
-    engine.set_options(engine_options);
-  }
+  api::QueryOptions query_options;
+  if (ArmBudget(options, &budget)) query_options.budget = &budget;
 
   auto start = std::chrono::steady_clock::now();
   if (spec.IsSweep()) {
     api::Engine::SweepResult sweep = engine.WFOMCSweep(
-        spec.sentence, spec.domain_lo, spec.domain_hi, method);
+        spec.sentence, spec.domain_lo, spec.domain_hi, method, query_options);
     report.points = std::move(sweep.points);
     report.outcome = sweep.outcome;
     report.stop_reason = sweep.stop_reason;
   } else {
     api::Engine::Result result =
-        engine.WFOMC(spec.sentence, spec.domain_lo, method);
+        engine.WFOMC(spec.sentence, spec.domain_lo, method, query_options);
     report.points.push_back(api::Engine::SweepPoint{
         spec.domain_lo, std::move(result.value), result.outcome,
         std::move(result.bounds), result.stop_reason});
@@ -180,22 +184,21 @@ CompileOutcome RunCompile(const ModelSpec& spec, const RunOptions& options,
   CompileRunReport& report = outcome.report;
   report.source = std::move(source);
   report.name = spec.name;
-  report.domain_size = spec.domain_hi;
+  report.has_domain = spec.has_domain;
+  report.domain_size = spec.has_domain ? spec.domain_hi : 0;
 
   api::Engine engine(spec.vocabulary);
   report.sentence = logic::ToString(spec.sentence, engine.vocabulary());
   report.route = engine.ExplainRoute(spec.sentence);
 
+  api::CompileOptions compile_options;
+  if (spec.has_domain) compile_options.domain_size = spec.domain_hi;
+  compile_options.method = options.method_override.value_or(spec.method);
   runtime::Budget budget;
-  if (ArmBudget(options, &budget)) {
-    api::Engine::Options engine_options = engine.options();
-    engine_options.budget = &budget;
-    engine.set_options(engine_options);
-  }
+  if (ArmBudget(options, &budget)) compile_options.budget = &budget;
 
   auto start = std::chrono::steady_clock::now();
-  api::Engine::CompileResult compiled =
-      engine.TryCompile(spec.sentence, spec.domain_hi);
+  api::CompileResult compiled = engine.Compile(spec.sentence, compile_options);
   report.compile_seconds = SecondsSince(start);
 
   report.outcome = compiled.outcome;
@@ -208,11 +211,24 @@ CompileOutcome RunCompile(const ModelSpec& spec, const RunOptions& options,
     return outcome;
   }
   outcome.query = std::move(compiled.compiled);
+  report.kind = outcome.query->kind();
 
-  report.variables = outcome.query->circuit().variable_count();
-  report.count = outcome.query->compile_count();
-  report.search_stats = outcome.query->compile_stats();
-  report.circuit_stats = outcome.query->circuit().ComputeStats();
+  if (report.kind == api::CompiledQuery::Kind::kGrounded) {
+    report.variables = outcome.query->circuit().variable_count();
+    report.count = outcome.query->compile_count();
+    report.search_stats = outcome.query->compile_stats();
+    report.circuit_stats = outcome.query->circuit().ComputeStats();
+  } else {
+    report.lifted_stats = outcome.query->lifted_compile_stats();
+    report.lifted_circuit_stats =
+        outcome.query->lifted_circuit().ComputeStats();
+    // A lifted circuit has no compile-time count; when the model pins a
+    // domain, one evaluation pass reports the count there (and gives the
+    // `expect` check something to compare against).
+    if (spec.has_domain) {
+      report.count = outcome.query->Evaluate(spec.domain_hi, {});
+    }
+  }
   if (report.expected.has_value()) {
     report.check_passed = report.count == *report.expected;
   }
@@ -225,6 +241,15 @@ NnfDocument MakeNnfDocument(const api::CompiledQuery& query,
   document.circuit = query.circuit();
   document.weights = query.GroundWeights({});
   document.weights.EnsureSize(document.circuit.variable_count());
+  document.expect = std::move(expect);
+  return document;
+}
+
+LiftedNnfDocument MakeLiftedNnfDocument(
+    const api::CompiledQuery& query,
+    std::optional<std::pair<std::uint64_t, numeric::BigRational>> expect) {
+  LiftedNnfDocument document;
+  document.circuit = query.lifted_circuit();
   document.expect = std::move(expect);
   return document;
 }
@@ -247,6 +272,39 @@ EvalRunReport RunEval(const NnfDocument& document, std::string source) {
 
   report.expected = document.expect;
   if (report.expected.has_value()) {
+    report.check_passed = report.value == *report.expected;
+  }
+  return report;
+}
+
+EvalRunReport RunEval(const LiftedNnfDocument& document,
+                      std::optional<std::uint64_t> domain_size,
+                      std::string source) {
+  EvalRunReport report;
+  report.source = std::move(source);
+  report.kind = api::CompiledQuery::Kind::kLifted;
+  report.lifted_circuit_stats = document.circuit.ComputeStats();
+
+  if (!domain_size.has_value() && document.expect.has_value()) {
+    domain_size = document.expect->first;
+  }
+  if (!domain_size.has_value()) {
+    throw std::runtime_error(
+        report.source +
+        ": lifted circuit evaluation needs a domain size; pass --domain N "
+        "(the file has no 'e N VALUE' line to default from)");
+  }
+  report.domain_size = *domain_size;
+
+  auto start = std::chrono::steady_clock::now();
+  report.value = document.circuit.Evaluate(*domain_size);
+  report.elapsed_seconds = SecondsSince(start);
+
+  // The e line pins one (n, value) pair; it verifies nothing at any
+  // other domain size.
+  if (document.expect.has_value() &&
+      document.expect->first == *domain_size) {
+    report.expected = document.expect->second;
     report.check_passed = report.value == *report.expected;
   }
   return report;
@@ -351,6 +409,32 @@ JsonValue ToJson(const nnf::Circuit::Stats& stats) {
   return json;
 }
 
+JsonValue ToJson(const nnf::LiftedCircuit::Stats& stats) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("nodes", JsonValue::MakeNumber(stats.nodes));
+  json.Add("constant_nodes", JsonValue::MakeNumber(stats.constant_nodes));
+  json.Add("weight_nodes", JsonValue::MakeNumber(stats.weight_nodes));
+  json.Add("and_nodes", JsonValue::MakeNumber(stats.and_nodes));
+  json.Add("or_nodes", JsonValue::MakeNumber(stats.or_nodes));
+  json.Add("count_nodes", JsonValue::MakeNumber(stats.count_nodes));
+  json.Add("edges", JsonValue::MakeNumber(stats.edges));
+  json.Add("depth", JsonValue::MakeNumber(stats.depth));
+  return json;
+}
+
+JsonValue ToJson(const fo2::LiftedCompileStats& stats) {
+  JsonValue json = JsonValue::MakeObject();
+  json.Add("unary_predicates",
+           JsonValue::MakeNumber(stats.unary_predicates));
+  json.Add("binary_predicates",
+           JsonValue::MakeNumber(stats.binary_predicates));
+  json.Add("zeroary_predicates",
+           JsonValue::MakeNumber(stats.zeroary_predicates));
+  json.Add("cells", JsonValue::MakeNumber(stats.cells));
+  json.Add("valid_cells", JsonValue::MakeNumber(stats.valid_cells));
+  return json;
+}
+
 JsonValue ToJson(const CompileRunReport& report) {
   JsonValue json = JsonValue::MakeObject();
   json.Add("file", JsonValue::MakeString(report.source));
@@ -358,7 +442,10 @@ JsonValue ToJson(const CompileRunReport& report) {
     json.Add("name", JsonValue::MakeString(report.name));
   }
   json.Add("sentence", JsonValue::MakeString(report.sentence));
-  json.Add("method", JsonValue::MakeString("compile-grounded"));
+  bool lifted = report.kind == api::CompiledQuery::Kind::kLifted;
+  json.Add("method", JsonValue::MakeString(lifted ? "compile-lifted"
+                                                  : "compile-grounded"));
+  json.Add("kind", JsonValue::MakeString(api::ToString(report.kind)));
 
   JsonValue route = JsonValue::MakeObject();
   route.Add("method",
@@ -366,13 +453,23 @@ JsonValue ToJson(const CompileRunReport& report) {
   route.Add("reason", JsonValue::MakeString(report.route.reason));
   json.Add("route", std::move(route));
 
-  json.Add("n", JsonValue::MakeNumber(report.domain_size));
+  if (report.has_domain) {
+    json.Add("n", JsonValue::MakeNumber(report.domain_size));
+  }
   if (report.outcome == api::Outcome::kExact) {
-    json.Add("variables", JsonValue::MakeNumber(
-                              static_cast<std::uint64_t>(report.variables)));
-    json.Add("wfomc", JsonValue::MakeString(report.count.ToString()));
-    json.Add("circuit", ToJson(report.circuit_stats));
-    json.Add("stats", ToJson(report.search_stats));
+    if (lifted) {
+      if (report.has_domain) {
+        json.Add("wfomc", JsonValue::MakeString(report.count.ToString()));
+      }
+      json.Add("circuit", ToJson(report.lifted_circuit_stats));
+      json.Add("stats", ToJson(report.lifted_stats));
+    } else {
+      json.Add("variables", JsonValue::MakeNumber(
+                                static_cast<std::uint64_t>(report.variables)));
+      json.Add("wfomc", JsonValue::MakeString(report.count.ToString()));
+      json.Add("circuit", ToJson(report.circuit_stats));
+      json.Add("stats", ToJson(report.search_stats));
+    }
   } else {
     AddOutcomeFields(&json, report.outcome, report.stop_reason);
   }
@@ -391,9 +488,15 @@ JsonValue ToJson(const CompileRunReport& report) {
 JsonValue ToJson(const EvalRunReport& report) {
   JsonValue json = JsonValue::MakeObject();
   json.Add("file", JsonValue::MakeString(report.source));
-  json.Add("variables", JsonValue::MakeNumber(
-                            static_cast<std::uint64_t>(report.variables)));
-  json.Add("circuit", ToJson(report.circuit_stats));
+  json.Add("kind", JsonValue::MakeString(api::ToString(report.kind)));
+  if (report.kind == api::CompiledQuery::Kind::kLifted) {
+    json.Add("n", JsonValue::MakeNumber(report.domain_size));
+    json.Add("circuit", ToJson(report.lifted_circuit_stats));
+  } else {
+    json.Add("variables", JsonValue::MakeNumber(
+                              static_cast<std::uint64_t>(report.variables)));
+    json.Add("circuit", ToJson(report.circuit_stats));
+  }
   json.Add("wmc", JsonValue::MakeString(report.value.ToString()));
   json.Add("elapsed_seconds", JsonValue::MakeNumber(report.elapsed_seconds));
   if (report.expected.has_value()) {

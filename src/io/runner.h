@@ -13,6 +13,7 @@
 #include "io/model_format.h"
 #include "io/nnf_format.h"
 #include "nnf/circuit.h"
+#include "nnf/lifted_circuit.h"
 #include "numeric/rational.h"
 #include "runtime/budget.h"
 #include "wmc/dpll_counter.h"
@@ -80,7 +81,9 @@ struct ModelRunReport {
 };
 
 /// Evaluates a parsed model through api::Engine (WFOMC for a point,
-/// WFOMCSweep for a range) and assembles the report.
+/// WFOMCSweep for a range) and assembles the report. Throws
+/// std::invalid_argument when the model has no `domain` directive — a
+/// domain-less model is a compile-only workload.
 ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options = {},
                         std::string source = "<input>");
 
@@ -103,25 +106,38 @@ CnfRunReport RunWeightedCnf(const WeightedCnf& instance,
                             const RunOptions& options = {},
                             std::string source = "<input>");
 
-/// One model compiled into a d-DNNF circuit (`swfomc compile`): the
-/// report plus the CompiledQuery itself, so callers can serialize the
-/// circuit or keep serving weight vectors from it. Compilation always
-/// runs the (sequential) grounded trace at the model's largest domain
-/// size, whatever the router would pick — the route is still reported.
+/// One model compiled into a circuit (`swfomc compile`): the report plus
+/// the CompiledQuery itself, so callers can serialize the circuit or keep
+/// serving weight vectors from it. Routing follows the unified
+/// Engine::Compile: liftable FO² sentences (under method auto or
+/// lifted-fo2) compile into a domain-parametric lifted circuit — no
+/// `domain` directive needed — and everything else runs the (sequential)
+/// grounded trace at the model's largest domain size.
 struct CompileRunReport {
   std::string source;
   std::string name;
   std::string sentence;
   api::RouteDecision route;  // what Auto *would* run, for the record
+  /// Which circuit kind came out (meaningful when outcome is kExact).
+  api::CompiledQuery::Kind kind = api::CompiledQuery::Kind::kGrounded;
+  /// False for a domain-less (lifted-only) model; domain_size is then 0
+  /// and `count` is not computed.
+  bool has_domain = false;
   std::uint64_t domain_size = 0;
-  std::uint32_t variables = 0;  // ground tuples + Tseitin auxiliaries
-  numeric::BigRational count;   // under the model's weights
-  /// kAborted when the budget stopped the trace (the partial circuit is
-  /// discarded — compilation has no bounds mode); kExact otherwise.
+  std::uint32_t variables = 0;  // grounded: ground tuples + Tseitin aux
+  /// The count at `domain_size` under the model's weights (grounded: the
+  /// compile-time count; lifted: one Evaluate(domain_size) pass). Unset
+  /// when the model has no domain.
+  numeric::BigRational count;
+  /// kAborted when the budget stopped the grounded trace (the partial
+  /// circuit is discarded — compilation has no bounds mode); kExact
+  /// otherwise. The lifted compiler is polynomial and never aborts.
   api::Outcome outcome = api::Outcome::kExact;
   runtime::StopReason stop_reason = runtime::StopReason::kNone;
-  wmc::DpllCounter::Stats search_stats;
-  nnf::Circuit::Stats circuit_stats;
+  wmc::DpllCounter::Stats search_stats;          // grounded kind
+  nnf::Circuit::Stats circuit_stats;             // grounded kind
+  fo2::LiftedCompileStats lifted_stats;          // lifted kind
+  nnf::LiftedCircuit::Stats lifted_circuit_stats;  // lifted kind
   double compile_seconds = 0.0;
   /// Where the `.nnf` was written ("" when not requested).
   std::string output_path;
@@ -145,13 +161,27 @@ CompileOutcome RunCompile(const ModelSpec& spec,
 NnfDocument MakeNnfDocument(const api::CompiledQuery& query,
                             std::optional<numeric::BigRational> expect);
 
-/// One circuit evaluation (`swfomc eval`): d-DNNF well-formedness audit
-/// (std::runtime_error on violation — a malformed circuit is an input
-/// error), then a linear evaluation under the document's weights.
+/// The serialized form of a lifted compile: the domain-parametric circuit
+/// with its relation table, plus one pinned (domain size, value) pair —
+/// typically (domain_hi, count) from the compile report — as the `e`
+/// line, which doubles as `swfomc eval`'s default domain size.
+LiftedNnfDocument MakeLiftedNnfDocument(
+    const api::CompiledQuery& query,
+    std::optional<std::pair<std::uint64_t, numeric::BigRational>> expect);
+
+/// One circuit evaluation (`swfomc eval`), either dialect. Grounded:
+/// d-DNNF well-formedness audit (std::runtime_error on violation — a
+/// malformed circuit is an input error), then a linear evaluation under
+/// the document's weights. Lifted: Evaluate(n) under the stored relation
+/// weights, where n comes from the --domain flag or defaults to the `e`
+/// line's domain size.
 struct EvalRunReport {
   std::string source;
-  std::uint32_t variables = 0;
-  nnf::Circuit::Stats circuit_stats;
+  api::CompiledQuery::Kind kind = api::CompiledQuery::Kind::kGrounded;
+  std::uint32_t variables = 0;        // grounded kind
+  nnf::Circuit::Stats circuit_stats;  // grounded kind
+  nnf::LiftedCircuit::Stats lifted_circuit_stats;  // lifted kind
+  std::uint64_t domain_size = 0;      // lifted kind: the n evaluated at
   numeric::BigRational value;
   double elapsed_seconds = 0.0;
   std::optional<numeric::BigRational> expected;  // the `e` line
@@ -159,6 +189,14 @@ struct EvalRunReport {
 };
 
 EvalRunReport RunEval(const NnfDocument& document,
+                      std::string source = "<input>");
+
+/// Lifted-dialect evaluation. `domain_size` overrides the `e` line's
+/// default; throws std::runtime_error when neither supplies an n. The
+/// `e` line's value is checked only when evaluating at its own domain
+/// size (a different --domain computes a different point).
+EvalRunReport RunEval(const LiftedNnfDocument& document,
+                      std::optional<std::uint64_t> domain_size = std::nullopt,
                       std::string source = "<input>");
 
 /// JSON renderings of the reports (the `swfomc` output schema; see the
@@ -170,6 +208,8 @@ JsonValue ToJson(const CompileRunReport& report);
 JsonValue ToJson(const EvalRunReport& report);
 JsonValue ToJson(const wmc::DpllCounter::Stats& stats);
 JsonValue ToJson(const nnf::Circuit::Stats& stats);
+JsonValue ToJson(const nnf::LiftedCircuit::Stats& stats);
+JsonValue ToJson(const fo2::LiftedCompileStats& stats);
 
 }  // namespace swfomc::io
 

@@ -1,0 +1,158 @@
+#ifndef SWFOMC_NNF_LIFTED_CIRCUIT_H_
+#define SWFOMC_NNF_LIFTED_CIRCUIT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "numeric/combinatorics.h"
+#include "numeric/rational.h"
+
+namespace swfomc::nnf {
+
+/// A domain-parametric arithmetic circuit: the first-order analogue of the
+/// grounded d-DNNF in circuit.h (first-order circuits with counting nodes;
+/// Van den Broeck et al., IJCAI 2011). Where a grounded circuit fixes the
+/// domain size at compile time and names one propositional variable per
+/// ground tuple, a lifted circuit's leaves name *relations* and its
+/// counting nodes carry child multiplicities that are functions of n — so
+/// one compile of an FO² sentence evaluates at every (domain size, weight
+/// vector) pair in time polynomial in n.
+///
+/// Node kinds:
+///   * kConst — a fixed rational (slot into the constant pool);
+///   * kWeight — one phase of one relation's weight, resolved per call
+///     (w_R when `positive`, w̄_R otherwise);
+///   * kAnd — product of the children (1 when childless);
+///   * kOr — sum of the children (0 when childless); the compiler emits
+///     these for mutually exclusive alternatives (Shannon branches of a
+///     zero-ary predicate, the satisfying off-diagonal codes of a cell
+///     pair), so the sum is a deterministic disjunction arithmetically;
+///   * kCount — the binomial counting node, the lifted analogue of an AND
+///     over an n-element partition. Its `cells` field gives C, the number
+///     of 1-types; its children are the C per-cell weights u_0..u_{C-1}
+///     followed by the C(C+1)/2 pair sums r_kl for 0 <= k <= l < C in
+///     row-major upper-triangular order. Its value at domain size n is
+///     Appendix C's composition sum:
+///       Σ_{n_0+..+n_{C-1} = n} (n choose n_0..n_{C-1})
+///           Π_l u_l^{n_l} · Π_l r_ll^{C(n_l,2)} · Π_{k<l} r_kl^{n_k n_l}.
+///
+/// Like the grounded circuit, the structure never depends on the weights
+/// (both Shannon branches are present even when a compile-time weight is
+/// zero), so one circuit is exact for every weight vector — including
+/// zero and negative weights — and evaluation is bit-identical to the
+/// direct cell algorithm for every (n, weights).
+class LiftedCircuit {
+ public:
+  using NodeId = std::uint32_t;
+
+  enum class Kind : std::uint8_t { kConst, kWeight, kAnd, kOr, kCount };
+
+  /// One relation of the circuit's (extended, Scott/Skolem) vocabulary,
+  /// with its compile-time weights — the defaults Evaluate uses when the
+  /// caller passes no replacement vector. Self-contained (no logic::
+  /// dependency) so a parsed .lnnf file round-trips without a vocabulary.
+  struct Relation {
+    std::string name;
+    numeric::BigRational positive_weight{1};
+    numeric::BigRational negative_weight{1};
+  };
+
+  struct Node {
+    Kind kind = Kind::kConst;
+    /// kConst: slot in the constant pool; kWeight: relation id.
+    std::uint32_t index = 0;
+    /// kWeight only: which phase of the relation's weight pair.
+    bool positive = true;
+    /// kCount only: C, the number of cells (children are C + C(C+1)/2).
+    std::uint32_t cells = 0;
+    std::uint32_t children_begin = 0;  // span into the edge array
+    std::uint32_t children_end = 0;
+  };
+
+  /// Structural statistics (the `swfomc compile` report's circuit block).
+  struct Stats {
+    std::uint64_t nodes = 0;
+    std::uint64_t constant_nodes = 0;
+    std::uint64_t weight_nodes = 0;
+    std::uint64_t and_nodes = 0;
+    std::uint64_t or_nodes = 0;
+    std::uint64_t count_nodes = 0;
+    std::uint64_t edges = 0;
+    /// Longest root-to-leaf path, in edges (0 when the root is a leaf).
+    std::uint64_t depth = 0;
+  };
+
+  /// Per-relation weights for one evaluation: weights[id] = (w, w̄).
+  using Weights =
+      std::vector<std::pair<numeric::BigRational, numeric::BigRational>>;
+
+  LiftedCircuit() = default;
+
+  /// Raw assembly, used by the lifted compiler and the .lnnf parser.
+  /// Requirements (std::invalid_argument otherwise): at least one node;
+  /// every child id smaller than its parent's id (topological, acyclic);
+  /// children spans nested in `edges`; kConst/kWeight childless with
+  /// in-range indices; kCount with cells >= 1 and exactly
+  /// cells + cells(cells+1)/2 children; `root < nodes.size()`.
+  LiftedCircuit(std::vector<Relation> relations,
+                std::vector<numeric::BigRational> constants,
+                std::vector<Node> nodes, std::vector<NodeId> edges,
+                NodeId root);
+
+  const std::vector<Relation>& relations() const { return relations_; }
+  const std::vector<numeric::BigRational>& constants() const {
+    return constants_;
+  }
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  std::uint64_t edge_count() const { return edges_.size(); }
+  NodeId root() const { return root_; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  std::span<const NodeId> Children(NodeId id) const {
+    return {edges_.data() + nodes_[id].children_begin,
+            edges_.data() + nodes_[id].children_end};
+  }
+
+  /// The compile-time weight pairs, in relation-id order — the identity
+  /// element for Evaluate's `weights` parameter.
+  Weights DefaultWeights() const;
+
+  /// WFOMC(Φ, n) under the compile-time weights.
+  numeric::BigRational Evaluate(std::uint64_t domain_size) const;
+
+  /// WFOMC(Φ, n) under explicit per-relation weights (`weights` must
+  /// cover relations().size() relations; zero and negative weights are
+  /// fine). `binomials` and `values` are optional caller-owned scratch: a
+  /// sweep passes one binomial table so Pascal rows are built once, and a
+  /// server passes one value column per thread so steady-state evaluation
+  /// allocates only when an individual value outgrows its slot.
+  /// Throws std::invalid_argument for domain size 0 (the Scott/Skolem
+  /// normal form underlying the circuit assumes a non-empty domain; route
+  /// n = 0 to a direct count) and for a short weight vector.
+  numeric::BigRational Evaluate(
+      std::uint64_t domain_size, const Weights& weights,
+      numeric::BinomialTable* binomials = nullptr,
+      std::vector<numeric::BigRational>* values = nullptr) const;
+
+  Stats ComputeStats() const;
+
+  /// Resident bytes of the circuit: flat arenas plus the constant pool's
+  /// limb buffers and the relation table's strings and weights. Used by
+  /// byte-bounded circuit caches (swfomc serve).
+  std::size_t MemoryBytes() const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::vector<numeric::BigRational> constants_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> edges_;
+  NodeId root_ = 0;
+};
+
+}  // namespace swfomc::nnf
+
+#endif  // SWFOMC_NNF_LIFTED_CIRCUIT_H_

@@ -132,14 +132,16 @@ JsonValue DirectResult(const logic::Vocabulary& base_vocabulary,
   }
   api::Engine engine(std::move(vocabulary),
                      api::Engine::Options{num_threads});
+  // Per-call governance: the request's budget rides on QueryOptions, so
+  // even a shared engine would stay untouched.
   runtime::Budget budget;
+  api::QueryOptions query_options;
   if (envelope.governed()) {
     envelope.Arm(&budget);
-    api::Engine::Options options = engine.options();
-    options.budget = &budget;
-    engine.set_options(options);
+    query_options.budget = &budget;
   }
-  api::Engine::Result result = engine.WFOMC(sentence, domain_size, method);
+  api::Engine::Result result =
+      engine.WFOMC(sentence, domain_size, method, query_options);
   JsonValue entry = JsonValue::MakeObject();
   switch (result.outcome) {
     case api::Outcome::kExact:
@@ -451,25 +453,36 @@ io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
   if (mode == "direct") {
     direct_all();
   } else {
+    // Liftable sentences cache under the canonical sentence alone: one
+    // lifted circuit answers every domain size, so requests at different
+    // n share the entry. Grounded circuits are fixed-n and key on
+    // (sentence, n). A lifted circuit is only valid for n >= 1; a
+    // domain-0 request compiles grounded.
+    api::Engine router{logic::Vocabulary(vocabulary)};
+    bool lifted = *domain >= 1 && router.CanCompileLifted(sentence);
     std::string key = canonical;
-    key.push_back('\x1f');
-    key += std::to_string(*domain);
+    if (!lifted) {
+      key.push_back('\x1f');
+      key += std::to_string(*domain);
+    }
 
     std::shared_ptr<const api::CompiledQuery> query = CacheLookup(key);
     bool cached = query != nullptr;
     if (!cached) {
       api::Engine compiler{logic::Vocabulary(vocabulary)};
       runtime::Budget budget;
+      api::CompileOptions compile_options;
+      compile_options.domain_size = *domain;
+      compile_options.method =
+          lifted ? api::Method::kLiftedFO2 : api::Method::kGrounded;
       if (envelope.governed()) {
         envelope.Arm(&budget);
-        api::Engine::Options compiler_options = compiler.options();
-        compiler_options.budget = &budget;
-        compiler.set_options(compiler_options);
+        compile_options.budget = &budget;
       }
       auto compile_start = std::chrono::steady_clock::now();
-      api::Engine::CompileResult compiled;
+      api::CompileResult compiled;
       try {
-        compiled = compiler.TryCompile(sentence, *domain);
+        compiled = compiler.Compile(sentence, compile_options);
       } catch (const std::exception& error) {
         return MakeError(id, std::string("compile failed: ") + error.what());
       }
@@ -502,6 +515,8 @@ io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
       CacheInsert(key, query);
     }
     response.Add("cached", JsonValue::MakeBool(cached));
+    response.Add("kind",
+                 JsonValue::MakeString(api::ToString(query->kind())));
 
     auto evaluate_one = [&](std::size_t i) {
       if (!vectors[i].error.empty()) {
@@ -510,7 +525,8 @@ io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
       }
       std::unique_ptr<nnf::Circuit::EvalArena> arena = AcquireArena();
       try {
-        BigRational value = query->Evaluate(vectors[i].reweights, arena.get());
+        BigRational value =
+            query->Evaluate(*domain, vectors[i].reweights, arena.get());
         JsonValue entry = JsonValue::MakeObject();
         entry.Add("wfomc", JsonValue::MakeString(value.ToString()));
         results[i] = std::move(entry);

@@ -55,10 +55,14 @@ struct ServerStats {
 /// A long-lived batching WFOMC server: newline-delimited JSON requests
 /// in, one-line JSON responses out. Each query names a sentence, a
 /// domain size, and one or more weight vectors; the server compiles the
-/// (sentence, domain size) pair into a d-DNNF circuit once, keeps it in
-/// a bounded LRU, and answers every weight vector with a linear circuit
-/// pass — the compile-once-evaluate-many amortization that makes warm
-/// queries orders of magnitude cheaper than a cold `swfomc run`.
+/// sentence once, keeps the circuit in a bounded LRU, and answers every
+/// weight vector with a linear circuit pass — the compile-once-
+/// evaluate-many amortization that makes warm queries orders of
+/// magnitude cheaper than a cold `swfomc run`. Liftable FO² sentences
+/// compile into a domain-parametric lifted circuit cached under the
+/// canonical sentence alone, so requests at *different* domain sizes
+/// share one entry; everything else compiles into a fixed-n d-DNNF
+/// keyed on (sentence, domain size).
 ///
 /// Request object (one per line; unknown fields are ignored):
 ///   {"cmd": "query",            -- default; also "stats", "quit",
@@ -77,7 +81,9 @@ struct ServerStats {
 ///                               -- optional per-request envelope
 ///
 /// Responses carry the echoed "id", "status" ("ok" | "error"), and for
-/// queries a "results" array aligned with the weight vectors. A request
+/// queries a "results" array aligned with the weight vectors; compile-
+/// mode responses also report "kind" ("lifted" | "grounded") and
+/// "cached". A request
 /// whose compilation exhausts its budget falls back to one governed
 /// direct count per weight vector, so results degrade to certified
 /// bounds (or "aborted") per vector instead of failing the request.

@@ -250,9 +250,13 @@ TEST(ModelFormat, ErrorPathsReportLineAndColumn) {
                      "bad rational");
   // Missing required directives: the EOF error points at the last real
   // line — a trailing '\n' must not shift it onto a phantom empty line.
+  // (`domain` itself is optional — a domain-less model compiles lifted —
+  // but `expect` is meaningless without one.)
   ExpectModelErrorAt("domain 3\n", 1, 1, "missing required directive");
-  ExpectModelErrorAt("sentence true\n", 1, 1,
-                     "missing required directive 'domain'");
+  ExpectModelErrorAt("sentence true\nexpect 1\n", 2, 1,
+                     "'expect' needs a 'domain' directive");
+  ExpectModelErrorAt("sentence true\nexpect 2 = 1\n", 2, 1,
+                     "'expect' needs a 'domain' directive");
   // FO syntax errors map to the sentence's line, offset by the column of
   // the offending token within the sentence text.
   ExpectModelErrorAt("sentence forall x S(x\ndomain 2\n", 1, 22,
@@ -317,6 +321,18 @@ TEST(ModelFormat, PrintIsAParserFixpoint) {
   EXPECT_NE(canonical.find("predicate S 2"), std::string::npos);
 }
 
+TEST(ModelFormat, DomainIsOptionalAndOmittedByPrint) {
+  // A domain-less model is a compile-only workload for the lifted
+  // compiler; PrintModel must not invent a `domain 0` line for it.
+  ModelSpec spec = ParseModel("sentence forall x U(x)\n");
+  EXPECT_FALSE(spec.has_domain);
+  std::string canonical = PrintModel(spec);
+  EXPECT_EQ(canonical.find("domain"), std::string::npos);
+  ModelSpec reparsed = ParseModel(canonical);
+  EXPECT_FALSE(reparsed.has_domain);
+  EXPECT_EQ(PrintModel(reparsed), canonical);
+}
+
 TEST(ModelFormat, RoundTripFuzz) {
   std::uint64_t base = testutil::FuzzBaseSeed(1);
   std::cout << "SWFOMC_FUZZ_SEED base = " << base << std::endl;
@@ -330,6 +346,7 @@ TEST(ModelFormat, RoundTripFuzz) {
     spec.name = "fuzz-" + std::to_string(seed);
     spec.vocabulary = random.vocabulary;
     spec.sentence = random.sentence;
+    spec.has_domain = true;
     spec.domain_lo = 1 + seed % 3;
     spec.domain_hi = spec.domain_lo + seed % 2;
     if (seed % 3 == 0) spec.method = api::Method::kGrounded;

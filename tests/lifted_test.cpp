@@ -1,0 +1,417 @@
+// The lifted knowledge-compilation stack: fo2::CompileLifted, the
+// nnf::LiftedCircuit evaluator, the unified Engine::Compile router, and
+// the .nnf counting-node dialect.
+//
+// Correctness here is differential: a lifted circuit is compiled ONCE
+// and its Evaluate(n, w) must be bit-identical to the direct cell
+// algorithm and to a fresh grounded compile at every (n, weight vector)
+// pair — including zero and negative weights, where a numeric shortcut
+// in either path would show up as a disagreement.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "api/engine.h"
+#include "fo2/cell_algorithm.h"
+#include "fo2/lifted_compiler.h"
+#include "io/diagnostics.h"
+#include "io/nnf_format.h"
+#include "logic/printer.h"
+#include "nnf/lifted_circuit.h"
+#include "numeric/rational.h"
+#include "test_util.h"
+
+namespace swfomc {
+namespace {
+
+using api::CompileOptions;
+using api::CompileResult;
+using api::CompiledQuery;
+using api::Engine;
+using api::Method;
+using api::Outcome;
+using api::RelationWeights;
+using numeric::BigRational;
+using testutil::FuzzBaseSeed;
+using testutil::MakeRandomFO2Sentence;
+using testutil::RandomSentence;
+
+constexpr std::uint64_t kDefaultBaseSeed = 1;
+
+std::uint64_t BaseSeed() {
+  static std::uint64_t seed = FuzzBaseSeed(kDefaultBaseSeed);
+  return seed;
+}
+
+/// The four weight regimes the reweighting legs sweep: neutral,
+/// fractional, negative, and zero (the regimes where a direct counter is
+/// allowed to prune but a compiled circuit is not).
+struct Regime {
+  const char* label;
+  BigRational positive;
+  BigRational negative;
+};
+
+std::vector<Regime> Regimes() {
+  return {
+      {"unit", BigRational(1), BigRational(1)},
+      {"fractional", BigRational(3), BigRational::Fraction(1, 2)},
+      {"negative", BigRational(-1), BigRational(2)},
+      {"zero", BigRational(0), BigRational(1)},
+  };
+}
+
+// --- The headline differential: one compile, every (n, w, threads). ---
+
+// Fixed liftable sentences with few 1-types, so the full n ∈ [1, 32]
+// sweep stays cheap (the counting node and the direct cell algorithm
+// are both O(n^{C-1}); random sentences can reach C ≈ 32 cells and are
+// exercised at small n below, like the other tier-1 fuzz suites).
+TEST(LiftedCompile, LiftedCompileAgreesWithCellAlgorithmAndGroundedCompile) {
+  struct Fixed {
+    const char* text;
+    const char* binary;  // the relation the reweighting legs replace
+  };
+  const Fixed sentences[] = {
+      {"forall x exists y S(x,y)", "S"},
+      {"forall x forall y (S(x,y) -> (C(x) | C(y)))", "S"},
+      {"forall x forall y (!E(x,x) & (E(x,y) -> E(y,x)))", "E"},
+  };
+  for (const Fixed& fixed : sentences) {
+    const char* text = fixed.text;
+    SCOPED_TRACE(text);
+    Engine engine{logic::Vocabulary{}};
+    logic::Formula sentence = engine.Parse(text);
+    const std::string binary = fixed.binary;
+
+    // Compile once, domain-free: the tentpole contract.
+    ASSERT_TRUE(engine.CanCompileLifted(sentence));
+    CompileResult result = engine.Compile(sentence, CompileOptions{});
+    ASSERT_EQ(result.outcome, Outcome::kExact);
+    ASSERT_EQ(result.method, Method::kLiftedFO2);
+    ASSERT_TRUE(result.compiled.has_value());
+    const CompiledQuery& query = *result.compiled;
+    ASSERT_EQ(query.kind(), CompiledQuery::Kind::kLifted);
+    EXPECT_EQ(query.domain_size(), 0u);
+
+    // Leg 1: the direct cell algorithm, point by point, n in [1, 32].
+    for (std::uint64_t n = 1; n <= 32; ++n) {
+      EXPECT_EQ(query.Evaluate(n, {}),
+                fo2::LiftedWFOMC(sentence, engine.vocabulary(), n))
+          << "n=" << n;
+    }
+
+    // Leg 2: WFOMCSweep, sequential and with 4 worker threads — the
+    // compiled circuit must match every point of both configurations.
+    for (unsigned threads : {1u, 4u}) {
+      Engine::Options options;
+      options.num_threads = threads;
+      Engine sweeper(engine.vocabulary(), options);
+      Engine::SweepResult sweep =
+          sweeper.WFOMCSweep(sentence, 1, 32, Method::kLiftedFO2);
+      ASSERT_EQ(sweep.points.size(), 32u);
+      for (const Engine::SweepPoint& point : sweep.points) {
+        EXPECT_EQ(query.Evaluate(point.domain_size, {}), point.value)
+            << "threads=" << threads << " n=" << point.domain_size;
+      }
+    }
+
+    // Leg 3: reweighting. Replace the binary relation's weights per
+    // regime and compare against a vocabulary carrying those weights —
+    // the compiled circuit must track reweights without recompiling.
+    for (const Regime& regime : Regimes()) {
+      SCOPED_TRACE(std::string("regime=") + regime.label);
+      std::vector<RelationWeights> reweights = {
+          {binary, regime.positive, regime.negative}};
+      logic::Vocabulary reweighted = engine.vocabulary();
+      reweighted.SetWeights(reweighted.Require(binary), regime.positive,
+                            regime.negative);
+      for (std::uint64_t n = 1; n <= 16; ++n) {
+        EXPECT_EQ(query.Evaluate(n, reweights),
+                  fo2::LiftedWFOMC(sentence, reweighted, n))
+            << "n=" << n;
+      }
+    }
+
+    // Leg 4: the grounded compiler at small n — a different circuit
+    // kind, a different algorithm, the same number.
+    for (std::uint64_t n = 1; n <= 3; ++n) {
+      CompileOptions grounded_options;
+      grounded_options.domain_size = n;
+      grounded_options.method = Method::kGrounded;
+      CompileResult grounded = engine.Compile(sentence, grounded_options);
+      ASSERT_EQ(grounded.outcome, Outcome::kExact);
+      ASSERT_TRUE(grounded.compiled.has_value());
+      ASSERT_EQ(grounded.compiled->kind(), CompiledQuery::Kind::kGrounded);
+      EXPECT_EQ(query.Evaluate(n, {}), grounded.compiled->Evaluate(n, {}))
+          << "n=" << n;
+      for (const Regime& regime : Regimes()) {
+        std::vector<RelationWeights> reweights = {
+            {binary, regime.positive, regime.negative}};
+        EXPECT_EQ(query.Evaluate(n, reweights),
+                  grounded.compiled->Evaluate(n, reweights))
+            << "n=" << n << " regime=" << regime.label;
+      }
+    }
+  }
+}
+
+// Seeded random FO² sentences at small n — the same generator and sizes
+// as the tier-1 differential_fuzz suite (cell counts can be large, so
+// big n belongs to the slow cross_engine sweep).
+TEST(LiftedCompile, RandomFO2SentencesAgreeAcrossAllLegs) {
+  std::uint64_t base = BaseSeed();
+  ::testing::Test::RecordProperty("fuzz_base_seed",
+                                  static_cast<int64_t>(base));
+  for (std::uint64_t offset = 0; offset < 8; ++offset) {
+    std::uint64_t seed = base + offset;
+    RandomSentence random = MakeRandomFO2Sentence(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " sentence=" +
+                 logic::ToString(random.sentence, random.vocabulary));
+
+    Engine engine(random.vocabulary);
+    ASSERT_TRUE(engine.CanCompileLifted(random.sentence));
+    CompileResult result = engine.Compile(random.sentence, CompileOptions{});
+    ASSERT_EQ(result.method, Method::kLiftedFO2);
+    ASSERT_TRUE(result.compiled.has_value());
+    const CompiledQuery& query = *result.compiled;
+
+    for (std::uint64_t n = 1; n <= 4; ++n) {
+      // Direct cell algorithm, compile-time weights.
+      EXPECT_EQ(query.Evaluate(n, {}),
+                fo2::LiftedWFOMC(random.sentence, random.vocabulary, n))
+          << "n=" << n;
+      // Reweighted, against a reweighted direct count.
+      for (const Regime& regime : Regimes()) {
+        std::vector<RelationWeights> reweights = {
+            {"R", regime.positive, regime.negative}};
+        logic::Vocabulary reweighted = random.vocabulary;
+        reweighted.SetWeights(reweighted.Require("R"), regime.positive,
+                              regime.negative);
+        EXPECT_EQ(query.Evaluate(n, reweights),
+                  fo2::LiftedWFOMC(random.sentence, reweighted, n))
+            << "n=" << n << " regime=" << regime.label;
+      }
+    }
+    // Grounded compile at n = 2: a different circuit kind, the same
+    // number, under every regime.
+    CompileOptions grounded_options;
+    grounded_options.domain_size = 2;
+    grounded_options.method = Method::kGrounded;
+    CompileResult grounded = engine.Compile(random.sentence, grounded_options);
+    ASSERT_TRUE(grounded.compiled.has_value());
+    for (const Regime& regime : Regimes()) {
+      std::vector<RelationWeights> reweights = {
+          {"R", regime.positive, regime.negative}};
+      EXPECT_EQ(query.Evaluate(2, reweights),
+                grounded.compiled->Evaluate(2, reweights))
+          << "regime=" << regime.label;
+    }
+  }
+}
+
+// --- Unified-API contracts around the two circuit kinds. ---
+
+TEST(LiftedCompile, AutoRoutingPicksTheLiftedCompilerForFO2) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x exists y S(x,y)");
+  CompileResult result = engine.Compile(f, CompileOptions{});
+  ASSERT_TRUE(result.compiled.has_value());
+  EXPECT_EQ(result.method, Method::kLiftedFO2);
+  EXPECT_EQ(result.compiled->kind(), CompiledQuery::Kind::kLifted);
+  // n ↦ (2^n - 1)^n: every element picks a non-empty successor set.
+  EXPECT_EQ(result.compiled->Evaluate(3, {}), BigRational(343));
+}
+
+TEST(LiftedCompile, GroundedCompileWithoutDomainSizeIsRejected) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x T(x,x,x)");  // arity 3
+  EXPECT_FALSE(engine.CanCompileLifted(f));
+  try {
+    engine.Compile(f, CompileOptions{});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("domain size"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(LiftedCompile, GammaAcyclicHasNoCircuitForm) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("exists x exists y R(x,y)");
+  CompileOptions options;
+  options.domain_size = 2;
+  options.method = Method::kGammaAcyclic;
+  EXPECT_THROW(engine.Compile(f, options), std::invalid_argument);
+}
+
+TEST(LiftedCompile, GroundedQueryRejectsForeignDomainSizes) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x U(x)");
+  CompileOptions options;
+  options.domain_size = 3;
+  options.method = Method::kGrounded;
+  CompileResult result = engine.Compile(f, options);
+  ASSERT_TRUE(result.compiled.has_value());
+  EXPECT_EQ(result.compiled->Evaluate(3, {}), BigRational(1));
+  try {
+    result.compiled->Evaluate(4, {});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("domain size"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(LiftedCompile, LiftedCircuitRejectsEmptyDomain) {
+  Engine engine{logic::Vocabulary{}};
+  logic::Formula f = engine.Parse("forall x exists y S(x,y)");
+  CompileResult result = engine.Compile(f, CompileOptions{});
+  ASSERT_TRUE(result.compiled.has_value());
+  EXPECT_THROW(result.compiled->Evaluate(0, {}), std::invalid_argument);
+  EXPECT_THROW(result.compiled->lifted_circuit().Evaluate(0),
+               std::invalid_argument);
+}
+
+TEST(LiftedCompile, MemoryBytesAccountsForVocabularyStrings) {
+  // Two structurally identical compiles whose only difference is the
+  // length of a relation name: the byte accounting the serve LRU trusts
+  // must grow with the name. (Regression: MemoryBytes once ignored the
+  // vocabulary snapshot entirely.)
+  std::string long_name(512, 'R');
+  for (Method method : {Method::kGrounded, Method::kLiftedFO2}) {
+    SCOPED_TRACE(api::ToString(method));
+    auto compile = [&](const std::string& relation) {
+      Engine engine{logic::Vocabulary{}};
+      logic::Formula f = engine.Parse("forall x " + relation + "(x)");
+      CompileOptions options;
+      options.method = method;
+      if (method == Method::kGrounded) options.domain_size = 2;
+      CompileResult result = engine.Compile(f, options);
+      EXPECT_TRUE(result.compiled.has_value());
+      return result.compiled->MemoryBytes();
+    };
+    std::size_t small = compile("U");
+    std::size_t large = compile(long_name);
+    EXPECT_GE(large, small + long_name.size());
+  }
+}
+
+// --- The .nnf counting-node dialect: fixpoint, values, positions. ---
+
+TEST(LiftedNnfFormat, PrintIsAParserFixpointOverRandomCircuits) {
+  std::uint64_t base = BaseSeed();
+  for (std::uint64_t offset = 0; offset < 8; ++offset) {
+    std::uint64_t seed = base + offset;
+    RandomSentence random = MakeRandomFO2Sentence(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    nnf::LiftedCircuit circuit =
+        fo2::CompileLifted(random.sentence, random.vocabulary);
+
+    io::LiftedNnfDocument document;
+    BigRational at5 = circuit.Evaluate(5);
+    document.circuit = std::move(circuit);
+    document.expect = {{5, at5}};
+
+    std::string once = io::PrintLiftedNnf(document);
+    io::LiftedNnfDocument reparsed = io::ParseLiftedNnf(once, "rt.nnf");
+    EXPECT_EQ(io::PrintLiftedNnf(reparsed), once);
+    ASSERT_TRUE(reparsed.expect.has_value());
+    EXPECT_EQ(reparsed.expect->first, 5u);
+    EXPECT_EQ(reparsed.expect->second, at5);
+    // The reparsed circuit is self-contained: same value at every n,
+    // under the relation table's compile-time weights.
+    for (std::uint64_t n = 1; n <= 6; ++n) {
+      EXPECT_EQ(reparsed.circuit.Evaluate(n), document.circuit.Evaluate(n))
+          << "n=" << n;
+    }
+    // And the dialect sniffer sees the lifted header.
+    io::AnyNnfDocument any = io::ParseAnyNnf(once, "rt.nnf");
+    EXPECT_TRUE(std::holds_alternative<io::LiftedNnfDocument>(any));
+  }
+}
+
+void ExpectLiftedErrorAt(const std::string& text, std::size_t line,
+                         std::size_t column,
+                         const std::string& message_piece) {
+  try {
+    io::ParseLiftedNnf(text, "bad.nnf");
+    FAIL() << "expected ParseError for:\n" << text;
+  } catch (const io::ParseError& error) {
+    EXPECT_EQ(error.location().line, line) << error.what();
+    EXPECT_EQ(error.location().column, column) << error.what();
+    EXPECT_NE(error.message().find(message_piece), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(LiftedNnfFormat, ErrorPositions) {
+  ExpectLiftedErrorAt("K 1\n", 1, 1, "expected 'lnnf V E R' header");
+  ExpectLiftedErrorAt("lnnf 1 0\nK 1\n", 1, 8, "expected 3 value(s)");
+  ExpectLiftedErrorAt("lnnf 0 0 0\n", 1, 6, "at least one node");
+  ExpectLiftedErrorAt("lnnf 1 0 0\nlnnf 1 0 0\n", 2, 1, "duplicate 'lnnf'");
+  ExpectLiftedErrorAt("lnnf 1 0 0\nr R 1 1\nK 1\n", 2, 1,
+                      "more relation lines than the header's 0");
+  ExpectLiftedErrorAt("lnnf 1 0 1\nK 1\n", 2, 1, "relation count mismatch");
+  ExpectLiftedErrorAt("lnnf 1 0 0\nW 1\n", 2, 3, "out of range [1, 0]");
+  ExpectLiftedErrorAt("lnnf 2 0 1\nr R 2 1\nW -2\nK 1\n", 3, 3,
+                      "out of range [1, 1]");
+  ExpectLiftedErrorAt("lnnf 1 0 0\nW 0\n", 2, 3, "out of range");
+  ExpectLiftedErrorAt("lnnf 2 1 0\nK 1\nA 1 1\n", 3, 5,
+                      "does not precede its parent");
+  ExpectLiftedErrorAt("lnnf 2 1 0\nK 1\nA 2 0\n", 3, 3,
+                      "child count 2 does not match the 1");
+  ExpectLiftedErrorAt("lnnf 1 0 0\ne 0 1\nK 1\n", 2, 3,
+                      "expect domain size must be >= 1");
+  ExpectLiftedErrorAt("lnnf 1 0 0\ne 1 1\ne 2 1\nK 1\n", 3, 1,
+                      "duplicate 'e'");
+  ExpectLiftedErrorAt("lnnf 1 0 0\nC 0 0\n", 2, 3, "at least one cell");
+  // A 1-cell counting node needs 1 + 1 = 2 children, not 1.
+  ExpectLiftedErrorAt("lnnf 2 1 0\nK 1\nC 1 1 0\n", 3, 3,
+                      "needs 2 children (C + C(C+1)/2), got 1");
+  ExpectLiftedErrorAt("lnnf 1 0 0\nK 1\nK 1\n", 3, 1,
+                      "more nodes than the header's 1");
+  ExpectLiftedErrorAt("lnnf 2 0 0\nK 1\n", 2, 1, "node count mismatch");
+  ExpectLiftedErrorAt("lnnf 1 5 0\nK 1\n", 2, 1, "edge count mismatch");
+  ExpectLiftedErrorAt("lnnf 1 0 0\nQ 3\n", 2, 1,
+                      "unknown line 'Q' (expected c, r, e, K, W, A, O, or C)");
+}
+
+TEST(LiftedNnfFormat, HandWrittenCountingCircuitEvaluates) {
+  // One unary relation U(w=2, w̄=1), one cell circuit: C = 2 cells
+  // {U, ¬U} with unit pair interactions — so Evaluate(n) must be
+  // Σ_k (n choose k) 2^k = 3^n.
+  const char* text =
+      "c 3^n by hand\n"
+      "lnnf 4 5 1\n"
+      "r U 2 1\n"
+      "e 4 81\n"
+      "W 1\n"
+      "W -1\n"
+      "K 1\n"
+      "C 2 5 0 1 2 2 2\n";
+  io::LiftedNnfDocument document = io::ParseLiftedNnf(text, "hand.nnf");
+  ASSERT_TRUE(document.expect.has_value());
+  EXPECT_EQ(document.expect->first, 4u);
+  for (std::uint64_t n = 1; n <= 6; ++n) {
+    BigRational three_to_n(1);
+    for (std::uint64_t i = 0; i < n; ++i) three_to_n *= BigRational(3);
+    EXPECT_EQ(document.circuit.Evaluate(n), three_to_n) << "n=" << n;
+  }
+  EXPECT_EQ(document.circuit.Evaluate(document.expect->first),
+            document.expect->second);
+  // Reweighting U to (1, 1) turns 3^n into 2^n.
+  nnf::LiftedCircuit::Weights unit = {{BigRational(1), BigRational(1)}};
+  EXPECT_EQ(document.circuit.Evaluate(3, unit), BigRational(8));
+}
+
+}  // namespace
+}  // namespace swfomc

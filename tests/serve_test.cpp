@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/engine.h"
 #include "io/json.h"
 
 namespace swfomc {
@@ -82,9 +83,15 @@ TEST(Serve, LruEvictsTheLeastRecentlyUsedCircuit) {
   ServerOptions options;
   options.max_circuits = 2;
   Server server(options);
-  const std::string a = R"js({"sentence": "forall x U(x)", "domain": 2})js";
-  const std::string b = R"js({"sentence": "forall x U(x)", "domain": 3})js";
-  const std::string c = R"js({"sentence": "forall x U(x)", "domain": 4})js";
+  // Arity 3 keeps the sentence off the lifted path, so each domain size
+  // compiles its own grounded circuit (a liftable sentence would share
+  // one cache entry across all three domains and never evict).
+  const std::string a =
+      R"js({"sentence": "forall x T(x,x,x)", "domain": 2})js";
+  const std::string b =
+      R"js({"sentence": "forall x T(x,x,x)", "domain": 3})js";
+  const std::string c =
+      R"js({"sentence": "forall x T(x,x,x)", "domain": 4})js";
   Query(&server, a);
   Query(&server, b);
   Query(&server, a);  // refresh a: b is now the LRU victim
@@ -92,6 +99,69 @@ TEST(Serve, LruEvictsTheLeastRecentlyUsedCircuit) {
   EXPECT_EQ(server.Stats().evictions, 1u);
   EXPECT_EQ(Query(&server, a).At("cached").boolean, true);
   EXPECT_EQ(Query(&server, b).At("cached").boolean, false);  // recompiled
+}
+
+TEST(Serve, LiftedSentenceSharesOneCacheEntryAcrossDomainSizes) {
+  // The tentpole contract at the daemon level: a liftable FO² sentence
+  // is cached under the canonical sentence alone, so queries at three
+  // different domain sizes compile once and hit twice — one lifted
+  // circuit serves every n.
+  Server server;
+  auto line = [](int n) {
+    return R"js({"sentence": "forall x exists y S(x,y)", "domain": )js" +
+           std::to_string(n) + "}";
+  };
+  JsonValue cold = Query(&server, line(3));
+  EXPECT_EQ(cold.At("status").string, "ok");
+  EXPECT_EQ(cold.At("kind").string, "lifted");
+  EXPECT_EQ(cold.At("cached").boolean, false);
+  // (2^n - 1)^n: every element picks a non-empty successor set.
+  EXPECT_EQ(cold.At("results").array[0].At("wfomc").string, "343");
+  JsonValue warm5 = Query(&server, line(5));
+  JsonValue warm9 = Query(&server, line(9));
+  EXPECT_EQ(warm5.At("kind").string, "lifted");
+  EXPECT_EQ(warm5.At("cached").boolean, true);
+  EXPECT_EQ(warm5.At("results").array[0].At("wfomc").string, "28629151");
+  EXPECT_EQ(warm9.At("cached").boolean, true);
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.circuits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  // A grounded query reports its kind too.
+  JsonValue grounded = Query(
+      &server, R"js({"sentence": "forall x T(x,x,x)", "domain": 2})js");
+  EXPECT_EQ(grounded.At("kind").string, "grounded");
+}
+
+TEST(Serve, ByteBoundCountsVocabularyStrings) {
+  // Regression: CompiledQuery::MemoryBytes once ignored the vocabulary
+  // snapshot's strings, so a circuit dragging a huge relation name slid
+  // under any byte bound. Pin the bound just above a short-named
+  // circuit's true footprint: the short name must cache, the long name
+  // (identical circuit shape, ~64 KiB of relation name) must not.
+  std::string long_name(std::size_t{1} << 16, 'Z');
+  api::Engine sizer{logic::Vocabulary{}};
+  api::CompileResult sized = sizer.Compile(
+      sizer.Parse("forall x exists y S(x,y)"), api::CompileOptions{});
+  ASSERT_TRUE(sized.compiled.has_value());
+
+  ServerOptions options;
+  options.max_circuit_bytes = sized.compiled->MemoryBytes() + 4096;
+  Server server(options);
+  const std::string short_line =
+      R"js({"sentence": "forall x exists y S(x,y)", "domain": 3})js";
+  const std::string long_line =
+      R"js({"sentence": "forall x exists y )js" + long_name +
+      R"js((x,y)", "domain": 3})js";
+  EXPECT_EQ(Query(&server, short_line).At("cached").boolean, false);
+  EXPECT_EQ(Query(&server, short_line).At("cached").boolean, true);
+  JsonValue big = Query(&server, long_line);
+  EXPECT_EQ(big.At("status").string, "ok");
+  EXPECT_EQ(big.At("results").array[0].At("wfomc").string, "343");
+  // Served, but the vocabulary bytes pushed it past the bound: a second
+  // identical query recompiles.
+  EXPECT_EQ(Query(&server, long_line).At("cached").boolean, false);
+  EXPECT_EQ(server.Stats().circuits, 1u);
 }
 
 TEST(Serve, OversizedCircuitIsServedButNotCached) {

@@ -18,6 +18,7 @@
 //   --compact      single-line JSON output
 //   --out FILE     compile: write the circuit to FILE (single input)
 //   --out-dir DIR  compile: write one INPUT-basename.nnf per input
+//   --domain N     eval: domain size for lifted circuits
 //   --budget-ms N      wall-clock budget per input (run/cnf/compile)
 //   --max-decisions N  decision budget per input
 //   --max-memory N     memory ceiling, k/m/g suffixes (component cache)
@@ -33,6 +34,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "api/engine.h"
@@ -69,9 +71,13 @@ commands:
   run      evaluate .model files: parse, route, count, report JSON
   cnf      weighted model count of .cnf files through the DPLL counter
   route    report the routing decision for .model files without solving
-  compile  trace the grounded search of .model files into d-DNNF
-           circuits (.nnf); report circuit statistics and the count
-  eval     evaluate .nnf circuits under their embedded weights
+  compile  compile .model files into circuits (.nnf): liftable FO²
+           sentences become domain-parametric lifted circuits (no
+           `domain` directive needed); everything else traces the
+           grounded search into a fixed-n d-DNNF
+  eval     evaluate .nnf circuits (either dialect) under their embedded
+           weights; --domain N picks the domain size for lifted circuits
+           (default: the `e` line's size)
   print    parse .model/.cnf/.nnf files and reprint them canonically
   serve    long-lived inference daemon: newline-delimited JSON requests
            on stdin (or a TCP port with --listen), one response line
@@ -83,12 +89,16 @@ options:
                  thread); applies to the grounded path and sweeps of
                  run/cnf (compile and eval are sequential and reject it)
   --method M     force a method: auto | lifted-fo2 | gamma-acyclic |
-                 grounded (run only; compile always traces grounded)
+                 grounded (run and compile; gamma-acyclic has no
+                 circuit form and is rejected by compile)
   --check        exit with status 1 if any model's `expect` (or circuit's
                  `e`) value mismatches
   --compact      emit single-line JSON instead of pretty-printed
   --out FILE     compile only: write the circuit to FILE (one input file)
   --out-dir DIR  compile only: write DIR/<input-basename>.nnf per input
+  --domain N     eval only: evaluate lifted circuits at domain size N
+                 (rejected for grounded circuits — they fix n at
+                 compile time)
   --budget-ms N      wall-clock budget per input, in milliseconds; an
                      exhausted grounded search reports certified anytime
                      bounds instead of running on (run/cnf/compile; the
@@ -132,6 +142,8 @@ struct CliOptions {
   std::optional<OnBudget> on_budget;
   std::string out_file;
   std::string out_dir;
+  /// eval only: the domain size for lifted circuits.
+  std::optional<std::uint64_t> domain;
   std::vector<std::string> files;
   /// serve-only knobs.
   std::optional<std::uint16_t> listen_port;
@@ -252,6 +264,11 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
       options.out_dir = argv[i];
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       options.out_dir = arg.substr(10);
+    } else if (arg == "--domain") {
+      if (++i >= argc) throw UsageError("--domain needs a value");
+      options.domain = ParseUint64Flag("--domain", argv[i]);
+    } else if (arg.rfind("--domain=", 0) == 0) {
+      options.domain = ParseUint64Flag("--domain", arg.substr(9));
     } else if (arg == "--budget-ms") {
       if (++i >= argc) throw UsageError("--budget-ms needs a value");
       options.run.budget_ms = ParseUint64Flag("--budget-ms", argv[i]);
@@ -356,6 +373,10 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
     if (!options.out_file.empty() || !options.out_dir.empty()) {
       throw UsageError("--out/--out-dir do not apply to the serve command");
     }
+    if (options.domain.has_value()) {
+      throw UsageError("--domain does not apply to the serve command "
+                       "(requests carry their own domain size)");
+    }
     return options;
   }
   if (options.serve_flags_used()) {
@@ -378,19 +399,22 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
   if (!options.out_file.empty() && options.files.size() != 1) {
     throw UsageError("--out takes exactly one input file (use --out-dir)");
   }
-  // Compilation always runs the sequential grounded trace and eval is a
-  // linear circuit pass; accepting a forced method or a thread count
-  // there would silently do nothing.
+  // Compilation is sequential and eval is a linear circuit pass;
+  // accepting a thread count there would silently do nothing. Eval has
+  // nothing to route, so a forced method is meaningless too.
   if (options.command == "compile" || options.command == "eval") {
-    if (options.run.method_override.has_value()) {
-      throw UsageError("--method does not apply to the " + options.command +
-                       " command (compilation always traces the grounded "
-                       "search)");
-    }
     if (options.run.num_threads != 1) {
       throw UsageError("--threads does not apply to the " + options.command +
                        " command (tracing and evaluation are sequential)");
     }
+  }
+  if (options.command == "eval" && options.run.method_override.has_value()) {
+    throw UsageError("--method does not apply to the eval command "
+                     "(the circuit kind was fixed at compile time)");
+  }
+  if (options.domain.has_value() && options.command != "eval") {
+    throw UsageError("--domain only applies to the eval command (run and "
+                     "compile take the model's 'domain' directive)");
   }
   // Budgets govern the counting search; route/eval/print never run one.
   if (options.run.governed() &&
@@ -606,13 +630,28 @@ int RunCompile(const CliOptions& options) {
     if (outcome.query.has_value() &&
         (!options.out_file.empty() || !options.out_dir.empty())) {
       std::string out_path = OutputPathFor(options, path);
-      NnfDocument document =
-          swfomc::io::MakeNnfDocument(*outcome.query, spec.expect);
+      std::string rendered;
+      if (outcome.query->kind() ==
+          swfomc::api::CompiledQuery::Kind::kLifted) {
+        // Pin (domain_hi, count) as the e line when the model has a
+        // domain: it both checks the pipeline and gives `swfomc eval`
+        // its default domain size.
+        std::optional<std::pair<std::uint64_t, swfomc::numeric::BigRational>>
+            expect;
+        if (spec.has_domain) {
+          expect.emplace(spec.domain_hi, outcome.report.count);
+        }
+        rendered = swfomc::io::PrintLiftedNnf(swfomc::io::MakeLiftedNnfDocument(
+            *outcome.query, std::move(expect)));
+      } else {
+        rendered = swfomc::io::PrintNnf(
+            swfomc::io::MakeNnfDocument(*outcome.query, spec.expect));
+      }
       std::ofstream out(out_path);
       if (!out) {
         throw std::runtime_error("cannot write nnf file: " + out_path);
       }
-      out << swfomc::io::PrintNnf(document);
+      out << rendered;
       if (!out.flush()) {
         throw std::runtime_error("error writing nnf file: " + out_path);
       }
@@ -637,8 +676,21 @@ int RunEval(const CliOptions& options) {
   JsonValue results = JsonValue::MakeArray();
   bool checks_passed = true;
   for (const std::string& path : options.files) {
-    NnfDocument document = swfomc::io::LoadNnfFile(path);
-    swfomc::io::EvalRunReport report = swfomc::io::RunEval(document, path);
+    swfomc::io::AnyNnfDocument document = swfomc::io::LoadAnyNnfFile(path);
+    swfomc::io::EvalRunReport report;
+    if (const NnfDocument* grounded =
+            std::get_if<NnfDocument>(&document)) {
+      if (options.domain.has_value()) {
+        throw UsageError("--domain does not apply to '" + path +
+                         "': a grounded circuit fixes its domain size at "
+                         "compile time (compile a lifted circuit to sweep n)");
+      }
+      report = swfomc::io::RunEval(*grounded, path);
+    } else {
+      report = swfomc::io::RunEval(
+          std::get<swfomc::io::LiftedNnfDocument>(document), options.domain,
+          path);
+    }
     if (options.check && report.expected.has_value() &&
         !report.check_passed) {
       checks_passed = false;
@@ -664,7 +716,13 @@ int RunPrint(const CliOptions& options) {
       std::cout << swfomc::io::PrintWeightedCnf(
           swfomc::io::LoadWeightedCnfFile(path));
     } else if (path.ends_with(".nnf")) {
-      std::cout << swfomc::io::PrintNnf(swfomc::io::LoadNnfFile(path));
+      swfomc::io::AnyNnfDocument document = swfomc::io::LoadAnyNnfFile(path);
+      if (const NnfDocument* grounded = std::get_if<NnfDocument>(&document)) {
+        std::cout << swfomc::io::PrintNnf(*grounded);
+      } else {
+        std::cout << swfomc::io::PrintLiftedNnf(
+            std::get<swfomc::io::LiftedNnfDocument>(document));
+      }
     } else {
       std::cout << swfomc::io::PrintModel(swfomc::io::LoadModelFile(path));
     }
