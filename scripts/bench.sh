@@ -21,7 +21,8 @@ OUT="${BENCH_OUT:-BENCH_wmc.json}"
 export SWFOMC_BENCH_THREADS="${SWFOMC_BENCH_THREADS:-4}"
 
 BENCHES=(bench_wmc_ablation bench_table1 bench_sweep bench_nnf
-         bench_lifted_nnf bench_numeric bench_budget bench_serve)
+         bench_lifted_nnf bench_numeric bench_budget bench_serve
+         bench_obs)
 
 # bench_serve's cold-process row spawns the real CLI per iteration.
 export SWFOMC_CLI="${SWFOMC_CLI:-$BUILD_DIR/tools/swfomc}"

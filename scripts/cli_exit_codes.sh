@@ -76,6 +76,19 @@ expect 64 "$bin" run --listen 4242 x.model            # serve-only flags
 expect 64 "$bin" run --max-circuits 4 x.model
 expect 64 "$bin" compile --max-circuit-bytes 1M x.model
 
+# Observability sinks follow the counting/evaluation work: route and
+# print have none, serve exposes metrics through its protocol command
+# instead of a file, and both flags demand a filename.
+expect 64 "$bin" route --metrics-out m.txt x.model
+expect 64 "$bin" route --trace-out t.jsonl x.model
+expect 64 "$bin" print --metrics-out m.txt x.model
+expect 64 "$bin" print --trace-out t.jsonl x.model
+expect 64 "$bin" serve --metrics-out m.txt
+expect 64 "$bin" run --metrics-out                    # flag needs a value
+expect 64 "$bin" run --trace-out
+expect 64 "$bin" run --metrics-out= x.model
+expect 64 "$bin" run --trace-out= x.model
+
 # 2: input files that cannot be read or parsed.
 expect 2 "$bin" run "$workdir/does-not-exist.model"
 expect 2 "$bin" cnf "$workdir/does-not-exist.cnf"
@@ -132,6 +145,15 @@ printf 'sentence forall x R(x)\ndomain 1\nexpect 1\n' > "$workdir/right.model"
 expect 0 "$bin" run --check "$workdir/right.model"
 expect 0 "$bin" compile --check --out-dir "$workdir/nnf" "$workdir/right.model"
 expect 0 "$bin" eval --check "$workdir/nnf/right.nnf"
+
+# 0: observability sinks on a counting command write real files; an
+# unwritable sink is an I/O failure (exit 2), not a usage error.
+expect 0 "$bin" run --metrics-out "$workdir/m.txt" \
+  --trace-out "$workdir/t.jsonl" --check "$workdir/right.model"
+expect 0 grep -q '^swfomc_' "$workdir/m.txt"
+expect 0 grep -q '"ts_us"' "$workdir/t.jsonl"
+expect 2 "$bin" run --metrics-out "$workdir/no-such-dir/m.txt" \
+  "$workdir/right.model"
 
 # 0: the daemon's side of the contract — `quit` and EOF are clean exits.
 printf '{"cmd":"quit"}\n' > "$workdir/quit.jsonl"

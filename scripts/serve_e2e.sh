@@ -26,6 +26,7 @@ this line is not JSON
 {"id": 3, "sentence": "forall x exists y S(x,y)", "domain": 3}
 {"id": 4, "sentence": "exists x exists y exists z (S(x,y) & S(y,z) & S(z,x))", "domain": 7, "max_decisions": 0}
 {"id": 5, "cmd": "stats"}
+{"id": 6, "cmd": "metrics"}
 {"cmd": "quit"}
 EOF
 
@@ -37,8 +38,8 @@ if [[ "$code" != 0 ]]; then
 fi
 
 lines=$(wc -l < "$responses")
-if [[ "$lines" != 7 ]]; then
-  echo "FAIL: $lines response lines (want 7, one per request)"
+if [[ "$lines" != 8 ]]; then
+  echo "FAIL: $lines response lines (want 8, one per request)"
   cat "$responses"
   failures=1
 fi
@@ -73,7 +74,50 @@ check 5 "exhausted compile degrades to certified bounds" \
   '"id":4' '"status":"ok"' '"compile_outcome":"aborted"' \
   '"outcome":"bounds"' '"lower"' '"upper"'
 check 6 "stats reflect the session" \
-  '"id":5' '"cache_hits":1' '"errors":1' '"circuits":2'
-check 7 "quit acknowledges and closes" '"status":"ok"' '"bye":true'
+  '"id":5' '"cache_hits":1' '"errors":1' '"circuits":2' \
+  '"evicted_bytes":0' '"circuit_bytes_peak":'
+check 7 "metrics command answers with an exposition" \
+  '"id":6' '"status":"ok"' '"exposition":'
+check 8 "quit acknowledges and closes" '"status":"ok"' '"bye":true'
+
+# The exposition rides JSON-escaped inside response 7; unescape it and
+# hold it to the Prometheus text-format grammar plus the session's
+# ground-truth counts (5 requests before the stats line, plus stats
+# itself, were counted when the scrape ran; one was the malformed error;
+# id1/id3/id4 missed the circuit cache, id2 hit it).
+exposition_line="$(sed -n '7p' "$responses")"
+metrics="$workdir/metrics.txt"
+grep -oE '"exposition":"(\\.|[^"\\])*"' <<< "$exposition_line" \
+  | sed -e 's/^"exposition":"//' -e 's/"$//' \
+  | sed -e 's/\\n/\n/g' -e 's/\\"/"/g' > "$metrics"
+if [[ ! -s "$metrics" ]]; then
+  echo "FAIL: metrics response carries no exposition text"
+  failures=1
+else
+  bad="$(grep -vE '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?)$' "$metrics" || true)"
+  if [[ -n "$bad" ]]; then
+    echo "FAIL: exposition lines break the text-format grammar:"
+    echo "$bad"
+    failures=1
+  else
+    echo "ok: exposition parses ($(grep -cv '^#' "$metrics") samples)"
+  fi
+  expect_metric() {
+    local name="$1" value="$2"
+    if grep -qE "^${name} ${value}\$" "$metrics"; then
+      echo "ok: metric $name = $value"
+    else
+      echo "FAIL: metric $name != $value"
+      grep "^${name} " "$metrics" || echo "  ($name absent)"
+      failures=1
+    fi
+  }
+  expect_metric swfomc_serve_requests_total 6
+  expect_metric swfomc_serve_errors_total 1
+  expect_metric swfomc_serve_cache_hits_total 1
+  expect_metric swfomc_serve_cache_misses_total 3
+  expect_metric swfomc_serve_cache_circuits 2
+  expect_metric swfomc_serve_batch_size_count 4
+fi
 
 exit "$failures"

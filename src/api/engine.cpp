@@ -141,6 +141,47 @@ Governance ResolveGovernance(const Engine::Options& engine_options,
                                      : engine_options.fault};
 }
 
+// Method names as metric-name fragments ('-' is not a valid metric
+// character, so these diverge from ToString).
+const char* MethodMetricSuffix(Method method) {
+  switch (method) {
+    case Method::kAuto: return "auto";
+    case Method::kLiftedFO2: return "lifted_fo2";
+    case Method::kGammaAcyclic: return "gamma_acyclic";
+    case Method::kGrounded: return "grounded";
+  }
+  return "unknown";
+}
+
+// One engine-level query boundary: counts the route decision, claims a
+// query id, and opens a sampled span. Every entry point (WFOMC, sweep,
+// compile) funnels through this so metric names cannot drift apart.
+struct QueryScope {
+  obs::TraceLog::Span span;
+  std::uint64_t query_id = 0;
+
+  QueryScope(const Engine::Options& options, const char* op, Method method) {
+    if (options.metrics != nullptr) {
+      options.metrics
+          ->GetCounter("swfomc_engine_queries_total",
+                       "Engine-level query entries (wfomc, sweep, compile)")
+          ->Add();
+      options.metrics
+          ->GetCounter(std::string("swfomc_engine_route_") +
+                           MethodMetricSuffix(method) + "_total",
+                       "Queries routed to this method")
+          ->Add();
+    }
+    if (options.trace != nullptr) {
+      query_id = options.trace->NextQueryId();
+      if (options.trace->SampledQuery(query_id)) {
+        span = options.trace->BeginSpan(op);
+        span.Num("query", query_id).Str("method", ToString(method));
+      }
+    }
+  }
+};
+
 // Resident bytes of a vocabulary snapshot: the relation records, both
 // copies of every name (the record and the by-name index key), the weight
 // limb buffers, and an approximation of the index's per-entry node
@@ -277,42 +318,54 @@ Engine::Result Engine::WFOMC(const logic::Formula& sentence,
                              const QueryOptions& query_options) {
   Governance governance = ResolveGovernance(options_, query_options);
   if (method == Method::kAuto) method = Route(sentence);
-  Result result;
-  result.method = method;
-  switch (method) {
-    case Method::kLiftedFO2:
-      result.value = fo2::LiftedWFOMC(sentence, vocabulary_, domain_size);
-      return result;
-    case Method::kGammaAcyclic: {
-      auto [query, weights] =
-          RequireGammaAcyclicQuery(sentence, vocabulary_, "Engine::WFOMC");
-      result.value = cq::GammaAcyclicWFOMC(query, domain_size, weights);
-      return result;
-    }
-    case Method::kGrounded: {
-      wmc::DpllCounter::Options counter_options;
-      counter_options.num_threads = options_.num_threads;
-      counter_options.budget = governance.budget;
-      counter_options.cancel = governance.cancel;
-      counter_options.fault = governance.fault;
-      wmc::DpllCounter::Stats stats;
-      wmc::DpllCounter::CountResult counted = grounding::GroundedWFOMCBounded(
-          sentence, vocabulary_, domain_size, counter_options, &stats);
-      result.grounded_stats = stats;
-      result.outcome = FromCounterOutcome(counted.outcome);
-      result.stop_reason = counted.stop_reason;
-      if (result.outcome == Outcome::kBounds) {
-        result.bounds = BoundsResult{counted.value, std::move(counted.upper)};
-        result.value = std::move(counted.value);
-      } else if (result.outcome == Outcome::kExact) {
-        result.value = std::move(counted.value);
+  QueryScope scope(options_, "wfomc", method);
+  scope.span.Num("n", domain_size);
+  Result result = [&]() -> Result {
+    Result result;
+    result.method = method;
+    switch (method) {
+      case Method::kLiftedFO2:
+        result.value = fo2::LiftedWFOMC(sentence, vocabulary_, domain_size);
+        return result;
+      case Method::kGammaAcyclic: {
+        auto [query, weights] =
+            RequireGammaAcyclicQuery(sentence, vocabulary_, "Engine::WFOMC");
+        result.value = cq::GammaAcyclicWFOMC(query, domain_size, weights);
+        return result;
       }
-      return result;
+      case Method::kGrounded: {
+        wmc::DpllCounter::Options counter_options;
+        counter_options.num_threads = options_.num_threads;
+        counter_options.budget = governance.budget;
+        counter_options.cancel = governance.cancel;
+        counter_options.fault = governance.fault;
+        counter_options.metrics = options_.metrics;
+        counter_options.trace = options_.trace;
+        counter_options.trace_query_id = scope.query_id;
+        wmc::DpllCounter::Stats stats;
+        wmc::DpllCounter::CountResult counted =
+            grounding::GroundedWFOMCBounded(sentence, vocabulary_,
+                                            domain_size, counter_options,
+                                            &stats);
+        result.grounded_stats = stats;
+        result.outcome = FromCounterOutcome(counted.outcome);
+        result.stop_reason = counted.stop_reason;
+        if (result.outcome == Outcome::kBounds) {
+          result.bounds =
+              BoundsResult{counted.value, std::move(counted.upper)};
+          result.value = std::move(counted.value);
+        } else if (result.outcome == Outcome::kExact) {
+          result.value = std::move(counted.value);
+        }
+        return result;
+      }
+      case Method::kAuto:
+        break;
     }
-    case Method::kAuto:
-      break;
-  }
-  throw std::logic_error("Engine::WFOMC: unreachable");
+    throw std::logic_error("Engine::WFOMC: unreachable");
+  }();
+  scope.span.Str("outcome", ToString(result.outcome));
+  return result;
 }
 
 Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
@@ -334,6 +387,8 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
     throw std::invalid_argument("Engine::WFOMCSweep: range too large");
   }
   if (method == Method::kAuto) method = Route(sentence);
+  QueryScope scope(options_, "wfomc_sweep", method);
+  scope.span.Num("n_lo", n_lo).Num("n_hi", n_hi);
   SweepResult sweep;
   sweep.method = method;
   sweep.points.resize(static_cast<std::size_t>(n_hi - n_lo + 1));
@@ -380,13 +435,16 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
       // by all points together, so which points degrade to bounds can
       // vary with the schedule (the bracket guarantee holds per point
       // regardless).
-      auto count_point = [this, &sentence, &governance](
+      auto count_point = [this, &sentence, &governance, &scope](
                              SweepPoint* point, unsigned point_threads) {
         wmc::DpllCounter::Options counter_options;
         counter_options.num_threads = point_threads;
         counter_options.budget = governance.budget;
         counter_options.cancel = governance.cancel;
         counter_options.fault = governance.fault;
+        counter_options.metrics = options_.metrics;
+        counter_options.trace = options_.trace;
+        counter_options.trace_query_id = scope.query_id;
         wmc::DpllCounter::CountResult counted =
             grounding::GroundedWFOMCBounded(sentence, vocabulary_,
                                             point->domain_size,
@@ -411,7 +469,9 @@ Engine::SweepResult Engine::WFOMCSweep(const logic::Formula& sentence,
           count_point(&point, options_.num_threads);
         }
       } else {
-        runtime::ThreadPool pool(threads);
+        runtime::ThreadPool pool(
+            threads, runtime::ThreadPool::Metrics::FromRegistry(
+                         options_.metrics));
         runtime::TaskGroup group(&pool);
         for (SweepPoint& point : sweep.points) {
           group.Submit([&count_point, &point] { count_point(&point, 1); });
@@ -571,6 +631,10 @@ CompileResult Engine::Compile(const logic::Formula& sentence,
     method = CanCompileLifted(sentence) ? Method::kLiftedFO2
                                         : Method::kGrounded;
   }
+  QueryScope scope(options_, "compile", method);
+  if (options.domain_size.has_value()) {
+    scope.span.Num("n", *options.domain_size);
+  }
   CompileResult result;
   result.method = method;
   switch (method) {
@@ -622,6 +686,9 @@ CompileResult Engine::Compile(const logic::Formula& sentence,
   counter_options.budget = governance.budget;
   counter_options.cancel = governance.cancel;
   counter_options.fault = governance.fault;
+  counter_options.metrics = options_.metrics;
+  counter_options.trace = options_.trace;
+  counter_options.trace_query_id = scope.query_id;
   wmc::DpllCounter counter(std::move(tseitin.cnf), std::move(weights),
                            counter_options);
 
@@ -634,6 +701,7 @@ CompileResult Engine::Compile(const logic::Formula& sentence,
     // result; the caller retries with a larger budget or falls back to
     // per-query counting.)
     result.outcome = Outcome::kAborted;
+    scope.span.Str("outcome", ToString(result.outcome));
     return result;
   }
   CompiledQuery compiled;
@@ -649,6 +717,7 @@ CompileResult Engine::Compile(const logic::Formula& sentence,
   }
   result.outcome = Outcome::kExact;
   result.compiled = std::move(compiled);
+  scope.span.Str("outcome", ToString(result.outcome));
   return result;
 }
 

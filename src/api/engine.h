@@ -13,6 +13,8 @@
 #include "nnf/lifted_circuit.h"
 #include "numeric/bigint.h"
 #include "numeric/rational.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wmc/dpll_counter.h"
 #include "wmc/weights.h"
 
@@ -251,6 +253,13 @@ class Engine {
     runtime::CancelToken* cancel = nullptr;
     /// Deterministic fault injection for tests (not owned).
     runtime::FaultPoint* fault = nullptr;
+    /// Live observability (not owned; null = disabled). The registry
+    /// receives per-method route counters and is forwarded into the
+    /// DPLL counter and its pool; the trace log gets one span per
+    /// WFOMC/WFOMCSweep/Compile call (with a fresh query id) plus the
+    /// counter's progress events. Neither changes any result bit.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceLog* trace = nullptr;
   };
 
   /// CompileResult used to be a nested type; the alias keeps

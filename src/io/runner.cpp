@@ -87,8 +87,11 @@ ModelRunReport RunModel(const ModelSpec& spec, const RunOptions& options,
   report.domain_lo = spec.domain_lo;
   report.domain_hi = spec.domain_hi;
 
-  api::Engine engine(spec.vocabulary,
-                     api::Engine::Options{options.num_threads});
+  api::Engine::Options engine_options;
+  engine_options.num_threads = options.num_threads;
+  engine_options.metrics = options.metrics;
+  engine_options.trace = options.trace;
+  api::Engine engine(spec.vocabulary, engine_options);
   report.sentence =
       logic::ToString(spec.sentence, engine.vocabulary());
   report.route = engine.ExplainRoute(spec.sentence);
@@ -151,13 +154,29 @@ CnfRunReport RunWeightedCnf(const WeightedCnf& instance,
 
   wmc::DpllCounter::Options counter_options;
   counter_options.num_threads = options.num_threads;
+  counter_options.metrics = options.metrics;
+  counter_options.trace = options.trace;
   runtime::Budget budget;
   if (ArmBudget(options, &budget)) counter_options.budget = &budget;
+
+  // The cnf path bypasses api::Engine, so it claims its own query id for
+  // trace correlation and wraps the count in a span itself.
+  obs::TraceLog::Span span;
+  if (options.trace != nullptr) {
+    counter_options.trace_query_id = options.trace->NextQueryId();
+    if (options.trace->SampledQuery(counter_options.trace_query_id)) {
+      span = options.trace->BeginSpan("cnf_count");
+      span.Num("query", counter_options.trace_query_id);
+      span.Num("variables", static_cast<std::uint64_t>(report.variables));
+      span.Num("clauses", report.clauses);
+    }
+  }
   wmc::DpllCounter counter(instance.cnf, instance.weights, counter_options);
 
   auto start = std::chrono::steady_clock::now();
   wmc::DpllCounter::CountResult counted = counter.CountBounded();
   report.elapsed_seconds = SecondsSince(start);
+  span.Finish();
   switch (counted.outcome) {
     case wmc::DpllCounter::CountOutcome::kExact:
       report.outcome = api::Outcome::kExact;
@@ -187,7 +206,10 @@ CompileOutcome RunCompile(const ModelSpec& spec, const RunOptions& options,
   report.has_domain = spec.has_domain;
   report.domain_size = spec.has_domain ? spec.domain_hi : 0;
 
-  api::Engine engine(spec.vocabulary);
+  api::Engine::Options engine_options;
+  engine_options.metrics = options.metrics;
+  engine_options.trace = options.trace;
+  api::Engine engine(spec.vocabulary, engine_options);
   report.sentence = logic::ToString(spec.sentence, engine.vocabulary());
   report.route = engine.ExplainRoute(spec.sentence);
 

@@ -15,6 +15,8 @@
 #include "nnf/circuit.h"
 #include "nnf/lifted_circuit.h"
 #include "numeric/rational.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/budget.h"
 #include "wmc/dpll_counter.h"
 
@@ -36,6 +38,11 @@ struct RunOptions {
   std::optional<std::uint64_t> budget_ms;
   std::optional<std::uint64_t> max_decisions;
   std::optional<std::uint64_t> max_memory_bytes;
+  /// Live observability (the CLI's --metrics-out / --trace-out flags;
+  /// not owned, null = disabled). Forwarded into the engine and the DPLL
+  /// counter; never changes any result bit.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceLog* trace = nullptr;
 
   bool governed() const {
     return budget_ms.has_value() || max_decisions.has_value() ||

@@ -14,7 +14,24 @@ thread_local std::size_t current_slot = 0;
 
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned thread_count) {
+ThreadPool::Metrics ThreadPool::Metrics::FromRegistry(
+    obs::MetricsRegistry* registry) {
+  Metrics metrics;
+  if (registry == nullptr) return metrics;
+  metrics.tasks_run = registry->GetCounter(
+      "swfomc_pool_tasks_run_total", "Tasks popped from the owner's deque");
+  metrics.tasks_stolen = registry->GetCounter(
+      "swfomc_pool_tasks_stolen_total", "Tasks stolen from another deque");
+  metrics.queue_depth = registry->GetGauge(
+      "swfomc_pool_queue_depth", "Tasks pushed but not yet started");
+  return metrics;
+}
+
+ThreadPool::ThreadPool(unsigned thread_count)
+    : ThreadPool(thread_count, Metrics{}) {}
+
+ThreadPool::ThreadPool(unsigned thread_count, Metrics metrics)
+    : metrics_(metrics) {
   std::size_t workers = thread_count > 1 ? thread_count - 1 : 0;
   deques_.resize(workers + 1);  // slot 0 is the external/shared deque
   workers_.reserve(workers);
@@ -51,11 +68,13 @@ void ThreadPool::Push(Task task) {
     deques_[slot].push_back(std::move(task));
     ++pending_;
   }
+  if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(1);
   work_available_.notify_one();
 }
 
 bool ThreadPool::RunOneTask() {
   Task task;
+  bool stolen = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (pending_ == 0) return false;
@@ -73,11 +92,18 @@ bool ThreadPool::RunOneTask() {
         if (!deques_[victim].empty()) {
           task = std::move(deques_[victim].front());
           deques_[victim].pop_front();
+          stolen = victim != own;
           break;
         }
       }
     }
     --pending_;
+  }
+  if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Sub(1);
+  if (stolen) {
+    if (metrics_.tasks_stolen != nullptr) metrics_.tasks_stolen->Add(1);
+  } else if (metrics_.tasks_run != nullptr) {
+    metrics_.tasks_run->Add(1);
   }
   Execute(std::move(task));
   return true;

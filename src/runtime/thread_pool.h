@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace swfomc::runtime {
 
 class TaskGroup;
@@ -34,7 +36,18 @@ class ThreadPool {
   /// TaskGroup::Wait acts as the remaining worker. `thread_count` of 0 or
   /// 1 spawns no workers at all — every task runs inline in Wait, which
   /// keeps the sequential path allocation- and synchronization-free.
+  /// Observability hooks. All pointers may be null (the disabled
+  /// state); FromRegistry binds the pool's standard metric names. The
+  /// instruments must outlive the pool.
+  struct Metrics {
+    obs::Counter* tasks_run = nullptr;     // popped from the own deque
+    obs::Counter* tasks_stolen = nullptr;  // taken from another deque
+    obs::Gauge* queue_depth = nullptr;     // tasks pushed but not started
+    static Metrics FromRegistry(obs::MetricsRegistry* registry);
+  };
+
   explicit ThreadPool(unsigned thread_count);
+  ThreadPool(unsigned thread_count, Metrics metrics);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -73,6 +86,7 @@ class ThreadPool {
   std::size_t next_victim_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+  Metrics metrics_;
 };
 
 /// One fork-join region. Submit() enqueues subtasks; Wait() returns once

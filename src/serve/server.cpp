@@ -123,15 +123,19 @@ JsonValue DirectResult(const logic::Vocabulary& base_vocabulary,
                        std::uint64_t domain_size,
                        const std::vector<api::RelationWeights>& reweights,
                        api::Method method, const RequestBudget& envelope,
-                       unsigned num_threads) {
+                       unsigned num_threads, obs::MetricsRegistry* metrics,
+                       obs::TraceLog* trace) {
   logic::Vocabulary vocabulary = base_vocabulary;
   for (const api::RelationWeights& weights : reweights) {
     // Parsing validated the names; Find cannot miss here.
     vocabulary.SetWeights(*vocabulary.Find(weights.relation),
                           weights.positive, weights.negative);
   }
-  api::Engine engine(std::move(vocabulary),
-                     api::Engine::Options{num_threads});
+  api::Engine::Options engine_options;
+  engine_options.num_threads = num_threads;
+  engine_options.metrics = metrics;
+  engine_options.trace = trace;
+  api::Engine engine(std::move(vocabulary), engine_options);
   // Per-call governance: the request's budget rides on QueryOptions, so
   // even a shared engine would stay untouched.
   runtime::Budget budget;
@@ -212,10 +216,45 @@ class FdStreamBuf : public std::streambuf {
 }  // namespace
 
 Server::Server(ServerOptions options) : options_(std::move(options)) {
+  m_.requests = registry_.GetCounter("swfomc_serve_requests_total",
+                                     "Requests handled (ok or error)");
+  m_.errors = registry_.GetCounter("swfomc_serve_errors_total",
+                                   "Requests answered with status error");
+  m_.cache_hits = registry_.GetCounter(
+      "swfomc_serve_cache_hits_total",
+      "Queries answered from a cached compiled circuit");
+  m_.cache_misses = registry_.GetCounter("swfomc_serve_cache_misses_total",
+                                         "Circuit-cache lookup misses");
+  m_.evictions = registry_.GetCounter("swfomc_serve_cache_evictions_total",
+                                      "Circuits evicted from the LRU");
+  m_.evicted_bytes =
+      registry_.GetCounter("swfomc_serve_cache_evicted_bytes_total",
+                           "Bytes accounted to evicted circuits");
+  m_.circuits = registry_.GetGauge("swfomc_serve_cache_circuits",
+                                   "Circuits resident in the LRU");
+  m_.circuit_bytes = registry_.GetGauge("swfomc_serve_cache_bytes",
+                                        "Bytes resident in the circuit LRU");
+  m_.circuit_bytes_peak =
+      registry_.GetGauge("swfomc_serve_cache_bytes_peak",
+                         "High-water mark of resident circuit bytes");
+  m_.inflight = registry_.GetGauge("swfomc_serve_inflight",
+                                   "Query requests currently executing");
+  m_.warm_usec = registry_.GetHistogram(
+      "swfomc_serve_request_usec_warm",
+      "Microseconds per query served from a cached circuit");
+  m_.cold_usec = registry_.GetHistogram(
+      "swfomc_serve_request_usec_cold",
+      "Microseconds per query that compiled or counted directly");
+  m_.batch_size = registry_.GetHistogram(
+      "swfomc_serve_batch_size", "Weight vectors per query request");
+
   unsigned threads = runtime::ThreadPool::ResolveThreadCount(
       options_.num_threads == 0 ? 0 : options_.num_threads);
   options_.num_threads = threads;
-  if (threads > 1) pool_ = std::make_unique<runtime::ThreadPool>(threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(
+        threads, runtime::ThreadPool::Metrics::FromRegistry(&registry_));
+  }
 }
 
 Server::~Server() = default;
@@ -223,9 +262,8 @@ Server::~Server() = default;
 Server::Reply Server::HandleLine(std::string_view line) {
   Reply reply;
   if (line.size() > options_.max_request_bytes) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests;
-    ++stats_.errors;
+    m_.requests->Add();
+    m_.errors->Add();
     reply.json = MakeError(nullptr,
                            "request exceeds " +
                                std::to_string(options_.max_request_bytes) +
@@ -236,9 +274,8 @@ Server::Reply Server::HandleLine(std::string_view line) {
   try {
     request = io::ParseJson(line, "<request>");
   } catch (const io::ParseError& error) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests;
-    ++stats_.errors;
+    m_.requests->Add();
+    m_.errors->Add();
     reply.json = MakeError(nullptr, error.what());
     return reply;
   }
@@ -262,9 +299,8 @@ Server::Reply Server::HandleLine(std::string_view line) {
 io::JsonValue Server::HandleRequest(const io::JsonValue& request) {
   const JsonValue* id = FindMember(request, "id");
   auto finish = [&](JsonValue json, bool is_error) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests;
-    if (is_error) ++stats_.errors;
+    m_.requests->Add();
+    if (is_error) m_.errors->Add();
     return json;
   };
   if (request.kind != JsonValue::Kind::kObject) {
@@ -278,6 +314,7 @@ io::JsonValue Server::HandleRequest(const io::JsonValue& request) {
     cmd = member->string;
   }
   if (cmd == "stats") return finish(HandleStats(id), false);
+  if (cmd == "metrics") return finish(HandleMetrics(id), false);
   if (cmd == "quit" || cmd == "shutdown") {
     JsonValue json = JsonValue::MakeObject();
     if (id != nullptr) json.Add("id", *id);
@@ -288,6 +325,11 @@ io::JsonValue Server::HandleRequest(const io::JsonValue& request) {
   if (cmd != "query") {
     return finish(MakeError(id, "unknown command '" + cmd + "'"), true);
   }
+  struct InflightGuard {
+    obs::Gauge* gauge;
+    InflightGuard(obs::Gauge* g) : gauge(g) { gauge->Add(1); }
+    ~InflightGuard() { gauge->Sub(1); }
+  } inflight{m_.inflight};
   JsonValue response = HandleQuery(request);
   bool is_error = false;
   if (const JsonValue* status = FindMember(response, "status")) {
@@ -299,6 +341,31 @@ io::JsonValue Server::HandleRequest(const io::JsonValue& request) {
 io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
   auto start = std::chrono::steady_clock::now();
   const JsonValue* id = FindMember(request, "id");
+
+  // Latency lands in the warm histogram only when the whole request was
+  // answered from a cached circuit; compiles, direct counts, and error
+  // replies are all "cold". Recorded on every exit path.
+  struct LatencyGuard {
+    Server* self;
+    std::chrono::steady_clock::time_point start;
+    bool warm = false;
+    ~LatencyGuard() {
+      auto usec = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      (warm ? self->m_.warm_usec : self->m_.cold_usec)
+          ->Record(static_cast<std::uint64_t>(usec));
+    }
+  } latency{this, start};
+
+  obs::TraceLog::Span span;
+  if (options_.trace != nullptr) {
+    std::uint64_t query_id = options_.trace->NextQueryId();
+    if (options_.trace->SampledQuery(query_id)) {
+      span = options_.trace->BeginSpan("serve_request");
+      span.Num("query", query_id);
+    }
+  }
 
   const JsonValue* sentence_member = FindMember(request, "sentence");
   if (sentence_member == nullptr ||
@@ -425,6 +492,9 @@ io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
   if (vectors.empty()) {
     return MakeError(id, "\"weights\" must contain at least one vector");
   }
+  m_.batch_size->Record(vectors.size());
+  span.Str("mode", mode).Num("n", *domain);
+  span.Num("batch", static_cast<std::uint64_t>(vectors.size()));
 
   JsonValue response = JsonValue::MakeObject();
   if (id != nullptr) response.Add("id", *id);
@@ -443,7 +513,8 @@ io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
       try {
         results[i] =
             DirectResult(vocabulary, sentence, *domain, vectors[i].reweights,
-                         method, envelope, options_.num_threads);
+                         method, envelope, options_.num_threads, &registry_,
+                         options_.trace);
       } catch (const std::exception& error) {
         results[i] = MakeError(nullptr, error.what());
       }
@@ -468,8 +539,13 @@ io::JsonValue Server::HandleQuery(const io::JsonValue& request) {
 
     std::shared_ptr<const api::CompiledQuery> query = CacheLookup(key);
     bool cached = query != nullptr;
+    latency.warm = cached;
+    span.Bool("cached", cached);
     if (!cached) {
-      api::Engine compiler{logic::Vocabulary(vocabulary)};
+      api::Engine::Options compiler_options;
+      compiler_options.metrics = &registry_;
+      compiler_options.trace = options_.trace;
+      api::Engine compiler{logic::Vocabulary(vocabulary), compiler_options};
       runtime::Budget budget;
       api::CompileOptions compile_options;
       compile_options.domain_size = *domain;
@@ -565,22 +641,46 @@ io::JsonValue Server::HandleStats(const io::JsonValue* id) const {
   json.Add("cache_hits", JsonValue::MakeNumber(stats.cache_hits));
   json.Add("cache_misses", JsonValue::MakeNumber(stats.cache_misses));
   json.Add("evictions", JsonValue::MakeNumber(stats.evictions));
+  json.Add("evicted_bytes", JsonValue::MakeNumber(stats.evicted_bytes));
   json.Add("circuits", JsonValue::MakeNumber(
                            static_cast<std::uint64_t>(stats.circuits)));
   json.Add("circuit_bytes", JsonValue::MakeNumber(static_cast<std::uint64_t>(
                                 stats.circuit_bytes)));
+  json.Add("circuit_bytes_peak",
+           JsonValue::MakeNumber(
+               static_cast<std::uint64_t>(stats.circuit_bytes_peak)));
+  return json;
+}
+
+io::JsonValue Server::HandleMetrics(const io::JsonValue* id) const {
+  // Refresh the cache-level gauges so a scrape on an idle server still
+  // reflects the live LRU (they are otherwise updated per cache
+  // operation).
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    m_.circuits->Set(static_cast<std::int64_t>(lru_.size()));
+    m_.circuit_bytes->Set(static_cast<std::int64_t>(cache_bytes_));
+    m_.circuit_bytes_peak->Set(static_cast<std::int64_t>(cache_bytes_peak_));
+  }
+  JsonValue json = JsonValue::MakeObject();
+  if (id != nullptr) json.Add("id", *id);
+  json.Add("status", JsonValue::MakeString("ok"));
+  json.Add("exposition", JsonValue::MakeString(registry_.TextExposition()));
   return json;
 }
 
 ServerStats Server::Stats() const {
   ServerStats stats;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats = stats_;
-  }
+  stats.requests = m_.requests->Value();
+  stats.errors = m_.errors->Value();
+  stats.cache_hits = m_.cache_hits->Value();
+  stats.cache_misses = m_.cache_misses->Value();
+  stats.evictions = m_.evictions->Value();
+  stats.evicted_bytes = m_.evicted_bytes->Value();
   std::lock_guard<std::mutex> lock(cache_mutex_);
   stats.circuits = lru_.size();
   stats.circuit_bytes = cache_bytes_;
+  stats.circuit_bytes_peak = cache_bytes_peak_;
   return stats;
 }
 
@@ -589,15 +689,11 @@ std::shared_ptr<const api::CompiledQuery> Server::CacheLookup(
   std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.cache_misses;
+    m_.cache_misses->Add();
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.cache_hits;
-  }
+  m_.cache_hits->Add();
   return it->second->query;
 }
 
@@ -625,15 +721,20 @@ void Server::CacheInsert(const std::string& key,
     index_[key] = lru_.begin();
     cache_bytes_ += bytes;
   }
+  if (cache_bytes_ > cache_bytes_peak_) cache_bytes_peak_ = cache_bytes_;
   while (lru_.size() > options_.max_circuits ||
          (lru_.size() > 1 && cache_bytes_ > options_.max_circuit_bytes)) {
     CacheEntry& victim = lru_.back();
-    cache_bytes_ -= victim.bytes;
+    std::size_t victim_bytes = victim.bytes;
+    cache_bytes_ -= victim_bytes;
     index_.erase(victim.key);
     lru_.pop_back();
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    ++stats_.evictions;
+    m_.evictions->Add();
+    m_.evicted_bytes->Add(victim_bytes);
   }
+  m_.circuits->Set(static_cast<std::int64_t>(lru_.size()));
+  m_.circuit_bytes->Set(static_cast<std::int64_t>(cache_bytes_));
+  m_.circuit_bytes_peak->Set(static_cast<std::int64_t>(cache_bytes_peak_));
 }
 
 std::unique_ptr<nnf::Circuit::EvalArena> Server::AcquireArena() {

@@ -16,6 +16,8 @@
 #include "api/engine.h"
 #include "io/json.h"
 #include "nnf/circuit.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace swfomc::serve {
@@ -39,17 +41,25 @@ struct ServerOptions {
   std::optional<std::uint64_t> budget_ms;
   std::optional<std::uint64_t> max_decisions;
   std::optional<std::uint64_t> max_memory_bytes;
+  /// Structured span/event log for request tracing (not owned; null =
+  /// disabled). Wired from `swfomc serve --trace-out FILE`.
+  obs::TraceLog* trace = nullptr;
 };
 
-/// Point-in-time counters (the `stats` command's payload).
+/// Point-in-time counters (the `stats` command's payload). Backed by
+/// the server's MetricsRegistry; Stats() materializes a snapshot.
 struct ServerStats {
   std::uint64_t requests = 0;    // query requests handled (ok or error)
   std::uint64_t errors = 0;      // requests answered with status "error"
   std::uint64_t cache_hits = 0;  // queries served from a cached circuit
   std::uint64_t cache_misses = 0;
   std::uint64_t evictions = 0;
+  /// Cumulative bytes accounted to evicted entries.
+  std::uint64_t evicted_bytes = 0;
   std::size_t circuits = 0;       // entries resident in the LRU
   std::size_t circuit_bytes = 0;  // bytes accounted to those entries
+  /// High-water mark of circuit_bytes over the server's lifetime.
+  std::size_t circuit_bytes_peak = 0;
 };
 
 /// A long-lived batching WFOMC server: newline-delimited JSON requests
@@ -133,6 +143,11 @@ class Server {
   ServerStats Stats() const;
   const ServerOptions& options() const { return options_; }
 
+  /// The server's live metrics registry — the source behind the `stats`
+  /// and `metrics` protocol commands. Exposed so embedders (tests, a
+  /// future scrape endpoint) can read instruments directly.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
  private:
   struct CacheEntry {
     std::string key;
@@ -149,6 +164,7 @@ class Server {
 
   io::JsonValue HandleQuery(const io::JsonValue& request);
   io::JsonValue HandleStats(const io::JsonValue* id) const;
+  io::JsonValue HandleMetrics(const io::JsonValue* id) const;
 
   /// LRU probe; moves a hit to the front. Returns nullptr on a miss.
   std::shared_ptr<const api::CompiledQuery> CacheLookup(
@@ -165,18 +181,39 @@ class Server {
   void ReleaseArena(std::unique_ptr<nnf::Circuit::EvalArena> arena);
 
   ServerOptions options_;
+
+  /// All server counters/gauges/histograms live here (ServerStats is a
+  /// snapshot of these instruments plus the cache levels); declared
+  /// before pool_ so the pool's instruments outlive it.
+  mutable obs::MetricsRegistry registry_;
+  /// Instrument pointers resolved once in the constructor.
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* evicted_bytes = nullptr;
+    obs::Gauge* circuits = nullptr;
+    obs::Gauge* circuit_bytes = nullptr;
+    obs::Gauge* circuit_bytes_peak = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Histogram* warm_usec = nullptr;
+    obs::Histogram* cold_usec = nullptr;
+    obs::Histogram* batch_size = nullptr;
+  };
+  Instruments m_;
+
   std::unique_ptr<runtime::ThreadPool> pool_;  // set when num_threads > 1
 
   mutable std::mutex cache_mutex_;
   std::list<CacheEntry> lru_;  // most recently used at the front
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> index_;
   std::size_t cache_bytes_ = 0;
+  std::size_t cache_bytes_peak_ = 0;  // guarded by cache_mutex_
 
   std::mutex arena_mutex_;
   std::vector<std::unique_ptr<nnf::Circuit::EvalArena>> free_arenas_;
-
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
 
   bool shutdown_requested_ = false;  // set by cmd "shutdown" (TCP loop)
 };

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <future>
 #include <sstream>
 #include <string>
@@ -414,6 +415,140 @@ TEST(Serve, ConcurrentClientsShareCircuitsSafely) {
   EXPECT_EQ(stats.errors, 0u);
   EXPECT_EQ(stats.requests,
             static_cast<std::uint64_t>(2 * kThreads * kIterations));
+}
+
+// First sample value of `name` in a Prometheus-style exposition text.
+std::uint64_t MetricValue(const std::string& text, const std::string& name) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::stoull(line.substr(name.size() + 1));
+    }
+  }
+  ADD_FAILURE() << "metric " << name << " missing from exposition";
+  return 0;
+}
+
+TEST(Serve, EvictionReportsBytesAndPeak) {
+  // Regression for the stats gaps: evictions must account their bytes,
+  // and the byte high-water mark must survive the eviction (the level
+  // drops, the peak does not).
+  ServerOptions options;
+  options.max_circuits = 1;
+  Server server(options);
+  Query(&server, R"js({"sentence": "forall x T(x,x,x)", "domain": 2})js");
+  ServerStats before = server.Stats();
+  EXPECT_EQ(before.evictions, 0u);
+  EXPECT_EQ(before.evicted_bytes, 0u);
+  EXPECT_EQ(before.circuit_bytes_peak, before.circuit_bytes);
+  Query(&server, R"js({"sentence": "forall x T(x,x,x)", "domain": 3})js");
+  ServerStats after = server.Stats();
+  EXPECT_EQ(after.evictions, 1u);
+  EXPECT_GE(after.evicted_bytes, before.circuit_bytes);
+  EXPECT_GE(after.circuit_bytes_peak, after.circuit_bytes);
+  EXPECT_GT(after.circuit_bytes_peak, 0u);
+
+  // The `stats` payload carries the new fields.
+  JsonValue stats_json = Query(&server, R"js({"cmd": "stats"})js");
+  EXPECT_EQ(stats_json.At("evictions").string, "1");
+  EXPECT_EQ(stats_json.At("evicted_bytes").string,
+            std::to_string(after.evicted_bytes));
+  EXPECT_EQ(stats_json.At("circuit_bytes_peak").string,
+            std::to_string(after.circuit_bytes_peak));
+}
+
+TEST(Serve, MetricsCommandMatchesSessionGroundTruth) {
+  Server server;
+  const std::string line =
+      R"js({"sentence": "forall x forall y S(x,y)", "domain": 3,
+            "weights": [{"S": ["2", "1"]}, {"S": ["3", "1"]}]})js";
+  Query(&server, line);  // cold: compiles
+  Query(&server, line);  // warm: cache hit
+  Query(&server, "{}");  // missing sentence: error
+
+  JsonValue response = Query(&server, R"js({"id": 9, "cmd": "metrics"})js");
+  EXPECT_EQ(response.At("status").string, "ok");
+  EXPECT_EQ(response.At("id").string, "9");
+  const std::string& text = response.At("exposition").string;
+  // The exposition is built before the metrics request itself is
+  // counted, so it reflects exactly the three preceding requests.
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_requests_total"), 3u);
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_errors_total"), 1u);
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_cache_hits_total"), 1u);
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_cache_misses_total"), 1u);
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_cache_circuits"), 1u);
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_request_usec_warm_count"), 1u);
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_request_usec_cold_count"), 2u);
+  // Two batches of two vectors each landed in the batch histogram.
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_batch_size_count"), 2u);
+  EXPECT_EQ(MetricValue(text, "swfomc_serve_batch_size_sum"), 4u);
+  // The engine-level instruments ride in the same registry.
+  EXPECT_GE(MetricValue(text, "swfomc_engine_queries_total"), 1u);
+}
+
+TEST(Serve, MetricsStayMonotoneUnderConcurrentQueries) {
+  // Satellite contract: hammer queries from worker threads while this
+  // thread polls the `metrics` command — every scraped counter must be
+  // monotone, and the final totals must equal the ground truth.
+  Server server;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 20;
+  std::atomic<int> running{kThreads};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &running] {
+      for (int i = 0; i < kIterations; ++i) {
+        server.HandleLine(
+            R"js({"sentence": "forall x forall y S(x,y)", "domain": 3})js");
+      }
+      running.fetch_sub(1);
+    });
+  }
+  std::uint64_t last_requests = 0;
+  std::uint64_t last_hits = 0;
+  while (running.load() > 0) {
+    JsonValue response = server.HandleLine(R"js({"cmd": "metrics"})js").json;
+    ASSERT_EQ(response.At("status").string, "ok");
+    const std::string& text = response.At("exposition").string;
+    std::uint64_t requests =
+        MetricValue(text, "swfomc_serve_requests_total");
+    std::uint64_t hits = MetricValue(text, "swfomc_serve_cache_hits_total");
+    EXPECT_GE(requests, last_requests);
+    EXPECT_GE(hits, last_hits);
+    last_requests = requests;
+    last_hits = hits;
+  }
+  for (std::thread& client : clients) client.join();
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses,
+            static_cast<std::uint64_t>(kThreads * kIterations));
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Serve, TraceLogRecordsRequestSpans) {
+  std::ostringstream out;
+  obs::TraceLog trace(&out);
+  ServerOptions options;
+  options.trace = &trace;
+  Server server(options);
+  Query(&server,
+        R"js({"sentence": "forall x forall y S(x,y)", "domain": 3})js");
+  Query(&server,
+        R"js({"sentence": "forall x forall y S(x,y)", "domain": 3})js");
+  std::istringstream lines(out.str());
+  std::string line;
+  int request_spans = 0;
+  while (std::getline(lines, line)) {
+    JsonValue record = ParseJson(line, "<trace>");
+    if (record.At("name").string == "serve_request") {
+      ++request_spans;
+      EXPECT_EQ(record.At("type").string, "span");
+      EXPECT_TRUE(record.Has("dur_us"));
+      EXPECT_EQ(record.At("mode").string, "compile");
+    }
+  }
+  EXPECT_EQ(request_spans, 2);
 }
 
 }  // namespace

@@ -44,6 +44,8 @@
 #include "io/model_format.h"
 #include "io/nnf_format.h"
 #include "io/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/budget.h"
 #include "serve/server.h"
 
@@ -108,6 +110,12 @@ options:
                      k/m/g binary suffixes (run/cnf/compile)
   --on-budget M      what an exhausted budget means: bounds (default —
                      report lower/upper and exit 0) or error (exit 3)
+  --metrics-out FILE write Prometheus-style text exposition of the run's
+                     counters/gauges/histograms to FILE on exit
+                     (run/cnf/compile/eval; serve exposes the same data
+                     through its `metrics` protocol command instead)
+  --trace-out FILE   write a structured JSONL span/event trace to FILE
+                     (run/cnf/compile/eval/serve)
   --listen PORT           serve only: accept TCP connections on 127.0.0.1
                           instead of stdin/stdout (0 = ephemeral port,
                           reported on stderr)
@@ -150,6 +158,9 @@ struct CliOptions {
   std::optional<std::uint64_t> max_circuits;
   std::optional<std::uint64_t> max_circuit_bytes;
   std::optional<std::uint64_t> max_request_bytes;
+  /// Observability sinks ("" = disabled).
+  std::string metrics_out;
+  std::string trace_out;
 
   bool serve_flags_used() const {
     return listen_port.has_value() || max_circuits.has_value() ||
@@ -311,6 +322,28 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
     } else if (arg.rfind("--max-request-bytes=", 0) == 0) {
       options.max_request_bytes =
           ParseMemorySize("--max-request-bytes", arg.substr(20));
+    } else if (arg == "--metrics-out") {
+      if (++i >= argc) throw UsageError("--metrics-out needs a value");
+      options.metrics_out = argv[i];
+      if (options.metrics_out.empty()) {
+        throw UsageError("--metrics-out needs a value");
+      }
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(14);
+      if (options.metrics_out.empty()) {
+        throw UsageError("--metrics-out needs a value");
+      }
+    } else if (arg == "--trace-out") {
+      if (++i >= argc) throw UsageError("--trace-out needs a value");
+      options.trace_out = argv[i];
+      if (options.trace_out.empty()) {
+        throw UsageError("--trace-out needs a value");
+      }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+      if (options.trace_out.empty()) {
+        throw UsageError("--trace-out needs a value");
+      }
     } else if (arg == "--on-budget" || arg.rfind("--on-budget=", 0) == 0) {
       std::string name;
       if (arg == "--on-budget") {
@@ -377,6 +410,10 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
       throw UsageError("--domain does not apply to the serve command "
                        "(requests carry their own domain size)");
     }
+    if (!options.metrics_out.empty()) {
+      throw UsageError("--metrics-out does not apply to the serve command "
+                       "(scrape the 'metrics' protocol command instead)");
+    }
     return options;
   }
   if (options.serve_flags_used()) {
@@ -416,6 +453,19 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
     throw UsageError("--domain only applies to the eval command (run and "
                      "compile take the model's 'domain' directive)");
   }
+  // Observability follows the counting/evaluation work; route and print
+  // do none, so the sinks would stay empty — reject rather than write a
+  // vacuous file.
+  if ((options.command == "route" || options.command == "print")) {
+    if (!options.metrics_out.empty()) {
+      throw UsageError("--metrics-out does not apply to the " +
+                       options.command + " command (it runs no search)");
+    }
+    if (!options.trace_out.empty()) {
+      throw UsageError("--trace-out does not apply to the " +
+                       options.command + " command (it runs no search)");
+    }
+  }
   // Budgets govern the counting search; route/eval/print never run one.
   if (options.run.governed() &&
       (options.command == "route" || options.command == "eval" ||
@@ -433,6 +483,20 @@ std::optional<CliOptions> ParseArgs(int argc, char** argv) {
 
 void Emit(const JsonValue& document, bool compact) {
   std::cout << document.Dump(compact ? -1 : 2) << "\n";
+}
+
+// The report's "obs" block: where this run's observability artifacts
+// went, so a consumer of the JSON knows which sidecar files belong to it.
+void AddObsBlock(JsonValue* document, const CliOptions& options) {
+  if (options.metrics_out.empty() && options.trace_out.empty()) return;
+  JsonValue obs = JsonValue::MakeObject();
+  if (!options.metrics_out.empty()) {
+    obs.Add("metrics_out", JsonValue::MakeString(options.metrics_out));
+  }
+  if (!options.trace_out.empty()) {
+    obs.Add("trace_out", JsonValue::MakeString(options.trace_out));
+  }
+  document->Add("obs", std::move(obs));
 }
 
 int RunServe(const CliOptions& options) {
@@ -453,11 +517,16 @@ int RunServe(const CliOptions& options) {
   server_options.budget_ms = options.run.budget_ms;
   server_options.max_decisions = options.run.max_decisions;
   server_options.max_memory_bytes = options.run.max_memory_bytes;
+  server_options.trace = options.run.trace;
   swfomc::serve::Server server(server_options);
   if (options.listen_port.has_value()) {
     return server.ServeTcp(*options.listen_port, [](std::uint16_t port) {
-      // stderr, so response parsers on stdout never see it.
-      std::cerr << "swfomc: serving on 127.0.0.1:" << port << "\n";
+      // One structured readiness event on stderr (stdout carries only
+      // responses): supervisors parse the JSON for the bound port
+      // instead of scraping a human-oriented sentence.
+      std::cerr << "{\"event\":\"ready\",\"transport\":\"tcp\","
+                   "\"addr\":\"127.0.0.1\",\"port\":"
+                << port << "}\n";
     });
   }
   return server.ServeStream(std::cin, std::cout);
@@ -518,6 +587,7 @@ int RunModels(const CliOptions& options) {
     document.Add("check", JsonValue::MakeString(checks_passed ? "pass"
                                                               : "fail"));
   }
+  AddObsBlock(&document, options);
   Emit(document, options.compact);
   if (budget_exhausted && options.budget_policy() == OnBudget::kError) {
     return kExitBudget;
@@ -542,6 +612,7 @@ int RunCnfs(const CliOptions& options) {
   }
   JsonValue document = JsonValue::MakeObject();
   document.Add("results", std::move(results));
+  AddObsBlock(&document, options);
   Emit(document, options.compact);
   if (budget_exhausted && options.budget_policy() == OnBudget::kError) {
     return kExitBudget;
@@ -665,6 +736,7 @@ int RunCompile(const CliOptions& options) {
     document.Add("check", JsonValue::MakeString(checks_passed ? "pass"
                                                               : "fail"));
   }
+  AddObsBlock(&document, options);
   Emit(document, options.compact);
   if (budget_exhausted && options.budget_policy() == OnBudget::kError) {
     return kExitBudget;
@@ -698,6 +770,24 @@ int RunEval(const CliOptions& options) {
                 << report.expected->ToString() << ", circuit evaluates to "
                 << report.value.ToString() << "\n";
     }
+    // Eval runs no counting search, so the engine registers nothing here;
+    // the CLI itself records per-circuit instruments instead.
+    if (options.run.metrics != nullptr) {
+      options.run.metrics
+          ->GetCounter("swfomc_eval_circuits_total",
+                       "Circuits evaluated by swfomc eval")
+          ->Add();
+      options.run.metrics
+          ->GetHistogram("swfomc_eval_usec",
+                         "Microseconds per circuit evaluation")
+          ->Record(static_cast<std::uint64_t>(report.elapsed_seconds * 1e6));
+    }
+    if (options.run.trace != nullptr) {
+      options.run.trace->Event("eval")
+          .Str("file", path)
+          .Str("kind", swfomc::api::ToString(report.kind))
+          .Num("n", report.domain_size);
+    }
     results.array.push_back(swfomc::io::ToJson(report));
   }
   JsonValue document = JsonValue::MakeObject();
@@ -706,6 +796,7 @@ int RunEval(const CliOptions& options) {
     document.Add("check", JsonValue::MakeString(checks_passed ? "pass"
                                                               : "fail"));
   }
+  AddObsBlock(&document, options);
   Emit(document, options.compact);
   return checks_passed ? 0 : 1;
 }
@@ -746,16 +837,41 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    if (options->command == "run") return RunModels(*options);
-    if (options->command == "cnf") return RunCnfs(*options);
-    if (options->command == "route") return RunRoute(*options);
-    if (options->command == "compile") return RunCompile(*options);
-    if (options->command == "eval") return RunEval(*options);
-    if (options->command == "print") return RunPrint(*options);
-    if (options->command == "serve") return RunServe(*options);
-    std::cerr << kUsage;
-    std::cerr << "swfomc: unknown command '" << options->command << "'\n";
-    return kExitUsage;
+    // Observability sinks outlive the command: the trace file opens (and
+    // fails) up front, the metrics exposition is written after the
+    // command finishes so it reflects the whole run.
+    swfomc::obs::MetricsRegistry registry;
+    std::unique_ptr<swfomc::obs::TraceLog> trace;
+    if (!options->trace_out.empty()) {
+      trace = swfomc::obs::TraceLog::OpenFile(options->trace_out);
+    }
+    if (!options->metrics_out.empty()) options->run.metrics = &registry;
+    options->run.trace = trace.get();
+
+    auto dispatch = [&]() -> int {
+      if (options->command == "run") return RunModels(*options);
+      if (options->command == "cnf") return RunCnfs(*options);
+      if (options->command == "route") return RunRoute(*options);
+      if (options->command == "compile") return RunCompile(*options);
+      if (options->command == "eval") return RunEval(*options);
+      if (options->command == "print") return RunPrint(*options);
+      if (options->command == "serve") return RunServe(*options);
+      std::cerr << kUsage;
+      std::cerr << "swfomc: unknown command '" << options->command << "'\n";
+      return kExitUsage;
+    };
+    int code = dispatch();
+    if (!options->metrics_out.empty()) {
+      std::ofstream out(options->metrics_out);
+      if (!out) {
+        return Fail("cannot write metrics file: " + options->metrics_out);
+      }
+      out << registry.TextExposition();
+      if (!out.flush()) {
+        return Fail("error writing metrics file: " + options->metrics_out);
+      }
+    }
+    return code;
   } catch (const UsageError& error) {
     // Command-line-shaped problems discovered mid-command (e.g. colliding
     // --out-dir basenames) keep the EX_USAGE exit.
